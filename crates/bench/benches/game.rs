@@ -1,0 +1,63 @@
+//! Criterion benches for the guessing game (Section 3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guessing_game::strategy::{ColumnSweep, RandomMatching};
+use guessing_game::{run_game, GameConfig, Oracle, Predicate};
+use std::hint::black_box;
+
+fn bench_oracle_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game/oracle_submit");
+    group.sample_size(20);
+    for m in [64usize, 256] {
+        let target = Predicate::Random { p: 0.2 }.sample(m, 1);
+        let guesses: Vec<(usize, usize)> = (0..2 * m).map(|i| (i % m, (i * 7) % m)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut o = Oracle::new(m, target.iter().copied());
+                black_box(o.submit(&guesses).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game/full_game_m64");
+    group.sample_size(10);
+    let cfg = GameConfig {
+        m: 64,
+        max_rounds: 1_000_000,
+        seed: 1,
+    };
+    group.bench_function("adaptive_p0.1", |b| {
+        b.iter(|| {
+            black_box(run_game(
+                &cfg,
+                &Predicate::Random { p: 0.1 },
+                &mut ColumnSweep::new(),
+            ))
+        });
+    });
+    group.bench_function("oblivious_p0.1", |b| {
+        b.iter(|| {
+            black_box(run_game(
+                &cfg,
+                &Predicate::Random { p: 0.1 },
+                &mut RandomMatching::new(),
+            ))
+        });
+    });
+    group.bench_function("singleton_adaptive", |b| {
+        b.iter(|| {
+            black_box(run_game(
+                &cfg,
+                &Predicate::Singleton,
+                &mut ColumnSweep::new(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_submit, bench_full_game);
+criterion_main!(benches);

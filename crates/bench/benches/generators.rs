@@ -1,0 +1,56 @@
+//! Criterion benches for the paper's constructions (Figs. 1–2) and the
+//! graph substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latency_graph::generators::{self, GadgetSpec, LayeredRing, LayeredRingSpec};
+use latency_graph::metrics;
+use std::hint::black_box;
+
+fn bench_gadget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators/gadget");
+    group.sample_size(10);
+    for m in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let t = generators::gadget::random_target(m, 0.2, 3);
+                black_box(generators::gadget::gadget(&GadgetSpec::paper(m, true), &t))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_layered_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators/layered_ring");
+    group.sample_size(10);
+    for n in [60usize, 120, 240] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(LayeredRing::generate(&LayeredRingSpec {
+                    n,
+                    alpha: 0.1,
+                    ell: 16,
+                    seed: 5,
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics/weighted_diameter");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let p = (10.0 / n as f64).min(1.0);
+        let base = generators::connected_erdos_renyi(n, p, 7);
+        let g = generators::uniform_random_latencies(&base, 1, 10, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(metrics::weighted_diameter(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gadget, bench_layered_ring, bench_dijkstra);
+criterion_main!(benches);

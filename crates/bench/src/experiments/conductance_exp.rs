@@ -1,0 +1,121 @@
+//! E13 — validating the weighted-conductance machinery against the
+//! paper's analytic values (Definitions 1–2, Lemmas 9–11, Claim 21).
+
+use latency_graph::generators::{LayeredRing, LayeredRingSpec};
+use latency_graph::{conductance, generators};
+
+use crate::table::{f, Table};
+
+/// E13 — three validations:
+/// 1. Lemma 9: the half-ring cut of the layered ring has
+///    `φ_ℓ(C) = α` exactly (up to integer rounding).
+/// 2. Lemma 11: the ring's critical latency is `ℓ` and `φ* = Θ(α)`
+///    (sweep-cut estimate).
+/// 3. Theorem 7 / Claim 21: the `Random_p` gadget has weighted
+///    conductance `Θ(p)` at critical latency `ℓ`.
+pub fn e13_conductance_validation() -> Table {
+    let mut t = Table::new(
+        "E13 — conductance machinery vs analytic values (Lemmas 9–11, Claim 21)",
+        &[
+            "construction",
+            "parameter",
+            "analytic",
+            "measured",
+            "measured/analytic",
+        ],
+    );
+
+    // 1. Lemma 9 on the layered ring.
+    for alpha in [0.08f64, 0.1, 0.15] {
+        let ring = LayeredRing::generate(&LayeredRingSpec {
+            n: 60,
+            alpha,
+            ell: 16,
+            seed: 2,
+        });
+        let phi =
+            conductance::cut_phi(&ring.graph, &ring.half_ring_cut(), ring.ell).expect("proper cut");
+        t.row(vec![
+            "ring half-cut φ_ℓ(C)".into(),
+            format!("α={alpha}"),
+            f(alpha),
+            f(phi),
+            f(phi / alpha),
+        ]);
+    }
+
+    // 2. Lemma 11: sweep-cut estimate of φ* on the ring; ℓ* should be ℓ.
+    let ring = LayeredRing::generate(&LayeredRingSpec {
+        n: 60,
+        alpha: 0.1,
+        ell: 16,
+        seed: 2,
+    });
+    if let Some(wc) = conductance::estimate_weighted_conductance(&ring.graph, 400, 3) {
+        t.row(vec![
+            "ring φ* (sweep est.)".into(),
+            format!("ℓ*={}", wc.critical_latency),
+            f(0.1),
+            f(wc.phi_star),
+            f(wc.phi_star / 0.1),
+        ]);
+        t.note(format!(
+            "ring critical latency: estimated ℓ* = {} (construction slow edge ℓ = 16)",
+            wc.critical_latency
+        ));
+    }
+
+    // 3. Theorem 7 gadget: φ* = Θ(p) at ℓ* = ℓ.
+    for p in [0.2f64, 0.35, 0.5] {
+        let gd = generators::theorem7_network(32, p, 4, 9);
+        let wc = conductance::estimate_weighted_conductance(&gd.graph, 400, 5)
+            .expect("gadget connected");
+        t.row(vec![
+            "gadget φ* (sweep est.)".into(),
+            format!("p={p}, ℓ*={}", wc.critical_latency),
+            f(p),
+            f(wc.phi_star),
+            f(wc.phi_star / p),
+        ]);
+    }
+
+    // 4. Sanity: exact vs estimated agreement on a small bimodal graph.
+    let g = generators::bimodal_latencies(&generators::clique(14), 1, 28, 0.3, 1);
+    let exact = conductance::exact_weighted_conductance(&g).expect("connected");
+    let est = conductance::estimate_weighted_conductance(&g, 400, 7).expect("connected");
+    t.row(vec![
+        "bimodal clique exact vs est".into(),
+        format!("ℓ* {} vs {}", exact.critical_latency, est.critical_latency),
+        f(exact.phi_star),
+        f(est.phi_star),
+        f(est.phi_star / exact.phi_star),
+    ]);
+    t.note("expectation: measured/analytic ≈ Θ(1) throughout; estimator upper-bounds exact (ratio ≥ 1)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_ring_cut_matches_alpha() {
+        let t = e13_conductance_validation();
+        for r in t.rows.iter().filter(|r| r[0].starts_with("ring half-cut")) {
+            let ratio: f64 = r[4].parse().unwrap();
+            assert!((0.5..=2.0).contains(&ratio), "Lemma 9 violated: {r:?}");
+        }
+    }
+
+    #[test]
+    fn e13_estimator_upper_bounds_exact() {
+        let t = e13_conductance_validation();
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("bimodal"))
+            .expect("sanity row present");
+        let ratio: f64 = row[4].parse().unwrap();
+        assert!(ratio >= 0.99, "estimate must not undercut exact: {row:?}");
+    }
+}

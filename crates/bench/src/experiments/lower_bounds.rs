@@ -1,0 +1,214 @@
+//! E1, E2, E12 — the lower-bound experiments (Section 3).
+
+use guessing_game::strategy::{ColumnSweep, RandomMatching, Systematic};
+use guessing_game::{trial_mean_rounds, GameConfig, Predicate};
+use latency_graph::generators;
+use latency_graph::NodeId;
+
+use gossip_core::push_pull::{self, PushPullConfig};
+
+use crate::table::{f, Table};
+
+/// E1 — Theorem 6: on the singleton-target gadget network, any gossip
+/// algorithm pays `Ω(Δ)` for local broadcast. We sweep `Δ` and measure
+/// push-pull and flooding all-to-all on the gadget, plus the pure
+/// guessing game (Lemma 4) for the same `m = Δ`.
+pub fn e1_delta_lower_bound() -> Table {
+    let mut t = Table::new(
+        "E1 — Ω(Δ) lower bound (Theorem 6 gadget, singleton fast edge)",
+        &[
+            "Δ",
+            "push-pull",
+            "flooding",
+            "game(systematic)",
+            "push-pull/Δ",
+            "game/Δ",
+        ],
+    );
+    let trials = 5u64;
+    for delta in [8usize, 16, 32, 64] {
+        let mut pp_total = 0u64;
+        let mut fl_total = 0u64;
+        for s in 0..trials {
+            let (g, _) = generators::theorem6_network(2 * delta, delta, 100 + s);
+            let pp = push_pull::all_to_all(&g, &PushPullConfig::default(), s);
+            let fl = gossip_core::flooding::all_to_all(
+                &g,
+                &gossip_core::flooding::FloodingConfig::default(),
+                s,
+            );
+            assert!(pp.completed() && fl.completed());
+            pp_total += pp.rounds;
+            fl_total += fl.rounds;
+        }
+        let pp_mean = pp_total as f64 / trials as f64;
+        let fl_mean = fl_total as f64 / trials as f64;
+        let (game_mean, _) = trial_mean_rounds(
+            &GameConfig {
+                m: delta,
+                max_rounds: 1_000_000,
+                seed: 3,
+            },
+            &Predicate::Singleton,
+            Systematic::new,
+            20,
+        );
+        t.row(vec![
+            delta.to_string(),
+            f(pp_mean),
+            f(fl_mean),
+            f(game_mean),
+            f(pp_mean / delta as f64),
+            f(game_mean / delta as f64),
+        ]);
+    }
+    t.note("expectation: all round counts grow linearly in Δ (ratios ≈ constant)");
+    t
+}
+
+/// E2 — Theorem 7: on the `Random_p` gadget, local broadcast pays
+/// `Ω(1/φ + ℓ)` in general and `Ω(log n/φ + ℓ)` for push-pull. Sweep
+/// `p = φ` at fixed `m` and `ℓ`.
+pub fn e2_conductance_lower_bound() -> Table {
+    let mut t = Table::new(
+        "E2 — Ω(1/φ) / Ω(log n·φ⁻¹) lower bound (Theorem 7 gadget, Random_p)",
+        &[
+            "p=φ",
+            "push-pull",
+            "game(adaptive)",
+            "game(random)",
+            "pp·p/log m",
+            "adaptive·p",
+        ],
+    );
+    let m = 48;
+    let ell = 2u32;
+    let trials = 5u64;
+    for p in [0.4f64, 0.2, 0.1, 0.05] {
+        let mut pp_total = 0u64;
+        for s in 0..trials {
+            let gd = generators::theorem7_network(m, p, ell, 200 + s);
+            let source = NodeId::new(0);
+            let o = push_pull::broadcast(&gd.graph, source, &PushPullConfig::default(), s);
+            assert!(o.completed());
+            pp_total += o.rounds;
+        }
+        let pp_mean = pp_total as f64 / trials as f64;
+        let cfg = GameConfig {
+            m,
+            max_rounds: 1_000_000,
+            seed: 5,
+        };
+        let (adaptive, _) = trial_mean_rounds(&cfg, &Predicate::Random { p }, ColumnSweep::new, 15);
+        let (random, _) =
+            trial_mean_rounds(&cfg, &Predicate::Random { p }, RandomMatching::new, 15);
+        let logm = (m as f64).ln();
+        t.row(vec![
+            f(p),
+            f(pp_mean),
+            f(adaptive),
+            f(random),
+            f(pp_mean * p / logm),
+            f(adaptive * p),
+        ]);
+    }
+    t.note("expectation: adaptive·p ≈ const (Θ(1/p)); push-pull tracks Θ(log m / p) so pp·p/log m ≈ const");
+    t
+}
+
+/// E12 — Lemmas 4 and 5 on the pure game, without any network: the
+/// singleton game is `Θ(m)`; `Random_p` is `Θ(1/p)` adaptively and
+/// `Θ(log m / p)` for the oblivious random matching.
+pub fn e12_pure_game() -> Table {
+    let mut t = Table::new(
+        "E12 — pure guessing game scaling (Lemmas 4–5)",
+        &["setting", "m", "p", "mean rounds", "normalized"],
+    );
+    for m in [16usize, 32, 64, 128] {
+        let (mean, _) = trial_mean_rounds(
+            &GameConfig {
+                m,
+                max_rounds: 1_000_000,
+                seed: 1,
+            },
+            &Predicate::Singleton,
+            ColumnSweep::new,
+            30,
+        );
+        t.row(vec![
+            "singleton/adaptive".into(),
+            m.to_string(),
+            "-".into(),
+            f(mean),
+            format!("rounds/m = {}", f(mean / m as f64)),
+        ]);
+    }
+    let m = 64;
+    for p in [0.4f64, 0.2, 0.1, 0.05] {
+        let cfg = GameConfig {
+            m,
+            max_rounds: 1_000_000,
+            seed: 2,
+        };
+        let (adaptive, _) = trial_mean_rounds(&cfg, &Predicate::Random { p }, ColumnSweep::new, 25);
+        let (random, _) =
+            trial_mean_rounds(&cfg, &Predicate::Random { p }, RandomMatching::new, 25);
+        t.row(vec![
+            "Random_p/adaptive".into(),
+            m.to_string(),
+            f(p),
+            f(adaptive),
+            format!("rounds·p = {}", f(adaptive * p)),
+        ]);
+        t.row(vec![
+            "Random_p/oblivious".into(),
+            m.to_string(),
+            f(p),
+            f(random),
+            format!("rounds·p/ln m = {}", f(random * p / (m as f64).ln())),
+        ]);
+    }
+    t.note("expectation: each normalized column is ≈ constant down its setting");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_normalized_constants_hold() {
+        let t = e12_pure_game();
+        assert!(t.rows.len() >= 8);
+        // Singleton rows: rounds/m in a narrow band.
+        let vals: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "singleton/adaptive")
+            .map(|r| r[4].rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .collect();
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.0, "singleton normalization: {vals:?}");
+    }
+
+    #[test]
+    fn e1_rows_scale_with_delta() {
+        let t = e1_delta_lower_bound();
+        assert_eq!(t.rows.len(), 4);
+        // game/Δ roughly constant.
+        let ratios: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[5].parse::<f64>().unwrap())
+            .collect();
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 4.0, "game/Δ: {ratios:?}");
+        // Fitted exponent of push-pull rounds vs Δ ≈ 1 (the Ω(Δ) law).
+        let deltas: Vec<f64> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();
+        let pp: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let slope = crate::stats::loglog_slope(&deltas, &pp);
+        assert!((0.8..=1.2).contains(&slope), "Θ(Δ) exponent: {slope}");
+    }
+}

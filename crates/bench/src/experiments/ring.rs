@@ -1,0 +1,110 @@
+//! E3 — the Theorem 8 trade-off on the layered ring (Fig. 2).
+
+use gossip_core::eid::{self, EidConfig};
+use gossip_core::push_pull::{self, PushPullConfig};
+use latency_graph::conductance;
+use latency_graph::generators::{LayeredRing, LayeredRingSpec};
+use latency_graph::metrics;
+
+use crate::table::{f, Table};
+
+/// E3 — sweep the slow-edge latency `ℓ` on the layered ring at fixed
+/// `α`: push-pull cost tracks `min(Δ + D, ℓ/φ)` (it finds the hidden
+/// fast edges once `ℓ/φ` exceeds the search cost), while EID's cost is
+/// flat in `ℓ`. The paper's `min(Δ + D, ℓ/φ_ℓ)` trade-off is the lower
+/// envelope.
+pub fn e3_tradeoff() -> Table {
+    let mut t = Table::new(
+        "E3 — min(Δ+D, ℓ/φ) trade-off on the Theorem 8 layered ring",
+        &[
+            "ℓ",
+            "n",
+            "Δ",
+            "D",
+            "φ_ℓ(C)",
+            "Δ+D",
+            "ℓ/φ",
+            "push-pull",
+            "EID",
+            "winner",
+        ],
+    );
+    let n = 60;
+    let alpha = 0.1;
+    for ell in [2u32, 8, 32, 128, 512, 2048] {
+        let ring = LayeredRing::generate(&LayeredRingSpec {
+            n,
+            alpha,
+            ell,
+            seed: 5,
+        });
+        let g = &ring.graph;
+        let d = metrics::weighted_diameter(g);
+        let delta = g.max_degree();
+        let phi = conductance::cut_phi(g, &ring.half_ring_cut(), ring.ell)
+            .expect("half-ring cut is proper");
+        let source = ring.layer(0).next().expect("nonempty layer");
+        let (pp, _) = push_pull::mean_broadcast_rounds(g, source, &PushPullConfig::default(), 3, 5);
+        let out = eid::eid(
+            g,
+            &EidConfig {
+                diameter: d,
+                seed: 3,
+                charge_actual_rr: true,
+                ..Default::default()
+            },
+        );
+        assert!(out.complete, "EID must complete at the true diameter");
+        let eid_rounds = out.total_rounds();
+        let winner = if (pp as u64) <= eid_rounds {
+            "push-pull"
+        } else {
+            "EID"
+        };
+        t.row(vec![
+            ell.to_string(),
+            g.node_count().to_string(),
+            delta.to_string(),
+            d.to_string(),
+            f(phi),
+            (delta as u64 + d).to_string(),
+            f(ell as f64 / phi),
+            f(pp),
+            eid_rounds.to_string(),
+            winner.into(),
+        ]);
+    }
+    t.note("expectation: push-pull grows with ℓ then saturates near Θ(Δ+D) (it hunts the hidden fast edges)");
+    t.note("EID is flat in ℓ; at large ℓ the paper's min(Δ+D, ℓ/φ) is attained by the Δ+D branch");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pull_saturates_on_ring() {
+        // At huge ℓ push-pull must not pay Θ(ℓ/φ): the hidden fast
+        // edges cap it near Δ+D (within a generous log factor).
+        let ring = LayeredRing::generate(&LayeredRingSpec {
+            n: 60,
+            alpha: 0.1,
+            ell: 2048,
+            seed: 5,
+        });
+        let g = &ring.graph;
+        let d = metrics::weighted_diameter(g);
+        let delta = g.max_degree() as u64;
+        let source = ring.layer(0).next().unwrap();
+        let (pp, ok) =
+            push_pull::mean_broadcast_rounds(g, source, &PushPullConfig::default(), 9, 3);
+        assert_eq!(ok, 3);
+        let budget = 10.0 * (delta + d) as f64;
+        assert!(
+            pp < budget,
+            "push-pull {pp} should saturate near Δ+D = {}",
+            delta + d
+        );
+    }
+}

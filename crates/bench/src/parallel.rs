@@ -1,0 +1,92 @@
+//! Parallel Monte-Carlo trials: fan independent seeded runs across
+//! threads (scoped `std::thread`, no extra dependencies).
+//!
+//! Simulations in this workspace are deterministic functions of their
+//! seed, so trials are embarrassingly parallel; the helpers here keep
+//! results in seed order regardless of scheduling.
+
+/// Runs `f(seed)` for seeds `0..trials` across up to `threads` OS
+/// threads and returns the results in seed order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any worker panics (the panic is
+/// propagated).
+pub fn parallel_trials<T, F>(trials: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let threads = threads.min(trials.max(1) as usize);
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= trials {
+                    break;
+                }
+                let value = f(seed);
+                **slots[seed as usize].lock().expect("slot lock") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every seed produced a value"))
+        .collect()
+}
+
+/// Convenience: mean of `f(seed)` over `trials` parallel runs.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn parallel_mean<F>(trials: u64, threads: usize, f: F) -> f64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    assert!(trials >= 1, "need at least one trial");
+    let xs = parallel_trials(trials, threads, f);
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::push_pull::{self, PushPullConfig};
+    use latency_graph::{generators, NodeId};
+
+    #[test]
+    fn results_in_seed_order() {
+        let xs = parallel_trials(16, 4, |seed| seed * 10);
+        assert_eq!(xs, (0..16).map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_multi() {
+        let g = generators::clique(24);
+        let run = |seed: u64| {
+            push_pull::broadcast(&g, NodeId::new(0), &PushPullConfig::default(), seed).rounds as f64
+        };
+        let a = parallel_mean(8, 1, run);
+        let b = parallel_mean(8, 4, run);
+        assert_eq!(a, b, "determinism must survive parallelism");
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let xs = parallel_trials(2, 16, |s| s);
+        assert_eq!(xs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = parallel_trials(4, 0, |s| s);
+    }
+}

@@ -1,0 +1,178 @@
+//! Small statistics helpers for the experiment harness: summaries,
+//! least-squares fits, and log–log scaling exponents.
+//!
+//! The paper's claims are asymptotic (`Θ(m)`, `Θ(1/p)`, `O(D log³ n)`);
+//! the cleanest empirical check of a power law `y ∝ xᵅ` is the fitted
+//! slope of `log y` against `log x` — [`loglog_slope`] — which several
+//! experiment self-tests assert to be near the predicted exponent.
+
+/// Five-number summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Standard error of the mean (0 for n < 2).
+    pub fn sem(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Summarizes a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    };
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min,
+        max,
+    }
+}
+
+/// Ordinary least squares `y = slope·x + intercept`; returns
+/// `(slope, intercept, r²)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points,
+/// or if all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must vary");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    (slope, intercept, r2)
+}
+
+/// The fitted exponent `α` of a power law `y ∝ xᵅ`: the slope of
+/// `ln y` against `ln x`.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, fewer than 2 points, or non-positive
+/// values.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "log–log fit requires positive values"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - 1.2909944).abs() < 1e-6);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+        assert!(s.sem() > 0.0);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.sem(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept, r2) = linear_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_recovers_exponents() {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let linear: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        assert!((loglog_slope(&xs, &linear) - 1.0).abs() < 1e-9);
+        let quadratic: Vec<f64> = xs.iter().map(|x| 0.5 * x * x).collect();
+        assert!((loglog_slope(&xs, &quadratic) - 2.0).abs() < 1e-9);
+        let inverse: Vec<f64> = xs.iter().map(|x| 10.0 / x).collect();
+        assert!((loglog_slope(&xs, &inverse) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_on_real_game_data_is_linear() {
+        // The Lemma 4 singleton game: rounds should scale as m^1.
+        use guessing_game::strategy::ColumnSweep;
+        use guessing_game::{trial_mean_rounds, GameConfig, Predicate};
+        let ms = [16usize, 32, 64, 128];
+        let xs: Vec<f64> = ms.iter().map(|&m| m as f64).collect();
+        let ys: Vec<f64> = ms
+            .iter()
+            .map(|&m| {
+                trial_mean_rounds(
+                    &GameConfig {
+                        m,
+                        max_rounds: 1_000_000,
+                        seed: 3,
+                    },
+                    &Predicate::Singleton,
+                    ColumnSweep::new,
+                    30,
+                )
+                .0
+            })
+            .collect();
+        let slope = loglog_slope(&xs, &ys);
+        assert!((0.8..=1.2).contains(&slope), "Lemma 4 exponent: {slope}");
+    }
+}

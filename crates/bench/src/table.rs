@@ -1,0 +1,184 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled table of string cells with a header row and free-form
+/// footnotes.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Experiment title (printed above the table).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows; ragged rows are padded with empty cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (interpretation, paper
+    /// expectation).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders as CSV (RFC 4180-ish: fields with commas or quotes are
+    /// quoted, quotes doubled). Notes become `#`-prefixed trailer lines.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let render = |row: &[String]| row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&render(&self.header));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&render(r));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavored markdown (used by EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {}\n\n", self.title);
+        s.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        s.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        for n in &self.notes {
+            s.push_str(&format!("\n> {n}\n"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        let measure = |row: &[String], width: &mut Vec<usize>| {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        };
+        measure(&self.header, &mut width);
+        for r in &self.rows {
+            measure(r, &mut width);
+        }
+        let render = |row: &[String]| -> String {
+            (0..cols)
+                .map(|i| {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    format!("{cell:>w$}", w = width[i])
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render(&self.header))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1)))
+        )?;
+        for r in &self.rows {
+            writeln!(f, "{}", render(r))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly.
+pub fn f(x: f64) -> String {
+    if !x.is_finite() {
+        "∞".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        t.note("check");
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: check"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("m", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### m"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = Table::new("c", &["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with, comma".into(), "say \"hi\"".into()]);
+        t.note("a note");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("plain,1\n"));
+        assert!(csv.contains("\"with, comma\",\"say \"\"hi\"\"\"\n"));
+        assert!(csv.ends_with("# a note\n"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(42.123), "42.1");
+        assert_eq!(f(12345.0), "12345");
+        assert_eq!(f(f64::INFINITY), "∞");
+    }
+}

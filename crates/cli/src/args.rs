@@ -1,0 +1,191 @@
+//! A tiny argument scanner: positionals in order, `--flag value` and
+//! `--flag` switches anywhere.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use crate::error::CliError;
+
+/// Parsed arguments: a queue of positionals plus a flag map.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positionals: std::collections::VecDeque<String>,
+    flags: BTreeMap<String, String>,
+    consumed: std::collections::BTreeSet<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["exact", "estimate", "all-to-all", "latency-known"];
+
+impl Args {
+    /// Splits `argv` into positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingArgument`] if a value-taking flag is
+    /// last with no value.
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut a = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    a.flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or(CliError::MissingArgument("flag value"))?;
+                    a.flags.insert(name.to_string(), value.clone());
+                    i += 1;
+                }
+            } else {
+                a.positionals.push_back(tok.clone());
+            }
+            i += 1;
+        }
+        Ok(a)
+    }
+
+    /// Takes the next positional argument.
+    pub fn next_positional(&mut self) -> Option<String> {
+        self.positionals.pop_front()
+    }
+
+    /// Takes and parses the next positional.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingArgument`] if absent,
+    /// [`CliError::BadArgument`] if unparseable.
+    pub fn require<T: FromStr>(&mut self, what: &'static str) -> Result<T, CliError> {
+        let raw = self
+            .next_positional()
+            .ok_or(CliError::MissingArgument(what))?;
+        raw.parse()
+            .map_err(|_| CliError::BadArgument { what, value: raw })
+    }
+
+    /// Looks up a flag and parses it, with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadArgument`] if present but unparseable.
+    pub fn flag_or<T: FromStr>(&mut self, name: &'static str, default: T) -> Result<T, CliError> {
+        self.consumed.insert(name.to_string());
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::BadArgument {
+                what: name,
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// Looks up an optional flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadArgument`] if present but unparseable.
+    pub fn flag_opt<T: FromStr>(&mut self, name: &'static str) -> Result<Option<T>, CliError> {
+        self.consumed.insert(name.to_string());
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| CliError::BadArgument {
+                what: name,
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// Whether a switch flag is set.
+    pub fn switch(&mut self, name: &str) -> bool {
+        self.consumed.insert(name.to_string());
+        self.flags.contains_key(name)
+    }
+
+    /// Raw access to a flag's string value.
+    pub fn flag_raw(&mut self, name: &str) -> Option<String> {
+        self.consumed.insert(name.to_string());
+        self.flags.get(name).cloned()
+    }
+
+    /// Rejects any flag that no command consumed (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::UnknownFlag`] naming the first unconsumed flag.
+    pub fn finish(&self) -> Result<(), CliError> {
+        for name in self.flags.keys() {
+            if !self.consumed.contains(name) {
+                return Err(CliError::UnknownFlag(format!("--{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_in_order() {
+        let mut a = parse(&["run", "push-pull", "g.txt"]);
+        assert_eq!(a.next_positional().as_deref(), Some("run"));
+        assert_eq!(a.next_positional().as_deref(), Some("push-pull"));
+        assert_eq!(a.next_positional().as_deref(), Some("g.txt"));
+        assert_eq!(a.next_positional(), None);
+    }
+
+    #[test]
+    fn flags_and_switches() {
+        let mut a = parse(&["generate", "--seed", "7", "clique", "--exact", "8"]);
+        assert_eq!(a.flag_or("seed", 0u64).unwrap(), 7);
+        assert!(a.switch("exact"));
+        assert!(!a.switch("estimate"));
+        assert_eq!(a.next_positional().as_deref(), Some("generate"));
+        assert_eq!(a.require::<String>("family").unwrap(), "clique");
+        assert_eq!(a.require::<usize>("n").unwrap(), 8);
+    }
+
+    #[test]
+    fn missing_flag_value_rejected() {
+        let argv: Vec<String> = ["x", "--seed"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(
+            Args::parse(&argv),
+            Err(CliError::MissingArgument(_))
+        ));
+    }
+
+    #[test]
+    fn bad_parse_reports_value() {
+        let mut a = parse(&["nope"]);
+        let err = a.require::<usize>("count").unwrap_err();
+        assert_eq!(
+            err,
+            CliError::BadArgument {
+                what: "count",
+                value: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn finish_catches_typo_flags() {
+        let mut a = parse(&["x", "--sede", "7"]);
+        let _ = a.flag_or("seed", 0u64).unwrap();
+        assert!(matches!(a.finish(), Err(CliError::UnknownFlag(f)) if f == "--sede"));
+    }
+
+    #[test]
+    fn flag_opt_none_and_some() {
+        let mut a = parse(&["x", "--k", "5"]);
+        assert_eq!(a.flag_opt::<usize>("k").unwrap(), Some(5));
+        assert_eq!(a.flag_opt::<usize>("missing").unwrap(), None);
+    }
+}

@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+
+//! `gossip` — the command-line interface of the gossip-latencies
+//! toolkit.
+//!
+//! ```text
+//! gossip generate clique 32 --latencies bimodal:1:40:0.2 --seed 7 > g.txt
+//! gossip stats g.txt
+//! gossip conductance g.txt --estimate
+//! gossip spanner g.txt --k 5
+//! gossip run push-pull g.txt --source 0 --seed 42
+//! gossip run eid g.txt
+//! gossip dot g.txt > g.dot
+//! ```
+//!
+//! Every command is a pure function from arguments (plus file contents)
+//! to an output string, so the whole surface is unit-testable without
+//! spawning processes; `main.rs` is a thin wrapper.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use error::CliError;
+
+use std::fs;
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed arguments,
+/// unreadable files, or invalid graphs.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = args::Args::parse(argv)?;
+    let command = args.next_positional().ok_or(CliError::NoCommand)?;
+    match command.as_str() {
+        "generate" => commands::generate(&mut args),
+        "stats" => commands::stats(&mut args),
+        "conductance" => commands::conductance(&mut args),
+        "spectral" => commands::spectral(&mut args),
+        "spanner" => commands::spanner(&mut args),
+        "run" => commands::run_algorithm(&mut args),
+        "curve" => commands::curve(&mut args),
+        "game" => commands::game(&mut args),
+        "dot" => commands::dot(&mut args),
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Reads a graph from a path, or from stdin when the path is `-`.
+pub(crate) fn load_graph(path: &str) -> Result<latency_graph::Graph, CliError> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| CliError::Io(path.to_string(), e.to_string()))?;
+        s
+    } else {
+        fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e.to_string()))?
+    };
+    latency_graph::io::from_edge_list(&text).map_err(|e| CliError::BadGraph(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(parts: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn no_command_is_error() {
+        assert!(matches!(call(&[]), Err(CliError::NoCommand)));
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        assert!(matches!(
+            call(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = call(&["help"]).unwrap();
+        for cmd in ["generate", "stats", "conductance", "spanner", "run", "dot"] {
+            assert!(h.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn generate_then_stats_round_trip() {
+        let graph_text = call(&["generate", "cycle", "12"]).unwrap();
+        let dir = std::env::temp_dir().join("gossip-cli-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, &graph_text).unwrap();
+        let stats = call(&["stats", path.to_str().unwrap()]).unwrap();
+        assert!(stats.contains("n = 12"));
+        assert!(stats.contains("m = 12"));
+        assert!(stats.contains("connected = true"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin binary wrapper: all logic lives in the library for testability.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match gossip_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared types for the protocol implementations.
+
+use gossip_sim::{Round, RumorSet, SimMetrics, StopReason};
+
+/// State that can be merged monotonically during an exchange — rumor
+/// sets, topology knowledge, flag vectors.
+///
+/// The merge must be idempotent, commutative, and monotone (merging can
+/// only add information); [`merge`](Mergeable::merge) reports whether
+/// anything changed.
+pub trait Mergeable: Clone {
+    /// Absorbs `other`; returns `true` if `self` changed.
+    fn merge(&mut self, other: &Self) -> bool;
+
+    /// The size of this state in message units (rumors, edges, …), for
+    /// message-complexity accounting. Defaults to 1.
+    fn weight(&self) -> u64 {
+        1
+    }
+}
+
+impl Mergeable for RumorSet {
+    fn merge(&mut self, other: &Self) -> bool {
+        self.union_with(other)
+    }
+
+    fn weight(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// The result of a dissemination run (one-to-all or all-to-all).
+#[derive(Clone, Debug)]
+pub struct BroadcastOutcome {
+    /// Rounds until the goal condition held (or the cap was hit).
+    pub rounds: Round,
+    /// Whether the goal condition was reached within the cap.
+    pub complete: bool,
+    /// Simulator counters (activations, deliveries, losses).
+    pub metrics: SimMetrics,
+    /// Final per-node rumor sets.
+    pub rumors: Vec<RumorSet>,
+}
+
+impl BroadcastOutcome {
+    pub(crate) fn from_parts(
+        rounds: Round,
+        reason: StopReason,
+        metrics: SimMetrics,
+        rumors: Vec<RumorSet>,
+    ) -> BroadcastOutcome {
+        BroadcastOutcome {
+            rounds,
+            complete: reason != StopReason::MaxRounds,
+            metrics,
+            rumors,
+        }
+    }
+
+    /// Whether the run reached its goal.
+    pub fn completed(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of nodes holding the rumor of `source` — a progress
+    /// measure for incomplete runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is outside the rumor universe.
+    pub fn informed_count(&self, source: latency_graph::NodeId) -> usize {
+        self.rumors.iter().filter(|r| r.contains(source)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latency_graph::NodeId;
+
+    #[test]
+    fn rumor_set_merge_is_union() {
+        let mut a = RumorSet::singleton(8, NodeId::new(1));
+        let b = RumorSet::singleton(8, NodeId::new(2));
+        assert!(a.merge(&b));
+        assert!(!a.merge(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn outcome_informed_count() {
+        let rumors = vec![
+            RumorSet::singleton(3, NodeId::new(0)),
+            RumorSet::full(3),
+            RumorSet::singleton(3, NodeId::new(2)),
+        ];
+        let o = BroadcastOutcome {
+            rounds: 5,
+            complete: true,
+            metrics: SimMetrics::default(),
+            rumors,
+        };
+        assert_eq!(o.informed_count(NodeId::new(0)), 2);
+        assert_eq!(o.informed_count(NodeId::new(2)), 2);
+        assert!(o.completed());
+    }
+}

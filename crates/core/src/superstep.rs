@@ -1,0 +1,244 @@
+//! Randomized **Superstep** local broadcast (Censor-Hillel et al. \[1\])
+//! — the alternative to DTG that the paper cites (Appendix C: "the
+//! (randomized) Superstep algorithm by Censor-Hillel et al. and the
+//! Deterministic Tree Gossip algorithm by Haeupler solve this problem").
+//!
+//! Each round, every node that has not yet heard from all of its `≤ ℓ`
+//! neighbors initiates an exchange with a *uniformly random unheard*
+//! neighbor; payloads carry the accumulated data and origin set exactly
+//! as in [`crate::dtg`]. The original analysis gives `O(log³ n)` rounds
+//! for unit latencies (a log factor worse than DTG); because it needs no
+//! global schedule, it is simpler and naturally latency-adaptive — the
+//! `ℓ`-variant just restricts the neighbor pool and lets exchanges
+//! complete at their own pace.
+//!
+//! Provided for the DTG-vs-Superstep ablation (experiment E21) and as a
+//! drop-in [`Mergeable`]-generic local-broadcast primitive.
+
+use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, SimConfig, Simulator};
+use latency_graph::{Graph, Latency, NodeId};
+use rand::Rng as _;
+
+use crate::common::{BroadcastOutcome, Mergeable};
+use crate::dtg::DtgState;
+
+/// The Superstep protocol node.
+#[derive(Clone, Debug)]
+pub struct SuperstepNode<M> {
+    state: DtgState<M>,
+    ell: Latency,
+    fast: Vec<NodeId>,
+}
+
+impl<M: Mergeable> SuperstepNode<M> {
+    /// Creates a node from carried-over state.
+    pub fn new(state: DtgState<M>, ell: Latency) -> SuperstepNode<M> {
+        SuperstepNode {
+            state,
+            ell,
+            fast: Vec::new(),
+        }
+    }
+
+    /// Consumes the node, returning its state.
+    pub fn into_state(self) -> DtgState<M> {
+        self.state
+    }
+
+    fn unheard(&self) -> Vec<NodeId> {
+        self.fast
+            .iter()
+            .copied()
+            .filter(|&v| !self.state.heard.contains(v))
+            .collect()
+    }
+}
+
+impl<M: Mergeable> Protocol for SuperstepNode<M> {
+    type Payload = DtgState<M>;
+
+    fn payload(&self) -> DtgState<M> {
+        self.state.clone()
+    }
+
+    fn payload_weight(payload: &DtgState<M>) -> u64 {
+        payload.data.weight()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.fast = ctx
+            .neighbor_ids()
+            .iter()
+            .copied()
+            .filter(|&v| ctx.latency_to(v).is_none_or(|l| l <= self.ell))
+            .collect();
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_>) {
+        let unheard = self.unheard();
+        if unheard.is_empty() {
+            return;
+        }
+        let i = ctx.rng().random_range(0..unheard.len());
+        ctx.initiate(unheard[i]);
+    }
+
+    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<DtgState<M>>) {
+        self.state.data.merge(&x.payload.data);
+        self.state.heard.union_with(&x.payload.heard);
+        self.state.heard.insert(x.peer);
+    }
+
+    fn is_done(&self) -> bool {
+        self.unheard().is_empty()
+    }
+}
+
+/// Outcome of a Superstep phase.
+#[derive(Clone, Debug)]
+pub struct SuperstepOutcome<M> {
+    /// Final per-node states.
+    pub states: Vec<DtgState<M>>,
+    /// Actual rounds until every node was done (or the cap).
+    pub rounds: Round,
+    /// Whether every node heard all its `≤ ℓ` neighbors.
+    pub complete: bool,
+    /// Simulator counters.
+    pub metrics: gossip_sim::SimMetrics,
+}
+
+/// Runs Superstep `ℓ`-local broadcast over carried-in states until all
+/// nodes are done or `max_rounds` elapse.
+///
+/// # Panics
+///
+/// Panics if `states.len() != n`.
+pub fn run_phase<M: Mergeable>(
+    g: &Graph,
+    ell: Latency,
+    states: Vec<DtgState<M>>,
+    max_rounds: Round,
+    seed: u64,
+) -> SuperstepOutcome<M> {
+    assert_eq!(states.len(), g.node_count(), "one state per node");
+    let mut slots: Vec<Option<DtgState<M>>> = states.into_iter().map(Some).collect();
+    let cfg = SimConfig {
+        latency_known: true,
+        max_rounds,
+        seed,
+        ..SimConfig::default()
+    };
+    let out = Simulator::new(g, cfg).run(
+        |id, _| SuperstepNode::new(slots[id.index()].take().expect("state taken once"), ell),
+        |_, _| false,
+    );
+    let complete = out.nodes.iter().all(|n| n.is_done());
+    SuperstepOutcome {
+        states: out
+            .nodes
+            .into_iter()
+            .map(SuperstepNode::into_state)
+            .collect(),
+        rounds: out.rounds,
+        complete,
+        metrics: out.metrics,
+    }
+}
+
+/// Standalone Superstep `ℓ`-local broadcast with rumor payloads.
+pub fn local_broadcast(g: &Graph, ell: Latency, seed: u64) -> BroadcastOutcome {
+    let n = g.node_count();
+    let states: Vec<DtgState<RumorSet>> = (0..n)
+        .map(|i| DtgState::new(NodeId::new(i), n, RumorSet::singleton(n, NodeId::new(i))))
+        .collect();
+    // Generous cap: O(ℓ log³ n) with slack.
+    let logn = (n.max(2) as f64).log2().ceil() as u64 + 1;
+    let cap = 64 * ell.rounds() * logn * logn * logn;
+    let phase = run_phase(g, ell, states, cap, seed);
+    BroadcastOutcome {
+        rounds: phase.rounds,
+        complete: phase.complete,
+        metrics: phase.metrics,
+        rumors: phase.states.into_iter().map(|s| s.data).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtg;
+    use latency_graph::generators;
+
+    #[test]
+    fn completes_on_unit_families() {
+        for g in [
+            generators::clique(32),
+            generators::star(32),
+            generators::cycle(32),
+        ] {
+            let o = local_broadcast(&g, Latency::UNIT, 1);
+            assert!(o.complete);
+            assert!(dtg::verify_local_broadcast(&g, Latency::UNIT, &o.rumors));
+        }
+    }
+
+    #[test]
+    fn respects_latency_threshold() {
+        let g = latency_graph::Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap();
+        let o = local_broadcast(&g, Latency::UNIT, 2);
+        assert!(o.complete);
+        assert!(
+            !o.rumors[2].contains(NodeId::new(3)),
+            "slow bridge must be ignored"
+        );
+    }
+
+    #[test]
+    fn rounds_polylog_on_clique() {
+        let g = generators::clique(128);
+        let o = local_broadcast(&g, Latency::UNIT, 3);
+        assert!(o.complete);
+        let logn = (128f64).log2();
+        assert!(
+            (o.rounds as f64) <= 8.0 * logn * logn * logn,
+            "rounds {} vs log³n",
+            o.rounds
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::connected_erdos_renyi(24, 0.25, 2);
+        let a = local_broadcast(&g, Latency::UNIT, 9);
+        let b = local_broadcast(&g, Latency::UNIT, 9);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn carried_state_monotone() {
+        let g = generators::path(4);
+        let n = 4;
+        let states: Vec<DtgState<RumorSet>> = (0..n)
+            .map(|i| DtgState::new(NodeId::new(i), n, RumorSet::singleton(n, NodeId::new(i))))
+            .collect();
+        let p1 = run_phase(&g, Latency::UNIT, states, 1000, 0);
+        assert!(p1.complete);
+        let len_before: Vec<usize> = p1.states.iter().map(|s| s.data.len()).collect();
+        let p2 = run_phase(&g, Latency::UNIT, p1.states, 1000, 0);
+        for (s, before) in p2.states.iter().zip(len_before) {
+            assert!(s.data.len() >= before);
+        }
+    }
+}

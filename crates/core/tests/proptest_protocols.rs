@@ -1,0 +1,149 @@
+//! Property tests for the protocol layer: Lemma-shaped invariants over
+//! random graphs and parameters.
+
+use gossip_core::{discovery, dtg, eid, push_pull, rr_broadcast, termination};
+use gossip_sim::RumorSet;
+use latency_graph::{metrics, DiGraph, Graph, Latency, NodeId};
+use proptest::prelude::*;
+
+fn connected_graph(max_n: usize, max_lat: u32) -> impl Strategy<Value = Graph> {
+    (3..=max_n, 0u64..500, 1..=max_lat).prop_map(|(n, seed, lat_hi)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = latency_graph::GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n {
+            edges.insert((rng.random_range(0..v), v));
+        }
+        for _ in 0..n {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v, rng.random_range(1..=lat_hi)).unwrap();
+        }
+        b.build().unwrap()
+    })
+}
+
+fn identity_spanner(g: &Graph) -> DiGraph {
+    DiGraph::from_arcs(
+        g.node_count(),
+        g.edges().map(|(u, v, l)| (u.index(), v.index(), l.get())),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Lemma 15 as a property: after RR Broadcast with parameter k,
+    /// EVERY pair within weighted distance k has exchanged rumors.
+    #[test]
+    fn rr_broadcast_lemma15(g in connected_graph(14, 5), k in 1u64..20) {
+        let sp = identity_spanner(&g);
+        let out = rr_broadcast::run(&g, &sp, k, rr_broadcast::fresh_states(g.node_count()), false);
+        for v in g.nodes() {
+            let dist = metrics::dijkstra(&g, v);
+            for u in g.nodes() {
+                if u != v && dist[u.index()] <= k {
+                    prop_assert!(
+                        out.rumors[v.index()].contains(u),
+                        "{v} missed {u} at distance {} ≤ k = {k}",
+                        dist[u.index()]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Discovery with window ≥ ℓ_max reconstructs the graph exactly;
+    /// with any window it reconstructs exactly the ≤-window subgraph.
+    #[test]
+    fn discovery_reconstructs_thresholded_graph(g in connected_graph(14, 8), window in 1u64..12) {
+        let disc = discovery::discover_latencies(&g, window);
+        let sub = disc.to_graph(g.node_count());
+        let expected = g.latency_filtered(Latency::new(window as u32));
+        prop_assert_eq!(sub, expected);
+        prop_assert_eq!(
+            disc.complete,
+            g.max_latency().unwrap().rounds() <= window
+        );
+    }
+
+    /// The distributed termination check is sound and unanimous for
+    /// arbitrary monotone rumor states reached by capping push-pull.
+    #[test]
+    fn distributed_check_sound_on_truncated_runs(
+        g in connected_graph(12, 4),
+        cap_rounds in 1u64..30,
+        seed in 0u64..100,
+    ) {
+        let o = push_pull::broadcast(
+            &g,
+            NodeId::new(0),
+            &push_pull::PushPullConfig { max_rounds: cap_rounds, ..Default::default() },
+            seed,
+        );
+        let k = metrics::weighted_diameter(&g);
+        let check = termination::distributed_check(&g, &identity_spanner(&g), k, &o.rumors);
+        prop_assert!(check.unanimous, "Lemma 18 agreement");
+        let truly_complete = o.rumors.iter().all(|r| r.is_full());
+        prop_assert_eq!(check.verdict(), Some(truly_complete));
+    }
+
+    /// EID at the true diameter always completes, with consistent
+    /// knowledge and a connected spanner.
+    #[test]
+    fn eid_at_true_diameter_completes(g in connected_graph(12, 4), seed in 0u64..50) {
+        let d = metrics::weighted_diameter(&g);
+        let out = eid::eid(&g, &eid::EidConfig { diameter: d, seed, ..Default::default() });
+        prop_assert!(out.complete);
+        prop_assert!(out.knowledge_sufficient);
+        prop_assert!(out.spanner.spanner.to_undirected().is_connected());
+        prop_assert!(out.rumors.iter().all(|r| r.is_full()));
+    }
+
+    /// DTG's fixed schedule is consistent: the sum of per-iteration slot
+    /// lengths equals `schedule_length` for every (ℓ, cap).
+    #[test]
+    fn dtg_schedule_arithmetic(ell in 1u32..50, cap in 1usize..12) {
+        let total: u64 = (1..=cap as u64).map(|i| 4 * i * ell as u64).sum();
+        prop_assert_eq!(dtg::schedule_length(Latency::new(ell), cap), total);
+    }
+
+    /// ℓ-DTG composed twice is idempotent on completeness: a second
+    /// phase never breaks the postcondition.
+    #[test]
+    fn dtg_phase_idempotent(g in connected_graph(10, 3)) {
+        let n = g.node_count();
+        let ell = g.max_latency().unwrap();
+        let cap = dtg::default_iteration_cap(n);
+        let states: Vec<dtg::DtgState<RumorSet>> = (0..n)
+            .map(|i| dtg::DtgState::new(NodeId::new(i), n, RumorSet::singleton(n, NodeId::new(i))))
+            .collect();
+        let p1 = dtg::run_phase(&g, ell, cap, states, false);
+        prop_assert!(p1.complete);
+        let rumors1: Vec<RumorSet> = p1.states.iter().map(|s| s.data.clone()).collect();
+        prop_assert!(dtg::verify_local_broadcast(&g, ell, &rumors1));
+        let p2 = dtg::run_phase(&g, ell, cap, p1.states, false);
+        let rumors2: Vec<RumorSet> = p2.states.iter().map(|s| s.data.clone()).collect();
+        prop_assert!(dtg::verify_local_broadcast(&g, ell, &rumors2));
+        for (a, b) in rumors1.iter().zip(&rumors2) {
+            prop_assert!(b.is_superset(a), "information never lost");
+        }
+    }
+
+    /// Push-pull all-to-all payload accounting: at least one unit per
+    /// delivered direction, at most n per direction.
+    #[test]
+    fn payload_units_bounded(g in connected_graph(10, 3), seed in 0u64..50) {
+        let o = push_pull::all_to_all(&g, &push_pull::PushPullConfig::default(), seed);
+        prop_assert!(o.completed());
+        let n = g.node_count() as u64;
+        prop_assert!(o.metrics.payload_units >= 2 * o.metrics.delivered);
+        prop_assert!(o.metrics.payload_units <= 2 * n * o.metrics.delivered);
+    }
+}

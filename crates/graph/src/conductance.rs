@@ -1,0 +1,623 @@
+//! Weight-`ℓ` conductance, the conductance profile `Φ(G)`, weighted
+//! conductance `φ*`, and critical latency `ℓ*` (paper, Section 2).
+//!
+//! For a node set `U` and integer `ℓ`, the paper defines (Definition 1)
+//!
+//! ```text
+//! φ_ℓ(U) = |E_ℓ(U, V∖U)| / min{Vol(U), Vol(V∖U)}
+//! ```
+//!
+//! where `E_ℓ` keeps only cut edges of latency `≤ ℓ` and `Vol` counts
+//! *all* edge endpoints (any latency). `φ_ℓ(G)` is the minimum over all
+//! cuts; the profile is `Φ(G) = {φ_1, …, φ_ℓmax}`; and (Definition 2) the
+//! **weighted conductance** `φ*` is the `φ_ℓ` maximizing `φ_ℓ/ℓ`, with
+//! `ℓ*` the maximizing latency. If all edges have latency 1, `φ*` is the
+//! classical conductance.
+//!
+//! Exact computation enumerates all cuts and is exponential, so it is
+//! restricted to small graphs ([`MAX_EXACT_NODES`]); for larger graphs use
+//! [`sweep_cut_estimate`], a spectral sweep-cut heuristic that returns a
+//! certified *upper bound* (it exhibits a concrete cut).
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{Latency, NodeId};
+
+/// Largest graph (in nodes) for which exact cut enumeration is attempted.
+pub const MAX_EXACT_NODES: usize = 22;
+
+/// The weight-`ℓ` conductance of a specific cut `U` (Definition 1).
+///
+/// `members` is an indicator slice of length `n` marking `U`.
+///
+/// Returns `None` when the conductance is undefined, i.e. `U` or its
+/// complement has volume 0 (this cannot happen on a connected graph with
+/// nonempty proper `U`).
+///
+/// # Panics
+///
+/// Panics if `members.len() != n`.
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::{Graph, Latency, conductance};
+///
+/// # fn main() -> Result<(), latency_graph::GraphError> {
+/// // Two triangles joined by one slow edge.
+/// let g = Graph::from_edges(6, [
+///     (0, 1, 1), (1, 2, 1), (0, 2, 1),
+///     (3, 4, 1), (4, 5, 1), (3, 5, 1),
+///     (2, 3, 10),
+/// ])?;
+/// let left = [true, true, true, false, false, false];
+/// // At ℓ = 1 the bridge does not count: φ_1(U) = 0.
+/// assert_eq!(conductance::cut_phi(&g, &left, Latency::new(1)), Some(0.0));
+/// // At ℓ = 10 it does: φ_10(U) = 1/7.
+/// assert_eq!(conductance::cut_phi(&g, &left, Latency::new(10)), Some(1.0 / 7.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cut_phi(g: &Graph, members: &[bool], ell: Latency) -> Option<f64> {
+    assert_eq!(
+        members.len(),
+        g.node_count(),
+        "indicator length must equal node count"
+    );
+    let vol_u = g.volume(members);
+    let total: u64 = 2 * g.edge_count() as u64;
+    let vol_comp = total - vol_u;
+    let denom = vol_u.min(vol_comp);
+    if denom == 0 {
+        return None;
+    }
+    let cut = g
+        .edges()
+        .filter(|&(u, v, l)| l <= ell && members[u.index()] != members[v.index()])
+        .count() as u64;
+    Some(cut as f64 / denom as f64)
+}
+
+/// A value of the conductance profile: `φ_ℓ(G)` together with the cut
+/// that attains it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// The latency threshold `ℓ`.
+    pub ell: Latency,
+    /// The graph conductance `φ_ℓ(G) = min_U φ_ℓ(U)`.
+    pub phi: f64,
+    /// An indicator of a minimizing cut `U`.
+    pub witness: Vec<bool>,
+}
+
+/// The conductance profile `Φ(G)` evaluated at each distinct latency of
+/// the graph (the only points where it can change), sorted by latency.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ConductanceProfile {
+    entries: Vec<ProfileEntry>,
+}
+
+/// The weighted conductance `φ*` and critical latency `ℓ*` of
+/// Definition 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedConductance {
+    /// `φ* = φ_{ℓ*}(G)`.
+    pub phi_star: f64,
+    /// The critical latency `ℓ*` maximizing `φ_ℓ/ℓ`.
+    pub critical_latency: Latency,
+}
+
+impl WeightedConductance {
+    /// The objective `φ*/ℓ*` that `ℓ*` maximizes. The push-pull bound of
+    /// Theorem 12 is `O(log n / (φ*/ℓ*))`.
+    pub fn ratio(&self) -> f64 {
+        self.phi_star / self.critical_latency.rounds() as f64
+    }
+}
+
+impl ConductanceProfile {
+    /// Creates a profile from `(ℓ, φ_ℓ, witness)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are not strictly increasing in `ℓ`.
+    pub fn from_entries(entries: Vec<ProfileEntry>) -> ConductanceProfile {
+        for w in entries.windows(2) {
+            assert!(
+                w[0].ell < w[1].ell,
+                "profile entries must be sorted by latency"
+            );
+        }
+        ConductanceProfile { entries }
+    }
+
+    /// The profile entries, sorted by latency.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// `φ_ℓ(G)` for an arbitrary `ℓ`: the value at the largest recorded
+    /// latency `≤ ℓ` (0 below the smallest).
+    pub fn phi_at(&self, ell: Latency) -> f64 {
+        let mut phi = 0.0;
+        for e in &self.entries {
+            if e.ell <= ell {
+                phi = e.phi;
+            } else {
+                break;
+            }
+        }
+        phi
+    }
+
+    /// The weighted conductance `φ*` and critical latency `ℓ*`
+    /// (Definition 2): the entry maximizing `φ_ℓ/ℓ`.
+    ///
+    /// Returns `None` if the profile is empty or every `φ_ℓ` is 0 (the
+    /// graph is disconnected at every latency).
+    pub fn weighted_conductance(&self) -> Option<WeightedConductance> {
+        self.entries
+            .iter()
+            .filter(|e| e.phi > 0.0)
+            .max_by(|a, b| {
+                let ra = a.phi / a.ell.rounds() as f64;
+                let rb = b.phi / b.ell.rounds() as f64;
+                ra.partial_cmp(&rb).expect("conductance ratios are finite")
+            })
+            .map(|e| WeightedConductance {
+                phi_star: e.phi,
+                critical_latency: e.ell,
+            })
+    }
+}
+
+/// Exact `φ_ℓ(G)` for every distinct latency `ℓ` of the graph, by full
+/// cut enumeration.
+///
+/// # Errors
+///
+/// * [`GraphError::TooLarge`] if `n > MAX_EXACT_NODES`.
+/// * [`GraphError::Empty`] if the graph has no edges (no profile).
+pub fn exact_conductance_profile(g: &Graph) -> Result<ConductanceProfile, GraphError> {
+    let n = g.node_count();
+    if n > MAX_EXACT_NODES {
+        return Err(GraphError::TooLarge {
+            nodes: n,
+            max: MAX_EXACT_NODES,
+        });
+    }
+    let latencies = g.distinct_latencies();
+    if latencies.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    let lat_index: HashMap<Latency, usize> =
+        latencies.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let edges: Vec<(usize, usize, usize)> = g
+        .edges()
+        .map(|(u, v, l)| (u.index(), v.index(), lat_index[&l]))
+        .collect();
+    let degrees: Vec<u64> = g.nodes().map(|v| g.degree(v) as u64).collect();
+    let total_vol: u64 = degrees.iter().sum();
+
+    let num_l = latencies.len();
+    let mut best = vec![(f64::INFINITY, 0u64); num_l]; // (phi, subset mask)
+                                                       // Fix node n-1 outside U: every cut {U, V∖U} is enumerated once.
+    let limit: u64 = 1 << (n - 1);
+    let mut cut_by_lat = vec![0u64; num_l];
+    for mask in 1..limit {
+        let mut vol_u = 0u64;
+        for (i, &d) in degrees.iter().enumerate().take(n - 1) {
+            if mask >> i & 1 == 1 {
+                vol_u += d;
+            }
+        }
+        let denom = vol_u.min(total_vol - vol_u);
+        if denom == 0 {
+            continue;
+        }
+        cut_by_lat.iter_mut().for_each(|c| *c = 0);
+        for &(u, v, li) in &edges {
+            let in_u = |x: usize| x < n - 1 && mask >> x & 1 == 1;
+            if in_u(u) != in_u(v) {
+                cut_by_lat[li] += 1;
+            }
+        }
+        let mut cum = 0u64;
+        for li in 0..num_l {
+            cum += cut_by_lat[li];
+            let phi = cum as f64 / denom as f64;
+            if phi < best[li].0 {
+                best[li] = (phi, mask);
+            }
+        }
+    }
+
+    let entries = latencies
+        .into_iter()
+        .enumerate()
+        .map(|(li, ell)| {
+            let (phi, mask) = best[li];
+            let witness: Vec<bool> = (0..n).map(|i| i < n - 1 && mask >> i & 1 == 1).collect();
+            ProfileEntry {
+                ell,
+                phi: if phi.is_finite() { phi } else { 0.0 },
+                witness,
+            }
+        })
+        .collect();
+    Ok(ConductanceProfile::from_entries(entries))
+}
+
+/// Exact weighted conductance `(φ*, ℓ*)` by cut enumeration.
+///
+/// # Errors
+///
+/// Same as [`exact_conductance_profile`]; additionally returns
+/// [`GraphError::Disconnected`] if every `φ_ℓ` is 0.
+pub fn exact_weighted_conductance(g: &Graph) -> Result<WeightedConductance, GraphError> {
+    exact_conductance_profile(g)?
+        .weighted_conductance()
+        .ok_or(GraphError::Disconnected)
+}
+
+/// Result of the spectral sweep-cut heuristic: a concrete cut and the
+/// `φ_ℓ` value it certifies as an upper bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCutEstimate {
+    /// The best `φ_ℓ(U)` found; `φ_ℓ(G) ≤ phi_upper`.
+    pub phi_upper: f64,
+    /// The cut attaining it.
+    pub cut: Vec<bool>,
+}
+
+/// Estimates `φ_ℓ(G)` from above with a spectral sweep cut.
+///
+/// Runs power iteration for the second eigenvector of the lazy random
+/// walk on the strongly edge-induced graph `G_ℓ` (the walk that moves
+/// along a uniformly random incident edge of latency `≤ ℓ` and otherwise
+/// stays put — exactly the multiplicity graph of Theorem 12, eq. 3),
+/// sorts nodes by the eigenvector, and takes the best prefix cut.
+///
+/// The returned value is a guaranteed **upper bound** on `φ_ℓ(G)`
+/// (it is the conductance of an exhibited cut); by Cheeger's inequality
+/// it is within a quadratic factor of optimal in the usual case.
+///
+/// Returns `None` for graphs with no edge of latency `≤ ℓ` or fewer than
+/// 2 nodes.
+pub fn sweep_cut_estimate(
+    g: &Graph,
+    ell: Latency,
+    iterations: usize,
+    seed: u64,
+) -> Option<SweepCutEstimate> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    if !g.edges().any(|(_, _, l)| l <= ell) {
+        return None;
+    }
+    let degrees: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
+    let total_vol: f64 = degrees.iter().sum();
+
+    // Deterministic pseudo-random start vector.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (h as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+
+    for _ in 0..iterations.max(1) {
+        // Deflate the stationary direction (π_i ∝ deg_i): subtract the
+        // π-weighted mean.
+        let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total_vol;
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+        // One step of the lazy walk on G_ℓ:
+        // y_u = ½ x_u + ½ [ Σ_{(u,v)∈E_ℓ} x_v + (deg_u − deg^ℓ_u)·x_u ] / deg_u.
+        let mut y = vec![0.0f64; n];
+        for u in 0..n {
+            if degrees[u] == 0.0 {
+                y[u] = x[u];
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut fast = 0.0;
+            for &(v, l) in g.neighbors(NodeId::new(u)) {
+                if l <= ell {
+                    acc += x[v.index()];
+                    fast += 1.0;
+                }
+            }
+            let stay = (degrees[u] - fast) * x[u];
+            y[u] = 0.5 * x[u] + 0.5 * (acc + stay) / degrees[u];
+        }
+        // Normalize to unit length to avoid underflow.
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            break;
+        }
+        for v in y.iter_mut() {
+            *v /= norm;
+        }
+        x = y;
+    }
+
+    // Sweep: sort by eigenvector value, evaluate every prefix cut.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite eigenvector entries"));
+
+    let mut members = vec![false; n];
+    let mut vol_u = 0.0f64;
+    let mut cut_edges = 0i64;
+    let mut best: Option<(f64, usize)> = None;
+    for (prefix, &u) in order.iter().enumerate().take(n - 1) {
+        members[u] = true;
+        vol_u += degrees[u];
+        for &(v, l) in g.neighbors(NodeId::new(u)) {
+            if l <= ell {
+                if members[v.index()] {
+                    cut_edges -= 1;
+                } else {
+                    cut_edges += 1;
+                }
+            }
+        }
+        let denom = vol_u.min(total_vol - vol_u);
+        if denom <= 0.0 {
+            continue;
+        }
+        let phi = cut_edges as f64 / denom;
+        if best.is_none_or(|(b, _)| phi < b) {
+            best = Some((phi, prefix));
+        }
+    }
+    let (phi_upper, best_prefix) = best?;
+    let mut cut = vec![false; n];
+    for &u in order.iter().take(best_prefix + 1) {
+        cut[u] = true;
+    }
+    Some(SweepCutEstimate { phi_upper, cut })
+}
+
+/// Estimated weighted conductance for large graphs: evaluates the sweep
+/// estimate at each distinct latency and maximizes `φ_ℓ/ℓ`.
+///
+/// Because each `φ_ℓ` is an upper bound attained by a real cut, the
+/// reported `φ*` estimate is a genuine `φ_ℓ(U)` value; treat it as an
+/// approximation of Definition 2, suitable for the experiment harness.
+pub fn estimate_weighted_conductance(
+    g: &Graph,
+    iterations: usize,
+    seed: u64,
+) -> Option<WeightedConductance> {
+    let mut best: Option<WeightedConductance> = None;
+    for ell in g.distinct_latencies() {
+        let Some(est) = sweep_cut_estimate(g, ell, iterations, seed) else {
+            continue;
+        };
+        if est.phi_upper <= 0.0 {
+            continue;
+        }
+        let cand = WeightedConductance {
+            phi_star: est.phi_upper,
+            critical_latency: ell,
+        };
+        if best.is_none_or(|b| cand.ratio() > b.ratio()) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn clique_conductance_is_half() {
+        // K4: any cut of one node has φ = 3/3 = 1; balanced cut 4/6 = 2/3;
+        // minimum is 2/3... classical conductance of K_n is n/(2(n-1)).
+        let g = generators::clique(4);
+        let p = exact_conductance_profile(&g).unwrap();
+        let phi1 = p.phi_at(Latency::new(1));
+        assert!((phi1 - 2.0 / 3.0).abs() < 1e-9, "phi1 = {phi1}");
+    }
+
+    #[test]
+    fn dumbbell_conductance() {
+        // Two triangles + unit bridge: min cut = bridge, vol(side) = 7.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 1),
+            ],
+        )
+        .unwrap();
+        let p = exact_conductance_profile(&g).unwrap();
+        assert!((p.phi_at(Latency::new(1)) - 1.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_monotone_in_latency() {
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap();
+        let p = exact_conductance_profile(&g).unwrap();
+        let phis: Vec<f64> = p.entries().iter().map(|e| e.phi).collect();
+        assert_eq!(phis.len(), 2);
+        assert!(phis[0] <= phis[1]);
+        assert_eq!(phis[0], 0.0); // bridge is slow: disconnected at ℓ=1
+    }
+
+    #[test]
+    fn weighted_conductance_picks_best_ratio() {
+        // Bridge latency 9: φ_1 = 0, φ_9 = 1/7. Only ℓ=9 has φ > 0.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap();
+        let wc = exact_weighted_conductance(&g).unwrap();
+        assert_eq!(wc.critical_latency, Latency::new(9));
+        assert!((wc.phi_star - 1.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_latency_weighted_equals_classical() {
+        // Paper, Section 2: if all edges have latency 1, φ* is the
+        // classical conductance.
+        let g = generators::cycle(8);
+        let wc = exact_weighted_conductance(&g).unwrap();
+        assert_eq!(wc.critical_latency, Latency::UNIT);
+        // Cycle C8: balanced cut has 2 cut edges, volume 8 ⇒ φ = 1/4.
+        assert!((wc.phi_star - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_latency_prefers_fast_edges_when_dense_enough() {
+        // Clique at latency 1 on 4 nodes plus a slow matching cannot
+        // improve φ_ℓ/ℓ at the higher latency.
+        let mut b = crate::GraphBuilder::new(8);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v, 1).unwrap();
+            }
+        }
+        for u in 4..8 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v, 1).unwrap();
+            }
+        }
+        for u in 0..4 {
+            b.add_edge(u, u + 4, 20).unwrap();
+        }
+        let g = b.build().unwrap();
+        let wc = exact_weighted_conductance(&g).unwrap();
+        assert_eq!(wc.critical_latency, Latency::new(20));
+        // φ_1 = 0 (two components at ℓ=1) so ℓ* must be 20.
+    }
+
+    #[test]
+    fn cut_phi_rejects_trivial_cuts() {
+        let g = generators::clique(4);
+        assert_eq!(cut_phi(&g, &[false; 4], Latency::UNIT), None);
+        assert_eq!(cut_phi(&g, &[true; 4], Latency::UNIT), None);
+    }
+
+    #[test]
+    fn too_large_is_reported() {
+        let g = generators::cycle(MAX_EXACT_NODES + 1);
+        assert!(matches!(
+            exact_conductance_profile(&g),
+            Err(GraphError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_cut_finds_dumbbell_bottleneck() {
+        // Two cliques of 8 joined by a single edge: sweep cut should find
+        // (or beat) the bridge cut φ = 1/57 ≈ 0.0175.
+        let mut b = crate::GraphBuilder::new(16);
+        for base in [0usize, 8] {
+            for u in base..base + 8 {
+                for v in (u + 1)..base + 8 {
+                    b.add_edge(u, v, 1).unwrap();
+                }
+            }
+        }
+        b.add_edge(7, 8, 1).unwrap();
+        let g = b.build().unwrap();
+        let est = sweep_cut_estimate(&g, Latency::UNIT, 200, 42).unwrap();
+        assert!(
+            est.phi_upper <= 1.0 / 57.0 + 1e-9,
+            "estimate {}",
+            est.phi_upper
+        );
+        let exact = exact_conductance_profile(&g).unwrap().phi_at(Latency::UNIT);
+        assert!(est.phi_upper >= exact - 1e-12);
+    }
+
+    #[test]
+    fn sweep_none_when_no_fast_edges() {
+        let g = Graph::from_edges(3, [(0, 1, 5), (1, 2, 5)]).unwrap();
+        assert!(sweep_cut_estimate(&g, Latency::new(2), 50, 1).is_none());
+    }
+
+    #[test]
+    fn estimate_weighted_matches_exact_on_small_graph() {
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap();
+        let exact = exact_weighted_conductance(&g).unwrap();
+        let est = estimate_weighted_conductance(&g, 300, 7).unwrap();
+        assert_eq!(est.critical_latency, exact.critical_latency);
+        assert!(est.phi_star >= exact.phi_star - 1e-12);
+    }
+
+    #[test]
+    fn profile_phi_at_interpolates_flat() {
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap();
+        let p = exact_conductance_profile(&g).unwrap();
+        assert_eq!(p.phi_at(Latency::new(5)), p.phi_at(Latency::new(1)));
+        assert_eq!(p.phi_at(Latency::new(100)), p.phi_at(Latency::new(9)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Additional topology families and latency models used by the wider
+//! experiment portfolio: torus, random regular graphs, power-law
+//! (Chung–Lu) graphs, rings of cliques, and degree- and
+//! distribution-based latency assigners.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::Latency;
+
+/// The `rows × cols` torus (grid with wraparound), unit latencies. A
+/// constant-degree expander-free family with `Θ(√n)` diameter.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3` (wraparound would create
+/// duplicate edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
+    let mut b = GraphBuilder::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_unit_edge(at(r, c), at(r, (c + 1) % cols))
+                .expect("valid torus edge");
+            b.add_unit_edge(at(r, c), at((r + 1) % rows, c))
+                .expect("valid torus edge");
+        }
+    }
+    b.build().expect("torus is valid")
+}
+
+/// A random `d`-regular graph on `n` nodes via the configuration model
+/// (pair random half-edges; resample on self-loops or multi-edges).
+/// Unit latencies.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d >= n`, or no simple pairing is found in
+/// 200 attempts (very unlikely for `d ≪ n`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue 'attempt;
+            }
+        }
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks(2) {
+            b.add_unit_edge(pair[0], pair[1])
+                .expect("validated pairing");
+        }
+        return b.build().expect("validated pairing builds");
+    }
+    panic!("no simple {d}-regular pairing found for n = {n}; lower d");
+}
+
+/// A Chung–Lu power-law random graph: node `i` has expected degree
+/// proportional to `(i+1)^{-1/(beta-1)}`, scaled so the mean degree is
+/// `mean_degree`; each edge `(i, j)` is included independently with
+/// probability `min(1, w_i·w_j / Σw)`. Unit latencies.
+///
+/// Models the heavy-tailed social/P2P topologies of the related work
+/// the paper cites (Doerr et al.).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `beta <= 2`, or `mean_degree <= 0`.
+pub fn chung_lu(n: usize, beta: f64, mean_degree: f64, seed: u64) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!(beta > 2.0, "power-law exponent must exceed 2");
+    assert!(mean_degree > 0.0, "mean degree must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw: Vec<f64> = (0..n)
+        .map(|i| ((i + 1) as f64).powf(-1.0 / (beta - 1.0)))
+        .collect();
+    let raw_mean = raw.iter().sum::<f64>() / n as f64;
+    let w: Vec<f64> = raw.iter().map(|x| x * mean_degree / raw_mean).collect();
+    let total: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = (w[i] * w[j] / total).min(1.0);
+            if rng.random::<f64>() < p {
+                b.add_unit_edge(i, j).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("Chung–Lu graph is valid")
+}
+
+/// A ring of `k` cliques of size `s`, consecutive cliques joined by one
+/// bridge of the given latency. The plain low-conductance ring (unlike
+/// the Theorem 8 construction there are no hidden bipartite gadgets).
+///
+/// # Panics
+///
+/// Panics if `k < 3` or `s < 1`.
+pub fn ring_of_cliques(k: usize, s: usize, bridge_latency: u32) -> Graph {
+    assert!(k >= 3, "ring needs at least three cliques");
+    assert!(s >= 1, "cliques must be nonempty");
+    let mut b = GraphBuilder::new(k * s);
+    for c in 0..k {
+        let base = c * s;
+        for u in base..base + s {
+            for v in (u + 1)..base + s {
+                b.add_unit_edge(u, v).expect("valid clique edge");
+            }
+        }
+        let next = (c + 1) % k;
+        // Bridge from the last node of clique c to the first of c+1.
+        b.add_edge(base + s - 1, next * s, bridge_latency)
+            .expect("valid bridge");
+    }
+    b.build().expect("ring of cliques is valid")
+}
+
+/// Latency model: edges incident to high-degree nodes are slower
+/// (congested hubs): `latency = base + (deg(u)+deg(v)) / divisor`.
+///
+/// # Panics
+///
+/// Panics if `base == 0` or `divisor == 0`.
+pub fn hub_penalty_latencies(g: &Graph, base: u32, divisor: u32) -> Graph {
+    assert!(base >= 1, "base latency must be at least 1");
+    assert!(divisor >= 1, "divisor must be positive");
+    g.map_latencies(|u, v, _| {
+        let load = (g.degree(u) + g.degree(v)) as u32 / divisor;
+        Latency::new(base + load)
+    })
+}
+
+/// Latency model: i.i.d. geometric-ish latencies — latency `k ≥ 1` with
+/// probability `(1−q)·q^{k−1}`, truncated at `cap`. Produces the
+/// heavy-ish one-sided latency distributions of real WANs.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `(0, 1)` or `cap == 0`.
+pub fn geometric_latencies(g: &Graph, q: f64, cap: u32, seed: u64) -> Graph {
+    assert!(q > 0.0 && q < 1.0, "q must be in (0, 1)");
+    assert!(cap >= 1, "cap must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    g.map_latencies(|_, _, _| {
+        let mut k = 1u32;
+        while k < cap && rng.random::<f64>() < q {
+            k += 1;
+        }
+        Latency::new(k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert!(g.is_connected());
+        assert_eq!(metrics::weighted_diameter(&g), 2 + 2);
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(24, 3, 7);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert_eq!(g.edge_count(), 24 * 3 / 2);
+    }
+
+    #[test]
+    fn random_regular_deterministic() {
+        assert_eq!(random_regular(20, 4, 3), random_regular(20, 4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_parity_checked() {
+        let _ = random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn chung_lu_heavy_tail() {
+        let g = chung_lu(200, 2.5, 6.0, 1);
+        let (min, max, mean) = metrics::degree_stats(&g);
+        assert!(
+            max > 3 * mean as usize,
+            "heavy tail: max {max} vs mean {mean}"
+        );
+        assert!(min < max);
+        // Mean degree within a factor of the target.
+        assert!(mean > 1.5 && mean < 18.0, "mean {mean}");
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 5, 9);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 10 + 4);
+        assert!(g.is_connected());
+        let bridges = g.edges().filter(|&(_, _, l)| l.get() == 9).count();
+        assert_eq!(bridges, 4);
+    }
+
+    #[test]
+    fn hub_penalty_slows_star_center() {
+        let star = crate::generators::star(10);
+        let g = hub_penalty_latencies(&star, 1, 2);
+        // Every edge touches the hub (degree 9) and a leaf (degree 1):
+        // latency = 1 + 10/2 = 6.
+        for (_, _, l) in g.edges() {
+            assert_eq!(l.get(), 6);
+        }
+    }
+
+    #[test]
+    fn geometric_latencies_bounded_and_varied() {
+        let g = geometric_latencies(&crate::generators::clique(20), 0.5, 8, 3);
+        let distinct = g.distinct_latencies();
+        assert!(distinct.iter().all(|l| (1..=8).contains(&l.get())));
+        assert!(distinct.len() >= 3, "should see several latency values");
+        // Latency 1 is the most common (probability ½).
+        let ones = g.edges().filter(|&(_, _, l)| l.get() == 1).count();
+        assert!(ones * 3 > g.edge_count(), "mode at 1");
+    }
+}

@@ -1,0 +1,350 @@
+//! The guessing-game gadgets `G(P)` and `G_sym(P)` (paper, Section 3.2,
+//! Fig. 1) and the lower-bound networks built from them (Theorems 6–7).
+//!
+//! A gadget on `2m` nodes has a left set `L = {0, …, m−1}` forming a
+//! latency-1 clique, a right set `R = {m, …, 2m−1}` (also a clique in the
+//! symmetric variant), and all `m²` cross edges. Cross edges in the
+//! *target set* `T ⊆ L × R` are **fast** (latency 1 in the paper);
+//! all other cross edges are **slow** (latency `n` in the paper). Right
+//! nodes can only learn rumors through fast cross edges, which is what
+//! couples local broadcast on the gadget to the guessing game.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::{Latency, NodeId};
+
+/// Parameters of a guessing-game gadget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GadgetSpec {
+    /// Size of each side (`|L| = |R| = m ≥ 1`).
+    pub m: usize,
+    /// Whether the right side also forms a clique (`G_sym(P)`).
+    pub symmetric: bool,
+    /// Latency of fast (target) cross edges; the paper uses 1.
+    pub fast_latency: u32,
+    /// Latency of non-target cross edges; the paper uses `n = 2m`.
+    pub slow_latency: u32,
+}
+
+impl GadgetSpec {
+    /// The paper's parameters: fast = 1, slow = `2m` (the network size).
+    pub fn paper(m: usize, symmetric: bool) -> GadgetSpec {
+        GadgetSpec {
+            m,
+            symmetric,
+            fast_latency: 1,
+            slow_latency: (2 * m).max(2) as u32,
+        }
+    }
+}
+
+/// A constructed gadget: the graph plus bookkeeping for experiments.
+#[derive(Clone, Debug)]
+pub struct Gadget {
+    /// The gadget network.
+    pub graph: Graph,
+    /// Side size `m`.
+    pub m: usize,
+    /// The target set as `(left_index, right_index)` pairs in `0..m`.
+    pub target: Vec<(usize, usize)>,
+    /// Whether `R` is also a clique.
+    pub symmetric: bool,
+}
+
+impl Gadget {
+    /// The node id of left node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn left(&self, i: usize) -> NodeId {
+        assert!(i < self.m, "left index out of range");
+        NodeId::new(i)
+    }
+
+    /// The node id of right node `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= m`.
+    pub fn right(&self, j: usize) -> NodeId {
+        assert!(j < self.m, "right index out of range");
+        NodeId::new(self.m + j)
+    }
+
+    /// Whether a node id belongs to the right side.
+    pub fn is_right(&self, v: NodeId) -> bool {
+        v.index() >= self.m
+    }
+}
+
+/// Builds the gadget `G(P)` (or `G_sym(P)`) for an explicit target set.
+///
+/// `target` contains `(i, j)` pairs with `i, j ∈ 0..m`, meaning the cross
+/// edge between left node `i` and right node `j` is fast. Duplicates are
+/// ignored.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, if a target index is out of range, or if
+/// `fast_latency` / `slow_latency` is 0.
+pub fn gadget(spec: &GadgetSpec, target: &[(usize, usize)]) -> Gadget {
+    let m = spec.m;
+    assert!(m >= 1, "gadget side must be nonempty");
+    let mut fast = vec![false; m * m];
+    for &(i, j) in target {
+        assert!(
+            i < m && j < m,
+            "target pair ({i}, {j}) out of range for m = {m}"
+        );
+        fast[i * m + j] = true;
+    }
+    let mut b = GraphBuilder::new(2 * m);
+    // Left clique.
+    for u in 0..m {
+        for v in (u + 1)..m {
+            b.add_unit_edge(u, v).expect("valid clique edge");
+        }
+    }
+    // Right clique in the symmetric variant.
+    if spec.symmetric {
+        for u in m..2 * m {
+            for v in (u + 1)..2 * m {
+                b.add_unit_edge(u, v).expect("valid clique edge");
+            }
+        }
+    }
+    // All m² cross edges.
+    for i in 0..m {
+        for j in 0..m {
+            let l = if fast[i * m + j] {
+                spec.fast_latency
+            } else {
+                spec.slow_latency
+            };
+            b.add_edge(i, m + j, l).expect("valid cross edge");
+        }
+    }
+    let mut dedup: Vec<(usize, usize)> = target.to_vec();
+    dedup.sort_unstable();
+    dedup.dedup();
+    Gadget {
+        graph: b.build().expect("gadget is valid"),
+        m,
+        target: dedup,
+        symmetric: spec.symmetric,
+    }
+}
+
+/// Samples a target set where each of the `m²` pairs is included
+/// independently with probability `p` (the predicate `Random_p`).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn random_target(m: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Vec::new();
+    for i in 0..m {
+        for j in 0..m {
+            if rng.random::<f64>() < p {
+                t.push((i, j));
+            }
+        }
+    }
+    t
+}
+
+/// Samples a singleton target uniformly from `L × R` (the predicate of
+/// Lemma 4 / Theorem 6).
+pub fn singleton_target(m: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![(rng.random_range(0..m), rng.random_range(0..m))]
+}
+
+/// The Theorem 6 network: a gadget `G(2Δ)` with a uniformly random
+/// singleton target, combined with a clique on the remaining `n − 2Δ`
+/// nodes, one of which is attached to gadget node 0 by a unit edge.
+///
+/// The result has weighted diameter `O(1)` scale, constant unweighted
+/// conductance, max degree `Θ(Δ)`, yet local broadcast requires `Ω(Δ)`.
+///
+/// Returns the network and the gadget bookkeeping (node ids in the
+/// returned graph coincide with the gadget's for `0..2Δ`).
+///
+/// # Panics
+///
+/// Panics if `delta == 0` or `n < 2 * delta`.
+pub fn theorem6_network(n: usize, delta: usize, seed: u64) -> (Graph, Gadget) {
+    assert!(delta >= 1, "Δ must be positive");
+    assert!(n >= 2 * delta, "need n ≥ 2Δ");
+    let spec = GadgetSpec::paper(delta, false);
+    let gd = gadget(&spec, &singleton_target(delta, seed));
+    let mut b = GraphBuilder::new(n);
+    for (u, v, l) in gd.graph.edges() {
+        b.add_edge(u.index(), v.index(), l.get())
+            .expect("valid gadget edge");
+    }
+    // Clique on the remaining nodes, attached to gadget node 0.
+    let rest = 2 * delta..n;
+    for u in rest.clone() {
+        for v in (u + 1)..n {
+            b.add_unit_edge(u, v).expect("valid clique edge");
+        }
+    }
+    if let Some(first) = rest.clone().next() {
+        b.add_unit_edge(first, 0).expect("valid attachment edge");
+    }
+    (b.build().expect("theorem 6 network is valid"), gd)
+}
+
+/// The Theorem 7 network: the `2n`-node gadget `G(Random_φ)` where each
+/// cross edge is fast (latency `ell`) with probability `phi` and slow
+/// (latency `2n`) otherwise.
+///
+/// With `φ ≥ Ω(log n / n)` the network w.h.p. has weighted diameter
+/// `O(ℓ)` and weighted conductance `Θ(φ)`; local broadcast requires
+/// `Ω(1/φ + ℓ)` in general and `Ω(log n/φ + ℓ)` for push-pull.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `ell == 0`, or `phi` is not in `[0, 1]`.
+pub fn theorem7_network(m: usize, phi: f64, ell: u32, seed: u64) -> Gadget {
+    assert!(ell >= 1, "ℓ must be at least 1");
+    let spec = GadgetSpec {
+        m,
+        symmetric: false,
+        fast_latency: ell,
+        slow_latency: (2 * m).max(ell as usize + 1) as u32,
+    };
+    gadget(&spec, &random_target(m, phi, seed))
+}
+
+/// Convenience: the fast-edge latency threshold that separates fast from
+/// slow cross edges in a gadget built by [`theorem7_network`].
+pub fn fast_threshold(gd: &Gadget) -> Latency {
+    gd.graph
+        .edges()
+        .filter(|&(u, v, _)| {
+            (u.index() < gd.m) != (v.index() < gd.m) // cross edge
+        })
+        .map(|(_, _, l)| l)
+        .min()
+        .unwrap_or(Latency::UNIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn gadget_counts() {
+        let spec = GadgetSpec::paper(4, false);
+        let gd = gadget(&spec, &[(0, 0), (2, 3)]);
+        // left clique C(4,2)=6 + 16 cross edges.
+        assert_eq!(gd.graph.edge_count(), 6 + 16);
+        assert_eq!(gd.graph.node_count(), 8);
+        assert_eq!(gd.target.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_gadget_has_right_clique() {
+        let spec = GadgetSpec::paper(4, true);
+        let gd = gadget(&spec, &[]);
+        assert_eq!(gd.graph.edge_count(), 6 + 6 + 16);
+        assert!(gd.graph.contains_edge(gd.right(0), gd.right(1)));
+    }
+
+    #[test]
+    fn target_edges_fast_others_slow() {
+        let spec = GadgetSpec::paper(3, false);
+        let gd = gadget(&spec, &[(1, 2)]);
+        assert_eq!(
+            gd.graph.latency(gd.left(1), gd.right(2)),
+            Some(Latency::new(1))
+        );
+        assert_eq!(
+            gd.graph.latency(gd.left(0), gd.right(0)),
+            Some(Latency::new(6))
+        );
+    }
+
+    #[test]
+    fn duplicate_targets_collapsed() {
+        let spec = GadgetSpec::paper(3, false);
+        let gd = gadget(&spec, &[(1, 2), (1, 2), (0, 0)]);
+        assert_eq!(gd.target, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_out_of_range_panics() {
+        let spec = GadgetSpec::paper(3, false);
+        let _ = gadget(&spec, &[(3, 0)]);
+    }
+
+    #[test]
+    fn random_target_density() {
+        let t = random_target(30, 0.5, 7);
+        // 900 Bernoulli(0.5) trials: expect ~450, allow wide slack.
+        assert!(t.len() > 300 && t.len() < 600, "len = {}", t.len());
+        assert_eq!(random_target(30, 0.0, 7).len(), 0);
+        assert_eq!(random_target(30, 1.0, 7).len(), 900);
+    }
+
+    #[test]
+    fn singleton_target_in_range() {
+        for seed in 0..20 {
+            let t = singleton_target(9, seed);
+            assert_eq!(t.len(), 1);
+            assert!(t[0].0 < 9 && t[0].1 < 9);
+        }
+    }
+
+    #[test]
+    fn theorem6_network_shape() {
+        let (g, gd) = theorem6_network(30, 6, 3);
+        assert_eq!(g.node_count(), 30);
+        assert!(g.is_connected());
+        // Max degree is dominated by the bigger of gadget-left (clique Δ−1
+        // + Δ cross) and the attached clique.
+        assert!(g.max_degree() >= 2 * 6 - 1);
+        assert_eq!(gd.m, 6);
+        assert_eq!(gd.target.len(), 1);
+    }
+
+    #[test]
+    fn theorem6_small_weighted_diameter() {
+        let (g, _) = theorem6_network(20, 5, 1);
+        // Non-target right nodes are reachable only over slow cross edges
+        // (latency 2Δ = 10), so the diameter is at most two slow hops
+        // plus clique hops — constant in the number of *rounds of slow
+        // latency*, never Θ(n·D).
+        let d = metrics::weighted_diameter(&g);
+        assert!(d <= 2 * 10 + 3, "diameter {d}");
+        assert!(d >= 10, "diameter {d} should include at least one slow hop");
+    }
+
+    #[test]
+    fn theorem7_network_diameter_scales_with_ell() {
+        let gd = theorem7_network(24, 0.4, 5, 2);
+        assert!(gd.graph.is_connected());
+        let d = metrics::weighted_diameter(&gd.graph);
+        // Every right node has a fast (ℓ=5) edge whp at p=0.4, m=24:
+        // diameter ≈ O(ℓ).
+        assert!(d <= 3 * 5 + 2, "diameter {d}");
+        assert_eq!(fast_threshold(&gd), Latency::new(5));
+    }
+
+    #[test]
+    fn gadget_right_side_detection() {
+        let spec = GadgetSpec::paper(5, false);
+        let gd = gadget(&spec, &[]);
+        assert!(!gd.is_right(gd.left(4)));
+        assert!(gd.is_right(gd.right(0)));
+    }
+}

@@ -1,0 +1,536 @@
+//! The [`Graph`] type: an undirected graph with integer edge latencies.
+
+use crate::error::GraphError;
+use crate::ids::{Latency, NodeId};
+
+/// An undirected graph whose edges carry integer latencies.
+///
+/// `Graph` is immutable once built (use [`GraphBuilder`]) and stored in
+/// compressed sparse row form: neighbor lookups are cache-friendly and
+/// `latency(u, v)` is a binary search. Node ids are dense `0..n`.
+///
+/// This is the network model of *Gossiping with Latencies*, Section 1: a
+/// connected, undirected graph `G = (V, E)` where every edge has an
+/// integer latency `≥ 1`. (Connectivity is not enforced by the builder —
+/// lower-bound constructions are assembled piecewise — but can be checked
+/// with [`Graph::is_connected`].)
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::{Graph, GraphBuilder, Latency, NodeId};
+///
+/// # fn main() -> Result<(), latency_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1)?;
+/// b.add_edge(1, 2, 5)?;
+/// let g = b.build()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.latency(NodeId::new(1), NodeId::new(2)), Some(Latency::new(5)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<(NodeId, Latency)>,
+    edges: Vec<(NodeId, NodeId, Latency)>,
+}
+
+impl Graph {
+    /// Builds a graph directly from an edge list over `n` nodes.
+    ///
+    /// Convenience wrapper around [`GraphBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error: self-loop, duplicate edge, or
+    /// out-of-range endpoint (see [`GraphError`]).
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize, u32)>,
+    ) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, l) in edges {
+            b.add_edge(u, v, l)?;
+        }
+        b.build()
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all undirected edges as `(u, v, latency)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Latency)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The neighbors of `v` with the latency of the connecting edge,
+    /// sorted by neighbor id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, Latency)] {
+        let i = v.index();
+        &self.adj[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The maximum degree `Δ` over all nodes (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|i| self.offsets[i + 1] - self.offsets[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The latency of edge `(u, v)`, or `None` if the edge is absent.
+    pub fn latency(&self, u: NodeId, v: NodeId) -> Option<Latency> {
+        let ns = self.neighbors(u);
+        ns.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| ns[i].1)
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.latency(u, v).is_some()
+    }
+
+    /// The largest edge latency `ℓ_max`, or `None` for an edgeless graph.
+    pub fn max_latency(&self) -> Option<Latency> {
+        self.edges.iter().map(|&(_, _, l)| l).max()
+    }
+
+    /// The sorted, deduplicated set of latencies occurring in the graph.
+    ///
+    /// These are the only values of `ℓ` at which the weight-`ℓ`
+    /// conductance profile `Φ(G)` can change.
+    pub fn distinct_latencies(&self) -> Vec<Latency> {
+        let mut ls: Vec<Latency> = self.edges.iter().map(|&(_, _, l)| l).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// Whether the graph is connected (a graph with a single node is
+    /// connected; an empty graph is not).
+    pub fn is_connected(&self) -> bool {
+        self.node_count() > 0 && self.connected_components().len() == 1
+    }
+
+    /// The connected components, each a sorted list of node ids; the
+    /// components are ordered by their smallest member.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            seen[start] = true;
+            let mut members = vec![NodeId::new(start)];
+            while let Some(u) = stack.pop() {
+                for &(w, _) in self.neighbors(NodeId::new(u)) {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        members.push(w);
+                        stack.push(w.index());
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components
+    }
+
+    /// The induced subgraph on `members` (an indicator of length `n`),
+    /// *preserving node ids* — excluded nodes remain as isolated
+    /// vertices, so distances and protocols keep their indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len() != n`.
+    pub fn induced_subgraph(&self, members: &[bool]) -> Graph {
+        assert_eq!(
+            members.len(),
+            self.node_count(),
+            "indicator length must equal node count"
+        );
+        let edges: Vec<_> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(u, v, _)| members[u.index()] && members[v.index()])
+            .collect();
+        Graph::assemble(self.node_count(), edges)
+    }
+
+    /// Returns the subgraph `G_≤ℓ` keeping every node but only edges with
+    /// latency `≤ ℓ`.
+    ///
+    /// This is the edge set `E_ℓ` used throughout the paper (Definition 1,
+    /// the `ℓ`-DTG protocol, the spanner algorithm's `G_k`).
+    pub fn latency_filtered(&self, max_latency: Latency) -> Graph {
+        let edges: Vec<_> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(_, _, l)| l <= max_latency)
+            .collect();
+        Graph::assemble(self.node_count(), edges)
+    }
+
+    /// Returns a graph with identical topology whose latencies are
+    /// `f(u, v, old_latency)`.
+    ///
+    /// Useful for re-weighting a generated topology, e.g. assigning
+    /// bimodal fast/slow latencies to a grid.
+    pub fn map_latencies(&self, mut f: impl FnMut(NodeId, NodeId, Latency) -> Latency) -> Graph {
+        let edges: Vec<_> = self
+            .edges
+            .iter()
+            .map(|&(u, v, l)| (u, v, f(u, v, l)))
+            .collect();
+        Graph::assemble(self.node_count(), edges)
+    }
+
+    /// The volume `Vol(U)`: the number of edge endpoints in `U`, i.e. the
+    /// sum of degrees of nodes in `U` (paper, Section 2).
+    ///
+    /// `members` is an indicator slice of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len() != n`.
+    pub fn volume(&self, members: &[bool]) -> u64 {
+        assert_eq!(
+            members.len(),
+            self.node_count(),
+            "indicator length must equal node count"
+        );
+        members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &inside)| inside)
+            .map(|(i, _)| self.degree(NodeId::new(i)) as u64)
+            .sum()
+    }
+
+    /// Internal: build CSR from a validated edge list.
+    pub(crate) fn assemble(n: usize, edges: Vec<(NodeId, NodeId, Latency)>) -> Graph {
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v, _) in &edges {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(NodeId::new(0), Latency::UNIT); 2 * edges.len()];
+        for &(u, v, l) in &edges {
+            adj[cursor[u.index()]] = (v, l);
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()]] = (u, l);
+            cursor[v.index()] += 1;
+        }
+        for i in 0..n {
+            adj[offsets[i]..offsets[i + 1]].sort_unstable_by_key(|&(w, _)| w);
+        }
+        let mut edges = edges;
+        edges.sort_unstable();
+        Graph {
+            offsets,
+            adj,
+            edges,
+        }
+    }
+}
+
+/// Incremental, validating constructor for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), latency_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..3 {
+///     b.add_edge(i, i + 1, 2)?;
+/// }
+/// let path = b.build()?;
+/// assert!(path.is_connected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, Latency)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `(u, v)` with the given latency.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    ///
+    /// Duplicate edges are detected at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0` (latencies are `≥ 1`).
+    pub fn add_edge(&mut self, u: usize, v: usize, latency: u32) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(NodeId::new(u)));
+        }
+        for w in [u, v] {
+            if w >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(w),
+                    len: self.n,
+                });
+            }
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges
+            .push((NodeId::new(a), NodeId::new(b), Latency::new(latency)));
+        Ok(())
+    }
+
+    /// Adds the undirected edge `(u, v)` with unit latency.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_edge`](Self::add_edge).
+    pub fn add_unit_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.add_edge(u, v, 1)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if `n == 0`.
+    /// * [`GraphError::DuplicateEdge`] if the same undirected edge was
+    ///   added more than once (regardless of latency).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        for w in edges.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+        Ok(Graph::assemble(self.n, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.max_latency(), Some(Latency::new(3)));
+    }
+
+    #[test]
+    fn neighbors_sorted_with_latencies() {
+        let g = triangle();
+        let ns = g.neighbors(NodeId::new(0));
+        assert_eq!(
+            ns,
+            &[
+                (NodeId::new(1), Latency::new(1)),
+                (NodeId::new(2), Latency::new(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn latency_lookup_both_directions() {
+        let g = triangle();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        assert_eq!(g.latency(a, b), Some(Latency::new(2)));
+        assert_eq!(g.latency(b, a), Some(Latency::new(2)));
+        assert_eq!(g.latency(a, a), None);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(1, 1, 1),
+            Err(GraphError::SelfLoop(NodeId::new(1)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5, 1),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rejected_even_with_different_latency() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 0, 9).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle();
+        assert!(g.is_connected());
+        let h = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert!(!h.is_connected());
+        let single = Graph::from_edges(1, []).unwrap();
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    fn components_enumerated_sorted() {
+        let g = Graph::from_edges(6, [(0, 1, 1), (1, 2, 1), (4, 3, 1)]).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(
+            comps[0],
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(comps[1], vec![NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(comps[2], vec![NodeId::new(5)]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_ids() {
+        let g = triangle();
+        let sub = g.induced_subgraph(&[true, true, false]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(sub.degree(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "indicator length")]
+    fn induced_subgraph_validates_length() {
+        let _ = triangle().induced_subgraph(&[true, false]);
+    }
+
+    #[test]
+    fn latency_filtered_keeps_nodes_drops_slow_edges() {
+        let g = triangle();
+        let f = g.latency_filtered(Latency::new(2));
+        assert_eq!(f.node_count(), 3);
+        assert_eq!(f.edge_count(), 2);
+        assert!(!f.contains_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn map_latencies_rewrites() {
+        let g = triangle().map_latencies(|_, _, l| Latency::new(l.get() * 10));
+        assert_eq!(
+            g.latency(NodeId::new(0), NodeId::new(1)),
+            Some(Latency::new(10))
+        );
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn distinct_latencies_sorted_dedup() {
+        let g = Graph::from_edges(4, [(0, 1, 5), (1, 2, 1), (2, 3, 5), (0, 3, 2)]).unwrap();
+        let ls: Vec<u32> = g.distinct_latencies().iter().map(|l| l.get()).collect();
+        assert_eq!(ls, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn volume_is_degree_sum() {
+        let g = triangle();
+        assert_eq!(g.volume(&[true, true, true]), 6);
+        assert_eq!(g.volume(&[true, false, false]), 2);
+        assert_eq!(g.volume(&[false, false, false]), 0);
+    }
+
+    #[test]
+    fn edges_iterate_canonical() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        for (u, v, _) in es {
+            assert!(u < v);
+        }
+    }
+}

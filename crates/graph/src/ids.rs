@@ -1,0 +1,173 @@
+//! Strongly-typed identifiers: [`NodeId`] and [`Latency`].
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices `0..n`. The newtype prevents accidentally
+/// mixing node ids with round counts or latencies.
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// The latency of an edge: the number of synchronous rounds a round-trip
+/// exchange over the edge takes.
+///
+/// Latencies are integers `≥ 1` (the paper scales and rounds non-integer
+/// latencies). A latency of 1 models the classical unweighted gossip
+/// setting.
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::Latency;
+/// let l = Latency::new(4);
+/// assert_eq!(l.get(), 4);
+/// assert_eq!(l.rounds(), 4u64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Latency(u32);
+
+impl Latency {
+    /// The unit latency (classical unweighted gossip).
+    pub const UNIT: Latency = Latency(1);
+
+    /// Creates a latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`; edge latencies are at least 1.
+    #[inline]
+    pub fn new(value: u32) -> Self {
+        assert!(value >= 1, "edge latency must be at least 1");
+        Latency(value)
+    }
+
+    /// Returns the raw latency value.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the latency as a round count (`u64`), convenient for
+    /// simulation-time arithmetic.
+    #[inline]
+    pub fn rounds(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::UNIT
+    }
+}
+
+impl fmt::Debug for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Latency> for u32 {
+    fn from(l: Latency) -> Self {
+        l.0
+    }
+}
+
+impl From<Latency> for u64 {
+    fn from(l: Latency) -> Self {
+        u64::from(l.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+        assert_eq!(NodeId::new(5), NodeId::from(5u32));
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let l = Latency::new(7);
+        assert_eq!(l.get(), 7);
+        assert_eq!(l.rounds(), 7);
+        assert_eq!(u64::from(l), 7);
+        assert_eq!(Latency::default(), Latency::UNIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_latency_rejected() {
+        let _ = Latency::new(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+        assert_eq!(Latency::new(9).to_string(), "9");
+        assert_eq!(format!("{:?}", Latency::new(9)), "ℓ9");
+    }
+}

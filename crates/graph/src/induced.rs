@@ -1,0 +1,259 @@
+//! The strongly edge-induced graph `G_ℓ` from the proof of Theorem 12.
+//!
+//! Given `G` and a latency threshold `ℓ`, `G_ℓ` has the same vertex set;
+//! its edge *multiplicity* function (paper, eq. 3/10) is
+//!
+//! ```text
+//! µ(u,v) = 1                    if (u,v) ∈ E_ℓ
+//! µ(u,u) = |E_u| − |E_{u,ℓ}|    (self-loop absorbing the slow edges)
+//! µ(u,v) = 0                    otherwise
+//! ```
+//!
+//! so every node keeps its original degree, and the lazy random walk on
+//! `G_ℓ` is exactly "pick a uniform incident edge of `G`; traverse it if
+//! it is fast, else stay put". The paper's key observation — verified by
+//! `conductance_matches` in this module's tests — is that the
+//! classical conductance of `G_ℓ` equals `φ_ℓ(G)`.
+
+use crate::graph::Graph;
+use crate::ids::{Latency, NodeId};
+
+/// The multiplicity graph `G_ℓ` derived from a [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::{Graph, Latency, NodeId, induced::EdgeInducedGraph};
+///
+/// # fn main() -> Result<(), latency_graph::GraphError> {
+/// let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 8)])?;
+/// let gl = EdgeInducedGraph::new(&g, Latency::new(1));
+/// let v1 = NodeId::new(1);
+/// assert_eq!(gl.multiplicity(v1, NodeId::new(0)), 1); // fast edge kept
+/// assert_eq!(gl.multiplicity(v1, NodeId::new(2)), 0); // slow edge dropped
+/// assert_eq!(gl.multiplicity(v1, v1), 1);             // …into a self-loop
+/// assert_eq!(gl.volume_of(v1), 2);                    // degree preserved
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeInducedGraph {
+    ell: Latency,
+    /// Per node: fast neighbors (latency ≤ ℓ).
+    fast: Vec<Vec<NodeId>>,
+    /// Per node: self-loop multiplicity = degree − fast degree.
+    self_loop: Vec<u64>,
+    /// Per node: total multiplicity volume = original degree.
+    degree: Vec<u64>,
+}
+
+impl EdgeInducedGraph {
+    /// Builds `G_ℓ` for the given threshold.
+    pub fn new(g: &Graph, ell: Latency) -> EdgeInducedGraph {
+        let n = g.node_count();
+        let mut fast = vec![Vec::new(); n];
+        let mut self_loop = vec![0u64; n];
+        let mut degree = vec![0u64; n];
+        for u in g.nodes() {
+            let i = u.index();
+            degree[i] = g.degree(u) as u64;
+            for &(v, l) in g.neighbors(u) {
+                if l <= ell {
+                    fast[i].push(v);
+                }
+            }
+            self_loop[i] = degree[i] - fast[i].len() as u64;
+        }
+        EdgeInducedGraph {
+            ell,
+            fast,
+            self_loop,
+            degree,
+        }
+    }
+
+    /// The latency threshold `ℓ` this graph was induced at.
+    pub fn threshold(&self) -> Latency {
+        self.ell
+    }
+
+    /// Number of nodes (same as the source graph).
+    pub fn node_count(&self) -> usize {
+        self.degree.len()
+    }
+
+    /// The multiplicity `µ(u, v)` from eq. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            self.self_loop[u.index()]
+        } else if self.fast[u.index()].contains(&v) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Fast (multiplicity-1) neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn fast_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.fast[u.index()]
+    }
+
+    /// The volume contribution of a single node: `Σ_v µ(u, v)`, which by
+    /// construction equals `deg_G(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn volume_of(&self, u: NodeId) -> u64 {
+        self.degree[u.index()]
+    }
+
+    /// The classical conductance of the cut `U` in `G_ℓ` (self-loops
+    /// count toward volume but never cross a cut).
+    ///
+    /// Returns `None` when either side has volume 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len() != n`.
+    pub fn cut_conductance(&self, members: &[bool]) -> Option<f64> {
+        assert_eq!(
+            members.len(),
+            self.node_count(),
+            "indicator length must equal node count"
+        );
+        let total: u64 = self.degree.iter().sum();
+        let vol_u: u64 = members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| self.degree[i])
+            .sum();
+        let denom = vol_u.min(total - vol_u);
+        if denom == 0 {
+            return None;
+        }
+        let mut cut = 0u64;
+        for (i, &inside) in members.iter().enumerate() {
+            if inside {
+                cut += self.fast[i].iter().filter(|v| !members[v.index()]).count() as u64;
+            }
+        }
+        Some(cut as f64 / denom as f64)
+    }
+
+    /// One step of the non-lazy random walk from `u`: given a uniform
+    /// sample `r` in `0..deg(u)`, returns the landing node (possibly `u`
+    /// itself via the self-loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `r >= deg(u)`.
+    pub fn walk_step(&self, u: NodeId, r: u64) -> NodeId {
+        let i = u.index();
+        assert!(r < self.degree[i], "walk sample out of range");
+        if (r as usize) < self.fast[i].len() {
+            self.fast[i][r as usize]
+        } else {
+            u
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance;
+
+    fn bimodal() -> Graph {
+        Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn degrees_preserved() {
+        let g = bimodal();
+        let gl = EdgeInducedGraph::new(&g, Latency::new(1));
+        for v in g.nodes() {
+            assert_eq!(gl.volume_of(v), g.degree(v) as u64);
+        }
+    }
+
+    #[test]
+    fn self_loops_absorb_slow_edges() {
+        let g = bimodal();
+        let gl = EdgeInducedGraph::new(&g, Latency::new(1));
+        let v2 = NodeId::new(2);
+        assert_eq!(gl.multiplicity(v2, v2), 1); // edge (2,3,9) absorbed
+        assert_eq!(gl.multiplicity(NodeId::new(0), NodeId::new(0)), 0);
+        let gl9 = EdgeInducedGraph::new(&g, Latency::new(9));
+        assert_eq!(gl9.multiplicity(v2, v2), 0);
+    }
+
+    #[test]
+    fn conductance_matches_phi_ell() {
+        // The paper's claim: φ(G_ℓ) = φ_ℓ(G). Check on every cut of a
+        // small graph, for both thresholds.
+        let g = bimodal();
+        for ell in [Latency::new(1), Latency::new(9)] {
+            let gl = EdgeInducedGraph::new(&g, ell);
+            let n = g.node_count();
+            for mask in 1..(1u32 << n) - 1 {
+                let members: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                let a = gl.cut_conductance(&members);
+                let b = conductance::cut_phi(&g, &members, ell);
+                match (a, b) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12),
+                    (None, None) => {}
+                    other => panic!("mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_step_lands_on_fast_or_self() {
+        let g = bimodal();
+        let gl = EdgeInducedGraph::new(&g, Latency::new(1));
+        let v2 = NodeId::new(2);
+        let deg = gl.volume_of(v2);
+        assert_eq!(deg, 3);
+        let mut landed_self = false;
+        for r in 0..deg {
+            let w = gl.walk_step(v2, r);
+            if w == v2 {
+                landed_self = true;
+            } else {
+                assert!(g.latency(v2, w).unwrap() <= Latency::new(1));
+            }
+        }
+        assert!(landed_self);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn walk_step_validates_sample() {
+        let g = bimodal();
+        let gl = EdgeInducedGraph::new(&g, Latency::new(1));
+        let _ = gl.walk_step(NodeId::new(0), 99);
+    }
+}

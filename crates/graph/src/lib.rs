@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Weighted-graph substrate for *Gossiping with Latencies*.
+//!
+//! This crate provides the graph model that the rest of the workspace is
+//! built on: undirected graphs whose edges carry integer **latencies**
+//! (the number of rounds a bidirectional exchange over the edge takes),
+//! together with
+//!
+//! * [`Graph`] / [`GraphBuilder`] — validated, CSR-backed weighted graphs,
+//! * [`DiGraph`] — oriented subgraphs (used for spanner orientations),
+//! * [`generators`] — standard families plus the paper's lower-bound
+//!   constructions (the guessing-game gadgets of Fig. 1 and the layered
+//!   ring of Theorem 8),
+//! * [`metrics`] — weighted diameter, hop diameter, degree statistics,
+//! * [`conductance`] — the paper's weight-`ℓ` conductance `φ_ℓ`
+//!   (Definition 1), the weighted conductance `φ*` and critical latency
+//!   `ℓ*` (Definition 2), exact and estimated,
+//! * [`induced`] — the strongly edge-induced multiplicity graph `G_ℓ`
+//!   used in the proof of Theorem 12.
+//!
+//! # Example
+//!
+//! ```
+//! use latency_graph::{generators, conductance};
+//!
+//! // A 12-node cycle with unit latencies.
+//! let g = generators::cycle(12);
+//! let profile = conductance::exact_conductance_profile(&g).unwrap();
+//! let weighted = profile.weighted_conductance().unwrap();
+//! assert_eq!(weighted.critical_latency.get(), 1);
+//! ```
+
+pub mod conductance;
+pub mod digraph;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod induced;
+pub mod io;
+pub mod metrics;
+pub mod spectral;
+
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder};
+pub use ids::{Latency, NodeId};

@@ -1,0 +1,265 @@
+//! Distance and degree metrics: weighted diameter `D`, hop diameter,
+//! eccentricities.
+//!
+//! The paper's bounds are stated in terms of the **weighted diameter**
+//! `D` (shortest-path distances with latencies as weights), the maximum
+//! degree `Δ`, and the hop diameter (used by the lower-bound
+//! constructions, which have hop diameter `O(1)` but large weighted
+//! structure).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Distance value for unreachable nodes.
+pub const INFINITY: u64 = u64::MAX;
+
+/// Single-source shortest-path distances with latencies as weights
+/// (Dijkstra). Unreachable nodes get [`INFINITY`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use latency_graph::{Graph, NodeId, metrics};
+///
+/// # fn main() -> Result<(), latency_graph::GraphError> {
+/// let g = Graph::from_edges(3, [(0, 1, 2), (1, 2, 3)])?;
+/// let d = metrics::dijkstra(&g, NodeId::new(0));
+/// assert_eq!(d[2], 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dijkstra(g: &Graph, source: NodeId) -> Vec<u64> {
+    let n = g.node_count();
+    let mut dist = vec![INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, l) in g.neighbors(u) {
+            let nd = d + l.rounds();
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source hop distances (BFS, ignoring latencies).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<u64> {
+    let n = g.node_count();
+    let mut dist = vec![INFINITY; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &(v, _) in g.neighbors(u) {
+            if dist[v.index()] == INFINITY {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The weighted eccentricity of `v`: its maximum weighted distance to any
+/// node, or [`INFINITY`] if some node is unreachable.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u64 {
+    dijkstra(g, v).into_iter().max().unwrap_or(0)
+}
+
+/// The exact weighted diameter `D` (latencies as weights): the maximum
+/// over all nodes of [`eccentricity`]. Runs `n` Dijkstra passes.
+///
+/// Returns [`INFINITY`] if the graph is disconnected and 0 for a
+/// single-node graph.
+pub fn weighted_diameter(g: &Graph) -> u64 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// The exact hop diameter `D_hop` (unit weights).
+///
+/// Returns [`INFINITY`] if the graph is disconnected.
+pub fn hop_diameter(g: &Graph) -> u64 {
+    g.nodes()
+        .map(|v| bfs_hops(g, v).into_iter().max().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+}
+
+/// A cheap lower bound on the weighted diameter via a double sweep:
+/// Dijkstra from `start`, then Dijkstra again from the farthest node
+/// found. Exact on trees; a `≥ D/2` bound in general. Useful when `n`
+/// makes [`weighted_diameter`] too slow.
+///
+/// Returns [`INFINITY`] if the graph is disconnected.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn double_sweep_diameter_lower_bound(g: &Graph, start: NodeId) -> u64 {
+    let d1 = dijkstra(g, start);
+    let (far, &best) = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| if d == INFINITY { 0 } else { d })
+        .expect("nonempty graph");
+    if best == INFINITY || d1.contains(&INFINITY) {
+        return INFINITY;
+    }
+    dijkstra(g, NodeId::new(far)).into_iter().max().unwrap_or(0)
+}
+
+/// The weighted radius (minimum eccentricity) and a center node
+/// attaining it.
+///
+/// Returns [`INFINITY`] radius on a disconnected graph (every
+/// eccentricity is infinite).
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn radius_and_center(g: &Graph) -> (u64, NodeId) {
+    assert!(g.node_count() > 0, "graph must have nodes");
+    g.nodes()
+        .map(|v| (eccentricity(g, v), v))
+        .min_by_key(|&(e, _)| e)
+        .expect("nonempty graph")
+}
+
+/// All-pairs weighted distances as a dense matrix (`n` Dijkstra passes).
+///
+/// Intended for small graphs (spanner stretch verification, tests).
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u64>> {
+    g.nodes().map(|v| dijkstra(g, v)).collect()
+}
+
+/// Degree statistics: `(min, max, mean)` degree.
+pub fn degree_stats(g: &Graph) -> (usize, usize, f64) {
+    let n = g.node_count();
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    (min, max, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_path() -> Graph {
+        // 0 -2- 1 -3- 2 -1- 3
+        Graph::from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 1)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_on_path() {
+        let g = weighted_path();
+        assert_eq!(dijkstra(&g, NodeId::new(0)), vec![0, 2, 5, 6]);
+        assert_eq!(dijkstra(&g, NodeId::new(3)), vec![6, 4, 1, 0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // direct 0-1 costs 10, detour through 2 costs 2.
+        let g = Graph::from_edges(3, [(0, 1, 10), (0, 2, 1), (2, 1, 1)]).unwrap();
+        assert_eq!(dijkstra(&g, NodeId::new(0))[1], 2);
+    }
+
+    #[test]
+    fn bfs_ignores_latency() {
+        let g = Graph::from_edges(3, [(0, 1, 10), (0, 2, 1), (2, 1, 1)]).unwrap();
+        assert_eq!(bfs_hops(&g, NodeId::new(0)), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn diameters() {
+        let g = weighted_path();
+        assert_eq!(weighted_diameter(&g), 6);
+        assert_eq!(hop_diameter(&g), 3);
+    }
+
+    #[test]
+    fn disconnected_is_infinite() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(weighted_diameter(&g), INFINITY);
+        assert_eq!(hop_diameter(&g), INFINITY);
+        assert_eq!(
+            double_sweep_diameter_lower_bound(&g, NodeId::new(0)),
+            INFINITY
+        );
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = weighted_path();
+        assert_eq!(double_sweep_diameter_lower_bound(&g, NodeId::new(1)), 6);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(weighted_diameter(&g), 0);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = weighted_path();
+        let d = all_pairs_distances(&g);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &dij) in row.iter().enumerate() {
+                assert_eq!(dij, d[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_and_center_of_path() {
+        let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]).unwrap();
+        let (r, c) = radius_and_center(&g);
+        assert_eq!(r, 2);
+        assert_eq!(c, NodeId::new(2));
+    }
+
+    #[test]
+    fn radius_of_star_is_one_at_hub() {
+        let g = Graph::from_edges(4, [(0, 1, 3), (0, 2, 3), (0, 3, 3)]).unwrap();
+        let (r, c) = radius_and_center(&g);
+        assert_eq!(r, 3);
+        assert_eq!(c, NodeId::new(0));
+    }
+
+    #[test]
+    fn radius_infinite_when_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        let (r, _) = radius_and_center(&g);
+        assert_eq!(r, INFINITY);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)]).unwrap();
+        let (min, max, mean) = degree_stats(&g);
+        assert_eq!((min, max), (1, 3));
+        assert!((mean - 1.5).abs() < 1e-9);
+    }
+}

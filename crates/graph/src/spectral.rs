@@ -1,0 +1,194 @@
+//! Spectral analysis of the latency-thresholded random walk: the
+//! spectral gap of `G_ℓ`, Cheeger-style bounds on `φ_ℓ`, and mixing
+//! time estimates.
+//!
+//! The walk is the one Theorem 12's proof couples push-pull to: from
+//! `u`, pick a uniform incident edge of `G`; traverse it if its latency
+//! is `≤ ℓ`, else stay put (the strongly edge-induced graph
+//! [`crate::induced::EdgeInducedGraph`]). Its lazy version has second
+//! eigenvalue `λ₂`; the gap `γ = 1 − λ₂` satisfies the Cheeger
+//! inequalities `γ/2 ≤ φ_ℓ ≤ √(2γ)`, and the mixing time is
+//! `Θ(1/γ · log n)` — the quantity behind push-pull's
+//! `O(log n / φ)` behavior.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{Latency, NodeId};
+
+/// Result of the power-iteration gap estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralGap {
+    /// Estimated second eigenvalue `λ₂` of the lazy walk on `G_ℓ`.
+    pub lambda2: f64,
+    /// The gap `γ = 1 − λ₂`.
+    pub gap: f64,
+}
+
+impl SpectralGap {
+    /// Cheeger lower bound: `φ_ℓ ≥ γ/2`.
+    pub fn phi_lower_bound(&self) -> f64 {
+        (self.gap / 2.0).max(0.0)
+    }
+
+    /// Cheeger upper bound: `φ_ℓ ≤ √(2γ)`.
+    pub fn phi_upper_bound(&self) -> f64 {
+        (2.0 * self.gap.max(0.0)).sqrt()
+    }
+
+    /// Mixing-time scale `(1/γ)·ln n` — the push-pull round scale on a
+    /// `φ_ℓ`-connected graph before the `ℓ` charging.
+    pub fn mixing_scale(&self, n: usize) -> f64 {
+        if self.gap <= 0.0 {
+            f64::INFINITY
+        } else {
+            (n.max(2) as f64).ln() / self.gap
+        }
+    }
+}
+
+/// Estimates the spectral gap of the lazy `G_ℓ` walk by power iteration
+/// on the degree-weighted complement of the stationary direction.
+///
+/// Returns `None` for graphs with fewer than 2 nodes or no `≤ ℓ` edges.
+/// The estimate converges from below on `λ₂` (so `gap` converges from
+/// above); use enough iterations (`≥ 100`) for stable digits.
+pub fn spectral_gap(g: &Graph, ell: Latency, iterations: usize, seed: u64) -> Option<SpectralGap> {
+    let n = g.node_count();
+    if n < 2 || !g.edges().any(|(_, _, l)| l <= ell) {
+        return None;
+    }
+    let degrees: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
+    let total: f64 = degrees.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+
+    let mut lambda2 = 0.0f64;
+    for _ in 0..iterations.max(1) {
+        // Deflate the stationary direction (π ∝ degree).
+        let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total;
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+        // Lazy step on G_ℓ.
+        let mut y = vec![0.0f64; n];
+        for u in 0..n {
+            if degrees[u] == 0.0 {
+                y[u] = x[u];
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut fast = 0.0;
+            for &(v, l) in g.neighbors(NodeId::new(u)) {
+                if l <= ell {
+                    acc += x[v.index()];
+                    fast += 1.0;
+                }
+            }
+            y[u] = 0.5 * x[u] + 0.5 * (acc + (degrees[u] - fast) * x[u]) / degrees[u];
+        }
+        // Rayleigh quotient in the degree inner product estimates λ₂.
+        let num: f64 = y
+            .iter()
+            .zip(&x)
+            .zip(&degrees)
+            .map(|((&yi, &xi), &d)| yi * xi * d)
+            .sum();
+        let den: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * xi * d).sum();
+        if den > 1e-300 {
+            lambda2 = num / den;
+        }
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            break;
+        }
+        for v in y.iter_mut() {
+            *v /= norm;
+        }
+        x = y;
+    }
+    let lambda2 = lambda2.clamp(0.0, 1.0);
+    Some(SpectralGap {
+        lambda2,
+        gap: 1.0 - lambda2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conductance, generators};
+
+    #[test]
+    fn clique_has_large_gap() {
+        let g = generators::clique(16);
+        let s = spectral_gap(&g, Latency::UNIT, 300, 1).unwrap();
+        // Lazy walk on K_n: λ₂ = 1/2 + (−1/(n−1))/2 ≈ 0.467 ⇒ gap ≈ 0.53.
+        assert!(s.gap > 0.4, "gap = {}", s.gap);
+    }
+
+    #[test]
+    fn dumbbell_has_tiny_gap() {
+        let g = generators::barbell(8, 1);
+        let s = spectral_gap(&g, Latency::UNIT, 500, 1).unwrap();
+        assert!(s.gap < 0.05, "bottleneck ⇒ tiny gap, got {}", s.gap);
+    }
+
+    #[test]
+    fn cheeger_sandwich_holds_exactly() {
+        // On small graphs we can compute φ_ℓ exactly and verify
+        // γ/2 ≤ φ_ℓ ≤ √(2γ).
+        for g in [
+            generators::cycle(10),
+            generators::barbell(5, 1),
+            generators::clique(8),
+            generators::grid(3, 4),
+        ] {
+            let s = spectral_gap(&g, Latency::UNIT, 800, 3).unwrap();
+            let phi = conductance::exact_conductance_profile(&g)
+                .unwrap()
+                .phi_at(Latency::UNIT);
+            assert!(
+                s.phi_lower_bound() <= phi + 0.02,
+                "lower bound violated: γ/2 = {} vs φ = {phi}",
+                s.phi_lower_bound()
+            );
+            assert!(
+                s.phi_upper_bound() >= phi - 0.02,
+                "upper bound violated: √(2γ) = {} vs φ = {phi}",
+                s.phi_upper_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn gap_shrinks_when_fast_edges_vanish() {
+        // Bimodal clique: at ℓ = 1 only the sparse fast subgraph walks;
+        // at ℓ = slow the whole clique does.
+        let g = generators::bimodal_latencies(&generators::clique(16), 1, 30, 0.2, 4);
+        let fast = spectral_gap(&g, Latency::new(1), 400, 2).unwrap();
+        let slow = spectral_gap(&g, Latency::new(30), 400, 2).unwrap();
+        assert!(slow.gap > fast.gap, "more usable edges ⇒ bigger gap");
+    }
+
+    #[test]
+    fn mixing_scale_tracks_push_pull_shape() {
+        let g = generators::clique(64);
+        let s = spectral_gap(&g, Latency::UNIT, 300, 5).unwrap();
+        let scale = s.mixing_scale(64);
+        // Push-pull broadcast on K_64 measured earlier ≈ 6 rounds; the
+        // mixing scale ln n / γ ≈ 4.2/0.5 ≈ 8 — same order.
+        assert!(scale > 2.0 && scale < 30.0, "scale = {scale}");
+    }
+
+    #[test]
+    fn none_for_degenerate_inputs() {
+        let single = Graph::from_edges(1, []).unwrap();
+        assert!(spectral_gap(&single, Latency::UNIT, 10, 0).is_none());
+        let slow_only = Graph::from_edges(3, [(0, 1, 9), (1, 2, 9)]).unwrap();
+        assert!(spectral_gap(&slow_only, Latency::new(2), 10, 0).is_none());
+    }
+
+    use crate::Graph;
+}

@@ -1,0 +1,142 @@
+//! Property tests for the graph substrate: CSR construction, filtering,
+//! metrics, and the `G_ℓ` multiplicity graph.
+
+use latency_graph::induced::EdgeInducedGraph;
+use latency_graph::{conductance, metrics, Graph, GraphBuilder, Latency, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Arbitrary valid edge list over `n` nodes (possibly disconnected).
+fn edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u32..20).prop_filter_map("no self-loops", |(u, v, l)| {
+            (u != v).then_some(if u < v { (u, v, l) } else { (v, u, l) })
+        });
+        prop::collection::vec(edge, 0..3 * n).prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup_by_key(|&mut (u, v, _)| (u, v));
+            (n, es)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// CSR round-trip: edges() returns exactly what was inserted.
+    #[test]
+    fn csr_round_trip((n, es) in edge_list(24)) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let got: BTreeSet<(usize, usize, u32)> = g
+            .edges()
+            .map(|(u, v, l)| (u.index(), v.index(), l.get()))
+            .collect();
+        let want: BTreeSet<(usize, usize, u32)> = es.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(g.edge_count(), es.len());
+    }
+
+    /// Neighbor lists are sorted and degree sums equal 2m.
+    #[test]
+    fn degrees_sum_to_2m((n, es) in edge_list(24)) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let mut total = 0usize;
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            for w in ns.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "sorted neighbors");
+            }
+            total += ns.len();
+        }
+        prop_assert_eq!(total, 2 * g.edge_count());
+    }
+
+    /// `latency(u, v)` agrees with the edge list symmetrically.
+    #[test]
+    fn latency_lookup_symmetric((n, es) in edge_list(20)) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        for &(u, v, l) in &es {
+            let (a, b) = (NodeId::new(u), NodeId::new(v));
+            prop_assert_eq!(g.latency(a, b), Some(Latency::new(l)));
+            prop_assert_eq!(g.latency(b, a), Some(Latency::new(l)));
+        }
+    }
+
+    /// Filtering then mapping commutes with direct construction.
+    #[test]
+    fn filter_is_monotone((n, es) in edge_list(20), cut in 1u32..20) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let fg = g.latency_filtered(Latency::new(cut));
+        prop_assert!(fg.edge_count() <= g.edge_count());
+        for (u, v, l) in fg.edges() {
+            prop_assert!(l.get() <= cut);
+            prop_assert_eq!(g.latency(u, v), Some(l));
+        }
+        // Re-filtering at a larger threshold is the identity.
+        prop_assert_eq!(fg.latency_filtered(Latency::new(20)), fg.clone());
+    }
+
+    /// Duplicate edges are always rejected at build time.
+    #[test]
+    fn duplicates_rejected((n, es) in edge_list(16)) {
+        prop_assume!(!es.is_empty());
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, l) in &es {
+            b.add_edge(u, v, l).unwrap();
+        }
+        // Re-add the first edge with a different latency.
+        let (u, v, l) = es[0];
+        b.add_edge(v, u, (l % 19) + 1).unwrap();
+        prop_assert!(b.build().is_err());
+    }
+
+    /// BFS hop distances lower-bound weighted distances and weighted
+    /// distances lower-bound hop × ℓ_max.
+    #[test]
+    fn hops_bound_weighted((n, es) in edge_list(20)) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let lmax = g.max_latency().map_or(1, |l| l.rounds());
+        let src = NodeId::new(0);
+        let hops = metrics::bfs_hops(&g, src);
+        let dist = metrics::dijkstra(&g, src);
+        for i in 0..n {
+            if hops[i] == metrics::INFINITY {
+                prop_assert_eq!(dist[i], metrics::INFINITY);
+            } else {
+                prop_assert!(dist[i] >= hops[i], "weighted ≥ hops");
+                prop_assert!(dist[i] <= hops[i] * lmax, "weighted ≤ hops · ℓmax");
+            }
+        }
+    }
+
+    /// The multiplicity graph G_ℓ preserves volumes and its cut
+    /// conductance equals φ_ℓ on random cuts.
+    #[test]
+    fn induced_graph_volume_and_phi((n, es) in edge_list(14), cut_mask in any::<u64>(), ell in 1u32..20) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let gl = EdgeInducedGraph::new(&g, Latency::new(ell));
+        for v in g.nodes() {
+            prop_assert_eq!(gl.volume_of(v), g.degree(v) as u64);
+        }
+        let members: Vec<bool> = (0..n).map(|i| cut_mask >> (i % 64) & 1 == 1).collect();
+        let a = gl.cut_conductance(&members);
+        let b = conductance::cut_phi(&g, &members, Latency::new(ell));
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-12),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch {:?}", other),
+        }
+    }
+
+    /// map_latencies preserves topology exactly.
+    #[test]
+    fn map_latencies_preserves_topology((n, es) in edge_list(20), delta in 1u32..5) {
+        let g = Graph::from_edges(n, es.iter().copied()).unwrap();
+        let h = g.map_latencies(|_, _, l| Latency::new(l.get() + delta));
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        for (u, v, l) in g.edges() {
+            prop_assert_eq!(h.latency(u, v), Some(Latency::new(l.get() + delta)));
+        }
+        prop_assert_eq!(g.is_connected(), h.is_connected());
+    }
+}

@@ -1,0 +1,241 @@
+//! Quantitative analysis of the guessing game: the probability bounds
+//! from Appendix A's proofs of Lemmas 4 and 5, as executable formulas
+//! to compare Monte-Carlo measurements against.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::game::{run_game, GameConfig};
+use crate::predicate::Predicate;
+use crate::strategy::Strategy;
+
+/// Lemma 4's per-round success bound: conditioned on not having solved
+/// the game before round `r` (1-based), the probability that round `r`
+/// hits the uniform singleton target is at most `2m/(m² − 2m(r−1))`
+/// (Alice has excluded at most `2m(r−1)` pairs).
+///
+/// Returns 1.0 once the bound exceeds 1 (all pairs excluded).
+pub fn lemma4_round_success_bound(m: usize, round: u64) -> f64 {
+    let m = m as f64;
+    let r = round as f64;
+    let remaining = m * m - 2.0 * m * (r - 1.0);
+    if remaining <= 0.0 {
+        return 1.0;
+    }
+    (2.0 * m / remaining).min(1.0)
+}
+
+/// Lemma 4's survival bound: a lower bound on the probability that *no*
+/// strategy has solved `Guessing(2m, |T| = 1)` within `t` rounds,
+/// `Π_{r=1..t} (1 − 2m/(m² − 2m(r−1)))`.
+pub fn lemma4_survival_bound(m: usize, t: u64) -> f64 {
+    let mut p = 1.0;
+    for r in 1..=t {
+        p *= 1.0 - lemma4_round_success_bound(m, r);
+        if p <= 0.0 {
+            return 0.0;
+        }
+    }
+    p
+}
+
+/// The harmonic number `H_k = Σ_{i=1..k} 1/i` used in Lemma 5's
+/// `Ω(m log m / p)` guess-count bound for the oblivious strategy.
+pub fn harmonic(k: u64) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Lemma 5's expected-guess lower bound for the oblivious
+/// random-matching strategy: `(m/p)·H_{⌊m/2⌋−1}` (up to the constant
+/// absorbed by `U ≥ m/2` holding w.h.p.). Dividing by the per-round
+/// budget `2m` gives the `Ω(log m / p)` round bound.
+pub fn lemma5_oblivious_guess_bound(m: usize, p: f64) -> f64 {
+    assert!(p > 0.0, "probability must be positive");
+    (m as f64 / p) * harmonic((m as u64 / 2).saturating_sub(1).max(1))
+}
+
+/// Empirical survival curve: runs `trials` independent games and
+/// returns, for each round `t` in `1..=horizon`, the fraction of trials
+/// still unsolved after `t` rounds.
+pub fn empirical_survival<S, F>(
+    m: usize,
+    predicate: &Predicate,
+    mut make_strategy: F,
+    horizon: u64,
+    trials: u64,
+    seed: u64,
+) -> Vec<f64>
+where
+    S: Strategy,
+    F: FnMut() -> S,
+{
+    let mut unsolved_at = vec![0u64; horizon as usize];
+    for t in 0..trials {
+        let cfg = GameConfig {
+            m,
+            max_rounds: horizon,
+            seed: seed.wrapping_add(t),
+        };
+        let mut s = make_strategy();
+        let result = run_game(&cfg, predicate, &mut s);
+        let solved_round = if result.solved {
+            result.rounds
+        } else {
+            horizon + 1
+        };
+        for (i, slot) in unsolved_at.iter_mut().enumerate() {
+            if solved_round > (i as u64 + 1) {
+                *slot += 1;
+            }
+        }
+    }
+    unsolved_at
+        .into_iter()
+        .map(|u| u as f64 / trials as f64)
+        .collect()
+}
+
+/// Mean guesses consumed over solved trials.
+pub fn empirical_mean_guesses<S, F>(
+    m: usize,
+    predicate: &Predicate,
+    mut make_strategy: F,
+    trials: u64,
+    seed: u64,
+) -> f64
+where
+    S: Strategy,
+    F: FnMut() -> S,
+{
+    let mut total = 0u64;
+    let mut solved = 0u64;
+    let _ = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let cfg = GameConfig {
+            m,
+            max_rounds: 10_000_000,
+            seed: seed.wrapping_add(t),
+        };
+        let mut s = make_strategy();
+        let r = run_game(&cfg, predicate, &mut s);
+        if r.solved {
+            total += r.guesses;
+            solved += 1;
+        }
+    }
+    if solved == 0 {
+        f64::NAN
+    } else {
+        total as f64 / solved as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ColumnSweep, RandomMatching, Systematic};
+
+    #[test]
+    fn lemma4_bound_monotone_and_normalized() {
+        let m = 32;
+        let mut prev = 1.0;
+        for t in 1..=(m as u64 / 2) {
+            let s = lemma4_survival_bound(m, t);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= prev, "survival must decrease");
+            prev = s;
+        }
+        // Within m/2 − 1 rounds the bound is still positive: Lemma 4's
+        // contradiction argument.
+        assert!(lemma4_survival_bound(m, m as u64 / 2 - 2) > 0.0);
+    }
+
+    #[test]
+    fn empirical_survival_dominated_by_lemma4_bound() {
+        // Lemma 4 holds for EVERY strategy: the measured survival of any
+        // concrete strategy must be ≥ the analytic lower bound (up to
+        // Monte-Carlo noise).
+        let m = 24;
+        let horizon = 8;
+        for survival in [
+            empirical_survival(m, &Predicate::Singleton, ColumnSweep::new, horizon, 300, 1),
+            empirical_survival(m, &Predicate::Singleton, Systematic::new, horizon, 300, 2),
+            empirical_survival(
+                m,
+                &Predicate::Singleton,
+                RandomMatching::new,
+                horizon,
+                300,
+                3,
+            ),
+        ] {
+            for (i, &emp) in survival.iter().enumerate() {
+                let bound = lemma4_survival_bound(m, i as u64 + 1);
+                assert!(
+                    emp >= bound - 0.12,
+                    "round {}: empirical {emp} below analytic bound {bound}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_k ≈ ln k + γ.
+        assert!((harmonic(10_000) - (10_000f64).ln() - 0.5772).abs() < 0.01);
+    }
+
+    #[test]
+    fn oblivious_guesses_track_lemma5_bound() {
+        // Lemma 5: E[guesses] = Ω((m log m)/p) for random matching. The
+        // measured mean should be within a moderate constant of the
+        // analytic curve (the bound's constants are loose but the
+        // (m/p)·H shape must hold).
+        let m = 32;
+        for p in [0.3f64, 0.15] {
+            let measured =
+                empirical_mean_guesses(m, &Predicate::Random { p }, RandomMatching::new, 40, 5);
+            let bound = lemma5_oblivious_guess_bound(m, p);
+            let ratio = measured / bound;
+            assert!(
+                ratio > 0.05 && ratio < 3.0,
+                "p={p}: measured {measured} vs bound {bound} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn oblivious_guess_count_scales_inverse_p() {
+        let m = 32;
+        let g1 =
+            empirical_mean_guesses(m, &Predicate::Random { p: 0.3 }, RandomMatching::new, 40, 9);
+        let g2 = empirical_mean_guesses(
+            m,
+            &Predicate::Random { p: 0.075 },
+            RandomMatching::new,
+            40,
+            9,
+        );
+        let ratio = g2 / g1;
+        assert!(
+            ratio > 2.0 && ratio < 8.0,
+            "4× smaller p ⇒ ~4× guesses, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn adaptive_beats_oblivious_in_guesses() {
+        let m = 32;
+        let p = 0.1;
+        let adaptive = empirical_mean_guesses(m, &Predicate::Random { p }, ColumnSweep::new, 30, 4);
+        let oblivious =
+            empirical_mean_guesses(m, &Predicate::Random { p }, RandomMatching::new, 30, 4);
+        assert!(
+            oblivious > 1.3 * adaptive,
+            "oblivious {oblivious} vs adaptive {adaptive}"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! The game driver: pits a [`Strategy`] against an [`Oracle`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::oracle::Oracle;
+use crate::predicate::Predicate;
+use crate::strategy::Strategy;
+
+/// Parameters for one game.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GameConfig {
+    /// Side size `m` (the game is `Guessing(2m, P)`).
+    pub m: usize,
+    /// Round cap; the game is abandoned (unsolved) beyond it.
+    pub max_rounds: u64,
+    /// Seed for both the target sample and the strategy's randomness.
+    pub seed: u64,
+}
+
+/// The outcome of one game.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GameResult {
+    /// Whether the target set was emptied within the round cap.
+    pub solved: bool,
+    /// Rounds consumed.
+    pub rounds: u64,
+    /// Total guesses consumed.
+    pub guesses: u64,
+    /// Initial size of the target set.
+    pub initial_target: usize,
+}
+
+/// Runs one game of `Guessing(2m, P)`.
+///
+/// # Panics
+///
+/// Panics if `config.m == 0` or the predicate parameters are invalid.
+///
+/// # Example
+///
+/// ```
+/// use guessing_game::{run_game, GameConfig, Predicate, strategy::Systematic};
+///
+/// let r = run_game(
+///     &GameConfig { m: 8, max_rounds: 100, seed: 3 },
+///     &Predicate::Singleton,
+///     &mut Systematic::new(),
+/// );
+/// assert!(r.solved);
+/// assert_eq!(r.initial_target, 1);
+/// ```
+pub fn run_game(
+    config: &GameConfig,
+    predicate: &Predicate,
+    strategy: &mut dyn Strategy,
+) -> GameResult {
+    let target = predicate.sample(config.m, config.seed);
+    let initial_target = target.len();
+    let mut oracle = Oracle::new(config.m, target);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    while !oracle.is_solved() && oracle.rounds() < config.max_rounds {
+        let guesses = strategy.guesses(config.m, &mut rng);
+        let response = oracle
+            .submit(&guesses)
+            .expect("strategy produced a valid guess set");
+        strategy.observe(&guesses, &response.hits);
+    }
+    GameResult {
+        solved: oracle.is_solved(),
+        rounds: oracle.rounds(),
+        guesses: oracle.guesses(),
+        initial_target,
+    }
+}
+
+/// Runs `trials` independent games (seeds `seed, seed+1, …`) with fresh
+/// strategy instances and returns the mean round count over the *solved*
+/// trials, together with the number solved.
+///
+/// The experiment harness uses this to trace the `Θ(m)`, `Θ(1/p)` and
+/// `Θ(log m / p)` curves of Lemmas 4–5.
+pub fn trial_mean_rounds<S, F>(
+    config: &GameConfig,
+    predicate: &Predicate,
+    mut make_strategy: F,
+    trials: u64,
+) -> (f64, u64)
+where
+    S: Strategy,
+    F: FnMut() -> S,
+{
+    let mut total = 0u64;
+    let mut solved = 0u64;
+    for t in 0..trials {
+        let cfg = GameConfig {
+            seed: config.seed.wrapping_add(t),
+            ..*config
+        };
+        let mut strategy = make_strategy();
+        let r = run_game(&cfg, predicate, &mut strategy);
+        if r.solved {
+            total += r.rounds;
+            solved += 1;
+        }
+    }
+    let mean = if solved > 0 {
+        total as f64 / solved as f64
+    } else {
+        f64::NAN
+    };
+    (mean, solved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ColumnSweep, RandomMatching, Systematic};
+
+    #[test]
+    fn singleton_needs_order_m_rounds_systematic() {
+        // Lemma 4 shape: a deterministic sweep over m² pairs at 2m per
+        // round takes Θ(m) rounds on average against a uniform singleton.
+        let m = 24;
+        let (mean, solved) = trial_mean_rounds(
+            &GameConfig {
+                m,
+                max_rounds: 10_000,
+                seed: 0,
+            },
+            &Predicate::Singleton,
+            Systematic::new,
+            30,
+        );
+        assert_eq!(solved, 30);
+        // Uniform position ⇒ expected round index ≈ m/4 … m/2 + 1.
+        assert!(mean >= m as f64 / 8.0, "mean = {mean}");
+        assert!(mean <= m as f64, "mean = {mean}");
+    }
+
+    #[test]
+    fn singleton_rounds_grow_linearly_in_m() {
+        let mut means = Vec::new();
+        for m in [8, 16, 32] {
+            let (mean, _) = trial_mean_rounds(
+                &GameConfig {
+                    m,
+                    max_rounds: 10_000,
+                    seed: 7,
+                },
+                &Predicate::Singleton,
+                ColumnSweep::new,
+                40,
+            );
+            means.push(mean);
+        }
+        // Doubling m should roughly double the rounds (slope ≈ 2 ± slack).
+        let r1 = means[1] / means[0];
+        let r2 = means[2] / means[1];
+        assert!(r1 > 1.3 && r1 < 3.0, "ratio {r1}");
+        assert!(r2 > 1.3 && r2 < 3.0, "ratio {r2}");
+    }
+
+    #[test]
+    fn random_p_column_sweep_scales_inverse_p() {
+        // Lemma 5 general bound shape: Θ(1/p).
+        let m = 48;
+        let mut means = Vec::new();
+        for p in [0.4, 0.2, 0.1] {
+            let (mean, solved) = trial_mean_rounds(
+                &GameConfig {
+                    m,
+                    max_rounds: 100_000,
+                    seed: 11,
+                },
+                &Predicate::Random { p },
+                ColumnSweep::new,
+                20,
+            );
+            assert_eq!(solved, 20);
+            means.push(mean);
+        }
+        // Halving p should roughly double the rounds.
+        let r1 = means[1] / means[0];
+        let r2 = means[2] / means[1];
+        assert!(r1 > 1.2 && r1 < 4.0, "ratio {r1}, means {means:?}");
+        assert!(r2 > 1.2 && r2 < 4.0, "ratio {r2}, means {means:?}");
+    }
+
+    #[test]
+    fn random_matching_pays_log_factor() {
+        // Lemma 5: random matching needs Ω(log m / p) vs Θ(1/p) adaptive:
+        // at fixed p, random matching should be noticeably slower.
+        let m = 48;
+        let p = 0.25;
+        let cfg = GameConfig {
+            m,
+            max_rounds: 100_000,
+            seed: 5,
+        };
+        let (adaptive, _) = trial_mean_rounds(&cfg, &Predicate::Random { p }, ColumnSweep::new, 20);
+        let (oblivious, _) =
+            trial_mean_rounds(&cfg, &Predicate::Random { p }, RandomMatching::new, 20);
+        assert!(
+            oblivious > 1.5 * adaptive,
+            "oblivious {oblivious} vs adaptive {adaptive}"
+        );
+    }
+
+    #[test]
+    fn unsolvable_within_cap_reports_unsolved() {
+        let r = run_game(
+            &GameConfig {
+                m: 64,
+                max_rounds: 1,
+                seed: 0,
+            },
+            &Predicate::Singleton,
+            &mut RandomMatching::new(),
+        );
+        // One random round over 64² pairs almost surely misses.
+        assert_eq!(r.rounds, 1);
+        assert!(!r.solved || r.rounds <= 1);
+    }
+
+    #[test]
+    fn empty_target_solves_instantly() {
+        let r = run_game(
+            &GameConfig {
+                m: 8,
+                max_rounds: 10,
+                seed: 0,
+            },
+            &Predicate::Fixed(vec![]),
+            &mut Systematic::new(),
+        );
+        assert!(r.solved);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.initial_target, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GameConfig {
+            m: 16,
+            max_rounds: 10_000,
+            seed: 9,
+        };
+        let a = run_game(
+            &cfg,
+            &Predicate::Random { p: 0.2 },
+            &mut RandomMatching::new(),
+        );
+        let b = run_game(
+            &cfg,
+            &Predicate::Random { p: 0.2 },
+            &mut RandomMatching::new(),
+        );
+        assert_eq!(a, b);
+    }
+}

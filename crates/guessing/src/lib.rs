@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! The combinatorial **guessing game** of *Gossiping with Latencies*
+//! (Section 3.1), used to prove the paper's lower bounds.
+//!
+//! The game `Guessing(2m, P)` is played by Alice against an oracle on a
+//! conceptual bipartite graph `A × B` with `|A| = |B| = m`:
+//!
+//! 1. The oracle samples a hidden *target set* `T₁ ⊆ A × B` from a
+//!    [`Predicate`].
+//! 2. Each round, Alice submits at most `2m` guesses (pairs). The oracle
+//!    reveals the hits `Xᵣ ∩ Tᵣ`, then removes from the target every
+//!    pair whose `B`-component was hit (eq. 2).
+//! 3. Alice wins when the target set is empty — i.e. every `b ∈ T₁ᴮ`
+//!    has been hit at least once.
+//!
+//! The paper proves (Lemma 4) that a singleton target needs `Ω(m)`
+//! rounds, and (Lemma 5) that a `Random_p` target needs `Ω(1/p)` rounds
+//! for any strategy and `Ω(log m / p)` for the oblivious random-matching
+//! strategy that models push-pull. Lemma 3 converts any gossip local
+//! broadcast algorithm on the gadget networks into a game strategy; the
+//! [`reduction`] module implements that conversion for empirical use.
+//!
+//! # Example
+//!
+//! ```
+//! use guessing_game::{run_game, GameConfig, Predicate, strategy::ColumnSweep};
+//!
+//! let result = run_game(
+//!     &GameConfig { m: 16, max_rounds: 10_000, seed: 1 },
+//!     &Predicate::Random { p: 0.25 },
+//!     &mut ColumnSweep::new(),
+//! );
+//! assert!(result.solved);
+//! assert!(result.rounds >= 1);
+//! ```
+
+pub mod analysis;
+pub mod game;
+pub mod oracle;
+pub mod predicate;
+pub mod reduction;
+pub mod strategy;
+
+pub use game::{run_game, trial_mean_rounds, GameConfig, GameResult};
+pub use oracle::{GameError, GuessResponse, Oracle};
+pub use predicate::Predicate;
+pub use strategy::Strategy;
+
+/// A guess: `(a, b)` with `a` indexing into `A` and `b` into `B`, both
+/// in `0..m`.
+pub type Pair = (usize, usize);

@@ -1,0 +1,285 @@
+//! The game [`Oracle`]: holds the hidden target set and applies the
+//! update rule of eq. 2.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::Pair;
+
+/// Errors returned by [`Oracle::submit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// More than `2m` guesses were submitted in one round.
+    TooManyGuesses {
+        /// Number submitted.
+        submitted: usize,
+        /// The cap `2m`.
+        cap: usize,
+    },
+    /// A guess indexed outside `0..m`.
+    GuessOutOfRange(Pair),
+    /// A round was submitted after the oracle answered halt.
+    AlreadySolved,
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::TooManyGuesses { submitted, cap } => {
+                write!(f, "submitted {submitted} guesses, cap is {cap}")
+            }
+            GameError::GuessOutOfRange((a, b)) => write!(f, "guess ({a}, {b}) out of range"),
+            GameError::AlreadySolved => write!(f, "the game is already solved"),
+        }
+    }
+}
+
+impl Error for GameError {}
+
+/// The oracle's answer to one round of guesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuessResponse {
+    /// The correct guesses `Xᵣ ∩ Tᵣ`, in sorted order.
+    pub hits: Vec<Pair>,
+    /// Whether the target set is now empty (`halt`).
+    pub halted: bool,
+}
+
+/// The guessing-game oracle.
+///
+/// Created with an explicit target set (usually from
+/// [`Predicate::sample`](crate::Predicate::sample)); consumes guess
+/// rounds via [`submit`](Self::submit).
+///
+/// After a hit on pair `(a, b)`, *every* target pair with `B`-component
+/// `b` is removed — the rule "if any edge `(u, v)` in the target set is
+/// guessed, all adjacent edges `(x, v)` in the target set are removed"
+/// (Section 3.1; eq. 2 restricted to actual hits).
+///
+/// # Example
+///
+/// ```
+/// use guessing_game::Oracle;
+///
+/// # fn main() -> Result<(), guessing_game::GameError> {
+/// let mut oracle = Oracle::new(4, [(0, 1), (2, 1), (3, 3)]);
+/// let r = oracle.submit(&[(0, 1), (0, 0)])?;
+/// assert_eq!(r.hits, vec![(0, 1)]);
+/// assert!(!r.halted);
+/// // The hit on b = 1 also removed (2, 1): only (3, 3) remains.
+/// assert_eq!(oracle.remaining(), 1);
+/// let r = oracle.submit(&[(3, 3)])?;
+/// assert!(r.halted);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    m: usize,
+    target: BTreeSet<Pair>,
+    rounds: u64,
+    guesses: u64,
+}
+
+impl Oracle {
+    /// Creates an oracle for side size `m` with the given target set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or a target pair is out of range.
+    pub fn new(m: usize, target: impl IntoIterator<Item = Pair>) -> Oracle {
+        assert!(m >= 1, "side size must be positive");
+        let target: BTreeSet<Pair> = target.into_iter().collect();
+        for &(a, b) in &target {
+            assert!(
+                a < m && b < m,
+                "target pair ({a}, {b}) out of range for m = {m}"
+            );
+        }
+        Oracle {
+            m,
+            target,
+            rounds: 0,
+            guesses: 0,
+        }
+    }
+
+    /// The side size `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The per-round guess cap, `2m`.
+    pub fn guess_cap(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Number of pairs still in the target set.
+    pub fn remaining(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Whether the game is solved (target empty).
+    pub fn is_solved(&self) -> bool {
+        self.target.is_empty()
+    }
+
+    /// Rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total guesses consumed so far.
+    pub fn guesses(&self) -> u64 {
+        self.guesses
+    }
+
+    /// Plays one round: submits `guesses` (deduplicated), returns the
+    /// hits, and applies the target-update rule.
+    ///
+    /// Submitting an empty round is allowed (it wastes the round).
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::AlreadySolved`] if the target was already empty.
+    /// * [`GameError::TooManyGuesses`] if more than `2m` distinct
+    ///   guesses are submitted.
+    /// * [`GameError::GuessOutOfRange`] if a guess indexes outside
+    ///   `0..m`.
+    pub fn submit(&mut self, guesses: &[Pair]) -> Result<GuessResponse, GameError> {
+        if self.is_solved() {
+            return Err(GameError::AlreadySolved);
+        }
+        let distinct: BTreeSet<Pair> = guesses.iter().copied().collect();
+        if distinct.len() > self.guess_cap() {
+            return Err(GameError::TooManyGuesses {
+                submitted: distinct.len(),
+                cap: self.guess_cap(),
+            });
+        }
+        for &(a, b) in &distinct {
+            if a >= self.m || b >= self.m {
+                return Err(GameError::GuessOutOfRange((a, b)));
+            }
+        }
+        self.rounds += 1;
+        self.guesses += distinct.len() as u64;
+        let hits: Vec<Pair> = distinct
+            .iter()
+            .copied()
+            .filter(|p| self.target.contains(p))
+            .collect();
+        let hit_bs: BTreeSet<usize> = hits.iter().map(|&(_, b)| b).collect();
+        self.target.retain(|&(_, b)| !hit_bs.contains(&b));
+        Ok(GuessResponse {
+            halted: self.target.is_empty(),
+            hits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_removes_whole_column() {
+        let mut o = Oracle::new(3, [(0, 0), (1, 0), (2, 0), (2, 2)]);
+        let r = o.submit(&[(1, 0)]).unwrap();
+        assert_eq!(r.hits, vec![(1, 0)]);
+        assert_eq!(o.remaining(), 1);
+        assert!(!r.halted);
+    }
+
+    #[test]
+    fn miss_changes_nothing() {
+        let mut o = Oracle::new(3, [(0, 0)]);
+        let r = o.submit(&[(1, 1), (2, 2)]).unwrap();
+        assert!(r.hits.is_empty());
+        assert_eq!(o.remaining(), 1);
+    }
+
+    #[test]
+    fn near_miss_same_column_does_not_clear() {
+        // Guessing (a', b) where (a', b) ∉ T must NOT clear column b even
+        // if (a, b) ∈ T: only hits trigger removal.
+        let mut o = Oracle::new(3, [(0, 1)]);
+        let r = o.submit(&[(1, 1), (2, 1)]).unwrap();
+        assert!(r.hits.is_empty());
+        assert_eq!(o.remaining(), 1);
+    }
+
+    #[test]
+    fn halt_on_empty_target() {
+        let mut o = Oracle::new(2, [(0, 0), (1, 1)]);
+        let r = o.submit(&[(0, 0), (1, 1)]).unwrap();
+        assert!(r.halted);
+        assert!(o.is_solved());
+        assert_eq!(o.submit(&[(0, 0)]), Err(GameError::AlreadySolved));
+    }
+
+    #[test]
+    fn guess_cap_enforced_on_distinct() {
+        let mut o = Oracle::new(3, [(0, 0)]);
+        // 7 distinct > cap 6.
+        let too_many = [(0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1)];
+        assert_eq!(
+            o.submit(&too_many),
+            Err(GameError::TooManyGuesses {
+                submitted: 7,
+                cap: 6
+            })
+        );
+        // Duplicates collapse below the cap: 8 submitted, 6 distinct.
+        let dup = [
+            (0, 1),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 0),
+            (2, 0),
+        ];
+        assert!(o.submit(&dup).is_ok());
+    }
+
+    #[test]
+    fn range_validated() {
+        let mut o = Oracle::new(2, [(0, 0)]);
+        assert_eq!(o.submit(&[(2, 0)]), Err(GameError::GuessOutOfRange((2, 0))));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut o = Oracle::new(4, [(0, 0), (1, 1)]);
+        o.submit(&[(3, 3), (2, 2)]).unwrap();
+        o.submit(&[(0, 0)]).unwrap();
+        assert_eq!(o.rounds(), 2);
+        assert_eq!(o.guesses(), 3);
+    }
+
+    #[test]
+    fn empty_round_allowed_and_counted() {
+        let mut o = Oracle::new(2, [(0, 0)]);
+        let r = o.submit(&[]).unwrap();
+        assert!(r.hits.is_empty());
+        assert_eq!(o.rounds(), 1);
+    }
+
+    #[test]
+    fn multiple_hits_same_round_clear_columns() {
+        let mut o = Oracle::new(3, [(0, 0), (1, 0), (0, 1), (2, 2)]);
+        let r = o.submit(&[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(r.hits.len(), 2);
+        assert_eq!(o.remaining(), 1); // only (2,2) left
+    }
+
+    #[test]
+    fn empty_initial_target_is_solved() {
+        let o = Oracle::new(3, []);
+        assert!(o.is_solved());
+    }
+}

@@ -1,0 +1,131 @@
+//! Target-set predicates `P` for the guessing game.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::Pair;
+
+/// How the oracle samples the initial target set `T₁ ⊆ A × B`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// A single pair chosen uniformly at random (Lemma 4 / Theorem 6).
+    Singleton,
+    /// Each of the `m²` pairs included independently with probability
+    /// `p` (the paper's `Random_p`, Lemma 5 / Theorem 7).
+    Random {
+        /// Inclusion probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// An explicit target set (used by the gadget reduction, where the
+    /// target is fixed by the constructed network).
+    Fixed(Vec<Pair>),
+}
+
+impl Predicate {
+    /// Samples a target set for side size `m`, deterministically per
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, if `Random.p` is outside `[0, 1]`, or if a
+    /// `Fixed` pair is out of range.
+    pub fn sample(&self, m: usize, seed: u64) -> BTreeSet<Pair> {
+        assert!(m >= 1, "side size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Predicate::Singleton => {
+                let a = rng.random_range(0..m);
+                let b = rng.random_range(0..m);
+                BTreeSet::from([(a, b)])
+            }
+            Predicate::Random { p } => {
+                assert!((0.0..=1.0).contains(p), "probability must be in [0, 1]");
+                let mut t = BTreeSet::new();
+                for a in 0..m {
+                    for b in 0..m {
+                        if rng.random::<f64>() < *p {
+                            t.insert((a, b));
+                        }
+                    }
+                }
+                t
+            }
+            Predicate::Fixed(pairs) => {
+                for &(a, b) in pairs {
+                    assert!(
+                        a < m && b < m,
+                        "fixed pair ({a}, {b}) out of range for m = {m}"
+                    );
+                }
+                pairs.iter().copied().collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_is_single_and_in_range() {
+        for seed in 0..50 {
+            let t = Predicate::Singleton.sample(12, seed);
+            assert_eq!(t.len(), 1);
+            let &(a, b) = t.iter().next().unwrap();
+            assert!(a < 12 && b < 12);
+        }
+    }
+
+    #[test]
+    fn singleton_varies_with_seed() {
+        let picks: BTreeSet<_> = (0..40)
+            .map(|s| {
+                Predicate::Singleton
+                    .sample(20, s)
+                    .into_iter()
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        assert!(picks.len() > 10, "should see many distinct singletons");
+    }
+
+    #[test]
+    fn random_density_tracks_p() {
+        let t = Predicate::Random { p: 0.3 }.sample(40, 9);
+        let expected = 0.3 * 1600.0;
+        assert!(
+            (t.len() as f64 - expected).abs() < 200.0,
+            "len = {}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn random_extremes() {
+        assert!(Predicate::Random { p: 0.0 }.sample(10, 1).is_empty());
+        assert_eq!(Predicate::Random { p: 1.0 }.sample(10, 1).len(), 100);
+    }
+
+    #[test]
+    fn fixed_passthrough_dedup() {
+        let t = Predicate::Fixed(vec![(1, 2), (1, 2), (0, 0)]).sample(5, 0);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&(1, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_validates_range() {
+        let _ = Predicate::Fixed(vec![(9, 0)]).sample(5, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Predicate::Random { p: 0.5 }.sample(15, 3);
+        let b = Predicate::Random { p: 0.5 }.sample(15, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! The Lemma 3 reduction: replaying a gossip execution as a guessing
+//! game.
+//!
+//! Lemma 3 shows that a `t`-round local broadcast algorithm on the
+//! gadget `G(P)` (or `G_sym(P)`) yields a `≤ t`-round protocol for
+//! `Guessing(2m, P)`: every cross-edge *activation* in the gossip run
+//! becomes a guess, and the oracle's answers reveal exactly the latency
+//! information the algorithm would observe.
+//!
+//! This module replays a recorded cross-edge [`ActivationLog`] against
+//! an [`crate::Oracle`], reporting the round at which the game
+//! is solved — empirically certifying that the gossip run "paid" at
+//! least as many rounds as the game required.
+
+use crate::oracle::Oracle;
+use crate::Pair;
+
+/// Maps an activated gadget edge (by *node indices* in the `2m`-node
+/// gadget, left side `0..m`, right side `m..2m`) to a game pair, or
+/// `None` for a clique (non-cross) edge.
+///
+/// # Panics
+///
+/// Panics if an index is `>= 2m`.
+pub fn cross_pair(m: usize, u: usize, v: usize) -> Option<Pair> {
+    assert!(u < 2 * m && v < 2 * m, "gadget node index out of range");
+    match (u < m, v < m) {
+        (true, false) => Some((u, v - m)),
+        (false, true) => Some((v, u - m)),
+        _ => None,
+    }
+}
+
+/// Per-round cross-edge activations of a gossip run on a gadget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActivationLog {
+    rounds: Vec<Vec<Pair>>,
+}
+
+impl ActivationLog {
+    /// An empty log.
+    pub fn new() -> ActivationLog {
+        ActivationLog::default()
+    }
+
+    /// Records that the cross edge for `pair` was activated in `round`.
+    /// Rounds may be recorded out of order; gaps are empty rounds.
+    pub fn record(&mut self, round: u64, pair: Pair) {
+        let idx = usize::try_from(round).expect("round fits usize");
+        if self.rounds.len() <= idx {
+            self.rounds.resize(idx + 1, Vec::new());
+        }
+        self.rounds[idx].push(pair);
+    }
+
+    /// Number of recorded rounds (length of the densified log).
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total activations recorded.
+    pub fn activation_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// The activations of one round.
+    pub fn round(&self, round: u64) -> &[Pair] {
+        self.rounds
+            .get(usize::try_from(round).expect("round fits usize"))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// The outcome of replaying an activation log as a game.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReductionOutcome {
+    /// The 1-based round at which the game halted, if it did.
+    pub solved_at: Option<u64>,
+    /// Total guesses consumed.
+    pub guesses: u64,
+    /// Pairs remaining in the target when the log was exhausted.
+    pub remaining: usize,
+}
+
+/// Replays `log` against a fresh oracle for the given target set.
+///
+/// The per-round guess budget of `Guessing(2m, P)` is `2m`; a gossip
+/// algorithm can activate at most `2m` edges per round (one initiation
+/// per node), so a faithful log always fits. Rounds beyond the log are
+/// not played.
+///
+/// # Panics
+///
+/// Panics if a logged round contains more than `2m` distinct guesses or
+/// an out-of-range pair (an unfaithful log).
+pub fn replay(
+    m: usize,
+    target: impl IntoIterator<Item = Pair>,
+    log: &ActivationLog,
+) -> ReductionOutcome {
+    let mut oracle = Oracle::new(m, target);
+    if oracle.is_solved() {
+        return ReductionOutcome {
+            solved_at: Some(0),
+            guesses: 0,
+            remaining: 0,
+        };
+    }
+    for round in 0..log.round_count() as u64 {
+        let guesses = log.round(round);
+        let response = oracle.submit(guesses).expect("faithful activation log");
+        if response.halted {
+            return ReductionOutcome {
+                solved_at: Some(round + 1),
+                guesses: oracle.guesses(),
+                remaining: 0,
+            };
+        }
+    }
+    ReductionOutcome {
+        solved_at: None,
+        guesses: oracle.guesses(),
+        remaining: oracle.remaining(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_pair_classification() {
+        assert_eq!(cross_pair(3, 0, 4), Some((0, 1)));
+        assert_eq!(cross_pair(3, 5, 2), Some((2, 2)));
+        assert_eq!(cross_pair(3, 0, 2), None); // left clique edge
+        assert_eq!(cross_pair(3, 3, 5), None); // right clique edge
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_pair_range_checked() {
+        let _ = cross_pair(3, 6, 0);
+    }
+
+    #[test]
+    fn log_records_sparse_rounds() {
+        let mut log = ActivationLog::new();
+        log.record(4, (0, 0));
+        log.record(1, (1, 1));
+        log.record(4, (2, 2));
+        assert_eq!(log.round_count(), 5);
+        assert_eq!(log.activation_count(), 3);
+        assert_eq!(log.round(4), &[(0, 0), (2, 2)]);
+        assert!(log.round(0).is_empty());
+        assert!(log.round(99).is_empty());
+    }
+
+    #[test]
+    fn replay_solves_when_all_columns_hit() {
+        let mut log = ActivationLog::new();
+        log.record(0, (0, 0));
+        log.record(2, (1, 1));
+        let out = replay(2, [(0, 0), (1, 1), (0, 1)], &log);
+        // Round 1 (index 0) hits column 0; round 3 (index 2) hits column 1,
+        // which also clears (0,1).
+        assert_eq!(out.solved_at, Some(3));
+        assert_eq!(out.remaining, 0);
+    }
+
+    #[test]
+    fn replay_reports_unsolved() {
+        let mut log = ActivationLog::new();
+        log.record(0, (0, 1)); // miss
+        let out = replay(2, [(0, 0)], &log);
+        assert_eq!(out.solved_at, None);
+        assert_eq!(out.remaining, 1);
+        assert_eq!(out.guesses, 1);
+    }
+
+    #[test]
+    fn replay_empty_target_trivial() {
+        let out = replay(4, [], &ActivationLog::new());
+        assert_eq!(out.solved_at, Some(0));
+    }
+
+    #[test]
+    fn replay_round_indexing_is_one_based_for_solutions() {
+        let mut log = ActivationLog::new();
+        log.record(0, (0, 0));
+        let out = replay(1, [(0, 0)], &log);
+        assert_eq!(out.solved_at, Some(1));
+    }
+}

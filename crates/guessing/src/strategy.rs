@@ -1,0 +1,252 @@
+//! Alice's guessing strategies.
+//!
+//! * [`RandomMatching`] — the oblivious strategy of Lemma 5's second
+//!   part: each round, for every `a ∈ A` a uniform `b`, and for every
+//!   `b ∈ B` a uniform `a`. This is exactly how push-pull activates
+//!   cross edges on the gadget networks (Theorem 7's proof), and needs
+//!   `Θ(log m / p)` rounds against `Random_p`.
+//! * [`ColumnSweep`] — an adaptive strategy meeting the general
+//!   `Θ(1/p)` bound: spends its `2m`-guess budget on fresh, untried
+//!   pairs in unresolved columns.
+//! * [`Systematic`] — a deterministic row-major sweep (baseline;
+//!   `Θ(m/ (2p))`-ish against sparse targets, `Θ(m²/2m) = Θ(m/2)` to
+//!   enumerate everything).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+use crate::Pair;
+
+/// A guessing strategy for Alice.
+///
+/// The driver calls [`guesses`](Strategy::guesses) once per round, then
+/// reports the oracle's answer via [`observe`](Strategy::observe).
+pub trait Strategy {
+    /// Produces this round's guesses (at most `2m`).
+    fn guesses(&mut self, m: usize, rng: &mut StdRng) -> Vec<Pair>;
+
+    /// Receives the oracle's feedback for the round: which of the
+    /// submitted guesses hit.
+    fn observe(&mut self, submitted: &[Pair], hits: &[Pair]) {
+        let _ = (submitted, hits);
+    }
+
+    /// A short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The oblivious random-matching strategy (push-pull's image under the
+/// Lemma 3 simulation).
+#[derive(Clone, Debug, Default)]
+pub struct RandomMatching;
+
+impl RandomMatching {
+    /// Creates the strategy.
+    pub fn new() -> RandomMatching {
+        RandomMatching
+    }
+}
+
+impl Strategy for RandomMatching {
+    fn guesses(&mut self, m: usize, rng: &mut StdRng) -> Vec<Pair> {
+        let mut out = Vec::with_capacity(2 * m);
+        for a in 0..m {
+            out.push((a, rng.random_range(0..m)));
+        }
+        for b in 0..m {
+            out.push((rng.random_range(0..m), b));
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "random-matching"
+    }
+}
+
+/// Adaptive column sweep: tracks resolved columns (hit `b`s) and tried
+/// pairs, guessing fresh pairs in unresolved columns round-robin.
+///
+/// Against `Random_p` each column resolves after `≈ 1/p` fresh probes;
+/// probing all unresolved columns in parallel with budget `2m` gives the
+/// `Θ(1/p)` general upper bound matching Lemma 5's lower bound.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnSweep {
+    resolved: BTreeSet<usize>,
+    next_row: Vec<usize>,
+}
+
+impl ColumnSweep {
+    /// Creates the strategy.
+    pub fn new() -> ColumnSweep {
+        ColumnSweep::default()
+    }
+
+    /// Columns resolved (hit at least once) so far.
+    pub fn resolved_count(&self) -> usize {
+        self.resolved.len()
+    }
+}
+
+impl Strategy for ColumnSweep {
+    fn guesses(&mut self, m: usize, _rng: &mut StdRng) -> Vec<Pair> {
+        if self.next_row.len() != m {
+            self.next_row = vec![0; m];
+        }
+        let budget = 2 * m;
+        let mut out = Vec::with_capacity(budget);
+        // Keep cycling unresolved columns until the budget is used or
+        // every column is exhausted.
+        loop {
+            let mut progressed = false;
+            for b in 0..m {
+                if out.len() >= budget {
+                    return out;
+                }
+                if self.resolved.contains(&b) || self.next_row[b] >= m {
+                    continue;
+                }
+                out.push((self.next_row[b], b));
+                self.next_row[b] += 1;
+                progressed = true;
+            }
+            if !progressed {
+                return out;
+            }
+        }
+    }
+
+    fn observe(&mut self, _submitted: &[Pair], hits: &[Pair]) {
+        for &(_, b) in hits {
+            self.resolved.insert(b);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "column-sweep"
+    }
+}
+
+/// Deterministic row-major enumeration of all `m²` pairs, `2m` per
+/// round, restarting after a full pass. A naive baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Systematic {
+    cursor: usize,
+}
+
+impl Systematic {
+    /// Creates the strategy.
+    pub fn new() -> Systematic {
+        Systematic::default()
+    }
+}
+
+impl Strategy for Systematic {
+    fn guesses(&mut self, m: usize, _rng: &mut StdRng) -> Vec<Pair> {
+        let total = m * m;
+        let mut out = Vec::with_capacity(2 * m);
+        for _ in 0..2 * m {
+            let idx = self.cursor % total;
+            out.push((idx / m, idx % m));
+            self.cursor += 1;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "systematic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_matching_respects_cap_and_range() {
+        let mut s = RandomMatching::new();
+        let g = s.guesses(10, &mut rng());
+        assert_eq!(g.len(), 20);
+        assert!(g.iter().all(|&(a, b)| a < 10 && b < 10));
+        // Every row and column appears at least once.
+        let rows: BTreeSet<usize> = g[..10].iter().map(|&(a, _)| a).collect();
+        let cols: BTreeSet<usize> = g[10..].iter().map(|&(_, b)| b).collect();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(cols.len(), 10);
+    }
+
+    #[test]
+    fn column_sweep_never_repeats_pairs() {
+        let mut s = ColumnSweep::new();
+        let mut seen = BTreeSet::new();
+        let mut r = rng();
+        for _ in 0..10 {
+            for p in s.guesses(6, &mut r) {
+                assert!(seen.insert(p), "repeated pair {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_sweep_skips_resolved_columns() {
+        let mut s = ColumnSweep::new();
+        let mut r = rng();
+        let g1 = s.guesses(4, &mut r);
+        s.observe(&g1, &[(0, 2)]);
+        let g2 = s.guesses(4, &mut r);
+        assert!(g2.iter().all(|&(_, b)| b != 2), "column 2 resolved: {g2:?}");
+        assert_eq!(s.resolved_count(), 1);
+    }
+
+    #[test]
+    fn column_sweep_exhausts_gracefully() {
+        let mut s = ColumnSweep::new();
+        let mut r = rng();
+        let mut total = 0;
+        for _ in 0..10 {
+            total += s.guesses(2, &mut r).len();
+        }
+        assert_eq!(total, 4, "only m² = 4 distinct pairs exist");
+    }
+
+    #[test]
+    fn systematic_enumerates_all_pairs_in_one_pass() {
+        let mut s = Systematic::new();
+        let mut r = rng();
+        let mut seen = BTreeSet::new();
+        // m=4: 16 pairs / 8 per round = 2 rounds.
+        for _ in 0..2 {
+            seen.extend(s.guesses(4, &mut r));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn systematic_wraps_around() {
+        let mut s = Systematic::new();
+        let mut r = rng();
+        let first = s.guesses(3, &mut r);
+        for _ in 0..2 {
+            s.guesses(3, &mut r);
+        }
+        let wrapped = s.guesses(3, &mut r);
+        assert_eq!(first, wrapped);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            RandomMatching::new().name(),
+            ColumnSweep::new().name(),
+            Systematic::new().name(),
+        ];
+        let set: BTreeSet<&str> = names.into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

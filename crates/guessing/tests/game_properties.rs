@@ -1,0 +1,111 @@
+//! Property tests for the guessing game: strategy validity, oracle
+//! laws, and the analysis module's bounds.
+
+use guessing_game::analysis;
+use guessing_game::strategy::{ColumnSweep, RandomMatching, Strategy, Systematic};
+use guessing_game::{run_game, GameConfig, Oracle, Predicate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every strategy always produces at most 2m in-range guesses —
+    /// exactly what the oracle's validation demands.
+    #[test]
+    fn strategies_produce_valid_guess_sets(m in 1usize..30, rounds in 1usize..12, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(RandomMatching::new()),
+            Box::new(ColumnSweep::new()),
+            Box::new(Systematic::new()),
+        ];
+        for mut s in strategies {
+            for _ in 0..rounds {
+                let gs = s.guesses(m, &mut rng);
+                let distinct: std::collections::BTreeSet<_> = gs.iter().copied().collect();
+                prop_assert!(distinct.len() <= 2 * m, "{}: too many guesses", s.name());
+                for (a, b) in gs {
+                    prop_assert!(a < m && b < m, "{}: out of range", s.name());
+                }
+            }
+        }
+    }
+
+    /// The game always terminates for ColumnSweep within m rounds per
+    /// column worst case, and solved implies zero remaining.
+    #[test]
+    fn adaptive_always_solves(m in 2usize..24, seed in 0u64..200, p in 0.05f64..1.0) {
+        let r = run_game(
+            &GameConfig { m, max_rounds: (m * m) as u64 + 2, seed },
+            &Predicate::Random { p },
+            &mut ColumnSweep::new(),
+        );
+        prop_assert!(r.solved, "column sweep enumerates every pair eventually");
+        prop_assert!(r.guesses <= (m * m) as u64, "never needs more than m² guesses");
+    }
+
+    /// Round/guess accounting: guesses ≤ 2m·rounds.
+    #[test]
+    fn guess_budget_respected(m in 2usize..20, seed in 0u64..100) {
+        let r = run_game(
+            &GameConfig { m, max_rounds: 10_000, seed },
+            &Predicate::Singleton,
+            &mut RandomMatching::new(),
+        );
+        prop_assert!(r.guesses <= 2 * m as u64 * r.rounds);
+    }
+
+    /// The oracle halts exactly when the remaining count reaches zero,
+    /// and `is_solved` matches the last response's `halted` flag.
+    #[test]
+    fn halt_flag_consistent(m in 2usize..12, seed in 0u64..200) {
+        let target = Predicate::Random { p: 0.3 }.sample(m, seed);
+        prop_assume!(!target.is_empty());
+        let mut oracle = Oracle::new(m, target);
+        let mut halted = false;
+        // Systematically enumerate all pairs; must end in halt.
+        'outer: for a in 0..m {
+            for b in 0..m {
+                let resp = oracle.submit(&[(a, b)]).unwrap();
+                prop_assert_eq!(resp.halted, oracle.is_solved());
+                if resp.halted {
+                    halted = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert!(halted);
+        prop_assert_eq!(oracle.remaining(), 0);
+    }
+
+    /// Lemma 4's survival bound is a valid lower bound for the
+    /// systematic strategy at every (m, t) in range.
+    #[test]
+    fn lemma4_bound_below_any_strategy(m in 8usize..24, t in 1u64..6) {
+        let bound = analysis::lemma4_survival_bound(m, t);
+        let measured = analysis::empirical_survival(
+            m,
+            &Predicate::Singleton,
+            Systematic::new,
+            t,
+            200,
+            9,
+        );
+        prop_assert!(
+            measured[t as usize - 1] >= bound - 0.15,
+            "m={m} t={t}: measured {} < bound {bound}",
+            measured[t as usize - 1]
+        );
+    }
+
+    /// Harmonic numbers are increasing and sublinear.
+    #[test]
+    fn harmonic_monotone(k in 1u64..5000) {
+        let h = analysis::harmonic(k);
+        prop_assert!(h >= 1.0 || k == 0);
+        prop_assert!(analysis::harmonic(k + 1) > h);
+        prop_assert!(h <= k as f64);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The simulation engine: [`Protocol`], [`Context`], [`Simulator`].
+
+use std::collections::BTreeMap;
+
+use latency_graph::{Graph, Latency, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::faults::FaultPlan;
+use crate::Round;
+
+/// A gossip protocol, instantiated once per node.
+///
+/// The engine drives each node through rounds:
+///
+/// 1. At the start of each round, completed exchanges are delivered via
+///    [`on_exchange`](Protocol::on_exchange) (to both endpoints).
+/// 2. Then [`on_round`](Protocol::on_round) runs; the node may call
+///    [`Context::initiate`] to start one exchange this round.
+///
+/// Payload snapshots of *both* endpoints are taken at initiation time
+/// (via [`payload`](Protocol::payload)) and delivered when the exchange
+/// completes, `latency` rounds later.
+pub trait Protocol: Sized {
+    /// The data exchanged between two nodes (e.g. a
+    /// [`RumorSet`](crate::RumorSet)).
+    type Payload: Clone;
+
+    /// Snapshot of this node's exchangeable state. Called whenever an
+    /// exchange involving this node is initiated (by either side).
+    fn payload(&self) -> Self::Payload;
+
+    /// The size of a payload in protocol-defined units (rumors carried,
+    /// topology edges, …), accumulated into
+    /// [`SimMetrics::payload_units`] for message-complexity accounting
+    /// (the paper's Section 6 discusses which algorithms need large
+    /// messages). Defaults to 1 unit per payload.
+    fn payload_weight(payload: &Self::Payload) -> u64 {
+        let _ = payload;
+        1
+    }
+
+    /// Called once, before round 0's `on_round`.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called every round. Call [`Context::initiate`] to start an
+    /// exchange.
+    fn on_round(&mut self, ctx: &mut Context<'_>);
+
+    /// Called when an exchange involving this node completes.
+    fn on_exchange(&mut self, ctx: &mut Context<'_>, exchange: &Exchange<Self::Payload>);
+
+    /// Called when this node's initiation was rejected because it or
+    /// the chosen peer exceeded the per-round connection cap
+    /// ([`SimConfig::connection_cap`] — the restricted model of the
+    /// paper's conclusion, after Daum et al. \[24\]). Only invoked in the
+    /// capped model; the default does nothing.
+    fn on_rejected(&mut self, ctx: &mut Context<'_>, peer: NodeId) {
+        let _ = (ctx, peer);
+    }
+
+    /// Local termination flag; when every node reports `true` the
+    /// simulation stops with [`StopReason::AllDone`].
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// A completed exchange, as seen by one endpoint.
+#[derive(Clone, Debug)]
+pub struct Exchange<P> {
+    /// The other endpoint.
+    pub peer: NodeId,
+    /// The peer's payload snapshot, taken at [`initiated_at`](Self::initiated_at).
+    pub payload: P,
+    /// The round the exchange was initiated.
+    pub initiated_at: Round,
+    /// The round the exchange completed (current round); the edge
+    /// latency is `completed_at − initiated_at`, which is how protocols
+    /// *measure* unknown latencies (Section 4.2 of the paper).
+    pub completed_at: Round,
+    /// Whether this endpoint was the initiator.
+    pub initiated_by_me: bool,
+}
+
+impl<P> Exchange<P> {
+    /// The measured latency of the edge used.
+    pub fn measured_latency(&self) -> Latency {
+        Latency::new(
+            u32::try_from(self.completed_at - self.initiated_at).expect("latency fits u32"),
+        )
+    }
+}
+
+/// Per-node view handed to protocol callbacks.
+#[derive(Debug)]
+pub struct Context<'a> {
+    node: NodeId,
+    round: Round,
+    n: usize,
+    size_hint: usize,
+    neighbor_ids: &'a [NodeId],
+    latencies: Option<&'a [Latency]>,
+    rng: &'a mut StdRng,
+    pending: &'a mut Option<NodeId>,
+}
+
+impl Context<'_> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The exact network size `n`. Most of the paper's algorithms only
+    /// assume a polynomial upper bound — prefer
+    /// [`size_hint`](Self::size_hint) in protocol logic and reserve
+    /// `n` for bookkeeping (rumor-set universes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The polynomial upper bound `n̂ ≥ n` the protocol is allowed to
+    /// know (paper, Section 1 and Lemma 13). Equals `n` unless
+    /// configured otherwise.
+    pub fn size_hint(&self) -> usize {
+        self.size_hint
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+
+    /// The ids of this node's neighbors, sorted.
+    pub fn neighbor_ids(&self) -> &[NodeId] {
+        self.neighbor_ids
+    }
+
+    /// The latency of the edge to neighbor `v`, if the model grants the
+    /// node knowledge of adjacent latencies
+    /// ([`SimConfig::latency_known`]); `None` otherwise or if `v` is not
+    /// a neighbor. Unknown latencies must be *measured* by timing
+    /// exchanges ([`Exchange::measured_latency`]).
+    pub fn latency_to(&self, v: NodeId) -> Option<Latency> {
+        let latencies = self.latencies?;
+        self.neighbor_ids
+            .binary_search(&v)
+            .ok()
+            .map(|i| latencies[i])
+    }
+
+    /// Initiates an exchange with neighbor `v` this round. At most one
+    /// initiation takes effect per round; calling again overwrites the
+    /// previous choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a neighbor of this node.
+    pub fn initiate(&mut self, v: NodeId) {
+        assert!(
+            self.neighbor_ids.binary_search(&v).is_ok(),
+            "{} attempted to initiate with non-neighbor {v}",
+            self.node
+        );
+        *self.pending = Some(v);
+    }
+
+    /// The neighbor this node has chosen to initiate with this round,
+    /// if any (set by [`initiate`](Self::initiate)). Used by wrappers
+    /// like [`Traced`](crate::trace::Traced) to observe initiations.
+    pub fn pending_target(&self) -> Option<NodeId> {
+        *self.pending
+    }
+
+    /// This node's deterministic random number generator (seeded from
+    /// the simulation seed and the node id).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Configuration for a [`Simulator`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Hard cap on rounds; exceeding it stops with
+    /// [`StopReason::MaxRounds`].
+    pub max_rounds: Round,
+    /// Whether nodes know the latencies of adjacent edges (Section 5)
+    /// or must measure them (Sections 3–4).
+    pub latency_known: bool,
+    /// The polynomial upper bound `n̂` exposed to protocols; defaults to
+    /// the exact `n`.
+    pub size_hint: Option<usize>,
+    /// Master seed; every node derives an independent RNG from it.
+    pub seed: u64,
+    /// Per-round cap on the number of *new* exchanges a node may engage
+    /// in (its own initiation plus accepted incoming initiations).
+    /// `None` is the paper's main model (unbounded incoming); `Some(c)`
+    /// is the restricted model of the conclusion / Daum et al. \[24\].
+    /// Excess initiations are rejected in a seeded-random order and the
+    /// initiator is notified via [`Protocol::on_rejected`].
+    pub connection_cap: Option<usize>,
+    /// Blocking communication: a node with one of its *own* exchanges
+    /// still in flight may not initiate another (Appendix E's variant —
+    /// Path Discovery tolerates it; the default Section 1 model is
+    /// non-blocking). Blocked initiations are rejected (the node wastes
+    /// the round): counted in [`SimMetrics::rejected`] and reported via
+    /// [`Protocol::on_rejected`].
+    pub blocking: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_rounds: 10_000_000,
+            latency_known: false,
+            size_hint: None,
+            seed: 0,
+            connection_cap: None,
+            blocking: false,
+        }
+    }
+}
+
+/// Why a simulation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The caller's stop condition returned `true`.
+    Condition,
+    /// Every node reported [`Protocol::is_done`].
+    AllDone,
+    /// The round cap was reached.
+    MaxRounds,
+}
+
+/// Counters accumulated during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Exchanges initiated (edge activations).
+    pub initiated: u64,
+    /// Exchanges successfully delivered.
+    pub delivered: u64,
+    /// Exchanges lost to crashes or dropped links.
+    pub lost: u64,
+    /// Initiations rejected by the per-round connection cap.
+    pub rejected: u64,
+    /// Total payload size delivered, in protocol-defined units
+    /// ([`Protocol::payload_weight`]); both directions of every
+    /// delivered exchange count.
+    pub payload_units: u64,
+}
+
+/// The result of a simulation run.
+#[derive(Debug)]
+pub struct Outcome<P> {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// The round at which it stopped (number of elapsed rounds).
+    pub rounds: Round,
+    /// Counters.
+    pub metrics: SimMetrics,
+    /// Final per-node protocol states.
+    pub nodes: Vec<P>,
+}
+
+impl<P> Outcome<P> {
+    /// Whether the run stopped because the caller's condition held.
+    pub fn stopped_by_condition(&self) -> bool {
+        self.reason == StopReason::Condition
+    }
+
+    /// Whether the run finished before hitting the round cap.
+    pub fn completed(&self) -> bool {
+        self.reason != StopReason::MaxRounds
+    }
+}
+
+struct InFlight<P> {
+    a: NodeId,
+    b: NodeId,
+    payload_a: P,
+    payload_b: P,
+    initiated_at: Round,
+}
+
+/// Drives a set of [`Protocol`] instances over a
+/// [`latency_graph::Graph`] under the paper's communication
+/// model.
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    faults: FaultPlan,
+    neighbor_ids: Vec<Vec<NodeId>>,
+    neighbor_lats: Vec<Vec<Latency>>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Simulator<'g> {
+        let n = graph.node_count();
+        let mut neighbor_ids = Vec::with_capacity(n);
+        let mut neighbor_lats = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let ns = graph.neighbors(v);
+            neighbor_ids.push(ns.iter().map(|&(w, _)| w).collect());
+            neighbor_lats.push(ns.iter().map(|&(_, l)| l).collect());
+        }
+        Simulator {
+            graph,
+            config,
+            faults: FaultPlan::none(),
+            neighbor_ids,
+            neighbor_lats,
+        }
+    }
+
+    /// Injects a fault plan (crashes, link drops) into the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Simulator<'g> {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// `factory(id, n)` builds each node's protocol instance; `stop`
+    /// is evaluated at the start of every round (after deliveries) over
+    /// all node states and ends the run when it returns `true`.
+    pub fn run<P, F, S>(&self, mut factory: F, mut stop: S) -> Outcome<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, usize) -> P,
+        S: FnMut(&[P], Round) -> bool,
+    {
+        let n = self.graph.node_count();
+        let size_hint = self.config.size_hint.unwrap_or(n);
+        let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
+        let mut rngs: Vec<StdRng> = (0..n as u64)
+            .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
+            .collect();
+        let mut pending: Vec<Option<NodeId>> = vec![None; n];
+        let mut in_flight: BTreeMap<Round, Vec<InFlight<P::Payload>>> = BTreeMap::new();
+        // Blocking mode: outstanding own-initiated exchanges per node.
+        let mut outstanding = vec![0u32; if self.config.blocking { n } else { 0 }];
+        let mut metrics = SimMetrics::default();
+
+        // on_start for every live node, before round 0.
+        for i in 0..n {
+            let me = NodeId::new(i);
+            if self.faults.is_crashed(me, 0) {
+                continue;
+            }
+            let mut ctx = Context {
+                node: me,
+                round: 0,
+                n,
+                size_hint,
+                neighbor_ids: &self.neighbor_ids[i],
+                latencies: self
+                    .config
+                    .latency_known
+                    .then_some(self.neighbor_lats[i].as_slice()),
+                rng: &mut rngs[i],
+                pending: &mut pending[i],
+            };
+            nodes[i].on_start(&mut ctx);
+        }
+
+        let mut round: Round = 0;
+        loop {
+            // 1. Deliver exchanges completing now.
+            if let Some(batch) = in_flight.remove(&round) {
+                for x in batch {
+                    if self.config.blocking {
+                        // The initiator's slot frees at completion time,
+                        // whether or not the exchange is delivered.
+                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                    }
+                    let a_ok = !self.faults.is_crashed(x.a, round);
+                    let b_ok = !self.faults.is_crashed(x.b, round);
+                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                    if !(a_ok && b_ok && link_ok) {
+                        metrics.lost += 1;
+                        continue;
+                    }
+                    metrics.delivered += 1;
+                    metrics.payload_units +=
+                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                    for (me, peer, payload, initiated_by_me) in [
+                        (x.a, x.b, &x.payload_b, true),
+                        (x.b, x.a, &x.payload_a, false),
+                    ] {
+                        let exchange = Exchange {
+                            peer,
+                            payload: payload.clone(),
+                            initiated_at: x.initiated_at,
+                            completed_at: round,
+                            initiated_by_me,
+                        };
+                        let mut ctx = Context {
+                            node: me,
+                            round,
+                            n,
+                            size_hint,
+                            neighbor_ids: &self.neighbor_ids[me.index()],
+                            latencies: self
+                                .config
+                                .latency_known
+                                .then_some(self.neighbor_lats[me.index()].as_slice()),
+                            rng: &mut rngs[me.index()],
+                            pending: &mut pending[me.index()],
+                        };
+                        nodes[me.index()].on_exchange(&mut ctx, &exchange);
+                    }
+                }
+            }
+
+            // 2. Stop checks.
+            if stop(&nodes, round) {
+                return Outcome {
+                    reason: StopReason::Condition,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+            if nodes.iter().all(|p| p.is_done()) {
+                return Outcome {
+                    reason: StopReason::AllDone,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+            if round >= self.config.max_rounds {
+                return Outcome {
+                    reason: StopReason::MaxRounds,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+
+            // 3. Per-node round logic.
+            for i in 0..n {
+                let me = NodeId::new(i);
+                if self.faults.is_crashed(me, round) {
+                    pending[i] = None;
+                    continue;
+                }
+                let mut ctx = Context {
+                    node: me,
+                    round,
+                    n,
+                    size_hint,
+                    neighbor_ids: &self.neighbor_ids[i],
+                    latencies: self
+                        .config
+                        .latency_known
+                        .then_some(self.neighbor_lats[i].as_slice()),
+                    rng: &mut rngs[i],
+                    pending: &mut pending[i],
+                };
+                nodes[i].on_round(&mut ctx);
+            }
+
+            // 4. Launch initiations (snapshot both endpoints now). Under
+            // a connection cap, initiations are admitted in a
+            // seeded-random order; an initiation counts one engagement
+            // at each endpoint and is rejected when either side is full.
+            let mut order: Vec<usize> = (0..n).collect();
+            if self.config.connection_cap.is_some() {
+                order.sort_by_key(|&i| {
+                    splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i as u64)
+                });
+            }
+            let mut engagements = vec![
+                0usize;
+                if self.config.connection_cap.is_some() {
+                    n
+                } else {
+                    0
+                }
+            ];
+            for i in order {
+                let Some(v) = pending[i].take() else { continue };
+                let u = NodeId::new(i);
+                if self.config.blocking && outstanding[i] > 0 {
+                    metrics.rejected += 1;
+                    let mut ctx = Context {
+                        node: u,
+                        round,
+                        n,
+                        size_hint,
+                        neighbor_ids: &self.neighbor_ids[i],
+                        latencies: self
+                            .config
+                            .latency_known
+                            .then_some(self.neighbor_lats[i].as_slice()),
+                        rng: &mut rngs[i],
+                        pending: &mut pending[i],
+                    };
+                    nodes[i].on_rejected(&mut ctx, v);
+                    pending[i] = None;
+                    continue;
+                }
+                if let Some(cap) = self.config.connection_cap {
+                    if engagements[u.index()] >= cap || engagements[v.index()] >= cap {
+                        metrics.rejected += 1;
+                        let mut ctx = Context {
+                            node: u,
+                            round,
+                            n,
+                            size_hint,
+                            neighbor_ids: &self.neighbor_ids[u.index()],
+                            latencies: self
+                                .config
+                                .latency_known
+                                .then_some(self.neighbor_lats[u.index()].as_slice()),
+                            rng: &mut rngs[u.index()],
+                            pending: &mut pending[u.index()],
+                        };
+                        nodes[u.index()].on_rejected(&mut ctx, v);
+                        pending[u.index()] = None; // a rejection cannot re-initiate this round
+                        continue;
+                    }
+                    engagements[u.index()] += 1;
+                    engagements[v.index()] += 1;
+                }
+                metrics.initiated += 1;
+                if self.config.blocking {
+                    outstanding[i] += 1;
+                }
+                let lat = self
+                    .graph
+                    .latency(u, v)
+                    .expect("initiate validated neighbor");
+                let complete_at = round + lat.rounds();
+                in_flight.entry(complete_at).or_default().push(InFlight {
+                    a: u,
+                    b: v,
+                    payload_a: nodes[u.index()].payload(),
+                    payload_b: nodes[v.index()].payload(),
+                    initiated_at: round,
+                });
+            }
+
+            round += 1;
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::RumorSet;
+    use latency_graph::{generators, Graph};
+
+    /// Flood: every round exchange with a round-robin neighbor.
+    struct Flood {
+        rumors: RumorSet,
+        cursor: usize,
+    }
+
+    impl Protocol for Flood {
+        type Payload = RumorSet;
+        fn payload(&self) -> RumorSet {
+            self.rumors.clone()
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_>) {
+            if ctx.degree() == 0 {
+                return;
+            }
+            let v = ctx.neighbor_ids()[self.cursor % ctx.degree()];
+            self.cursor += 1;
+            ctx.initiate(v);
+        }
+        fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<RumorSet>) {
+            self.rumors.union_with(&x.payload);
+        }
+    }
+
+    fn flood_factory(id: NodeId, n: usize) -> Flood {
+        Flood {
+            rumors: RumorSet::singleton(n, id),
+            cursor: 0,
+        }
+    }
+
+    fn all_know_source(nodes: &[Flood], src: NodeId) -> bool {
+        nodes.iter().all(|f| f.rumors.contains(src))
+    }
+
+    #[test]
+    fn two_nodes_unit_latency_one_round() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default()).run(flood_factory, |ns, _| {
+            all_know_source(ns, NodeId::new(0)) && all_know_source(ns, NodeId::new(1))
+        });
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.reason, StopReason::Condition);
+    }
+
+    #[test]
+    fn latency_delays_delivery_exactly() {
+        let g = Graph::from_edges(2, [(0, 1, 7)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns[1].rumors.contains(NodeId::new(0)));
+        assert_eq!(out.rounds, 7);
+    }
+
+    #[test]
+    fn exchange_is_bidirectional() {
+        let g = Graph::from_edges(2, [(0, 1, 3)]).unwrap();
+        // Only node 0 initiates (node 1 has cursor too, but exchange from
+        // 0 delivers to both; check both learned).
+        let out = Simulator::new(&g, SimConfig::default()).run(flood_factory, |ns, _| {
+            ns[0].rumors.is_full() && ns[1].rumors.is_full()
+        });
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn snapshot_taken_at_initiation() {
+        // Path 0 -1- 1 -5- 2. Node 2's exchange with 1 initiated at round
+        // 0 carries 1's round-0 state, which does NOT include 0's rumor:
+        // rumor 0 reaches node 1 at round 1, so node 2 can only learn it
+        // from an exchange initiated at round ≥ 1, completing at ≥ 6.
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 5)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns[2].rumors.contains(NodeId::new(0)));
+        assert_eq!(out.rounds, 6);
+    }
+
+    #[test]
+    fn non_blocking_pipelining() {
+        // Star with slow spokes: hub initiates a new exchange every round
+        // even though each takes 5 rounds. Rumor of spoke i (contacted at
+        // round i-1... hub contacts spokes round-robin) arrives at 5, 6, 7.
+        let g = Graph::from_edges(4, [(0, 1, 5), (0, 2, 5), (0, 3, 5)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns[0].rumors.is_full());
+        // Hub contacts 1 at round 0, 2 at round 1, 3 at round 2 ⇒ full at 7.
+        // (Spokes also initiate toward the hub at round 0, delivering
+        // their rumor at round 5, which can only make this earlier.)
+        assert!(out.rounds <= 7, "rounds = {}", out.rounds);
+        assert!(out.rounds >= 5);
+    }
+
+    #[test]
+    fn flood_completes_on_cycle() {
+        let g = generators::cycle(16);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns.iter().all(|f| f.rumors.is_full()));
+        assert_eq!(out.reason, StopReason::Condition);
+        assert!(out.rounds <= 32);
+        assert!(out.metrics.delivered > 0);
+    }
+
+    #[test]
+    fn max_rounds_respected() {
+        let g = generators::path(4);
+        // Impossible condition.
+        let cfg = SimConfig {
+            max_rounds: 10,
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(&g, cfg).run(flood_factory, |_, _| false);
+        assert_eq!(out.reason, StopReason::MaxRounds);
+        assert_eq!(out.rounds, 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        struct RandomCall {
+            rumors: RumorSet,
+            log: Vec<NodeId>,
+        }
+        impl Protocol for RandomCall {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                use rand::Rng as _;
+                let d = ctx.degree();
+                let i = ctx.rng().random_range(0..d);
+                let v = ctx.neighbor_ids()[i];
+                self.log.push(v);
+                ctx.initiate(v);
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let g = generators::clique(10);
+        let mk = |id: NodeId, n: usize| RandomCall {
+            rumors: RumorSet::singleton(n, id),
+            log: vec![],
+        };
+        let cfg = SimConfig {
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&g, cfg).run(mk, |ns, _| ns.iter().all(|x| x.rumors.is_full()));
+        let b = Simulator::new(&g, cfg).run(mk, |ns, _| ns.iter().all(|x| x.rumors.is_full()));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.nodes[0].log, b.nodes[0].log);
+        let cfg2 = SimConfig {
+            seed: 12,
+            ..SimConfig::default()
+        };
+        let c = Simulator::new(&g, cfg2).run(mk, |ns, _| ns.iter().all(|x| x.rumors.is_full()));
+        assert_ne!(a.nodes[0].log, c.nodes[0].log);
+    }
+
+    #[test]
+    fn latency_knowledge_gated() {
+        struct Peek {
+            saw: Option<Latency>,
+        }
+        impl Protocol for Peek {
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                self.saw = ctx.latency_to(ctx.neighbor_ids()[0]);
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+        }
+        let g = Graph::from_edges(2, [(0, 1, 9)]).unwrap();
+        let hidden =
+            Simulator::new(&g, SimConfig::default()).run(|_, _| Peek { saw: None }, |_, r| r >= 1);
+        assert_eq!(hidden.nodes[0].saw, None);
+        let known = Simulator::new(
+            &g,
+            SimConfig {
+                latency_known: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(|_, _| Peek { saw: None }, |_, r| r >= 1);
+        assert_eq!(known.nodes[0].saw, Some(Latency::new(9)));
+    }
+
+    #[test]
+    fn measured_latency_matches_edge() {
+        struct Measure {
+            measured: Option<Latency>,
+            fired: bool,
+        }
+        impl Protocol for Measure {
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                if !self.fired && ctx.id() == NodeId::new(0) {
+                    self.fired = true;
+                    ctx.initiate(NodeId::new(1));
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<()>) {
+                self.measured = Some(x.measured_latency());
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1, 6)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default()).run(
+            |_, _| Measure {
+                measured: None,
+                fired: false,
+            },
+            |ns: &[Measure], _| ns[0].measured.is_some(),
+        );
+        assert_eq!(out.nodes[0].measured, Some(Latency::new(6)));
+        assert_eq!(out.nodes[1].measured, Some(Latency::new(6)));
+    }
+
+    #[test]
+    fn size_hint_defaults_to_n_and_overrides() {
+        struct SeeHint {
+            hint: usize,
+        }
+        impl Protocol for SeeHint {
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                self.hint = ctx.size_hint();
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+        }
+        let g = generators::path(5);
+        let d =
+            Simulator::new(&g, SimConfig::default()).run(|_, _| SeeHint { hint: 0 }, |_, r| r >= 1);
+        assert_eq!(d.nodes[0].hint, 5);
+        let h = Simulator::new(
+            &g,
+            SimConfig {
+                size_hint: Some(25),
+                ..SimConfig::default()
+            },
+        )
+        .run(|_, _| SeeHint { hint: 0 }, |_, r| r >= 1);
+        assert_eq!(h.nodes[0].hint, 25);
+    }
+
+    #[test]
+    fn all_done_stops_run() {
+        struct OneShot {
+            done: bool,
+        }
+        impl Protocol for OneShot {
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, _: &mut Context<'_>) {
+                self.done = true;
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let g = generators::path(3);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_, _| OneShot { done: false }, |_, _| false);
+        assert_eq!(out.reason, StopReason::AllDone);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn initiate_non_neighbor_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                ctx.initiate(NodeId::new(2)); // not adjacent in a path 0-1-2
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+        }
+        let g = generators::path(3);
+        let _ = Simulator::new(&g, SimConfig::default()).run(|_, _| Bad, |_, _| false);
+    }
+
+    #[test]
+    fn connection_cap_serializes_star_broadcast() {
+        // Restricted model (conclusion / Daum et al. [24]): with cap 1,
+        // the hub engages one exchange per round, so informing all n−1
+        // leaves takes Θ(n) rounds instead of 1.
+        let n = 32;
+        let g = generators::star(n);
+        let capped = SimConfig {
+            connection_cap: Some(1),
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(&g, capped).run(flood_factory, |ns: &[Flood], _| {
+            ns.iter().all(|f| f.rumors.contains(NodeId::new(0)))
+        });
+        assert!(out.rounds >= (n as u64 - 1) / 2, "rounds = {}", out.rounds);
+        assert!(out.metrics.rejected > 0);
+        let free = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns: &[Flood], _| {
+                ns.iter().all(|f| f.rumors.contains(NodeId::new(0)))
+            });
+        assert_eq!(free.rounds, 1);
+        assert_eq!(free.metrics.rejected, 0);
+    }
+
+    #[test]
+    fn generous_cap_equals_uncapped() {
+        let g = generators::cycle(12);
+        let capped = SimConfig {
+            connection_cap: Some(12),
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&g, capped).run(flood_factory, |ns: &[Flood], _| {
+            ns.iter().all(|f| f.rumors.is_full())
+        });
+        let b = Simulator::new(&g, SimConfig::default()).run(flood_factory, |ns: &[Flood], _| {
+            ns.iter().all(|f| f.rumors.is_full())
+        });
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.metrics.rejected, 0);
+    }
+
+    #[test]
+    fn rejection_callback_fires() {
+        struct CountReject {
+            rumors: RumorSet,
+            rejections: usize,
+        }
+        impl Protocol for CountReject {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                // Everyone hammers node 0.
+                let target = NodeId::new(0);
+                if ctx.id() != target && ctx.neighbor_ids().contains(&target) {
+                    ctx.initiate(target);
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+            fn on_rejected(&mut self, _: &mut Context<'_>, peer: NodeId) {
+                assert_eq!(peer, NodeId::new(0));
+                self.rejections += 1;
+            }
+        }
+        let g = generators::star(8);
+        let cfg = SimConfig {
+            connection_cap: Some(1),
+            max_rounds: 3,
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(&g, cfg).run(
+            |id, n| CountReject {
+                rumors: RumorSet::singleton(n, id),
+                rejections: 0,
+            },
+            |_, _| false,
+        );
+        let total: usize = out.nodes.iter().map(|x| x.rejections).sum();
+        assert!(total > 0, "some initiations must be rejected");
+        assert_eq!(total as u64, out.metrics.rejected);
+    }
+
+    #[test]
+    fn blocking_serializes_own_initiations() {
+        // Only the hub initiates, over latency-5 spokes. Non-blocking:
+        // probes launch at rounds 0,1,2 and the hub is full at 7.
+        // Blocking: probes serialize at rounds 0,5,10 ⇒ full at 15.
+        struct HubOnly {
+            rumors: RumorSet,
+            cursor: usize,
+        }
+        impl Protocol for HubOnly {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                if ctx.id() == NodeId::new(0) {
+                    let v = ctx.neighbor_ids()[self.cursor % ctx.degree()];
+                    self.cursor += 1;
+                    ctx.initiate(v);
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let mk = |id: NodeId, n: usize| HubOnly {
+            rumors: RumorSet::singleton(n, id),
+            cursor: 0,
+        };
+        let g = Graph::from_edges(4, [(0, 1, 5), (0, 2, 5), (0, 3, 5)]).unwrap();
+        let free = Simulator::new(&g, SimConfig::default())
+            .run(mk, |ns: &[HubOnly], _| ns[0].rumors.is_full());
+        let blocked = Simulator::new(
+            &g,
+            SimConfig {
+                blocking: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(mk, |ns: &[HubOnly], _| ns[0].rumors.is_full());
+        assert_eq!(free.rounds, 7, "non-blocking pipelines");
+        assert_eq!(blocked.rounds, 15, "blocking serializes the probes");
+        assert!(blocked.metrics.rejected > 0);
+    }
+
+    #[test]
+    fn blocking_noop_on_unit_latencies() {
+        // With unit latencies every exchange completes before the next
+        // round, so blocking never rejects anything.
+        let g = generators::cycle(10);
+        let free = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns: &[Flood], _| {
+                ns.iter().all(|f| f.rumors.is_full())
+            });
+        let blocked = Simulator::new(
+            &g,
+            SimConfig {
+                blocking: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(flood_factory, |ns: &[Flood], _| {
+            ns.iter().all(|f| f.rumors.is_full())
+        });
+        assert_eq!(free.rounds, blocked.rounds);
+        assert_eq!(blocked.metrics.rejected, 0);
+    }
+
+    #[test]
+    fn metrics_count_initiations_and_deliveries() {
+        let g = Graph::from_edges(2, [(0, 1, 2)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns.iter().all(|f| f.rumors.is_full()));
+        // Both nodes initiate at round 0 and 1; completion at round 2.
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.metrics.initiated, 4);
+        assert_eq!(out.metrics.delivered, 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Fault injection: node crashes and link drops.
+//!
+//! The paper's conclusion observes that push-pull is inherently robust
+//! while the spanner-based algorithms are not, and poses fault-tolerant
+//! latency-aware gossip as future work. [`FaultPlan`] lets the
+//! experiment harness quantify that observation: a crashed node neither
+//! initiates nor responds, and any exchange whose endpoints or link are
+//! faulty at completion time is silently lost.
+
+use std::collections::HashMap;
+
+use latency_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Round;
+
+/// A schedule of faults applied during a simulation run.
+///
+/// # Example
+///
+/// ```
+/// use gossip_sim::FaultPlan;
+/// use latency_graph::NodeId;
+///
+/// let plan = FaultPlan::none()
+///     .crash(NodeId::new(3), 10)
+///     .drop_link(NodeId::new(0), NodeId::new(1), 5);
+/// assert!(plan.is_crashed(NodeId::new(3), 10));
+/// assert!(!plan.is_crashed(NodeId::new(3), 9));
+/// assert!(plan.is_link_down(NodeId::new(1), NodeId::new(0), 7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: HashMap<NodeId, Round>,
+    link_drops: HashMap<(NodeId, NodeId), Round>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `node` to crash at the start of `round` (it acts
+    /// normally in rounds `< round`). If called twice for the same node,
+    /// the earlier round wins.
+    pub fn crash(mut self, node: NodeId, round: Round) -> FaultPlan {
+        self.crashes
+            .entry(node)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// Schedules the undirected link `(u, v)` to drop at the start of
+    /// `round`. If called twice for the same link, the earlier round
+    /// wins.
+    pub fn drop_link(mut self, u: NodeId, v: NodeId, round: Round) -> FaultPlan {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.link_drops
+            .entry(key)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// Crashes a uniformly random `fraction` of the given nodes at
+    /// `round`, deterministically per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn crash_random_fraction(
+        mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        fraction: f64,
+        round: Round,
+        seed: u64,
+    ) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in nodes {
+            if rng.random::<f64>() < fraction {
+                self = self.crash(v, round);
+            }
+        }
+        self
+    }
+
+    /// Whether `node` is crashed at `round`.
+    pub fn is_crashed(&self, node: NodeId, round: Round) -> bool {
+        self.crashes.get(&node).is_some_and(|&r| round >= r)
+    }
+
+    /// Whether the link `(u, v)` is down at `round` (in either
+    /// orientation).
+    pub fn is_link_down(&self, u: NodeId, v: NodeId, round: Round) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.link_drops.get(&key).is_some_and(|&r| round >= r)
+    }
+
+    /// Number of scheduled crashes.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// The nodes scheduled to crash at or before `round`.
+    pub fn crashed_by(&self, round: Round) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .crashes
+            .iter()
+            .filter(|&(_, &r)| r <= round)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, Exchange, Protocol, SimConfig, Simulator};
+    use crate::rumor::RumorSet;
+    use latency_graph::{generators, Graph};
+
+    #[test]
+    fn crash_timing() {
+        let p = FaultPlan::none().crash(NodeId::new(1), 5);
+        assert!(!p.is_crashed(NodeId::new(1), 4));
+        assert!(p.is_crashed(NodeId::new(1), 5));
+        assert!(p.is_crashed(NodeId::new(1), 100));
+        assert!(!p.is_crashed(NodeId::new(2), 100));
+    }
+
+    #[test]
+    fn earlier_crash_wins() {
+        let p = FaultPlan::none()
+            .crash(NodeId::new(1), 5)
+            .crash(NodeId::new(1), 9);
+        assert!(p.is_crashed(NodeId::new(1), 5));
+        let q = FaultPlan::none()
+            .crash(NodeId::new(1), 9)
+            .crash(NodeId::new(1), 5);
+        assert!(q.is_crashed(NodeId::new(1), 5));
+    }
+
+    #[test]
+    fn link_drop_symmetric() {
+        let p = FaultPlan::none().drop_link(NodeId::new(2), NodeId::new(0), 3);
+        assert!(p.is_link_down(NodeId::new(0), NodeId::new(2), 3));
+        assert!(p.is_link_down(NodeId::new(2), NodeId::new(0), 3));
+        assert!(!p.is_link_down(NodeId::new(0), NodeId::new(2), 2));
+    }
+
+    #[test]
+    fn random_fraction_extremes() {
+        let nodes: Vec<NodeId> = (0..50).map(NodeId::new).collect();
+        let none = FaultPlan::none().crash_random_fraction(nodes.clone(), 0.0, 1, 7);
+        assert_eq!(none.crash_count(), 0);
+        let all = FaultPlan::none().crash_random_fraction(nodes.clone(), 1.0, 1, 7);
+        assert_eq!(all.crash_count(), 50);
+        let half = FaultPlan::none().crash_random_fraction(nodes, 0.5, 1, 7);
+        assert!(half.crash_count() > 10 && half.crash_count() < 40);
+    }
+
+    struct Flood {
+        rumors: RumorSet,
+        cursor: usize,
+    }
+    impl Protocol for Flood {
+        type Payload = RumorSet;
+        fn payload(&self) -> RumorSet {
+            self.rumors.clone()
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_>) {
+            if ctx.degree() > 0 {
+                let v = ctx.neighbor_ids()[self.cursor % ctx.degree()];
+                self.cursor += 1;
+                ctx.initiate(v);
+            }
+        }
+        fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+            self.rumors.union_with(&x.payload);
+        }
+    }
+    fn mk(id: NodeId, n: usize) -> Flood {
+        Flood {
+            rumors: RumorSet::singleton(n, id),
+            cursor: 0,
+        }
+    }
+
+    #[test]
+    fn crashed_node_blocks_path() {
+        // 0 - 1 - 2 with node 1 crashed from the start: 2 never learns 0.
+        let g = generators::path(3);
+        let out = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 50,
+                ..SimConfig::default()
+            },
+        )
+        .with_faults(FaultPlan::none().crash(NodeId::new(1), 0))
+        .run(mk, |ns: &[Flood], _| ns[2].rumors.contains(NodeId::new(0)));
+        assert!(!out.completed());
+        assert!(out.metrics.lost > 0);
+    }
+
+    #[test]
+    fn dropped_link_blocks_exchange() {
+        let g = Graph::from_edges(2, [(0, 1, 3)]).unwrap();
+        let out = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 20,
+                ..SimConfig::default()
+            },
+        )
+        .with_faults(FaultPlan::none().drop_link(NodeId::new(0), NodeId::new(1), 0))
+        .run(mk, |ns: &[Flood], _| ns[1].rumors.contains(NodeId::new(0)));
+        assert!(!out.completed());
+    }
+
+    #[test]
+    fn in_flight_exchange_lost_when_link_drops_midway() {
+        // Latency 10; link drops at round 5: the round-0 exchange is
+        // lost; no delivery ever happens.
+        let g = Graph::from_edges(2, [(0, 1, 10)]).unwrap();
+        let out = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 40,
+                ..SimConfig::default()
+            },
+        )
+        .with_faults(FaultPlan::none().drop_link(NodeId::new(0), NodeId::new(1), 5))
+        .run(mk, |ns: &[Flood], _| ns[1].rumors.contains(NodeId::new(0)));
+        assert!(!out.completed());
+        assert_eq!(out.metrics.delivered, 0);
+    }
+
+    #[test]
+    fn late_crash_allows_earlier_progress() {
+        // Path of 4; node 1 crashes at round 2, after passing the rumor on.
+        let g = generators::path(4);
+        let out = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 50,
+                ..SimConfig::default()
+            },
+        )
+        .with_faults(FaultPlan::none().crash(NodeId::new(1), 2))
+        .run(mk, |ns: &[Flood], _| ns[1].rumors.contains(NodeId::new(0)));
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn crashed_by_lists_sorted() {
+        let p = FaultPlan::none()
+            .crash(NodeId::new(5), 2)
+            .crash(NodeId::new(1), 4);
+        assert_eq!(p.crashed_by(2), vec![NodeId::new(5)]);
+        assert_eq!(p.crashed_by(4), vec![NodeId::new(1), NodeId::new(5)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! [`RumorSet`]: a fixed-universe bitset tracking which nodes' rumors a
+//! node currently knows.
+//!
+//! All-to-all information dissemination completes when every node's
+//! rumor set is full; one-to-all broadcast completes when every node's
+//! set contains the source.
+
+use latency_graph::NodeId;
+use std::fmt;
+
+/// A set of node ids over the fixed universe `0..n`, backed by `u64`
+/// words.
+///
+/// # Example
+///
+/// ```
+/// use gossip_sim::RumorSet;
+/// use latency_graph::NodeId;
+///
+/// let mut a = RumorSet::singleton(100, NodeId::new(3));
+/// let b = RumorSet::singleton(100, NodeId::new(70));
+/// assert!(a.union_with(&b));         // changed
+/// assert!(!a.union_with(&b));        // already contained
+/// assert_eq!(a.len(), 2);
+/// assert!(a.contains(NodeId::new(70)));
+/// assert!(!a.is_full());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RumorSet {
+    words: Vec<u64>,
+    universe: usize,
+    count: usize,
+}
+
+impl RumorSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> RumorSet {
+        RumorSet {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+            count: 0,
+        }
+    }
+
+    /// A set containing exactly `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= n`.
+    pub fn singleton(n: usize, v: NodeId) -> RumorSet {
+        let mut s = RumorSet::new(n);
+        s.insert(v);
+        s
+    }
+
+    /// A full set over the universe `0..n`.
+    pub fn full(n: usize) -> RumorSet {
+        let mut s = RumorSet::new(n);
+        for i in 0..n {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// The universe size `n` this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of rumors known.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no rumor is known.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every rumor in the universe is known.
+    pub fn is_full(&self) -> bool {
+        self.count == self.universe
+    }
+
+    /// Whether `v`'s rumor is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= universe`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node outside rumor universe");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Inserts `v`'s rumor; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= universe`.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node outside rumor universe");
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask == 0 {
+            self.words[i / 64] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unions `other` into `self`; returns `true` if anything changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &RumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor universes must match");
+        let mut changed = false;
+        let mut count = 0usize;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            if merged != *a {
+                changed = true;
+                *a = merged;
+            }
+            count += merged.count_ones() as usize;
+        }
+        self.count = count;
+        changed
+    }
+
+    /// Whether `self` is a superset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_superset(&self, other: &RumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor universes must match");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| b & !a == 0)
+    }
+
+    /// A 64-bit fingerprint of the set contents (equal sets ⇒ equal
+    /// fingerprints; unequal sets collide with probability ≈ 2⁻⁶⁴).
+    ///
+    /// The distributed Termination Check (paper, Algorithm 1) compares
+    /// rumor sets across nodes; exchanging fingerprints instead of full
+    /// sets keeps those comparison messages small.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (self.universe as u64);
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h
+    }
+
+    /// Iterates over the known rumors in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word >> b & 1 == 1)
+                .map(move |b| NodeId::new(w * 64 + b))
+        })
+    }
+}
+
+impl fmt::Debug for RumorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RumorSet({}/{}; ", self.count, self.universe)?;
+        let mut first = true;
+        for v in self.iter().take(8) {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        if self.count > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = RumorSet::new(130);
+        assert!(s.insert(NodeId::new(0)));
+        assert!(s.insert(NodeId::new(64)));
+        assert!(s.insert(NodeId::new(129)));
+        assert!(!s.insert(NodeId::new(64)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId::new(129)));
+        assert!(!s.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn union_tracks_change_and_count() {
+        let mut a = RumorSet::singleton(10, NodeId::new(1));
+        let mut b = RumorSet::singleton(10, NodeId::new(2));
+        b.insert(NodeId::new(1));
+        assert!(a.union_with(&b));
+        assert_eq!(a.len(), 2);
+        assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = RumorSet::full(77);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 77);
+        let e = RumorSet::new(77);
+        assert!(e.is_empty());
+        assert!(f.is_superset(&e));
+        assert!(!e.is_superset(&f));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = RumorSet::new(200);
+        for i in [5usize, 63, 64, 65, 199] {
+            s.insert(NodeId::new(i));
+        }
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn superset_reflexive() {
+        let s = RumorSet::singleton(10, NodeId::new(4));
+        assert!(s.is_superset(&s.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn contains_out_of_universe_panics() {
+        let s = RumorSet::new(10);
+        let _ = s.contains(NodeId::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "universes must match")]
+    fn union_mismatched_universe_panics() {
+        let mut a = RumorSet::new(10);
+        let b = RumorSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let f = RumorSet::full(20);
+        let d = format!("{f:?}");
+        assert!(d.contains("20/20"));
+        assert!(d.contains('…'));
+    }
+}

@@ -1,0 +1,118 @@
+//! Spanner verification: stretch, size, and out-degree checks.
+
+use latency_graph::{metrics, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The exact worst-case stretch of `spanner` relative to `g`:
+/// `max_{u≠v} dist_S(u, v) / dist_G(u, v)` over pairs connected in `g`.
+///
+/// Returns `f64::INFINITY` if the spanner disconnects a pair that `g`
+/// connects, and 1.0 for a single-node graph. Cost: `n` Dijkstra passes
+/// on each graph — intended for verification-sized graphs.
+///
+/// # Panics
+///
+/// Panics if the graphs have different node counts.
+pub fn max_stretch(g: &Graph, spanner: &Graph) -> f64 {
+    assert_eq!(
+        g.node_count(),
+        spanner.node_count(),
+        "spanner must cover the same nodes"
+    );
+    let dg = metrics::all_pairs_distances(g);
+    let ds = metrics::all_pairs_distances(spanner);
+    let mut worst: f64 = 1.0;
+    for u in 0..g.node_count() {
+        for v in 0..g.node_count() {
+            if u == v || dg[u][v] == metrics::INFINITY {
+                continue;
+            }
+            if ds[u][v] == metrics::INFINITY {
+                return f64::INFINITY;
+            }
+            worst = worst.max(ds[u][v] as f64 / dg[u][v] as f64);
+        }
+    }
+    worst
+}
+
+/// Estimates the worst-case stretch from `samples` random source nodes
+/// (full Dijkstra per sampled source, all destinations). A lower bound
+/// on [`max_stretch`]; suitable for large graphs.
+///
+/// # Panics
+///
+/// Panics if the graphs have different node counts or `samples == 0`.
+pub fn sampled_max_stretch(g: &Graph, spanner: &Graph, samples: usize, seed: u64) -> f64 {
+    assert_eq!(
+        g.node_count(),
+        spanner.node_count(),
+        "spanner must cover the same nodes"
+    );
+    assert!(samples >= 1, "need at least one sample");
+    let n = g.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: f64 = 1.0;
+    for _ in 0..samples {
+        let s = NodeId::new(rng.random_range(0..n));
+        let dg = metrics::dijkstra(g, s);
+        let ds = metrics::dijkstra(spanner, s);
+        for v in 0..n {
+            if v == s.index() || dg[v] == metrics::INFINITY {
+                continue;
+            }
+            if ds[v] == metrics::INFINITY {
+                return f64::INFINITY;
+            }
+            worst = worst.max(ds[v] as f64 / dg[v] as f64);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latency_graph::generators;
+
+    #[test]
+    fn identical_graph_stretch_one() {
+        let g = generators::cycle(10);
+        assert_eq!(max_stretch(&g, &g), 1.0);
+    }
+
+    #[test]
+    fn removing_cycle_edge_doubles_worst_path() {
+        let g = generators::cycle(8);
+        let p = generators::path(8); // cycle minus edge (7,0)
+                                     // dist_G(0,7) = 1, dist_P(0,7) = 7.
+        assert_eq!(max_stretch(&g, &p), 7.0);
+    }
+
+    #[test]
+    fn disconnection_is_infinite() {
+        let g = generators::path(4);
+        let broken = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(max_stretch(&g, &broken), f64::INFINITY);
+    }
+
+    #[test]
+    fn sampled_is_lower_bound() {
+        let g = generators::cycle(12);
+        let p = generators::path(12);
+        let full = max_stretch(&g, &p);
+        let sampled = sampled_max_stretch(&g, &p, 4, 1);
+        assert!(sampled <= full + 1e-12);
+        assert!(sampled >= 1.0);
+    }
+
+    #[test]
+    fn sampled_finds_disconnection() {
+        let g = generators::path(4);
+        let broken = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(sampled_max_stretch(&g, &broken, 2, 0), f64::INFINITY);
+    }
+
+    use latency_graph::Graph;
+}

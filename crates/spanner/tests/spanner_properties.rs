@@ -1,0 +1,112 @@
+//! Property tests for the spanner construction: stretch, orientation,
+//! size-estimate robustness, and public-coin consistency.
+
+use baswana_sen::{build_spanner, sampled_coin, verify, SpannerConfig};
+use latency_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn connected_graph(max_n: usize, max_lat: u32) -> impl Strategy<Value = Graph> {
+    (3..=max_n, 0u64..500, 1..=max_lat).prop_map(|(n, seed, lat_hi)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = latency_graph::GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n {
+            edges.insert((rng.random_range(0..v), v));
+        }
+        for _ in 0..2 * n {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v, rng.random_range(1..=lat_hi)).unwrap();
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The stretch bound 2k−1 holds for every (graph, k, seed).
+    #[test]
+    fn stretch_always_within_bound(g in connected_graph(16, 8), k in 1usize..5, seed in 0u64..50) {
+        let r = build_spanner(&g, &SpannerConfig { k, seed, ..Default::default() });
+        let und = r.spanner.to_undirected();
+        prop_assert!(und.is_connected());
+        let worst = verify::max_stretch(&g, &und);
+        prop_assert!(worst <= (2 * k - 1) as f64 + 1e-9, "stretch {worst}");
+    }
+
+    /// Every spanner arc is a real graph edge with its true latency.
+    #[test]
+    fn arcs_are_graph_edges(g in connected_graph(16, 8), k in 2usize..5, seed in 0u64..50) {
+        let r = build_spanner(&g, &SpannerConfig { k, seed, ..Default::default() });
+        for (u, v, l) in r.spanner.arcs() {
+            prop_assert_eq!(g.latency(u, v), Some(l), "arc ({}, {}) not in G", u, v);
+        }
+    }
+
+    /// An inflated size estimate n̂ ∈ [n, n²] preserves the stretch
+    /// guarantee (Lemma 13) — only the out-degree may grow.
+    #[test]
+    fn size_estimate_preserves_stretch(
+        g in connected_graph(14, 6),
+        k in 2usize..5,
+        seed in 0u64..30,
+        inflate in 1usize..3,
+    ) {
+        let n = g.node_count();
+        let n_hat = n.pow(inflate as u32).max(n);
+        let r = build_spanner(&g, &SpannerConfig { k, size_estimate: Some(n_hat), seed });
+        let und = r.spanner.to_undirected();
+        prop_assert!(und.is_connected());
+        let worst = verify::max_stretch(&g, &und);
+        prop_assert!(worst <= (2 * k - 1) as f64 + 1e-9);
+    }
+
+    /// The public coin is deterministic in its arguments and its
+    /// acceptance rate tracks p.
+    #[test]
+    fn public_coin_deterministic_and_calibrated(seed in 0u64..1000, iteration in 0u64..10) {
+        let p = 0.3;
+        for c in 0..50u32 {
+            let center = NodeId::new(c as usize);
+            prop_assert_eq!(
+                sampled_coin(seed, center, iteration, p),
+                sampled_coin(seed, center, iteration, p)
+            );
+        }
+        let accepted = (0..2000u32)
+            .filter(|&c| sampled_coin(seed, NodeId::new(c as usize), iteration, p))
+            .count();
+        let rate = accepted as f64 / 2000.0;
+        prop_assert!((rate - p).abs() < 0.06, "coin rate {rate} vs p {p}");
+    }
+
+    /// Size sanity: an undirected edge may be adopted by both endpoints
+    /// (one arc each), so arcs ≤ 2m and undirected spanner edges ≤ m;
+    /// k = 1 is the identity.
+    #[test]
+    fn size_sanity(g in connected_graph(14, 6), seed in 0u64..30) {
+        let k3 = build_spanner(&g, &SpannerConfig { k: 3, seed, ..Default::default() });
+        prop_assert!(k3.spanner.arc_count() <= 2 * g.edge_count());
+        prop_assert!(k3.spanner.to_undirected().edge_count() <= g.edge_count());
+        let k1 = build_spanner(&g, &SpannerConfig { k: 1, seed, ..Default::default() });
+        prop_assert_eq!(k1.spanner.arc_count(), g.edge_count());
+        prop_assert_eq!(verify::max_stretch(&g, &k1.spanner.to_undirected()), 1.0);
+    }
+
+    /// Sampled stretch never exceeds exact stretch.
+    #[test]
+    fn sampled_stretch_is_lower_bound(g in connected_graph(14, 6), seed in 0u64..30) {
+        let r = build_spanner(&g, &SpannerConfig { k: 3, seed, ..Default::default() });
+        let und = r.spanner.to_undirected();
+        let exact = verify::max_stretch(&g, &und);
+        let sampled = verify::sampled_max_stretch(&g, &und, 4, seed);
+        prop_assert!(sampled <= exact + 1e-12);
+    }
+}

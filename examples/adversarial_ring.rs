@@ -1,0 +1,65 @@
+//! The Theorem 8 layered ring: the construction where the
+//! `min(Δ + D, ℓ/φ)` trade-off is visible.
+//!
+//! We build the ring of cliques (Fig. 2) for several slow-edge
+//! latencies `ℓ`, verify the analytic parameters of Lemmas 9–11
+//! (`φ_ℓ ≈ α`, `Δ = 3s−1`, `D = Θ(1/α)`), and race push-pull
+//! (which pays `ℓ/φ`-ish) against EID (which pays `D`-ish after
+//! discovering the hidden fast edges).
+//!
+//! ```sh
+//! cargo run --example adversarial_ring
+//! ```
+
+use gossip_latencies::graph::conductance;
+use gossip_latencies::graph::generators::{LayeredRing, LayeredRingSpec};
+use gossip_latencies::graph::metrics;
+use gossip_latencies::protocols::eid::{self, EidConfig};
+use gossip_latencies::protocols::push_pull::{self, PushPullConfig};
+
+fn main() {
+    let n = 60;
+    let alpha = 0.1;
+    println!("layered ring (Theorem 8): n = {n}, α = {alpha}");
+    println!("\n   ℓ   nodes   Δ     D    φ_ℓ(C)   push-pull   EID-total");
+    for ell in [2u32, 8, 32, 128] {
+        let ring = LayeredRing::generate(&LayeredRingSpec {
+            n,
+            alpha,
+            ell,
+            seed: 5,
+        });
+        let g = &ring.graph;
+        let d = metrics::weighted_diameter(g);
+        let delta = g.max_degree();
+        let phi = conductance::cut_phi(g, &ring.half_ring_cut(), ring.ell)
+            .expect("half-ring cut is proper");
+
+        let (pp, _) = push_pull::mean_broadcast_rounds(
+            g,
+            ring.layer(0).next().expect("nonempty layer"),
+            &PushPullConfig::default(),
+            3,
+            5,
+        );
+        let out = eid::eid(
+            g,
+            &EidConfig {
+                diameter: d,
+                seed: 3,
+                charge_actual_rr: true,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{ell:>4}  {:>5}  {delta:>3}  {d:>4}   {phi:.3}    {pp:>8.0}   {:>9}{}",
+            g.node_count(),
+            out.total_rounds(),
+            if out.complete { "" } else { " (incomplete)" }
+        );
+    }
+    println!(
+        "\nreading: push-pull tracks ℓ/φ (grows with ℓ); EID tracks D log³n \
+         (flat in ℓ) — the crossover is Theorem 8's min(Δ + D, ℓ/φ)."
+    );
+}

@@ -1,0 +1,100 @@
+//! Regenerates the paper's figures as Graphviz DOT files and ASCII art.
+//!
+//! * Fig. 1a — the gadget `G(P)` (left clique, fast/slow cross edges).
+//! * Fig. 1b — the symmetric gadget `G_sym(P)`.
+//! * Fig. 2  — the Theorem 8 layered ring.
+//! * Figs. 4–5 — the DTG binomial `i`-trees, printed as ASCII.
+//! * The Appendix E `T(k)` ruler pattern.
+//!
+//! DOT files are written to `target/figures/`; render them with
+//! `dot -Tsvg`.
+//!
+//! ```sh
+//! cargo run --release --example paper_figures
+//! ```
+
+use gossip_latencies::graph::generators::{gadget, GadgetSpec, LayeredRing, LayeredRingSpec};
+use gossip_latencies::graph::io;
+use gossip_latencies::protocols::path_discovery;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir)?;
+
+    // Fig. 1a: G(P) with a small random target.
+    let spec = GadgetSpec::paper(5, false);
+    let g1a = gadget::gadget(&spec, &gadget::random_target(5, 0.15, 3));
+    fs::write(dir.join("fig1a_gadget.dot"), io::to_dot(&g1a.graph, "G_P"))?;
+    println!(
+        "fig1a: G(P) with m = 5 — {} nodes, {} edges, {} fast cross edges (bold in DOT)",
+        g1a.graph.node_count(),
+        g1a.graph.edge_count(),
+        g1a.target.len()
+    );
+
+    // Fig. 1b: G_sym(P).
+    let spec = GadgetSpec::paper(5, true);
+    let g1b = gadget::gadget(&spec, &gadget::random_target(5, 0.15, 3));
+    fs::write(
+        dir.join("fig1b_gadget_sym.dot"),
+        io::to_dot(&g1b.graph, "G_sym_P"),
+    )?;
+    println!(
+        "fig1b: G_sym(P) — {} edges (right clique added)",
+        g1b.graph.edge_count()
+    );
+
+    // Fig. 2: the layered ring.
+    let ring = LayeredRing::generate(&LayeredRingSpec {
+        n: 24,
+        alpha: 0.2,
+        ell: 8,
+        seed: 1,
+    });
+    fs::write(
+        dir.join("fig2_layered_ring.dot"),
+        io::to_dot(&ring.graph, "ring"),
+    )?;
+    println!(
+        "fig2: layered ring — k = {} layers × s = {} nodes, {} hidden fast edges",
+        ring.layers,
+        ring.layer_size,
+        ring.fast_edges.len()
+    );
+
+    // Figs. 4–5: binomial i-trees. An i-tree is two (i−1)-trees joined
+    // at the root; print sizes and ASCII shape.
+    println!("\nfigs 4–5: DTG binomial i-trees (node counts 2^i)");
+    for i in 0..=4u32 {
+        println!("  {i}-tree: {} nodes", 1u32 << i);
+        print_itree(i, "    ", true);
+    }
+
+    // Appendix E: the T(k) ruler sequence.
+    println!("\nappendix E: T(k) parameter pattern");
+    for k in [2u64, 4, 8, 16] {
+        let seq = path_discovery::t_sequence(k);
+        let rendered: Vec<String> = seq.iter().map(|x| x.to_string()).collect();
+        println!("  T({k}): {}", rendered.join(", "));
+    }
+
+    println!("\nDOT files written to {}", dir.display());
+    Ok(())
+}
+
+/// Prints the recursive structure of an `i`-tree: the root of an
+/// `i`-tree has children that are roots of `(i−1)…0`-trees (the
+/// binomial-tree shape DTG pipelines along).
+fn print_itree(i: u32, indent: &str, root: bool) {
+    if root {
+        println!("{indent}●");
+    }
+    for j in (0..i).rev() {
+        println!("{indent}└─ {j}-subtree");
+        if j > 0 && i <= 3 {
+            print_itree(j, &format!("{indent}   "), false);
+        }
+    }
+}

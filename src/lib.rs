@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `gossip-latencies`: a reproduction of *Gossiping with Latencies*
+//! (Seth Gilbert, Peter Robinson, Suman Sourav; PODC 2017 brief
+//! announcement, full version arXiv:1611.06343).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] — weighted graphs, generators, **weighted conductance**
+//!   `φ*` and **critical latency** `ℓ*` (Definitions 1–2).
+//! * [`sim`] — the synchronous gossip-with-latencies communication model.
+//! * [`game`] — the combinatorial guessing game behind the lower bounds
+//!   (Section 3).
+//! * [`spanner`] — the Baswana–Sen spanner with edge orientation
+//!   (Appendix D).
+//! * [`protocols`] — push-pull (Theorem 12), DTG local broadcast, the
+//!   spanner-based EID algorithm (`O(D log³ n)`, Theorem 19), path
+//!   discovery (Appendix E), and the unified algorithm (Theorem 20).
+//!
+//! # Quick start
+//!
+//! ```
+//! use gossip_latencies::graph::generators;
+//! use gossip_latencies::protocols::push_pull::{self, PushPullConfig};
+//!
+//! // A clique with bimodal latencies: mostly slow, a few fast edges.
+//! let g = generators::bimodal_latencies(&generators::clique(32), 1, 40, 0.2, 7);
+//! let outcome = push_pull::broadcast(&g, gossip_latencies::graph::NodeId::new(0),
+//!                                    &PushPullConfig::default(), 42);
+//! assert!(outcome.completed());
+//! ```
+
+pub use baswana_sen as spanner;
+pub use gossip_core as protocols;
+pub use gossip_sim as sim;
+pub use guessing_game as game;
+pub use latency_graph as graph;

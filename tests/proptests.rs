@@ -1,0 +1,218 @@
+//! Property-based tests over the whole workspace (proptest).
+
+use gossip_latencies::game::{Oracle, Predicate};
+use gossip_latencies::graph::{conductance, metrics, Graph, Latency, NodeId};
+use gossip_latencies::protocols::{dtg, push_pull};
+use gossip_latencies::sim::RumorSet;
+use gossip_latencies::spanner::{build_spanner, verify, SpannerConfig};
+use proptest::prelude::*;
+
+/// A random connected weighted graph: a random spanning tree plus extra
+/// random edges, latencies in 1..=max_lat.
+fn connected_graph(max_n: usize, max_lat: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_n, 0u64..1000, 1..=max_lat).prop_map(move |(n, seed, lat_hi)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = gossip_latencies::graph::GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        // Random spanning tree.
+        for v in 1..n {
+            let u = rng.random_range(0..v);
+            edges.insert((u, v));
+        }
+        // Extra edges.
+        let extra = rng.random_range(0..=n);
+        for _ in 0..extra {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                let (a, b2) = if u < v { (u, v) } else { (v, u) };
+                edges.insert((a, b2));
+            }
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v, rng.random_range(1..=lat_hi))
+                .expect("valid edge");
+        }
+        b.build().expect("valid graph")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// φ_ℓ is within [0, 1]-ish (≤ max over cuts) and monotone
+    /// non-decreasing in ℓ.
+    #[test]
+    fn conductance_profile_monotone(g in connected_graph(10, 8)) {
+        let p = conductance::exact_conductance_profile(&g).unwrap();
+        let phis: Vec<f64> = p.entries().iter().map(|e| e.phi).collect();
+        for w in phis.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "profile must be monotone: {phis:?}");
+        }
+        for &phi in &phis {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&phi));
+        }
+        // Connected graph ⇒ φ at ℓ_max strictly positive.
+        prop_assert!(*phis.last().unwrap() > 0.0);
+    }
+
+    /// The weighted conductance entry really maximizes φ_ℓ/ℓ.
+    #[test]
+    fn weighted_conductance_maximizes_ratio(g in connected_graph(10, 8)) {
+        let p = conductance::exact_conductance_profile(&g).unwrap();
+        let wc = p.weighted_conductance().unwrap();
+        for e in p.entries() {
+            if e.phi > 0.0 {
+                prop_assert!(
+                    wc.ratio() >= e.phi / e.ell.rounds() as f64 - 1e-12,
+                    "ℓ* must win: {:?} vs entry {:?}", wc, e.ell
+                );
+            }
+        }
+    }
+
+    /// Unit-latency graphs: φ* equals the classical conductance and
+    /// ℓ* = 1 (paper, Section 2).
+    #[test]
+    fn unit_latency_reduces_to_classical(g in connected_graph(10, 1)) {
+        let wc = conductance::exact_weighted_conductance(&g).unwrap();
+        prop_assert_eq!(wc.critical_latency, Latency::UNIT);
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over edges and
+    /// symmetry.
+    #[test]
+    fn dijkstra_triangle_inequality(g in connected_graph(14, 10)) {
+        let d = metrics::all_pairs_distances(&g);
+        let n = g.node_count();
+        for (u, row) in d.iter().enumerate() {
+            prop_assert_eq!(row[u], 0);
+            for (v, &duv) in row.iter().enumerate() {
+                prop_assert_eq!(duv, d[v][u]);
+            }
+        }
+        for (u, v, l) in g.edges() {
+            for row in d.iter().take(n) {
+                prop_assert!(
+                    row[v.index()] <= row[u.index()] + l.rounds(),
+                    "triangle violated"
+                );
+            }
+        }
+    }
+
+    /// The spanner keeps connectivity and respects its stretch bound on
+    /// arbitrary weighted graphs.
+    #[test]
+    fn spanner_stretch_invariant(g in connected_graph(14, 10), k in 2usize..5, seed in 0u64..50) {
+        let r = build_spanner(&g, &SpannerConfig { k, seed, ..Default::default() });
+        let und = r.spanner.to_undirected();
+        prop_assert!(und.is_connected());
+        let worst = verify::max_stretch(&g, &und);
+        prop_assert!(worst <= (2 * k - 1) as f64 + 1e-9, "stretch {worst} > {}", 2 * k - 1);
+    }
+
+    /// ℓ-DTG local broadcast completes and satisfies its postcondition
+    /// for every latency threshold present in the graph.
+    #[test]
+    fn dtg_local_broadcast_postcondition(g in connected_graph(12, 6)) {
+        for ell in g.distinct_latencies() {
+            let o = dtg::local_broadcast(&g, ell);
+            prop_assert!(o.complete, "ℓ = {ell}");
+            prop_assert!(dtg::verify_local_broadcast(&g, ell, &o.rumors));
+        }
+    }
+
+    /// Push-pull broadcast always completes on connected graphs, and
+    /// needs at least the weighted eccentricity of the source.
+    #[test]
+    fn push_pull_completes_and_respects_distance(g in connected_graph(12, 6), seed in 0u64..100) {
+        let src = NodeId::new(0);
+        let o = push_pull::broadcast(&g, src, &push_pull::PushPullConfig::default(), seed);
+        prop_assert!(o.completed());
+        let ecc = metrics::eccentricity(&g, src);
+        prop_assert!(o.rounds >= ecc, "information cannot travel faster than distance");
+    }
+
+    /// Oracle invariant: the target set never grows, shrinks exactly by
+    /// whole columns, and the game halts iff every initial column was
+    /// hit.
+    #[test]
+    fn oracle_update_invariants(
+        m in 2usize..8,
+        seed in 0u64..500,
+        p in 0.05f64..0.9,
+        rounds in 1usize..30,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let target = Predicate::Random { p }.sample(m, seed);
+        let initial_cols: std::collections::BTreeSet<usize> =
+            target.iter().map(|&(_, b)| b).collect();
+        let mut oracle = Oracle::new(m, target);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut hit_cols = std::collections::BTreeSet::new();
+        for _ in 0..rounds {
+            if oracle.is_solved() {
+                break;
+            }
+            let before = oracle.remaining();
+            let guesses: Vec<(usize, usize)> = (0..2 * m)
+                .map(|_| (rng.random_range(0..m), rng.random_range(0..m)))
+                .collect();
+            let resp = oracle.submit(&guesses).unwrap();
+            for &(_, b) in &resp.hits {
+                hit_cols.insert(b);
+            }
+            prop_assert!(oracle.remaining() <= before, "target never grows");
+        }
+        if oracle.is_solved() {
+            prop_assert_eq!(&hit_cols, &initial_cols, "halt iff every column hit");
+        } else {
+            prop_assert!(hit_cols.len() < initial_cols.len());
+        }
+    }
+
+    /// RumorSet union is commutative, associative, idempotent and
+    /// monotone in size.
+    #[test]
+    fn rumor_set_lattice_laws(
+        n in 1usize..100,
+        xs in prop::collection::vec(0usize..100, 0..20),
+        ys in prop::collection::vec(0usize..100, 0..20),
+    ) {
+        let mk = |ids: &[usize]| {
+            let mut s = RumorSet::new(n);
+            for &i in ids {
+                if i < n {
+                    s.insert(NodeId::new(i));
+                }
+            }
+            s
+        };
+        let a = mk(&xs);
+        let b = mk(&ys);
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        prop_assert!(ab.len() >= a.len().max(b.len()), "monotone");
+        let mut abb = ab.clone();
+        prop_assert!(!abb.union_with(&b), "idempotent");
+        prop_assert!(ab.is_superset(&a) && ab.is_superset(&b));
+    }
+
+    /// latency_filtered at ℓ_max is the identity; at every threshold it
+    /// never contains a slower edge.
+    #[test]
+    fn latency_filter_soundness(g in connected_graph(12, 9)) {
+        let lmax = g.max_latency().unwrap();
+        prop_assert_eq!(g.latency_filtered(lmax), g.clone());
+        for ell in g.distinct_latencies() {
+            let f = g.latency_filtered(ell);
+            prop_assert!(f.edges().all(|(_, _, l)| l <= ell));
+            prop_assert_eq!(f.node_count(), g.node_count());
+        }
+    }
+}
