@@ -5,7 +5,13 @@
 //! cargo run --release -p gossip-bench --bin experiments -- e3 e12
 //! cargo run --release -p gossip-bench --bin experiments -- --markdown all
 //! cargo run --release -p gossip-bench --bin experiments -- --csv e3
+//! cargo run --release -p gossip-bench --bin experiments -- bench-engine
 //! ```
+//!
+//! `bench-engine` is special: instead of a table it times the engine's
+//! headline workload (push-pull all-to-all on cliques of 256 / 1024 /
+//! 4096 nodes) and writes the throughput baseline to
+//! `BENCH_engine.json` (override the path with `--out <file>`).
 
 use std::time::Instant;
 
@@ -13,20 +19,56 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
     let csv = args.iter().any(|a| a == "--csv");
-    let selected: Vec<String> = args
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut rest = Vec::new();
+    let mut it = args
         .into_iter()
-        .filter(|a| a != "--markdown" && a != "--csv")
-        .map(|a| a.to_lowercase())
-        .collect();
+        .filter(|a| a != "--markdown" && a != "--csv");
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(a.to_lowercase());
+        }
+    }
+    let selected = rest;
     let registry = gossip_bench::registry();
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--markdown | --csv] <all | e1 … e23>...\n");
+        eprintln!("usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine>\n");
         eprintln!("experiments:");
         for (id, what, _) in &registry {
             eprintln!("  {id:<4} {what}");
         }
+        eprintln!("  bench-engine  engine throughput baseline -> BENCH_engine.json (--out <file>)");
         std::process::exit(2);
+    }
+
+    if selected.iter().any(|a| a == "bench-engine") {
+        eprintln!(
+            "running bench-engine: push-pull all-to-all cliques n ∈ {:?} …",
+            gossip_bench::engine_bench::SIZES
+        );
+        let start = Instant::now();
+        let json = gossip_bench::engine_bench::run(3);
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{json}");
+        eprintln!(
+            "bench-engine finished in {:.2?}; wrote {out_path}\n",
+            start.elapsed()
+        );
+        if selected.len() == 1 {
+            return;
+        }
     }
 
     let run_all = selected.iter().any(|a| a == "all");

@@ -1,0 +1,130 @@
+//! The `bench-engine` mode of the experiments binary: a small,
+//! self-timed throughput baseline for the simulation engine, emitted as
+//! `BENCH_engine.json` so CI can archive engine performance next to the
+//! criterion micro-benchmarks.
+//!
+//! The workload is the headline one from the engine rewrite: push-pull
+//! all-to-all dissemination on a clique (every round costs `n`
+//! initiations, `n` payload snapshots, and up to `n` deliveries), at
+//! `n ∈ {256, 1024, 4096}`. Reported throughput is simulated
+//! rounds per wall-clock second, aggregated over several seeds.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gossip_core::push_pull::{self, PushPullConfig};
+use latency_graph::generators;
+
+/// Sizes the baseline covers.
+pub const SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// One measured size.
+#[derive(Clone, Copy, Debug)]
+pub struct EnginePoint {
+    /// Clique size `n`.
+    pub n: usize,
+    /// Seeds run (after one discarded warm-up).
+    pub trials: u64,
+    /// Total simulated rounds across all trials.
+    pub rounds: u64,
+    /// Total wall-clock seconds across all trials.
+    pub secs: f64,
+}
+
+impl EnginePoint {
+    /// Simulated rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.secs
+    }
+}
+
+/// Runs push-pull all-to-all on an `n`-clique over `trials` seeds and
+/// returns the aggregate measurement.
+pub fn measure_clique(n: usize, trials: u64) -> EnginePoint {
+    let g = generators::clique(n);
+    let cfg = PushPullConfig::default();
+    // Warm-up run (allocator, page faults) — not timed.
+    let _ = push_pull::all_to_all(&g, &cfg, 0x5eed);
+    let mut rounds = 0u64;
+    let start = Instant::now();
+    for t in 0..trials {
+        let out = push_pull::all_to_all(&g, &cfg, 1 + t);
+        assert!(out.completed(), "all-to-all must complete on a clique");
+        rounds += out.rounds;
+    }
+    EnginePoint {
+        n,
+        trials,
+        rounds,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the full baseline (`SIZES`, `trials` seeds each) and renders
+/// the `BENCH_engine.json` document.
+pub fn run(trials: u64) -> String {
+    let points: Vec<EnginePoint> = SIZES.iter().map(|&n| measure_clique(n, trials)).collect();
+    to_json(&points)
+}
+
+/// Renders measurements as a small, dependency-free JSON document.
+pub fn to_json(points: &[EnginePoint]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"engine/push_pull_clique\",\n");
+    s.push_str("  \"workload\": \"push-pull all-to-all on an n-clique\",\n");
+    s.push_str("  \"unit\": \"simulated rounds per wall-clock second\",\n");
+    s.push_str("  \"sizes\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"rounds_per_sec\": {:.2}}}{}",
+            p.n,
+            p.trials,
+            p.rounds,
+            p.secs,
+            p.rounds_per_sec(),
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_throughput() {
+        let p = measure_clique(64, 2);
+        assert_eq!(p.n, 64);
+        assert_eq!(p.trials, 2);
+        assert!(p.rounds > 0);
+        assert!(p.secs > 0.0);
+        assert!(p.rounds_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let points = [
+            EnginePoint {
+                n: 256,
+                trials: 3,
+                rounds: 30,
+                secs: 0.5,
+            },
+            EnginePoint {
+                n: 1024,
+                trials: 3,
+                rounds: 36,
+                secs: 2.0,
+            },
+        ];
+        let j = to_json(&points);
+        assert!(j.contains("\"bench\": \"engine/push_pull_clique\""));
+        assert!(j.contains("\"n\": 256"));
+        assert!(j.contains("\"rounds_per_sec\": 60.00"));
+        assert!(j.contains("\"rounds_per_sec\": 18.00"));
+        assert!(!j.contains(",\n  ]"), "no trailing comma: {j}");
+    }
+}

@@ -14,6 +14,7 @@
 //! Criterion micro-benchmarks for the underlying machinery live in
 //! `benches/`.
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod parallel;
 pub mod stats;

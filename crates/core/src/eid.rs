@@ -43,7 +43,7 @@ impl KnowledgeMap {
     /// neighbors and — in the known-latency model — their latencies).
     pub fn initial(g: &Graph, v: NodeId) -> KnowledgeMap {
         let mut edges = BTreeSet::new();
-        for &(u, l) in g.neighbors(v) {
+        for (u, l) in g.neighbors(v) {
             let (a, b) = if v < u { (v, u) } else { (u, v) };
             edges.insert((u32::from(a), u32::from(b), l.get()));
         }
@@ -336,9 +336,9 @@ pub fn termination_check(g: &Graph, rumors: &[RumorSet]) -> TerminationVerdict {
     let flags: Vec<bool> = g
         .nodes()
         .map(|v| {
-            g.neighbors(v)
+            g.neighbor_ids(v)
                 .iter()
-                .any(|&(w, _)| !rumors[v.index()].contains(w))
+                .any(|&w| !rumors[v.index()].contains(w))
         })
         .collect();
     let all_equal = rumors.windows(2).all(|w| w[0] == w[1]);

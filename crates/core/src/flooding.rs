@@ -6,7 +6,7 @@
 //! `Δ` is small, hopeless on high-degree graphs, which is exactly the
 //! gap the paper's algorithms close.
 
-use gossip_sim::{Context, Exchange, Protocol, RumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
 
 use crate::common::BroadcastOutcome;
@@ -22,7 +22,7 @@ pub struct FloodingConfig {
 #[derive(Clone, Debug)]
 pub struct FloodingNode {
     /// Rumors currently known.
-    pub rumors: RumorSet,
+    pub rumors: SharedRumorSet,
     cursor: usize,
 }
 
@@ -30,17 +30,17 @@ impl FloodingNode {
     /// Creates a node knowing only its own rumor.
     pub fn new(id: NodeId, n: usize) -> FloodingNode {
         FloodingNode {
-            rumors: RumorSet::singleton(n, id),
+            rumors: SharedRumorSet::singleton(n, id),
             cursor: 0,
         }
     }
 }
 
 impl Protocol for FloodingNode {
-    type Payload = RumorSet;
+    type Payload = SharedRumorSet;
 
-    fn payload(&self) -> RumorSet {
-        self.rumors.clone()
+    fn payload(&self) -> SharedRumorSet {
+        self.rumors.snapshot()
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_>) {
@@ -48,12 +48,12 @@ impl Protocol for FloodingNode {
         if d == 0 {
             return;
         }
-        let v = ctx.neighbor_ids()[self.cursor % d];
+        let i = self.cursor % d;
         self.cursor += 1;
-        ctx.initiate(v);
+        ctx.initiate_nth(i);
     }
 
-    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<RumorSet>) {
+    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<SharedRumorSet>) {
         self.rumors.union_with(&x.payload);
     }
 }
@@ -89,7 +89,10 @@ pub fn broadcast(
         out.rounds,
         out.reason,
         out.metrics,
-        out.nodes.into_iter().map(|p| p.rumors).collect(),
+        out.nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
     )
 }
 
@@ -103,7 +106,10 @@ pub fn all_to_all(g: &Graph, config: &FloodingConfig, seed: u64) -> BroadcastOut
         out.rounds,
         out.reason,
         out.metrics,
-        out.nodes.into_iter().map(|p| p.rumors).collect(),
+        out.nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
     )
 }
 

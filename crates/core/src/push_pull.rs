@@ -15,7 +15,7 @@
 //! pull, a star requires `Ω(n·D)` time, which
 //! [`broadcast`] + [`Mode::PushOnly`] reproduces empirically.
 
-use gossip_sim::{Context, Exchange, Protocol, RumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
 use rand::Rng as _;
 
@@ -47,8 +47,8 @@ pub struct PushPullConfig {
 /// [`crate::unified`]).
 #[derive(Clone, Debug)]
 pub struct PushPullNode {
-    /// Rumors currently known.
-    pub rumors: RumorSet,
+    /// Rumors currently known (copy-on-write; snapshots are free).
+    pub rumors: SharedRumorSet,
     mode: Mode,
 }
 
@@ -56,20 +56,20 @@ impl PushPullNode {
     /// Creates a node knowing only its own rumor.
     pub fn new(id: NodeId, n: usize, mode: Mode) -> PushPullNode {
         PushPullNode {
-            rumors: RumorSet::singleton(n, id),
+            rumors: SharedRumorSet::singleton(n, id),
             mode,
         }
     }
 }
 
 impl Protocol for PushPullNode {
-    type Payload = RumorSet;
+    type Payload = SharedRumorSet;
 
-    fn payload(&self) -> RumorSet {
-        self.rumors.clone()
+    fn payload(&self) -> SharedRumorSet {
+        self.rumors.snapshot()
     }
 
-    fn payload_weight(payload: &RumorSet) -> u64 {
+    fn payload_weight(payload: &SharedRumorSet) -> u64 {
         payload.len() as u64
     }
 
@@ -79,11 +79,10 @@ impl Protocol for PushPullNode {
             return;
         }
         let i = ctx.rng().random_range(0..d);
-        let v = ctx.neighbor_ids()[i];
-        ctx.initiate(v);
+        ctx.initiate_nth(i);
     }
 
-    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<RumorSet>) {
+    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<SharedRumorSet>) {
         let learn = match self.mode {
             Mode::PushPull => true,
             Mode::PushOnly => !x.initiated_by_me,
@@ -128,7 +127,10 @@ pub fn broadcast(
         out.rounds,
         out.reason,
         out.metrics,
-        out.nodes.into_iter().map(|p| p.rumors).collect(),
+        out.nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
     )
 }
 
@@ -163,7 +165,10 @@ pub fn broadcast_from_set(
         out.rounds,
         out.reason,
         out.metrics,
-        out.nodes.into_iter().map(|p| p.rumors).collect(),
+        out.nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
     )
 }
 
@@ -179,7 +184,10 @@ pub fn all_to_all(g: &Graph, config: &PushPullConfig, seed: u64) -> BroadcastOut
         out.rounds,
         out.reason,
         out.metrics,
-        out.nodes.into_iter().map(|p| p.rumors).collect(),
+        out.nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
     )
 }
 

@@ -8,14 +8,16 @@
 //! spanner of a diameter-`D` graph, `k = σ·D` yields all-to-all
 //! dissemination (Corollary 16).
 
-use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, SimConfig, Simulator};
+use gossip_sim::{
+    Context, Exchange, Protocol, Round, RumorSet, SharedRumorSet, SimConfig, Simulator,
+};
 use latency_graph::{DiGraph, Graph, Latency, NodeId};
 
 /// The RR Broadcast protocol node.
 #[derive(Clone, Debug)]
 pub struct RrNode {
-    /// Current rumor set.
-    pub rumors: RumorSet,
+    /// Current rumor set (copy-on-write; payload snapshots are free).
+    pub rumors: SharedRumorSet,
     out: Vec<NodeId>,
     cursor: usize,
 }
@@ -25,7 +27,7 @@ impl RrNode {
     /// out-neighbors.
     pub fn new(rumors: RumorSet, out: Vec<NodeId>) -> RrNode {
         RrNode {
-            rumors,
+            rumors: rumors.into(),
             out,
             cursor: 0,
         }
@@ -33,13 +35,13 @@ impl RrNode {
 }
 
 impl Protocol for RrNode {
-    type Payload = RumorSet;
+    type Payload = SharedRumorSet;
 
-    fn payload(&self) -> RumorSet {
-        self.rumors.clone()
+    fn payload(&self) -> SharedRumorSet {
+        self.rumors.snapshot()
     }
 
-    fn payload_weight(payload: &RumorSet) -> u64 {
+    fn payload_weight(payload: &SharedRumorSet) -> u64 {
         payload.len() as u64
     }
 
@@ -52,7 +54,7 @@ impl Protocol for RrNode {
         ctx.initiate(v);
     }
 
-    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<RumorSet>) {
+    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<SharedRumorSet>) {
         self.rumors.union_with(&x.payload);
     }
 }
@@ -152,7 +154,11 @@ pub fn run(
         rounds_budget
     };
     RrOutcome {
-        rumors: out.nodes.into_iter().map(|p| p.rumors).collect(),
+        rumors: out
+            .nodes
+            .into_iter()
+            .map(|p| p.rumors.into_inner())
+            .collect(),
         rounds,
         all_full,
         budget: rounds_budget,

@@ -130,9 +130,9 @@ pub fn distributed_check(
     let flags: Vec<bool> = g
         .nodes()
         .map(|v| {
-            g.neighbors(v)
+            g.neighbor_ids(v)
                 .iter()
-                .any(|&(w, _)| !rumors[v.index()].contains(w))
+                .any(|&w| !rumors[v.index()].contains(w))
         })
         .collect();
     let k_lat = latency_graph::Latency::new(u32::try_from(k).unwrap_or(u32::MAX));

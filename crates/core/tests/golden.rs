@@ -1,0 +1,254 @@
+//! Golden-trace determinism suite.
+//!
+//! Pins the exact `rounds` and `SimMetrics` counters produced by fixed
+//! seeds on a portfolio of topologies (cycle, star, clique, ring of
+//! cliques, and a heterogeneous-latency cycle). These constants were
+//! captured from the pre-calendar-queue engine; the engine rewrite must
+//! reproduce every one of them bit-for-bit, which proves the
+//! optimization is behavior-preserving.
+//!
+//! If a trace ever changes **intentionally** (e.g. the RNG stream or the
+//! engagement ordering is deliberately altered), regenerate the table by
+//! running this test and copying the `actual:` lines from the failure
+//! output — but treat any unplanned diff here as an engine regression.
+
+use gossip_core::flooding::{self, FloodingConfig};
+use gossip_core::push_pull::{self, Mode, PushPullConfig, PushPullNode};
+use gossip_sim::{Outcome, SimConfig, Simulator};
+use latency_graph::generators::{self, extra};
+use latency_graph::{Graph, NodeId};
+
+/// One pinned trace: a machine-comparable summary of an [`Outcome`].
+fn fmt(rounds: u64, m: &gossip_sim::SimMetrics) -> String {
+    format!(
+        "rounds={} initiated={} delivered={} lost={} rejected={} payload_units={}",
+        rounds, m.initiated, m.delivered, m.lost, m.rejected, m.payload_units
+    )
+}
+
+fn fmt_outcome<P>(out: &Outcome<P>) -> String {
+    fmt(out.rounds, &out.metrics)
+}
+
+/// Runs push-pull all-the-way (every node learns every rumor) under a
+/// raw `SimConfig`, so the golden table can exercise `connection_cap`
+/// and `blocking` — knobs the high-level wrappers don't expose.
+fn raw_push_pull(g: &Graph, cfg: SimConfig) -> String {
+    let out = Simulator::new(g, cfg).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+    );
+    fmt_outcome(&out)
+}
+
+struct Case {
+    name: &'static str,
+    expected: &'static str,
+    run: fn() -> String,
+}
+
+fn pp() -> PushPullConfig {
+    PushPullConfig::default()
+}
+
+fn fl() -> FloodingConfig {
+    FloodingConfig::default()
+}
+
+/// The golden table. `expected` strings are captured engine output.
+fn cases() -> Vec<Case> {
+    vec![
+        // --- cycle(64), unit latencies ---
+        Case {
+            name: "cycle64/push_pull/broadcast/seed7",
+            expected:
+                "rounds=41 initiated=2624 delivered=2624 lost=0 rejected=0 payload_units=163227",
+            run: || {
+                let g = generators::cycle(64);
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "cycle64/push_pull/all_to_all/seed11",
+            expected:
+                "rounds=48 initiated=3072 delivered=3072 lost=0 rejected=0 payload_units=217877",
+            run: || {
+                let g = generators::cycle(64);
+                let o = push_pull::all_to_all(&g, &pp(), 11);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "cycle64/flooding/broadcast/seed3",
+            expected:
+                "rounds=32 initiated=2048 delivered=2048 lost=0 rejected=0 payload_units=4096",
+            run: || {
+                let g = generators::cycle(64);
+                let o = flooding::broadcast(&g, NodeId::new(0), &fl(), 3);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        // --- star(65): hub contention, rejection paths under a cap ---
+        Case {
+            name: "star65/push_pull/broadcast/seed7",
+            expected: "rounds=1 initiated=65 delivered=65 lost=0 rejected=0 payload_units=130",
+            run: || {
+                let g = generators::star(65);
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "star65/push_pull/raw/cap1/seed5",
+            expected:
+                "rounds=443 initiated=443 delivered=443 lost=0 rejected=28352 payload_units=45132",
+            run: || {
+                let g = generators::star(65);
+                let cfg = SimConfig {
+                    seed: 5,
+                    max_rounds: 100_000,
+                    connection_cap: Some(1),
+                    ..SimConfig::default()
+                };
+                raw_push_pull(&g, cfg)
+            },
+        },
+        Case {
+            name: "star65/push_pull/raw/blocking/seed5",
+            expected: "rounds=2 initiated=130 delivered=130 lost=0 rejected=0 payload_units=4485",
+            run: || {
+                let g = generators::star(65);
+                let cfg = SimConfig {
+                    seed: 5,
+                    max_rounds: 100_000,
+                    blocking: true,
+                    ..SimConfig::default()
+                };
+                raw_push_pull(&g, cfg)
+            },
+        },
+        // --- clique(32): dense, fast mixing ---
+        Case {
+            name: "clique32/push_pull/broadcast/seed7",
+            expected: "rounds=5 initiated=160 delivered=160 lost=0 rejected=0 payload_units=3820",
+            run: || {
+                let g = generators::clique(32);
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "clique32/push_pull/all_to_all/seed2",
+            expected: "rounds=7 initiated=224 delivered=224 lost=0 rejected=0 payload_units=7826",
+            run: || {
+                let g = generators::clique(32);
+                let o = push_pull::all_to_all(&g, &pp(), 2);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "clique32/flooding/all_to_all/seed9",
+            expected: "rounds=3 initiated=96 delivered=96 lost=0 rejected=0 payload_units=192",
+            run: || {
+                let g = generators::clique(32);
+                let o = flooding::all_to_all(&g, &fl(), 9);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        // --- ring_of_cliques(6, 8, bridge latency 4): multi-round
+        //     in-flight exchanges exercise the scheduler's ring slots ---
+        Case {
+            name: "ring_of_cliques_6x8_l4/push_pull/broadcast/seed7",
+            expected:
+                "rounds=35 initiated=1680 delivered=1675 lost=0 rejected=0 payload_units=92754",
+            run: || {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "ring_of_cliques_6x8_l4/push_pull/all_to_all/seed13",
+            expected:
+                "rounds=35 initiated=1680 delivered=1672 lost=0 rejected=0 payload_units=91039",
+            run: || {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let o = push_pull::all_to_all(&g, &pp(), 13);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "ring_of_cliques_6x8_l4/push_pull/raw/cap2/seed1",
+            expected:
+                "rounds=43 initiated=1459 delivered=1458 lost=0 rejected=605 payload_units=79009",
+            run: || {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let cfg = SimConfig {
+                    seed: 1,
+                    max_rounds: 100_000,
+                    connection_cap: Some(2),
+                    ..SimConfig::default()
+                };
+                raw_push_pull(&g, cfg)
+            },
+        },
+        // --- cycle(48) with geometric latencies in 1..=9: heterogeneous
+        //     completion times stress slot indexing `round % (ℓ_max+1)` ---
+        Case {
+            name: "geom_cycle48/push_pull/broadcast/seed7",
+            expected:
+                "rounds=47 initiated=2256 delivered=2225 lost=0 rejected=0 payload_units=103076",
+            run: || {
+                let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "geom_cycle48/flooding/broadcast/seed4",
+            expected:
+                "rounds=40 initiated=1920 delivered=1886 lost=0 rejected=0 payload_units=3772",
+            run: || {
+                let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
+                let o = flooding::broadcast(&g, NodeId::new(0), &fl(), 4);
+                fmt(o.rounds, &o.metrics)
+            },
+        },
+        Case {
+            name: "geom_cycle48/push_pull/raw/blocking/seed8",
+            expected:
+                "rounds=64 initiated=2135 delivered=2125 lost=0 rejected=937 payload_units=111601",
+            run: || {
+                let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
+                let cfg = SimConfig {
+                    seed: 8,
+                    max_rounds: 100_000,
+                    blocking: true,
+                    ..SimConfig::default()
+                };
+                raw_push_pull(&g, cfg)
+            },
+        },
+    ]
+}
+
+#[test]
+fn golden_traces_hold() {
+    let mut failures = Vec::new();
+    for c in cases() {
+        let actual = (c.run)();
+        if actual != c.expected {
+            failures.push(format!(
+                "{}\n  expected: {}\n  actual:   {}",
+                c.name, c.expected, actual
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden trace(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

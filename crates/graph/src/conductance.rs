@@ -327,7 +327,7 @@ pub fn sweep_cut_estimate(
             }
             let mut acc = 0.0;
             let mut fast = 0.0;
-            for &(v, l) in g.neighbors(NodeId::new(u)) {
+            for (v, l) in g.neighbors(NodeId::new(u)) {
                 if l <= ell {
                     acc += x[v.index()];
                     fast += 1.0;
@@ -358,7 +358,7 @@ pub fn sweep_cut_estimate(
     for (prefix, &u) in order.iter().enumerate().take(n - 1) {
         members[u] = true;
         vol_u += degrees[u];
-        for &(v, l) in g.neighbors(NodeId::new(u)) {
+        for (v, l) in g.neighbors(NodeId::new(u)) {
             if l <= ell {
                 if members[v.index()] {
                     cut_edges -= 1;

@@ -42,12 +42,12 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `n·d` is odd, `d >= n`, or no simple pairing is found in
-/// 200 attempts (very unlikely for `d ≪ n`).
+/// 2000 attempts (very unlikely for `d ≪ n`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
-    'attempt: for _ in 0..200 {
+    'attempt: for _ in 0..2000 {
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut seen = std::collections::BTreeSet::new();

@@ -6,8 +6,14 @@ use crate::ids::{Latency, NodeId};
 /// An undirected graph whose edges carry integer latencies.
 ///
 /// `Graph` is immutable once built (use [`GraphBuilder`]) and stored in
-/// compressed sparse row form: neighbor lookups are cache-friendly and
-/// `latency(u, v)` is a binary search. Node ids are dense `0..n`.
+/// structure-of-arrays compressed sparse row form: neighbor ids and
+/// edge latencies live in separate parallel arrays
+/// ([`neighbor_ids`](Graph::neighbor_ids) /
+/// [`neighbor_latencies`](Graph::neighbor_latencies)), so id-only scans
+/// (binary searches, BFS) touch half the memory, and the simulation
+/// engine can borrow both slices directly instead of copying the
+/// adjacency. `latency(u, v)` is a binary search. Node ids are dense
+/// `0..n`.
 ///
 /// This is the network model of *Gossiping with Latencies*, Section 1: a
 /// connected, undirected graph `G = (V, E)` where every edge has an
@@ -34,7 +40,8 @@ use crate::ids::{Latency, NodeId};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     offsets: Vec<usize>,
-    adj: Vec<(NodeId, Latency)>,
+    adj_ids: Vec<NodeId>,
+    adj_lats: Vec<Latency>,
     edges: Vec<(NodeId, NodeId, Latency)>,
 }
 
@@ -80,6 +87,13 @@ impl Graph {
         self.edges.iter().copied()
     }
 
+    /// Internal: the adjacency range of `v` in the CSR arrays.
+    #[inline]
+    fn adj_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
     /// The neighbors of `v` with the latency of the connecting edge,
     /// sorted by neighbor id.
     ///
@@ -87,9 +101,38 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, Latency)] {
-        let i = v.index();
-        &self.adj[self.offsets[i]..self.offsets[i + 1]]
+    pub fn neighbors(
+        &self,
+        v: NodeId,
+    ) -> impl ExactSizeIterator<Item = (NodeId, Latency)> + Clone + '_ {
+        self.neighbor_ids(v)
+            .iter()
+            .zip(self.neighbor_latencies(v))
+            .map(|(&w, &l)| (w, l))
+    }
+
+    /// The ids of `v`'s neighbors, sorted. Indexable in parallel with
+    /// [`neighbor_latencies`](Graph::neighbor_latencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> &[NodeId] {
+        &self.adj_ids[self.adj_range(v)]
+    }
+
+    /// The latencies of `v`'s incident edges, in the same order as
+    /// [`neighbor_ids`](Graph::neighbor_ids): position `i` (e.g. from
+    /// [`neighbor_index`](Graph::neighbor_index)) is the latency of the
+    /// edge to `neighbor_ids(v)[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_latencies(&self, v: NodeId) -> &[Latency] {
+        &self.adj_lats[self.adj_range(v)]
     }
 
     /// The degree of `v`.
@@ -113,15 +156,26 @@ impl Graph {
 
     /// The latency of edge `(u, v)`, or `None` if the edge is absent.
     pub fn latency(&self, u: NodeId, v: NodeId) -> Option<Latency> {
-        let ns = self.neighbors(u);
-        ns.binary_search_by_key(&v, |&(w, _)| w)
-            .ok()
-            .map(|i| ns[i].1)
+        self.neighbor_index(u, v)
+            .map(|i| self.neighbor_latencies(u)[i])
+    }
+
+    /// The position of `v` within `u`'s sorted adjacency slice, usable
+    /// to index [`Graph::neighbor_ids`]`(u)` and
+    /// [`Graph::neighbor_latencies`]`(u)` directly. `None` if `(u, v)`
+    /// is not an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbor_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.neighbor_ids(u).binary_search(&v).ok()
     }
 
     /// Whether the undirected edge `(u, v)` exists.
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.latency(u, v).is_some()
+        self.neighbor_index(u, v).is_some()
     }
 
     /// The largest edge latency `ℓ_max`, or `None` for an edgeless graph.
@@ -160,7 +214,7 @@ impl Graph {
             seen[start] = true;
             let mut members = vec![NodeId::new(start)];
             while let Some(u) = stack.pop() {
-                for &(w, _) in self.neighbors(NodeId::new(u)) {
+                for &w in self.neighbor_ids(NodeId::new(u)) {
                     if !seen[w.index()] {
                         seen[w.index()] = true;
                         members.push(w);
@@ -268,11 +322,15 @@ impl Graph {
         for i in 0..n {
             adj[offsets[i]..offsets[i + 1]].sort_unstable_by_key(|&(w, _)| w);
         }
+        // Split the sorted adjacency into parallel id / latency arrays.
+        let adj_ids = adj.iter().map(|&(w, _)| w).collect();
+        let adj_lats = adj.iter().map(|&(_, l)| l).collect();
         let mut edges = edges;
         edges.sort_unstable();
         Graph {
             offsets,
-            adj,
+            adj_ids,
+            adj_lats,
             edges,
         }
     }
@@ -401,14 +459,41 @@ mod tests {
     #[test]
     fn neighbors_sorted_with_latencies() {
         let g = triangle();
-        let ns = g.neighbors(NodeId::new(0));
+        let ns: Vec<_> = g.neighbors(NodeId::new(0)).collect();
         assert_eq!(
             ns,
-            &[
+            vec![
                 (NodeId::new(1), Latency::new(1)),
                 (NodeId::new(2), Latency::new(3))
             ]
         );
+        assert_eq!(
+            g.neighbor_ids(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            g.neighbor_latencies(NodeId::new(0)),
+            &[Latency::new(1), Latency::new(3)]
+        );
+    }
+
+    #[test]
+    fn neighbor_index_matches_adjacency() {
+        let g = triangle();
+        for u in 0..3 {
+            let u = NodeId::new(u);
+            for v in 0..3 {
+                let v = NodeId::new(v);
+                match g.neighbor_index(u, v) {
+                    Some(i) => {
+                        let (w, l) = (g.neighbor_ids(u)[i], g.neighbor_latencies(u)[i]);
+                        assert_eq!(w, v);
+                        assert_eq!(g.latency(u, v), Some(l));
+                    }
+                    None => assert!(u == v || !g.contains_edge(u, v)),
+                }
+            }
+        }
     }
 
     #[test]

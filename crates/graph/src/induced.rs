@@ -57,7 +57,7 @@ impl EdgeInducedGraph {
         for u in g.nodes() {
             let i = u.index();
             degree[i] = g.degree(u) as u64;
-            for &(v, l) in g.neighbors(u) {
+            for (v, l) in g.neighbors(u) {
                 if l <= ell {
                     fast[i].push(v);
                 }

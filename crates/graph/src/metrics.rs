@@ -45,7 +45,7 @@ pub fn dijkstra(g: &Graph, source: NodeId) -> Vec<u64> {
         if d > dist[u.index()] {
             continue;
         }
-        for &(v, l) in g.neighbors(u) {
+        for (v, l) in g.neighbors(u) {
             let nd = d + l.rounds();
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
@@ -69,7 +69,7 @@ pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<u64> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
-        for &(v, _) in g.neighbors(u) {
+        for (v, _) in g.neighbors(u) {
             if dist[v.index()] == INFINITY {
                 dist[v.index()] = du + 1;
                 queue.push_back(v);

@@ -80,7 +80,7 @@ pub fn spectral_gap(g: &Graph, ell: Latency, iterations: usize, seed: u64) -> Op
             }
             let mut acc = 0.0;
             let mut fast = 0.0;
-            for &(v, l) in g.neighbors(NodeId::new(u)) {
+            for (v, l) in g.neighbors(NodeId::new(u)) {
                 if l <= ell {
                     acc += x[v.index()];
                     fast += 1.0;

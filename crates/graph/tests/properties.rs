@@ -42,10 +42,11 @@ proptest! {
         let g = Graph::from_edges(n, es.iter().copied()).unwrap();
         let mut total = 0usize;
         for v in g.nodes() {
-            let ns = g.neighbors(v);
+            let ns = g.neighbor_ids(v);
             for w in ns.windows(2) {
-                prop_assert!(w[0].0 < w[1].0, "sorted neighbors");
+                prop_assert!(w[0] < w[1], "sorted neighbors");
             }
+            prop_assert_eq!(ns.len(), g.neighbor_latencies(v).len());
             total += ns.len();
         }
         prop_assert_eq!(total, 2 * g.edge_count());

@@ -104,7 +104,10 @@ pub struct Context<'a> {
     neighbor_ids: &'a [NodeId],
     latencies: Option<&'a [Latency]>,
     rng: &'a mut StdRng,
-    pending: &'a mut Option<NodeId>,
+    /// The chosen peer plus its index into the node's adjacency slice,
+    /// captured by [`Context::initiate`]'s validation search so the
+    /// engine can launch the exchange without re-resolving the edge.
+    pending: &'a mut Option<(NodeId, u32)>,
 }
 
 impl Context<'_> {
@@ -150,10 +153,16 @@ impl Context<'_> {
     /// exchanges ([`Exchange::measured_latency`]).
     pub fn latency_to(&self, v: NodeId) -> Option<Latency> {
         let latencies = self.latencies?;
-        self.neighbor_ids
-            .binary_search(&v)
-            .ok()
-            .map(|i| latencies[i])
+        self.neighbor_index(v).map(|i| latencies[i])
+    }
+
+    /// The position of `v` in this node's sorted adjacency slice (the
+    /// node-local analogue of [`Graph::neighbor_index`]), or `None` if
+    /// `v` is not a neighbor.
+    ///
+    /// [`Graph::neighbor_index`]: latency_graph::Graph::neighbor_index
+    fn neighbor_index(&self, v: NodeId) -> Option<usize> {
+        self.neighbor_ids.binary_search(&v).ok()
     }
 
     /// Initiates an exchange with neighbor `v` this round. At most one
@@ -164,19 +173,35 @@ impl Context<'_> {
     ///
     /// Panics if `v` is not a neighbor of this node.
     pub fn initiate(&mut self, v: NodeId) {
-        assert!(
-            self.neighbor_ids.binary_search(&v).is_ok(),
-            "{} attempted to initiate with non-neighbor {v}",
-            self.node
-        );
-        *self.pending = Some(v);
+        let Some(i) = self.neighbor_index(v) else {
+            panic!("{} attempted to initiate with non-neighbor {v}", self.node);
+        };
+        // The validated index is kept alongside the peer: the engine
+        // reads the edge latency straight out of the graph's parallel
+        // latency array instead of binary-searching again.
+        *self.pending = Some((v, u32::try_from(i).expect("degree fits u32")));
+    }
+
+    /// Initiates an exchange with the `i`-th neighbor (an index into
+    /// [`neighbor_ids`](Self::neighbor_ids)). Equivalent to
+    /// `initiate(self.neighbor_ids()[i])` but skips the membership
+    /// search — the fast path for protocols that already choose their
+    /// peer by adjacency index (e.g. uniform random neighbor
+    /// selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    pub fn initiate_nth(&mut self, i: usize) {
+        let v = self.neighbor_ids[i];
+        *self.pending = Some((v, u32::try_from(i).expect("degree fits u32")));
     }
 
     /// The neighbor this node has chosen to initiate with this round,
     /// if any (set by [`initiate`](Self::initiate)). Used by wrappers
     /// like [`Traced`](crate::trace::Traced) to observe initiations.
     pub fn pending_target(&self) -> Option<NodeId> {
-        *self.pending
+        self.pending.map(|(v, _)| v)
     }
 
     /// This node's deterministic random number generator (seeded from
@@ -290,6 +315,74 @@ struct InFlight<P> {
     initiated_at: Round,
 }
 
+/// Ring slots beyond this are not allocated; rarer, larger latencies
+/// spill into the overflow map. Bounds scheduler memory at ~96 KiB of
+/// slot headers even for graphs with enormous `ℓ_max`.
+const MAX_RING_SLOTS: u64 = 4096;
+
+/// Calendar-queue scheduler for in-flight exchanges.
+///
+/// A ring of `min(ℓ_max + 1, MAX_RING_SLOTS)` reusable buckets indexed
+/// by `complete_at % slots`. Every edge latency satisfies
+/// `1 ≤ ℓ ≤ ℓ_max`, so an exchange scheduled into a slot always
+/// completes before the ring wraps back to it — each slot holds
+/// exchanges for exactly one completion round at a time. Slots keep
+/// their `Vec` capacity across rounds, so after warm-up the scheduler
+/// allocates nothing, unlike the `BTreeMap<Round, Vec<_>>` it replaced
+/// (which churned a node allocation plus a fresh batch `Vec` per
+/// round). Latencies `≥ MAX_RING_SLOTS` (rare; pathological
+/// constructions only) fall back to a `BTreeMap` overflow.
+struct CalendarQueue<P> {
+    ring: Vec<Vec<InFlight<P>>>,
+    overflow: BTreeMap<Round, Vec<InFlight<P>>>,
+}
+
+impl<P> CalendarQueue<P> {
+    fn new(max_latency_rounds: u64) -> CalendarQueue<P> {
+        let slots = (max_latency_rounds + 1).min(MAX_RING_SLOTS);
+        CalendarQueue {
+            ring: (0..slots).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn slots(&self) -> u64 {
+        self.ring.len() as u64
+    }
+
+    /// Enqueues `x` to complete `latency_rounds` after `now`.
+    #[inline]
+    fn schedule(&mut self, now: Round, latency_rounds: u64, x: InFlight<P>) {
+        if latency_rounds < self.slots() {
+            let slot = ((now + latency_rounds) % self.slots()) as usize;
+            self.ring[slot].push(x);
+        } else {
+            self.overflow
+                .entry(now + latency_rounds)
+                .or_default()
+                .push(x);
+        }
+    }
+
+    /// Moves every exchange completing at `round` into `due`
+    /// (initiation order), leaving the slot's capacity in place for
+    /// reuse. `due` must be empty on entry.
+    fn collect_due(&mut self, round: Round, due: &mut Vec<InFlight<P>>) {
+        debug_assert!(due.is_empty());
+        // Overflow entries carry latency ≥ the ring length while ring
+        // entries carry less, so everything in the overflow batch was
+        // initiated strictly earlier than anything in the slot —
+        // draining overflow first preserves the old scheduler's
+        // chronological delivery order exactly.
+        if let Some(mut batch) = self.overflow.remove(&round) {
+            due.append(&mut batch);
+        }
+        let slot = (round % self.slots()) as usize;
+        due.append(&mut self.ring[slot]);
+    }
+}
+
 /// Drives a set of [`Protocol`] instances over a
 /// [`latency_graph::Graph`] under the paper's communication
 /// model.
@@ -297,27 +390,18 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
     faults: FaultPlan,
-    neighbor_ids: Vec<Vec<NodeId>>,
-    neighbor_lats: Vec<Vec<Latency>>,
 }
 
 impl<'g> Simulator<'g> {
-    /// Creates a simulator for `graph`.
+    /// Creates a simulator for `graph`. O(1): the graph's
+    /// structure-of-arrays adjacency ([`Graph::neighbor_ids`] /
+    /// [`Graph::neighbor_latencies`]) is borrowed directly, never
+    /// copied.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Simulator<'g> {
-        let n = graph.node_count();
-        let mut neighbor_ids = Vec::with_capacity(n);
-        let mut neighbor_lats = Vec::with_capacity(n);
-        for v in graph.nodes() {
-            let ns = graph.neighbors(v);
-            neighbor_ids.push(ns.iter().map(|&(w, _)| w).collect());
-            neighbor_lats.push(ns.iter().map(|&(_, l)| l).collect());
-        }
         Simulator {
             graph,
             config,
             faults: FaultPlan::none(),
-            neighbor_ids,
-            neighbor_lats,
         }
     }
 
@@ -325,6 +409,31 @@ impl<'g> Simulator<'g> {
     pub fn with_faults(mut self, faults: FaultPlan) -> Simulator<'g> {
         self.faults = faults;
         self
+    }
+
+    /// Builds the per-node callback view for node `i` at `round`.
+    fn ctx<'a>(
+        &'a self,
+        i: usize,
+        round: Round,
+        size_hint: usize,
+        rng: &'a mut StdRng,
+        pending: &'a mut Option<(NodeId, u32)>,
+    ) -> Context<'a> {
+        let v = NodeId::new(i);
+        Context {
+            node: v,
+            round,
+            n: self.graph.node_count(),
+            size_hint,
+            neighbor_ids: self.graph.neighbor_ids(v),
+            latencies: self
+                .config
+                .latency_known
+                .then(|| self.graph.neighbor_latencies(v)),
+            rng,
+            pending,
+        }
     }
 
     /// Runs the simulation.
@@ -344,80 +453,83 @@ impl<'g> Simulator<'g> {
         let mut rngs: Vec<StdRng> = (0..n as u64)
             .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
             .collect();
-        let mut pending: Vec<Option<NodeId>> = vec![None; n];
-        let mut in_flight: BTreeMap<Round, Vec<InFlight<P::Payload>>> = BTreeMap::new();
+        let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        let l_max = self.graph.max_latency().map_or(0, |l| l.rounds());
+        let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
+        // Delivery batch, reused every round.
+        let mut due: Vec<InFlight<P::Payload>> = Vec::new();
         // Blocking mode: outstanding own-initiated exchanges per node.
         let mut outstanding = vec![0u32; if self.config.blocking { n } else { 0 }];
+        // Initiation admission order and per-node engagement counters,
+        // used (and re-filled) only under a connection cap.
+        let capped = self.config.connection_cap.is_some();
+        let mut order: Vec<usize> = if capped { (0..n).collect() } else { Vec::new() };
+        let mut engagements: Vec<usize> = vec![0; if capped { n } else { 0 }];
         let mut metrics = SimMetrics::default();
 
         // on_start for every live node, before round 0.
         for i in 0..n {
-            let me = NodeId::new(i);
-            if self.faults.is_crashed(me, 0) {
+            if self.faults.is_crashed(NodeId::new(i), 0) {
                 continue;
             }
-            let mut ctx = Context {
-                node: me,
-                round: 0,
-                n,
-                size_hint,
-                neighbor_ids: &self.neighbor_ids[i],
-                latencies: self
-                    .config
-                    .latency_known
-                    .then_some(self.neighbor_lats[i].as_slice()),
-                rng: &mut rngs[i],
-                pending: &mut pending[i],
-            };
+            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i]);
             nodes[i].on_start(&mut ctx);
         }
 
         let mut round: Round = 0;
         loop {
-            // 1. Deliver exchanges completing now.
-            if let Some(batch) = in_flight.remove(&round) {
-                for x in batch {
-                    if self.config.blocking {
-                        // The initiator's slot frees at completion time,
-                        // whether or not the exchange is delivered.
-                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
-                    }
-                    let a_ok = !self.faults.is_crashed(x.a, round);
-                    let b_ok = !self.faults.is_crashed(x.b, round);
-                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
-                    if !(a_ok && b_ok && link_ok) {
-                        metrics.lost += 1;
-                        continue;
-                    }
-                    metrics.delivered += 1;
-                    metrics.payload_units +=
-                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
-                    for (me, peer, payload, initiated_by_me) in [
-                        (x.a, x.b, &x.payload_b, true),
-                        (x.b, x.a, &x.payload_a, false),
-                    ] {
-                        let exchange = Exchange {
-                            peer,
-                            payload: payload.clone(),
-                            initiated_at: x.initiated_at,
+            // 1. Deliver exchanges completing now. Payload snapshots are
+            //    moved into the `Exchange`s handed to the endpoints —
+            //    the delivery path never clones a payload.
+            queue.collect_due(round, &mut due);
+            for x in due.drain(..) {
+                if self.config.blocking {
+                    // The initiator's slot frees at completion time,
+                    // whether or not the exchange is delivered.
+                    outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                }
+                let a_ok = !self.faults.is_crashed(x.a, round);
+                let b_ok = !self.faults.is_crashed(x.b, round);
+                let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                if !(a_ok && b_ok && link_ok) {
+                    metrics.lost += 1;
+                    continue;
+                }
+                metrics.delivered += 1;
+                metrics.payload_units +=
+                    P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                let InFlight {
+                    a,
+                    b,
+                    payload_a,
+                    payload_b,
+                    initiated_at,
+                } = x;
+                for (me, exchange) in [
+                    (
+                        a,
+                        Exchange {
+                            peer: b,
+                            payload: payload_b,
+                            initiated_at,
                             completed_at: round,
-                            initiated_by_me,
-                        };
-                        let mut ctx = Context {
-                            node: me,
-                            round,
-                            n,
-                            size_hint,
-                            neighbor_ids: &self.neighbor_ids[me.index()],
-                            latencies: self
-                                .config
-                                .latency_known
-                                .then_some(self.neighbor_lats[me.index()].as_slice()),
-                            rng: &mut rngs[me.index()],
-                            pending: &mut pending[me.index()],
-                        };
-                        nodes[me.index()].on_exchange(&mut ctx, &exchange);
-                    }
+                            initiated_by_me: true,
+                        },
+                    ),
+                    (
+                        b,
+                        Exchange {
+                            peer: a,
+                            payload: payload_a,
+                            initiated_at,
+                            completed_at: round,
+                            initiated_by_me: false,
+                        },
+                    ),
+                ] {
+                    let i = me.index();
+                    let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                    nodes[i].on_exchange(&mut ctx, &exchange);
                 }
             }
 
@@ -449,24 +561,11 @@ impl<'g> Simulator<'g> {
 
             // 3. Per-node round logic.
             for i in 0..n {
-                let me = NodeId::new(i);
-                if self.faults.is_crashed(me, round) {
+                if self.faults.is_crashed(NodeId::new(i), round) {
                     pending[i] = None;
                     continue;
                 }
-                let mut ctx = Context {
-                    node: me,
-                    round,
-                    n,
-                    size_hint,
-                    neighbor_ids: &self.neighbor_ids[i],
-                    latencies: self
-                        .config
-                        .latency_known
-                        .then_some(self.neighbor_lats[i].as_slice()),
-                    rng: &mut rngs[i],
-                    pending: &mut pending[i],
-                };
+                let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
                 nodes[i].on_round(&mut ctx);
             }
 
@@ -474,81 +573,59 @@ impl<'g> Simulator<'g> {
             // a connection cap, initiations are admitted in a
             // seeded-random order; an initiation counts one engagement
             // at each endpoint and is rejected when either side is full.
-            let mut order: Vec<usize> = (0..n).collect();
-            if self.config.connection_cap.is_some() {
+            if capped {
+                for (k, slot) in order.iter_mut().enumerate() {
+                    *slot = k;
+                }
                 order.sort_by_key(|&i| {
                     splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i as u64)
                 });
+                engagements.fill(0);
             }
-            let mut engagements = vec![
-                0usize;
-                if self.config.connection_cap.is_some() {
-                    n
-                } else {
-                    0
-                }
-            ];
-            for i in order {
-                let Some(v) = pending[i].take() else { continue };
+            #[allow(clippy::needless_range_loop)] // `order` is only admission order under a cap
+            for k in 0..n {
+                let i = if capped { order[k] } else { k };
+                let Some((v, vi)) = pending[i].take() else {
+                    continue;
+                };
                 let u = NodeId::new(i);
                 if self.config.blocking && outstanding[i] > 0 {
                     metrics.rejected += 1;
-                    let mut ctx = Context {
-                        node: u,
-                        round,
-                        n,
-                        size_hint,
-                        neighbor_ids: &self.neighbor_ids[i],
-                        latencies: self
-                            .config
-                            .latency_known
-                            .then_some(self.neighbor_lats[i].as_slice()),
-                        rng: &mut rngs[i],
-                        pending: &mut pending[i],
-                    };
+                    let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
                     nodes[i].on_rejected(&mut ctx, v);
                     pending[i] = None;
                     continue;
                 }
                 if let Some(cap) = self.config.connection_cap {
-                    if engagements[u.index()] >= cap || engagements[v.index()] >= cap {
+                    if engagements[i] >= cap || engagements[v.index()] >= cap {
                         metrics.rejected += 1;
-                        let mut ctx = Context {
-                            node: u,
-                            round,
-                            n,
-                            size_hint,
-                            neighbor_ids: &self.neighbor_ids[u.index()],
-                            latencies: self
-                                .config
-                                .latency_known
-                                .then_some(self.neighbor_lats[u.index()].as_slice()),
-                            rng: &mut rngs[u.index()],
-                            pending: &mut pending[u.index()],
-                        };
-                        nodes[u.index()].on_rejected(&mut ctx, v);
-                        pending[u.index()] = None; // a rejection cannot re-initiate this round
+                        let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                        nodes[i].on_rejected(&mut ctx, v);
+                        pending[i] = None; // a rejection cannot re-initiate this round
                         continue;
                     }
-                    engagements[u.index()] += 1;
+                    engagements[i] += 1;
                     engagements[v.index()] += 1;
                 }
                 metrics.initiated += 1;
                 if self.config.blocking {
                     outstanding[i] += 1;
                 }
-                let lat = self
-                    .graph
-                    .latency(u, v)
-                    .expect("initiate validated neighbor");
-                let complete_at = round + lat.rounds();
-                in_flight.entry(complete_at).or_default().push(InFlight {
-                    a: u,
-                    b: v,
-                    payload_a: nodes[u.index()].payload(),
-                    payload_b: nodes[v.index()].payload(),
-                    initiated_at: round,
-                });
+                // `vi` was validated by `Context::initiate`; the edge
+                // latency comes straight from the graph's parallel
+                // latency array — no binary search on the hot path.
+                let lat = self.graph.neighbor_latencies(u)[vi as usize];
+                queue.schedule(
+                    round,
+                    lat.rounds(),
+                    InFlight {
+                        a: u,
+                        b: v,
+                        payload_a: nodes[i].payload(),
+                        payload_b: nodes[v.index()].payload(),
+                        initiated_at: round,
+                    },
+                );
             }
 
             round += 1;
@@ -566,36 +643,38 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rumor::RumorSet;
+    use crate::rumor::{RumorSet, SharedRumorSet};
     use latency_graph::{generators, Graph};
 
-    /// Flood: every round exchange with a round-robin neighbor.
+    /// Flood: every round exchange with a round-robin neighbor. Uses the
+    /// copy-on-write payload, so these tests double as engine-level
+    /// coverage of `SharedRumorSet` snapshot semantics.
     struct Flood {
-        rumors: RumorSet,
+        rumors: SharedRumorSet,
         cursor: usize,
     }
 
     impl Protocol for Flood {
-        type Payload = RumorSet;
-        fn payload(&self) -> RumorSet {
-            self.rumors.clone()
+        type Payload = SharedRumorSet;
+        fn payload(&self) -> SharedRumorSet {
+            self.rumors.snapshot()
         }
         fn on_round(&mut self, ctx: &mut Context<'_>) {
             if ctx.degree() == 0 {
                 return;
             }
-            let v = ctx.neighbor_ids()[self.cursor % ctx.degree()];
+            let i = self.cursor % ctx.degree();
             self.cursor += 1;
-            ctx.initiate(v);
+            ctx.initiate_nth(i);
         }
-        fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<RumorSet>) {
+        fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<SharedRumorSet>) {
             self.rumors.union_with(&x.payload);
         }
     }
 
     fn flood_factory(id: NodeId, n: usize) -> Flood {
         Flood {
-            rumors: RumorSet::singleton(n, id),
+            rumors: SharedRumorSet::singleton(n, id),
             cursor: 0,
         }
     }
@@ -1015,5 +1094,129 @@ mod tests {
         assert_eq!(out.rounds, 2);
         assert_eq!(out.metrics.initiated, 4);
         assert_eq!(out.metrics.delivered, 2);
+    }
+
+    #[test]
+    fn latency_beyond_ring_uses_overflow() {
+        // One edge slower than the calendar ring has slots for: the
+        // exchange must take the overflow path and still deliver at
+        // exactly `latency` rounds.
+        let slow = u32::try_from(MAX_RING_SLOTS + 17).unwrap();
+        let g = Graph::from_edges(2, [(0, 1, slow)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns[1].rumors.contains(NodeId::new(0)));
+        assert_eq!(out.rounds, u64::from(slow));
+    }
+
+    #[test]
+    fn calendar_queue_delivers_in_initiation_order() {
+        // Schedule exchanges whose completion rounds collide across the
+        // ring/overflow boundary; collection must be chronological by
+        // initiation round.
+        let target = MAX_RING_SLOTS + 50;
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(MAX_RING_SLOTS + 100);
+        let mk = |tag: u64, initiated_at: Round| InFlight {
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+            payload_a: tag,
+            payload_b: tag,
+            initiated_at,
+        };
+        // Initiated at round 0 with huge latency (overflow)...
+        q.schedule(0, target, mk(0, 0));
+        // ...and at a later round with a small latency (ring), both
+        // completing at `target`. Rounds advance one at a time, as in
+        // the engine: collect, then schedule that round's initiations.
+        let mut due = Vec::new();
+        for round in 0..target {
+            q.collect_due(round, &mut due);
+            assert!(due.is_empty(), "nothing completes before round {target}");
+            if round == target - 3 {
+                q.schedule(round, 3, mk(1, round));
+            }
+        }
+        q.collect_due(target, &mut due);
+        let tags: Vec<u64> = due.iter().map(|x| x.payload_a).collect();
+        assert_eq!(tags, [0, 1], "overflow (older) before ring (newer)");
+        due.clear();
+    }
+
+    #[test]
+    fn calendar_queue_reuses_slot_capacity() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new(1);
+        assert_eq!(q.slots(), 2);
+        let mk = |r: Round| InFlight {
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+            payload_a: (),
+            payload_b: (),
+            initiated_at: r,
+        };
+        let mut due = Vec::new();
+        for round in 0..100u64 {
+            q.schedule(round, 1, mk(round));
+            q.collect_due(round, &mut due);
+            due.drain(..);
+        }
+        // Unit-latency traffic ping-pongs between the two slots; after
+        // warm-up both retain their buffers and nothing reallocates.
+        assert!(q.ring.iter().all(|s| s.capacity() >= 1));
+        assert!(q.overflow.is_empty());
+    }
+
+    #[test]
+    fn shared_payload_snapshot_isolated_at_engine_level() {
+        // Node 0 keeps mutating its rumor set every round while its
+        // latency-4 exchange is in flight; the snapshot delivered to
+        // node 1 must reflect round-0 state only. `Grow` inserts its
+        // *own* id repeatedly plus marker ids it learns over time.
+        struct Grow {
+            rumors: SharedRumorSet,
+            fired: bool,
+        }
+        impl Protocol for Grow {
+            type Payload = SharedRumorSet;
+            fn payload(&self) -> SharedRumorSet {
+                self.rumors.snapshot()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                // After round 0, node 0 "learns" synthetic rumors
+                // locally (ids 2..), mutating the shared buffer while a
+                // snapshot is outstanding.
+                if ctx.id() == NodeId::new(0) {
+                    let r = usize::try_from(ctx.round()).unwrap();
+                    self.rumors.insert(NodeId::new(2 + r % 8));
+                    if !self.fired {
+                        self.fired = true;
+                        ctx.initiate(NodeId::new(1));
+                    }
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<SharedRumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1, 4)]).unwrap();
+        let out = Simulator::new(&g, SimConfig::default()).run(
+            |id, n| Grow {
+                rumors: SharedRumorSet::singleton(10.max(n), id),
+                fired: false,
+            },
+            |ns: &[Grow], _| ns[1].rumors.contains(NodeId::new(0)),
+        );
+        assert_eq!(out.rounds, 4);
+        // The snapshot was taken at round 0, before any synthetic rumor
+        // beyond id 2 existed (round 0 inserts id 2 *before* initiating,
+        // in on_round order). Later inserts (ids 3, 4, 5 at rounds 1-3)
+        // must NOT leak into the delivered payload.
+        let n1 = &out.nodes[1].rumors;
+        assert!(n1.contains(NodeId::new(0)));
+        assert!(n1.contains(NodeId::new(2)), "round-0 state travels");
+        for later in 3..6 {
+            assert!(
+                !n1.contains(NodeId::new(later)),
+                "rumor {later} inserted after initiation leaked into the snapshot"
+            );
+        }
     }
 }

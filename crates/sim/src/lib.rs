@@ -60,7 +60,7 @@ pub use engine::{
     Context, Exchange, Outcome, Protocol, SimConfig, SimMetrics, Simulator, StopReason,
 };
 pub use faults::FaultPlan;
-pub use rumor::RumorSet;
+pub use rumor::{RumorSet, SharedRumorSet};
 pub use trace::{TraceEvent, TraceLog, Traced};
 
 /// Simulation time, in synchronous rounds.

@@ -53,13 +53,21 @@ impl RumorSet {
         s
     }
 
-    /// A full set over the universe `0..n`.
+    /// A full set over the universe `0..n`: whole `u64` words set at
+    /// once, with the final partial word masked down to the tail bits.
     pub fn full(n: usize) -> RumorSet {
-        let mut s = RumorSet::new(n);
-        for i in 0..n {
-            s.insert(NodeId::new(i));
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
         }
-        s
+        RumorSet {
+            words,
+            universe: n,
+            count: n,
+        }
     }
 
     /// The universe size `n` this set ranges over.
@@ -171,6 +179,194 @@ impl RumorSet {
     }
 }
 
+/// An [`Arc`]-backed copy-on-write [`RumorSet`].
+///
+/// The engine snapshots a node's payload at initiation time and
+/// delivers it rounds later; with plain `RumorSet` payloads every
+/// initiation copies `⌈n/64⌉` words. A `SharedRumorSet` snapshot is a
+/// refcount bump, and the buffer is cloned lazily — only when a node
+/// mutates its set *while* a snapshot of it is still in flight, and the
+/// mutation actually changes something.
+///
+/// Reads go through [`Deref`], so the whole `RumorSet` query API
+/// (`contains`, `is_full`, `len`, `iter`, …) is available directly.
+///
+/// [`Arc`]: std::sync::Arc
+/// [`Deref`]: std::ops::Deref
+#[derive(Clone, PartialEq, Eq)]
+pub struct SharedRumorSet {
+    inner: std::sync::Arc<RumorSet>,
+}
+
+impl SharedRumorSet {
+    /// An empty shared set over the universe `0..n`.
+    pub fn new(n: usize) -> SharedRumorSet {
+        RumorSet::new(n).into()
+    }
+
+    /// A shared set containing only `v`'s rumor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= n`.
+    pub fn singleton(n: usize, v: NodeId) -> SharedRumorSet {
+        RumorSet::singleton(n, v).into()
+    }
+
+    /// A full shared set over the universe `0..n`.
+    pub fn full(n: usize) -> SharedRumorSet {
+        RumorSet::full(n).into()
+    }
+
+    /// An O(1) snapshot of the current contents (refcount bump — no
+    /// bits are copied). Semantically identical to `clone`; the name
+    /// marks payload-capture sites in protocol code.
+    #[inline]
+    pub fn snapshot(&self) -> SharedRumorSet {
+        self.clone()
+    }
+
+    /// Whether `self` and `other` currently share one buffer (the
+    /// copy-on-write fast path). Observable for tests; protocol results
+    /// never depend on it.
+    pub fn ptr_eq(&self, other: &SharedRumorSet) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Inserts `v`'s rumor; returns `true` if it was new. Clones the
+    /// buffer only if shared *and* the bit was actually absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= universe`.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        if self.inner.contains(v) {
+            return false;
+        }
+        std::sync::Arc::make_mut(&mut self.inner).insert(v)
+    }
+
+    /// Unions `other` into `self`; returns `true` if anything changed.
+    ///
+    /// Copy-on-write, in at most two passes over the word arrays. One
+    /// fused scan classifies the pair: if `other` adds nothing the call
+    /// is a no-op (no clone); if `other` is a strict superset, `self`
+    /// adopts `other`'s buffer in O(1); otherwise a genuine merge is
+    /// needed. The merge ORs in place when the buffer is unshared, and
+    /// when it *is* shared (snapshots in flight) it builds the merged
+    /// buffer directly rather than cloning first and merging second —
+    /// the delivery hot path never copies a word it is about to
+    /// overwrite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &SharedRumorSet) -> bool {
+        assert_eq!(
+            self.inner.universe(),
+            other.inner.universe(),
+            "rumor universes must match"
+        );
+        if std::sync::Arc::ptr_eq(&self.inner, &other.inner) || self.inner.is_full() {
+            return false;
+        }
+        // Fused classification scan; exits early once a merge is known
+        // to be unavoidable.
+        let mut other_adds = false;
+        let mut self_extra = false;
+        for (&a, &b) in self.inner.words.iter().zip(&other.inner.words) {
+            other_adds |= b & !a != 0;
+            self_extra |= a & !b != 0;
+            if other_adds && self_extra {
+                break;
+            }
+        }
+        if !other_adds {
+            return false;
+        }
+        if !self_extra {
+            self.inner = other.inner.clone();
+            return true;
+        }
+        if let Some(inner) = std::sync::Arc::get_mut(&mut self.inner) {
+            let mut count = 0usize;
+            for (a, &b) in inner.words.iter_mut().zip(&other.inner.words) {
+                *a |= b;
+                count += a.count_ones() as usize;
+            }
+            inner.count = count;
+        } else {
+            let old = &*self.inner;
+            let mut count = 0usize;
+            let words: Vec<u64> = old
+                .words
+                .iter()
+                .zip(&other.inner.words)
+                .map(|(&a, &b)| {
+                    let merged = a | b;
+                    count += merged.count_ones() as usize;
+                    merged
+                })
+                .collect();
+            self.inner = std::sync::Arc::new(RumorSet {
+                words,
+                universe: old.universe,
+                count,
+            });
+        }
+        true
+    }
+
+    /// Unions a plain `RumorSet` into `self` (no buffer adoption
+    /// possible); returns `true` if anything changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with_set(&mut self, other: &RumorSet) -> bool {
+        if self.inner.is_superset(other) {
+            return false;
+        }
+        std::sync::Arc::make_mut(&mut self.inner).union_with(other)
+    }
+
+    /// Extracts the underlying `RumorSet`, cloning only if the buffer
+    /// is still shared.
+    pub fn into_inner(self) -> RumorSet {
+        std::sync::Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+impl std::ops::Deref for SharedRumorSet {
+    type Target = RumorSet;
+
+    #[inline]
+    fn deref(&self) -> &RumorSet {
+        &self.inner
+    }
+}
+
+impl AsRef<RumorSet> for SharedRumorSet {
+    fn as_ref(&self) -> &RumorSet {
+        &self.inner
+    }
+}
+
+impl From<RumorSet> for SharedRumorSet {
+    fn from(set: RumorSet) -> SharedRumorSet {
+        SharedRumorSet {
+            inner: std::sync::Arc::new(set),
+        }
+    }
+}
+
+impl fmt::Debug for SharedRumorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared")?;
+        self.inner.fmt(f)
+    }
+}
+
 impl fmt::Debug for RumorSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "RumorSet({}/{}; ", self.count, self.universe)?;
@@ -213,6 +409,73 @@ mod tests {
         assert!(a.union_with(&b));
         assert_eq!(a.len(), 2);
         assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn shared_snapshot_is_isolated_from_later_mutation() {
+        let mut live = SharedRumorSet::singleton(100, NodeId::new(3));
+        let snap = live.snapshot();
+        assert!(snap.ptr_eq(&live), "snapshot is a refcount bump");
+        assert!(live.insert(NodeId::new(7)));
+        assert!(!snap.ptr_eq(&live), "mutation under sharing must clone");
+        assert!(!snap.contains(NodeId::new(7)), "snapshot sees old state");
+        assert!(live.contains(NodeId::new(7)));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn shared_union_noop_never_clones() {
+        let mut a = SharedRumorSet::full(128);
+        let snap = a.snapshot();
+        let b = SharedRumorSet::singleton(128, NodeId::new(5));
+        assert!(!a.union_with(&b), "superset union is a no-op");
+        assert!(snap.ptr_eq(&a), "no-op union must not unshare");
+        assert!(!a.insert(NodeId::new(5)), "present-bit insert is a no-op");
+        assert!(snap.ptr_eq(&a));
+    }
+
+    #[test]
+    fn shared_union_adopts_superset_buffer() {
+        let mut a = SharedRumorSet::singleton(64, NodeId::new(1));
+        let mut b = SharedRumorSet::singleton(64, NodeId::new(1));
+        b.insert(NodeId::new(2));
+        assert!(a.union_with(&b));
+        assert!(a.ptr_eq(&b), "subset side adopts the superset buffer");
+        assert_eq!(a.len(), 2);
+        // Overlapping-but-incomparable sets merge word-by-word.
+        let c = SharedRumorSet::singleton(64, NodeId::new(9));
+        let mut d = a.snapshot();
+        assert!(d.union_with(&c));
+        assert!(!d.ptr_eq(&a) && !d.ptr_eq(&c));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn shared_matches_plain_semantics() {
+        let mut plain = RumorSet::singleton(200, NodeId::new(0));
+        let mut shared = SharedRumorSet::singleton(200, NodeId::new(0));
+        let other = RumorSet::singleton(200, NodeId::new(150));
+        assert_eq!(shared.union_with_set(&other), plain.union_with(&other));
+        assert_eq!(shared.into_inner(), plain);
+    }
+
+    #[test]
+    fn full_matches_insert_loop() {
+        // Word-filled construction must equal bit-by-bit insertion for
+        // universes hitting every tail-mask case: empty, sub-word,
+        // word-aligned, word+1, and multi-word.
+        for n in [0usize, 1, 5, 63, 64, 65, 127, 128, 129, 1000] {
+            let mut by_insert = RumorSet::new(n);
+            for i in 0..n {
+                by_insert.insert(NodeId::new(i));
+            }
+            let filled = RumorSet::full(n);
+            assert_eq!(filled, by_insert, "universe {n}");
+            assert_eq!(filled.len(), n);
+            assert!(n == 0 || filled.is_full());
+            assert_eq!(filled.fingerprint(), by_insert.fingerprint());
+        }
     }
 
     #[test]

@@ -4,11 +4,12 @@
 use gossip_sim::{Context, Exchange, FaultPlan, Protocol, Round, RumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, Latency, NodeId};
 use proptest::prelude::*;
+use rand::Rng;
 
 /// Random connected weighted graph (spanning tree + extras).
 fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..=max_n, 0u64..1000).prop_map(|(n, seed)| {
-        use rand::{rngs::StdRng, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = latency_graph::GraphBuilder::new(n);
         let mut edges = std::collections::BTreeSet::new();

@@ -166,7 +166,7 @@ pub fn build_spanner(g: &Graph, config: &SpannerConfig) -> SpannerResult {
      -> BTreeMap<NodeId, (EdgeKey, NodeId, Latency)> {
         let my = cluster[v.index()];
         let mut best: BTreeMap<NodeId, (EdgeKey, NodeId, Latency)> = BTreeMap::new();
-        for &(u, l) in g.neighbors(v) {
+        for (u, l) in g.neighbors(v) {
             let Some(cu) = cluster[u.index()] else {
                 continue;
             };
@@ -213,7 +213,7 @@ pub fn build_spanner(g: &Graph, config: &SpannerConfig) -> SpannerResult {
                     // discard everything else, and leave the clustering.
                     for (&c, &(_, u, l)) in &best {
                         arcs.push((v.index(), u.index(), l.get()));
-                        for &(w, _) in g.neighbors(v) {
+                        for (w, _) in g.neighbors(v) {
                             if snapshot[w.index()] == Some(c) {
                                 discard(&mut discarded, v, w);
                             }
@@ -233,7 +233,7 @@ pub fn build_spanner(g: &Graph, config: &SpannerConfig) -> SpannerResult {
                         }
                         if key2 < key_c {
                             arcs.push((v.index(), u2.index(), l2.get()));
-                            for &(w, _) in g.neighbors(v) {
+                            for (w, _) in g.neighbors(v) {
                                 if snapshot[w.index()] == Some(c2) {
                                     discard(&mut discarded, v, w);
                                 }
@@ -241,7 +241,7 @@ pub fn build_spanner(g: &Graph, config: &SpannerConfig) -> SpannerResult {
                         }
                     }
                     // Discard all remaining edges from v into cluster c.
-                    for &(w, _) in g.neighbors(v) {
+                    for (w, _) in g.neighbors(v) {
                         if snapshot[w.index()] == Some(c) && w != u_c {
                             discard(&mut discarded, v, w);
                         }
@@ -254,7 +254,7 @@ pub fn build_spanner(g: &Graph, config: &SpannerConfig) -> SpannerResult {
         for i in 0..n {
             let v = NodeId::new(i);
             let Some(cv) = cluster[i] else { continue };
-            for &(u, _) in g.neighbors(v) {
+            for (u, _) in g.neighbors(v) {
                 if cluster[u.index()] == Some(cv) {
                     discard(&mut discarded, v, u);
                 }

@@ -1,0 +1,351 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! a small, self-contained implementation of the criterion surface the
+//! workspace's benches use: [`Criterion`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `throughput`
+//! / `finish`, [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples of adaptively-chosen iteration batches; the
+//! per-iteration mean, min, and max are printed as one line. When the
+//! binary is invoked with `--test` (as `cargo test --benches` does) each
+//! benchmark runs exactly once, unmeasured, to verify it executes.
+//! Results can also be exported as JSON via [`Criterion::json_report`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Throughput annotation for a group (recorded, reported in JSON).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations the measurement loop will run.
+    iters: u64,
+    /// Measured wall time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// Full id (`group/bench`).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run each bench once, skip measurement.
+    test_mode: bool,
+    results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (upstream compatibility; only
+    /// `--test` is honored, via [`Criterion::default`]).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id.into().name, sample_size, None, f);
+        self
+    }
+
+    /// All results measured so far, as a JSON array.
+    pub fn json_report(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_s\": {:e}, \"min_s\": {:e}, \"max_s\": {:e}, \"iters_per_sample\": {}}}",
+                r.id, r.mean_s, r.min_s, r.max_s, r.iters_per_sample
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm up and size the iteration batch so one sample costs
+        // roughly 20ms (bounded to keep total runtime sane).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut samples_s: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_s.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = samples_s.iter().sum::<f64>() / samples_s.len() as f64;
+        let min = samples_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_s.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{id:<48} time: [{} {} {}]  ({} samples × {iters} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples_s.len()
+        );
+        self.results.push(Sampled {
+            id,
+            mean_s: mean,
+            min_s: min,
+            max_s: max,
+            iters_per_sample: iters,
+            throughput,
+        });
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        self.criterion
+            .run_one(full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion
+            .run_one(full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(2654435761))
+    }
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+                b.iter(|| black_box(work(n)));
+            });
+            g.bench_function("fixed", |b| b.iter(|| black_box(work(16))));
+            g.finish();
+        }
+        if !c.test_mode {
+            assert_eq!(c.results.len(), 2);
+            assert!(c.results.iter().all(|r| r.mean_s >= 0.0));
+        }
+        let json = c.json_report();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with("]\n"));
+    }
+
+    criterion_group!(sample_group, smoke);
+
+    fn smoke(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(work(8))));
+    }
+
+    #[test]
+    fn macros_expand() {
+        let mut c = Criterion::default();
+        sample_group(&mut c);
+    }
+}

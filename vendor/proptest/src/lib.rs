@@ -1,0 +1,496 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the slice of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_filter_map` / `prop_filter`, range and tuple strategies,
+//! [`collection::vec`], [`Just`], [`any`], and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! failure message reports the case's deterministic seed instead), and
+//! regression persistence files are ignored. Generation is fully
+//! deterministic: case `k` of test `t` always sees the same inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (via filters or `prop_assume!`)
+    /// before the test aborts.
+    pub max_global_rejects: u32,
+    /// Accepted and ignored (upstream compatibility).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a test-case body did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions were not met (`prop_assume!`); generate
+    /// a fresh case instead.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// A source of generated values.
+///
+/// `generate` returns `None` when the underlying filter rejected the
+/// candidate; the driver retries with fresh randomness.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the
+    /// strategy `f` builds out of it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap {
+            inner: self,
+            f,
+            _whence: whence,
+        }
+    }
+
+    /// Keeps only values satisfying `f`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            f,
+            _whence: whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    _whence: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    _whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.random_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The whole-domain strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector of values from `element`, of length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let n = if self.len.is_empty() {
+                0
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Retry rejected elements a bounded number of times
+                // before rejecting the whole vector.
+                let mut ok = false;
+                for _ in 0..100 {
+                    if let Some(v) = self.element.generate(rng) {
+                        out.push(v);
+                        ok = true;
+                        break;
+                    }
+                }
+                if !ok {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// FNV-1a, used to derive a per-test seed from its module path so
+/// different tests explore different input streams.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the deterministic RNG for attempt `attempt` of the test
+/// identified by `ident` (internal; used by [`proptest!`]).
+pub fn case_rng(ident: &str, attempt: u64) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(ident) ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn roundtrip(x in 0u64..100, v in prop::collection::vec(0usize..9, 0..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one driver fn per test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let ident = concat!(module_path!(), "::", stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut attempt: u64 = 0;
+                while passed < config.cases {
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest {ident}: too many rejected cases ({rejected})"
+                    );
+                    let mut rng = $crate::case_rng(ident, attempt);
+                    attempt += 1;
+                    // Generate every argument; filter rejections retry.
+                    $(
+                        let __generated = $crate::Strategy::generate(&($strat), &mut rng);
+                        let $pat = match __generated {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                rejected += 1;
+                                continue;
+                            }
+                        };
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {ident} failed at attempt {} (re-run is deterministic):\n{msg}",
+                                attempt - 1
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::case_rng("x", 3);
+        let mut b = crate::case_rng("x", 3);
+        let s = (0usize..100, 0u64..50);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 1u32..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=9).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0u64..10, 0u64..10)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_ne!(a + b + 1, 0);
+        }
+
+        #[test]
+        fn maps_and_filters(v in prop::collection::vec(0usize..100, 1..20)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(v.iter().copied().count(), v.len());
+        }
+
+        #[test]
+        fn flat_map_dependent(len_and_idx in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = len_and_idx;
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn filter_map_respected(x in (0usize..100).prop_filter_map("even only", |x| (x % 2 == 0).then_some(x))) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at attempt")]
+    fn failures_panic() {
+        proptest! {
+            fn inner(x in 0usize..10) {
+                prop_assert!(x < 5, "x = {} escaped", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline vendored subset of the `rand` 0.9 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this minimal, dependency-free implementation of the
+//! slice of `rand` it actually uses: [`rngs::StdRng`], [`SeedableRng`],
+//! the [`Rng`] extension methods `random`/`random_range`/`random_bool`,
+//! and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast and
+//! statistically solid for simulation workloads. It intentionally does
+//! **not** reproduce upstream `StdRng`'s (ChaCha12) output streams;
+//! everything in this repository only relies on determinism per seed,
+//! which this crate guarantees (and pins with golden tests).
+
+/// Core random number generation: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// (the same convention upstream `rand` documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // Avoid the all-zero state, which xoshiro cannot leave.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Types that can be sampled from a distribution.
+pub mod distr {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the full domain of
+    /// integers and booleans, uniform in `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct StandardUniform;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for StandardUniform {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for StandardUniform {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<bool> for StandardUniform {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for StandardUniform {
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for StandardUniform {
+        /// Uniform in `[0, 1)` with 24 bits of precision.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Ranges a uniform value can be drawn from (`low..high` and
+    /// `low..=high`).
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiply-shift bounded sampling: maps a random 64-bit word into
+    /// `[0, span)`. The modulo bias is `span / 2⁶⁴` — irrelevant here.
+    #[inline]
+    pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit: f64 = StandardUniform.sample(rng);
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            let unit: f64 = StandardUniform.sample(rng);
+            lo + (hi - lo) * unit
+        }
+    }
+}
+
+pub use distr::{Distribution, SampleRange};
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution (uniform over the
+    /// type's domain; `[0, 1)` for floats).
+    #[inline]
+    fn random<T>(&mut self) -> T
+    where
+        distr::StandardUniform: distr::Distribution<T>,
+    {
+        use distr::Distribution as _;
+        distr::StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        Ra: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{distr, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = distr::bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[distr::bounded_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.random_range(1..=12);
+            assert!((1..=12).contains(&y));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_float_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let f: f64 = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn range_sampling_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let expected = N / 10;
+            assert!(
+                c.abs_diff(expected) < expected / 10,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        use super::RngCore as _;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
