@@ -21,7 +21,7 @@ fn push_pull_clique(c: &mut Criterion) {
         let g = generators::clique(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| push_pull::all_to_all(g, &PushPullConfig::default(), 42))
+            b.iter(|| push_pull::all_to_all(g, &PushPullConfig::default(), 42));
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn push_pull_ring_of_cliques(c: &mut Criterion) {
         let g = extra::ring_of_cliques(k, 16, 4);
         group.throughput(Throughput::Elements((k * 16) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(k * 16), &g, |b, g| {
-            b.iter(|| push_pull::all_to_all(g, &PushPullConfig::default(), 42))
+            b.iter(|| push_pull::all_to_all(g, &PushPullConfig::default(), 42));
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn flooding_clique(c: &mut Criterion) {
         let g = generators::clique(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| flooding::all_to_all(g, &FloodingConfig::default(), 42))
+            b.iter(|| flooding::all_to_all(g, &FloodingConfig::default(), 42));
         });
     }
     group.finish();

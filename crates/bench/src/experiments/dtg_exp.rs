@@ -78,8 +78,8 @@ mod tests {
             .filter(|r| r[0] == "cycle(48)")
             .map(|r| r[3].parse().unwrap())
             .collect();
-        let max = cycle_ratios.iter().cloned().fold(0.0, f64::max);
-        let min = cycle_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = cycle_ratios.iter().copied().fold(0.0, f64::max);
+        let min = cycle_ratios.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(
             max / min < 2.5,
             "rounds/ℓ must be near-constant: {cycle_ratios:?}"

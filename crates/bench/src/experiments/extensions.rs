@@ -6,7 +6,7 @@ use gossip_core::discovery;
 use gossip_core::eid::{self, EidConfig};
 use gossip_core::push_pull::PushPullNode;
 use gossip_core::rr_broadcast;
-use gossip_sim::{SimConfig, Simulator};
+use gossip_sim::{Protocol, SimConfig, Simulator};
 use latency_graph::{generators, metrics, NodeId};
 
 use crate::table::{f, Table};
@@ -240,6 +240,7 @@ pub fn e19_rr_on_spanner_vs_full() -> Table {
 /// maps. We compare total payload units (rumors resp. topology edges
 /// carried) for one-to-all dissemination.
 pub fn e20_message_complexity() -> Table {
+    use gossip_core::push_pull::{self, PushPullConfig};
     let mut t = Table::new(
         "E20 — message complexity: payload units exchanged (Section 6)",
         &[
@@ -251,7 +252,6 @@ pub fn e20_message_complexity() -> Table {
             "pp units/(n log n)",
         ],
     );
-    use gossip_core::push_pull::{self, PushPullConfig};
     for (name, g) in [
         ("clique(24)", generators::clique(24)),
         ("cycle(24)", generators::cycle(24)),
@@ -347,7 +347,6 @@ pub fn e22_dissemination_curves() -> Table {
         "E22 — push-pull dissemination curve quartiles (rounds to reach X% informed)",
         &["graph", "n", "25%", "50%", "75%", "100%", "tail = r100/r50"],
     );
-    use gossip_core::push_pull::PushPullNode;
     let cases: Vec<(&str, latency_graph::Graph)> = vec![
         ("clique(64)", generators::clique(64)),
         ("barbell(32) bridge 16", generators::barbell(32, 16)),
@@ -407,7 +406,7 @@ pub fn e22_dissemination_curves() -> Table {
 pub fn e23_blocking_model() -> Table {
     use gossip_core::dtg::{self, DtgState};
     use gossip_core::push_pull::PushPullNode;
-    use gossip_sim::{Protocol as _, RumorSet};
+    use gossip_sim::RumorSet;
     use latency_graph::Latency;
 
     let mut t = Table::new(
@@ -451,7 +450,7 @@ pub fn e23_blocking_model() -> Table {
     let free = run_dtg(false);
     let blocked = run_dtg(true);
     assert!(
-        blocked.nodes.iter().all(|x| x.is_done()),
+        blocked.nodes.iter().all(Protocol::is_done),
         "ℓ-DTG must survive blocking"
     );
     t.row(vec![

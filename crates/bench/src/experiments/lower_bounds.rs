@@ -187,8 +187,8 @@ mod tests {
             .filter(|r| r[0] == "singleton/adaptive")
             .map(|r| r[4].rsplit(' ').next().unwrap().parse::<f64>().unwrap())
             .collect();
-        let max = vals.iter().cloned().fold(0.0, f64::max);
-        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(0.0, f64::max);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 3.0, "singleton normalization: {vals:?}");
     }
 
@@ -202,8 +202,8 @@ mod tests {
             .iter()
             .map(|r| r[5].parse::<f64>().unwrap())
             .collect();
-        let max = ratios.iter().cloned().fold(0.0, f64::max);
-        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0, f64::max);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 4.0, "game/Δ: {ratios:?}");
         // Fitted exponent of push-pull rounds vs Δ ≈ 1 (the Ω(Δ) law).
         let deltas: Vec<f64> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();

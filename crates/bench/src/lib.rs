@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness for the *Gossiping with Latencies* reproduction.
 //!
 //! The paper is a theory paper: it has no measurement tables of its

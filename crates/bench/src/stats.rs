@@ -46,8 +46,8 @@ pub fn summarize(xs: &[f64]) -> Summary {
     } else {
         xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
     };
-    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     Summary {
         n,
         mean,

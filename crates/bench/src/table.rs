@@ -22,7 +22,7 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
         }
@@ -97,7 +97,7 @@ impl fmt::Display for Table {
         let render = |row: &[String]| -> String {
             (0..cols)
                 .map(|i| {
-                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    let cell = row.get(i).map_or("", String::as_str);
                     format!("{cell:>w$}", w = width[i])
                 })
                 .collect::<Vec<_>>()

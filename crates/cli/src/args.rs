@@ -130,7 +130,13 @@ mod tests {
     use super::*;
 
     fn parse(parts: &[&str]) -> Args {
-        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        Args::parse(
+            &parts
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -155,7 +161,10 @@ mod tests {
 
     #[test]
     fn missing_flag_value_rejected() {
-        let argv: Vec<String> = ["x", "--seed"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["x", "--seed"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert!(matches!(
             Args::parse(&argv),
             Err(CliError::MissingArgument(_))

@@ -349,7 +349,7 @@ pub fn run_algorithm(args: &mut Args) -> Result<String, CliError> {
             let _ = writeln!(out, "complete = {}", o.completed());
         }
         "dtg" | "superstep" => {
-            let default_ell = g.max_latency().map_or(1, |l| l.get());
+            let default_ell = g.max_latency().map_or(1, Latency::get);
             let ell: u32 = args.flag_or("ell", default_ell)?;
             args.finish()?;
             let o = if algorithm == "dtg" {
@@ -543,6 +543,7 @@ pub fn game(args: &mut Args) -> Result<String, CliError> {
 /// as CSV (plus an ASCII sparkline), for plotting dissemination
 /// dynamics.
 pub fn curve(args: &mut Args) -> Result<String, CliError> {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     use gossip_core::push_pull::PushPullNode;
     use gossip_sim::{SimConfig, Simulator};
 
@@ -586,7 +587,6 @@ pub fn curve(args: &mut Args) -> Result<String, CliError> {
         let _ = writeln!(s, "{round},{informed}");
     }
     // Sparkline.
-    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let spark: String = curve
         .iter()
         .map(|&c| BARS[(c * (BARS.len() - 1)).div_ceil(n).min(BARS.len() - 1)])
@@ -608,7 +608,7 @@ mod tests {
     use super::*;
 
     fn call(parts: &[&str]) -> Result<String, CliError> {
-        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = parts.iter().map(std::string::ToString::to_string).collect();
         crate::run(&argv)
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `gossip` — the command-line interface of the gossip-latencies
@@ -69,7 +70,7 @@ mod tests {
     use super::*;
 
     fn call(parts: &[&str]) -> Result<String, CliError> {
-        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = parts.iter().map(std::string::ToString::to_string).collect();
         run(&argv)
     }
 

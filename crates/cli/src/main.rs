@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Thin binary wrapper: all logic lives in the library for testability.
 
 fn main() {

@@ -25,7 +25,7 @@ impl Mergeable for RumorSet {
     }
 
     fn weight(&self) -> u64 {
-        self.len() as u64
+        u64::try_from(self.len()).expect("rumor count fits u64")
     }
 }
 

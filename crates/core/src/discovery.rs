@@ -85,7 +85,7 @@ impl DiscoveryOutcome {
 /// Panics if `d_cap == 0`.
 pub fn discover_latencies(g: &Graph, d_cap: u64) -> DiscoveryOutcome {
     assert!(d_cap >= 1, "waiting window must be positive");
-    let delta = g.max_degree() as u64;
+    let delta = u64::try_from(g.max_degree()).expect("degree fits u64");
     let horizon = delta + d_cap;
     let cfg = SimConfig {
         max_rounds: horizon,

@@ -33,13 +33,14 @@ use crate::common::{BroadcastOutcome, Mergeable};
 /// `⌈log₂ n̂⌉ + 2` (the binomial-tree argument caps active iterations at
 /// `log₂ n`).
 pub fn default_iteration_cap(n_hat: usize) -> usize {
-    n_hat.max(2).next_power_of_two().trailing_zeros() as usize + 2
+    usize::try_from(n_hat.max(2).next_power_of_two().trailing_zeros()).expect("log2 fits usize") + 2
 }
 
 /// The fixed length, in rounds, of a full `ℓ`-DTG schedule with the
 /// given iteration cap: `Σ_{i=1..cap} 4·i·ℓ = 2·ℓ·cap·(cap+1)`.
 pub fn schedule_length(ell: Latency, cap: usize) -> Round {
-    2 * ell.rounds() * cap as u64 * (cap as u64 + 1)
+    let cap = u64::try_from(cap).expect("iteration cap fits u64");
+    2 * ell.rounds() * cap * (cap + 1)
 }
 
 /// State carried through (and between) DTG phases: the mergeable data
@@ -82,9 +83,9 @@ struct Position {
 fn position(round: Round, ell: Latency, cap: usize) -> Option<Position> {
     let mut r = round;
     for i in 1..=cap {
-        let len = 4 * i as u64 * ell.rounds();
+        let len = 4 * u64::try_from(i).expect("iteration fits u64") * ell.rounds();
         if r < len {
-            let slot = (r / ell.rounds()) as usize;
+            let slot = usize::try_from(r / ell.rounds()).expect("slot index fits usize");
             return Some(Position {
                 iteration: i,
                 slot,
@@ -261,7 +262,7 @@ pub fn run_phase<M: Mergeable>(
         },
         |_, _| false,
     );
-    let complete = out.nodes.iter().all(|n| n.is_done());
+    let complete = out.nodes.iter().all(Protocol::is_done);
     let rounds = if charge_actual { out.rounds } else { schedule };
     DtgPhaseOutcome {
         states: out.nodes.into_iter().map(DtgNode::into_state).collect(),

@@ -72,9 +72,13 @@ impl KnowledgeMap {
     pub fn to_graph(&self, n: usize) -> Graph {
         Graph::from_edges(
             n,
-            self.edges
-                .iter()
-                .map(|&(a, b, l)| (a as usize, b as usize, l)),
+            self.edges.iter().map(|&(a, b, l)| {
+                (
+                    usize::try_from(a).expect("node id fits usize"),
+                    usize::try_from(b).expect("node id fits usize"),
+                    l,
+                )
+            }),
         )
         .expect("knowledge edges are valid")
     }
@@ -88,7 +92,7 @@ impl Mergeable for KnowledgeMap {
     }
 
     fn weight(&self) -> u64 {
-        self.edges.len() as u64
+        u64::try_from(self.edges.len()).expect("edge count fits u64")
     }
 }
 
@@ -173,7 +177,9 @@ impl EidOutcome {
 
 /// The spanner parameter default: `⌈log₂ n⌉`, at least 2.
 pub fn default_spanner_k(n: usize) -> usize {
-    (n.max(2).next_power_of_two().trailing_zeros() as usize).max(2)
+    usize::try_from(n.max(2).next_power_of_two().trailing_zeros())
+        .expect("log2 fits usize")
+        .max(2)
 }
 
 /// Runs the EID pipeline (Algorithm 3) for a known/guessed diameter.
@@ -215,7 +221,7 @@ pub fn eid(g: &Graph, config: &EidConfig) -> EidOutcome {
                     d_lat,
                     states,
                     budget,
-                    config.seed ^ rep as u64,
+                    config.seed ^ u64::try_from(rep).expect("repetition fits u64"),
                 );
                 (phase.rounds, phase.metrics.payload_units, phase.states)
             }
@@ -225,7 +231,8 @@ pub fn eid(g: &Graph, config: &EidConfig) -> EidOutcome {
         knowledge = states.into_iter().map(|s| s.data).collect();
     }
 
-    let knowledge_sufficient = knowledge_covers_radius(&working, &knowledge, (k_s + 1) as u64);
+    let radius = u64::try_from(k_s + 1).expect("spanner parameter fits u64");
+    let knowledge_sufficient = knowledge_covers_radius(&working, &knowledge, radius);
 
     // Phase 2: local spanner computation with public coins (run once
     // centrally; `local_spanner_agrees` certifies the local/global
@@ -241,7 +248,7 @@ pub fn eid(g: &Graph, config: &EidConfig) -> EidOutcome {
 
     // Phase 3: RR Broadcast with parameter D · (2k−1) ≥ any spanner
     // distance between nodes at graph distance ≤ D.
-    let k_rr = config.diameter * spanner.stretch_bound as u64;
+    let k_rr = config.diameter * u64::try_from(spanner.stretch_bound).expect("stretch fits u64");
     let rr = rr_broadcast::run(
         &working,
         &spanner.spanner,
@@ -400,7 +407,7 @@ pub fn general_eid(g: &Graph, seed: u64, max_guess: u64) -> GeneralEidOutcome {
                 ..Default::default()
             },
         );
-        let k_check = guess * out.spanner.stretch_bound as u64;
+        let k_check = guess * u64::try_from(out.spanner.stretch_bound).expect("stretch fits u64");
         let check =
             crate::termination::distributed_check(g, &out.spanner.spanner, k_check, &out.rumors);
         debug_assert!(check.unanimous, "Lemma 18: decisions must be unanimous");
@@ -460,7 +467,7 @@ mod tests {
             );
             assert!(out.complete, "EID must finish at the true diameter");
             assert!(out.knowledge_sufficient);
-            assert!(out.rumors.iter().all(|r| r.is_full()));
+            assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
         }
     }
 
@@ -481,7 +488,7 @@ mod tests {
         );
         assert!(out.complete);
         assert!(out.knowledge_sufficient);
-        assert!(out.rumors.iter().all(|r| r.is_full()));
+        assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]
@@ -606,7 +613,7 @@ mod tests {
         for a in &out.attempts[..out.attempts.len() - 1] {
             assert!(!a.success);
         }
-        assert!(out.rumors.iter().all(|r| r.is_full()));
+        assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]
@@ -651,8 +658,8 @@ mod tests {
             let l = (n as f64).log2();
             ratios.push(out.total_rounds() as f64 / (d * l * l * l));
         }
-        let max = ratios.iter().cloned().fold(0.0, f64::max);
-        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0, f64::max);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 8.0, "ratios {ratios:?}");
     }
 }

@@ -167,7 +167,7 @@ mod tests {
         let g = generators::grid(4, 5);
         let o = all_to_all(&g, &FloodingConfig::default(), 3);
         assert!(o.completed());
-        assert!(o.rumors.iter().all(|r| r.is_full()));
+        assert!(o.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]

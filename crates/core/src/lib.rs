@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The algorithms of *Gossiping with Latencies*: this crate is the

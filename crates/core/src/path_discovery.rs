@@ -219,7 +219,7 @@ mod tests {
         let k = d.next_power_of_two(); // 8
         let out = run_t_sequence(&g, k, None);
         assert!(verify_distance_k_exchange(&g, k, &out.rumors));
-        assert!(out.rumors.iter().all(|r| r.is_full()));
+        assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]
@@ -239,7 +239,7 @@ mod tests {
         // has fully aggregated, so one bridge exchange finishes the job.
         let g = generators::barbell(5, 4);
         let out = run_t_sequence(&g, 4, None);
-        assert!(out.rumors.iter().all(|r| r.is_full()));
+        assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]
@@ -249,7 +249,7 @@ mod tests {
         assert!(out.complete);
         let final_guess = out.attempts.last().unwrap().guess;
         assert!(final_guess <= 16, "guess {final_guess}");
-        assert!(out.rumors.iter().all(|r| r.is_full()));
+        assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
         for a in &out.attempts[..out.attempts.len() - 1] {
             assert!(!a.success);
         }
@@ -280,13 +280,13 @@ mod tests {
             let d = metrics::weighted_diameter(&g);
             let k = d.next_power_of_two().max(2);
             let out = run_t_sequence(&g, k, None);
-            assert!(out.rumors.iter().all(|r| r.is_full()));
+            assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
             let logn = (n as f64).log2();
             let logd = (d.max(2) as f64).log2();
             ratios.push(out.rounds as f64 / (d as f64 * logn * logn * logd));
         }
-        let max = ratios.iter().cloned().fold(0.0, f64::max);
-        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0, f64::max);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 8.0, "ratios {ratios:?}");
     }
 

@@ -70,7 +70,7 @@ impl Protocol for PushPullNode {
     }
 
     fn payload_weight(payload: &SharedRumorSet) -> u64 {
-        payload.len() as u64
+        u64::try_from(payload.len()).expect("rumor count fits u64")
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_>) {
@@ -331,7 +331,7 @@ mod tests {
         let a = all_to_all(&g, &PushPullConfig::default(), 9);
         assert!(b.completed() && a.completed());
         assert!(a.rounds >= b.rounds);
-        assert!(a.rumors.iter().all(|r| r.is_full()));
+        assert!(a.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Protocol for RrNode {
     }
 
     fn payload_weight(payload: &SharedRumorSet) -> u64 {
-        payload.len() as u64
+        u64::try_from(payload.len()).expect("rumor count fits u64")
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_>) {
@@ -87,7 +87,8 @@ pub fn budget(spanner: &DiGraph, k: u64) -> Round {
                 .count()
         })
         .max()
-        .unwrap_or(0) as u64;
+        .unwrap_or(0);
+    let max_out = u64::try_from(max_out).expect("out-degree fits u64");
     k * max_out + k
 }
 

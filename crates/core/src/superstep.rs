@@ -132,7 +132,7 @@ pub fn run_phase<M: Mergeable>(
         |id, _| SuperstepNode::new(slots[id.index()].take().expect("state taken once"), ell),
         |_, _| false,
     );
-    let complete = out.nodes.iter().all(|n| n.is_done());
+    let complete = out.nodes.iter().all(Protocol::is_done);
     SuperstepOutcome {
         states: out
             .nodes
@@ -152,7 +152,8 @@ pub fn local_broadcast(g: &Graph, ell: Latency, seed: u64) -> BroadcastOutcome {
         .map(|i| DtgState::new(NodeId::new(i), n, RumorSet::singleton(n, NodeId::new(i))))
         .collect();
     // Generous cap: O(ℓ log³ n) with slack.
-    let logn = (n.max(2) as f64).log2().ceil() as u64 + 1;
+    // ceil(log2 n) computed exactly in integers: next_power_of_two().ilog2().
+    let logn = u64::from(n.max(2).next_power_of_two().ilog2()) + 1;
     let cap = 64 * ell.rounds() * logn * logn * logn;
     let phase = run_phase(g, ell, states, cap, seed);
     BroadcastOutcome {

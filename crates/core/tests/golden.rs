@@ -14,7 +14,7 @@
 
 use gossip_core::flooding::{self, FloodingConfig};
 use gossip_core::push_pull::{self, Mode, PushPullConfig, PushPullNode};
-use gossip_sim::{Outcome, SimConfig, Simulator};
+use gossip_sim::{FaultPlan, Outcome, SimConfig, Simulator};
 use latency_graph::generators::{self, extra};
 use latency_graph::{Graph, NodeId};
 
@@ -35,6 +35,18 @@ fn fmt_outcome<P>(out: &Outcome<P>) -> String {
 /// and `blocking` — knobs the high-level wrappers don't expose.
 fn raw_push_pull(g: &Graph, cfg: SimConfig) -> String {
     let out = Simulator::new(g, cfg).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+    );
+    fmt_outcome(&out)
+}
+
+/// Like [`raw_push_pull`] but with a [`FaultPlan`] applied. Crashed
+/// nodes can never become full, so the run is bounded by
+/// `cfg.max_rounds` and the trace pins the loss accounting as well as
+/// the schedule.
+fn faulty_push_pull(g: &Graph, cfg: SimConfig, plan: FaultPlan) -> String {
+    let out = Simulator::new(g, cfg).with_faults(plan).run(
         |id, n| PushPullNode::new(id, n, Mode::PushPull),
         |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
     );
@@ -228,6 +240,46 @@ fn cases() -> Vec<Case> {
                     ..SimConfig::default()
                 };
                 raw_push_pull(&g, cfg)
+            },
+        },
+        // --- fault injection: crashes and link drops must perturb the
+        //     schedule in exactly the same way on every run ---
+        Case {
+            name: "cycle64/push_pull/faults/crashes/seed7",
+            expected:
+                "rounds=60 initiated=3673 delivered=3501 lost=172 rejected=0 payload_units=184792",
+            run: || {
+                let g = generators::cycle(64);
+                let cfg = SimConfig {
+                    seed: 7,
+                    max_rounds: 60,
+                    ..SimConfig::default()
+                };
+                let plan = FaultPlan::none()
+                    .crash(NodeId::new(5), 3)
+                    .crash(NodeId::new(40), 10)
+                    .crash(NodeId::new(63), 0);
+                faulty_push_pull(&g, cfg, plan)
+            },
+        },
+        Case {
+            name: "ring_of_cliques_6x8_l4/push_pull/faults/link_drops/seed13",
+            expected:
+                "rounds=80 initiated=3840 delivered=3797 lost=39 rejected=0 payload_units=210079",
+            run: || {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let cfg = SimConfig {
+                    seed: 13,
+                    max_rounds: 80,
+                    ..SimConfig::default()
+                };
+                // Sever two of the six latency-4 bridges mid-run; the
+                // in-flight exchanges crossing them at the drop round are
+                // lost, not delivered late.
+                let plan = FaultPlan::none()
+                    .drop_link(NodeId::new(7), NodeId::new(8), 6)
+                    .drop_link(NodeId::new(23), NodeId::new(24), 12);
+                faulty_push_pull(&g, cfg, plan)
             },
         },
     ]

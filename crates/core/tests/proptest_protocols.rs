@@ -90,7 +90,7 @@ proptest! {
         let k = metrics::weighted_diameter(&g);
         let check = termination::distributed_check(&g, &identity_spanner(&g), k, &o.rumors);
         prop_assert!(check.unanimous, "Lemma 18 agreement");
-        let truly_complete = o.rumors.iter().all(|r| r.is_full());
+        let truly_complete = o.rumors.iter().all(gossip_sim::RumorSet::is_full);
         prop_assert_eq!(check.verdict(), Some(truly_complete));
     }
 
@@ -103,7 +103,7 @@ proptest! {
         prop_assert!(out.complete);
         prop_assert!(out.knowledge_sufficient);
         prop_assert!(out.spanner.spanner.to_undirected().is_connected());
-        prop_assert!(out.rumors.iter().all(|r| r.is_full()));
+        prop_assert!(out.rumors.iter().all(gossip_sim::RumorSet::is_full));
     }
 
     /// DTG's fixed schedule is consistent: the sum of per-iteration slot

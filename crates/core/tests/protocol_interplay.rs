@@ -126,7 +126,7 @@ fn payload_ordering_matches_section6() {
         },
     );
     assert!(pp.completed() && ed.complete);
-    assert!(pd.rumors.iter().all(|r| r.is_full()));
+    assert!(pd.rumors.iter().all(gossip_sim::RumorSet::is_full));
     assert!(
         pp.metrics.payload_units < pd.payload_units,
         "push-pull {} vs path discovery {}",
@@ -185,7 +185,7 @@ fn distributed_check_sound_over_random_states() {
                 }
             })
             .collect();
-        let truly_complete = rumors.iter().all(|r| r.is_full());
+        let truly_complete = rumors.iter().all(gossip_sim::RumorSet::is_full);
         let check = termination::distributed_check(&g, &sp, k, &rumors);
         assert!(check.unanimous);
         assert_eq!(check.verdict(), Some(truly_complete));

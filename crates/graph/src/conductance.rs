@@ -19,7 +19,7 @@
 //! [`sweep_cut_estimate`], a spectral sweep-cut heuristic that returns a
 //! certified *upper bound* (it exhibits a concrete cut).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::GraphError;
 use crate::graph::Graph;
@@ -192,7 +192,7 @@ pub fn exact_conductance_profile(g: &Graph) -> Result<ConductanceProfile, GraphE
     if latencies.is_empty() {
         return Err(GraphError::Empty);
     }
-    let lat_index: HashMap<Latency, usize> =
+    let lat_index: BTreeMap<Latency, usize> =
         latencies.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let edges: Vec<(usize, usize, usize)> = g
         .edges()
@@ -314,7 +314,7 @@ pub fn sweep_cut_estimate(
         // Deflate the stationary direction (π_i ∝ deg_i): subtract the
         // π-weighted mean.
         let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total_vol;
-        for xi in x.iter_mut() {
+        for xi in &mut x {
             *xi -= mean;
         }
         // One step of the lazy walk on G_ℓ:
@@ -341,7 +341,7 @@ pub fn sweep_cut_estimate(
         if norm < 1e-300 {
             break;
         }
-        for v in y.iter_mut() {
+        for v in &mut y {
             *v /= norm;
         }
         x = y;

@@ -68,7 +68,7 @@ pub fn spectral_gap(g: &Graph, ell: Latency, iterations: usize, seed: u64) -> Op
     for _ in 0..iterations.max(1) {
         // Deflate the stationary direction (π ∝ degree).
         let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total;
-        for xi in x.iter_mut() {
+        for xi in &mut x {
             *xi -= mean;
         }
         // Lazy step on G_ℓ.
@@ -103,7 +103,7 @@ pub fn spectral_gap(g: &Graph, ell: Latency, iterations: usize, seed: u64) -> Op
         if norm < 1e-300 {
             break;
         }
-        for v in y.iter_mut() {
+        for v in &mut y {
             *v /= norm;
         }
         x = y;

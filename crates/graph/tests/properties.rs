@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn hops_bound_weighted((n, es) in edge_list(20)) {
         let g = Graph::from_edges(n, es.iter().copied()).unwrap();
-        let lmax = g.max_latency().map_or(1, |l| l.rounds());
+        let lmax = g.max_latency().map_or(1, latency_graph::Latency::rounds);
         let src = NodeId::new(0);
         let hops = metrics::bfs_hops(&g, src);
         let dist = metrics::dijkstra(&g, src);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The combinatorial **guessing game** of *Gossiping with Latencies*

@@ -67,8 +67,7 @@ impl ActivationLog {
     pub fn round(&self, round: u64) -> &[Pair] {
         self.rounds
             .get(usize::try_from(round).expect("round fits usize"))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 }
 

@@ -337,6 +337,24 @@ struct CalendarQueue<P> {
     overflow: BTreeMap<Round, Vec<InFlight<P>>>,
 }
 
+/// Maps a completion round onto its calendar-ring slot.
+///
+/// `slots ≤ MAX_RING_SLOTS`, so the modulo result always fits `usize`;
+/// the checked conversion keeps the (impossible) truncation loud
+/// instead of silent, per the tidy `narrowing-cast` rule.
+#[inline]
+fn round_to_slot(round: Round, slots: u64) -> usize {
+    usize::try_from(round % slots).expect("ring slot index fits usize")
+}
+
+/// Widens a validated adjacency index (stored as `u32` by
+/// [`Context::initiate`]) back to a `usize` for indexing the graph's
+/// parallel latency array.
+#[inline]
+fn latency_to_index(i: u32) -> usize {
+    usize::try_from(i).expect("adjacency index fits usize")
+}
+
 impl<P> CalendarQueue<P> {
     fn new(max_latency_rounds: u64) -> CalendarQueue<P> {
         let slots = (max_latency_rounds + 1).min(MAX_RING_SLOTS);
@@ -348,14 +366,14 @@ impl<P> CalendarQueue<P> {
 
     #[inline]
     fn slots(&self) -> u64 {
-        self.ring.len() as u64
+        u64::try_from(self.ring.len()).expect("ring length fits u64")
     }
 
     /// Enqueues `x` to complete `latency_rounds` after `now`.
     #[inline]
     fn schedule(&mut self, now: Round, latency_rounds: u64, x: InFlight<P>) {
         if latency_rounds < self.slots() {
-            let slot = ((now + latency_rounds) % self.slots()) as usize;
+            let slot = round_to_slot(now + latency_rounds, self.slots());
             self.ring[slot].push(x);
         } else {
             self.overflow
@@ -378,7 +396,7 @@ impl<P> CalendarQueue<P> {
         if let Some(mut batch) = self.overflow.remove(&round) {
             due.append(&mut batch);
         }
-        let slot = (round % self.slots()) as usize;
+        let slot = round_to_slot(round, self.slots());
         due.append(&mut self.ring[slot]);
     }
 }
@@ -450,11 +468,12 @@ impl<'g> Simulator<'g> {
         let n = self.graph.node_count();
         let size_hint = self.config.size_hint.unwrap_or(n);
         let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
-        let mut rngs: Vec<StdRng> = (0..n as u64)
+        let n_u64 = u64::try_from(n).expect("node count fits u64");
+        let mut rngs: Vec<StdRng> = (0..n_u64)
             .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
             .collect();
         let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
-        let l_max = self.graph.max_latency().map_or(0, |l| l.rounds());
+        let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
         let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
         // Delivery batch, reused every round.
         let mut due: Vec<InFlight<P::Payload>> = Vec::new();
@@ -542,7 +561,7 @@ impl<'g> Simulator<'g> {
                     nodes,
                 };
             }
-            if nodes.iter().all(|p| p.is_done()) {
+            if nodes.iter().all(Protocol::is_done) {
                 return Outcome {
                     reason: StopReason::AllDone,
                     rounds: round,
@@ -578,7 +597,8 @@ impl<'g> Simulator<'g> {
                     *slot = k;
                 }
                 order.sort_by_key(|&i| {
-                    splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i as u64)
+                    let i = u64::try_from(i).expect("node index fits u64");
+                    splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i)
                 });
                 engagements.fill(0);
             }
@@ -614,7 +634,7 @@ impl<'g> Simulator<'g> {
                 // `vi` was validated by `Context::initiate`; the edge
                 // latency comes straight from the graph's parallel
                 // latency array — no binary search on the hot path.
-                let lat = self.graph.neighbor_latencies(u)[vi as usize];
+                let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
                 queue.schedule(
                     round,
                     lat.rounds(),

@@ -7,7 +7,7 @@
 //! initiates nor responds, and any exchange whose endpoints or link are
 //! faulty at completion time is silently lost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use latency_graph::NodeId;
 use rand::rngs::StdRng;
@@ -32,8 +32,8 @@ use crate::Round;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
-    crashes: HashMap<NodeId, Round>,
-    link_drops: HashMap<(NodeId, NodeId), Round>,
+    crashes: BTreeMap<NodeId, Round>,
+    link_drops: BTreeMap<(NodeId, NodeId), Round>,
 }
 
 impl FaultPlan {

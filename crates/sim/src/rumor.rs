@@ -8,6 +8,13 @@
 use latency_graph::NodeId;
 use std::fmt;
 
+/// Population count of one bitset word, widened checked (`u32` → at
+/// most 64 always fits `usize`).
+#[inline]
+fn ones(word: u64) -> usize {
+    usize::try_from(word.count_ones()).expect("popcount fits usize")
+}
+
 /// A set of node ids over the fixed universe `0..n`, backed by `u64`
 /// words.
 ///
@@ -134,7 +141,7 @@ impl RumorSet {
                 changed = true;
                 *a = merged;
             }
-            count += merged.count_ones() as usize;
+            count += ones(merged);
         }
         self.count = count;
         changed
@@ -160,7 +167,8 @@ impl RumorSet {
     /// rumor sets across nodes; exchanging fingerprints instead of full
     /// sets keeps those comparison messages small.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (self.universe as u64);
+        let universe = u64::try_from(self.universe).expect("universe fits u64");
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ universe;
         for &w in &self.words {
             h ^= w;
             h = h.wrapping_mul(0x100_0000_01b3);
@@ -292,7 +300,7 @@ impl SharedRumorSet {
             let mut count = 0usize;
             for (a, &b) in inner.words.iter_mut().zip(&other.inner.words) {
                 *a |= b;
-                count += a.count_ones() as usize;
+                count += ones(*a);
             }
             inner.count = count;
         } else {
@@ -304,7 +312,7 @@ impl SharedRumorSet {
                 .zip(&other.inner.words)
                 .map(|(&a, &b)| {
                     let merged = a | b;
-                    count += merged.count_ones() as usize;
+                    count += ones(merged);
                     merged
                 })
                 .collect();
@@ -495,7 +503,7 @@ mod tests {
         for i in [5usize, 63, 64, 65, 199] {
             s.insert(NodeId::new(i));
         }
-        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        let got: Vec<usize> = s.iter().map(latency_graph::NodeId::index).collect();
         assert_eq!(got, vec![5, 63, 64, 65, 199]);
     }
 

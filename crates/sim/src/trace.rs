@@ -107,11 +107,12 @@ impl TraceLog {
     /// Count of delivered exchanges per round, up to and including
     /// `horizon` (index = round).
     pub fn delivery_curve(&self, horizon: Round) -> Vec<u64> {
-        let mut curve = vec![0u64; horizon as usize + 1];
+        let len = usize::try_from(horizon).expect("horizon fits usize") + 1;
+        let mut curve = vec![0u64; len];
         for e in self.events.borrow().iter() {
             if let TraceEvent::Delivered { round, .. } = *e {
                 if round <= horizon {
-                    curve[round as usize] += 1;
+                    curve[usize::try_from(round).expect("round fits usize")] += 1;
                 }
             }
         }

@@ -1,0 +1,374 @@
+//! A minimal Rust tokenizer for the tidy rules.
+//!
+//! This is *not* a full lexer: it only needs to be correct about the
+//! things that make naive `grep`-style linting wrong — string literals
+//! (including raw strings with arbitrary `#` fences and byte strings),
+//! char literals vs. lifetimes, and line/block comments (including
+//! nesting). Everything else is classified coarsely as identifiers,
+//! numbers, or single-character punctuation, each tagged with its
+//! 1-based source line.
+
+/// Coarse token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `unsafe`, `pub`, …).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(u8),
+    /// String literal of any flavor; `text` holds the *contents* only.
+    Str,
+    /// Numeric literal.
+    Number,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (for `Str`, the literal's contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (normal or doc) with its source position.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the `//`/`/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The result of [`lex`]: code tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any comment covering `line` (or the line directly above)
+    /// contains `needle`. Used for `// SAFETY:` and waiver lookups.
+    pub fn comment_near(&self, line: u32, lookback: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(lookback);
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.line <= line && c.text.contains(needle))
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals are closed at
+/// end of input (a linter must degrade gracefully on broken sources).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += u32::try_from($slice.iter().filter(|&&c| c == b'\n').count())
+                .expect("line count fits u32")
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (contents, next) = scan_string(b, i + 1);
+                let start_line = line;
+                bump_lines!(&b[i..next]);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from_utf8_lossy(contents).into_owned(),
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (contents, next) = scan_raw_or_byte(b, i);
+                let start_line = line;
+                bump_lines!(&b[i..next]);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from_utf8_lossy(contents).into_owned(),
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = b
+                    .get(i + 1)
+                    .is_some_and(|&n| is_ident_start(n) && b.get(i + 2) != Some(&b'\''));
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    // Char literal: scan to the closing quote, honoring
+                    // backslash escapes.
+                    let start_line = line;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (is_ident_continue(b[i])
+                        || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a plain `"…"` body starting *after* the opening quote; returns
+/// (contents, index past the closing quote).
+fn scan_string(b: &[u8], mut i: usize) -> (&[u8], usize) {
+    let start = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (&b[start..i], i + 1),
+            _ => i += 1,
+        }
+    }
+    (&b[start..], i)
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `br"`, `b"`, `br#"`, ….
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&b'"');
+    }
+    // `b"…"` byte string (no `r`).
+    b[i] == b'b' && b.get(i + 1) == Some(&b'"')
+}
+
+/// Scans a raw / byte / raw-byte string starting at its `r`/`b` prefix;
+/// returns (contents, index past the closing delimiter).
+fn scan_raw_or_byte(b: &[u8], mut i: usize) -> (&[u8], usize) {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        i += 1;
+        let mut hashes = 0usize;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        let start = i;
+        while i < b.len() {
+            if b[i] == b'"'
+                && b[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                return (&b[start..i], i + 1 + hashes);
+            }
+            i += 1;
+        }
+        (&b[start..], i)
+    } else {
+        // Plain byte string `b"…"`.
+        let (contents, next) = scan_string(b, i + 1);
+        (contents, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_not_code() {
+        let src = r##"let x = "HashMap::new() .unwrap()"; let y = r#"thread_rng"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let src = "// HashMap here\n/* unwrap()\n  nested /* deeper */ still */\nlet a = 1;";
+        let lexed = lex(src);
+        assert!(!lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+        assert_eq!(lexed.toks.last().map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_accurate() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        let src = "let a = b\"unwrap()\"; let c = br##\"HashSet \"# inner\"##; done";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn comment_near_lookback() {
+        let lexed = lex("// SAFETY: fine\nunsafe { }\n\n\nunsafe { }");
+        assert!(lexed.comment_near(2, 1, "SAFETY:"));
+        assert!(!lexed.comment_near(5, 1, "SAFETY:"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Human and JSON rendering of tidy findings.
+
+use crate::rules::Violation;
+
+/// Human, diff-style report: one hunk per finding with the offending
+/// line quoted, grouped by file.
+pub fn human(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::new();
+    let mut last_path = "";
+    for v in violations {
+        if v.path != last_path {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("--- {}\n", v.path));
+            last_path = &v.path;
+        }
+        out.push_str(&format!(
+            "{}:{} [{}] {}\n",
+            v.path, v.line, v.rule, v.message
+        ));
+        out.push_str(&format!("  > {}\n", v.snippet));
+    }
+    out.push('\n');
+    if violations.is_empty() {
+        out.push_str(&format!(
+            "tidy: clean — {files_scanned} files scanned, 0 violations\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "tidy: {} violation(s) in {} file(s) ({} files scanned)\n",
+            violations.len(),
+            distinct_paths(violations),
+            files_scanned
+        ));
+    }
+    out
+}
+
+fn distinct_paths(violations: &[Violation]) -> usize {
+    let mut paths: Vec<&str> = violations.iter().map(|v| v.path.as_str()).collect();
+    paths.sort_unstable();
+    paths.dedup();
+    paths.len()
+}
+
+/// Machine output: stable JSON for the CI artifact. Hand-rolled (the
+/// workspace vendors no serde) but fully escaped.
+pub fn json(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            escape(v.rule),
+            escape(&v.path),
+            v.line,
+            escape(&v.message),
+            escape(&v.snippet)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}}}\n}}\n",
+        files_scanned,
+        violations.len()
+    ));
+    out
+}
+
+/// JSON string escaping per RFC 8259.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Violation> {
+        vec![Violation {
+            rule: "panic-policy",
+            path: "crates/sim/src/x.rs".to_string(),
+            line: 3,
+            message: "bare `.unwrap()`".to_string(),
+            snippet: "x.unwrap();\twith \"quotes\"".to_string(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = json(&sample(), 10);
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\t"));
+        assert!(j.contains("\"files_scanned\": 10"));
+        assert!(j.contains("\"violations\": 1"));
+    }
+
+    #[test]
+    fn json_clean_is_empty_array() {
+        let j = json(&[], 5);
+        assert!(j.contains("\"violations\": []"));
+        assert!(j.contains("\"violations\": 0"));
+    }
+
+    #[test]
+    fn human_mentions_rule_and_line() {
+        let h = human(&sample(), 10);
+        assert!(h.contains("crates/sim/src/x.rs:3 [panic-policy]"));
+        assert!(h.contains("> x.unwrap()"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Fixture corpus: every rule family has at least one `bad` fixture it
+//! must catch and one `good` fixture it must pass. Fixtures live under
+//! `tests/fixtures/<family>/` and are fed through the checkers with a
+//! synthetic in-zone path (the scanner itself skips the fixture tree).
+
+use std::fs;
+use std::path::PathBuf;
+
+use xtask::rules::{check_crate_root, check_manifest, check_rust_file, RULES};
+
+/// A determinism-zone path: inside every source-rule zone at once, so a
+/// `good` fixture passing here is clean across all families.
+const ZONE_PATH: &str = "crates/sim/src/fixture.rs";
+
+fn fixture(family: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(family)
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Violations of one family when a fixture is checked as zone source.
+fn source_findings(family: &str, name: &str) -> Vec<xtask::rules::Violation> {
+    check_rust_file(ZONE_PATH, &fixture(family, name))
+        .into_iter()
+        .filter(|v| v.rule == family)
+        .collect()
+}
+
+#[test]
+fn determinism_zone_bad_fires() {
+    let v = source_findings("determinism-zone", "bad.rs");
+    assert!(
+        v.len() >= 4,
+        "expected HashMap/HashSet/Instant/thread_rng findings, got {v:?}"
+    );
+    let msgs: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in ["HashMap", "HashSet", "Instant", "thread_rng"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_zone_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("determinism-zone", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "good fixture must be clean across all families: {all:?}"
+    );
+}
+
+#[test]
+fn safety_comment_bad_fires() {
+    let v = source_findings("safety-comment", "bad.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].line, 3);
+}
+
+#[test]
+fn safety_comment_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("safety-comment", "good.rs"));
+    assert!(all.is_empty(), "{all:?}");
+}
+
+#[test]
+fn panic_policy_bad_fires() {
+    let v = source_findings("panic-policy", "bad.rs");
+    assert_eq!(v.len(), 2, "bare unwrap + empty expect: {v:?}");
+}
+
+#[test]
+fn panic_policy_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("panic-policy", "good.rs"));
+    assert!(all.is_empty(), "{all:?}");
+}
+
+#[test]
+fn narrowing_cast_bad_fires() {
+    let v = source_findings("narrowing-cast", "bad.rs");
+    assert_eq!(v.len(), 2, "`as u64` and `as usize`: {v:?}");
+}
+
+#[test]
+fn narrowing_cast_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("narrowing-cast", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "float casts and test code must pass: {all:?}"
+    );
+}
+
+#[test]
+fn doc_coverage_bad_fires() {
+    let v = source_findings("doc-coverage", "bad.rs");
+    assert_eq!(v.len(), 3, "undocumented fn, struct, const: {v:?}");
+}
+
+#[test]
+fn doc_coverage_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("doc-coverage", "good.rs"));
+    assert!(all.is_empty(), "{all:?}");
+}
+
+#[test]
+fn import_hygiene_bad_source_fires() {
+    let v = source_findings("import-hygiene", "bad.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn import_hygiene_good_source_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("import-hygiene", "good.rs"));
+    assert!(all.is_empty(), "{all:?}");
+}
+
+#[test]
+fn import_hygiene_manifest_fixtures() {
+    let bad = check_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("import-hygiene", "bad.Cargo.toml"),
+    );
+    assert!(
+        bad.iter().any(|v| v.rule == "import-hygiene"),
+        "vendor path dependency must be flagged: {bad:?}"
+    );
+    let good = check_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("import-hygiene", "good.Cargo.toml"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn lint_hardening_crate_root_fixtures() {
+    let bad = check_crate_root(
+        "crates/fixture/src/lib.rs",
+        &fixture("lint-hardening", "bad_root.rs"),
+    );
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert_eq!(bad[0].rule, "lint-hardening");
+    let good = check_crate_root(
+        "crates/fixture/src/lib.rs",
+        &fixture("lint-hardening", "good_root.rs"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn lint_hardening_manifest_fixtures() {
+    let bad = check_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("lint-hardening", "bad.Cargo.toml"),
+    );
+    assert!(
+        bad.iter().any(|v| v.rule == "lint-hardening"),
+        "missing [lints] opt-in must be flagged: {bad:?}"
+    );
+    let good = check_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("lint-hardening", "good.Cargo.toml"),
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+/// Every declared rule family is exercised by at least one fixture
+/// directory of the same name.
+#[test]
+fn every_family_has_fixtures() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in RULES {
+        let dir = root.join(rule.name);
+        assert!(
+            dir.is_dir(),
+            "no fixture directory for family `{}`",
+            rule.name
+        );
+        let entries = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+            .count();
+        assert!(
+            entries >= 2,
+            "family `{}` needs a bad and a good fixture",
+            rule.name
+        );
+    }
+}
+
+/// The scanner skips the fixture tree: a clean repo stays clean even
+/// though the fixtures are deliberately full of violations.
+#[test]
+fn scanner_skips_fixture_tree() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let result = xtask::scan_repo(&root).expect("scan succeeds");
+    assert!(
+        result
+            .violations
+            .iter()
+            .all(|v| !v.path.contains("fixtures")),
+        "fixture files must never appear in repo scans"
+    );
+}

@@ -1,0 +1,14 @@
+// Fixture: every banned name below must be reported when this file is
+// checked under a determinism-zone path.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn state() -> HashMap<u32, u32> {
+    let started = Instant::now();
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(started.elapsed().subsec_nanos());
+    let rng = rand::thread_rng();
+    let _ = rng;
+    HashMap::new()
+}

@@ -1,0 +1,25 @@
+// Fixture: ordered collections and seed-derived RNG are fine, and the
+// rule must not fire on banned names inside strings or comments
+// (e.g. HashMap, thread_rng) — the lexer skips both.
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn state(seed: u64) -> BTreeMap<u32, u32> {
+    let _rng = StdRng::seed_from_u64(seed);
+    let _ordered: BTreeSet<u32> = BTreeSet::new();
+    let _doc = "a HashMap mentioned in a string literal is not a use";
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: a HashSet here is observable only by the
+    // test itself, never by replayed simulation state.
+    use std::collections::HashSet;
+
+    fn scratch() -> HashSet<u32> {
+        HashSet::new()
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: undocumented pub items (fn, struct, const).
+pub fn rounds() -> u64 {
+    0
+}
+
+pub struct Config {
+    pub seed: u64,
+}
+
+pub const MAX_ROUNDS: u64 = 1 << 20;

@@ -1,0 +1,21 @@
+// Fixture: documented pub items pass; restricted visibility, `pub use`
+// re-exports and out-of-line `pub mod name;` declarations are exempt
+// (the module file carries `//!` docs); attributes between the doc and
+// the item are fine.
+pub mod submodule;
+
+pub use std::collections::BTreeMap;
+
+/// Number of completed rounds.
+pub fn rounds() -> u64 {
+    0
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy)]
+pub struct Config {
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+pub(crate) fn internal() {}

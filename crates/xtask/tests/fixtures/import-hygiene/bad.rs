@@ -1,0 +1,6 @@
+// Fixture: reaching a vendored crate through a `vendor` path segment.
+use crate::vendor::rand::Rng;
+
+fn sample<R: Rng>(rng: &mut R) -> u64 {
+    rng.random()
+}

@@ -1,0 +1,10 @@
+// Fixture: vendored crates imported via their workspace alias; the
+// word "vendor" in comments or strings does not count.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample(seed: u64) -> u64 {
+    let note = "aliases are defined over vendor/ in the root manifest";
+    let _ = note;
+    StdRng::seed_from_u64(seed).random()
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Fixture: crate root with the forbid attribute in place.
+
+pub fn noop() {}

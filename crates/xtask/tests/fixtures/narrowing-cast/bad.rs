@@ -1,0 +1,4 @@
+// Fixture: `as`-casts to integer types in round arithmetic.
+fn slot(round: u64, len: usize) -> usize {
+    (round % len as u64) as usize
+}

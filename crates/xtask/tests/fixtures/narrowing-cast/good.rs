@@ -1,0 +1,19 @@
+// Fixture: checked conversions pass; `as f64` for statistics is not an
+// integer cast; test code is exempt.
+fn slot(round: u64, len: usize) -> usize {
+    let len = u64::try_from(len).expect("ring length fits u64");
+    usize::try_from(round % len).expect("slot index fits usize")
+}
+
+fn mean(total: u64, n: u64) -> f64 {
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn truncation_is_fine_here() {
+        let x = 300u64 as u8;
+        assert_eq!(x, 44);
+    }
+}

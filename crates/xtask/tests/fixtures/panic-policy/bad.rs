@@ -1,0 +1,6 @@
+// Fixture: a bare unwrap and an empty expect in library code.
+fn parse(s: &str) -> u32 {
+    let first: u32 = s.parse().unwrap();
+    let second: u32 = s.parse().expect("");
+    first + second
+}

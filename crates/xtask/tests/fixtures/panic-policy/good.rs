@@ -1,0 +1,16 @@
+// Fixture: expect with a real invariant message passes; unwrap in a
+// #[cfg(test)] item is exempt; `unwrap` inside a string is not a call.
+fn parse(s: &str) -> u32 {
+    let msg = "do not unwrap() in library code";
+    let _ = msg;
+    s.parse().expect("caller validated the digits")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let n: u32 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

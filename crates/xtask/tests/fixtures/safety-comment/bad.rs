@@ -1,0 +1,4 @@
+// Fixture: `unsafe` with no SAFETY justification anywhere nearby.
+fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,10 @@
+// Fixture: the SAFETY comment may sit on the same line or up to two
+// lines above the `unsafe` token.
+fn read_first(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+fn read_second(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(1) } // SAFETY: len >= 2 checked above.
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `gossip-latencies`: a reproduction of *Gossiping with Latencies*
