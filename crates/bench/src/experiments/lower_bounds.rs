@@ -7,6 +7,7 @@ use latency_graph::NodeId;
 
 use gossip_core::push_pull::{self, PushPullConfig};
 
+use crate::parallel::parallel_trials_auto;
 use crate::table::{f, Table};
 
 /// E1 — Theorem 6: on the singleton-target gadget network, any gossip
@@ -27,9 +28,7 @@ pub fn e1_delta_lower_bound() -> Table {
     );
     let trials = 5u64;
     for delta in [8usize, 16, 32, 64] {
-        let mut pp_total = 0u64;
-        let mut fl_total = 0u64;
-        for s in 0..trials {
+        let per_trial = parallel_trials_auto(trials, |s| {
             let (g, _) = generators::theorem6_network(2 * delta, delta, 100 + s);
             let pp = push_pull::all_to_all(&g, &PushPullConfig::default(), s);
             let fl = gossip_core::flooding::all_to_all(
@@ -38,9 +37,10 @@ pub fn e1_delta_lower_bound() -> Table {
                 s,
             );
             assert!(pp.completed() && fl.completed());
-            pp_total += pp.rounds;
-            fl_total += fl.rounds;
-        }
+            (pp.rounds, fl.rounds)
+        });
+        let pp_total: u64 = per_trial.iter().map(|&(pp, _)| pp).sum();
+        let fl_total: u64 = per_trial.iter().map(|&(_, fl)| fl).sum();
         let pp_mean = pp_total as f64 / trials as f64;
         let fl_mean = fl_total as f64 / trials as f64;
         let (game_mean, _) = trial_mean_rounds(
@@ -85,14 +85,15 @@ pub fn e2_conductance_lower_bound() -> Table {
     let ell = 2u32;
     let trials = 5u64;
     for p in [0.4f64, 0.2, 0.1, 0.05] {
-        let mut pp_total = 0u64;
-        for s in 0..trials {
+        let pp_total: u64 = parallel_trials_auto(trials, |s| {
             let gd = generators::theorem7_network(m, p, ell, 200 + s);
             let source = NodeId::new(0);
             let o = push_pull::broadcast(&gd.graph, source, &PushPullConfig::default(), s);
             assert!(o.completed());
-            pp_total += o.rounds;
-        }
+            o.rounds
+        })
+        .into_iter()
+        .sum();
         let pp_mean = pp_total as f64 / trials as f64;
         let cfg = GameConfig {
             m,

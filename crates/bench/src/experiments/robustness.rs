@@ -43,12 +43,8 @@ pub fn e15_fault_tolerance() -> Table {
     let horizon = 80u64;
     for drop_percent in [0u32, 20, 40, 60, 80] {
         let p = drop_percent as f64 / 100.0;
-        let mut pp_informed_total = 0usize;
-        let mut pp_rounds_total = 0u64;
-        let mut rr_informed_total = 0usize;
-        let mut rr_rounds_total = 0u64;
         let trials = 3u64;
-        for trial in 0..trials {
+        let per_trial = crate::parallel::parallel_trials_auto(trials, |trial| {
             let mut rng = StdRng::seed_from_u64(1000 + drop_percent as u64 * 17 + trial);
             let mut faults = FaultPlan::none();
             for (u, v, _) in g.edges() {
@@ -65,12 +61,11 @@ pub fn e15_fault_tolerance() -> Table {
                 |id, n| PushPullNode::new(id, n, Default::default()),
                 |nodes: &[PushPullNode], _| nodes.iter().all(|x| x.rumors.contains(source)),
             );
-            pp_informed_total += pp
+            let pp_informed = pp
                 .nodes
                 .iter()
                 .filter(|x| x.rumors.contains(source))
                 .count();
-            pp_rounds_total += pp.rounds;
             let rr = Simulator::new(&g, cfg).with_faults(faults).run(
                 |id, n| {
                     RrNode::new(
@@ -80,12 +75,22 @@ pub fn e15_fault_tolerance() -> Table {
                 },
                 |nodes: &[RrNode], _| nodes.iter().all(|x| x.rumors.contains(source)),
             );
-            rr_informed_total += rr
+            let rr_informed = rr
                 .nodes
                 .iter()
                 .filter(|x| x.rumors.contains(source))
                 .count();
-            rr_rounds_total += rr.rounds;
+            (pp_informed, pp.rounds, rr_informed, rr.rounds)
+        });
+        let mut pp_informed_total = 0usize;
+        let mut pp_rounds_total = 0u64;
+        let mut rr_informed_total = 0usize;
+        let mut rr_rounds_total = 0u64;
+        for (ppi, ppr, rri, rrr) in per_trial {
+            pp_informed_total += ppi;
+            pp_rounds_total += ppr;
+            rr_informed_total += rri;
+            rr_rounds_total += rrr;
         }
         let tf = trials as f64;
         t.row(vec![

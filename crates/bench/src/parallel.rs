@@ -18,20 +18,22 @@ where
     F: Fn(u64) -> T + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
-    let threads = threads.min(trials.max(1) as usize);
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(trials as usize);
+    // Carve the result vector into one owned chunk per thread: no
+    // locks, no atomics — each worker writes disjoint slots it has
+    // exclusive `&mut` access to.
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let chunk = (trials as usize).div_ceil(threads);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if seed >= trials {
-                    break;
+        for (k, slots) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f((k * chunk + j) as u64));
                 }
-                let value = f(seed);
-                **slots[seed as usize].lock().expect("slot lock") = Some(value);
             });
         }
     });
@@ -39,6 +41,21 @@ where
         .into_iter()
         .map(|r| r.expect("every seed produced a value"))
         .collect()
+}
+
+/// Default worker count for trial fan-out: the machine's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// [`parallel_trials`] with [`auto_threads`] workers.
+pub fn parallel_trials_auto<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    parallel_trials(trials, auto_threads(), f)
 }
 
 /// Convenience: mean of `f(seed)` over `trials` parallel runs.
@@ -88,5 +105,19 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = parallel_trials(4, 0, |s| s);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let xs = parallel_trials(0, 4, |s| s);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn auto_variant_matches_explicit() {
+        let a = parallel_trials_auto(10, |s| s * s);
+        let b = parallel_trials(10, 3, |s| s * s);
+        assert_eq!(a, b);
+        assert!(auto_threads() >= 1);
     }
 }

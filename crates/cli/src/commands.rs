@@ -21,8 +21,11 @@ USAGE
   gossip spanner <file|-> [--k K] [--seed S] [--n-hat N]
   gossip run <algorithm> <file|-> [--source V] [--seed S] [--all-to-all]
                                   [--ell L] [--diameter D] [--max-guess G]
-                                  [--latency-known]
-  gossip curve <file|-> [--source V] [--seed S]
+                                  [--latency-known] [--threads T]
+  gossip curve <file|-> [--source V] [--seed S] [--threads T]
+
+`--threads T` runs the engine on T worker threads; results are
+byte-identical to the default single-threaded run.
   gossip game <m> <singleton | random:P> <adaptive | oblivious | systematic>
               [--seed S] [--trials T]
   gossip dot <file|->
@@ -304,6 +307,7 @@ pub fn run_algorithm(args: &mut Args) -> Result<String, CliError> {
     let seed: u64 = args.flag_or("seed", 0)?;
     let source_idx: usize = args.flag_or("source", 0)?;
     let all_to_all = args.switch("all-to-all");
+    let threads: usize = args.flag_or("threads", 0)?;
     let g = load_graph(&path)?;
     if source_idx >= g.node_count() {
         return Err(CliError::BadArgument {
@@ -322,6 +326,7 @@ pub fn run_algorithm(args: &mut Args) -> Result<String, CliError> {
             };
             let cfg = push_pull::PushPullConfig {
                 mode,
+                threads,
                 ..Default::default()
             };
             args.finish()?;
@@ -338,7 +343,10 @@ pub fn run_algorithm(args: &mut Args) -> Result<String, CliError> {
         }
         "flooding" => {
             args.finish()?;
-            let cfg = flooding::FloodingConfig::default();
+            let cfg = flooding::FloodingConfig {
+                threads,
+                ..Default::default()
+            };
             let o = if all_to_all {
                 flooding::all_to_all(&g, &cfg, seed)
             } else {
@@ -550,6 +558,7 @@ pub fn curve(args: &mut Args) -> Result<String, CliError> {
     let path: String = args.require("graph file")?;
     let seed: u64 = args.flag_or("seed", 0)?;
     let source_idx: usize = args.flag_or("source", 0)?;
+    let threads: usize = args.flag_or("threads", 0)?;
     args.finish()?;
     let g = load_graph(&path)?;
     if source_idx >= g.node_count() {
@@ -565,6 +574,7 @@ pub fn curve(args: &mut Args) -> Result<String, CliError> {
     let cfg = SimConfig {
         seed,
         max_rounds: 2_000_000,
+        threads: threads.max(1),
         ..SimConfig::default()
     };
     let out = Simulator::new(&g, cfg).run(

@@ -7,8 +7,10 @@ use gossip_sim::{Round, RumorSet, SimMetrics, StopReason};
 ///
 /// The merge must be idempotent, commutative, and monotone (merging can
 /// only add information); [`merge`](Mergeable::merge) reports whether
-/// anything changed.
-pub trait Mergeable: Clone {
+/// anything changed. `Send + Sync` is required because mergeable state
+/// travels inside engine payloads, which cross worker threads when the
+/// simulator runs with `SimConfig::threads > 1`.
+pub trait Mergeable: Clone + Send + Sync {
     /// Absorbs `other`; returns `true` if `self` changed.
     fn merge(&mut self, other: &Self) -> bool;
 

@@ -16,6 +16,10 @@ use crate::common::BroadcastOutcome;
 pub struct FloodingConfig {
     /// Round cap (0 means the simulator default).
     pub max_rounds: u64,
+    /// Engine worker threads (0 means the simulator default of 1).
+    /// Results are byte-identical for any value — see
+    /// [`SimConfig::threads`].
+    pub threads: usize,
 }
 
 /// Per-node flooding state.
@@ -65,6 +69,9 @@ fn sim_config(config: &FloodingConfig, seed: u64) -> SimConfig {
     };
     if config.max_rounds > 0 {
         c.max_rounds = config.max_rounds;
+    }
+    if config.threads > 0 {
+        c.threads = config.threads;
     }
     c
 }
@@ -182,7 +189,11 @@ mod tests {
     #[test]
     fn cap_respected() {
         let g = generators::path(50);
-        let o = broadcast(&g, NodeId::new(0), &FloodingConfig { max_rounds: 5 }, 0);
+        let cfg = FloodingConfig {
+            max_rounds: 5,
+            ..FloodingConfig::default()
+        };
+        let o = broadcast(&g, NodeId::new(0), &cfg, 0);
         assert!(!o.completed());
         assert_eq!(o.rounds, 5);
     }

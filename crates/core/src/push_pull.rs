@@ -41,6 +41,10 @@ pub struct PushPullConfig {
     pub mode: Mode,
     /// Round cap (0 means the simulator default).
     pub max_rounds: u64,
+    /// Engine worker threads (0 means the simulator default of 1).
+    /// Results are byte-identical for any value — see
+    /// [`SimConfig::threads`].
+    pub threads: usize,
 }
 
 /// The per-node protocol state. Exposed so it can be composed (e.g. by
@@ -101,6 +105,9 @@ fn sim_config(config: &PushPullConfig, seed: u64) -> SimConfig {
     };
     if config.max_rounds > 0 {
         c.max_rounds = config.max_rounds;
+    }
+    if config.threads > 0 {
+        c.threads = config.threads;
     }
     c
 }
@@ -248,6 +255,7 @@ mod tests {
             &PushPullConfig {
                 mode: Mode::PushOnly,
                 max_rounds: 100_000,
+                ..Default::default()
             },
             3,
         );
@@ -271,6 +279,7 @@ mod tests {
             &PushPullConfig {
                 mode: Mode::PullOnly,
                 max_rounds: 100_000,
+                ..Default::default()
             },
             7,
         );

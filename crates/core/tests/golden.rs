@@ -1,33 +1,74 @@
 //! Golden-trace determinism suite.
 //!
-//! Pins the exact `rounds` and `SimMetrics` counters produced by fixed
-//! seeds on a portfolio of topologies (cycle, star, clique, ring of
-//! cliques, and a heterogeneous-latency cycle). These constants were
-//! captured from the pre-calendar-queue engine; the engine rewrite must
-//! reproduce every one of them bit-for-bit, which proves the
-//! optimization is behavior-preserving.
+//! Pins the exact `rounds`, `SimMetrics` counters, and final rumor-set
+//! fingerprints produced by fixed seeds on a portfolio of topologies
+//! (cycle, star, clique, ring of cliques, and a heterogeneous-latency
+//! cycle). The `rounds`/metrics constants were captured from the
+//! pre-calendar-queue engine; every later engine change (the calendar
+//! queue, the multi-threaded round loop) must reproduce them
+//! bit-for-bit, which proves the optimizations are
+//! behavior-preserving.
 //!
-//! If a trace ever changes **intentionally** (e.g. the RNG stream or the
-//! engagement ordering is deliberately altered), regenerate the table by
-//! running this test and copying the `actual:` lines from the failure
-//! output — but treat any unplanned diff here as an engine regression.
+//! Every case runs once per thread count in [`thread_counts`] —
+//! `{1, 4}` by default, or the single count named by the
+//! `GOSSIP_TEST_THREADS` environment variable (CI runs the suite under
+//! both `=1` and `=4`). The expected string is the same for every
+//! thread count: that *is* the deterministic-merge contract.
+//!
+//! If a trace ever changes **intentionally** (e.g. the RNG stream or
+//! the engagement ordering is deliberately altered), regenerate the
+//! table by running this test and copying the `actual:` lines from the
+//! failure output — but treat any unplanned diff here as an engine
+//! regression.
 
 use gossip_core::flooding::{self, FloodingConfig};
 use gossip_core::push_pull::{self, Mode, PushPullConfig, PushPullNode};
-use gossip_sim::{FaultPlan, Outcome, SimConfig, Simulator};
+use gossip_sim::{FaultPlan, Outcome, RumorSet, SimConfig, Simulator};
 use latency_graph::generators::{self, extra};
 use latency_graph::{Graph, NodeId};
 
+/// Thread counts every golden case is replayed under: the value of
+/// `GOSSIP_TEST_THREADS` if set, otherwise both the sequential path
+/// and a 4-way sharded run.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("GOSSIP_TEST_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("GOSSIP_TEST_THREADS must be a thread count, got {v:?}"))],
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// Order-independent fold of per-node rumor fingerprints (FNV-style),
+/// pinning the exact final state of every node, not just the counters.
+fn fold_fingerprints<'a>(sets: impl Iterator<Item = &'a RumorSet>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in sets {
+        h ^= s.fingerprint();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// One pinned trace: a machine-comparable summary of an [`Outcome`].
-fn fmt(rounds: u64, m: &gossip_sim::SimMetrics) -> String {
+fn fmt(rounds: u64, m: &gossip_sim::SimMetrics, fingerprint: u64) -> String {
     format!(
-        "rounds={} initiated={} delivered={} lost={} rejected={} payload_units={}",
-        rounds, m.initiated, m.delivered, m.lost, m.rejected, m.payload_units
+        "rounds={} initiated={} delivered={} lost={} rejected={} payload_units={} fingerprint={:016x}",
+        rounds, m.initiated, m.delivered, m.lost, m.rejected, m.payload_units, fingerprint
     )
 }
 
-fn fmt_outcome<P>(out: &Outcome<P>) -> String {
-    fmt(out.rounds, &out.metrics)
+/// Formats a high-level [`gossip_core::common::BroadcastOutcome`].
+fn fmt_broadcast(o: &gossip_core::common::BroadcastOutcome) -> String {
+    fmt(o.rounds, &o.metrics, fold_fingerprints(o.rumors.iter()))
+}
+
+fn fmt_outcome(out: &Outcome<PushPullNode>) -> String {
+    fmt(
+        out.rounds,
+        &out.metrics,
+        fold_fingerprints(out.nodes.iter().map(|p| &*p.rumors)),
+    )
 }
 
 /// Runs push-pull all-the-way (every node learns every rumor) under a
@@ -56,15 +97,23 @@ fn faulty_push_pull(g: &Graph, cfg: SimConfig, plan: FaultPlan) -> String {
 struct Case {
     name: &'static str,
     expected: &'static str,
-    run: fn() -> String,
+    /// Replays the case at the given engine thread count; the output
+    /// must match `expected` for every count.
+    run: fn(usize) -> String,
 }
 
-fn pp() -> PushPullConfig {
-    PushPullConfig::default()
+fn pp(threads: usize) -> PushPullConfig {
+    PushPullConfig {
+        threads,
+        ..PushPullConfig::default()
+    }
 }
 
-fn fl() -> FloodingConfig {
-    FloodingConfig::default()
+fn fl(threads: usize) -> FloodingConfig {
+    FloodingConfig {
+        threads,
+        ..FloodingConfig::default()
+    }
 }
 
 /// The golden table. `expected` strings are captured engine output.
@@ -74,53 +123,54 @@ fn cases() -> Vec<Case> {
         Case {
             name: "cycle64/push_pull/broadcast/seed7",
             expected:
-                "rounds=41 initiated=2624 delivered=2624 lost=0 rejected=0 payload_units=163227",
-            run: || {
+                "rounds=41 initiated=2624 delivered=2624 lost=0 rejected=0 payload_units=163227 fingerprint=00a268ccb405a934",
+            run: |t| {
                 let g = generators::cycle(64);
-                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(t), 7);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "cycle64/push_pull/all_to_all/seed11",
             expected:
-                "rounds=48 initiated=3072 delivered=3072 lost=0 rejected=0 payload_units=217877",
-            run: || {
+                "rounds=48 initiated=3072 delivered=3072 lost=0 rejected=0 payload_units=217877 fingerprint=11a0815ea2a37c65",
+            run: |t| {
                 let g = generators::cycle(64);
-                let o = push_pull::all_to_all(&g, &pp(), 11);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::all_to_all(&g, &pp(t), 11);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "cycle64/flooding/broadcast/seed3",
             expected:
-                "rounds=32 initiated=2048 delivered=2048 lost=0 rejected=0 payload_units=4096",
-            run: || {
+                "rounds=32 initiated=2048 delivered=2048 lost=0 rejected=0 payload_units=4096 fingerprint=30699bd6903ebbb0",
+            run: |t| {
                 let g = generators::cycle(64);
-                let o = flooding::broadcast(&g, NodeId::new(0), &fl(), 3);
-                fmt(o.rounds, &o.metrics)
+                let o = flooding::broadcast(&g, NodeId::new(0), &fl(t), 3);
+                fmt_broadcast(&o)
             },
         },
         // --- star(65): hub contention, rejection paths under a cap ---
         Case {
             name: "star65/push_pull/broadcast/seed7",
-            expected: "rounds=1 initiated=65 delivered=65 lost=0 rejected=0 payload_units=130",
-            run: || {
+            expected: "rounds=1 initiated=65 delivered=65 lost=0 rejected=0 payload_units=130 fingerprint=e008c646d417a73b",
+            run: |t| {
                 let g = generators::star(65);
-                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(t), 7);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "star65/push_pull/raw/cap1/seed5",
             expected:
-                "rounds=443 initiated=443 delivered=443 lost=0 rejected=28352 payload_units=45132",
-            run: || {
+                "rounds=443 initiated=443 delivered=443 lost=0 rejected=28352 payload_units=45132 fingerprint=a60adbcb6b5ecc84",
+            run: |t| {
                 let g = generators::star(65);
                 let cfg = SimConfig {
                     seed: 5,
                     max_rounds: 100_000,
                     connection_cap: Some(1),
+                    threads: t,
                     ..SimConfig::default()
                 };
                 raw_push_pull(&g, cfg)
@@ -128,13 +178,14 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "star65/push_pull/raw/blocking/seed5",
-            expected: "rounds=2 initiated=130 delivered=130 lost=0 rejected=0 payload_units=4485",
-            run: || {
+            expected: "rounds=2 initiated=130 delivered=130 lost=0 rejected=0 payload_units=4485 fingerprint=a60adbcb6b5ecc84",
+            run: |t| {
                 let g = generators::star(65);
                 let cfg = SimConfig {
                     seed: 5,
                     max_rounds: 100_000,
                     blocking: true,
+                    threads: t,
                     ..SimConfig::default()
                 };
                 raw_push_pull(&g, cfg)
@@ -143,29 +194,29 @@ fn cases() -> Vec<Case> {
         // --- clique(32): dense, fast mixing ---
         Case {
             name: "clique32/push_pull/broadcast/seed7",
-            expected: "rounds=5 initiated=160 delivered=160 lost=0 rejected=0 payload_units=3820",
-            run: || {
+            expected: "rounds=5 initiated=160 delivered=160 lost=0 rejected=0 payload_units=3820 fingerprint=d92fe44449501ee4",
+            run: |t| {
                 let g = generators::clique(32);
-                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(t), 7);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "clique32/push_pull/all_to_all/seed2",
-            expected: "rounds=7 initiated=224 delivered=224 lost=0 rejected=0 payload_units=7826",
-            run: || {
+            expected: "rounds=7 initiated=224 delivered=224 lost=0 rejected=0 payload_units=7826 fingerprint=e6ddda157291a285",
+            run: |t| {
                 let g = generators::clique(32);
-                let o = push_pull::all_to_all(&g, &pp(), 2);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::all_to_all(&g, &pp(t), 2);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "clique32/flooding/all_to_all/seed9",
-            expected: "rounds=3 initiated=96 delivered=96 lost=0 rejected=0 payload_units=192",
-            run: || {
+            expected: "rounds=3 initiated=96 delivered=96 lost=0 rejected=0 payload_units=192 fingerprint=e6ddda157291a285",
+            run: |t| {
                 let g = generators::clique(32);
-                let o = flooding::all_to_all(&g, &fl(), 9);
-                fmt(o.rounds, &o.metrics)
+                let o = flooding::all_to_all(&g, &fl(t), 9);
+                fmt_broadcast(&o)
             },
         },
         // --- ring_of_cliques(6, 8, bridge latency 4): multi-round
@@ -173,33 +224,34 @@ fn cases() -> Vec<Case> {
         Case {
             name: "ring_of_cliques_6x8_l4/push_pull/broadcast/seed7",
             expected:
-                "rounds=35 initiated=1680 delivered=1675 lost=0 rejected=0 payload_units=92754",
-            run: || {
+                "rounds=35 initiated=1680 delivered=1675 lost=0 rejected=0 payload_units=92754 fingerprint=cede52272ac0d415",
+            run: |t| {
                 let g = extra::ring_of_cliques(6, 8, 4);
-                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(t), 7);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "ring_of_cliques_6x8_l4/push_pull/all_to_all/seed13",
             expected:
-                "rounds=35 initiated=1680 delivered=1672 lost=0 rejected=0 payload_units=91039",
-            run: || {
+                "rounds=35 initiated=1680 delivered=1672 lost=0 rejected=0 payload_units=91039 fingerprint=cede52272ac0d415",
+            run: |t| {
                 let g = extra::ring_of_cliques(6, 8, 4);
-                let o = push_pull::all_to_all(&g, &pp(), 13);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::all_to_all(&g, &pp(t), 13);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "ring_of_cliques_6x8_l4/push_pull/raw/cap2/seed1",
             expected:
-                "rounds=43 initiated=1459 delivered=1458 lost=0 rejected=605 payload_units=79009",
-            run: || {
+                "rounds=43 initiated=1459 delivered=1458 lost=0 rejected=605 payload_units=79009 fingerprint=cede52272ac0d415",
+            run: |t| {
                 let g = extra::ring_of_cliques(6, 8, 4);
                 let cfg = SimConfig {
                     seed: 1,
                     max_rounds: 100_000,
                     connection_cap: Some(2),
+                    threads: t,
                     ..SimConfig::default()
                 };
                 raw_push_pull(&g, cfg)
@@ -210,33 +262,34 @@ fn cases() -> Vec<Case> {
         Case {
             name: "geom_cycle48/push_pull/broadcast/seed7",
             expected:
-                "rounds=47 initiated=2256 delivered=2225 lost=0 rejected=0 payload_units=103076",
-            run: || {
+                "rounds=47 initiated=2256 delivered=2225 lost=0 rejected=0 payload_units=103076 fingerprint=6574062dfdf109f7",
+            run: |t| {
                 let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
-                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(), 7);
-                fmt(o.rounds, &o.metrics)
+                let o = push_pull::broadcast(&g, NodeId::new(0), &pp(t), 7);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "geom_cycle48/flooding/broadcast/seed4",
             expected:
-                "rounds=40 initiated=1920 delivered=1886 lost=0 rejected=0 payload_units=3772",
-            run: || {
+                "rounds=40 initiated=1920 delivered=1886 lost=0 rejected=0 payload_units=3772 fingerprint=3af6fe58549903aa",
+            run: |t| {
                 let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
-                let o = flooding::broadcast(&g, NodeId::new(0), &fl(), 4);
-                fmt(o.rounds, &o.metrics)
+                let o = flooding::broadcast(&g, NodeId::new(0), &fl(t), 4);
+                fmt_broadcast(&o)
             },
         },
         Case {
             name: "geom_cycle48/push_pull/raw/blocking/seed8",
             expected:
-                "rounds=64 initiated=2135 delivered=2125 lost=0 rejected=937 payload_units=111601",
-            run: || {
+                "rounds=64 initiated=2135 delivered=2125 lost=0 rejected=937 payload_units=111601 fingerprint=cede52272ac0d415",
+            run: |t| {
                 let g = extra::geometric_latencies(&generators::cycle(48), 0.5, 9, 42);
                 let cfg = SimConfig {
                     seed: 8,
                     max_rounds: 100_000,
                     blocking: true,
+                    threads: t,
                     ..SimConfig::default()
                 };
                 raw_push_pull(&g, cfg)
@@ -247,12 +300,13 @@ fn cases() -> Vec<Case> {
         Case {
             name: "cycle64/push_pull/faults/crashes/seed7",
             expected:
-                "rounds=60 initiated=3673 delivered=3501 lost=172 rejected=0 payload_units=184792",
-            run: || {
+                "rounds=60 initiated=3673 delivered=3501 lost=172 rejected=0 payload_units=184792 fingerprint=3572052c06002dfa",
+            run: |t| {
                 let g = generators::cycle(64);
                 let cfg = SimConfig {
                     seed: 7,
                     max_rounds: 60,
+                    threads: t,
                     ..SimConfig::default()
                 };
                 let plan = FaultPlan::none()
@@ -265,12 +319,13 @@ fn cases() -> Vec<Case> {
         Case {
             name: "ring_of_cliques_6x8_l4/push_pull/faults/link_drops/seed13",
             expected:
-                "rounds=80 initiated=3840 delivered=3797 lost=39 rejected=0 payload_units=210079",
-            run: || {
+                "rounds=80 initiated=3840 delivered=3797 lost=39 rejected=0 payload_units=210079 fingerprint=07fff6ffa6acba65",
+            run: |t| {
                 let g = extra::ring_of_cliques(6, 8, 4);
                 let cfg = SimConfig {
                     seed: 13,
                     max_rounds: 80,
+                    threads: t,
                     ..SimConfig::default()
                 };
                 // Sever two of the six latency-4 bridges mid-run; the
@@ -287,14 +342,17 @@ fn cases() -> Vec<Case> {
 
 #[test]
 fn golden_traces_hold() {
+    let threads = thread_counts();
     let mut failures = Vec::new();
     for c in cases() {
-        let actual = (c.run)();
-        if actual != c.expected {
-            failures.push(format!(
-                "{}\n  expected: {}\n  actual:   {}",
-                c.name, c.expected, actual
-            ));
+        for &t in &threads {
+            let actual = (c.run)(t);
+            if actual != c.expected {
+                failures.push(format!(
+                    "{} [threads={t}]\n  expected: {}\n  actual:   {}",
+                    c.name, c.expected, actual
+                ));
+            }
         }
     }
     assert!(

@@ -1,0 +1,99 @@
+//! Property tests for the deterministic-merge contract: the
+//! multi-threaded engine must produce byte-identical outcomes to the
+//! sequential path for random topologies, fault plans, and model knobs
+//! (blocking, connection caps).
+
+use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_sim::{FaultPlan, Outcome, Round, SimConfig, Simulator};
+use latency_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn connected_graph(max_n: usize, max_lat: u32) -> impl Strategy<Value = Graph> {
+    (3..=max_n, 0u64..500, 1..=max_lat).prop_map(|(n, seed, lat_hi)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = latency_graph::GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n {
+            edges.insert((rng.random_range(0..v), v));
+        }
+        for _ in 0..n {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v, rng.random_range(1..=lat_hi)).unwrap();
+        }
+        b.build().unwrap()
+    })
+}
+
+/// A random fault plan over a graph's nodes and edges, derived from a
+/// seed so proptest can shrink it.
+fn fault_plan(g: &Graph, seed: u64, crashes: usize, drops: usize) -> FaultPlan {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut plan = FaultPlan::none();
+    for _ in 0..crashes {
+        let v = NodeId::new(rng.random_range(0..n));
+        plan = plan.crash(v, rng.random_range(0..30));
+    }
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    for _ in 0..drops.min(edges.len()) {
+        let (u, v) = edges[rng.random_range(0..edges.len())];
+        plan = plan.drop_link(u, v, rng.random_range(0..30));
+    }
+    plan
+}
+
+/// Everything observable about a run, comparable across thread counts.
+fn summarize(out: &Outcome<PushPullNode>) -> (gossip_sim::StopReason, Round, String, Vec<u64>) {
+    (
+        out.reason,
+        out.rounds,
+        format!("{:?}", out.metrics),
+        out.nodes.iter().map(|p| p.rumors.fingerprint()).collect(),
+    )
+}
+
+fn run_push_pull(g: &Graph, cfg: SimConfig, plan: &FaultPlan) -> Outcome<PushPullNode> {
+    Simulator::new(g, cfg).with_faults(plan.clone()).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Sequential ≡ parallel over random topologies × fault plans ×
+    /// blocking/cap configurations: same stop reason, same round
+    /// count, same metrics, same per-node rumor fingerprints.
+    #[test]
+    fn parallel_engine_is_byte_identical(
+        g in connected_graph(24, 8),
+        seed in 0u64..1000,
+        threads in 2usize..=6,
+        fault_seed in 0u64..1000,
+        crashes in 0usize..3,
+        drops in 0usize..3,
+        blocking in any::<bool>(),
+        cap in (0usize..4).prop_map(|c| (c > 0).then_some(c)),
+    ) {
+        let plan = fault_plan(&g, fault_seed, crashes, drops);
+        let cfg = SimConfig {
+            seed,
+            max_rounds: 200,
+            blocking,
+            connection_cap: cap,
+            ..SimConfig::default()
+        };
+        let seq = run_push_pull(&g, SimConfig { threads: 1, ..cfg }, &plan);
+        let par = run_push_pull(&g, SimConfig { threads, ..cfg }, &plan);
+        prop_assert_eq!(summarize(&seq), summarize(&par));
+    }
+}

@@ -1,12 +1,14 @@
 //! The simulation engine: [`Protocol`], [`Context`], [`Simulator`].
 
 use std::collections::BTreeMap;
+use std::mem;
 
 use latency_graph::{Graph, Latency, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::faults::FaultPlan;
+use crate::pool::{self, Pool};
 use crate::Round;
 
 /// A gossip protocol, instantiated once per node.
@@ -239,6 +241,13 @@ pub struct SimConfig {
     /// the round): counted in [`SimMetrics::rejected`] and reported via
     /// [`Protocol::on_rejected`].
     pub blocking: bool,
+    /// Worker threads for the round loop. `1` (the default, and any
+    /// value `≤ 1`) runs the exact sequential code path; larger values
+    /// shard the per-node phases over a persistent [`pool`] of scoped
+    /// threads. The deterministic-merge contract guarantees results
+    /// are byte-identical for any thread count — same rounds, same
+    /// [`SimMetrics`], same per-node states and RNG streams.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -250,6 +259,7 @@ impl Default for SimConfig {
             seed: 0,
             connection_cap: None,
             blocking: false,
+            threads: 1,
         }
     }
 }
@@ -335,6 +345,12 @@ const MAX_RING_SLOTS: u64 = 4096;
 struct CalendarQueue<P> {
     ring: Vec<Vec<InFlight<P>>>,
     overflow: BTreeMap<Round, Vec<InFlight<P>>>,
+    /// Emptied overflow batches, kept for reuse: `schedule` pulls a
+    /// recycled buffer instead of allocating a fresh `Vec` per
+    /// overflow round, and `collect_due` pushes the drained batch
+    /// back. Stays empty unless the graph has latencies beyond the
+    /// ring.
+    spare: Vec<Vec<InFlight<P>>>,
 }
 
 /// Maps a completion round onto its calendar-ring slot.
@@ -361,6 +377,7 @@ impl<P> CalendarQueue<P> {
         CalendarQueue {
             ring: (0..slots).map(|_| Vec::new()).collect(),
             overflow: BTreeMap::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -378,7 +395,7 @@ impl<P> CalendarQueue<P> {
         } else {
             self.overflow
                 .entry(now + latency_rounds)
-                .or_default()
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
                 .push(x);
         }
     }
@@ -395,6 +412,9 @@ impl<P> CalendarQueue<P> {
         // chronological delivery order exactly.
         if let Some(mut batch) = self.overflow.remove(&round) {
             due.append(&mut batch);
+            // `append` leaves `batch` empty with its capacity intact;
+            // recycle it so the next overflow round allocates nothing.
+            self.spare.push(batch);
         }
         let slot = round_to_slot(round, self.slots());
         due.append(&mut self.ring[slot]);
@@ -459,7 +479,36 @@ impl<'g> Simulator<'g> {
     /// `factory(id, n)` builds each node's protocol instance; `stop`
     /// is evaluated at the start of every round (after deliveries) over
     /// all node states and ends the run when it returns `true`.
-    pub fn run<P, F, S>(&self, mut factory: F, mut stop: S) -> Outcome<P>
+    ///
+    /// With [`SimConfig::threads`] `> 1` the per-node phases of the
+    /// round loop run on a persistent worker [`pool`]; the
+    /// deterministic-merge contract (contiguous node shards, results
+    /// written back in node-id order) makes the outcome byte-identical
+    /// to the sequential path for any thread count. The factory and
+    /// stop closures always run on the calling thread.
+    pub fn run<P, F, S>(&self, factory: F, stop: S) -> Outcome<P>
+    where
+        P: Protocol + Send,
+        P::Payload: Send,
+        F: FnMut(NodeId, usize) -> P,
+        S: FnMut(&[P], Round) -> bool,
+    {
+        let n = self.graph.node_count();
+        let threads = self.config.threads.max(1).min(n.max(1));
+        if threads == 1 {
+            return self.run_sequential(factory, stop);
+        }
+        let size_hint = self.config.size_hint.unwrap_or(n);
+        pool::scoped(
+            threads - 1,
+            |job: Job<P>| self.work(size_hint, job),
+            |pool| self.run_parallel(pool, factory, stop),
+        )
+    }
+
+    /// The single-threaded round loop — the reference semantics every
+    /// other execution mode must reproduce exactly.
+    fn run_sequential<P, F, S>(&self, mut factory: F, mut stop: S) -> Outcome<P>
     where
         P: Protocol,
         F: FnMut(NodeId, usize) -> P,
@@ -650,6 +699,499 @@ impl<'g> Simulator<'g> {
 
             round += 1;
         }
+    }
+
+    /// Executes one shard job. Runs on pool workers *and* on the
+    /// coordinator (job 0 of every dispatch); it must not touch any
+    /// state beyond the job itself and the simulator's shared
+    /// read-only fields (graph, config, fault plan).
+    fn work<P: Protocol>(&self, size_hint: usize, job: Job<P>) -> Done<P> {
+        match job {
+            Job::Exchanges {
+                mut shard,
+                mut inbox,
+                round,
+            } => {
+                for (local, x) in inbox.drain(..) {
+                    let i = shard.base + local;
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut shard.rngs[local],
+                        &mut shard.pending[local],
+                    );
+                    shard.nodes[local].on_exchange(&mut ctx, &x);
+                }
+                Done::Stepped { shard, inbox }
+            }
+            Job::Rounds { mut shard, round } => {
+                for local in 0..shard.nodes.len() {
+                    let i = shard.base + local;
+                    if self.faults.is_crashed(NodeId::new(i), round) {
+                        shard.pending[local] = None;
+                        continue;
+                    }
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut shard.rngs[local],
+                        &mut shard.pending[local],
+                    );
+                    shard.nodes[local].on_round(&mut ctx);
+                }
+                Done::Stepped {
+                    shard,
+                    inbox: Vec::new(),
+                }
+            }
+            Job::Snapshots {
+                shard,
+                uses,
+                mut snaps,
+            } => {
+                snaps.clear();
+                snaps.extend(
+                    shard
+                        .nodes
+                        .iter()
+                        .zip(&uses)
+                        .map(|(node, &u)| (u > 0).then(|| node.payload())),
+                );
+                Done::Snapped { shard, uses, snaps }
+            }
+        }
+    }
+
+    /// The multi-threaded round loop. Mirrors [`Self::run_sequential`]
+    /// phase for phase; every divergence is coordinator-side
+    /// bookkeeping whose observable effects (per-node callback
+    /// sequences, RNG draws, metric sums, schedule order) are provably
+    /// identical. See DESIGN.md §9 for the argument.
+    fn run_parallel<P, F, S, W>(
+        &self,
+        pool: &mut Pool<'_, Job<P>, Done<P>, W>,
+        mut factory: F,
+        mut stop: S,
+    ) -> Outcome<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, usize) -> P,
+        S: FnMut(&[P], Round) -> bool,
+        W: Fn(Job<P>) -> Done<P>,
+    {
+        let n = self.graph.node_count();
+        let size_hint = self.config.size_hint.unwrap_or(n);
+        // Contiguous shards of `chunk` nodes; the coordinator counts as
+        // a worker, so `shards ≤ config.threads` and every shard is
+        // non-empty.
+        let chunk = n.div_ceil(pool.workers());
+        let shards = n.div_ceil(chunk);
+
+        let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
+        let n_u64 = u64::try_from(n).expect("node count fits u64");
+        let mut rngs: Vec<StdRng> = (0..n_u64)
+            .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
+            .collect();
+        let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
+        let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
+        let mut due: Vec<InFlight<P::Payload>> = Vec::new();
+        let mut outstanding = vec![0u32; if self.config.blocking { n } else { 0 }];
+        let capped = self.config.connection_cap.is_some();
+        let mut order: Vec<usize> = if capped { (0..n).collect() } else { Vec::new() };
+        let mut engagements: Vec<usize> = vec![0; if capped { n } else { 0 }];
+        let mut metrics = SimMetrics::default();
+
+        // Reusable shard-sized buffers, recycled across rounds: empty
+        // shard skeletons, per-shard exchange inboxes, and the
+        // snapshot-phase use counts and payload slots.
+        let mut spare: Vec<Shard<P>> = Vec::with_capacity(shards);
+        let mut inboxes: Vec<Vec<(usize, Exchange<P::Payload>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut use_bufs: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut snap_bufs: Vec<Vec<Option<P::Payload>>> = (0..shards).map(|_| Vec::new()).collect();
+        // Snapshots may be materialized in parallel only when phase 4
+        // cannot mutate nodes between snapshot and launch: under a
+        // connection cap or blocking, `on_rejected` runs mid-phase, so
+        // the whole phase stays sequential (and trivially identical).
+        let par_snapshots = !capped && !self.config.blocking;
+
+        // on_start for every live node, before round 0 — sequential,
+        // exactly as in the reference path.
+        for i in 0..n {
+            if self.faults.is_crashed(NodeId::new(i), 0) {
+                continue;
+            }
+            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i]);
+            nodes[i].on_start(&mut ctx);
+        }
+
+        let mut round: Round = 0;
+        loop {
+            // 1. Deliver exchanges completing now. The coordinator does
+            //    all bookkeeping (blocking slots, fault filtering,
+            //    metrics) in initiation order — none of it can be
+            //    influenced by this round's `on_exchange` calls — then
+            //    routes the surviving deliveries into per-shard
+            //    inboxes, preserving each node's delivery order.
+            queue.collect_due(round, &mut due);
+            if !due.is_empty() {
+                for x in due.drain(..) {
+                    if self.config.blocking {
+                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                    }
+                    let a_ok = !self.faults.is_crashed(x.a, round);
+                    let b_ok = !self.faults.is_crashed(x.b, round);
+                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                    if !(a_ok && b_ok && link_ok) {
+                        metrics.lost += 1;
+                        continue;
+                    }
+                    metrics.delivered += 1;
+                    metrics.payload_units +=
+                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                    let InFlight {
+                        a,
+                        b,
+                        payload_a,
+                        payload_b,
+                        initiated_at,
+                    } = x;
+                    inboxes[a.index() / chunk].push((
+                        a.index() % chunk,
+                        Exchange {
+                            peer: b,
+                            payload: payload_b,
+                            initiated_at,
+                            completed_at: round,
+                            initiated_by_me: true,
+                        },
+                    ));
+                    inboxes[b.index() / chunk].push((
+                        b.index() % chunk,
+                        Exchange {
+                            peer: a,
+                            payload: payload_a,
+                            initiated_at,
+                            completed_at: round,
+                            initiated_by_me: false,
+                        },
+                    ));
+                }
+                let jobs: Vec<Job<P>> =
+                    split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
+                        .into_iter()
+                        .map(|shard| {
+                            let inbox = mem::take(&mut inboxes[shard.base / chunk]);
+                            Job::Exchanges {
+                                shard,
+                                inbox,
+                                round,
+                            }
+                        })
+                        .collect();
+                for done in pool.dispatch(jobs) {
+                    let Done::Stepped { shard, inbox } = done else {
+                        unreachable!("exchange jobs return Stepped")
+                    };
+                    inboxes[shard.base / chunk] = inbox;
+                    absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+                }
+            }
+
+            // 2. Stop checks — on the reassembled contiguous node
+            //    array, exactly as in the reference path.
+            if stop(&nodes, round) {
+                return Outcome {
+                    reason: StopReason::Condition,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+            if nodes.iter().all(Protocol::is_done) {
+                return Outcome {
+                    reason: StopReason::AllDone,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+            if round >= self.config.max_rounds {
+                return Outcome {
+                    reason: StopReason::MaxRounds,
+                    rounds: round,
+                    metrics,
+                    nodes,
+                };
+            }
+
+            // 3. Per-node round logic, sharded. Nodes share no mutable
+            //    state and each keeps its own RNG, so contiguous shards
+            //    merged back in node-id order reproduce the sequential
+            //    sweep exactly.
+            let jobs: Vec<Job<P>> =
+                split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
+                    .into_iter()
+                    .map(|shard| Job::Rounds { shard, round })
+                    .collect();
+            for done in pool.dispatch(jobs) {
+                let Done::Stepped { shard, .. } = done else {
+                    unreachable!("round jobs return Stepped")
+                };
+                absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+            }
+
+            // 4. Launch initiations. Fast path (no cap, no blocking):
+            //    nothing in this phase mutates a node, so payload
+            //    snapshots are materialized in parallel (one
+            //    `payload()` per engaged node, cloned per use — with no
+            //    intervening mutation that equals the sequential
+            //    per-use `payload()` calls) and the admission loop then
+            //    runs sequentially over plain data.
+            if par_snapshots {
+                let mut engaged = false;
+                for (k, uses) in use_bufs.iter_mut().enumerate() {
+                    let len = chunk.min(n - k * chunk);
+                    uses.clear();
+                    uses.resize(len, 0);
+                }
+                for (i, p) in pending.iter().enumerate() {
+                    if let Some((v, _)) = p {
+                        engaged = true;
+                        use_bufs[i / chunk][i % chunk] += 1;
+                        use_bufs[v.index() / chunk][v.index() % chunk] += 1;
+                    }
+                }
+                if engaged {
+                    let jobs: Vec<Job<P>> =
+                        split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
+                            .into_iter()
+                            .map(|shard| {
+                                let k = shard.base / chunk;
+                                Job::Snapshots {
+                                    shard,
+                                    uses: mem::take(&mut use_bufs[k]),
+                                    snaps: mem::take(&mut snap_bufs[k]),
+                                }
+                            })
+                            .collect();
+                    for done in pool.dispatch(jobs) {
+                        let Done::Snapped { shard, uses, snaps } = done else {
+                            unreachable!("snapshot jobs return Snapped")
+                        };
+                        let k = shard.base / chunk;
+                        use_bufs[k] = uses;
+                        snap_bufs[k] = snaps;
+                        absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+                    }
+                    for (i, slot) in pending.iter_mut().enumerate() {
+                        let Some((v, vi)) = slot.take() else {
+                            continue;
+                        };
+                        let u = NodeId::new(i);
+                        metrics.initiated += 1;
+                        let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
+                        let payload_a = take_snap(chunk, &mut use_bufs, &mut snap_bufs, i);
+                        let payload_b = take_snap(chunk, &mut use_bufs, &mut snap_bufs, v.index());
+                        queue.schedule(
+                            round,
+                            lat.rounds(),
+                            InFlight {
+                                a: u,
+                                b: v,
+                                payload_a,
+                                payload_b,
+                                initiated_at: round,
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Slow path: verbatim sequential phase 4 (admission
+                // order, rejections, `on_rejected` callbacks).
+                if capped {
+                    for (k, slot) in order.iter_mut().enumerate() {
+                        *slot = k;
+                    }
+                    order.sort_by_key(|&i| {
+                        let i = u64::try_from(i).expect("node index fits u64");
+                        splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i)
+                    });
+                    engagements.fill(0);
+                }
+                #[allow(clippy::needless_range_loop)] // `order` is only admission order under a cap
+                for k in 0..n {
+                    let i = if capped { order[k] } else { k };
+                    let Some((v, vi)) = pending[i].take() else {
+                        continue;
+                    };
+                    let u = NodeId::new(i);
+                    if self.config.blocking && outstanding[i] > 0 {
+                        metrics.rejected += 1;
+                        let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                        nodes[i].on_rejected(&mut ctx, v);
+                        pending[i] = None;
+                        continue;
+                    }
+                    if let Some(cap) = self.config.connection_cap {
+                        if engagements[i] >= cap || engagements[v.index()] >= cap {
+                            metrics.rejected += 1;
+                            let mut ctx =
+                                self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                            nodes[i].on_rejected(&mut ctx, v);
+                            pending[i] = None; // a rejection cannot re-initiate this round
+                            continue;
+                        }
+                        engagements[i] += 1;
+                        engagements[v.index()] += 1;
+                    }
+                    metrics.initiated += 1;
+                    if self.config.blocking {
+                        outstanding[i] += 1;
+                    }
+                    let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
+                    queue.schedule(
+                        round,
+                        lat.rounds(),
+                        InFlight {
+                            a: u,
+                            b: v,
+                            payload_a: nodes[i].payload(),
+                            payload_b: nodes[v.index()].payload(),
+                            initiated_at: round,
+                        },
+                    );
+                }
+            }
+
+            round += 1;
+        }
+    }
+}
+
+/// One contiguous slice of the simulation state, shipped to a pool
+/// worker by value: nodes `base..base + nodes.len()` together with
+/// their RNGs and pending-initiation slots.
+struct Shard<P> {
+    base: usize,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    pending: Vec<Option<(NodeId, u32)>>,
+}
+
+impl<P> Shard<P> {
+    fn empty() -> Shard<P> {
+        Shard {
+            base: 0,
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// A unit of work for [`Simulator::work`], one per shard per phase.
+enum Job<P: Protocol> {
+    /// Phase 1: deliver routed exchanges. `inbox` holds
+    /// `(shard-local node index, exchange)` pairs in global delivery
+    /// order, so each node sees its deliveries in the sequential
+    /// order.
+    Exchanges {
+        shard: Shard<P>,
+        inbox: Vec<(usize, Exchange<P::Payload>)>,
+        round: Round,
+    },
+    /// Phase 3: `on_round` for every live node in the shard.
+    Rounds { shard: Shard<P>, round: Round },
+    /// Phase 4 (uncapped, non-blocking only): materialize one payload
+    /// snapshot per node with a non-zero use count.
+    Snapshots {
+        shard: Shard<P>,
+        uses: Vec<u32>,
+        snaps: Vec<Option<P::Payload>>,
+    },
+}
+
+/// The result of a [`Job`], carrying the shard (and any reusable
+/// buffers) back to the coordinator.
+enum Done<P: Protocol> {
+    /// [`Job::Exchanges`] / [`Job::Rounds`] completed; `inbox` is
+    /// drained but keeps its capacity for reuse.
+    Stepped {
+        shard: Shard<P>,
+        inbox: Vec<(usize, Exchange<P::Payload>)>,
+    },
+    /// [`Job::Snapshots`] completed; `snaps[local]` is `Some` exactly
+    /// where `uses[local] > 0`.
+    Snapped {
+        shard: Shard<P>,
+        uses: Vec<u32>,
+        snaps: Vec<Option<P::Payload>>,
+    },
+}
+
+/// Carves the master state vectors into contiguous per-shard buffers.
+/// Fills tail-first so every `drain` moves a pure suffix (no element
+/// shifting), then reverses into ascending-base order; buffer
+/// capacities are recycled through `spare` across rounds.
+fn split_shards<P>(
+    chunk: usize,
+    nodes: &mut Vec<P>,
+    rngs: &mut Vec<StdRng>,
+    pending: &mut Vec<Option<(NodeId, u32)>>,
+    spare: &mut Vec<Shard<P>>,
+) -> Vec<Shard<P>> {
+    let count = nodes.len().div_ceil(chunk);
+    let mut out: Vec<Shard<P>> = Vec::with_capacity(count);
+    for k in (0..count).rev() {
+        let base = k * chunk;
+        let mut s = spare.pop().unwrap_or_else(Shard::empty);
+        s.base = base;
+        s.nodes.extend(nodes.drain(base..));
+        s.rngs.extend(rngs.drain(base..));
+        s.pending.extend(pending.drain(base..));
+        out.push(s);
+    }
+    out.reverse();
+    out
+}
+
+/// Returns one shard's contents to the master vectors. Shards must be
+/// absorbed in ascending-base order (the order [`Pool::dispatch`]
+/// returns them) so the masters reassemble in node-id order — the
+/// deterministic-merge step.
+fn absorb_shard<P>(
+    mut s: Shard<P>,
+    nodes: &mut Vec<P>,
+    rngs: &mut Vec<StdRng>,
+    pending: &mut Vec<Option<(NodeId, u32)>>,
+    spare: &mut Vec<Shard<P>>,
+) {
+    debug_assert_eq!(nodes.len(), s.base, "shards absorbed out of order");
+    nodes.append(&mut s.nodes);
+    rngs.append(&mut s.rngs);
+    pending.append(&mut s.pending);
+    spare.push(s);
+}
+
+/// Consumes one use of node `i`'s pre-materialized payload snapshot:
+/// clones while further uses remain, moves on the last one.
+fn take_snap<T: Clone>(
+    chunk: usize,
+    use_bufs: &mut [Vec<u32>],
+    snap_bufs: &mut [Vec<Option<T>>],
+    i: usize,
+) -> T {
+    let (k, local) = (i / chunk, i % chunk);
+    use_bufs[k][local] -= 1;
+    let slot = &mut snap_bufs[k][local];
+    if use_bufs[k][local] == 0 {
+        slot.take().expect("snapshot present for engaged node")
+    } else {
+        slot.clone().expect("snapshot present for engaged node")
     }
 }
 
@@ -1182,6 +1724,179 @@ mod tests {
         // warm-up both retain their buffers and nothing reallocates.
         assert!(q.ring.iter().all(|s| s.capacity() >= 1));
         assert!(q.overflow.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_recycles_overflow_buffers() {
+        // Repeated overflow rounds must reuse one recycled buffer
+        // rather than allocating a fresh Vec per hit, and each batch
+        // must come out in initiation order.
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(MAX_RING_SLOTS + 10);
+        let mk = |tag: u64, initiated_at: Round| InFlight {
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+            payload_a: tag,
+            payload_b: tag,
+            initiated_at,
+        };
+        let mut due = Vec::new();
+        for burst in 0..5u64 {
+            let start = burst * (MAX_RING_SLOTS + 2);
+            // Two exchanges initiated in order, completing in the same
+            // overflow round.
+            q.schedule(start, MAX_RING_SLOTS + 2, mk(2 * burst, start));
+            q.schedule(start + 1, MAX_RING_SLOTS + 1, mk(2 * burst + 1, start + 1));
+            q.collect_due(start + MAX_RING_SLOTS + 2, &mut due);
+            let tags: Vec<u64> = due.drain(..).map(|x| x.payload_a).collect();
+            assert_eq!(tags, [2 * burst, 2 * burst + 1], "initiation order");
+            assert!(q.overflow.is_empty());
+            assert_eq!(q.spare.len(), 1, "one buffer recycled, not re-allocated");
+            assert!(q.spare[0].capacity() >= 2, "capacity survives recycling");
+        }
+    }
+
+    /// The MT determinism harness: runs the flood protocol with the
+    /// given config at 1 thread and at `threads`, asserting identical
+    /// stop reason, rounds, metrics, and per-node rumor sets.
+    fn assert_mt_matches(g: &Graph, base: SimConfig, faults: &FaultPlan, threads: usize) {
+        let run_at = |t: usize| {
+            let cfg = SimConfig { threads: t, ..base };
+            Simulator::new(g, cfg)
+                .with_faults(faults.clone())
+                .run(flood_factory, |_, r| r >= 40)
+        };
+        let seq = run_at(1);
+        let par = run_at(threads);
+        assert_eq!(seq.reason, par.reason);
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.metrics, par.metrics);
+        for (a, b) in seq.nodes.iter().zip(&par.nodes) {
+            assert_eq!(a.rumors.fingerprint(), b.rumors.fingerprint());
+            assert_eq!(a.cursor, b.cursor);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_plain() {
+        for threads in [2, 3, 4, 7] {
+            assert_mt_matches(
+                &generators::cycle(33),
+                SimConfig::default(),
+                &FaultPlan::none(),
+                threads,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_faults() {
+        let plan = FaultPlan::none()
+            .crash(NodeId::new(3), 5)
+            .crash(NodeId::new(11), 0)
+            .drop_link(NodeId::new(0), NodeId::new(1), 2);
+        assert_mt_matches(&generators::cycle(24), SimConfig::default(), &plan, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_capped_and_blocking() {
+        // Cap and blocking force the sequential phase-4 slow path;
+        // phases 1 and 3 still shard.
+        let g = generators::star(17);
+        for cfg in [
+            SimConfig {
+                connection_cap: Some(1),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                blocking: true,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                connection_cap: Some(2),
+                blocking: true,
+                seed: 9,
+                ..SimConfig::default()
+            },
+        ] {
+            assert_mt_matches(&g, cfg, &FaultPlan::none(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_rng_streams_identical() {
+        // The seeded-random protocol draws from per-node RNGs in
+        // on_round; sharding must not perturb any node's stream.
+        struct RandomCall {
+            rumors: RumorSet,
+            log: Vec<NodeId>,
+        }
+        impl Protocol for RandomCall {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                use rand::Rng as _;
+                let d = ctx.degree();
+                let i = ctx.rng().random_range(0..d);
+                self.log.push(ctx.neighbor_ids()[i]);
+                ctx.initiate_nth(i);
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let g = generators::clique(13);
+        let mk = |id: NodeId, n: usize| RandomCall {
+            rumors: RumorSet::singleton(n, id),
+            log: vec![],
+        };
+        let run_at = |t: usize| {
+            let cfg = SimConfig {
+                seed: 23,
+                threads: t,
+                ..SimConfig::default()
+            };
+            Simulator::new(&g, cfg).run(mk, |ns: &[RandomCall], _| {
+                ns.iter().all(|x| x.rumors.is_full())
+            })
+        };
+        let seq = run_at(1);
+        let par = run_at(5);
+        assert_eq!(seq.rounds, par.rounds);
+        for (a, b) in seq.nodes.iter().zip(&par.nodes) {
+            assert_eq!(a.log, b.log, "per-node RNG stream perturbed");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_clamped() {
+        let g = generators::path(3);
+        let cfg = SimConfig {
+            threads: 64,
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(&g, cfg)
+            .run(flood_factory, |ns, _| ns.iter().all(|f| f.rumors.is_full()));
+        let seq = Simulator::new(&g, SimConfig::default())
+            .run(flood_factory, |ns, _| ns.iter().all(|f| f.rumors.is_full()));
+        assert_eq!(out.rounds, seq.rounds);
+        assert_eq!(out.metrics, seq.metrics);
+    }
+
+    #[test]
+    fn parallel_snapshot_taken_at_initiation() {
+        // The pre-materialized parallel snapshots must still reflect
+        // initiation-time state (same setup as the sequential
+        // `snapshot_taken_at_initiation` test).
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 5)]).unwrap();
+        let cfg = SimConfig {
+            threads: 3,
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(&g, cfg)
+            .run(flood_factory, |ns, _| ns[2].rumors.contains(NodeId::new(0)));
+        assert_eq!(out.rounds, 6);
     }
 
     #[test]

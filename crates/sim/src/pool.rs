@@ -1,0 +1,212 @@
+//! A minimal persistent worker pool for the deterministic engine.
+//!
+//! The pool is the **only** place in the determinism zone allowed to
+//! touch `std::thread` / `std::sync` primitives (tidy family 8 —
+//! `concurrency-confinement` — enforces this). It is deliberately tiny:
+//! scoped threads, one `mpsc` job channel and one result channel per
+//! worker, no work stealing, no atomics.
+//!
+//! # Determinism contract
+//!
+//! [`Pool::dispatch`] maps a `Vec` of jobs to a `Vec` of results **in
+//! job order**: job `k` is executed by worker `k` (job `0` runs inline
+//! on the coordinator thread) and its result is received positionally.
+//! No ordering decision ever depends on thread scheduling, so a caller
+//! that shards deterministic work across jobs gets byte-identical
+//! results for any worker count.
+//!
+//! # Lifecycle
+//!
+//! [`scoped`] spawns `extra` workers inside a [`std::thread::scope`],
+//! hands the caller a [`Pool`] handle for the duration of the closure,
+//! and joins all workers when the closure returns (dropping the job
+//! senders disconnects the workers' `recv` loops). The pool is built
+//! once per [`Simulator::run`](crate::engine::Simulator::run) and
+//! reused across every round — there is no per-round thread spawn.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A handle to the worker pool, valid inside the [`scoped`] closure.
+///
+/// `J` is the job type, `R` the result type, and `W` the shared worker
+/// function (`Fn(J) -> R`), which must be `Sync` because every worker
+/// thread borrows it.
+pub struct Pool<'w, J, R, W> {
+    senders: Vec<Sender<J>>,
+    receivers: Vec<Receiver<R>>,
+    worker: &'w W,
+}
+
+impl<J, R, W: Fn(J) -> R> Pool<'_, J, R, W> {
+    /// Total number of workers, counting the coordinator thread itself.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Runs `jobs` across the pool and returns results in job order.
+    ///
+    /// Job `k` (for `k >= 1`) is sent to worker `k - 1`; job `0` runs
+    /// inline on the calling thread while the workers are busy. At most
+    /// [`Self::workers`] jobs are accepted per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs than workers are supplied, or if a worker
+    /// thread panicked (the panic is then propagated again when the
+    /// enclosing scope joins).
+    pub fn dispatch(&mut self, mut jobs: Vec<J>) -> Vec<R> {
+        assert!(
+            jobs.len() <= self.workers(),
+            "dispatch of {} jobs onto {} workers",
+            jobs.len(),
+            self.workers()
+        );
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let first = jobs.remove(0);
+        let sent = jobs.len();
+        for (k, job) in jobs.drain(..).enumerate() {
+            self.senders[k]
+                .send(job)
+                .expect("pool worker hung up before shutdown");
+        }
+        let mut results = Vec::with_capacity(sent + 1);
+        results.push((self.worker)(first));
+        for rx in &self.receivers[..sent] {
+            results.push(rx.recv().expect("pool worker died mid-dispatch"));
+        }
+        results
+    }
+}
+
+/// Runs `body` with a pool of `1 + extra` workers (the calling thread
+/// participates in every [`Pool::dispatch`]).
+///
+/// `worker` is the single job-processing function shared by all
+/// threads. With `extra == 0` no threads are spawned at all and
+/// `dispatch` degenerates to an inline call — the sequential path.
+///
+/// All workers are joined before `scoped` returns; a panicking worker
+/// propagates the panic to the caller.
+pub fn scoped<J, R, W, T>(
+    extra: usize,
+    worker: W,
+    body: impl FnOnce(&mut Pool<'_, J, R, W>) -> T,
+) -> T
+where
+    J: Send,
+    R: Send,
+    W: Fn(J) -> R + Sync,
+{
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(extra);
+        let mut receivers = Vec::with_capacity(extra);
+        for _ in 0..extra {
+            let (jtx, jrx) = channel::<J>();
+            let (rtx, rrx) = channel::<R>();
+            scope.spawn(move || {
+                while let Ok(job) = jrx.recv() {
+                    if rtx.send(worker(job)).is_err() {
+                        break;
+                    }
+                }
+            });
+            senders.push(jtx);
+            receivers.push(rrx);
+        }
+        let mut pool = Pool {
+            senders,
+            receivers,
+            worker,
+        };
+        body(&mut pool)
+        // `pool` (and with it every job sender) drops here; workers see
+        // a disconnected channel, exit their loops, and the scope joins
+        // them before `scoped` returns.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extra_runs_inline() {
+        let n = scoped(
+            0,
+            |x: u64| x * 2,
+            |pool| {
+                assert_eq!(pool.workers(), 1);
+                pool.dispatch(vec![21])
+            },
+        );
+        assert_eq!(n, vec![42]);
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let out = scoped(
+            3,
+            |x: u64| {
+                // Skew worker timing so scheduling order differs from
+                // job order; dispatch must still return job order.
+                std::thread::sleep(std::time::Duration::from_millis(x % 4));
+                x * 10
+            },
+            |pool| {
+                assert_eq!(pool.workers(), 4);
+                let mut all = Vec::new();
+                for _ in 0..8 {
+                    all.extend(pool.dispatch(vec![3, 2, 1, 0]));
+                }
+                all
+            },
+        );
+        assert_eq!(out.len(), 32);
+        for chunk in out.chunks(4) {
+            assert_eq!(chunk, [30, 20, 10, 0]);
+        }
+    }
+
+    #[test]
+    fn partial_dispatch_uses_prefix_of_workers() {
+        let out = scoped(3, |x: u64| x + 1, |pool| pool.dispatch(vec![5, 6]));
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_dispatch_is_a_no_op() {
+        let out: Vec<u64> = scoped(2, |x: u64| x, |pool| pool.dispatch(Vec::new()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch of")]
+    fn too_many_jobs_panics() {
+        scoped(1, |x: u64| x, |pool| pool.dispatch(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_dispatches() {
+        let total = scoped(
+            2,
+            |x: u64| x * x,
+            |pool| {
+                let mut sum = 0;
+                for round in 0..100u64 {
+                    for r in pool.dispatch(vec![round, round + 1, round + 2]) {
+                        sum += r;
+                    }
+                }
+                sum
+            },
+        );
+        let expect: u64 = (0..100u64)
+            .map(|r| r * r + (r + 1) * (r + 1) + (r + 2) * (r + 2))
+            .sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -6,8 +6,9 @@
 //! round. Useful for debugging protocols, for the CLI's curve output,
 //! and for asserting fine-grained model properties in tests.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+// tidy:allow(concurrency-confinement) — see `ALLOWLIST`: the log must
+// be shareable across engine worker threads.
+use std::sync::{Arc, Mutex};
 
 use latency_graph::NodeId;
 
@@ -62,11 +63,17 @@ impl TraceEvent {
 
 /// A shared, append-only event log.
 ///
-/// Cloning is cheap (reference-counted); the simulator is
-/// single-threaded, so interior mutability via `RefCell` is safe.
+/// Cloning is cheap (reference-counted). The log is `Send + Sync` so
+/// traced protocols can run under [`SimConfig::threads`]` > 1`; with
+/// multiple threads the *interleaving* of events from different nodes
+/// within a round is scheduling-dependent, but per-round aggregates
+/// (e.g. [`delivery_curve`](Self::delivery_curve)) and per-node event
+/// sequences remain deterministic.
+///
+/// [`SimConfig::threads`]: crate::engine::SimConfig::threads
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
-    events: Rc<RefCell<Vec<TraceEvent>>>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
 }
 
 impl TraceLog {
@@ -76,28 +83,33 @@ impl TraceLog {
     }
 
     fn push(&self, e: TraceEvent) {
-        self.events.borrow_mut().push(e);
+        self.lock().push(e);
+    }
+
+    /// The events behind the (never-poisoned: pushes don't panic)
+    /// mutex.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().expect("trace log lock poisoned")
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.lock().len()
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        self.lock().is_empty()
     }
 
     /// Snapshot of all events, in recording order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.borrow().clone()
+        self.lock().clone()
     }
 
     /// Events of a specific round.
     pub fn in_round(&self, round: Round) -> Vec<TraceEvent> {
-        self.events
-            .borrow()
+        self.lock()
             .iter()
             .filter(|e| e.round() == round)
             .cloned()
@@ -109,7 +121,7 @@ impl TraceLog {
     pub fn delivery_curve(&self, horizon: Round) -> Vec<u64> {
         let len = usize::try_from(horizon).expect("horizon fits usize") + 1;
         let mut curve = vec![0u64; len];
-        for e in self.events.borrow().iter() {
+        for e in self.lock().iter() {
             if let TraceEvent::Delivered { round, .. } = *e {
                 if round <= horizon {
                     curve[usize::try_from(round).expect("round fits usize")] += 1;

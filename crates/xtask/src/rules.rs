@@ -33,7 +33,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// All rule families, in family order (1–7).
+/// All rule families, in family order (1–8).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism-zone",
@@ -63,6 +63,10 @@ pub const RULES: &[RuleInfo] = &[
         name: "lint-hardening",
         summary: "crates opt into [workspace.lints] and forbid unsafe_code at the root",
     },
+    RuleInfo {
+        name: "concurrency-confinement",
+        summary: "std::thread/std::sync primitives in the determinism zone only via sim::pool (Arc exempt)",
+    },
 ];
 
 /// One allowlist entry: suppresses `rule` for every path with the given
@@ -78,10 +82,16 @@ pub struct AllowEntry {
     pub reason: &'static str,
 }
 
-/// The per-crate/per-path allowlist. Deliberately empty: the repo is
-/// fully clean. Add entries here (with a reason) only for code that
-/// *cannot* comply, and never for families 1–4.
-pub const ALLOWLIST: &[AllowEntry] = &[];
+/// The per-crate/per-path allowlist. Add entries here (with a reason)
+/// only for code that *cannot* comply, and never for families 1–4.
+pub const ALLOWLIST: &[AllowEntry] = &[AllowEntry {
+    rule: "concurrency-confinement",
+    path_prefix: "crates/sim/src/trace.rs",
+    reason: "TraceLog must be shareable across engine worker threads; it guards its event \
+             buffer with a Mutex. Event *interleaving* under contention is scheduling- \
+             dependent, but every per-round aggregate the tests pin is not, and the engine \
+             only logs from the coordinator in deterministic order.",
+}];
 
 /// Whether `path` is allowlisted for `rule`.
 fn allowlisted(rule: &str, path: &str) -> bool {
@@ -296,6 +306,7 @@ pub fn check_rust_file(path: &str, src: &str) -> Vec<Violation> {
     narrowing_cast(path, src, &lexed, &spans, &mut out);
     doc_coverage(path, src, &lexed, &spans, &mut out);
     import_hygiene_source(path, src, &lexed, &mut out);
+    concurrency_confinement(path, src, &lexed, &spans, &mut out);
     out
 }
 
@@ -378,6 +389,69 @@ fn determinism_zone(
                 path,
                 t.line,
                 "`std::time` in the determinism zone: wall-clock time is not replayable"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Family 8 — concurrency confinement.
+///
+/// The determinism zone may touch OS concurrency only through
+/// `sim::pool` (`crates/sim/src/pool.rs`), whose fixed dispatch and
+/// merge order keeps parallel runs byte-identical to sequential ones.
+/// Ad-hoc threads, locks, channels, or atomics anywhere else in the
+/// zone introduce scheduling-dependent behaviour that no single test
+/// run reliably catches. `Arc` is deliberately *not* banned: immutable
+/// copy-on-write sharing (payload snapshots) has no ordering component.
+fn concurrency_confinement(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    /// The one zone module allowed to own threads and channels.
+    const POOL_MODULE: &str = "crates/sim/src/pool.rs";
+    const BANNED: &[&str] = &[
+        "Mutex", "RwLock", "Condvar", "Barrier", "OnceLock", "LazyLock", "mpsc",
+    ];
+    if !in_zone(DETERMINISM_ZONE, path) || is_test_tree(path) || path == POOL_MODULE {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(spans, i) {
+            continue;
+        }
+        if BANNED.contains(&t.text.as_str()) || t.text.starts_with("Atomic") {
+            push(
+                out,
+                lexed,
+                src,
+                "concurrency-confinement",
+                path,
+                t.line,
+                format!(
+                    "`{}` in the determinism zone: OS concurrency is confined to `sim::pool`; \
+                     shard data by ownership or route work through the pool",
+                    t.text
+                ),
+            );
+        }
+        // `std::thread::…` in paths/uses.
+        if t.text == "std"
+            && is_punct(lexed.toks.get(i + 1), b':')
+            && is_punct(lexed.toks.get(i + 2), b':')
+            && is_ident(lexed.toks.get(i + 3), "thread")
+        {
+            push(
+                out,
+                lexed,
+                src,
+                "concurrency-confinement",
+                path,
+                t.line,
+                "`std::thread` in the determinism zone: spawn workers only via `sim::pool`"
                     .to_string(),
             );
         }

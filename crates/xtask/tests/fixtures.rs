@@ -167,6 +167,45 @@ fn lint_hardening_manifest_fixtures() {
     assert!(good.is_empty(), "{good:?}");
 }
 
+#[test]
+fn concurrency_confinement_bad_fires() {
+    let v = source_findings("concurrency-confinement", "bad.rs");
+    assert!(
+        v.len() >= 5,
+        "expected Mutex/RwLock/Atomic/mpsc/std::thread findings, got {v:?}"
+    );
+    let msgs: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in ["Mutex", "RwLock", "AtomicU64", "mpsc", "std::thread"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrency_confinement_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("concurrency-confinement", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "Arc and test-only locks must pass all families: {all:?}"
+    );
+}
+
+/// The pool module itself is the sanctioned home for threads and
+/// channels: the same bad fixture is clean when checked at its path.
+#[test]
+fn concurrency_confinement_pool_module_exempt() {
+    let v: Vec<_> = check_rust_file(
+        "crates/sim/src/pool.rs",
+        &fixture("concurrency-confinement", "bad.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "concurrency-confinement")
+    .collect();
+    assert!(v.is_empty(), "pool.rs must be exempt: {v:?}");
+}
+
 /// Every declared rule family is exercised by at least one fixture
 /// directory of the same name.
 #[test]

@@ -1,0 +1,27 @@
+//! Good: zone code that shares by ownership, not by locking. `Arc` is
+//! allowed — immutable copy-on-write snapshots have no ordering
+//! component — and test code may use whatever it likes.
+
+use std::sync::Arc;
+
+/// Publishes a payload snapshot as a cheaply clonable handle.
+pub fn share(xs: Vec<u64>) -> Arc<Vec<u64>> {
+    Arc::new(xs)
+}
+
+/// Sums a shard carved out by `split_at_mut`-style ownership; no
+/// synchronization needed because no one else can see it.
+pub fn sum_shard(shard: &[u64]) -> u64 {
+    shard.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn test_code_may_lock() {
+        let m = Mutex::new(3_u64);
+        assert_eq!(*m.lock().expect("lock is not poisoned"), 3);
+    }
+}
