@@ -2,6 +2,7 @@
 //! (Definitions 1–2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latency_graph::profile::{estimate_profile, ProfileConfig, ThresholdSet};
 use latency_graph::{conductance, generators, Latency};
 use std::hint::black_box;
 
@@ -44,10 +45,45 @@ fn bench_weighted_estimate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/weighted_conductance");
+    group.sample_size(10);
+    // The pipeline's home turf: one graph, many distinct latencies.
+    for lmax in [8u32, 64] {
+        let base = generators::connected_erdos_renyi(512, 0.03, 9);
+        let g = generators::uniform_random_latencies(&base, 1, lmax, 9);
+        let cfg = ProfileConfig {
+            max_iterations: 100,
+            seed: 3,
+            ..ProfileConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("er512_all", lmax),
+            &(g.clone(), cfg),
+            |b, (g, cfg)| {
+                b.iter(|| black_box(estimate_profile(g, cfg).weighted_conductance().unwrap()));
+            },
+        );
+        let quant = ProfileConfig {
+            thresholds: ThresholdSet::Quantiles(8),
+            ..cfg
+        };
+        group.bench_with_input(
+            BenchmarkId::new("er512_quantiles8", lmax),
+            &(g, quant),
+            |b, (g, cfg)| {
+                b.iter(|| black_box(estimate_profile(g, cfg).weighted_conductance().unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_exact_profile,
     bench_sweep_estimate,
-    bench_weighted_estimate
+    bench_weighted_estimate,
+    bench_pipeline
 );
 criterion_main!(benches);

@@ -12,6 +12,10 @@
 //! headline workload (push-pull all-to-all on cliques of 256 / 1024 /
 //! 4096 nodes) and writes the throughput baseline to
 //! `BENCH_engine.json` (override the path with `--out <file>`).
+//! `bench-analysis` does the same for the multi-threshold conductance
+//! pipeline (profile wall time at n ∈ {1024, 4096} × {8, 64, 256}
+//! latencies, plus the legacy-vs-pipeline speedup), writing
+//! `BENCH_analysis.json`.
 
 use std::time::Instant;
 
@@ -19,7 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
     let csv = args.iter().any(|a| a == "--csv");
-    let mut out_path = String::from("BENCH_engine.json");
+    let mut out_path: Option<String> = None;
     let mut rest = Vec::new();
     let mut it = args
         .into_iter()
@@ -27,7 +31,7 @@ fn main() {
     while let Some(a) = it.next() {
         if a == "--out" {
             match it.next() {
-                Some(p) => out_path = p,
+                Some(p) => out_path = Some(p),
                 None => {
                     eprintln!("--out requires a path");
                     std::process::exit(2);
@@ -41,38 +45,69 @@ fn main() {
     let registry = gossip_bench::registry();
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine>\n");
+        eprintln!(
+            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-analysis>\n"
+        );
         eprintln!("experiments:");
         for (id, what, _) in &registry {
             eprintln!("  {id:<4} {what}");
         }
-        eprintln!("  bench-engine  engine throughput baseline -> BENCH_engine.json (--out <file>)");
+        eprintln!(
+            "  bench-engine    engine throughput baseline -> BENCH_engine.json (--out <file>)"
+        );
+        eprintln!(
+            "  bench-analysis  conductance pipeline baseline -> BENCH_analysis.json (--out <file>)"
+        );
         std::process::exit(2);
     }
 
+    let mut ran = 0;
     if selected.iter().any(|a| a == "bench-engine") {
+        ran += 1;
+        let path = out_path
+            .clone()
+            .unwrap_or_else(|| String::from("BENCH_engine.json"));
         eprintln!(
             "running bench-engine: push-pull all-to-all cliques n ∈ {:?} …",
             gossip_bench::engine_bench::SIZES
         );
         let start = Instant::now();
         let json = gossip_bench::engine_bench::run(3);
-        if let Err(e) = std::fs::write(&out_path, &json) {
-            eprintln!("cannot write {out_path}: {e}");
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
         print!("{json}");
         eprintln!(
-            "bench-engine finished in {:.2?}; wrote {out_path}\n",
+            "bench-engine finished in {:.2?}; wrote {path}\n",
             start.elapsed()
         );
-        if selected.len() == 1 {
-            return;
+    }
+
+    if selected.iter().any(|a| a == "bench-analysis") {
+        ran += 1;
+        let path = out_path
+            .clone()
+            .unwrap_or_else(|| String::from("BENCH_analysis.json"));
+        eprintln!(
+            "running bench-analysis: conductance profiles n ∈ {:?} × {:?} latencies …",
+            gossip_bench::analysis_bench::PROFILE_SIZES,
+            gossip_bench::analysis_bench::LATENCY_COUNTS
+        );
+        let start = Instant::now();
+        let json = gossip_bench::analysis_bench::run(3);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
         }
+        print!("{json}");
+        eprintln!(
+            "bench-analysis finished in {:.2?}; wrote {path}\n",
+            start.elapsed()
+        );
     }
 
     let run_all = selected.iter().any(|a| a == "all");
-    let mut ran = 0;
     for (id, what, runner) in &registry {
         if !run_all && !selected.iter().any(|a| a == id) {
             continue;
@@ -92,7 +127,7 @@ fn main() {
         eprintln!("{id} finished in {elapsed:.2?}\n");
     }
     if ran == 0 {
-        eprintln!("no experiment matched {selected:?}; try `all` or e1…e23");
+        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, or bench-analysis");
         std::process::exit(2);
     }
 }

@@ -2,9 +2,20 @@
 //! paper's analytic values (Definitions 1–2, Lemmas 9–11, Claim 21).
 
 use latency_graph::generators::{LayeredRing, LayeredRingSpec};
+use latency_graph::profile::{estimate_profile, ProfileConfig, ThresholdSet};
 use latency_graph::{conductance, generators};
 
 use crate::table::{f, Table};
+
+/// Pipeline config used by the experiments below: full-resolution
+/// threshold sweep with the given iteration cap and seed.
+fn cfg(max_iterations: usize, seed: u64) -> ProfileConfig {
+    ProfileConfig {
+        max_iterations,
+        seed,
+        ..ProfileConfig::default()
+    }
+}
 
 /// E13 — three validations:
 /// 1. Lemma 9: the half-ring cut of the layered ring has
@@ -51,7 +62,8 @@ pub fn e13_conductance_validation() -> Table {
         ell: 16,
         seed: 2,
     });
-    if let Some(wc) = conductance::estimate_weighted_conductance(&ring.graph, 400, 3) {
+    let ring_profile = estimate_profile(&ring.graph, &cfg(400, 3));
+    if let Some(wc) = ring_profile.weighted_conductance() {
         t.row(vec![
             "ring φ* (sweep est.)".into(),
             format!("ℓ*={}", wc.critical_latency),
@@ -63,12 +75,30 @@ pub fn e13_conductance_validation() -> Table {
             "ring critical latency: estimated ℓ* = {} (construction slow edge ℓ = 16)",
             wc.critical_latency
         ));
+        // Resolution/speed trade: a 4-quantile sweep must recover the
+        // same ℓ* here because the ring has only two distinct latencies.
+        let quick = estimate_profile(
+            &ring.graph,
+            &ProfileConfig {
+                thresholds: ThresholdSet::Quantiles(4),
+                ..cfg(400, 3)
+            },
+        );
+        if let Some(qwc) = quick.weighted_conductance() {
+            t.note(format!(
+                "quantile sweep (k=4): ℓ* = {} from {} thresholds (full sweep: {})",
+                qwc.critical_latency,
+                quick.entries().len(),
+                ring_profile.entries().len()
+            ));
+        }
     }
 
     // 3. Theorem 7 gadget: φ* = Θ(p) at ℓ* = ℓ.
     for p in [0.2f64, 0.35, 0.5] {
         let gd = generators::theorem7_network(32, p, 4, 9);
-        let wc = conductance::estimate_weighted_conductance(&gd.graph, 400, 5)
+        let wc = estimate_profile(&gd.graph, &cfg(400, 5))
+            .weighted_conductance()
             .expect("gadget connected");
         t.row(vec![
             "gadget φ* (sweep est.)".into(),
@@ -82,7 +112,9 @@ pub fn e13_conductance_validation() -> Table {
     // 4. Sanity: exact vs estimated agreement on a small bimodal graph.
     let g = generators::bimodal_latencies(&generators::clique(14), 1, 28, 0.3, 1);
     let exact = conductance::exact_weighted_conductance(&g).expect("connected");
-    let est = conductance::estimate_weighted_conductance(&g, 400, 7).expect("connected");
+    let est = estimate_profile(&g, &cfg(400, 7))
+        .weighted_conductance()
+        .expect("connected");
     t.row(vec![
         "bimodal clique exact vs est".into(),
         format!("ℓ* {} vs {}", exact.critical_latency, est.critical_latency),

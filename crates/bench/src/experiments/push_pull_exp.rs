@@ -2,6 +2,7 @@
 //! separation (footnote 2).
 
 use gossip_core::push_pull::{self, Mode, PushPullConfig};
+use latency_graph::profile::{estimate_profile, ProfileConfig};
 use latency_graph::{conductance, generators, NodeId};
 
 use crate::table::{f, Table};
@@ -50,7 +51,16 @@ pub fn e4_theorem12_bound() -> Table {
         let wc = if n <= conductance::MAX_EXACT_NODES {
             conductance::exact_weighted_conductance(&g).expect("connected")
         } else {
-            conductance::estimate_weighted_conductance(&g, 400, 11).expect("connected")
+            estimate_profile(
+                &g,
+                &ProfileConfig {
+                    max_iterations: 400,
+                    seed: 11,
+                    ..ProfileConfig::default()
+                },
+            )
+            .weighted_conductance()
+            .expect("connected")
         };
         let bound = wc.critical_latency.rounds() as f64 / wc.phi_star * (n as f64).ln();
         let (mean, ok) =

@@ -16,6 +16,7 @@
 //! Criterion micro-benchmarks for the underlying machinery live in
 //! `benches/`.
 
+pub mod analysis_bench;
 pub mod engine_bench;
 pub mod experiments;
 pub mod parallel;

@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use latency_graph::{conductance, generators, io, metrics, Graph, Latency, NodeId};
+use latency_graph::{conductance, generators, io, metrics, profile, Graph, Latency, NodeId};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -17,6 +17,7 @@ USAGE
   gossip generate <family> <params…> [--seed S] [--latencies SPEC]
   gossip stats <file|->
   gossip conductance <file|-> [--exact | --estimate] [--ell L]
+                              [--thresholds all|quantiles:K] [--iterations N] [--seed S]
   gossip spectral <file|-> [--ell L] [--iterations N] [--seed S]
   gossip spanner <file|-> [--k K] [--seed S] [--n-hat N]
   gossip run <algorithm> <file|-> [--source V] [--seed S] [--all-to-all]
@@ -187,13 +188,36 @@ pub fn stats(args: &mut Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a `--thresholds` spec: `all` or `quantiles:K` with `K ≥ 1`.
+fn parse_threshold_set(spec: Option<String>) -> Result<profile::ThresholdSet, CliError> {
+    let Some(spec) = spec else {
+        return Ok(profile::ThresholdSet::All);
+    };
+    if spec == "all" {
+        return Ok(profile::ThresholdSet::All);
+    }
+    if let Some(k) = spec.strip_prefix("quantiles:") {
+        if let Ok(k) = k.parse::<usize>() {
+            if k > 0 {
+                return Ok(profile::ThresholdSet::Quantiles(k));
+            }
+        }
+    }
+    Err(CliError::BadArgument {
+        what: "thresholds",
+        value: spec,
+    })
+}
+
 /// `gossip conductance`.
 pub fn conductance(args: &mut Args) -> Result<String, CliError> {
     let path: String = args.require("graph file")?;
     let exact = args.switch("exact");
     let estimate = args.switch("estimate");
     let ell: Option<u32> = args.flag_opt("ell")?;
+    let iterations: usize = args.flag_or("iterations", 300)?;
     let seed: u64 = args.flag_or("seed", 0)?;
+    let thresholds = parse_threshold_set(args.flag_raw("thresholds"))?;
     args.finish()?;
     let g = load_graph(&path)?;
     let mut out = String::new();
@@ -230,7 +254,7 @@ pub fn conductance(args: &mut Args) -> Result<String, CliError> {
         }
     } else {
         if let Some(l) = ell {
-            match conductance::sweep_cut_estimate(&g, Latency::new(l), 300, seed) {
+            match conductance::sweep_cut_estimate(&g, Latency::new(l), iterations, seed) {
                 Some(est) => {
                     let _ = writeln!(
                         out,
@@ -243,7 +267,23 @@ pub fn conductance(args: &mut Args) -> Result<String, CliError> {
                 }
             }
         }
-        match conductance::estimate_weighted_conductance(&g, 300, seed) {
+        let cfg = profile::ProfileConfig {
+            thresholds,
+            max_iterations: iterations,
+            seed,
+            ..profile::ProfileConfig::default()
+        };
+        let prof = profile::estimate_profile(&g, &cfg);
+        if ell.is_none() {
+            for e in prof.entries() {
+                let _ = writeln!(
+                    out,
+                    "phi_{} <= {:.6} [sweep-cut upper bound, {} iters]",
+                    e.ell, e.phi_upper, e.iterations
+                );
+            }
+        }
+        match prof.weighted_conductance() {
             Some(wc) => {
                 let _ = writeln!(
                     out,
@@ -715,6 +755,47 @@ mod tests {
         assert!(exact.contains("l* = 9"));
         let est = call(&["conductance", &p, "--estimate"]).unwrap();
         assert!(est.contains("sweep-cut estimate"), "{est}");
+    }
+
+    #[test]
+    fn conductance_threshold_policies() {
+        let p = temp_graph(
+            "thr.txt",
+            &[
+                "generate",
+                "er",
+                "30",
+                "0.2",
+                "--seed",
+                "7",
+                "--latencies",
+                "uniform:1:12",
+            ],
+        );
+        let all = call(&["conductance", &p, "--estimate", "--thresholds", "all"]).unwrap();
+        assert!(all.contains("sweep-cut estimate"), "{all}");
+        let q = call(&[
+            "conductance",
+            &p,
+            "--estimate",
+            "--thresholds",
+            "quantiles:3",
+        ])
+        .unwrap();
+        assert!(q.contains("sweep-cut estimate"), "{q}");
+        assert!(q.matches("upper bound").count() <= 3, "{q}");
+        for bad in ["quantiles:0", "median", "quantiles:x"] {
+            assert!(
+                matches!(
+                    call(&["conductance", &p, "--thresholds", bad]),
+                    Err(CliError::BadArgument {
+                        what: "thresholds",
+                        ..
+                    })
+                ),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -19,11 +19,10 @@
 //! [`sweep_cut_estimate`], a spectral sweep-cut heuristic that returns a
 //! certified *upper bound* (it exhibits a concrete cut).
 
-use std::collections::BTreeMap;
-
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::ids::{Latency, NodeId};
+use crate::ids::Latency;
+use crate::profile::{self, LatencyCsr, SpectralWorkspace};
 
 /// Largest graph (in nodes) for which exact cut enumeration is attempted.
 pub const MAX_EXACT_NODES: usize = 22;
@@ -174,7 +173,12 @@ impl ConductanceProfile {
 }
 
 /// Exact `φ_ℓ(G)` for every distinct latency `ℓ` of the graph, by full
-/// cut enumeration.
+/// cut enumeration in **Gray-code order**: consecutive subsets differ by
+/// one flipped node, so `Vol(U)` and the per-latency cut counts are
+/// updated in `O(deg(flipped node))` instead of being recomputed in
+/// `O(n + m)` per subset. Ties in `φ_ℓ` are broken toward the
+/// numerically smallest subset mask, which makes the result (witnesses
+/// included) identical to a naive ascending-mask rescan.
 ///
 /// # Errors
 ///
@@ -192,43 +196,67 @@ pub fn exact_conductance_profile(g: &Graph) -> Result<ConductanceProfile, GraphE
     if latencies.is_empty() {
         return Err(GraphError::Empty);
     }
-    let lat_index: BTreeMap<Latency, usize> =
-        latencies.iter().enumerate().map(|(i, &l)| (l, i)).collect();
-    let edges: Vec<(usize, usize, usize)> = g
-        .edges()
-        .map(|(u, v, l)| (u.index(), v.index(), lat_index[&l]))
+    // Flat adjacency with latency *indices* (position in the sorted
+    // distinct-latency list) for O(deg) incremental cut maintenance.
+    let adj: Vec<Vec<(usize, usize)>> = g
+        .nodes()
+        .map(|v| {
+            g.neighbor_ids(v)
+                .iter()
+                .zip(g.neighbor_latencies(v))
+                .map(|(&w, &l)| {
+                    let li = latencies
+                        .binary_search(&l)
+                        .expect("edge latency occurs in distinct_latencies");
+                    (w.index(), li)
+                })
+                .collect()
+        })
         .collect();
     let degrees: Vec<u64> = g.nodes().map(|v| g.degree(v) as u64).collect();
     let total_vol: u64 = degrees.iter().sum();
 
     let num_l = latencies.len();
     let mut best = vec![(f64::INFINITY, 0u64); num_l]; // (phi, subset mask)
-                                                       // Fix node n-1 outside U: every cut {U, V∖U} is enumerated once.
+
+    // Fix node n-1 outside U: every cut {U, V∖U} is enumerated once.
+    // Walk the binary-reflected Gray code gray(i) = i ^ (i >> 1): step i
+    // flips exactly bit trailing_zeros(i), and i ∈ 1..2^(n-1) visits
+    // every nonempty subset of {0..n-2} exactly once.
     let limit: u64 = 1 << (n - 1);
-    let mut cut_by_lat = vec![0u64; num_l];
-    for mask in 1..limit {
-        let mut vol_u = 0u64;
-        for (i, &d) in degrees.iter().enumerate().take(n - 1) {
-            if mask >> i & 1 == 1 {
-                vol_u += d;
+    let mut in_u = vec![false; n];
+    let mut cut_by_lat = vec![0i64; num_l];
+    let mut vol_u = 0u64;
+    for i in 1..limit {
+        let flipped = i.trailing_zeros() as usize;
+        let entering = !in_u[flipped];
+        in_u[flipped] = entering;
+        // Each incident edge (flipped, w) toggles its cut status: an
+        // entering node cuts edges to outside-U neighbors and heals
+        // edges to inside-U neighbors; a leaving node does the reverse.
+        if entering {
+            vol_u += degrees[flipped];
+            for &(w, li) in &adj[flipped] {
+                cut_by_lat[li] += if in_u[w] { -1 } else { 1 };
+            }
+        } else {
+            vol_u -= degrees[flipped];
+            for &(w, li) in &adj[flipped] {
+                cut_by_lat[li] += if in_u[w] { 1 } else { -1 };
             }
         }
         let denom = vol_u.min(total_vol - vol_u);
         if denom == 0 {
             continue;
         }
-        cut_by_lat.iter_mut().for_each(|c| *c = 0);
-        for &(u, v, li) in &edges {
-            let in_u = |x: usize| x < n - 1 && mask >> x & 1 == 1;
-            if in_u(u) != in_u(v) {
-                cut_by_lat[li] += 1;
-            }
-        }
-        let mut cum = 0u64;
+        let mask = i ^ (i >> 1);
+        let mut cum = 0i64;
         for li in 0..num_l {
             cum += cut_by_lat[li];
+            debug_assert!(cum >= 0, "cut counts stay non-negative");
             let phi = cum as f64 / denom as f64;
-            if phi < best[li].0 {
+            let (bphi, bmask) = best[li];
+            if phi < bphi || (phi == bphi && mask < bmask) {
                 best[li] = (phi, mask);
             }
         }
@@ -278,7 +306,10 @@ pub struct SweepCutEstimate {
 /// walk on the strongly edge-induced graph `G_ℓ` (the walk that moves
 /// along a uniformly random incident edge of latency `≤ ℓ` and otherwise
 /// stays put — exactly the multiplicity graph of Theorem 12, eq. 3),
-/// sorts nodes by the eigenvector, and takes the best prefix cut.
+/// sorts nodes by the eigenvector, and takes the best prefix cut. The
+/// iteration shares the [`crate::profile`] kernel (latency-sorted CSR,
+/// residual-based early stop at [`profile::DEFAULT_TOLERANCE`], seeded
+/// start vector), with `iterations` as the step cap.
 ///
 /// The returned value is a guaranteed **upper bound** on `φ_ℓ(G)`
 /// (it is the conductance of an exhibited cut); by Cheeger's inequality
@@ -292,133 +323,47 @@ pub fn sweep_cut_estimate(
     iterations: usize,
     seed: u64,
 ) -> Option<SweepCutEstimate> {
-    let n = g.node_count();
-    if n < 2 {
+    if g.node_count() < 2 {
         return None;
     }
-    if !g.edges().any(|(_, _, l)| l <= ell) {
-        return None;
+    let csr = LatencyCsr::new(g);
+    let mut ws = SpectralWorkspace::new(&csr, seed);
+    if ws.advance_threshold(&csr, ell) == 0 {
+        return None; // no edge of latency ≤ ℓ
     }
-    let degrees: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
-    let total_vol: f64 = degrees.iter().sum();
-
-    // Deterministic pseudo-random start vector.
-    let mut x: Vec<f64> = (0..n)
-        .map(|i| {
-            let h = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            (h as f64 / u64::MAX as f64) - 0.5
-        })
-        .collect();
-
-    for _ in 0..iterations.max(1) {
-        // Deflate the stationary direction (π_i ∝ deg_i): subtract the
-        // π-weighted mean.
-        let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total_vol;
-        for xi in &mut x {
-            *xi -= mean;
-        }
-        // One step of the lazy walk on G_ℓ:
-        // y_u = ½ x_u + ½ [ Σ_{(u,v)∈E_ℓ} x_v + (deg_u − deg^ℓ_u)·x_u ] / deg_u.
-        let mut y = vec![0.0f64; n];
-        for u in 0..n {
-            if degrees[u] == 0.0 {
-                y[u] = x[u];
-                continue;
-            }
-            let mut acc = 0.0;
-            let mut fast = 0.0;
-            for (v, l) in g.neighbors(NodeId::new(u)) {
-                if l <= ell {
-                    acc += x[v.index()];
-                    fast += 1.0;
-                }
-            }
-            let stay = (degrees[u] - fast) * x[u];
-            y[u] = 0.5 * x[u] + 0.5 * (acc + stay) / degrees[u];
-        }
-        // Normalize to unit length to avoid underflow.
-        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm < 1e-300 {
-            break;
-        }
-        for v in &mut y {
-            *v /= norm;
-        }
-        x = y;
-    }
-
-    // Sweep: sort by eigenvector value, evaluate every prefix cut.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite eigenvector entries"));
-
-    let mut members = vec![false; n];
-    let mut vol_u = 0.0f64;
-    let mut cut_edges = 0i64;
-    let mut best: Option<(f64, usize)> = None;
-    for (prefix, &u) in order.iter().enumerate().take(n - 1) {
-        members[u] = true;
-        vol_u += degrees[u];
-        for (v, l) in g.neighbors(NodeId::new(u)) {
-            if l <= ell {
-                if members[v.index()] {
-                    cut_edges -= 1;
-                } else {
-                    cut_edges += 1;
-                }
-            }
-        }
-        let denom = vol_u.min(total_vol - vol_u);
-        if denom <= 0.0 {
-            continue;
-        }
-        let phi = cut_edges as f64 / denom;
-        if best.is_none_or(|(b, _)| phi < b) {
-            best = Some((phi, prefix));
-        }
-    }
-    let (phi_upper, best_prefix) = best?;
-    let mut cut = vec![false; n];
-    for &u in order.iter().take(best_prefix + 1) {
-        cut[u] = true;
-    }
-    Some(SweepCutEstimate { phi_upper, cut })
+    ws.power_iterate(&csr, iterations, profile::DEFAULT_TOLERANCE, seed);
+    let phi_upper = ws.sweep_cut(&csr)?;
+    Some(SweepCutEstimate {
+        phi_upper,
+        cut: ws.witness().to_vec(),
+    })
 }
 
-/// Estimated weighted conductance for large graphs: evaluates the sweep
-/// estimate at each distinct latency and maximizes `φ_ℓ/ℓ`.
+/// Estimated weighted conductance for large graphs: the incremental
+/// multi-threshold pipeline ([`profile::estimate_profile`]) at
+/// [`profile::ThresholdSet::All`], maximizing `φ_ℓ/ℓ` over the
+/// resulting profile.
 ///
 /// Because each `φ_ℓ` is an upper bound attained by a real cut, the
 /// reported `φ*` estimate is a genuine `φ_ℓ(U)` value; treat it as an
 /// approximation of Definition 2, suitable for the experiment harness.
+/// `iterations` caps the power-iteration steps per threshold; the warm
+/// start usually converges far sooner.
 pub fn estimate_weighted_conductance(
     g: &Graph,
     iterations: usize,
     seed: u64,
 ) -> Option<WeightedConductance> {
-    let mut best: Option<WeightedConductance> = None;
-    for ell in g.distinct_latencies() {
-        let Some(est) = sweep_cut_estimate(g, ell, iterations, seed) else {
-            continue;
-        };
-        if est.phi_upper <= 0.0 {
-            continue;
-        }
-        let cand = WeightedConductance {
-            phi_star: est.phi_upper,
-            critical_latency: ell,
-        };
-        if best.is_none_or(|b| cand.ratio() > b.ratio()) {
-            best = Some(cand);
-        }
-    }
-    best
-}
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    profile::estimate_profile(
+        g,
+        &profile::ProfileConfig {
+            thresholds: profile::ThresholdSet::All,
+            max_iterations: iterations,
+            tolerance: profile::DEFAULT_TOLERANCE,
+            seed,
+        },
+    )
+    .weighted_conductance()
 }
 
 #[cfg(test)]

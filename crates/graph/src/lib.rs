@@ -17,6 +17,9 @@
 //! * [`conductance`] — the paper's weight-`ℓ` conductance `φ_ℓ`
 //!   (Definition 1), the weighted conductance `φ*` and critical latency
 //!   `ℓ*` (Definition 2), exact and estimated,
+//! * [`profile`] — the incremental multi-threshold conductance
+//!   pipeline: latency-sorted CSR, warm-started power iteration, and
+//!   the [`profile::ThresholdSet`] resolution policy,
 //! * [`induced`] — the strongly edge-induced multiplicity graph `G_ℓ`
 //!   used in the proof of Theorem 12.
 //!
@@ -41,6 +44,7 @@ pub mod ids;
 pub mod induced;
 pub mod io;
 pub mod metrics;
+pub mod profile;
 pub mod spectral;
 
 pub use digraph::DiGraph;

@@ -11,11 +11,9 @@
 //! `Θ(1/γ · log n)` — the quantity behind push-pull's
 //! `O(log n / φ)` behavior.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::graph::Graph;
-use crate::ids::{Latency, NodeId};
+use crate::ids::Latency;
+use crate::profile::{self, LatencyCsr, SpectralWorkspace};
 
 /// Result of the power-iteration gap estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -24,6 +22,9 @@ pub struct SpectralGap {
     pub lambda2: f64,
     /// The gap `γ = 1 − λ₂`.
     pub gap: f64,
+    /// Power-iteration steps actually performed: fewer than the
+    /// requested cap when the residual-based early stop fired.
+    pub iterations: usize,
 }
 
 impl SpectralGap {
@@ -51,67 +52,30 @@ impl SpectralGap {
 /// Estimates the spectral gap of the lazy `G_ℓ` walk by power iteration
 /// on the degree-weighted complement of the stationary direction.
 ///
+/// Shares the [`crate::profile`] kernel with
+/// [`crate::conductance::sweep_cut_estimate`]: the same latency-sorted
+/// CSR, the same seeded start vector, and the same residual-based early
+/// stop (at [`profile::DEFAULT_TOLERANCE`]) with `iterations` as the
+/// step cap — [`SpectralGap::iterations`] reports how many steps were
+/// actually needed.
+///
 /// Returns `None` for graphs with fewer than 2 nodes or no `≤ ℓ` edges.
 /// The estimate converges from below on `λ₂` (so `gap` converges from
-/// above); use enough iterations (`≥ 100`) for stable digits.
+/// above).
 pub fn spectral_gap(g: &Graph, ell: Latency, iterations: usize, seed: u64) -> Option<SpectralGap> {
-    let n = g.node_count();
-    if n < 2 || !g.edges().any(|(_, _, l)| l <= ell) {
+    if g.node_count() < 2 {
         return None;
     }
-    let degrees: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
-    let total: f64 = degrees.iter().sum();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut x: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
-
-    let mut lambda2 = 0.0f64;
-    for _ in 0..iterations.max(1) {
-        // Deflate the stationary direction (π ∝ degree).
-        let mean: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * d).sum::<f64>() / total;
-        for xi in &mut x {
-            *xi -= mean;
-        }
-        // Lazy step on G_ℓ.
-        let mut y = vec![0.0f64; n];
-        for u in 0..n {
-            if degrees[u] == 0.0 {
-                y[u] = x[u];
-                continue;
-            }
-            let mut acc = 0.0;
-            let mut fast = 0.0;
-            for (v, l) in g.neighbors(NodeId::new(u)) {
-                if l <= ell {
-                    acc += x[v.index()];
-                    fast += 1.0;
-                }
-            }
-            y[u] = 0.5 * x[u] + 0.5 * (acc + (degrees[u] - fast) * x[u]) / degrees[u];
-        }
-        // Rayleigh quotient in the degree inner product estimates λ₂.
-        let num: f64 = y
-            .iter()
-            .zip(&x)
-            .zip(&degrees)
-            .map(|((&yi, &xi), &d)| yi * xi * d)
-            .sum();
-        let den: f64 = x.iter().zip(&degrees).map(|(&xi, &d)| xi * xi * d).sum();
-        if den > 1e-300 {
-            lambda2 = num / den;
-        }
-        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm < 1e-300 {
-            break;
-        }
-        for v in &mut y {
-            *v /= norm;
-        }
-        x = y;
+    let csr = LatencyCsr::new(g);
+    let mut ws = SpectralWorkspace::new(&csr, seed);
+    if ws.advance_threshold(&csr, ell) == 0 {
+        return None; // no edge of latency ≤ ℓ
     }
-    let lambda2 = lambda2.clamp(0.0, 1.0);
+    let it = ws.power_iterate(&csr, iterations, profile::DEFAULT_TOLERANCE, seed);
     Some(SpectralGap {
-        lambda2,
-        gap: 1.0 - lambda2,
+        lambda2: it.lambda2,
+        gap: 1.0 - it.lambda2,
+        iterations: it.iterations,
     })
 }
 
@@ -180,6 +144,32 @@ mod tests {
         // Push-pull broadcast on K_64 measured earlier ≈ 6 rounds; the
         // mixing scale ln n / γ ≈ 4.2/0.5 ≈ 8 — same order.
         assert!(scale > 2.0 && scale < 30.0, "scale = {scale}");
+    }
+
+    #[test]
+    fn residual_early_stop_fires_and_matches_analytic_value() {
+        // Lazy walk on K16: λ₂ = ½ + ½·(−1/15) ≈ 0.4667. The gap to λ₃
+        // is large, so the residual stop fires long before the cap and
+        // the answer still has many stable digits.
+        let g = generators::clique(16);
+        let s = spectral_gap(&g, Latency::UNIT, 10_000, 1).unwrap();
+        assert!(
+            s.iterations < 1_000,
+            "early stop should fire well before the 10k cap, took {}",
+            s.iterations
+        );
+        let analytic = 0.5 - 1.0 / 30.0;
+        assert!((s.lambda2 - analytic).abs() < 1e-6, "λ₂ = {}", s.lambda2);
+    }
+
+    #[test]
+    fn early_stop_agrees_with_exhausted_iteration() {
+        // Running to the cap (no early benefit beyond convergence) must
+        // not change the estimate materially.
+        let g = generators::barbell(6, 3);
+        let short = spectral_gap(&g, Latency::new(3), 5_000, 9).unwrap();
+        let long = spectral_gap(&g, Latency::new(3), 20_000, 9).unwrap();
+        assert!((short.lambda2 - long.lambda2).abs() < 1e-9);
     }
 
     #[test]
