@@ -15,7 +15,9 @@
 //! `bench-analysis` does the same for the multi-threshold conductance
 //! pipeline (profile wall time at n ∈ {1024, 4096} × {8, 64, 256}
 //! latencies, plus the legacy-vs-pipeline speedup), writing
-//! `BENCH_analysis.json`.
+//! `BENCH_analysis.json`. `bench-net` times the network runtime
+//! (push-pull all-to-all over the loopback and localhost-TCP
+//! transports), writing `BENCH_net.json`.
 
 use std::time::Instant;
 
@@ -46,7 +48,7 @@ fn main() {
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-analysis>\n"
+            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-analysis | bench-net>\n"
         );
         eprintln!("experiments:");
         for (id, what, _) in &registry {
@@ -58,6 +60,7 @@ fn main() {
         eprintln!(
             "  bench-analysis  conductance pipeline baseline -> BENCH_analysis.json (--out <file>)"
         );
+        eprintln!("  bench-net       network runtime baseline -> BENCH_net.json (--out <file>)");
         std::process::exit(2);
     }
 
@@ -107,6 +110,25 @@ fn main() {
         );
     }
 
+    if selected.iter().any(|a| a == "bench-net") {
+        ran += 1;
+        let path = out_path
+            .clone()
+            .unwrap_or_else(|| String::from("BENCH_net.json"));
+        eprintln!("running bench-net: push-pull all-to-all over loopback and localhost TCP …");
+        let start = Instant::now();
+        let json = gossip_bench::net_bench::run(3, std::time::Duration::from_millis(10));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{json}");
+        eprintln!(
+            "bench-net finished in {:.2?}; wrote {path}\n",
+            start.elapsed()
+        );
+    }
+
     let run_all = selected.iter().any(|a| a == "all");
     for (id, what, runner) in &registry {
         if !run_all && !selected.iter().any(|a| a == id) {
@@ -127,7 +149,7 @@ fn main() {
         eprintln!("{id} finished in {elapsed:.2?}\n");
     }
     if ran == 0 {
-        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, or bench-analysis");
+        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, bench-analysis, or bench-net");
         std::process::exit(2);
     }
 }

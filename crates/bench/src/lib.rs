@@ -19,6 +19,7 @@
 pub mod analysis_bench;
 pub mod engine_bench;
 pub mod experiments;
+pub mod net_bench;
 pub mod parallel;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,272 @@
+//! The `bench-net` mode of the experiments binary: throughput of the
+//! `gossip-net` runtime, emitted as `BENCH_net.json`.
+//!
+//! Two sections mirror the two transports. The `loopback` section runs
+//! push-pull all-to-all through the full runner + wire-codec stack on
+//! the virtual clock, so it prices the network layer itself (framing,
+//! hold queues, pacing) with zero I/O. The `tcp` section runs the same
+//! workload over real localhost sockets, one OS thread per node, so it
+//! prices the wall-clock runtime: its round length is a configured
+//! floor, and the interesting numbers are frames and bytes per second
+//! of real time.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_net::{run_local_cluster, run_loopback_with_stats, NodeStopReason, TcpConfig};
+use gossip_sim::{SimConfig, StopReason};
+use latency_graph::{generators, Graph};
+
+/// One measured topology on one transport.
+#[derive(Clone, Debug)]
+pub struct NetPoint {
+    /// Topology label (`clique` or `ring-of-cliques`).
+    pub topology: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// Seeds run (after one discarded warm-up for loopback).
+    pub trials: u64,
+    /// Total rounds to convergence across all trials.
+    pub rounds: u64,
+    /// Total wall-clock seconds across all trials.
+    pub secs: f64,
+    /// Frames sent, cluster-wide, across all trials.
+    pub frames: u64,
+    /// Bytes sent, cluster-wide, across all trials.
+    pub bytes: u64,
+    /// Peers declared lost (must be 0 on a healthy localhost run).
+    pub losses: u64,
+}
+
+impl NetPoint {
+    /// Frames sent per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.secs
+    }
+
+    /// Bytes sent per wall-clock second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.secs
+    }
+}
+
+fn topology(name: &'static str, n: usize) -> Graph {
+    match name {
+        "clique" => generators::clique(n),
+        "ring-of-cliques" => generators::ring_of_cliques(n / 8, 8, 3),
+        other => unreachable!("unknown bench topology {other}"),
+    }
+}
+
+/// Push-pull all-to-all over loopback on `topology(name, n)`.
+///
+/// # Panics
+///
+/// Panics if a run fails to converge within the round cap — that would
+/// be a runtime bug, not a measurement.
+pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
+    let g = topology(name, n);
+    let run = |seed: u64| {
+        run_loopback_with_stats(
+            &g,
+            &SimConfig {
+                seed,
+                max_rounds: 100_000,
+                ..SimConfig::default()
+            },
+            |id, n| PushPullNode::new(id, n, Mode::PushPull),
+            |nodes: &[&PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+        )
+    };
+    let _ = run(0x5eed); // warm-up, not timed
+    let mut point = NetPoint {
+        topology: name,
+        n,
+        trials,
+        rounds: 0,
+        secs: 0.0,
+        frames: 0,
+        bytes: 0,
+        losses: 0,
+    };
+    let start = Instant::now();
+    for t in 0..trials {
+        let (o, stats) = run(1 + t);
+        assert_eq!(o.reason, StopReason::Condition, "loopback must converge");
+        point.rounds += o.rounds;
+        point.frames += stats.frames_sent;
+        point.bytes += stats.bytes_sent;
+    }
+    point.secs = start.elapsed().as_secs_f64();
+    point
+}
+
+/// Push-pull all-to-all over localhost TCP on `topology(name, n)`. One
+/// trial — socket setup dominates repeats, and the steady-state rate is
+/// what is being measured.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to start or any node misses the
+/// convergence barrier.
+pub fn measure_tcp(name: &'static str, n: usize, round: Duration) -> NetPoint {
+    let g = topology(name, n);
+    let tcp = TcpConfig {
+        round,
+        ..TcpConfig::default()
+    };
+    let start = Instant::now();
+    let outcomes = run_local_cluster(
+        &g,
+        &SimConfig {
+            seed: 1,
+            max_rounds: 5_000,
+            ..SimConfig::default()
+        },
+        &tcp,
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |p: &PushPullNode, _view| p.rumors.is_full(),
+    )
+    .expect("tcp cluster starts");
+    let secs = start.elapsed().as_secs_f64();
+    let mut point = NetPoint {
+        topology: name,
+        n,
+        trials: 1,
+        rounds: 0,
+        secs,
+        frames: 0,
+        bytes: 0,
+        losses: 0,
+    };
+    for o in &outcomes {
+        assert_eq!(o.reason, NodeStopReason::Barrier, "tcp must converge");
+        point.rounds = point.rounds.max(o.rounds);
+        point.frames += o.stats.frames_sent;
+        point.bytes += o.stats.bytes_sent;
+        point.losses += o.losses.len() as u64;
+    }
+    point
+}
+
+/// Runs both sections at the committed sizes and renders
+/// `BENCH_net.json`. `round` is the TCP round length.
+pub fn run(trials: u64, round: Duration) -> String {
+    let loopback = vec![
+        measure_loopback("clique", 64, trials),
+        measure_loopback("clique", 256, trials),
+        measure_loopback("ring-of-cliques", 64, trials),
+        measure_loopback("ring-of-cliques", 256, trials),
+    ];
+    // TCP sizes are modest on purpose: thread-per-peer means a clique of
+    // n costs ~2n(n−1) OS threads, and the bench must converge even on a
+    // single-core CI runner without nodes falling behind the round clock
+    // and declaring each other lost.
+    let tcp = vec![
+        measure_tcp("clique", 16, round),
+        measure_tcp("ring-of-cliques", 64, round),
+    ];
+    to_json(&loopback, &tcp, round)
+}
+
+/// Renders the two sections as a small, dependency-free JSON document.
+pub fn to_json(loopback: &[NetPoint], tcp: &[NetPoint], round: Duration) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"net/runtime\",\n");
+    s.push_str("  \"workload\": \"push-pull all-to-all over the gossip-net runtime\",\n");
+    let _ = writeln!(s, "  \"tcp_round_ms\": {},", round.as_millis());
+    for (section, points) in [("loopback", loopback), ("tcp", tcp)] {
+        let _ = writeln!(s, "  \"{section}\": [");
+        for (i, p) in points.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"topology\": \"{}\", \"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"frames_sent\": {}, \"bytes_sent\": {}, \"frames_per_sec\": {:.2}, \"bytes_per_sec\": {:.2}, \"peer_losses\": {}}}{}",
+                p.topology,
+                p.n,
+                p.trials,
+                p.rounds,
+                p.secs,
+                p.frames,
+                p.bytes,
+                p.frames_per_sec(),
+                p.bytes_per_sec(),
+                p.losses,
+                if i + 1 < points.len() { "," } else { "" }
+            );
+        }
+        let comma = if section == "loopback" { "," } else { "" };
+        let _ = writeln!(s, "  ]{comma}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_measure_reports_throughput() {
+        let p = measure_loopback("clique", 16, 2);
+        assert_eq!(p.n, 16);
+        assert!(p.rounds > 0);
+        assert!(p.frames > 0 && p.bytes > p.frames);
+        assert!(p.frames_per_sec() > 0.0);
+        assert_eq!(p.losses, 0);
+    }
+
+    #[test]
+    fn tcp_measure_converges_cleanly() {
+        let p = measure_tcp("clique", 4, Duration::from_millis(5));
+        assert_eq!(p.n, 4);
+        assert!(p.rounds > 0);
+        assert!(p.frames > 0);
+        assert_eq!(p.losses, 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let point = NetPoint {
+            topology: "clique",
+            n: 64,
+            trials: 3,
+            rounds: 30,
+            secs: 0.5,
+            frames: 600,
+            bytes: 60_000,
+            losses: 0,
+        };
+        let j = to_json(
+            std::slice::from_ref(&point),
+            std::slice::from_ref(&point),
+            Duration::from_millis(5),
+        );
+        assert!(j.contains("\"bench\": \"net/runtime\""));
+        assert!(j.contains("\"tcp_round_ms\": 5"));
+        assert!(j.contains("\"loopback\": ["));
+        assert!(j.contains("\"tcp\": ["));
+        assert!(j.contains("\"frames_per_sec\": 1200.00"));
+        assert!(j.contains("\"bytes_per_sec\": 120000.00"));
+        assert!(!j.contains(",\n  ]"), "no trailing comma: {j}");
+        assert!(!j.contains("],\n}"), "no trailing comma: {j}");
+    }
+
+    /// `ring_of_cliques(n/8, 8)` really has `n` nodes at both bench
+    /// sizes.
+    #[test]
+    fn bench_topologies_have_declared_sizes() {
+        for n in [64, 256] {
+            assert_eq!(topology("ring-of-cliques", n).node_count(), n);
+            assert_eq!(topology("clique", n).node_count(), n);
+        }
+    }
+
+    /// The TCP done predicate used by the bench ignores the view, so a
+    /// healthy cluster must see zero gone peers; pin that the graph is
+    /// symmetric enough for it (every node reachable).
+    #[test]
+    fn ring_of_cliques_is_connected() {
+        assert!(topology("ring-of-cliques", 64).is_connected());
+    }
+}

@@ -29,8 +29,20 @@ USAGE
 byte-identical to the default single-threaded run.
   gossip game <m> <singleton | random:P> <adaptive | oblivious | systematic>
               [--seed S] [--trials T]
+  gossip run-net <algorithm> <file|-> [--transport tcp|loopback] [--seed S]
+                 [--source V] [--all-to-all] [--round-ms MS] [--max-rounds R]
+  gossip serve <file|-> --node I --peers FILE [--listen ADDR]
+               [--algorithm A] [--seed S] [--source V] [--all-to-all]
+               [--round-ms MS] [--max-rounds R]
   gossip dot <file|->
   gossip help
+
+`run-net` runs a whole cluster in one process: `loopback` replays the
+engine's schedule exactly on a virtual clock; `tcp` spawns one thread
+per node over localhost sockets. `serve` runs a single node over TCP so
+a cluster can span processes; the peers file maps node ids to
+addresses (`<id> <host:port>` per line). Net algorithms: push-pull |
+push-only | flooding.
 
 FAMILIES (for generate)
   clique N | star N | path N | cycle N | grid R C | torus R C

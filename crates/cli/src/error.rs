@@ -29,6 +29,8 @@ pub enum CliError {
     /// The requested operation is not applicable (e.g. exact
     /// conductance on a large graph).
     Unsupported(String),
+    /// The network runtime failed (bind, handshake, start barrier, …).
+    Net(String),
 }
 
 impl fmt::Display for CliError {
@@ -44,6 +46,7 @@ impl fmt::Display for CliError {
             CliError::Io(path, e) => write!(f, "cannot read `{path}`: {e}"),
             CliError::BadGraph(e) => write!(f, "invalid graph input: {e}"),
             CliError::Unsupported(what) => write!(f, "{what}"),
+            CliError::Net(e) => write!(f, "network runtime error: {e}"),
         }
     }
 }

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod net_commands;
 
 pub use error::CliError;
 
@@ -42,6 +43,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "spectral" => commands::spectral(&mut args),
         "spanner" => commands::spanner(&mut args),
         "run" => commands::run_algorithm(&mut args),
+        "run-net" => net_commands::run_net(&mut args),
+        "serve" => net_commands::serve(&mut args),
         "curve" => commands::curve(&mut args),
         "game" => commands::game(&mut args),
         "dot" => commands::dot(&mut args),

@@ -1,0 +1,481 @@
+//! The network-runtime subcommands: `gossip run-net` drives a whole
+//! cluster in one process (deterministic loopback or localhost TCP),
+//! and `gossip serve` runs a single node over real sockets so a cluster
+//! can be assembled from independent processes (or terminals).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use gossip_core::flooding::FloodingNode;
+use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::Goal;
+use gossip_net::{
+    run_local_cluster, run_loopback_with_stats, NetRunner, NodeOutcome, NodeStopReason, RunView,
+    TcpConfig, TcpTransport, TransportStats, WirePayload,
+};
+use gossip_sim::{Protocol, SharedRumorSet, SimConfig, SimMetrics, StopReason};
+use latency_graph::{Graph, NodeId};
+
+use crate::args::Args;
+use crate::error::CliError;
+use crate::load_graph;
+
+/// Shared flag parsing for both subcommands: goal, seed, pacing.
+struct NetArgs {
+    goal: Goal,
+    algorithm: String,
+    sim: SimConfig,
+    round: Duration,
+}
+
+fn parse_net_args(args: &mut Args, algorithm: String, g: &Graph) -> Result<NetArgs, CliError> {
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let max_rounds: u64 = args.flag_or("max-rounds", 10_000)?;
+    let round_ms: u64 = args.flag_or("round-ms", 20)?;
+    let source_idx: usize = args.flag_or("source", 0)?;
+    let all_to_all = args.switch("all-to-all");
+    if source_idx >= g.node_count() {
+        return Err(CliError::BadArgument {
+            what: "source",
+            value: source_idx.to_string(),
+        });
+    }
+    let goal = if all_to_all {
+        Goal::AllToAll
+    } else {
+        Goal::Broadcast(NodeId::new(source_idx))
+    };
+    Ok(NetArgs {
+        goal,
+        algorithm,
+        sim: SimConfig {
+            seed,
+            max_rounds,
+            ..SimConfig::default()
+        },
+        round: Duration::from_millis(round_ms.max(1)),
+    })
+}
+
+fn net_error(e: gossip_net::NetError) -> CliError {
+    CliError::Net(e.to_string())
+}
+
+/// The per-node done predicate the distributed runs report through the
+/// done barrier: the goal, restricted to peers that are still present
+/// (a broadcast whose source crashed, or an all-to-all with a dead
+/// node, should stop at the reachable component rather than spin to the
+/// round cap).
+fn locally_done(goal: &Goal, n: usize, rumors: &SharedRumorSet, view: &RunView<'_>) -> bool {
+    match goal {
+        Goal::AllToAll => (0..n).all(|i| {
+            let v = NodeId::new(i);
+            view.is_gone(v) || rumors.as_ref().contains(v)
+        }),
+        Goal::Broadcast(src) => view.is_gone(*src) || rumors.as_ref().contains(*src),
+        g => g.locally_met(rumors.as_ref()),
+    }
+}
+
+fn write_metrics(out: &mut String, m: &SimMetrics, stats: &TransportStats) {
+    let _ = writeln!(
+        out,
+        "exchanges = {} initiated, {} delivered, {} lost",
+        m.initiated, m.delivered, m.lost
+    );
+    let _ = writeln!(out, "payload units = {}", m.payload_units);
+    let _ = writeln!(
+        out,
+        "frames = {} sent ({} bytes), {} received ({} bytes)",
+        stats.frames_sent, stats.bytes_sent, stats.frames_received, stats.bytes_received
+    );
+}
+
+fn run_net_generic<P, F, R>(
+    g: &Graph,
+    net: &NetArgs,
+    transport: &str,
+    factory: F,
+    rumors: R,
+) -> Result<String, CliError>
+where
+    P: Protocol + Send,
+    P::Payload: WirePayload + Send,
+    F: FnMut(NodeId, usize) -> P,
+    R: Fn(&P) -> &SharedRumorSet + Sync,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm = {}", net.algorithm);
+    let _ = writeln!(out, "transport = {transport}");
+    let _ = writeln!(out, "goal = {:?}", net.goal);
+    match transport {
+        "loopback" => {
+            let goal = net.goal.clone();
+            let (o, stats) = run_loopback_with_stats(g, &net.sim, factory, |nodes: &[&P], _| {
+                goal.met_by_all(nodes.iter().map(|p| rumors(p)))
+            });
+            let _ = writeln!(out, "rounds = {}", o.rounds);
+            let _ = writeln!(out, "complete = {}", o.reason != StopReason::MaxRounds);
+            write_metrics(&mut out, &o.metrics, &stats);
+        }
+        "tcp" => {
+            let tcp = TcpConfig {
+                round: net.round,
+                ..TcpConfig::default()
+            };
+            let n = g.node_count();
+            let goal = net.goal.clone();
+            let done = move |p: &P, view: &RunView<'_>| locally_done(&goal, n, rumors(p), view);
+            let outcomes =
+                run_local_cluster(g, &net.sim, &tcp, factory, done).map_err(net_error)?;
+            let rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
+            let complete = outcomes.iter().all(|o| o.reason == NodeStopReason::Barrier);
+            let mut metrics = SimMetrics::default();
+            let mut stats = TransportStats::default();
+            let mut losses = 0usize;
+            for o in &outcomes {
+                metrics.initiated += o.metrics.initiated;
+                metrics.delivered += o.metrics.delivered;
+                metrics.lost += o.metrics.lost;
+                metrics.rejected += o.metrics.rejected;
+                metrics.payload_units += o.metrics.payload_units;
+                stats.absorb(&o.stats);
+                losses += o.losses.len();
+            }
+            let _ = writeln!(out, "nodes = {}", outcomes.len());
+            let _ = writeln!(out, "rounds = {rounds}");
+            let _ = writeln!(out, "complete = {complete}");
+            write_metrics(&mut out, &metrics, &stats);
+            let _ = writeln!(out, "peer losses = {losses}");
+        }
+        other => {
+            return Err(CliError::BadArgument {
+                what: "transport",
+                value: other.to_string(),
+            })
+        }
+    }
+    Ok(out)
+}
+
+/// `gossip run-net`: run a protocol cluster over a chosen transport.
+pub fn run_net(args: &mut Args) -> Result<String, CliError> {
+    let algorithm: String = args.require("algorithm")?;
+    let path: String = args.require("graph file")?;
+    let transport: String = args.flag_or("transport", "loopback".to_owned())?;
+    let g = load_graph(&path)?;
+    let net = parse_net_args(args, algorithm, &g)?;
+    args.finish()?;
+    match net.algorithm.as_str() {
+        "push-pull" | "push-only" => {
+            let mode = if net.algorithm == "push-only" {
+                Mode::PushOnly
+            } else {
+                Mode::PushPull
+            };
+            run_net_generic(
+                &g,
+                &net,
+                &transport,
+                |id, n| PushPullNode::new(id, n, mode),
+                |p: &PushPullNode| &p.rumors,
+            )
+        }
+        "flooding" => run_net_generic(
+            &g,
+            &net,
+            &transport,
+            FloodingNode::new,
+            |p: &FloodingNode| &p.rumors,
+        ),
+        other => Err(CliError::BadArgument {
+            what: "algorithm",
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// Parses a peers file: `<node-id> <host:port>` per line; `#` comments
+/// and blank lines are ignored.
+fn parse_peers_file(text: &str, n: usize) -> Result<BTreeMap<NodeId, String>, CliError> {
+    let bad = |line: &str| CliError::BadArgument {
+        what: "peers file line",
+        value: line.to_string(),
+    };
+    let mut peers = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(bad(line));
+        };
+        let id: usize = id.parse().map_err(|_| bad(line))?;
+        if id >= n {
+            return Err(bad(line));
+        }
+        peers.insert(NodeId::new(id), addr.to_string());
+    }
+    Ok(peers)
+}
+
+fn serve_generic<P, R>(
+    g: &Graph,
+    node: NodeId,
+    net: &NetArgs,
+    tcp: TcpConfig,
+    protocol: P,
+    rumors: R,
+) -> Result<String, CliError>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    R: Fn(&P) -> &SharedRumorSet,
+{
+    let transport = TcpTransport::for_graph(g, node, tcp).map_err(net_error)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm = {}", net.algorithm);
+    let _ = writeln!(
+        out,
+        "node = {} of {} (listening on {})",
+        node.index(),
+        g.node_count(),
+        transport.local_addr()
+    );
+    let n = g.node_count();
+    let goal = net.goal.clone();
+    let runner = NetRunner::new(g, node, protocol, &net.sim, transport);
+    let rumors = &rumors;
+    let o: NodeOutcome<P> = runner
+        .run(move |p, view| locally_done(&goal, n, rumors(p), view))
+        .map_err(net_error)?;
+    let _ = writeln!(out, "reason = {:?}", o.reason);
+    let _ = writeln!(out, "rounds = {}", o.rounds);
+    let _ = writeln!(
+        out,
+        "goal met = {}",
+        net.goal.locally_met(rumors(&o.protocol).as_ref())
+    );
+    write_metrics(&mut out, &o.metrics, &o.stats);
+    for loss in &o.losses {
+        let _ = writeln!(
+            out,
+            "peer lost = {} after {} attempts ({})",
+            loss.peer.index(),
+            loss.attempts,
+            loss.error
+        );
+    }
+    Ok(out)
+}
+
+/// `gossip serve`: run one node of a TCP cluster in this process.
+pub fn serve(args: &mut Args) -> Result<String, CliError> {
+    let path: String = args.require("graph file")?;
+    let node_idx: usize = args
+        .flag_opt("node")?
+        .ok_or(CliError::MissingArgument("--node <id>"))?;
+    let listen: String = args.flag_or("listen", "127.0.0.1:0".to_owned())?;
+    let peers_path: String = args
+        .flag_opt("peers")?
+        .ok_or(CliError::MissingArgument("--peers <file>"))?;
+    let algorithm: String = args.flag_or("algorithm", "push-pull".to_owned())?;
+    let g = load_graph(&path)?;
+    let net = parse_net_args(args, algorithm, &g)?;
+    args.finish()?;
+    if node_idx >= g.node_count() {
+        return Err(CliError::BadArgument {
+            what: "node",
+            value: node_idx.to_string(),
+        });
+    }
+    let node = NodeId::new(node_idx);
+    let peers_text = std::fs::read_to_string(&peers_path)
+        .map_err(|e| CliError::Io(peers_path.clone(), e.to_string()))?;
+    let tcp = TcpConfig {
+        listen,
+        peers: parse_peers_file(&peers_text, g.node_count())?,
+        round: net.round,
+        ..TcpConfig::default()
+    };
+    let n = g.node_count();
+    match net.algorithm.as_str() {
+        "push-pull" | "push-only" => {
+            let mode = if net.algorithm == "push-only" {
+                Mode::PushOnly
+            } else {
+                Mode::PushPull
+            };
+            serve_generic(
+                &g,
+                node,
+                &net,
+                tcp,
+                PushPullNode::new(node, n, mode),
+                |p: &PushPullNode| &p.rumors,
+            )
+        }
+        "flooding" => serve_generic(
+            &g,
+            node,
+            &net,
+            tcp,
+            FloodingNode::new(node, n),
+            |p: &FloodingNode| &p.rumors,
+        ),
+        other => Err(CliError::BadArgument {
+            what: "algorithm",
+            value: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(parts: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = parts.iter().map(std::string::ToString::to_string).collect();
+        crate::run(&argv)
+    }
+
+    fn temp_file(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("gossip-cli-net-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn temp_graph(name: &str, spec: &[&str]) -> String {
+        temp_file(name, &call(spec).unwrap())
+    }
+
+    #[test]
+    fn run_net_loopback_matches_run() {
+        let p = temp_graph("lo.txt", &["generate", "cycle", "10"]);
+        for alg in ["push-pull", "push-only", "flooding"] {
+            let out = call(&["run-net", alg, &p, "--seed", "4"]).unwrap();
+            assert!(out.contains("transport = loopback"), "{out}");
+            assert!(out.contains("complete = true"), "{alg}: {out}");
+        }
+        let a2a = call(&["run-net", "push-pull", &p, "--all-to-all"]).unwrap();
+        assert!(a2a.contains("complete = true"), "{a2a}");
+    }
+
+    #[test]
+    fn run_net_tcp_triangle() {
+        let p = temp_graph("tcp3.txt", &["generate", "clique", "3"]);
+        let out = call(&[
+            "run-net",
+            "push-pull",
+            &p,
+            "--transport",
+            "tcp",
+            "--all-to-all",
+            "--round-ms",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("transport = tcp"), "{out}");
+        assert!(out.contains("complete = true"), "{out}");
+        assert!(out.contains("peer losses = 0"), "{out}");
+    }
+
+    #[test]
+    fn run_net_rejects_bad_inputs() {
+        let p = temp_graph("bad.txt", &["generate", "path", "4"]);
+        assert!(matches!(
+            call(&["run-net", "push-pull", &p, "--transport", "carrier-pigeon"]),
+            Err(CliError::BadArgument {
+                what: "transport",
+                ..
+            })
+        ));
+        assert!(matches!(
+            call(&["run-net", "eid", &p]),
+            Err(CliError::BadArgument {
+                what: "algorithm",
+                ..
+            })
+        ));
+        assert!(matches!(
+            call(&["run-net", "push-pull", &p, "--source", "99"]),
+            Err(CliError::BadArgument { what: "source", .. })
+        ));
+    }
+
+    #[test]
+    fn peers_file_parses_and_rejects() {
+        let ok = parse_peers_file("# map\n0 127.0.0.1:9000\n\n1 127.0.0.1:9001\n", 2).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[&NodeId::new(0)], "127.0.0.1:9000");
+        for bad in ["5 127.0.0.1:9000", "zero 127.0.0.1:9000", "0 x y"] {
+            assert!(parse_peers_file(bad, 2).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn serve_requires_node_and_peers() {
+        let p = temp_graph("srv.txt", &["generate", "path", "2"]);
+        assert!(matches!(
+            call(&["serve", &p]),
+            Err(CliError::MissingArgument("--node <id>"))
+        ));
+        assert!(matches!(
+            call(&["serve", &p, "--node", "0"]),
+            Err(CliError::MissingArgument("--peers <file>"))
+        ));
+        let peers = temp_file("empty-peers.txt", "");
+        // A neighbor without an address fails fast, before any run.
+        assert!(matches!(
+            call(&["serve", &p, "--node", "0", "--peers", &peers]),
+            Err(CliError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn serve_two_terminals_converge() {
+        // The README quickstart, in-process: two `serve` invocations on
+        // pre-agreed ports form a 2-node cluster and both reach the
+        // barrier with the full rumor set.
+        let p = temp_graph("pair.txt", &["generate", "path", "2"]);
+        let reserve = |name: &str| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap().to_string();
+            drop(l);
+            (name.to_string(), addr)
+        };
+        let (_, addr0) = reserve("a");
+        let (_, addr1) = reserve("b");
+        let peers = temp_file("pair-peers.txt", &format!("0 {addr0}\n1 {addr1}\n"));
+        let mut handles = Vec::new();
+        for (i, addr) in [(0usize, addr0), (1usize, addr1)] {
+            let p = p.clone();
+            let peers = peers.clone();
+            handles.push(std::thread::spawn(move || {
+                call(&[
+                    "serve",
+                    &p,
+                    "--node",
+                    &i.to_string(),
+                    "--listen",
+                    &addr,
+                    "--peers",
+                    &peers,
+                    "--all-to-all",
+                    "--round-ms",
+                    "5",
+                ])
+            }));
+        }
+        for h in handles {
+            let out = h.join().expect("serve thread").expect("serve runs");
+            assert!(out.contains("reason = Barrier"), "{out}");
+            assert!(out.contains("goal met = true"), "{out}");
+        }
+    }
+}

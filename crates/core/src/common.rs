@@ -1,6 +1,48 @@
 //! Shared types for the protocol implementations.
 
 use gossip_sim::{Round, RumorSet, SimMetrics, StopReason};
+use latency_graph::NodeId;
+
+/// A dissemination goal, stated so it can be evaluated *per node* from
+/// that node's rumor set alone.
+///
+/// This is the protocol/transport boundary: the simulator's stop
+/// closures evaluate [`met_by_all`](Goal::met_by_all) over the global
+/// node array, while the `gossip-net` runtime — where no process sees
+/// global state — has each node report [`locally_met`](Goal::locally_met)
+/// and detects termination with a distributed done barrier. Both
+/// evaluate the same predicate, which is what makes the loopback
+/// equivalence argument (DESIGN.md §11) compositional.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Goal {
+    /// Every node holds `source`'s rumor (one-to-all broadcast).
+    Broadcast(NodeId),
+    /// Every node holds the rumor of every listed source.
+    FromSet(Vec<NodeId>),
+    /// Every node holds every rumor (all-to-all dissemination).
+    AllToAll,
+}
+
+impl Goal {
+    /// Whether `rumors` satisfies the goal from one node's perspective.
+    pub fn locally_met(&self, rumors: &RumorSet) -> bool {
+        match self {
+            Goal::Broadcast(source) => rumors.contains(*source),
+            Goal::FromSet(sources) => sources.iter().all(|&s| rumors.contains(s)),
+            Goal::AllToAll => rumors.is_full(),
+        }
+    }
+
+    /// Whether every node's rumor set satisfies the goal — the shape
+    /// the simulator's stop closures take.
+    pub fn met_by_all<'a, I, R>(&self, rumors: I) -> bool
+    where
+        I: IntoIterator<Item = &'a R>,
+        R: AsRef<RumorSet> + 'a,
+    {
+        rumors.into_iter().all(|r| self.locally_met(r.as_ref()))
+    }
+}
 
 /// State that can be merged monotonically during an exchange — rumor
 /// sets, topology knowledge, flag vectors.
@@ -87,6 +129,33 @@ mod tests {
         assert!(a.merge(&b));
         assert!(!a.merge(&b));
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn goal_local_and_global_agree() {
+        let full = RumorSet::full(4);
+        let partial = {
+            let mut s = RumorSet::singleton(4, NodeId::new(0));
+            s.insert(NodeId::new(2));
+            s
+        };
+        for goal in [
+            Goal::Broadcast(NodeId::new(0)),
+            Goal::FromSet(vec![NodeId::new(0), NodeId::new(2)]),
+            Goal::AllToAll,
+        ] {
+            assert!(goal.locally_met(&full), "{goal:?} on full");
+            assert_eq!(
+                goal.met_by_all([&full, &partial]),
+                goal.locally_met(&full) && goal.locally_met(&partial),
+                "{goal:?} global = conjunction of locals"
+            );
+        }
+        assert!(Goal::Broadcast(NodeId::new(0)).locally_met(&partial));
+        assert!(!Goal::Broadcast(NodeId::new(1)).locally_met(&partial));
+        assert!(Goal::FromSet(vec![NodeId::new(0), NodeId::new(2)]).locally_met(&partial));
+        assert!(!Goal::FromSet(vec![NodeId::new(1)]).locally_met(&partial));
+        assert!(!Goal::AllToAll.locally_met(&partial));
     }
 
     #[test]

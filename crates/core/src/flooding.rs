@@ -9,7 +9,7 @@
 use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
 
-use crate::common::BroadcastOutcome;
+use crate::common::{BroadcastOutcome, Goal};
 
 /// Configuration for flooding.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -88,9 +88,10 @@ pub fn broadcast(
     seed: u64,
 ) -> BroadcastOutcome {
     assert!(source.index() < g.node_count(), "source out of range");
+    let goal = Goal::Broadcast(source);
     let out = Simulator::new(g, sim_config(config, seed))
         .run(FloodingNode::new, |nodes: &[FloodingNode], _| {
-            nodes.iter().all(|p| p.rumors.contains(source))
+            goal.met_by_all(nodes.iter().map(|p| &p.rumors))
         });
     BroadcastOutcome::from_parts(
         out.rounds,
@@ -105,9 +106,10 @@ pub fn broadcast(
 
 /// All-to-all dissemination by flooding.
 pub fn all_to_all(g: &Graph, config: &FloodingConfig, seed: u64) -> BroadcastOutcome {
+    let goal = Goal::AllToAll;
     let out = Simulator::new(g, sim_config(config, seed))
         .run(FloodingNode::new, |nodes: &[FloodingNode], _| {
-            nodes.iter().all(|p| p.rumors.is_full())
+            goal.met_by_all(nodes.iter().map(|p| &p.rumors))
         });
     BroadcastOutcome::from_parts(
         out.rounds,

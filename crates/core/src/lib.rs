@@ -47,4 +47,4 @@ pub mod superstep;
 pub mod termination;
 pub mod unified;
 
-pub use common::{BroadcastOutcome, Mergeable};
+pub use common::{BroadcastOutcome, Goal, Mergeable};

@@ -19,7 +19,7 @@ use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulat
 use latency_graph::{Graph, NodeId};
 use rand::Rng as _;
 
-use crate::common::BroadcastOutcome;
+use crate::common::{BroadcastOutcome, Goal};
 
 /// Direction of information flow honored by a node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -126,9 +126,10 @@ pub fn broadcast(
 ) -> BroadcastOutcome {
     assert!(source.index() < g.node_count(), "source out of range");
     let mode = config.mode;
+    let goal = Goal::Broadcast(source);
     let out = Simulator::new(g, sim_config(config, seed)).run(
         |id, n| PushPullNode::new(id, n, mode),
-        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.contains(source)),
+        |nodes: &[PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
     );
     BroadcastOutcome::from_parts(
         out.rounds,
@@ -159,14 +160,10 @@ pub fn broadcast_from_set(
         assert!(s.index() < g.node_count(), "source {s} out of range");
     }
     let mode = config.mode;
-    let sources = sources.to_vec();
+    let goal = Goal::FromSet(sources.to_vec());
     let out = Simulator::new(g, sim_config(config, seed)).run(
         |id, n| PushPullNode::new(id, n, mode),
-        |nodes: &[PushPullNode], _| {
-            nodes
-                .iter()
-                .all(|p| sources.iter().all(|&s| p.rumors.contains(s)))
-        },
+        |nodes: &[PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
     );
     BroadcastOutcome::from_parts(
         out.rounds,
@@ -183,9 +180,10 @@ pub fn broadcast_from_set(
 /// every rumor.
 pub fn all_to_all(g: &Graph, config: &PushPullConfig, seed: u64) -> BroadcastOutcome {
     let mode = config.mode;
+    let goal = Goal::AllToAll;
     let out = Simulator::new(g, sim_config(config, seed)).run(
         |id, n| PushPullNode::new(id, n, mode),
-        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+        |nodes: &[PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
     );
     BroadcastOutcome::from_parts(
         out.rounds,

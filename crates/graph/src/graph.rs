@@ -183,6 +183,34 @@ impl Graph {
         self.edges.iter().map(|&(_, _, l)| l).max()
     }
 
+    /// A canonical 64-bit digest of the topology: node count plus the
+    /// sorted `(u, v, ℓ)` edge list, FNV-folded. Two graphs hash equal
+    /// iff they have the same nodes and the same latency-weighted edge
+    /// set, regardless of construction order. The `gossip-net`
+    /// connect/accept handshake exchanges this digest so two processes
+    /// refuse to pair up when their topology files disagree.
+    pub fn topology_hash(&self) -> u64 {
+        let mut edges: Vec<(NodeId, NodeId, Latency)> = self
+            .edges
+            .iter()
+            .map(|&(u, v, l)| if u <= v { (u, v, l) } else { (v, u, l) })
+            .collect();
+        edges.sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64
+            ^ u64::try_from(self.node_count()).expect("node count fits u64");
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        };
+        for (u, v, l) in edges {
+            mix(u64::from(u32::from(u)));
+            mix(u64::from(u32::from(v)));
+            mix(l.rounds());
+        }
+        h
+    }
+
     /// The sorted, deduplicated set of latencies occurring in the graph.
     ///
     /// These are the only values of `ℓ` at which the weight-`ℓ`
@@ -454,6 +482,21 @@ mod tests {
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.max_degree(), 2);
         assert_eq!(g.max_latency(), Some(Latency::new(3)));
+    }
+
+    #[test]
+    fn topology_hash_is_construction_order_invariant() {
+        let a = triangle();
+        let b = Graph::from_edges(3, [(2, 0, 3), (1, 0, 1), (2, 1, 2)]).unwrap();
+        assert_eq!(a.topology_hash(), b.topology_hash());
+        // Different latency on one edge, different node count, and a
+        // different edge set must all produce different digests.
+        let c = Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 4)]).unwrap();
+        assert_ne!(a.topology_hash(), c.topology_hash());
+        let d = Graph::from_edges(4, [(0, 1, 1), (1, 2, 2), (0, 2, 3)]).unwrap();
+        assert_ne!(a.topology_hash(), d.topology_hash());
+        let e = Graph::from_edges(3, [(0, 1, 1), (1, 2, 2)]).unwrap();
+        assert_ne!(a.topology_hash(), e.topology_hash());
     }
 
     #[test]

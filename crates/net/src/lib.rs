@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Network runtime for the gossip protocols: runs unmodified
+//! [`gossip_sim::Protocol`] implementations over real sockets — or over a
+//! deterministic in-process loopback — while preserving the paper's
+//! synchronous-round semantics.
+//!
+//! The crate is layered:
+//!
+//! * [`wire`] — a length-prefixed binary codec ([`Frame`]) plus the
+//!   [`WirePayload`] trait that serializes protocol payloads.
+//! * [`transport`] — the [`Transport`] abstraction: framed send/recv with
+//!   per-link latency enforcement and round pacing.
+//! * [`loopback`] — an in-process transport on the *virtual* clock. A
+//!   cluster of loopback runners reproduces the simulator's executions
+//!   exactly (round counts, metrics, final states) — see
+//!   [`runner::run_loopback`] and DESIGN.md §11 for the equivalence
+//!   argument.
+//! * [`tcp`] — a `std::net` TCP runtime: thread-per-peer with bounded
+//!   outboxes, handshake carrying node id + topology hash, capped
+//!   exponential-backoff reconnect, and a wall-clock latency shaper that
+//!   honors each edge's `ℓ`.
+//! * [`runner`] — [`NetRunner`], the round-pacing driver that enforces
+//!   one-initiation-per-round and the start/stop barriers on top of any
+//!   [`Transport`].
+//!
+//! The paper's model travels intact across all of this because the
+//! runner, not the transport, owns round semantics: a request initiated
+//! at round `t` over an edge of latency `ℓ` is *applied* — on both
+//! endpoints — at round `t + ℓ`, with payload snapshots taken at `t`.
+//! Transports merely move bytes no later than the runner needs them.
+
+pub mod error;
+pub mod loopback;
+pub mod runner;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use error::{CodecError, NetError, PeerLoss};
+pub use loopback::{LoopbackHub, LoopbackTransport};
+pub use runner::{
+    run_loopback, run_loopback_with_stats, NetRunner, NodeOutcome, NodeStopReason, RunView,
+};
+pub use tcp::{run_local_cluster, TcpConfig, TcpTransport};
+pub use transport::{NetEvent, Transport, TransportStats};
+pub use wire::{Frame, WirePayload, MAX_BODY};

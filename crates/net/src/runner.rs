@@ -1,0 +1,656 @@
+//! [`NetRunner`]: the round-pacing driver that runs one protocol node
+//! over any [`Transport`], plus [`run_loopback`], the single-threaded
+//! cluster driver whose executions match the simulator's exactly.
+//!
+//! # Round structure
+//!
+//! Each runner executes the simulator's per-round phases, projected onto
+//! one node (the numbering follows `gossip_sim::engine`):
+//!
+//! 1. **Ingest + deliver** ([`begin_round`](NetRunner::begin_round)):
+//!    poll the transport, answer freshly arrived requests (snapshotting
+//!    our payload *before* this round's deliveries mutate it — the
+//!    engine takes responder snapshots during the initiation round, and
+//!    our state has not changed since then), queue replies and request
+//!    payloads on the hold queue at their due round `t + ℓ`, then apply
+//!    every held exchange due this round, sorted by
+//!    `(initiated_at, initiator)` — the engine's per-node delivery
+//!    order.
+//! 2. **Stop checks** (driver's responsibility — global closure for the
+//!    loopback cluster, distributed done barrier for TCP).
+//! 3. **`on_round`** + **launch** ([`launch`](NetRunner::launch)): run
+//!    the protocol's round callback and send this round's request, if
+//!    any, recording our payload snapshot's weight for metrics.
+//! 4. **Settle** ([`settle`](NetRunner::settle)): poll again (without
+//!    blocking — the round has begun) so requests sent *this* round over
+//!    the loopback are answered this round, after every node's
+//!    `on_round` ran.
+//!
+//! Metrics are counted at the initiator only — `initiated` at launch,
+//! `delivered` and both directions of `payload_units` when the reply is
+//! ingested — so summing runner metrics over a cluster reproduces the
+//! engine's [`SimMetrics`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gossip_sim::pacing::NodePacer;
+use gossip_sim::{Exchange, Outcome, Protocol, Round, SimConfig, SimMetrics, StopReason};
+use latency_graph::{Graph, NodeId};
+
+use crate::error::{NetError, PeerLoss};
+use crate::loopback::LoopbackHub;
+use crate::transport::{NetEvent, Transport, TransportStats};
+use crate::wire::{Frame, WirePayload};
+
+/// Why a self-driven [`NetRunner::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStopReason {
+    /// The distributed stop barrier held: this node's done predicate was
+    /// true and every neighbor had announced done (or departed).
+    Barrier,
+    /// The round cap was reached first.
+    MaxRounds,
+    /// Every neighbor was lost or departed while this node was not yet
+    /// done; no further progress was possible.
+    Isolated,
+}
+
+/// What one node's [`NetRunner::run`] produced.
+#[derive(Debug)]
+pub struct NodeOutcome<P> {
+    /// Why the node stopped.
+    pub reason: NodeStopReason,
+    /// Rounds elapsed when it stopped.
+    pub rounds: Round,
+    /// This node's share of the cluster metrics (initiator-side
+    /// counting; see the module docs).
+    pub metrics: SimMetrics,
+    /// Peers the transport gave up on.
+    pub losses: Vec<PeerLoss>,
+    /// Transport traffic counters.
+    pub stats: TransportStats,
+    /// Final protocol state.
+    pub protocol: P,
+}
+
+/// The runner's view of cluster health, passed to done predicates so
+/// survivors of a partition can declare victory over the remaining
+/// component instead of waiting forever for the dead.
+#[derive(Debug)]
+pub struct RunView<'a> {
+    /// Neighbors that announced their done predicate.
+    pub done_peers: &'a BTreeSet<NodeId>,
+    /// Neighbors that departed (sent [`Frame::Bye`]) or were lost.
+    pub gone_peers: &'a BTreeSet<NodeId>,
+    /// Loss records for the lost subset of `gone_peers`.
+    pub losses: &'a [PeerLoss],
+}
+
+impl RunView<'_> {
+    /// Whether `v` departed or was lost.
+    pub fn is_gone(&self, v: NodeId) -> bool {
+        self.gone_peers.contains(&v)
+    }
+}
+
+struct PendingInit {
+    peer: NodeId,
+    round: Round,
+    weight: u64,
+}
+
+struct Held<Pl> {
+    initiated_at: Round,
+    initiator: NodeId,
+    exchange: Exchange<Pl>,
+}
+
+/// Drives one protocol node over a [`Transport`], enforcing the paper's
+/// pacing contract: at most one initiation per round, exchanges applied
+/// at exactly `t + ℓ`, payload snapshots taken at `t`.
+pub struct NetRunner<'g, P: Protocol, T: Transport> {
+    graph: &'g Graph,
+    pacer: NodePacer<'g, P>,
+    transport: T,
+    max_rounds: Round,
+    hold: BTreeMap<Round, Vec<Held<P::Payload>>>,
+    pending: BTreeMap<u64, PendingInit>,
+    /// Requests that arrived *before* their initiation round on our
+    /// clock (possible over TCP when a peer's epoch leads ours): held
+    /// until our `on_round` of that round has run, so the reply snapshot
+    /// is taken from the state the engine would have snapshotted.
+    deferred: BTreeMap<Round, Vec<(NodeId, u64, Vec<u8>)>>,
+    /// Highest request seq answered per peer. A TCP writer that
+    /// reconnects mid-write re-sends its current frame, and the original
+    /// may have been received after all — per-peer seqs are strictly
+    /// increasing, so anything at or below this mark is a duplicate.
+    answered: BTreeMap<NodeId, u64>,
+    next_seq: u64,
+    metrics: SimMetrics,
+    peers_done: BTreeSet<NodeId>,
+    peers_gone: BTreeSet<NodeId>,
+    losses: Vec<PeerLoss>,
+    done_round: Option<Round>,
+}
+
+impl<'g, P, T> NetRunner<'g, P, T>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    T: Transport,
+{
+    /// Creates a runner for `node`.
+    ///
+    /// `config` supplies the seed (each node draws the *same* RNG stream
+    /// the engine would give it — see `gossip_sim::pacing::node_seed`),
+    /// the round cap, and the latency-visibility flag. The transport
+    /// must already be bound to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transport.local() != node`.
+    pub fn new(
+        graph: &'g Graph,
+        node: NodeId,
+        protocol: P,
+        config: &SimConfig,
+        transport: T,
+    ) -> Self {
+        assert_eq!(transport.local(), node, "transport bound to the wrong node");
+        NetRunner {
+            graph,
+            pacer: NodePacer::new(graph, node, protocol, config),
+            transport,
+            max_rounds: config.max_rounds,
+            hold: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            answered: BTreeMap::new(),
+            next_seq: 0,
+            metrics: SimMetrics::default(),
+            peers_done: BTreeSet::new(),
+            peers_gone: BTreeSet::new(),
+            losses: Vec::new(),
+            done_round: None,
+        }
+    }
+
+    /// This runner's node id.
+    pub fn node(&self) -> NodeId {
+        self.pacer.id()
+    }
+
+    /// The protocol state (for global stop closures).
+    pub fn protocol(&self) -> &P {
+        self.pacer.protocol()
+    }
+
+    /// The protocol's local termination flag.
+    pub fn is_done(&self) -> bool {
+        self.pacer.is_done()
+    }
+
+    /// This node's share of the cluster metrics so far.
+    pub fn metrics(&self) -> SimMetrics {
+        self.metrics
+    }
+
+    /// Brings the transport up (blocking on its start barrier) and runs
+    /// the protocol's `on_start`.
+    pub fn start(&mut self) -> Result<(), NetError> {
+        self.transport.start()?;
+        self.pacer.on_start();
+        Ok(())
+    }
+
+    /// Phase 1: poll the transport (blocking until `round` begins on its
+    /// clock), ingest everything, then apply the exchanges due.
+    pub fn begin_round(&mut self, round: Round) -> Result<(), NetError> {
+        let events = self.transport.poll(round)?;
+        self.ingest(round, events)?;
+        self.deliver_due(round);
+        Ok(())
+    }
+
+    /// Phase 3 + 4: run `on_round`, then send this round's request (if
+    /// the protocol initiated one).
+    pub fn launch(&mut self, round: Round) -> Result<(), NetError> {
+        let Some(init) = self.pacer.on_round(round) else {
+            return Ok(());
+        };
+        self.metrics.initiated += 1;
+        if self.peers_gone.contains(&init.peer) {
+            // The engine counts initiations toward crashed peers as
+            // lost; a departed or unreachable TCP peer is the same.
+            self.metrics.lost += 1;
+            return Ok(());
+        }
+        let payload = self.pacer.payload();
+        let weight = P::payload_weight(&payload);
+        let mut bytes = Vec::new();
+        payload.encode_payload(&mut bytes);
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.pending.insert(
+            seq,
+            PendingInit {
+                peer: init.peer,
+                round,
+                weight,
+            },
+        );
+        self.transport.send(
+            round,
+            init.peer,
+            &Frame::Request {
+                seq,
+                round,
+                payload: bytes,
+            },
+        )
+    }
+
+    /// Phase 4b: a second, non-blocking poll of the same round, so
+    /// requests initiated this round are answered this round (after
+    /// every node's `on_round` — which is when the engine snapshots
+    /// responders).
+    pub fn settle(&mut self, round: Round) -> Result<(), NetError> {
+        // Deferred requests for this round first: their initiation round
+        // has now begun locally and `on_round` has run, so the reply
+        // snapshot is taken from the correct state.
+        while let Some((&t, _)) = self.deferred.first_key_value() {
+            if t > round {
+                break;
+            }
+            let batch = self.deferred.remove(&t).expect("first key exists");
+            for (from, seq, payload) in batch {
+                self.answer_request(from, seq, t, &payload)?;
+            }
+        }
+        let events = self.transport.poll(round)?;
+        self.ingest(round, events)
+    }
+
+    fn latency_to(&self, peer: NodeId) -> Result<u64, NetError> {
+        self.graph
+            .latency(self.node(), peer)
+            .map(latency_graph::Latency::rounds)
+            .ok_or(NetError::UnknownPeer(peer))
+    }
+
+    fn ingest(&mut self, now: Round, events: Vec<NetEvent>) -> Result<(), NetError> {
+        for event in events {
+            match event {
+                NetEvent::Frame { from, frame } => self.ingest_frame(now, from, frame)?,
+                NetEvent::PeerLost(loss) => {
+                    self.mark_gone(loss.peer);
+                    self.losses.push(loss);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn ingest_frame(&mut self, now: Round, from: NodeId, frame: Frame) -> Result<(), NetError> {
+        match frame {
+            Frame::Request {
+                seq,
+                round,
+                payload,
+            } => {
+                if round > now {
+                    self.deferred
+                        .entry(round)
+                        .or_default()
+                        .push((from, seq, payload));
+                    Ok(())
+                } else {
+                    self.answer_request(from, seq, round, &payload)
+                }
+            }
+            Frame::Reply {
+                seq,
+                round,
+                payload,
+            } => self.accept_reply(from, seq, round, &payload),
+            Frame::Done { .. } => {
+                self.peers_done.insert(from);
+                Ok(())
+            }
+            Frame::Bye => {
+                // A graceful departure: the peer's writer flushed every
+                // queued frame (including latency-shaped replies that
+                // *overtake* the Bye in its deadline-ordered queue)
+                // before closing, so exchanges already initiated toward
+                // it stay pending and their replies are still honored.
+                self.peers_gone.insert(from);
+                Ok(())
+            }
+            Frame::Hello { .. } => Err(NetError::ProtocolViolation(format!(
+                "mid-stream handshake from node {}",
+                from.index()
+            ))),
+        }
+    }
+
+    /// A peer initiated toward us at round `t`: snapshot our payload
+    /// *now* (our state equals what it was after `t`'s `on_round`, which
+    /// is when the engine snapshots responders), reply, and hold the
+    /// peer's payload until the exchange's due round.
+    fn answer_request(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        t: Round,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        let hi = self.answered.entry(from).or_insert(0);
+        if seq <= *hi {
+            return Ok(()); // duplicate after a TCP re-send; already answered
+        }
+        *hi = seq;
+        let due = t + self.latency_to(from)?;
+        let theirs = P::Payload::decode_payload(payload)?;
+        let mut mine = Vec::new();
+        self.pacer.payload().encode_payload(&mut mine);
+        self.transport.send(
+            due,
+            from,
+            &Frame::Reply {
+                seq,
+                round: t,
+                payload: mine,
+            },
+        )?;
+        self.hold.entry(due).or_default().push(Held {
+            initiated_at: t,
+            initiator: from,
+            exchange: Exchange {
+                peer: from,
+                payload: theirs,
+                initiated_at: t,
+                completed_at: due,
+                initiated_by_me: false,
+            },
+        });
+        Ok(())
+    }
+
+    /// Our own initiation came back: count the delivery (both payload
+    /// directions, initiator-side) and hold the peer's payload until the
+    /// due round.
+    fn accept_reply(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        t: Round,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        let Some(pend) = self.pending.remove(&seq) else {
+            // Duplicate (the peer answered a re-sent request twice) or a
+            // reply whose request we wrote off when the peer was lost:
+            // ignore. Loopback exactness does not rest on this check —
+            // it is proven by outcome equality against the engine.
+            return Ok(());
+        };
+        if pend.peer != from || pend.round != t {
+            return Err(NetError::ProtocolViolation(format!(
+                "reply {seq} does not match its request (peer {}, round {t})",
+                from.index()
+            )));
+        }
+        let due = t + self.latency_to(from)?;
+        let theirs = P::Payload::decode_payload(payload)?;
+        self.metrics.delivered += 1;
+        self.metrics.payload_units += pend.weight + P::payload_weight(&theirs);
+        let me = self.node();
+        self.hold.entry(due).or_default().push(Held {
+            initiated_at: t,
+            initiator: me,
+            exchange: Exchange {
+                peer: from,
+                payload: theirs,
+                initiated_at: t,
+                completed_at: due,
+                initiated_by_me: true,
+            },
+        });
+        Ok(())
+    }
+
+    /// Applies every held exchange due at or before `round`, in the
+    /// engine's per-node delivery order: ascending `initiated_at`, ties
+    /// by initiator id (the engine admits same-round initiations in node
+    /// order).
+    fn deliver_due(&mut self, round: Round) {
+        let mut batch: Vec<Held<P::Payload>> = Vec::new();
+        while let Some((&due, _)) = self.hold.first_key_value() {
+            if due > round {
+                break;
+            }
+            let mut entries = self.hold.remove(&due).expect("first key exists");
+            batch.append(&mut entries);
+        }
+        batch.sort_by_key(|h| (h.initiated_at, h.initiator));
+        for held in batch {
+            self.pacer.deliver(round, &held.exchange);
+        }
+    }
+
+    fn mark_gone(&mut self, peer: NodeId) {
+        self.peers_gone.insert(peer);
+        // Initiations in flight toward the departed peer will never be
+        // answered: count them lost, as the engine does for crashes.
+        let dead: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.peer == peer)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in dead {
+            self.pending.remove(&seq);
+            self.metrics.lost += 1;
+        }
+    }
+
+    fn live_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph
+            .neighbor_ids(self.node())
+            .iter()
+            .copied()
+            .filter(|v| !self.peers_gone.contains(v))
+    }
+
+    /// Self-driving loop for distributed transports (TCP): runs rounds
+    /// until the distributed stop barrier holds, the round cap is hit,
+    /// or every neighbor is gone.
+    ///
+    /// `done` is this node's *local* done predicate (typically
+    /// [`gossip_core::Goal::locally_met`] over the protocol's rumor set,
+    /// restricted to the surviving component via the [`RunView`]). When
+    /// it first turns true the node announces [`Frame::Done`] to its
+    /// neighbors and keeps participating — its neighbors may still need
+    /// it — until every neighbor has announced done too (or departed).
+    /// That barrier is sound for monotone, neighbor-mediated goals:
+    /// each node's remaining need is served by its own neighbors, who
+    /// only exit once that need is met.
+    ///
+    /// The run is bounded: the transport's start barrier is bounded by
+    /// its timeout, every poll is bounded by the round pace, and the
+    /// loop is bounded by `max_rounds`.
+    pub fn run<D>(mut self, done: D) -> Result<NodeOutcome<P>, NetError>
+    where
+        D: Fn(&P, &RunView<'_>) -> bool,
+    {
+        self.start()?;
+        let mut round: Round = 0;
+        loop {
+            self.begin_round(round)?;
+            if self.done_round.is_none() {
+                let view = RunView {
+                    done_peers: &self.peers_done,
+                    gone_peers: &self.peers_gone,
+                    losses: &self.losses,
+                };
+                if self.pacer.is_done() || done(self.pacer.protocol(), &view) {
+                    self.done_round = Some(round);
+                    let live: Vec<NodeId> = self.live_neighbors().collect();
+                    for peer in live {
+                        self.transport.send(round, peer, &Frame::Done { round })?;
+                    }
+                }
+            }
+            if self.done_round.is_some()
+                && self
+                    .graph
+                    .neighbor_ids(self.node())
+                    .iter()
+                    .all(|v| self.peers_done.contains(v) || self.peers_gone.contains(v))
+            {
+                return Ok(self.finish(round, NodeStopReason::Barrier));
+            }
+            if self.done_round.is_none() && self.live_neighbors().next().is_none() {
+                return Ok(self.finish(round, NodeStopReason::Isolated));
+            }
+            if round >= self.max_rounds {
+                return Ok(self.finish(round, NodeStopReason::MaxRounds));
+            }
+            self.launch(round)?;
+            self.settle(round)?;
+            round += 1;
+        }
+    }
+
+    fn finish(mut self, rounds: Round, reason: NodeStopReason) -> NodeOutcome<P> {
+        let live: Vec<NodeId> = self.live_neighbors().collect();
+        for peer in live {
+            // Best-effort goodbye; a peer that cannot be reached is
+            // already accounted for.
+            let _ = self.transport.send(rounds, peer, &Frame::Bye);
+        }
+        self.transport.shutdown();
+        let stats = self.transport.stats();
+        NodeOutcome {
+            reason,
+            rounds,
+            metrics: self.metrics,
+            losses: self.losses,
+            stats,
+            protocol: self.pacer.into_protocol(),
+        }
+    }
+
+    /// Tears the runner down abruptly — no goodbye frames, no barrier —
+    /// returning `(metrics, transport stats, protocol)`. The loopback
+    /// cluster driver uses this once the global stop condition holds;
+    /// the TCP fault tests use it to simulate a crash (peers observe a
+    /// dead socket, not a [`Frame::Bye`]).
+    pub fn abort(mut self) -> (SimMetrics, TransportStats, P) {
+        self.transport.shutdown();
+        let stats = self.transport.stats();
+        (self.metrics, stats, self.pacer.into_protocol())
+    }
+}
+
+/// Runs a whole cluster over the deterministic loopback transport and
+/// returns the simulator-shaped [`Outcome`].
+///
+/// The schedule interleaves the runners exactly as the engine
+/// interleaves its per-node phases (deliveries, stop checks in
+/// Condition → AllDone → MaxRounds order, `on_round` in node order,
+/// launches in node order, responder snapshots after all launches), so
+/// for any deterministic-given-the-seed protocol the outcome — stop
+/// reason, round count, metrics, final states — equals
+/// `Simulator::new(graph, config).run(factory, stop)` with the same
+/// arguments. The equivalence argument is spelled out in DESIGN.md §11
+/// and checked case-by-case in `tests/loopback_equivalence.rs`.
+///
+/// The `stop` closure receives references (the protocols live inside
+/// their runners) but is otherwise the engine's stop closure.
+///
+/// # Panics
+///
+/// Panics only if the loopback transport misbehaves, which would be a
+/// bug in this crate, not in the caller.
+pub fn run_loopback<P, F, S>(graph: &Graph, config: &SimConfig, factory: F, stop: S) -> Outcome<P>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    run_loopback_with_stats(graph, config, factory, stop).0
+}
+
+/// Like [`run_loopback`] but also returns the cluster-wide transport
+/// totals — the loopback half of `bench-net`'s report.
+pub fn run_loopback_with_stats<P, F, S>(
+    graph: &Graph,
+    config: &SimConfig,
+    mut factory: F,
+    mut stop: S,
+) -> (Outcome<P>, TransportStats)
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    let n = graph.node_count();
+    let hub = LoopbackHub::new(n);
+    let mut runners: Vec<NetRunner<'_, P, _>> = (0..n)
+        .map(|i| {
+            let node = NodeId::new(i);
+            NetRunner::new(graph, node, factory(node, n), config, hub.endpoint(node))
+        })
+        .collect();
+    for r in &mut runners {
+        r.start().expect("loopback start cannot fail");
+    }
+    let mut round: Round = 0;
+    let reason = loop {
+        for r in &mut runners {
+            r.begin_round(round)
+                .expect("loopback transport is infallible");
+        }
+        let protocols: Vec<&P> = runners.iter().map(NetRunner::protocol).collect();
+        if stop(&protocols, round) {
+            break StopReason::Condition;
+        }
+        if runners.iter().all(NetRunner::is_done) {
+            break StopReason::AllDone;
+        }
+        if round >= config.max_rounds {
+            break StopReason::MaxRounds;
+        }
+        for r in &mut runners {
+            r.launch(round).expect("loopback transport is infallible");
+        }
+        for r in &mut runners {
+            r.settle(round).expect("loopback transport is infallible");
+        }
+        round += 1;
+    };
+    let mut metrics = SimMetrics::default();
+    let mut totals = TransportStats::default();
+    let mut nodes = Vec::with_capacity(n);
+    for r in runners {
+        let (m, stats, p) = r.abort();
+        metrics.initiated += m.initiated;
+        metrics.delivered += m.delivered;
+        metrics.lost += m.lost;
+        metrics.rejected += m.rejected;
+        metrics.payload_units += m.payload_units;
+        totals.absorb(&stats);
+        nodes.push(p);
+    }
+    (
+        Outcome {
+            reason,
+            rounds: round,
+            metrics,
+            nodes,
+        },
+        totals,
+    )
+}

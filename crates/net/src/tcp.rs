@@ -1,0 +1,784 @@
+//! TCP runtime on `std::net`: thread-per-peer, offline-safe (loopback
+//! addresses only in this repo's tests and benches).
+//!
+//! # Architecture
+//!
+//! For a node of degree `d` the transport runs `2d + 1` threads:
+//!
+//! * One **acceptor** owns the listener. Each accepted connection gets a
+//!   **reader** thread: it performs the handshake (validates the peer's
+//!   [`Frame::Hello`] against the local node count and topology hash,
+//!   then answers with its own `Hello`), registers the socket for
+//!   shutdown, and blocks in `read` forever — EOF is the exit signal, so
+//!   no polling timeouts burn the (single) CPU.
+//! * One **writer** per neighbor dials that peer, handshakes (and
+//!   *fails fast*, without retries, on a topology mismatch), then drains
+//!   a bounded outbox. The outbox carries `(deadline, bytes)` pairs kept
+//!   in a deadline-ordered queue: the writer sleeps until the earliest
+//!   deadline while still accepting new frames, so a latency-shaped
+//!   reply never head-of-line-blocks the pipelined requests behind it.
+//!   Write and connect failures trigger capped exponential-backoff
+//!   reconnects; when the retry budget is spent the writer reports a
+//!   typed [`PeerLoss`] and the runner reroutes around the peer.
+//!
+//! # Latency shaping and rounds
+//!
+//! Wall-clock rounds have fixed duration [`TcpConfig::round`], starting
+//! at the local epoch (the instant the start barrier completed).
+//! [`poll(r)`](Transport::poll) sleeps until round `r` begins. A reply
+//! to an exchange initiated at round `t` over an edge of latency `ℓ` is
+//! written no earlier than the wall-clock midpoint of round `t + ℓ − 1`,
+//! giving it half a round of margin (minus inter-node epoch drift) to
+//! cross the wire before the receiver polls round `t + ℓ`. Exactness
+//! does not depend on that margin: the runner's hold queue applies every
+//! exchange at round `t + ℓ` of the *receiver's* clock no matter when
+//! the bytes arrived.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gossip_sim::{Protocol, Round, SimConfig};
+use latency_graph::{Graph, NodeId};
+
+use crate::error::{CodecError, NetError, PeerLoss};
+use crate::runner::{NetRunner, NodeOutcome, RunView};
+use crate::transport::{NetEvent, Transport, TransportStats};
+use crate::wire::{Frame, WirePayload};
+
+/// Tuning knobs for the TCP runtime.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Address to listen on; `127.0.0.1:0` picks an ephemeral port
+    /// (read it back with [`TcpTransport::local_addr`]).
+    pub listen: String,
+    /// Neighbor addresses; may also be supplied later with
+    /// [`TcpTransport::set_peer`].
+    pub peers: BTreeMap<NodeId, String>,
+    /// Wall-clock duration of one round.
+    pub round: Duration,
+    /// Per-attempt connect (and handshake-read) timeout.
+    pub connect_timeout: Duration,
+    /// Budget for the start barrier: every neighbor connected in both
+    /// directions, or [`NetError::StartTimeout`].
+    pub start_timeout: Duration,
+    /// First reconnect backoff; doubles per attempt.
+    pub retry_base: Duration,
+    /// Backoff cap.
+    pub retry_cap: Duration,
+    /// Connection attempts per outage before the peer is declared lost.
+    pub max_retries: u32,
+    /// Bounded outbox depth per peer (backpressure for the runner).
+    pub outbox_depth: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            peers: BTreeMap::new(),
+            round: Duration::from_millis(20),
+            connect_timeout: Duration::from_secs(1),
+            start_timeout: Duration::from_secs(20),
+            retry_base: Duration::from_millis(25),
+            retry_cap: Duration::from_millis(400),
+            max_retries: 5,
+            outbox_depth: 256,
+        }
+    }
+}
+
+/// Shaping offsets beyond this are clamped; far larger than any round
+/// cap a wall-clocked run can reach anyway.
+const MAX_OFFSET: Duration = Duration::from_secs(86_400);
+
+fn round_offset(round_len: Duration, rounds: u128) -> Duration {
+    let nanos = round_len.as_nanos().saturating_mul(rounds);
+    let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+    Duration::from_nanos(nanos).min(MAX_OFFSET)
+}
+
+#[derive(Default)]
+struct StatsAtomics {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+enum PeerEvent {
+    Frame(NodeId, Frame),
+    InboundUp(NodeId),
+    OutboundUp(NodeId),
+    Lost(PeerLoss),
+}
+
+struct OutMsg {
+    deadline: Option<Instant>,
+    bytes: Vec<u8>,
+}
+
+/// State shared between the transport and its I/O threads.
+struct Shared {
+    local: NodeId,
+    n: u32,
+    topology_hash: u64,
+    neighbors: Vec<NodeId>,
+    shutdown: AtomicBool,
+    stats: StatsAtomics,
+    events: Sender<PeerEvent>,
+    /// Inbound sockets, registered so `shutdown` can unblock readers.
+    inbound: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn hello(&self) -> Frame {
+        Frame::Hello {
+            node: self.local,
+            n: self.n,
+            topology_hash: self.topology_hash,
+        }
+    }
+
+    /// Validates a peer's handshake; returns the peer id.
+    fn check_hello(&self, frame: &Frame, expect: Option<NodeId>) -> Result<NodeId, String> {
+        let Frame::Hello {
+            node,
+            n,
+            topology_hash,
+        } = frame
+        else {
+            return Err("first frame was not a handshake".to_owned());
+        };
+        if *n != self.n || *topology_hash != self.topology_hash {
+            return Err(format!(
+                "topology mismatch: peer has n={n} hash={topology_hash:#x}, \
+                 local n={} hash={:#x}",
+                self.n, self.topology_hash
+            ));
+        }
+        if let Some(want) = expect {
+            if *node != want {
+                return Err(format!(
+                    "connected to node {} but expected {}",
+                    node.index(),
+                    want.index()
+                ));
+            }
+        } else if !self.neighbors.contains(node) {
+            return Err(format!("node {} is not a neighbor", node.index()));
+        }
+        Ok(*node)
+    }
+}
+
+/// Reads one frame from a stream, accumulating into `buf` (which may
+/// retain a partial next frame between calls). `Ok(None)` is a clean EOF
+/// at a frame boundary.
+fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<Option<(Frame, u64)>> {
+    let mut chunk = [0_u8; 8192];
+    loop {
+        match Frame::decode(buf) {
+            Ok((frame, used)) => {
+                buf.drain(..used);
+                let used = u64::try_from(used).expect("frame size fits u64");
+                return Ok(Some((frame, used)));
+            }
+            Err(CodecError::Truncated { .. }) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+        }
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(std::io::ErrorKind::UnexpectedEof.into())
+            };
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    }
+}
+
+const IO_THREAD_STACK: usize = 128 * 1024;
+
+fn spawn_io(name: String, f: impl FnOnce() + Send + 'static) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(name)
+        .stack_size(IO_THREAD_STACK)
+        .spawn(f)
+}
+
+/// A [`Transport`] over real TCP sockets.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    config: TcpConfig,
+    listener: Option<TcpListener>,
+    listen_addr: SocketAddr,
+    events: Receiver<PeerEvent>,
+    outboxes: BTreeMap<NodeId, SyncSender<OutMsg>>,
+    /// Events that arrived while the start barrier was still forming
+    /// (a peer whose barrier completed first may send round-0 frames).
+    buffered: VecDeque<NetEvent>,
+    epoch: Option<Instant>,
+    lost: BTreeSet<NodeId>,
+    threads: Vec<JoinHandle<()>>,
+    down: bool,
+}
+
+impl TcpTransport {
+    /// Binds the listener (so ephemeral ports can be read back and
+    /// shared *before* anyone dials) without starting any I/O.
+    pub fn bind(
+        local: NodeId,
+        n: u32,
+        topology_hash: u64,
+        neighbors: Vec<NodeId>,
+        config: TcpConfig,
+    ) -> Result<TcpTransport, NetError> {
+        let listener = TcpListener::bind(config.listen.as_str())?;
+        let listen_addr = listener.local_addr()?;
+        let (events_tx, events_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            local,
+            n,
+            topology_hash,
+            neighbors,
+            shutdown: AtomicBool::new(false),
+            stats: StatsAtomics::default(),
+            events: events_tx,
+            inbound: Mutex::new(Vec::new()),
+        });
+        Ok(TcpTransport {
+            shared,
+            config,
+            listener: Some(listener),
+            listen_addr,
+            events: events_rx,
+            outboxes: BTreeMap::new(),
+            buffered: VecDeque::new(),
+            epoch: None,
+            lost: BTreeSet::new(),
+            threads: Vec::new(),
+            down: false,
+        })
+    }
+
+    /// Convenience constructor: neighbors, node count, and topology hash
+    /// taken from `graph`.
+    pub fn for_graph(
+        graph: &Graph,
+        local: NodeId,
+        config: TcpConfig,
+    ) -> Result<TcpTransport, NetError> {
+        let n = u32::try_from(graph.node_count())
+            .map_err(|_| NetError::ProtocolViolation("node count exceeds u32".to_owned()))?;
+        TcpTransport::bind(
+            local,
+            n,
+            graph.topology_hash(),
+            graph.neighbor_ids(local).to_vec(),
+            config,
+        )
+    }
+
+    /// The bound listen address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> String {
+        self.listen_addr.to_string()
+    }
+
+    /// Registers (or replaces) a neighbor's address.
+    pub fn set_peer(&mut self, peer: NodeId, addr: String) {
+        self.config.peers.insert(peer, addr);
+    }
+
+    fn drain_events(&mut self) -> Vec<NetEvent> {
+        let mut out: Vec<NetEvent> = self.buffered.drain(..).collect();
+        while let Ok(event) = self.events.try_recv() {
+            if let Some(e) = self.admit(event) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    fn admit(&mut self, event: PeerEvent) -> Option<NetEvent> {
+        match event {
+            PeerEvent::Frame(from, frame) => Some(NetEvent::Frame { from, frame }),
+            PeerEvent::Lost(loss) => {
+                if self.lost.insert(loss.peer) {
+                    Some(NetEvent::PeerLost(loss))
+                } else {
+                    None
+                }
+            }
+            PeerEvent::InboundUp(_) | PeerEvent::OutboundUp(_) => None,
+        }
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the outboxes lets writers flush their queues and exit.
+        self.outboxes.clear();
+        // Wake the acceptor with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(200));
+        // Unblock readers parked in `read`.
+        if let Ok(socks) = self.shared.inbound.lock() {
+            for s in socks.iter() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.listener = None;
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local(&self) -> NodeId {
+        self.shared.local
+    }
+
+    fn start(&mut self) -> Result<(), NetError> {
+        let listener = self
+            .listener
+            .as_ref()
+            .ok_or_else(|| NetError::ProtocolViolation("transport already shut down".to_owned()))?
+            .try_clone()?;
+        let shared = Arc::clone(&self.shared);
+        self.threads.push(spawn_io(
+            format!("acceptor-{}", self.shared.local.index()),
+            move || acceptor_loop(&listener, &shared),
+        )?);
+        let neighbors = self.shared.neighbors.clone();
+        for peer in neighbors {
+            let addr = self
+                .config
+                .peers
+                .get(&peer)
+                .ok_or(NetError::UnknownPeer(peer))?;
+            let addr: SocketAddr = addr
+                .parse()
+                .map_err(|_| NetError::BadAddress(addr.clone()))?;
+            let (tx, rx) = mpsc::sync_channel(self.config.outbox_depth);
+            self.outboxes.insert(peer, tx);
+            let shared = Arc::clone(&self.shared);
+            let config = self.config.clone();
+            self.threads.push(spawn_io(
+                format!("writer-{}-{}", self.shared.local.index(), peer.index()),
+                move || writer_loop(&shared, peer, addr, &config, &rx),
+            )?);
+        }
+        // Start barrier: both directions up (or conclusively lost) for
+        // every neighbor.
+        let deadline = Instant::now() + self.config.start_timeout;
+        let mut inbound_up: BTreeSet<NodeId> = BTreeSet::new();
+        let mut outbound_up: BTreeSet<NodeId> = BTreeSet::new();
+        let settled = |up: &BTreeSet<NodeId>, lost: &BTreeSet<NodeId>, all: &[NodeId]| {
+            all.iter().all(|v| up.contains(v) || lost.contains(v))
+        };
+        loop {
+            let neighbors = &self.shared.neighbors;
+            if settled(&inbound_up, &self.lost, neighbors)
+                && settled(&outbound_up, &self.lost, neighbors)
+            {
+                break;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|w| !w.is_zero())
+            else {
+                let waiting: Vec<NodeId> = self
+                    .shared
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|v| {
+                        !(self.lost.contains(v)
+                            || inbound_up.contains(v) && outbound_up.contains(v))
+                    })
+                    .collect();
+                return Err(NetError::StartTimeout { waiting });
+            };
+            match self.events.recv_timeout(wait) {
+                Ok(PeerEvent::InboundUp(v)) => {
+                    inbound_up.insert(v);
+                }
+                Ok(PeerEvent::OutboundUp(v)) => {
+                    outbound_up.insert(v);
+                }
+                Ok(other) => {
+                    if let Some(e) = self.admit(other) {
+                        self.buffered.push_back(e);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::ProtocolViolation(
+                        "event channel closed during start".to_owned(),
+                    ));
+                }
+            }
+        }
+        self.epoch = Some(Instant::now());
+        Ok(())
+    }
+
+    fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError> {
+        if !self.shared.neighbors.contains(&to) {
+            return Err(NetError::UnknownPeer(to));
+        }
+        if self.lost.contains(&to) {
+            return Ok(());
+        }
+        let deadline = if matches!(frame, Frame::Reply { .. }) {
+            // Half a round before the receiver needs it (see module
+            // docs); requests and control frames go out immediately.
+            let epoch = self
+                .epoch
+                .ok_or_else(|| NetError::ProtocolViolation("send before start".to_owned()))?;
+            let offset = round_offset(self.config.round, u128::from(release))
+                .saturating_sub(self.config.round / 2);
+            Some(epoch + offset)
+        } else {
+            None
+        };
+        let bytes = frame.encode();
+        if let Some(outbox) = self.outboxes.get(&to) {
+            // A send error means the writer exited after reporting the
+            // peer lost; the loss event is (or will be) in the queue.
+            let _ = outbox.send(OutMsg { deadline, bytes });
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self, round: Round) -> Result<Vec<NetEvent>, NetError> {
+        let epoch = self
+            .epoch
+            .ok_or_else(|| NetError::ProtocolViolation("poll before start".to_owned()))?;
+        let target = epoch + round_offset(self.config.round, u128::from(round));
+        let now = Instant::now();
+        if let Some(wait) = target.checked_duration_since(now).filter(|w| !w.is_zero()) {
+            std::thread::sleep(wait);
+        }
+        Ok(self.drain_events())
+    }
+
+    fn stats(&self) -> TransportStats {
+        let s = &self.shared.stats;
+        TransportStats {
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(shared);
+        let name = format!("reader-{}", shared.local.index());
+        // A failed spawn or a bad handshake just drops the connection;
+        // the dialer retries within its own budget.
+        let _ = spawn_io(name, move || inbound_loop(stream, &shared));
+    }
+}
+
+/// Handshakes an accepted connection, then pumps its frames as events.
+fn inbound_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let mut buf = Vec::new();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(Some((first, _))) = read_frame(&mut stream, &mut buf) else {
+        return;
+    };
+    if !matches!(first, Frame::Hello { .. }) {
+        return;
+    }
+    // Answer with our own Hello *before* validating, so a mismatched
+    // dialer can read it, diagnose the topology difference on its side,
+    // and fail fast instead of retrying a hopeless connection.
+    if stream.write_all(&shared.hello().encode()).is_err() {
+        return;
+    }
+    let Ok(peer) = shared.check_hello(&first, None) else {
+        return; // topology mismatch or stranger: refuse to pair
+    };
+    let _ = stream.set_read_timeout(None);
+    if let Ok(clone) = stream.try_clone() {
+        if let Ok(mut socks) = shared.inbound.lock() {
+            socks.push(clone);
+        }
+    }
+    if shared.events.send(PeerEvent::InboundUp(peer)).is_err() {
+        return;
+    }
+    // Exits on EOF (peer closed), corruption, or a dropped receiver.
+    while let Ok(Some((frame, bytes))) = read_frame(&mut stream, &mut buf) {
+        shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .bytes_received
+            .fetch_add(bytes, Ordering::Relaxed);
+        if shared.events.send(PeerEvent::Frame(peer, frame)).is_err() {
+            break;
+        }
+    }
+}
+
+/// One reconnect budget's worth of dial + handshake attempts.
+fn establish(
+    shared: &Arc<Shared>,
+    peer: NodeId,
+    addr: SocketAddr,
+    config: &TcpConfig,
+) -> Result<TcpStream, PeerLoss> {
+    let mut last_error = "no attempts made".to_owned();
+    for attempt in 0..config.max_retries.max(1) {
+        if attempt > 0 {
+            let backoff = config
+                .retry_base
+                .saturating_mul(1_u32 << attempt.min(16))
+                .min(config.retry_cap);
+            std::thread::sleep(backoff);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(PeerLoss {
+                peer,
+                attempts: attempt,
+                error: "local shutdown".to_owned(),
+            });
+        }
+        match try_dial(shared, peer, addr, config) {
+            Ok(stream) => return Ok(stream),
+            Err(DialError::Mismatch(why)) => {
+                // A reachable peer on a different topology will not
+                // change its mind: fail fast instead of retrying.
+                return Err(PeerLoss {
+                    peer,
+                    attempts: attempt + 1,
+                    error: why,
+                });
+            }
+            Err(DialError::Io(e)) => last_error = e.to_string(),
+        }
+    }
+    Err(PeerLoss {
+        peer,
+        attempts: config.max_retries.max(1),
+        error: last_error,
+    })
+}
+
+enum DialError {
+    Io(std::io::Error),
+    Mismatch(String),
+}
+
+fn try_dial(
+    shared: &Arc<Shared>,
+    peer: NodeId,
+    addr: SocketAddr,
+    config: &TcpConfig,
+) -> Result<TcpStream, DialError> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(DialError::Io)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(config.connect_timeout))
+        .map_err(DialError::Io)?;
+    stream
+        .write_all(&shared.hello().encode())
+        .map_err(DialError::Io)?;
+    let mut buf = Vec::new();
+    let answer = read_frame(&mut stream, &mut buf).map_err(DialError::Io)?;
+    let Some((frame, _)) = answer else {
+        return Err(DialError::Mismatch(
+            "peer closed the connection during handshake".to_owned(),
+        ));
+    };
+    shared
+        .check_hello(&frame, Some(peer))
+        .map_err(DialError::Mismatch)?;
+    let _ = stream.set_read_timeout(None);
+    Ok(stream)
+}
+
+/// Drains a peer's outbox in deadline order, reconnecting on failure.
+fn writer_loop(
+    shared: &Arc<Shared>,
+    peer: NodeId,
+    addr: SocketAddr,
+    config: &TcpConfig,
+    rx: &Receiver<OutMsg>,
+) {
+    let mut stream = match establish(shared, peer, addr, config) {
+        Ok(s) => s,
+        Err(loss) => {
+            let _ = shared.events.send(PeerEvent::Lost(loss));
+            while rx.recv().is_ok() {} // keep senders from blocking
+            return;
+        }
+    };
+    let _ = shared.events.send(PeerEvent::OutboundUp(peer));
+    let mut queue: BTreeMap<(Instant, u64), Vec<u8>> = BTreeMap::new();
+    let mut next = 0_u64;
+    let mut open = true;
+    loop {
+        // Write everything due (everything at all, once the channel has
+        // closed: final flush ignores shaping — receivers' hold queues
+        // enforce round timing regardless).
+        while let Some(entry) = queue.first_entry() {
+            let &(deadline, _) = entry.key();
+            if open {
+                let now = Instant::now();
+                if deadline > now {
+                    break;
+                }
+            }
+            let bytes = entry.remove();
+            loop {
+                match stream.write_all(&bytes) {
+                    Ok(()) => break,
+                    Err(_) => match establish(shared, peer, addr, config) {
+                        Ok(s) => stream = s,
+                        Err(loss) => {
+                            let _ = shared.events.send(PeerEvent::Lost(loss));
+                            while rx.recv().is_ok() {}
+                            return;
+                        }
+                    },
+                }
+            }
+            shared.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .bytes_sent
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        if !open && queue.is_empty() {
+            break;
+        }
+        let received = if let Some((&(deadline, _), _)) = queue.first_key_value() {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    open = false;
+                    None
+                }
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => {
+                    open = false;
+                    None
+                }
+            }
+        };
+        if let Some(msg) = received {
+            let at = msg.deadline.unwrap_or_else(Instant::now);
+            queue.insert((at, next), msg.bytes);
+            next += 1;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Runs a whole cluster over localhost TCP, one OS thread per node, and
+/// returns every node's outcome in node order.
+///
+/// Listeners are bound on ephemeral loopback ports first, then the
+/// address map is exchanged, then every node runs
+/// [`NetRunner::run`] with the given local done predicate. The call is
+/// bounded: the start barrier by [`TcpConfig::start_timeout`], the run
+/// by `config.max_rounds` wall-clock rounds.
+///
+/// # Panics
+///
+/// Panics if a node thread panics or the platform refuses to spawn
+/// threads.
+pub fn run_local_cluster<P, F, D>(
+    graph: &Graph,
+    config: &SimConfig,
+    tcp: &TcpConfig,
+    mut factory: F,
+    done: D,
+) -> Result<Vec<NodeOutcome<P>>, NetError>
+where
+    P: Protocol + Send,
+    P::Payload: Send,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    D: Fn(&P, &RunView<'_>) -> bool + Sync,
+{
+    let n = graph.node_count();
+    let mut transports = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = NodeId::new(i);
+        let mut cfg = tcp.clone();
+        cfg.listen = "127.0.0.1:0".to_owned();
+        transports.push(TcpTransport::for_graph(graph, node, cfg)?);
+    }
+    let addrs: Vec<String> = transports.iter().map(TcpTransport::local_addr).collect();
+    for (i, t) in transports.iter_mut().enumerate() {
+        for &v in graph.neighbor_ids(NodeId::new(i)) {
+            t.set_peer(v, addrs[v.index()].clone());
+        }
+    }
+    let mut protocols = Vec::with_capacity(n);
+    for i in 0..n {
+        protocols.push(factory(NodeId::new(i), n));
+    }
+    let done = &done;
+    let results: Vec<Result<NodeOutcome<P>, NetError>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, (transport, protocol)) in transports.into_iter().zip(protocols).enumerate() {
+            let node = NodeId::new(i);
+            let handle = std::thread::Builder::new()
+                .name(format!("node-{i}"))
+                .stack_size(256 * 1024)
+                .spawn_scoped(s, move || {
+                    NetRunner::new(graph, node, protocol, config, transport).run(done)
+                })
+                .expect("spawn node thread");
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}

@@ -1,0 +1,95 @@
+//! The [`Transport`] abstraction: framed, round-paced message movement.
+//!
+//! A transport moves encoded [`Frame`]s between nodes and paces the
+//! local node's rounds. It does **not** interpret round semantics — the
+//! [`NetRunner`](crate::NetRunner) decides *when* a frame may be applied
+//! (the `release` round passed to [`Transport::send`]); the transport
+//! only promises the frame is available to the receiver's
+//! [`poll`](Transport::poll) no later than that round. The runner's
+//! hold queues then enforce exact-round application regardless of
+//! arrival jitter, which is why the same driver code is exact over the
+//! virtual-clock loopback and merely *faithful* over TCP.
+
+use gossip_sim::Round;
+use latency_graph::NodeId;
+
+use crate::error::{NetError, PeerLoss};
+use crate::wire::Frame;
+
+/// Counters kept by every transport endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames handed to the wire (after successful write, for TCP).
+    pub frames_sent: u64,
+    /// Bytes handed to the wire, headers included.
+    pub bytes_sent: u64,
+    /// Frames received and decoded.
+    pub frames_received: u64,
+    /// Bytes received, headers included.
+    pub bytes_received: u64,
+}
+
+impl TransportStats {
+    /// Adds `other`'s counters into `self` (for cluster-wide totals).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+/// Something a [`Transport::poll`] call can hand back to the runner.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A decoded frame from a peer.
+    Frame {
+        /// The sending node.
+        from: NodeId,
+        /// The frame.
+        frame: Frame,
+    },
+    /// The transport exhausted its retry budget for a peer. Delivered at
+    /// most once per peer; the runner reroutes around the loss.
+    PeerLost(PeerLoss),
+}
+
+/// A framed, round-paced link layer.
+///
+/// Contract, in the order the runner exercises it:
+///
+/// 1. [`start`](Transport::start) — bring up connections and block until
+///    the start barrier holds (every neighbor connected both ways), or
+///    fail with [`NetError::StartTimeout`].
+/// 2. [`poll(round)`](Transport::poll) — block until `round` has begun
+///    on the local clock (wall clock for TCP, no-op for loopback), then
+///    return everything that has arrived. Calling it again with the
+///    same round must not block again: the second call is the
+///    non-blocking drain the runner uses at the end of a round to answer
+///    freshly arrived requests.
+/// 3. [`send(release, to, frame)`](Transport::send) — queue `frame` so
+///    the receiver can observe it in its poll of round `release` (or
+///    later; never earlier than the transport can help). Sending to a
+///    peer already reported lost is a silent no-op.
+/// 4. [`shutdown`](Transport::shutdown) — release sockets and threads;
+///    idempotent.
+pub trait Transport {
+    /// The node this endpoint belongs to.
+    fn local(&self) -> NodeId;
+
+    /// Brings the transport up; blocks until the start barrier holds.
+    fn start(&mut self) -> Result<(), NetError>;
+
+    /// Queues `frame` for `to`, observable in `to`'s poll of round
+    /// `release` at the earliest.
+    fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError>;
+
+    /// Blocks until `round` has begun locally, then drains arrivals.
+    fn poll(&mut self, round: Round) -> Result<Vec<NetEvent>, NetError>;
+
+    /// This endpoint's traffic counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Tears the endpoint down; idempotent.
+    fn shutdown(&mut self);
+}

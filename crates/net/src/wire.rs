@@ -1,0 +1,463 @@
+//! Length-prefixed binary wire codec.
+//!
+//! Every frame is an 8-byte header followed by a body:
+//!
+//! ```text
+//! +-------+---------+------+-------+--------------------+
+//! | magic | version | kind | flags | body_len (u32 LE)  |
+//! +-------+---------+------+-------+--------------------+
+//! | body: body_len bytes                                |
+//! +-----------------------------------------------------+
+//! ```
+//!
+//! All multi-byte integers are little-endian. The `flags` byte is
+//! reserved and must be zero. Bodies are capped at [`MAX_BODY`] so a
+//! corrupt or hostile length prefix cannot make a reader allocate
+//! unboundedly. Decoding is panic-free: every malformed input maps to a
+//! typed [`CodecError`], and a short buffer maps to
+//! [`CodecError::Truncated`] with the byte count the reader should wait
+//! for — which is what makes the stream-reassembly loop in the TCP
+//! reader a two-line match.
+
+use gossip_sim::{Round, RumorSet, SharedRumorSet};
+use latency_graph::NodeId;
+
+use crate::error::CodecError;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xA7;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Maximum body length the codec will emit or accept (1 MiB).
+pub const MAX_BODY: u32 = 1 << 20;
+
+const KIND_HELLO: u8 = 0;
+const KIND_REQUEST: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const KIND_DONE: u8 = 3;
+const KIND_BYE: u8 = 4;
+
+/// A protocol frame.
+///
+/// `Request`/`Reply` carry opaque payload bytes produced by
+/// [`WirePayload`]; the codec does not interpret them beyond the length
+/// cap, so any protocol payload can travel through unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: sent once by each side of a new connection.
+    /// Both sides validate that `n` and `topology_hash` match their own
+    /// view before exchanging any other frame, so two processes started
+    /// against different topologies refuse to pair up.
+    Hello {
+        /// The sender's node id.
+        node: NodeId,
+        /// Number of nodes in the sender's topology.
+        n: u32,
+        /// [`latency_graph::Graph::topology_hash`] of the sender's graph.
+        topology_hash: u64,
+    },
+    /// An exchange initiation: "here is my payload snapshot, taken at
+    /// `round`; send me yours". `seq` is unique per initiator and echoed
+    /// by the matching [`Frame::Reply`].
+    Request {
+        /// Initiator-local sequence number.
+        seq: u64,
+        /// The round the exchange was initiated.
+        round: Round,
+        /// Encoded payload snapshot.
+        payload: Vec<u8>,
+    },
+    /// The responder's half of an exchange: its payload snapshot, taken
+    /// when the request was answered (semantically, during the same
+    /// round the request was sent — see DESIGN.md §11).
+    Reply {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Echo of the request's initiation round.
+        round: Round,
+        /// Encoded payload snapshot.
+        payload: Vec<u8>,
+    },
+    /// The sender's local done-predicate became true at `round`
+    /// (distributed stop barrier, TCP runtime only).
+    Done {
+        /// Round at which the sender turned done.
+        round: Round,
+    },
+    /// The sender is exiting; no further frames will follow. Initiations
+    /// toward a departed peer are counted lost, not sent.
+    Bye,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Request { .. } => KIND_REQUEST,
+            Frame::Reply { .. } => KIND_REPLY,
+            Frame::Done { .. } => KIND_DONE,
+            Frame::Bye => KIND_BYE,
+        }
+    }
+
+    /// Serializes the frame, appending to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body would exceed [`MAX_BODY`] — payloads that
+    /// large indicate a protocol bug, not an I/O condition.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&[MAGIC, VERSION, self.kind(), 0, 0, 0, 0, 0]);
+        match self {
+            Frame::Hello {
+                node,
+                n,
+                topology_hash,
+            } => {
+                out.extend_from_slice(&u32::from(*node).to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(&topology_hash.to_le_bytes());
+            }
+            Frame::Request {
+                seq,
+                round,
+                payload,
+            }
+            | Frame::Reply {
+                seq,
+                round,
+                payload,
+            } => {
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Frame::Done { round } => out.extend_from_slice(&round.to_le_bytes()),
+            Frame::Bye => {}
+        }
+        let body_len = out.len() - header_at - HEADER_LEN;
+        let body_len = u32::try_from(body_len).expect("frame body fits u32");
+        assert!(body_len <= MAX_BODY, "frame body exceeds MAX_BODY");
+        out[header_at + 4..header_at + HEADER_LEN].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// Serializes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the frame
+    /// and the number of bytes consumed.
+    ///
+    /// A buffer holding a partial frame yields [`CodecError::Truncated`]
+    /// whose `need` field says how many bytes would allow progress;
+    /// stream readers accumulate until then and retry. Every other error
+    /// is a permanent rejection of the stream.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+        if buf.len() < HEADER_LEN {
+            return Err(CodecError::Truncated {
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        if buf[0] != MAGIC {
+            return Err(CodecError::BadMagic(buf[0]));
+        }
+        if buf[1] != VERSION {
+            return Err(CodecError::BadVersion(buf[1]));
+        }
+        let kind = buf[2];
+        if buf[3] != 0 {
+            return Err(CodecError::BadBody("nonzero flags byte"));
+        }
+        let body_len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if body_len > MAX_BODY {
+            return Err(CodecError::Oversized {
+                len: body_len,
+                max: MAX_BODY,
+            });
+        }
+        let total = HEADER_LEN + body_len as usize;
+        if buf.len() < total {
+            return Err(CodecError::Truncated {
+                need: total,
+                have: buf.len(),
+            });
+        }
+        let mut body = Reader::new(&buf[HEADER_LEN..total]);
+        let frame = match kind {
+            KIND_HELLO => {
+                let node = NodeId::from(body.u32()?);
+                let n = body.u32()?;
+                let topology_hash = body.u64()?;
+                Frame::Hello {
+                    node,
+                    n,
+                    topology_hash,
+                }
+            }
+            KIND_REQUEST | KIND_REPLY => {
+                let seq = body.u64()?;
+                let round = body.u64()?;
+                let payload = body.rest().to_vec();
+                if kind == KIND_REQUEST {
+                    Frame::Request {
+                        seq,
+                        round,
+                        payload,
+                    }
+                } else {
+                    Frame::Reply {
+                        seq,
+                        round,
+                        payload,
+                    }
+                }
+            }
+            KIND_DONE => Frame::Done { round: body.u64()? },
+            KIND_BYE => Frame::Bye,
+            other => return Err(CodecError::UnknownKind(other)),
+        };
+        body.finish()?;
+        Ok((frame, total))
+    }
+}
+
+/// Cursor over a frame body; every read is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(CodecError::BadBody("body length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CodecError::BadBody("body shorter than its kind requires"));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::BadBody("trailing bytes in body"))
+        }
+    }
+}
+
+/// Serialization of a protocol payload for `Request`/`Reply` bodies.
+///
+/// The encoding must be *lossless with respect to protocol semantics*:
+/// decoding an encoded payload must yield a value that every protocol
+/// callback treats identically to the original. That property is what
+/// lets the loopback runtime reproduce simulator executions exactly even
+/// though payloads make a round trip through bytes (DESIGN.md §11).
+pub trait WirePayload: Sized {
+    /// Appends the payload's encoding to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decodes a payload previously produced by
+    /// [`encode_payload`](WirePayload::encode_payload). Malformed input
+    /// yields a typed error, never a panic.
+    fn decode_payload(bytes: &[u8]) -> Result<Self, CodecError>;
+}
+
+impl WirePayload for RumorSet {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        let universe = u32::try_from(self.universe()).expect("rumor universe fits u32");
+        out.extend_from_slice(&universe.to_le_bytes());
+        for word in self.as_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Result<RumorSet, CodecError> {
+        let mut r = Reader::new(bytes);
+        let universe = r.u32()? as usize;
+        let expect_words = universe.div_ceil(64);
+        let mut words = Vec::with_capacity(expect_words);
+        for _ in 0..expect_words {
+            words.push(r.u64()?);
+        }
+        r.finish()?;
+        RumorSet::from_words(universe, words).ok_or(CodecError::BadBody(
+            "rumor words inconsistent with universe",
+        ))
+    }
+}
+
+impl WirePayload for SharedRumorSet {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        let set: &RumorSet = self;
+        set.encode_payload(out);
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Result<SharedRumorSet, CodecError> {
+        RumorSet::decode_payload(bytes).map(SharedRumorSet::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                node: NodeId::new(3),
+                n: 64,
+                topology_hash: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Frame::Request {
+                seq: 1,
+                round: 0,
+                payload: vec![],
+            },
+            Frame::Reply {
+                seq: u64::MAX,
+                round: u64::MAX,
+                payload: vec![0xFF; 129],
+            },
+            Frame::Done { round: 7 },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in frames() {
+            let bytes = frame.encode();
+            let (back, used) = Frame::decode(&bytes).expect("round trip decodes");
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_reassembles() {
+        let mut stream = Vec::new();
+        for frame in frames() {
+            frame.encode_into(&mut stream);
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while at < stream.len() {
+            let (frame, used) = Frame::decode(&stream[at..]).expect("frame at offset decodes");
+            seen.push(frame);
+            at += used;
+        }
+        assert_eq!(seen, frames());
+    }
+
+    #[test]
+    fn truncated_says_how_much_more() {
+        let bytes = Frame::Done { round: 9 }.encode();
+        for cut in 0..bytes.len() {
+            let err = Frame::decode(&bytes[..cut]).expect_err("partial frame rejected");
+            let CodecError::Truncated { need, have } = err else {
+                panic!("expected Truncated, got {err:?}");
+            };
+            assert_eq!(have, cut);
+            assert!(need > cut && need <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn garbage_is_typed_not_panicking() {
+        assert_eq!(Frame::decode(&[0x00; 16]), Err(CodecError::BadMagic(0x00)));
+        let mut bad_version = Frame::Bye.encode();
+        bad_version[1] = 9;
+        assert_eq!(Frame::decode(&bad_version), Err(CodecError::BadVersion(9)));
+        let mut bad_kind = Frame::Bye.encode();
+        bad_kind[2] = 77;
+        assert_eq!(Frame::decode(&bad_kind), Err(CodecError::UnknownKind(77)));
+        let mut oversized = Frame::Bye.encode();
+        oversized[4..8].copy_from_slice(&(MAX_BODY + 1).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&oversized),
+            Err(CodecError::Oversized {
+                len: MAX_BODY + 1,
+                max: MAX_BODY
+            })
+        );
+        let mut flagged = Frame::Bye.encode();
+        flagged[3] = 1;
+        assert!(matches!(
+            Frame::decode(&flagged),
+            Err(CodecError::BadBody(_))
+        ));
+    }
+
+    #[test]
+    fn short_or_long_bodies_rejected() {
+        // A Done frame whose body claims 4 bytes: too short for a u64.
+        let mut short = vec![MAGIC, VERSION, 3, 0, 4, 0, 0, 0];
+        short.extend_from_slice(&[0; 4]);
+        assert!(matches!(Frame::decode(&short), Err(CodecError::BadBody(_))));
+        // A Bye frame with a nonempty body: trailing bytes.
+        let mut long = vec![MAGIC, VERSION, 4, 0, 2, 0, 0, 0];
+        long.extend_from_slice(&[0; 2]);
+        assert!(matches!(Frame::decode(&long), Err(CodecError::BadBody(_))));
+    }
+
+    #[test]
+    fn rumor_payload_round_trips() {
+        let mut set = RumorSet::singleton(100, NodeId::new(0));
+        set.insert(NodeId::new(63));
+        set.insert(NodeId::new(64));
+        set.insert(NodeId::new(99));
+        let mut bytes = Vec::new();
+        set.encode_payload(&mut bytes);
+        let back = RumorSet::decode_payload(&bytes).expect("payload decodes");
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn rumor_payload_rejects_tail_bits_and_bad_lengths() {
+        // universe 65 → 2 words; claim universe 1 → word-count mismatch.
+        let mut bytes = Vec::new();
+        RumorSet::full(65).encode_payload(&mut bytes);
+        bytes[..4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(RumorSet::decode_payload(&bytes).is_err());
+        // A set bit beyond the universe.
+        let mut tail = Vec::new();
+        RumorSet::new(3).encode_payload(&mut tail);
+        let last = tail.len() - 1;
+        tail[last] = 0x80;
+        assert!(RumorSet::decode_payload(&tail).is_err());
+    }
+}

@@ -112,7 +112,36 @@ pub struct Context<'a> {
     pending: &'a mut Option<(NodeId, u32)>,
 }
 
-impl Context<'_> {
+impl<'a> Context<'a> {
+    /// Crate-internal constructor shared by the engine's round loop and
+    /// the [`pacing`](crate::pacing) contract, so a [`NodePacer`] hands
+    /// protocols a view that is field-for-field the one the simulator
+    /// builds.
+    ///
+    /// [`NodePacer`]: crate::pacing::NodePacer
+    #[allow(clippy::too_many_arguments)] // mirrors the engine's per-node state split
+    pub(crate) fn new(
+        node: NodeId,
+        round: Round,
+        n: usize,
+        size_hint: usize,
+        neighbor_ids: &'a [NodeId],
+        latencies: Option<&'a [Latency]>,
+        rng: &'a mut StdRng,
+        pending: &'a mut Option<(NodeId, u32)>,
+    ) -> Context<'a> {
+        Context {
+            node,
+            round,
+            n,
+            size_hint,
+            neighbor_ids,
+            latencies,
+            rng,
+            pending,
+        }
+    }
+
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.node
@@ -1195,7 +1224,7 @@ fn take_snap<T: Clone>(
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -54,6 +54,7 @@
 
 pub mod engine;
 pub mod faults;
+pub mod pacing;
 pub mod pool;
 pub mod rumor;
 pub mod trace;

@@ -177,6 +177,38 @@ impl RumorSet {
         h
     }
 
+    /// The backing bitset words (little-endian bit order: bit `b` of
+    /// word `w` is node `64w + b`). Exposed for wire encoders that
+    /// serialize the set verbatim; pair with
+    /// [`from_words`](Self::from_words) on the decode side.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set over universe `n` from raw bitset words (the
+    /// inverse of [`as_words`](Self::as_words)). Returns `None` when
+    /// the words cannot encode a valid set: wrong word count for the
+    /// universe, or set bits beyond the universe in the final partial
+    /// word — a decoder must treat that as a malformed message, not a
+    /// panic.
+    pub fn from_words(n: usize, words: Vec<u64>) -> Option<RumorSet> {
+        if words.len() != n.div_ceil(64) {
+            return None;
+        }
+        if let Some(&last) = words.last() {
+            let tail = n % 64;
+            if tail != 0 && last >> tail != 0 {
+                return None;
+            }
+        }
+        let count = words.iter().map(|&w| ones(w)).sum();
+        Some(RumorSet {
+            words,
+            universe: n,
+            count,
+        })
+    }
+
     /// Iterates over the known rumors in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &word)| {
@@ -354,6 +386,12 @@ impl std::ops::Deref for SharedRumorSet {
     }
 }
 
+impl AsRef<RumorSet> for RumorSet {
+    fn as_ref(&self) -> &RumorSet {
+        self
+    }
+}
+
 impl AsRef<RumorSet> for SharedRumorSet {
     fn as_ref(&self) -> &RumorSet {
         &self.inner
@@ -484,6 +522,31 @@ mod tests {
             assert!(n == 0 || filled.is_full());
             assert_eq!(filled.fingerprint(), by_insert.fingerprint());
         }
+    }
+
+    #[test]
+    fn words_round_trip() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let mut s = RumorSet::new(n);
+            for i in (0..n).step_by(3) {
+                s.insert(NodeId::new(i));
+            }
+            let rebuilt = RumorSet::from_words(n, s.as_words().to_vec())
+                .expect("valid words must round-trip");
+            assert_eq!(rebuilt, s, "universe {n}");
+            assert_eq!(rebuilt.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn from_words_rejects_malformed() {
+        // Wrong word count for the universe.
+        assert!(RumorSet::from_words(100, vec![0; 1]).is_none());
+        assert!(RumorSet::from_words(100, vec![0; 3]).is_none());
+        // Bits set beyond the universe in the final partial word.
+        assert!(RumorSet::from_words(10, vec![1 << 10]).is_none());
+        // Exactly the tail bits is fine.
+        assert!(RumorSet::from_words(10, vec![(1 << 10) - 1]).is_some());
     }
 
     #[test]

@@ -108,12 +108,18 @@ impl TraceLog {
     }
 
     /// Events of a specific round.
+    ///
+    /// The engine emits events in nondecreasing round order (every
+    /// event of round `r` — deliveries, initiations, rejections — is
+    /// recorded *during* round `r`), so instead of a linear scan the
+    /// round's contiguous block is located with two
+    /// `partition_point` binary searches over the round bounds:
+    /// O(log E + k) for k matching events.
     pub fn in_round(&self, round: Round) -> Vec<TraceEvent> {
-        self.lock()
-            .iter()
-            .filter(|e| e.round() == round)
-            .cloned()
-            .collect()
+        let events = self.lock();
+        let lo = events.partition_point(|e| e.round() < round);
+        let hi = lo + events[lo..].partition_point(|e| e.round() == round);
+        events[lo..hi].to_vec()
     }
 
     /// Count of delivered exchanges per round, up to and including
@@ -321,6 +327,52 @@ mod tests {
             .count();
         assert_eq!(rejected as u64, out.metrics.rejected);
         assert!(rejected > 0);
+    }
+
+    /// `in_round`'s binary search returns exactly what the old linear
+    /// scan did, on a randomized nondecreasing-round trace covering
+    /// empty rounds, runs of equal rounds, and the extremes.
+    #[test]
+    fn in_round_binary_search_matches_linear_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for trial in 0..50u64 {
+            let log = TraceLog::new();
+            let mut round: Round = 0;
+            let len = rng.random_range(0..200usize);
+            for _ in 0..len {
+                // Advance 0..3 rounds, so rounds repeat and some are
+                // skipped entirely.
+                round += rng.random_range(0..3u64);
+                let from = NodeId::new(rng.random_range(0..8usize));
+                let to = NodeId::new(rng.random_range(0..8usize));
+                let e = match rng.random_range(0..3u8) {
+                    0 => TraceEvent::Initiated { round, from, to },
+                    1 => TraceEvent::Delivered {
+                        round,
+                        a: from,
+                        b: to,
+                        initiated_at: round.saturating_sub(1),
+                    },
+                    _ => TraceEvent::Rejected { round, from, to },
+                };
+                log.push(e);
+            }
+            let events = log.events();
+            for query in 0..=round + 1 {
+                let scan: Vec<TraceEvent> = events
+                    .iter()
+                    .filter(|e| e.round() == query)
+                    .cloned()
+                    .collect();
+                assert_eq!(
+                    log.in_round(query),
+                    scan,
+                    "trial {trial}, round {query} of {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// All rule families, in family order (1–8).
+/// All rule families, in family order (1–9).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism-zone",
@@ -66,6 +66,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "concurrency-confinement",
         summary: "std::thread/std::sync primitives in the determinism zone only via sim::pool (Arc exempt)",
+    },
+    RuleInfo {
+        name: "net-confinement",
+        summary: "std::net socket APIs (TcpStream/TcpListener/UdpSocket) only inside crates/net",
     },
 ];
 
@@ -123,7 +127,12 @@ const DETERMINISM_ZONE: &[&str] = &[
 const CAST_ZONE: &[&str] = &["crates/sim/src/", "crates/core/src/"];
 
 /// Crates whose public API must be fully documented (rule family 5).
-const DOC_ZONE: &[&str] = &["crates/graph/src/", "crates/sim/src/", "crates/core/src/"];
+const DOC_ZONE: &[&str] = &[
+    "crates/graph/src/",
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/net/src/",
+];
 
 /// Library code held to the panic policy (rule family 3). `crates/bench`
 /// is the experiment harness (bench-exempt per the contract);
@@ -135,6 +144,7 @@ const PANIC_ZONE: &[&str] = &[
     "crates/spanner/src/",
     "crates/guessing/src/",
     "crates/cli/src/",
+    "crates/net/src/",
     "crates/xtask/src/",
     "src/",
 ];
@@ -307,6 +317,7 @@ pub fn check_rust_file(path: &str, src: &str) -> Vec<Violation> {
     doc_coverage(path, src, &lexed, &spans, &mut out);
     import_hygiene_source(path, src, &lexed, &mut out);
     concurrency_confinement(path, src, &lexed, &spans, &mut out);
+    net_confinement(path, src, &lexed, &spans, &mut out);
     out
 }
 
@@ -452,6 +463,66 @@ fn concurrency_confinement(
                 path,
                 t.line,
                 "`std::thread` in the determinism zone: spawn workers only via `sim::pool`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Family 9 — net confinement.
+///
+/// Real sockets live in `crates/net` and nowhere else. Everywhere else,
+/// code reaches the network through the `gossip_net::Transport`
+/// abstraction, which is what keeps every protocol runnable over the
+/// deterministic loopback transport (and keeps the loopback equivalence
+/// proof meaningful — see DESIGN.md §11). Test code is exempt: tests may
+/// bind probe listeners to reserve ports or simulate dead peers.
+fn net_confinement(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    /// The crate allowed to own sockets (sources *and* its test trees).
+    const NET_CRATE: &str = "crates/net/";
+    const BANNED: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+    if path.starts_with(NET_CRATE) || is_test_tree(path) {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(spans, i) {
+            continue;
+        }
+        if BANNED.contains(&t.text.as_str()) {
+            push(
+                out,
+                lexed,
+                src,
+                "net-confinement",
+                path,
+                t.line,
+                format!(
+                    "`{}` outside `crates/net`: socket I/O is confined to the gossip-net \
+                     crate; run protocols through its `Transport` API",
+                    t.text
+                ),
+            );
+        }
+        // `std::net::…` in paths/uses, without naming a banned type.
+        if t.text == "std"
+            && is_punct(lexed.toks.get(i + 1), b':')
+            && is_punct(lexed.toks.get(i + 2), b':')
+            && is_ident(lexed.toks.get(i + 3), "net")
+        {
+            push(
+                out,
+                lexed,
+                src,
+                "net-confinement",
+                path,
+                t.line,
+                "`std::net` outside `crates/net`: socket I/O is confined to the gossip-net crate"
                     .to_string(),
             );
         }

@@ -206,6 +206,45 @@ fn concurrency_confinement_pool_module_exempt() {
     assert!(v.is_empty(), "pool.rs must be exempt: {v:?}");
 }
 
+#[test]
+fn net_confinement_bad_fires() {
+    let v = source_findings("net-confinement", "bad.rs");
+    assert!(
+        v.len() >= 4,
+        "expected TcpStream/TcpListener/UdpSocket/std::net findings, got {v:?}"
+    );
+    let msgs: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in ["TcpStream", "TcpListener", "UdpSocket", "std::net"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+}
+
+#[test]
+fn net_confinement_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("net-confinement", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "transport-only code and test sockets must pass all families: {all:?}"
+    );
+}
+
+/// The net crate itself is the sanctioned home for sockets: the same
+/// bad fixture is clean when checked at one of its source paths.
+#[test]
+fn net_confinement_net_crate_exempt() {
+    let v: Vec<_> = check_rust_file(
+        "crates/net/src/tcp.rs",
+        &fixture("net-confinement", "bad.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "net-confinement")
+    .collect();
+    assert!(v.is_empty(), "crates/net must be exempt: {v:?}");
+}
+
 /// Every declared rule family is exercised by at least one fixture
 /// directory of the same name.
 #[test]

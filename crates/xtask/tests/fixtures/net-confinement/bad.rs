@@ -1,0 +1,24 @@
+//! Bad: raw sockets in protocol code. Every socket type and the
+//! `std::net` path itself must be flagged outside `crates/net`.
+
+use std::net::{TcpListener, TcpStream, UdpSocket};
+
+/// Dials a peer directly instead of going through a `Transport`.
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+/// Binds a listener where only the net crate should.
+pub fn listen(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Datagrams count too.
+pub fn datagram(addr: &str) -> std::io::Result<UdpSocket> {
+    UdpSocket::bind(addr)
+}
+
+/// Even a fully-qualified address type drags `std::net` in.
+pub fn parse(addr: &str) -> Option<std::net::SocketAddr> {
+    addr.parse().ok()
+}

@@ -1,0 +1,26 @@
+//! Good: protocol code reaches the network only through an injected
+//! transport, so socket types never appear; test code may bind probe
+//! listeners (e.g. to reserve an ephemeral port).
+
+/// A frame queued for delivery by whichever transport the caller chose.
+pub struct Envelope {
+    /// Destination node index.
+    pub to: usize,
+    /// Encoded frame bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Queues an envelope; the transport (TCP or loopback) is injected by
+/// the caller, keeping this code socket-free and loopback-replayable.
+pub fn enqueue(queue: &mut Vec<Envelope>, to: usize, bytes: Vec<u8>) {
+    queue.push(Envelope { to, bytes });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_sockets() {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe listener");
+        assert!(probe.local_addr().is_ok());
+    }
+}
