@@ -21,6 +21,11 @@
 
 use std::time::Instant;
 
+/// 3 GiB: the 65 536-node cells peak well under 1 GiB; the ceiling
+/// guards against a regression to dense Θ(n)-per-round state or
+/// uncompressed rumor payloads.
+const SMOKE_RSS_CEILING_KB: u64 = 3 * 1024 * 1024;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
@@ -48,7 +53,7 @@ fn main() {
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-analysis | bench-net>\n"
+            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-large-smoke | bench-mode-compare | bench-analysis | bench-net>\n"
         );
         eprintln!("experiments:");
         for (id, what, _) in &registry {
@@ -56,6 +61,10 @@ fn main() {
         }
         eprintln!(
             "  bench-engine    engine throughput baseline -> BENCH_engine.json (--out <file>)"
+        );
+        eprintln!("  bench-large-smoke  frontier large-n smoke (n = 65 536, RSS ceiling asserted)");
+        eprintln!(
+            "  bench-mode-compare  dense vs frontier wall clock on the 65 536-node layered ring"
         );
         eprintln!(
             "  bench-analysis  conductance pipeline baseline -> BENCH_analysis.json (--out <file>)"
@@ -85,6 +94,49 @@ fn main() {
             "bench-engine finished in {:.2?}; wrote {path}\n",
             start.elapsed()
         );
+    }
+
+    if selected.iter().any(|a| a == "bench-large-smoke") {
+        ran += 1;
+        eprintln!(
+            "running bench-large-smoke: frontier flooding at n = {} (RSS ceiling {} kB) …",
+            gossip_bench::engine_bench::LARGE_SIZES[0],
+            SMOKE_RSS_CEILING_KB
+        );
+        let start = Instant::now();
+        let json = gossip_bench::engine_bench::run_large_smoke(SMOKE_RSS_CEILING_KB);
+        print!("{json}");
+        eprintln!(
+            "bench-large-smoke finished in {:.2?}; peak RSS {} kB\n",
+            start.elapsed(),
+            gossip_bench::engine_bench::peak_rss_kb()
+        );
+    }
+
+    if selected.iter().any(|a| a == "bench-mode-compare") {
+        ran += 1;
+        eprintln!(
+            "running bench-mode-compare: dense vs frontier, layered-ring flooding at n = {} …",
+            gossip_bench::engine_bench::LARGE_SIZES[0]
+        );
+        let start = Instant::now();
+        let c = gossip_bench::engine_bench::compare_modes(
+            "layered-ring",
+            "flood",
+            gossip_bench::engine_bench::LARGE_SIZES[0],
+        );
+        println!(
+            "{{\"family\": \"{}\", \"protocol\": \"{}\", \"n\": {}, \"rounds\": {}, \
+             \"dense_secs\": {:.6}, \"frontier_secs\": {:.6}, \"frontier_speedup\": {:.2}}}",
+            c.family,
+            c.protocol,
+            c.n,
+            c.rounds,
+            c.dense_secs,
+            c.frontier_secs,
+            c.speedup()
+        );
+        eprintln!("bench-mode-compare finished in {:.2?}\n", start.elapsed());
     }
 
     if selected.iter().any(|a| a == "bench-analysis") {
@@ -149,7 +201,7 @@ fn main() {
         eprintln!("{id} finished in {elapsed:.2?}\n");
     }
     if ran == 0 {
-        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, bench-analysis, or bench-net");
+        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, bench-large-smoke, bench-analysis, or bench-net");
         std::process::exit(2);
     }
 }

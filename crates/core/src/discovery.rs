@@ -9,7 +9,7 @@
 //! known-latency algorithms (EID) apply — giving the
 //! `O((D + Δ) log³ n)` branch of Theorem 20.
 
-use gossip_sim::{Context, Exchange, Protocol, Round, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Round, Scheduling, SimConfig, Simulator};
 use latency_graph::{Graph, Latency, NodeId};
 
 /// Per-node discovery state.
@@ -22,6 +22,9 @@ pub struct DiscoveryNode {
 }
 
 impl Protocol for DiscoveryNode {
+    // Latency probing pings outstanding neighbors every round.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = ();
 
     fn payload(&self) {}

@@ -24,7 +24,7 @@
 //!   activity decided by `Γ_ℓ(v) ⊆ heard` exactly as `Γ(v)∖R = ∅` in
 //!   the paper.
 
-use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, Scheduling, SimConfig, Simulator};
 use latency_graph::{Graph, Latency, NodeId};
 
 use crate::common::{BroadcastOutcome, Mergeable};
@@ -149,6 +149,10 @@ impl<M: Mergeable> DtgNode<M> {
 }
 
 impl<M: Mergeable> Protocol for DtgNode<M> {
+    // The DTG schedule is clock-driven: each node consults the shared
+    // round counter every round.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = DtgState<M>;
 
     fn payload(&self) -> DtgState<M> {

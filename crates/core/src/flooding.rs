@@ -6,7 +6,7 @@
 //! `Δ` is small, hopeless on high-degree graphs, which is exactly the
 //! gap the paper's algorithms close.
 
-use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Scheduling, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
 
 use crate::common::{BroadcastOutcome, Goal};
@@ -41,6 +41,10 @@ impl FloodingNode {
 }
 
 impl Protocol for FloodingNode {
+    // Dense round-robin flooding initiates every round; the on-demand
+    // counterpart is [`crate::sparse::SparseFloodNode`].
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = SharedRumorSet;
 
     fn payload(&self) -> SharedRumorSet {

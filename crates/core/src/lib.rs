@@ -17,6 +17,7 @@
 //! | [`eid`] | Algorithms 3–4, Theorem 19 | all-to-all in `O(D log³ n)` |
 //! | [`path_discovery`] | Appendix E, Lemmas 24–26 | all-to-all in `O(D log² n log D)`, no `n̂` needed |
 //! | [`discovery`] | Section 4.2 | adjacent-latency discovery in `Õ(D + Δ)` |
+//! | [`sparse`] | Section 1 model at scale | on-demand flooding/push, `O(|E|)` total stepping |
 //! | [`unified`] | Theorem 20 | `min` of the push-pull and spanner pipelines |
 //!
 //! All algorithms are exercised end to end inside the round simulator —
@@ -43,6 +44,7 @@ pub mod flooding;
 pub mod path_discovery;
 pub mod push_pull;
 pub mod rr_broadcast;
+pub mod sparse;
 pub mod superstep;
 pub mod termination;
 pub mod unified;

@@ -15,7 +15,7 @@
 //! pull, a star requires `Ω(n·D)` time, which
 //! [`broadcast`] + [`Mode::PushOnly`] reproduces empirically.
 
-use gossip_sim::{Context, Exchange, Protocol, SharedRumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Scheduling, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
 use rand::Rng as _;
 
@@ -67,6 +67,10 @@ impl PushPullNode {
 }
 
 impl Protocol for PushPullNode {
+    // Every node contacts a uniformly random neighbor each round
+    // (Algorithm 1), so every node is live every round.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = SharedRumorSet;
 
     fn payload(&self) -> SharedRumorSet {

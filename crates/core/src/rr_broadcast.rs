@@ -9,7 +9,7 @@
 //! dissemination (Corollary 16).
 
 use gossip_sim::{
-    Context, Exchange, Protocol, Round, RumorSet, SharedRumorSet, SimConfig, Simulator,
+    Context, Exchange, Protocol, Round, RumorSet, Scheduling, SharedRumorSet, SimConfig, Simulator,
 };
 use latency_graph::{DiGraph, Graph, Latency, NodeId};
 
@@ -35,6 +35,10 @@ impl RrNode {
 }
 
 impl Protocol for RrNode {
+    // Round-robin spanner flooding initiates every round until its
+    // neighbor sweep completes; it predates the wakeup API.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = SharedRumorSet;
 
     fn payload(&self) -> SharedRumorSet {

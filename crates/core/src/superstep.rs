@@ -15,7 +15,7 @@
 //! Provided for the DTG-vs-Superstep ablation (experiment E21) and as a
 //! drop-in [`Mergeable`]-generic local-broadcast primitive.
 
-use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, Scheduling, SimConfig, Simulator};
 use latency_graph::{Graph, Latency, NodeId};
 use rand::Rng as _;
 
@@ -55,6 +55,10 @@ impl<M: Mergeable> SuperstepNode<M> {
 }
 
 impl<M: Mergeable> Protocol for SuperstepNode<M> {
+    // The superstep state machine advances unconditionally each round,
+    // so the node must be stepped every round.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = DtgState<M>;
 
     fn payload(&self) -> DtgState<M> {

@@ -20,7 +20,7 @@
 //! against the central predicate
 //! [`termination_check`](crate::eid::termination_check).
 
-use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, SimConfig, Simulator};
+use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, Scheduling, SimConfig, Simulator};
 use latency_graph::{DiGraph, Graph, NodeId};
 
 /// What a node gossips during the check.
@@ -64,6 +64,9 @@ impl CheckNode {
 }
 
 impl Protocol for CheckNode {
+    // The echo-wave bookkeeping inspects its phase clock each round.
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     type Payload = CheckPayload;
 
     fn payload(&self) -> CheckPayload {

@@ -23,7 +23,9 @@
 
 use gossip_core::flooding::{self, FloodingConfig};
 use gossip_core::push_pull::{self, Mode, PushPullConfig, PushPullNode};
-use gossip_sim::{FaultPlan, Outcome, RumorSet, SimConfig, Simulator};
+use gossip_core::sparse::{self, SparseConfig, SparseOutcome};
+use gossip_sim::{EngineMode, FaultPlan, Outcome, RumorSet, SimConfig, Simulator};
+use latency_graph::generators::layered_ring::{LayeredRing, LayeredRingSpec};
 use latency_graph::generators::{self, extra};
 use latency_graph::{Graph, NodeId};
 
@@ -61,6 +63,35 @@ fn fmt(rounds: u64, m: &gossip_sim::SimMetrics, fingerprint: u64) -> String {
 /// Formats a high-level [`gossip_core::common::BroadcastOutcome`].
 fn fmt_broadcast(o: &gossip_core::common::BroadcastOutcome) -> String {
     fmt(o.rounds, &o.metrics, fold_fingerprints(o.rumors.iter()))
+}
+
+/// Formats a [`SparseOutcome`]; [`CompactRumorSet::fingerprint`] is
+/// bit-identical to the plain bitset's, so the fold matches what an
+/// uncompressed run would pin.
+fn fmt_sparse(o: &SparseOutcome) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in &o.rumors {
+        h ^= s.fingerprint();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    fmt(o.rounds, &o.metrics, h)
+}
+
+/// Runs a sparse one-to-all flood under BOTH engine modes, asserts the
+/// frontier path reproduces the dense path byte for byte, and returns
+/// the (shared) trace. Mode equivalence is thus pinned inside the
+/// golden table itself.
+fn sparse_flood_both_modes(g: &Graph, source: NodeId, threads: usize, seed: u64) -> String {
+    let mk = |mode| SparseConfig {
+        max_rounds: 1_000_000,
+        threads,
+        mode,
+    };
+    let frontier = sparse::flood_broadcast(g, source, &mk(EngineMode::Frontier), seed);
+    let dense = sparse::flood_broadcast(g, source, &mk(EngineMode::Dense), seed);
+    let (f, d) = (fmt_sparse(&frontier), fmt_sparse(&dense));
+    assert_eq!(f, d, "dense and frontier engine modes diverged");
+    f
 }
 
 fn fmt_outcome(out: &Outcome<PushPullNode>) -> String {
@@ -335,6 +366,41 @@ fn cases() -> Vec<Case> {
                     .drop_link(NodeId::new(7), NodeId::new(8), 6)
                     .drop_link(NodeId::new(23), NodeId::new(24), 12);
                 faulty_push_pull(&g, cfg, plan)
+            },
+        },
+        // --- frontier-sparse engine: on-demand flooding with compact
+        //     rumor payloads, pinned under BOTH engine modes (the run
+        //     helper asserts dense ≡ frontier before returning) ---
+        Case {
+            name: "layered_ring_21x48_l512/sparse_flood/seed3",
+            expected: "rounds=1392 initiated=131863 delivered=92166 lost=0 rejected=0 payload_units=155486 fingerprint=e1274af3f72ca815",
+            run: |t| {
+                // The Theorem 8 construction: latency-1 layer cliques,
+                // slow (ℓ = 512) bipartite gadgets, one hidden fast
+                // edge per layer pair. Straggler deliveries on the slow
+                // edges pepper the whole timeline, so this pins the
+                // frontier engine's busy-round path (no calendar gaps);
+                // the 2-node slow-path test in `sparse` pins gap
+                // skipping.
+                let ring = LayeredRing::generate(&LayeredRingSpec {
+                    n: 512,
+                    alpha: 0.0625,
+                    ell: 512,
+                    seed: 3,
+                });
+                sparse_flood_both_modes(&ring.graph, NodeId::new(0), t, 3)
+            },
+        },
+        Case {
+            name: "random_geometric_100k/sparse_flood/seed1",
+            expected: "rounds=707 initiated=1787954 delivered=1787907 lost=0 rejected=0 payload_units=3428047 fingerprint=b533b772e8bf7b25",
+            run: |t| {
+                // 10⁵ nodes: only viable because the engine steps the
+                // O(frontier) active set and payloads stay O(1) words
+                // (one-rumor CompactRumorSet), pinning the sparse path
+                // at scale.
+                let g = generators::random_geometric(100_000, 0.00757, 200.0, 1);
+                sparse_flood_both_modes(&g, NodeId::new(0), t, 1)
             },
         },
     ]

@@ -232,19 +232,63 @@ pub fn connected_erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 ///
 /// Panics if `n == 0`, `radius <= 0`, or `latency_scale <= 0`.
 pub fn random_geometric(n: usize, radius: f64, latency_scale: f64, seed: u64) -> Graph {
+    // Forward half-neighborhood: E, SW, S, SE. Together with the
+    // within-cell scan this covers each adjacent (or equal) cell pair
+    // exactly once.
+    const FORWARD: [(isize, isize); 4] = [(1, 0), (-1, 1), (0, 1), (1, 1)];
     assert!(n > 0, "graph needs at least one node");
     assert!(radius > 0.0, "radius must be positive");
     assert!(latency_scale > 0.0, "latency scale must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
+
+    // Bucket the unit square into a grid of cells with side ≥ `radius`:
+    // any pair within `radius` of each other lies in the same or an
+    // adjacent cell, so scanning each cell against its forward
+    // half-neighborhood visits every candidate pair exactly once.
+    // Expected cost is O(n + n²·radius²) — i.e. O(n + |E|) — instead of
+    // the Θ(n²) all-pairs sweep, which is what makes 10⁶-node instances
+    // generable in-process. The edge *set* is identical to the all-pairs
+    // sweep's (distance and latency are computed with the same float
+    // expressions, and [`GraphBuilder::build`] sorts), so callers see
+    // byte-identical graphs for a given `(n, radius, latency_scale,
+    // seed)`.
+    let per_axis = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64| ((x * per_axis as f64) as usize).min(per_axis - 1);
+    let mut cells: Vec<Vec<usize>> = vec![Vec::new(); per_axis * per_axis];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        cells[cell_of(y) * per_axis + cell_of(x)].push(i);
+    }
+
     let mut b = GraphBuilder::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
-            let dist = (dx * dx + dy * dy).sqrt();
-            if dist <= radius {
-                let lat = (dist * latency_scale).ceil().max(1.0) as u32;
-                b.add_edge(u, v, lat).expect("valid geometric edge");
+    let try_pair = |b: &mut GraphBuilder, u: usize, v: usize| {
+        let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+        let dist = (dx * dx + dy * dy).sqrt();
+        if dist <= radius {
+            let lat = (dist * latency_scale).ceil().max(1.0) as u32;
+            b.add_edge(u.min(v), u.max(v), lat)
+                .expect("valid geometric edge");
+        }
+    };
+    for cy in 0..per_axis {
+        for cx in 0..per_axis {
+            let here = &cells[cy * per_axis + cx];
+            for (i, &u) in here.iter().enumerate() {
+                for &v in &here[i + 1..] {
+                    try_pair(&mut b, u, v);
+                }
+            }
+            for (ox, oy) in FORWARD {
+                let (nx, ny) = (cx.wrapping_add_signed(ox), cy.wrapping_add_signed(oy));
+                if nx >= per_axis || ny >= per_axis {
+                    continue;
+                }
+                let there = &cells[ny * per_axis + nx];
+                for &u in here {
+                    for &v in there {
+                        try_pair(&mut b, u, v);
+                    }
+                }
             }
         }
     }
@@ -389,6 +433,48 @@ mod tests {
         let g = random_geometric(50, 0.4, 10.0, 3);
         for (_, _, l) in g.edges() {
             assert!(l.get() >= 1 && l.get() <= 4 + 1); // ≤ ceil(0.4·10)=4 (+slack)
+        }
+    }
+
+    /// The cell-bucketed scan builds exactly the graph the all-pairs
+    /// sweep would: same points (same RNG stream), same distances, same
+    /// latencies, so the canonical topology hashes agree.
+    #[test]
+    fn geometric_bucketing_matches_all_pairs_sweep() {
+        fn all_pairs(n: usize, radius: f64, latency_scale: f64, seed: u64) -> Graph {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+                    let dist = (dx * dx + dy * dy).sqrt();
+                    if dist <= radius {
+                        let lat = (dist * latency_scale).ceil().max(1.0) as u32;
+                        b.add_edge(u, v, lat).expect("valid geometric edge");
+                    }
+                }
+            }
+            b.build().expect("geometric graph is valid")
+        }
+        // Radii straddling the bucketing regimes: > 1 (single cell),
+        // coarse grids, and fine grids with many empty cells.
+        for (n, radius, scale, seed) in [
+            (1, 0.5, 10.0, 0),
+            (40, 1.5, 3.0, 1),
+            (60, 0.5, 10.0, 2),
+            (80, 0.21, 25.0, 3),
+            (120, 0.09, 100.0, 4),
+            (200, 0.04, 7.5, 5),
+        ] {
+            let fast = random_geometric(n, radius, scale, seed);
+            let slow = all_pairs(n, radius, scale, seed);
+            assert_eq!(
+                fast.topology_hash(),
+                slow.topology_hash(),
+                "n={n} radius={radius} seed={seed}"
+            );
+            assert_eq!(fast.edge_count(), slow.edge_count());
         }
     }
 

@@ -34,7 +34,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use gossip_sim::pacing::NodePacer;
-use gossip_sim::{Exchange, Outcome, Protocol, Round, SimConfig, SimMetrics, StopReason};
+use gossip_sim::{
+    EngineStats, Exchange, Outcome, Protocol, Round, SimConfig, SimMetrics, StopReason,
+};
 use latency_graph::{Graph, NodeId};
 
 use crate::error::{NetError, PeerLoss};
@@ -649,6 +651,7 @@ where
             reason,
             rounds: round,
             metrics,
+            stats: EngineStats::default(),
             nodes,
         },
         totals,

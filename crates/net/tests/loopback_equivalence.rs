@@ -61,10 +61,9 @@ fn check_push_pull(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u
 
 fn check_flooding(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u64) {
     let cfg = config(seed, max_rounds, false);
-    let engine = Simulator::new(g, cfg)
-        .run(FloodingNode::new, |nodes: &[FloodingNode], _| {
-            goal.met_by_all(nodes.iter().map(|p| &p.rumors))
-        });
+    let engine = Simulator::new(g, cfg).run(FloodingNode::new, |nodes: &[FloodingNode], _| {
+        goal.met_by_all(nodes.iter().map(|p| &p.rumors))
+    });
     let net = run_loopback(g, &cfg, FloodingNode::new, |nodes: &[&FloodingNode], _| {
         goal.met_by_all(nodes.iter().map(|p| &p.rumors))
     });

@@ -11,6 +11,37 @@ use crate::faults::FaultPlan;
 use crate::pool::{self, Pool};
 use crate::Round;
 
+/// How the engine schedules a protocol's [`on_round`](Protocol::on_round)
+/// callbacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// `on_round` runs for every live node in every round — the
+    /// original dense loop, cost Θ(n) per round.
+    EveryRound,
+    /// `on_round` runs only for nodes on the **active frontier**: nodes
+    /// that received a delivery this round, registered a wakeup for it
+    /// ([`Context::wake_in`] / [`Context::wake_at`]), or — in round 0,
+    /// which steps everyone — are simply alive. Idle nodes cost
+    /// nothing, and with [`EngineMode::Frontier`] the round counter
+    /// skips dead gaps directly to the next scheduled event.
+    ///
+    /// Contract for `OnDemand` protocols:
+    /// * Round 0 is a universal wakeup: every live node gets `on_round`
+    ///   once, after `on_start`. A node that wants further rounds must
+    ///   register a wakeup (`ctx.wake_in(1)` reproduces the dense
+    ///   cadence) — there is no implicit "every round" stepping.
+    /// * Delivery is a wakeup: both endpoints of a delivered exchange
+    ///   are stepped in the completion round (after `on_exchange`).
+    /// * A *lost* exchange (crash / link fault) wakes no one; protocols
+    ///   that must make progress despite losses (or under
+    ///   [`SimConfig::blocking`]) should keep a standing wakeup.
+    /// * The caller's stop closure and the [`StopReason::AllDone`] scan
+    ///   are evaluated only on **event rounds** (rounds with a
+    ///   delivery, a due wakeup, or round 0) — in both engine modes, so
+    ///   dense and frontier runs remain byte-identical.
+    OnDemand,
+}
+
 /// A gossip protocol, instantiated once per node.
 ///
 /// The engine drives each node through rounds:
@@ -24,6 +55,12 @@ use crate::Round;
 /// (via [`payload`](Protocol::payload)) and delivered when the exchange
 /// completes, `latency` rounds later.
 pub trait Protocol: Sized {
+    /// The scheduling discipline for this protocol's `on_round`. The
+    /// default, [`Scheduling::EveryRound`], preserves the classic dense
+    /// semantics; [`Scheduling::OnDemand`] opts into frontier-sparse
+    /// stepping (see [`Scheduling`] for the wakeup contract).
+    const SCHEDULING: Scheduling = Scheduling::EveryRound;
+
     /// The data exchanged between two nodes (e.g. a
     /// [`RumorSet`](crate::RumorSet)).
     type Payload: Clone;
@@ -110,6 +147,11 @@ pub struct Context<'a> {
     /// captured by [`Context::initiate`]'s validation search so the
     /// engine can launch the exchange without re-resolving the edge.
     pending: &'a mut Option<(NodeId, u32)>,
+    /// The wakeup request slot ([`Context::wake_at`]); drained by the
+    /// on-demand engine at the end of the round. Last write wins
+    /// within a round. Ignored by [`Scheduling::EveryRound`] engines
+    /// (every node is stepped anyway).
+    wake: &'a mut Option<Round>,
 }
 
 impl<'a> Context<'a> {
@@ -129,6 +171,7 @@ impl<'a> Context<'a> {
         latencies: Option<&'a [Latency]>,
         rng: &'a mut StdRng,
         pending: &'a mut Option<(NodeId, u32)>,
+        wake: &'a mut Option<Round>,
     ) -> Context<'a> {
         Context {
             node,
@@ -139,6 +182,7 @@ impl<'a> Context<'a> {
             latencies,
             rng,
             pending,
+            wake,
         }
     }
 
@@ -235,6 +279,41 @@ impl<'a> Context<'a> {
         self.pending.map(|(v, _)| v)
     }
 
+    /// Registers a wakeup: under [`Scheduling::OnDemand`] this node
+    /// will be stepped ([`Protocol::on_round`]) again in round `round`,
+    /// even if nothing is delivered to it. Calling again in the same
+    /// round overwrites the previous request (at most one wakeup is
+    /// registered per node per round); wakeups registered in different
+    /// rounds accumulate independently. Under
+    /// [`Scheduling::EveryRound`] this is a no-op — every node is
+    /// stepped every round already.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is not strictly in the future: a wakeup for
+    /// the current round could never fire (the frontier for this round
+    /// is already being processed).
+    pub fn wake_at(&mut self, round: Round) {
+        assert!(
+            round > self.round,
+            "{} requested a wakeup at round {round}, not after the current round {}",
+            self.node,
+            self.round,
+        );
+        *self.wake = Some(round);
+    }
+
+    /// Registers a wakeup `delay ≥ 1` rounds from now:
+    /// `wake_at(round() + delay)`. `wake_in(1)` reproduces the dense
+    /// every-round cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` (see [`wake_at`](Self::wake_at)).
+    pub fn wake_in(&mut self, delay: u64) {
+        self.wake_at(self.round + delay);
+    }
+
     /// This node's deterministic random number generator (seeded from
     /// the simulation seed and the node id).
     pub fn rng(&mut self) -> &mut StdRng {
@@ -277,6 +356,25 @@ pub struct SimConfig {
     /// are byte-identical for any thread count — same rounds, same
     /// [`SimMetrics`], same per-node states and RNG streams.
     pub threads: usize,
+    /// Execution mode for [`Scheduling::OnDemand`] protocols:
+    /// [`EngineMode::Frontier`] (the default) steps only the active
+    /// frontier and skips dead round gaps; [`EngineMode::Dense`] keeps
+    /// the Θ(n)-per-round sweep as a reference baseline. Both modes
+    /// make the identical callback sequence — byte-identical rounds,
+    /// metrics, and per-node states. Ignored (the dense sweep is the
+    /// only semantics) for [`Scheduling::EveryRound`] protocols.
+    pub mode: EngineMode,
+}
+
+/// Round-loop strategy for [`Scheduling::OnDemand`] protocols; see
+/// [`SimConfig::mode`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Scan all n nodes every round (reference baseline; Θ(n·rounds)).
+    Dense,
+    /// Step only the active frontier; skip event-free rounds.
+    #[default]
+    Frontier,
 }
 
 impl Default for SimConfig {
@@ -289,6 +387,7 @@ impl Default for SimConfig {
             connection_cap: None,
             blocking: false,
             threads: 1,
+            mode: EngineMode::Frontier,
         }
     }
 }
@@ -321,6 +420,26 @@ pub struct SimMetrics {
     pub payload_units: u64,
 }
 
+/// Engine-internal execution counters, reported per run. Unlike
+/// [`SimMetrics`] these describe *how* the engine executed, not what
+/// the protocol did, and are **not** part of the determinism contract
+/// across [`EngineMode`]s (`skipped_rounds` is zero in dense mode by
+/// construction). Populated by the on-demand engine; every-round runs
+/// report zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `on_round` callbacks executed.
+    pub stepped: u64,
+    /// Due wakeups consumed ([`Context::wake_at`] deliveries).
+    pub woken: u64,
+    /// Rounds with at least one event (delivery, wakeup, or round 0).
+    pub event_rounds: u64,
+    /// Dead-gap rounds skipped without being visited (frontier mode).
+    pub skipped_rounds: u64,
+    /// Largest single-round frontier.
+    pub peak_frontier: usize,
+}
+
 /// The result of a simulation run.
 #[derive(Debug)]
 pub struct Outcome<P> {
@@ -330,6 +449,8 @@ pub struct Outcome<P> {
     pub rounds: Round,
     /// Counters.
     pub metrics: SimMetrics,
+    /// Engine execution counters (frontier occupancy, skipped rounds).
+    pub stats: EngineStats,
     /// Final per-node protocol states.
     pub nodes: Vec<P>,
 }
@@ -359,6 +480,17 @@ struct InFlight<P> {
 /// slot headers even for graphs with enormous `ℓ_max`.
 const MAX_RING_SLOTS: u64 = 4096;
 
+/// Per-phase work below this many items runs inline on the
+/// coordinator instead of being sharded to the pool: carving and
+/// re-absorbing shards moves the whole node/RNG state and costs two
+/// channel round-trips per worker, a net loss for small batches (the
+/// BENCH_engine thread_scaling rows showed `threads>1` regressing the
+/// sequential path on small rounds). The workers stay blocked on their
+/// channels (idle-cheap) for the round. Inline and sharded execution
+/// make the identical callback sequence, so the choice is invisible to
+/// the determinism contract.
+const INLINE_WORK_MAX: usize = 256;
+
 /// Calendar-queue scheduler for in-flight exchanges.
 ///
 /// A ring of `min(ℓ_max + 1, MAX_RING_SLOTS)` reusable buckets indexed
@@ -380,6 +512,9 @@ struct CalendarQueue<P> {
     /// back. Stays empty unless the graph has latencies beyond the
     /// ring.
     spare: Vec<Vec<InFlight<P>>>,
+    /// Exchanges currently queued (ring + overflow); lets the frontier
+    /// engine answer "is anything in flight?" in O(1).
+    len: usize,
 }
 
 /// Maps a completion round onto its calendar-ring slot.
@@ -400,6 +535,20 @@ fn latency_to_index(i: u32) -> usize {
     usize::try_from(i).expect("adjacency index fits usize")
 }
 
+/// Widens a frontier node id (stored as `u32` — the on-demand engine
+/// asserts `n` fits at startup) back to a `usize` index.
+#[inline]
+fn frontier_index(i: u32) -> usize {
+    usize::try_from(i).expect("node index fits usize")
+}
+
+/// Narrows a node index into the frontier's `u32` id space; infallible
+/// after the on-demand engine's startup assertion.
+#[inline]
+fn frontier_id(i: usize) -> u32 {
+    u32::try_from(i).expect("node index fits u32")
+}
+
 impl<P> CalendarQueue<P> {
     fn new(max_latency_rounds: u64) -> CalendarQueue<P> {
         let slots = (max_latency_rounds + 1).min(MAX_RING_SLOTS);
@@ -407,6 +556,7 @@ impl<P> CalendarQueue<P> {
             ring: (0..slots).map(|_| Vec::new()).collect(),
             overflow: BTreeMap::new(),
             spare: Vec::new(),
+            len: 0,
         }
     }
 
@@ -418,6 +568,7 @@ impl<P> CalendarQueue<P> {
     /// Enqueues `x` to complete `latency_rounds` after `now`.
     #[inline]
     fn schedule(&mut self, now: Round, latency_rounds: u64, x: InFlight<P>) {
+        self.len += 1;
         if latency_rounds < self.slots() {
             let slot = round_to_slot(now + latency_rounds, self.slots());
             self.ring[slot].push(x);
@@ -447,6 +598,112 @@ impl<P> CalendarQueue<P> {
         }
         let slot = round_to_slot(round, self.slots());
         due.append(&mut self.ring[slot]);
+        self.len -= due.len();
+    }
+
+    /// Whether no exchange is in flight.
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest round strictly after `round` with a scheduled
+    /// completion, or `None` if nothing is in flight. O(slots) worst
+    /// case, O(gap) typical; only consulted by the frontier engine on
+    /// otherwise-idle rounds.
+    ///
+    /// Correctness rests on the slot invariant (each occupied slot
+    /// holds exchanges for exactly one completion round, strictly
+    /// within `(round, round + slots)` once round `round` itself has
+    /// been drained), so a non-empty slot at ring distance `d` means a
+    /// completion at exactly `round + d`.
+    fn next_occupied_after(&self, round: Round) -> Option<Round> {
+        if self.is_empty() {
+            return None;
+        }
+        let ring = (1..self.slots())
+            .find(|&d| !self.ring[round_to_slot(round + d, self.slots())].is_empty())
+            .map(|d| round + d);
+        let over = self.overflow.range(round + 1..).next().map(|(&r, _)| r);
+        match (ring, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Calendar queue of registered wakeups for the on-demand engine: the
+/// same ring-plus-overflow shape as [`CalendarQueue`], holding node ids
+/// instead of in-flight exchanges. Unlike exchange latencies, wakeup
+/// delays are unbounded, so the ring is a fixed [`MAX_RING_SLOTS`] and
+/// anything `≥ MAX_RING_SLOTS` rounds out spills into the overflow map.
+/// The slot invariant still holds: every ring entry's target round lies
+/// strictly within `(scheduled_at, scheduled_at + slots)`, so at any
+/// time an occupied slot maps to exactly one future round.
+struct WakeQueue {
+    ring: Vec<Vec<u32>>,
+    overflow: BTreeMap<Round, Vec<u32>>,
+    spare: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl WakeQueue {
+    fn new() -> WakeQueue {
+        WakeQueue {
+            ring: (0..MAX_RING_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Registers node `id` to wake at `at` (strictly after `now`,
+    /// enforced upstream by [`Context::wake_at`]).
+    #[inline]
+    fn schedule(&mut self, now: Round, at: Round, id: u32) {
+        debug_assert!(at > now);
+        self.len += 1;
+        if at - now < MAX_RING_SLOTS {
+            self.ring[round_to_slot(at, MAX_RING_SLOTS)].push(id);
+        } else {
+            self.overflow
+                .entry(at)
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                .push(id);
+        }
+    }
+
+    /// Appends every node due to wake at `round` onto `due`.
+    fn collect_due(&mut self, round: Round, due: &mut Vec<u32>) {
+        let before = due.len();
+        if let Some(mut batch) = self.overflow.remove(&round) {
+            due.append(&mut batch);
+            self.spare.push(batch);
+        }
+        due.append(&mut self.ring[round_to_slot(round, MAX_RING_SLOTS)]);
+        self.len -= due.len() - before;
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest round strictly after `round` with a registered
+    /// wakeup, or `None` if there are none. Mirrors
+    /// [`CalendarQueue::next_occupied_after`].
+    fn next_occupied_after(&self, round: Round) -> Option<Round> {
+        if self.is_empty() {
+            return None;
+        }
+        let ring = (1..MAX_RING_SLOTS)
+            .find(|&d| !self.ring[round_to_slot(round + d, MAX_RING_SLOTS)].is_empty())
+            .map(|d| round + d);
+        let over = self.overflow.range(round + 1..).next().map(|(&r, _)| r);
+        match (ring, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 
@@ -479,6 +736,7 @@ impl<'g> Simulator<'g> {
     }
 
     /// Builds the per-node callback view for node `i` at `round`.
+    #[allow(clippy::too_many_arguments)] // mirrors the engine's per-node state split
     fn ctx<'a>(
         &'a self,
         i: usize,
@@ -486,6 +744,7 @@ impl<'g> Simulator<'g> {
         size_hint: usize,
         rng: &'a mut StdRng,
         pending: &'a mut Option<(NodeId, u32)>,
+        wake: &'a mut Option<Round>,
     ) -> Context<'a> {
         let v = NodeId::new(i);
         Context {
@@ -500,6 +759,7 @@ impl<'g> Simulator<'g> {
                 .then(|| self.graph.neighbor_latencies(v)),
             rng,
             pending,
+            wake,
         }
     }
 
@@ -524,14 +784,29 @@ impl<'g> Simulator<'g> {
     {
         let n = self.graph.node_count();
         let threads = self.config.threads.max(1).min(n.max(1));
+        let on_demand = P::SCHEDULING == Scheduling::OnDemand;
         if threads == 1 {
-            return self.run_sequential(factory, stop);
+            return if on_demand {
+                self.run_on_demand(
+                    None::<&mut Pool<'_, Job<P>, Done<P>, fn(Job<P>) -> Done<P>>>,
+                    factory,
+                    stop,
+                )
+            } else {
+                self.run_sequential(factory, stop)
+            };
         }
         let size_hint = self.config.size_hint.unwrap_or(n);
         pool::scoped(
             threads - 1,
             |job: Job<P>| self.work(size_hint, job),
-            |pool| self.run_parallel(pool, factory, stop),
+            |pool| {
+                if on_demand {
+                    self.run_on_demand(Some(pool), factory, stop)
+                } else {
+                    self.run_parallel(pool, factory, stop)
+                }
+            },
         )
     }
 
@@ -551,6 +826,9 @@ impl<'g> Simulator<'g> {
             .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
             .collect();
         let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        // Wake-request slots: written by `Context::wake_at`, never read
+        // here — every-round scheduling steps each node regardless.
+        let mut wake: Vec<Option<Round>> = vec![None; n];
         let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
         let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
         // Delivery batch, reused every round.
@@ -569,7 +847,7 @@ impl<'g> Simulator<'g> {
             if self.faults.is_crashed(NodeId::new(i), 0) {
                 continue;
             }
-            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i]);
+            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i], &mut wake[i]);
             nodes[i].on_start(&mut ctx);
         }
 
@@ -625,7 +903,14 @@ impl<'g> Simulator<'g> {
                     ),
                 ] {
                     let i = me.index();
-                    let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut rngs[i],
+                        &mut pending[i],
+                        &mut wake[i],
+                    );
                     nodes[i].on_exchange(&mut ctx, &exchange);
                 }
             }
@@ -636,6 +921,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::Condition,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -644,6 +930,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::AllDone,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -652,6 +939,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::MaxRounds,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -662,7 +950,14 @@ impl<'g> Simulator<'g> {
                     pending[i] = None;
                     continue;
                 }
-                let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                let mut ctx = self.ctx(
+                    i,
+                    round,
+                    size_hint,
+                    &mut rngs[i],
+                    &mut pending[i],
+                    &mut wake[i],
+                );
                 nodes[i].on_round(&mut ctx);
             }
 
@@ -689,7 +984,14 @@ impl<'g> Simulator<'g> {
                 let u = NodeId::new(i);
                 if self.config.blocking && outstanding[i] > 0 {
                     metrics.rejected += 1;
-                    let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut rngs[i],
+                        &mut pending[i],
+                        &mut wake[i],
+                    );
                     nodes[i].on_rejected(&mut ctx, v);
                     pending[i] = None;
                     continue;
@@ -697,7 +999,14 @@ impl<'g> Simulator<'g> {
                 if let Some(cap) = self.config.connection_cap {
                     if engagements[i] >= cap || engagements[v.index()] >= cap {
                         metrics.rejected += 1;
-                        let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                        let mut ctx = self.ctx(
+                            i,
+                            round,
+                            size_hint,
+                            &mut rngs[i],
+                            &mut pending[i],
+                            &mut wake[i],
+                        );
                         nodes[i].on_rejected(&mut ctx, v);
                         pending[i] = None; // a rejection cannot re-initiate this round
                         continue;
@@ -749,6 +1058,7 @@ impl<'g> Simulator<'g> {
                         size_hint,
                         &mut shard.rngs[local],
                         &mut shard.pending[local],
+                        &mut shard.wake[local],
                     );
                     shard.nodes[local].on_exchange(&mut ctx, &x);
                 }
@@ -767,6 +1077,7 @@ impl<'g> Simulator<'g> {
                         size_hint,
                         &mut shard.rngs[local],
                         &mut shard.pending[local],
+                        &mut shard.wake[local],
                     );
                     shard.nodes[local].on_round(&mut ctx);
                 }
@@ -774,6 +1085,30 @@ impl<'g> Simulator<'g> {
                     shard,
                     inbox: Vec::new(),
                 }
+            }
+            Job::FrontierRounds {
+                mut shard,
+                ids,
+                round,
+            } => {
+                for &id in &ids {
+                    let local = frontier_index(id);
+                    let i = shard.base + local;
+                    if self.faults.is_crashed(NodeId::new(i), round) {
+                        shard.pending[local] = None;
+                        continue;
+                    }
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut shard.rngs[local],
+                        &mut shard.pending[local],
+                        &mut shard.wake[local],
+                    );
+                    shard.nodes[local].on_round(&mut ctx);
+                }
+                Done::SteppedIds { shard, ids }
             }
             Job::Snapshots {
                 shard,
@@ -824,6 +1159,7 @@ impl<'g> Simulator<'g> {
             .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
             .collect();
         let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        let mut wake: Vec<Option<Round>> = vec![None; n];
         let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
         let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
         let mut due: Vec<InFlight<P::Payload>> = Vec::new();
@@ -853,7 +1189,7 @@ impl<'g> Simulator<'g> {
             if self.faults.is_crashed(NodeId::new(i), 0) {
                 continue;
             }
-            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i]);
+            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i], &mut wake[i]);
             nodes[i].on_start(&mut ctx);
         }
 
@@ -866,7 +1202,65 @@ impl<'g> Simulator<'g> {
             //    routes the surviving deliveries into per-shard
             //    inboxes, preserving each node's delivery order.
             queue.collect_due(round, &mut due);
-            if !due.is_empty() {
+            if due.len() <= INLINE_WORK_MAX {
+                // Small batch: the exact sequential delivery loop on
+                // the master arrays — no carving, no channel traffic.
+                for x in due.drain(..) {
+                    if self.config.blocking {
+                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                    }
+                    let a_ok = !self.faults.is_crashed(x.a, round);
+                    let b_ok = !self.faults.is_crashed(x.b, round);
+                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                    if !(a_ok && b_ok && link_ok) {
+                        metrics.lost += 1;
+                        continue;
+                    }
+                    metrics.delivered += 1;
+                    metrics.payload_units +=
+                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                    let InFlight {
+                        a,
+                        b,
+                        payload_a,
+                        payload_b,
+                        initiated_at,
+                    } = x;
+                    for (me, exchange) in [
+                        (
+                            a,
+                            Exchange {
+                                peer: b,
+                                payload: payload_b,
+                                initiated_at,
+                                completed_at: round,
+                                initiated_by_me: true,
+                            },
+                        ),
+                        (
+                            b,
+                            Exchange {
+                                peer: a,
+                                payload: payload_a,
+                                initiated_at,
+                                completed_at: round,
+                                initiated_by_me: false,
+                            },
+                        ),
+                    ] {
+                        let i = me.index();
+                        let mut ctx = self.ctx(
+                            i,
+                            round,
+                            size_hint,
+                            &mut rngs[i],
+                            &mut pending[i],
+                            &mut wake[i],
+                        );
+                        nodes[i].on_exchange(&mut ctx, &exchange);
+                    }
+                }
+            } else {
                 for x in due.drain(..) {
                     if self.config.blocking {
                         outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
@@ -909,24 +1303,37 @@ impl<'g> Simulator<'g> {
                         },
                     ));
                 }
-                let jobs: Vec<Job<P>> =
-                    split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
-                        .into_iter()
-                        .map(|shard| {
-                            let inbox = mem::take(&mut inboxes[shard.base / chunk]);
-                            Job::Exchanges {
-                                shard,
-                                inbox,
-                                round,
-                            }
-                        })
-                        .collect();
+                let jobs: Vec<Job<P>> = split_shards(
+                    chunk,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut pending,
+                    &mut wake,
+                    &mut spare,
+                )
+                .into_iter()
+                .map(|shard| {
+                    let inbox = mem::take(&mut inboxes[shard.base / chunk]);
+                    Job::Exchanges {
+                        shard,
+                        inbox,
+                        round,
+                    }
+                })
+                .collect();
                 for done in pool.dispatch(jobs) {
                     let Done::Stepped { shard, inbox } = done else {
                         unreachable!("exchange jobs return Stepped")
                     };
                     inboxes[shard.base / chunk] = inbox;
-                    absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+                    absorb_shard(
+                        shard,
+                        &mut nodes,
+                        &mut rngs,
+                        &mut pending,
+                        &mut wake,
+                        &mut spare,
+                    );
                 }
             }
 
@@ -937,6 +1344,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::Condition,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -945,6 +1353,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::AllDone,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -953,6 +1362,7 @@ impl<'g> Simulator<'g> {
                     reason: StopReason::MaxRounds,
                     rounds: round,
                     metrics,
+                    stats: EngineStats::default(),
                     nodes,
                 };
             }
@@ -960,17 +1370,49 @@ impl<'g> Simulator<'g> {
             // 3. Per-node round logic, sharded. Nodes share no mutable
             //    state and each keeps its own RNG, so contiguous shards
             //    merged back in node-id order reproduce the sequential
-            //    sweep exactly.
-            let jobs: Vec<Job<P>> =
-                split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
-                    .into_iter()
-                    .map(|shard| Job::Rounds { shard, round })
-                    .collect();
-            for done in pool.dispatch(jobs) {
-                let Done::Stepped { shard, .. } = done else {
-                    unreachable!("round jobs return Stepped")
-                };
-                absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+            //    sweep exactly. Tiny networks run inline: carving costs
+            //    more than the sweep.
+            if n <= INLINE_WORK_MAX {
+                for i in 0..n {
+                    if self.faults.is_crashed(NodeId::new(i), round) {
+                        pending[i] = None;
+                        continue;
+                    }
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut rngs[i],
+                        &mut pending[i],
+                        &mut wake[i],
+                    );
+                    nodes[i].on_round(&mut ctx);
+                }
+            } else {
+                let jobs: Vec<Job<P>> = split_shards(
+                    chunk,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut pending,
+                    &mut wake,
+                    &mut spare,
+                )
+                .into_iter()
+                .map(|shard| Job::Rounds { shard, round })
+                .collect();
+                for done in pool.dispatch(jobs) {
+                    let Done::Stepped { shard, .. } = done else {
+                        unreachable!("round jobs return Stepped")
+                    };
+                    absorb_shard(
+                        shard,
+                        &mut nodes,
+                        &mut rngs,
+                        &mut pending,
+                        &mut wake,
+                        &mut spare,
+                    );
+                }
             }
 
             // 4. Launch initiations. Fast path (no cap, no blocking):
@@ -980,8 +1422,8 @@ impl<'g> Simulator<'g> {
             //    intervening mutation that equals the sequential
             //    per-use `payload()` calls) and the admission loop then
             //    runs sequentially over plain data.
-            if par_snapshots {
-                let mut engaged = false;
+            let engaged_count = pending.iter().filter(|p| p.is_some()).count();
+            if par_snapshots && engaged_count > INLINE_WORK_MAX {
                 for (k, uses) in use_bufs.iter_mut().enumerate() {
                     let len = chunk.min(n - k * chunk);
                     uses.clear();
@@ -989,24 +1431,29 @@ impl<'g> Simulator<'g> {
                 }
                 for (i, p) in pending.iter().enumerate() {
                     if let Some((v, _)) = p {
-                        engaged = true;
                         use_bufs[i / chunk][i % chunk] += 1;
                         use_bufs[v.index() / chunk][v.index() % chunk] += 1;
                     }
                 }
-                if engaged {
-                    let jobs: Vec<Job<P>> =
-                        split_shards(chunk, &mut nodes, &mut rngs, &mut pending, &mut spare)
-                            .into_iter()
-                            .map(|shard| {
-                                let k = shard.base / chunk;
-                                Job::Snapshots {
-                                    shard,
-                                    uses: mem::take(&mut use_bufs[k]),
-                                    snaps: mem::take(&mut snap_bufs[k]),
-                                }
-                            })
-                            .collect();
+                {
+                    let jobs: Vec<Job<P>> = split_shards(
+                        chunk,
+                        &mut nodes,
+                        &mut rngs,
+                        &mut pending,
+                        &mut wake,
+                        &mut spare,
+                    )
+                    .into_iter()
+                    .map(|shard| {
+                        let k = shard.base / chunk;
+                        Job::Snapshots {
+                            shard,
+                            uses: mem::take(&mut use_bufs[k]),
+                            snaps: mem::take(&mut snap_bufs[k]),
+                        }
+                    })
+                    .collect();
                     for done in pool.dispatch(jobs) {
                         let Done::Snapped { shard, uses, snaps } = done else {
                             unreachable!("snapshot jobs return Snapped")
@@ -1014,7 +1461,14 @@ impl<'g> Simulator<'g> {
                         let k = shard.base / chunk;
                         use_bufs[k] = uses;
                         snap_bufs[k] = snaps;
-                        absorb_shard(shard, &mut nodes, &mut rngs, &mut pending, &mut spare);
+                        absorb_shard(
+                            shard,
+                            &mut nodes,
+                            &mut rngs,
+                            &mut pending,
+                            &mut wake,
+                            &mut spare,
+                        );
                     }
                     for (i, slot) in pending.iter_mut().enumerate() {
                         let Some((v, vi)) = slot.take() else {
@@ -1039,8 +1493,11 @@ impl<'g> Simulator<'g> {
                     }
                 }
             } else {
-                // Slow path: verbatim sequential phase 4 (admission
-                // order, rejections, `on_rejected` callbacks).
+                // Verbatim sequential phase 4 (admission order,
+                // rejections, `on_rejected` callbacks) — taken when the
+                // model requires it (cap / blocking) and for small
+                // rounds, where per-use `payload()` on the coordinator
+                // beats carving shards to parallelize snapshots.
                 if capped {
                     for (k, slot) in order.iter_mut().enumerate() {
                         *slot = k;
@@ -1060,7 +1517,14 @@ impl<'g> Simulator<'g> {
                     let u = NodeId::new(i);
                     if self.config.blocking && outstanding[i] > 0 {
                         metrics.rejected += 1;
-                        let mut ctx = self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                        let mut ctx = self.ctx(
+                            i,
+                            round,
+                            size_hint,
+                            &mut rngs[i],
+                            &mut pending[i],
+                            &mut wake[i],
+                        );
                         nodes[i].on_rejected(&mut ctx, v);
                         pending[i] = None;
                         continue;
@@ -1068,8 +1532,14 @@ impl<'g> Simulator<'g> {
                     if let Some(cap) = self.config.connection_cap {
                         if engagements[i] >= cap || engagements[v.index()] >= cap {
                             metrics.rejected += 1;
-                            let mut ctx =
-                                self.ctx(i, round, size_hint, &mut rngs[i], &mut pending[i]);
+                            let mut ctx = self.ctx(
+                                i,
+                                round,
+                                size_hint,
+                                &mut rngs[i],
+                                &mut pending[i],
+                                &mut wake[i],
+                            );
                             nodes[i].on_rejected(&mut ctx, v);
                             pending[i] = None; // a rejection cannot re-initiate this round
                             continue;
@@ -1099,6 +1569,538 @@ impl<'g> Simulator<'g> {
             round += 1;
         }
     }
+
+    /// The on-demand round loop, for [`Scheduling::OnDemand`]
+    /// protocols in either [`EngineMode`] and at any thread count
+    /// (`pool` is `None` on the sequential path).
+    ///
+    /// Both modes compute the identical **frontier** each round —
+    /// round 0: every node; later rounds: delivered-exchange endpoints
+    /// plus due wakeups, ascending and deduplicated — and make the
+    /// identical callback sequence over it. They differ only in cost:
+    ///
+    /// * [`EngineMode::Dense`] rediscovers the frontier with a Θ(n)
+    ///   sweep and visits every round number — the pre-frontier
+    ///   engine's cost model, kept as the equivalence baseline.
+    /// * [`EngineMode::Frontier`] keeps the frontier incrementally
+    ///   (stamp array + push on delivery/wakeup) and, when a round has
+    ///   no event, jumps the round counter straight to the next
+    ///   calendar-queue or wake-queue occupancy. Idle nodes cost
+    ///   nothing; dead gaps cost nothing.
+    ///
+    /// The caller's stop closure and the all-done check run only on
+    /// event rounds (in both modes — see [`Scheduling::OnDemand`]);
+    /// the all-done check is O(1) via a done counter maintained for
+    /// exactly the nodes that received callbacks. The
+    /// [`SimConfig::max_rounds`] cap is honored at the same round
+    /// number in both modes (skip targets are clamped to the cap).
+    fn run_on_demand<P, F, S, W>(
+        &self,
+        mut pool: Option<&mut Pool<'_, Job<P>, Done<P>, W>>,
+        mut factory: F,
+        mut stop: S,
+    ) -> Outcome<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, usize) -> P,
+        S: FnMut(&[P], Round) -> bool,
+        W: Fn(Job<P>) -> Done<P>,
+    {
+        let n = self.graph.node_count();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "the on-demand engine indexes nodes with u32 ids"
+        );
+        let size_hint = self.config.size_hint.unwrap_or(n);
+        let dense = self.config.mode == EngineMode::Dense;
+        let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
+        let n_u64 = u64::try_from(n).expect("node count fits u64");
+        let mut rngs: Vec<StdRng> = (0..n_u64)
+            .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
+            .collect();
+        let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        let mut wake: Vec<Option<Round>> = vec![None; n];
+        let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
+        let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
+        let mut due: Vec<InFlight<P::Payload>> = Vec::new();
+        let mut outstanding = vec![0u32; if self.config.blocking { n } else { 0 }];
+        let capped = self.config.connection_cap.is_some();
+        // Stamped engagement counters (capped model only): a counter is
+        // valid iff its mark equals `round + 1`, so per-round resets
+        // are O(touched), not O(n).
+        let mut engage_mark: Vec<Round> = vec![0; if capped { n } else { 0 }];
+        let mut engage_cnt: Vec<usize> = vec![0; if capped { n } else { 0 }];
+        // Capped admission candidates, re-sorted per round.
+        let mut cand: Vec<u32> = Vec::new();
+        let mut metrics = SimMetrics::default();
+        let mut stats = EngineStats::default();
+
+        // Frontier bookkeeping: `stamp[i] == round` ⇔ node i is on this
+        // round's frontier; `frontier` lists its members.
+        let mut wakes = WakeQueue::new();
+        let mut wake_due: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut stamp: Vec<Round> = vec![Round::MAX; n];
+
+        // All-done bookkeeping: protocol state changes only inside
+        // callbacks, and every callback recipient is on the frontier,
+        // so refreshing flags for frontier members keeps the counter
+        // exact with O(frontier) work per round.
+        let mut done_flags: Vec<bool> = vec![false; n];
+        let mut done_count: usize = 0;
+
+        // Sharding buffers (threads > 1 only).
+        let chunk = match pool.as_ref() {
+            Some(p) => n.div_ceil(p.workers()),
+            None => n.max(1),
+        };
+        let shards = n.div_ceil(chunk.max(1)).max(1);
+        let mut spare: Vec<Shard<P>> = Vec::with_capacity(shards);
+        let mut inboxes: Vec<Vec<(usize, Exchange<P::Payload>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut id_bufs: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
+
+        // on_start for every live node, before round 0; wake requests
+        // registered here are honored like any other.
+        for i in 0..n {
+            if !self.faults.is_crashed(NodeId::new(i), 0) {
+                let mut ctx =
+                    self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i], &mut wake[i]);
+                nodes[i].on_start(&mut ctx);
+            }
+            if let Some(t) = wake[i].take() {
+                wakes.schedule(0, t, frontier_id(i));
+            }
+            if nodes[i].is_done() {
+                done_flags[i] = true;
+                done_count += 1;
+            }
+        }
+
+        let mut round: Round = 0;
+        loop {
+            // 1. Deliver exchanges completing now, adding surviving
+            //    endpoints to the frontier. Coordinator bookkeeping is
+            //    identical to the reference path; small batches run
+            //    callbacks inline, large ones are sharded.
+            queue.collect_due(round, &mut due);
+            let had_due = !due.is_empty();
+            frontier.clear();
+            if round == 0 {
+                // Round 0 is a universal wakeup: every node is stepped
+                // once, so protocols can bootstrap without a wake.
+                for (i, s) in stamp.iter_mut().enumerate().take(n) {
+                    *s = 0;
+                    frontier.push(frontier_id(i));
+                }
+            }
+            let inline_due = pool.is_none() || due.len() <= INLINE_WORK_MAX;
+            if inline_due {
+                for x in due.drain(..) {
+                    if self.config.blocking {
+                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                    }
+                    let a_ok = !self.faults.is_crashed(x.a, round);
+                    let b_ok = !self.faults.is_crashed(x.b, round);
+                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                    if !(a_ok && b_ok && link_ok) {
+                        metrics.lost += 1;
+                        continue;
+                    }
+                    metrics.delivered += 1;
+                    metrics.payload_units +=
+                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                    let InFlight {
+                        a,
+                        b,
+                        payload_a,
+                        payload_b,
+                        initiated_at,
+                    } = x;
+                    for (me, exchange) in [
+                        (
+                            a,
+                            Exchange {
+                                peer: b,
+                                payload: payload_b,
+                                initiated_at,
+                                completed_at: round,
+                                initiated_by_me: true,
+                            },
+                        ),
+                        (
+                            b,
+                            Exchange {
+                                peer: a,
+                                payload: payload_a,
+                                initiated_at,
+                                completed_at: round,
+                                initiated_by_me: false,
+                            },
+                        ),
+                    ] {
+                        let i = me.index();
+                        if stamp[i] != round {
+                            stamp[i] = round;
+                            frontier.push(frontier_id(i));
+                        }
+                        let mut ctx = self.ctx(
+                            i,
+                            round,
+                            size_hint,
+                            &mut rngs[i],
+                            &mut pending[i],
+                            &mut wake[i],
+                        );
+                        nodes[i].on_exchange(&mut ctx, &exchange);
+                    }
+                }
+            } else {
+                for x in due.drain(..) {
+                    if self.config.blocking {
+                        outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
+                    }
+                    let a_ok = !self.faults.is_crashed(x.a, round);
+                    let b_ok = !self.faults.is_crashed(x.b, round);
+                    let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+                    if !(a_ok && b_ok && link_ok) {
+                        metrics.lost += 1;
+                        continue;
+                    }
+                    metrics.delivered += 1;
+                    metrics.payload_units +=
+                        P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+                    let InFlight {
+                        a,
+                        b,
+                        payload_a,
+                        payload_b,
+                        initiated_at,
+                    } = x;
+                    for (me, peer, payload, mine) in
+                        [(a, b, payload_b, true), (b, a, payload_a, false)]
+                    {
+                        let i = me.index();
+                        if stamp[i] != round {
+                            stamp[i] = round;
+                            frontier.push(frontier_id(i));
+                        }
+                        inboxes[i / chunk].push((
+                            i % chunk,
+                            Exchange {
+                                peer,
+                                payload,
+                                initiated_at,
+                                completed_at: round,
+                                initiated_by_me: mine,
+                            },
+                        ));
+                    }
+                }
+                let p = pool.as_mut().expect("sharded path requires a pool");
+                let jobs: Vec<Job<P>> = split_shards(
+                    chunk,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut pending,
+                    &mut wake,
+                    &mut spare,
+                )
+                .into_iter()
+                .map(|shard| {
+                    let inbox = mem::take(&mut inboxes[shard.base / chunk]);
+                    Job::Exchanges {
+                        shard,
+                        inbox,
+                        round,
+                    }
+                })
+                .collect();
+                for done in p.dispatch(jobs) {
+                    let Done::Stepped { shard, inbox } = done else {
+                        unreachable!("exchange jobs return Stepped")
+                    };
+                    inboxes[shard.base / chunk] = inbox;
+                    absorb_shard(
+                        shard,
+                        &mut nodes,
+                        &mut rngs,
+                        &mut pending,
+                        &mut wake,
+                        &mut spare,
+                    );
+                }
+            }
+
+            // Due wakeups join the frontier.
+            wake_due.clear();
+            wakes.collect_due(round, &mut wake_due);
+            stats.woken += u64::try_from(wake_due.len()).expect("wake count fits u64");
+            for &id in &wake_due {
+                let i = frontier_index(id);
+                if stamp[i] != round {
+                    stamp[i] = round;
+                    frontier.push(id);
+                }
+            }
+
+            // Canonical frontier order: ascending node id. Dense mode
+            // pays the pre-frontier engine's Θ(n) sweep to rediscover
+            // it; frontier mode sorts the incremental list.
+            if dense {
+                frontier.clear();
+                for (i, s) in stamp.iter().enumerate() {
+                    if *s == round {
+                        frontier.push(frontier_id(i));
+                    }
+                }
+            } else {
+                frontier.sort_unstable();
+            }
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+
+            // 2. Stop checks — event rounds only (identically in both
+            //    modes, so traces stay byte-identical). Delivery
+            //    callbacks may have changed done states; refresh
+            //    frontier members before checking.
+            let event = round == 0 || had_due || !frontier.is_empty();
+            if event {
+                stats.event_rounds += 1;
+                for &id in &frontier {
+                    let i = frontier_index(id);
+                    let now_done = nodes[i].is_done();
+                    if now_done != done_flags[i] {
+                        done_flags[i] = now_done;
+                        if now_done {
+                            done_count += 1;
+                        } else {
+                            done_count -= 1;
+                        }
+                    }
+                }
+                if stop(&nodes, round) {
+                    return Outcome {
+                        reason: StopReason::Condition,
+                        rounds: round,
+                        metrics,
+                        stats,
+                        nodes,
+                    };
+                }
+                if done_count == n {
+                    return Outcome {
+                        reason: StopReason::AllDone,
+                        rounds: round,
+                        metrics,
+                        stats,
+                        nodes,
+                    };
+                }
+            }
+            if round >= self.config.max_rounds {
+                return Outcome {
+                    reason: StopReason::MaxRounds,
+                    rounds: round,
+                    metrics,
+                    stats,
+                    nodes,
+                };
+            }
+
+            // 3. Step the frontier (`on_round`). Small frontiers run
+            //    inline; large ones are sharded with per-shard id
+            //    lists.
+            let inline_frontier = pool.is_none() || frontier.len() <= INLINE_WORK_MAX;
+            if inline_frontier {
+                for &id in &frontier {
+                    let i = frontier_index(id);
+                    if self.faults.is_crashed(NodeId::new(i), round) {
+                        pending[i] = None;
+                        continue;
+                    }
+                    stats.stepped += 1;
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut rngs[i],
+                        &mut pending[i],
+                        &mut wake[i],
+                    );
+                    nodes[i].on_round(&mut ctx);
+                }
+            } else {
+                // Workers apply the same crash filter per shard; the
+                // coordinator counts here so `stepped` matches the
+                // inline path exactly.
+                for &id in &frontier {
+                    let i = frontier_index(id);
+                    if !self.faults.is_crashed(NodeId::new(i), round) {
+                        stats.stepped += 1;
+                    }
+                    id_bufs[i / chunk].push(frontier_id(i % chunk));
+                }
+                let p = pool.as_mut().expect("sharded path requires a pool");
+                let jobs: Vec<Job<P>> = split_shards(
+                    chunk,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut pending,
+                    &mut wake,
+                    &mut spare,
+                )
+                .into_iter()
+                .map(|shard| {
+                    let ids = mem::take(&mut id_bufs[shard.base / chunk]);
+                    Job::FrontierRounds { shard, ids, round }
+                })
+                .collect();
+                for done in p.dispatch(jobs) {
+                    let Done::SteppedIds { shard, mut ids } = done else {
+                        unreachable!("frontier jobs return SteppedIds")
+                    };
+                    ids.clear();
+                    id_bufs[shard.base / chunk] = ids;
+                    absorb_shard(
+                        shard,
+                        &mut nodes,
+                        &mut rngs,
+                        &mut pending,
+                        &mut wake,
+                        &mut spare,
+                    );
+                }
+            }
+
+            // 4. Launch initiations — only frontier nodes can hold a
+            //    pending initiation, so the sweep is O(frontier).
+            //    Snapshots are taken per use on the coordinator,
+            //    exactly like the sequential reference. Under a cap,
+            //    admission order is the seeded sort restricted to the
+            //    candidates (the same relative order the full-array
+            //    sort produces).
+            cand.clear();
+            cand.extend(
+                frontier
+                    .iter()
+                    .copied()
+                    .filter(|&id| pending[frontier_index(id)].is_some()),
+            );
+            if capped {
+                cand.sort_by_key(|&id| {
+                    splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ u64::from(id))
+                });
+            }
+            let round_mark = round + 1;
+            for &cand_id in &cand {
+                let i = frontier_index(cand_id);
+                let Some((v, vi)) = pending[i].take() else {
+                    continue;
+                };
+                let u = NodeId::new(i);
+                if self.config.blocking && outstanding[i] > 0 {
+                    metrics.rejected += 1;
+                    let mut ctx = self.ctx(
+                        i,
+                        round,
+                        size_hint,
+                        &mut rngs[i],
+                        &mut pending[i],
+                        &mut wake[i],
+                    );
+                    nodes[i].on_rejected(&mut ctx, v);
+                    pending[i] = None;
+                    continue;
+                }
+                if let Some(cap) = self.config.connection_cap {
+                    let mine = if engage_mark[i] == round_mark {
+                        engage_cnt[i]
+                    } else {
+                        0
+                    };
+                    let theirs = if engage_mark[v.index()] == round_mark {
+                        engage_cnt[v.index()]
+                    } else {
+                        0
+                    };
+                    if mine >= cap || theirs >= cap {
+                        metrics.rejected += 1;
+                        let mut ctx = self.ctx(
+                            i,
+                            round,
+                            size_hint,
+                            &mut rngs[i],
+                            &mut pending[i],
+                            &mut wake[i],
+                        );
+                        nodes[i].on_rejected(&mut ctx, v);
+                        pending[i] = None; // a rejection cannot re-initiate this round
+                        continue;
+                    }
+                    engage_mark[i] = round_mark;
+                    engage_cnt[i] = mine + 1;
+                    engage_mark[v.index()] = round_mark;
+                    engage_cnt[v.index()] = theirs + 1;
+                }
+                metrics.initiated += 1;
+                if self.config.blocking {
+                    outstanding[i] += 1;
+                }
+                let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
+                queue.schedule(
+                    round,
+                    lat.rounds(),
+                    InFlight {
+                        a: u,
+                        b: v,
+                        payload_a: nodes[i].payload(),
+                        payload_b: nodes[v.index()].payload(),
+                        initiated_at: round,
+                    },
+                );
+            }
+
+            // End of round: refresh done flags (steps and rejections
+            // may have changed them) and drain wake requests for every
+            // callback recipient — all of whom are on the frontier.
+            for &id in &frontier {
+                let i = frontier_index(id);
+                let now_done = nodes[i].is_done();
+                if now_done != done_flags[i] {
+                    done_flags[i] = now_done;
+                    if now_done {
+                        done_count += 1;
+                    } else {
+                        done_count -= 1;
+                    }
+                }
+                if let Some(t) = wake[i].take() {
+                    wakes.schedule(round, t, id);
+                }
+            }
+
+            // Advance: dense visits every round; frontier jumps to the
+            // next event (clamped to the cap, where MaxRounds fires at
+            // the identical round number).
+            if dense {
+                round += 1;
+            } else {
+                let next = match (
+                    queue.next_occupied_after(round),
+                    wakes.next_occupied_after(round),
+                ) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) | (None, Some(a)) => a,
+                    // Quiescent: no exchange in flight, no wakeup
+                    // registered — nothing can ever happen again.
+                    (None, None) => self.config.max_rounds,
+                }
+                .min(self.config.max_rounds);
+                stats.skipped_rounds += next - round - 1;
+                round = next;
+            }
+        }
+    }
 }
 
 /// One contiguous slice of the simulation state, shipped to a pool
@@ -1109,6 +2111,7 @@ struct Shard<P> {
     nodes: Vec<P>,
     rngs: Vec<StdRng>,
     pending: Vec<Option<(NodeId, u32)>>,
+    wake: Vec<Option<Round>>,
 }
 
 impl<P> Shard<P> {
@@ -1118,6 +2121,7 @@ impl<P> Shard<P> {
             nodes: Vec::new(),
             rngs: Vec::new(),
             pending: Vec::new(),
+            wake: Vec::new(),
         }
     }
 }
@@ -1135,6 +2139,14 @@ enum Job<P: Protocol> {
     },
     /// Phase 3: `on_round` for every live node in the shard.
     Rounds { shard: Shard<P>, round: Round },
+    /// Phase 3, on-demand: `on_round` for the listed shard-local
+    /// indices only (the shard's slice of the active frontier,
+    /// ascending).
+    FrontierRounds {
+        shard: Shard<P>,
+        ids: Vec<u32>,
+        round: Round,
+    },
     /// Phase 4 (uncapped, non-blocking only): materialize one payload
     /// snapshot per node with a non-zero use count.
     Snapshots {
@@ -1160,6 +2172,9 @@ enum Done<P: Protocol> {
         uses: Vec<u32>,
         snaps: Vec<Option<P::Payload>>,
     },
+    /// [`Job::FrontierRounds`] completed; `ids` keeps its capacity for
+    /// reuse.
+    SteppedIds { shard: Shard<P>, ids: Vec<u32> },
 }
 
 /// Carves the master state vectors into contiguous per-shard buffers.
@@ -1171,6 +2186,7 @@ fn split_shards<P>(
     nodes: &mut Vec<P>,
     rngs: &mut Vec<StdRng>,
     pending: &mut Vec<Option<(NodeId, u32)>>,
+    wake: &mut Vec<Option<Round>>,
     spare: &mut Vec<Shard<P>>,
 ) -> Vec<Shard<P>> {
     let count = nodes.len().div_ceil(chunk);
@@ -1182,6 +2198,7 @@ fn split_shards<P>(
         s.nodes.extend(nodes.drain(base..));
         s.rngs.extend(rngs.drain(base..));
         s.pending.extend(pending.drain(base..));
+        s.wake.extend(wake.drain(base..));
         out.push(s);
     }
     out.reverse();
@@ -1197,12 +2214,14 @@ fn absorb_shard<P>(
     nodes: &mut Vec<P>,
     rngs: &mut Vec<StdRng>,
     pending: &mut Vec<Option<(NodeId, u32)>>,
+    wake: &mut Vec<Option<Round>>,
     spare: &mut Vec<Shard<P>>,
 ) {
     debug_assert_eq!(nodes.len(), s.base, "shards absorbed out of order");
     nodes.append(&mut s.nodes);
     rngs.append(&mut s.rngs);
     pending.append(&mut s.pending);
+    wake.append(&mut s.wake);
     spare.push(s);
 }
 

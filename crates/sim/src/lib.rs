@@ -60,10 +60,11 @@ pub mod rumor;
 pub mod trace;
 
 pub use engine::{
-    Context, Exchange, Outcome, Protocol, SimConfig, SimMetrics, Simulator, StopReason,
+    Context, EngineMode, EngineStats, Exchange, Outcome, Protocol, Scheduling, SimConfig,
+    SimMetrics, Simulator, StopReason,
 };
 pub use faults::FaultPlan;
-pub use rumor::{RumorSet, SharedRumorSet};
+pub use rumor::{CompactRumorSet, RumorSet, SharedRumorSet};
 pub use trace::{TraceEvent, TraceLog, Traced};
 
 /// Simulation time, in synchronous rounds.

@@ -70,6 +70,10 @@ pub struct NodePacer<'g, P: Protocol> {
     latency_known: bool,
     rng: StdRng,
     pending: Option<(NodeId, u32)>,
+    /// Wake-request slot ([`Context::wake_at`]); drained by
+    /// [`take_wake`](Self::take_wake) so on-demand drivers can honor
+    /// the engine's wakeup contract.
+    wake: Option<Round>,
     protocol: P,
 }
 
@@ -87,6 +91,7 @@ impl<'g, P: Protocol> NodePacer<'g, P> {
             latency_known: config.latency_known,
             rng: StdRng::seed_from_u64(node_seed(config.seed, node)),
             pending: None,
+            wake: None,
             protocol,
         }
     }
@@ -106,6 +111,7 @@ impl<'g, P: Protocol> NodePacer<'g, P> {
             latency_known,
             rng,
             pending,
+            wake,
             protocol,
         } = self;
         let mut ctx = Context::new(
@@ -117,6 +123,7 @@ impl<'g, P: Protocol> NodePacer<'g, P> {
             latency_known.then(|| graph.neighbor_latencies(*node)),
             rng,
             pending,
+            wake,
         );
         f(protocol, &mut ctx)
     }
@@ -145,6 +152,15 @@ impl<'g, P: Protocol> NodePacer<'g, P> {
         let i = usize::try_from(vi).expect("adjacency index fits usize");
         let latency = self.graph.neighbor_latencies(self.node)[i];
         Some(Initiation { peer, latency })
+    }
+
+    /// Takes the wakeup request registered by the protocol's most
+    /// recent callbacks ([`Context::wake_at`]), if any. Drivers pacing
+    /// [`Scheduling::OnDemand`](crate::engine::Scheduling::OnDemand)
+    /// protocols must collect this after each round's callbacks and
+    /// step the node again at the returned round.
+    pub fn take_wake(&mut self) -> Option<Round> {
+        self.wake.take()
     }
 
     /// The node's current payload snapshot ([`Protocol::payload`]).

@@ -386,6 +386,611 @@ impl std::ops::Deref for SharedRumorSet {
     }
 }
 
+/// Sparse representation capacity: a [`CompactRumorSet`] holding at
+/// most this many ids stays an id list. Chosen so the sparse form never
+/// exceeds the footprint of a 2048-node bitset (32 × `u32` = 16 words).
+pub const SPARSE_MAX: usize = 32;
+
+/// Run-length representation capacity: at most this many maximal
+/// `[start, end)` runs before promotion to a bitset (32 runs = 32
+/// words — same ceiling as [`SPARSE_MAX`]).
+pub const RUNS_MAX: usize = 32;
+
+/// The internal representation tiers of a [`CompactRumorSet`].
+///
+/// Promotion is monotone (rumor sets only grow): `Sparse → Runs →
+/// Bitset`, and any tier jumps straight to `Full` the moment the set
+/// covers its universe. There is no demotion.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Repr {
+    /// Strictly increasing ids; at most [`SPARSE_MAX`] of them.
+    Sparse(Vec<u32>),
+    /// Disjoint, non-adjacent, strictly increasing `[start, end)`
+    /// runs; at most [`RUNS_MAX`] of them.
+    Runs(Vec<(u32, u32)>),
+    /// Plain bitset words, exactly as in [`RumorSet`].
+    Bitset(Vec<u64>),
+    /// Every id in the universe: O(1) memory regardless of `n`.
+    Full,
+}
+
+/// A [`RumorSet`] with a tiered, automatically-promoting
+/// representation: id list → run-length intervals → bitset → constant
+/// "full" marker.
+///
+/// Behaviorally identical to a `RumorSet` over the same universe —
+/// `insert`, `union_with`, `contains`, `len`, `is_superset`, `iter`,
+/// and crucially [`fingerprint`](Self::fingerprint) (computed over the
+/// *materialized word stream*, so it is bit-for-bit the `RumorSet`
+/// fingerprint of the same contents). The difference is the memory
+/// model: one-to-all dissemination states (a handful of ids, or "all
+/// of them") cost O(1) words per node instead of `⌈n/64⌉`, which is
+/// what makes million-node simulation fit in RAM.
+///
+/// # Example
+///
+/// ```
+/// use gossip_sim::{CompactRumorSet, RumorSet};
+/// use latency_graph::NodeId;
+///
+/// let n = 1_000_000;
+/// let mut c = CompactRumorSet::singleton(n, NodeId::new(3));
+/// c.insert(NodeId::new(7));          // still a 2-word id list
+/// let dense = {
+///     let mut s = RumorSet::singleton(n, NodeId::new(3));
+///     s.insert(NodeId::new(7));
+///     s
+/// };
+/// assert_eq!(c.fingerprint(), dense.fingerprint());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CompactRumorSet {
+    repr: Repr,
+    universe: usize,
+    count: usize,
+}
+
+/// Widens a compact 32-bit id to a `usize` index (always fits: the
+/// compact universe is validated to fit `u32`, and `usize ≥ 32` bits on
+/// every supported target).
+#[inline]
+fn wide(id: u32) -> usize {
+    usize::try_from(id).expect("compact id fits usize")
+}
+
+/// Bit mask covering bits `lo..hi` (both `< 64`, `hi` exclusive may be
+/// 64) of one word.
+#[inline]
+fn span_mask(lo: u32, hi: u32) -> u64 {
+    debug_assert!(lo < hi && hi <= 64);
+    let width = hi - lo;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
+/// Compresses a strictly increasing id list into maximal `[start, end)`
+/// runs.
+fn runs_from_sorted(ids: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &v in ids {
+        match runs.last_mut() {
+            Some(r) if r.1 == v => r.1 = v + 1,
+            _ => runs.push((v, v + 1)),
+        }
+    }
+    runs
+}
+
+impl CompactRumorSet {
+    /// An empty set over the universe `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32` range (compact ids are 32-bit).
+    pub fn new(n: usize) -> CompactRumorSet {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "compact rumor universe must fit u32"
+        );
+        if n == 0 {
+            // count == universe, so the empty universe is Full — the
+            // invariant every mutation below maintains.
+            return CompactRumorSet {
+                repr: Repr::Full,
+                universe: 0,
+                count: 0,
+            };
+        }
+        CompactRumorSet {
+            repr: Repr::Sparse(Vec::new()),
+            universe: n,
+            count: 0,
+        }
+    }
+
+    /// A set containing exactly `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= n`.
+    pub fn singleton(n: usize, v: NodeId) -> CompactRumorSet {
+        let mut s = CompactRumorSet::new(n);
+        s.insert(v);
+        s
+    }
+
+    /// The full set over `0..n` — O(1) time and memory at any `n`.
+    pub fn full(n: usize) -> CompactRumorSet {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "compact rumor universe must fit u32"
+        );
+        CompactRumorSet {
+            repr: Repr::Full,
+            universe: n,
+            count: n,
+        }
+    }
+
+    /// Builds the compact form of a plain bitset, choosing the smallest
+    /// representation tier that fits its contents.
+    pub fn from_set(set: &RumorSet) -> CompactRumorSet {
+        let n = set.universe();
+        let mut c = CompactRumorSet::new(n);
+        if set.is_full() {
+            return CompactRumorSet::full(n);
+        }
+        if set.len() <= SPARSE_MAX {
+            for v in set.iter() {
+                c.insert(v);
+            }
+            return c;
+        }
+        let ids: Vec<u32> = set
+            .iter()
+            .map(|v| u32::try_from(v.index()).expect("id fits u32"))
+            .collect();
+        let runs = runs_from_sorted(&ids);
+        c.count = set.len();
+        c.repr = if runs.len() <= RUNS_MAX {
+            Repr::Runs(runs)
+        } else {
+            Repr::Bitset(set.as_words().to_vec())
+        };
+        c
+    }
+
+    /// The universe size `n` this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of rumors known.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no rumor is known.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every rumor in the universe is known.
+    pub fn is_full(&self) -> bool {
+        self.count == self.universe
+    }
+
+    /// The number of `u64` words in the backing store of this set's
+    /// current representation (0 for `Full`) — the memory-model
+    /// observable the promotion tests pin.
+    pub fn repr_words(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.len().div_ceil(2),
+            Repr::Runs(runs) => runs.len(),
+            Repr::Bitset(words) => words.len(),
+            Repr::Full => 0,
+        }
+    }
+
+    /// Whether `v`'s rumor is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= universe`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node outside rumor universe");
+        let id = u32::try_from(i).expect("id fits u32");
+        match &self.repr {
+            Repr::Sparse(ids) => ids.binary_search(&id).is_ok(),
+            Repr::Runs(runs) => match runs.partition_point(|&(start, _)| start <= id) {
+                0 => false,
+                p => id < runs[p - 1].1,
+            },
+            Repr::Bitset(words) => words[i / 64] >> (i % 64) & 1 == 1,
+            Repr::Full => true,
+        }
+    }
+
+    /// Inserts `v`'s rumor; returns `true` if it was new. Promotes the
+    /// representation when the current tier overflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= universe`.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node outside rumor universe");
+        let id = u32::try_from(i).expect("id fits u32");
+        let inserted = match &mut self.repr {
+            Repr::Sparse(ids) => match ids.binary_search(&id) {
+                Ok(_) => false,
+                Err(p) => {
+                    ids.insert(p, id);
+                    true
+                }
+            },
+            Repr::Runs(runs) => {
+                let p = runs.partition_point(|&(start, _)| start <= id);
+                if p > 0 && id < runs[p - 1].1 {
+                    false
+                } else {
+                    let grows_prev = p > 0 && runs[p - 1].1 == id;
+                    let grows_next = p < runs.len() && runs[p].0 == id + 1;
+                    match (grows_prev, grows_next) {
+                        (true, true) => {
+                            runs[p - 1].1 = runs[p].1;
+                            runs.remove(p);
+                        }
+                        (true, false) => runs[p - 1].1 = id + 1,
+                        (false, true) => runs[p].0 = id,
+                        (false, false) => runs.insert(p, (id, id + 1)),
+                    }
+                    true
+                }
+            }
+            Repr::Bitset(words) => {
+                let mask = 1u64 << (i % 64);
+                if words[i / 64] & mask == 0 {
+                    words[i / 64] |= mask;
+                    true
+                } else {
+                    false
+                }
+            }
+            Repr::Full => false,
+        };
+        if inserted {
+            self.count += 1;
+            self.normalize();
+        }
+        inserted
+    }
+
+    /// Unions `other` into `self`; returns `true` if anything changed.
+    ///
+    /// Same-tier pairs merge with a single fused scan (sorted-list
+    /// merge, interval union, or the bitset OR+popcount pass of
+    /// [`RumorSet::union_with`]); mixed tiers first promote `self` to
+    /// the higher tier. A `Full` operand short-circuits in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &CompactRumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor universes must match");
+        if other.count == 0 || self.is_full() {
+            return false;
+        }
+        if other.is_full() {
+            self.repr = Repr::Full;
+            self.count = self.universe;
+            return true;
+        }
+        // Promote self to at least other's tier so the merge below is
+        // always same-tier (or bitset-absorbs-smaller).
+        match (&self.repr, &other.repr) {
+            (Repr::Sparse(_), Repr::Runs(_)) => self.promote_to_runs(),
+            (Repr::Sparse(_) | Repr::Runs(_), Repr::Bitset(_)) => self.promote_to_bitset(),
+            _ => {}
+        }
+        let old = self.count;
+        match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let merged = merge_sorted(a, b);
+                self.count = merged.len();
+                *a = merged;
+            }
+            (Repr::Runs(a), Repr::Sparse(b)) => {
+                let other_runs = runs_from_sorted(b);
+                let (merged, count) = merge_runs(a, &other_runs);
+                self.count = count;
+                *a = merged;
+            }
+            (Repr::Runs(a), Repr::Runs(b)) => {
+                let (merged, count) = merge_runs(a, b);
+                self.count = count;
+                *a = merged;
+            }
+            (Repr::Bitset(words), _) => {
+                // Fused OR + popcount scan, exactly as the plain
+                // bitset union. Sparse/runs operands only touch the
+                // words they cover.
+                match &other.repr {
+                    Repr::Sparse(b) => {
+                        let mut added = 0usize;
+                        for &id in b {
+                            let (w, bit) = (wide(id) / 64, 1u64 << (id % 64));
+                            if words[w] & bit == 0 {
+                                words[w] |= bit;
+                                added += 1;
+                            }
+                        }
+                        self.count += added;
+                    }
+                    Repr::Runs(b) => {
+                        let mut added = 0usize;
+                        for &(start, end) in b {
+                            let first = wide(start) / 64;
+                            let (mut w, last) = (first, wide(end - 1) / 64);
+                            while w <= last {
+                                let lo = if w == first { start % 64 } else { 0 };
+                                let hi = if w == last { (end - 1) % 64 + 1 } else { 64 };
+                                let mask = span_mask(lo, hi);
+                                added += ones(mask & !words[w]);
+                                words[w] |= mask;
+                                w += 1;
+                            }
+                        }
+                        self.count += added;
+                    }
+                    Repr::Bitset(b) => {
+                        let mut count = 0usize;
+                        for (a, &bw) in words.iter_mut().zip(b) {
+                            *a |= bw;
+                            count += ones(*a);
+                        }
+                        self.count = count;
+                    }
+                    Repr::Full => unreachable!("full operand handled above"),
+                }
+            }
+            (Repr::Full, _) | (_, Repr::Full) => unreachable!("full operands handled above"),
+            (Repr::Sparse(_), Repr::Runs(_) | Repr::Bitset(_))
+            | (Repr::Runs(_), Repr::Bitset(_)) => {
+                unreachable!("self was promoted to other's tier")
+            }
+        }
+        self.normalize();
+        self.count != old
+    }
+
+    /// Whether `self` is a superset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_superset(&self, other: &CompactRumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor universes must match");
+        if other.count > self.count {
+            return false;
+        }
+        self.words().zip(other.words()).all(|(a, b)| b & !a == 0)
+    }
+
+    /// A 64-bit fingerprint of the set contents, computed over the
+    /// materialized word stream — **bit-identical to
+    /// [`RumorSet::fingerprint`]** of the same contents, so golden
+    /// traces cannot tell the representations apart.
+    pub fn fingerprint(&self) -> u64 {
+        let universe = u64::try_from(self.universe).expect("universe fits u64");
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ universe;
+        for w in self.words() {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h
+    }
+
+    /// Materializes the equivalent plain bitset.
+    pub fn to_set(&self) -> RumorSet {
+        RumorSet::from_words(self.universe, self.words().collect())
+            .expect("compact words are well-formed")
+    }
+
+    /// Iterates over the known rumors in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let per_repr: Box<dyn Iterator<Item = usize> + '_> = match &self.repr {
+            Repr::Sparse(ids) => Box::new(ids.iter().map(|&v| wide(v))),
+            Repr::Runs(runs) => Box::new(runs.iter().flat_map(|&(a, b)| wide(a)..wide(b))),
+            Repr::Bitset(words) => Box::new(words.iter().enumerate().flat_map(|(w, &word)| {
+                (0..64)
+                    .filter(move |b| word >> b & 1 == 1)
+                    .map(move |b| w * 64 + b)
+            })),
+            Repr::Full => Box::new(0..self.universe),
+        };
+        per_repr.map(NodeId::new)
+    }
+
+    /// The set as a stream of bitset words (little-endian bit order,
+    /// `⌈n/64⌉` words), materialized lazily from whatever the current
+    /// representation is.
+    fn words(&self) -> impl Iterator<Item = u64> + '_ {
+        let nwords = self.universe.div_ceil(64);
+        let tail = self.universe % 64;
+        (0..nwords).scan(0usize, move |cursor, w| {
+            // Word `w` covers bits `lo..hi` of the id space; compare in
+            // u64 so `hi` cannot overflow at the top of the u32 range.
+            let lo = u64::try_from(w * 64).expect("bit offset fits u64");
+            let hi = lo + 64;
+            Some(match &self.repr {
+                Repr::Sparse(ids) => {
+                    let mut word = 0u64;
+                    while *cursor < ids.len() && u64::from(ids[*cursor]) < hi {
+                        word |= 1u64 << (ids[*cursor] % 64);
+                        *cursor += 1;
+                    }
+                    word
+                }
+                Repr::Runs(runs) => {
+                    let mut word = 0u64;
+                    let mut k = *cursor;
+                    while k < runs.len() && u64::from(runs[k].0) < hi {
+                        let (start, end) = (u64::from(runs[k].0), u64::from(runs[k].1));
+                        if end > lo {
+                            let a = u32::try_from(start.max(lo) - lo).expect("span fits u32");
+                            let b = u32::try_from(end.min(hi) - lo).expect("span fits u32");
+                            word |= span_mask(a, b);
+                        }
+                        if end <= hi {
+                            // Fully consumed: never overlaps a later word.
+                            *cursor = k + 1;
+                        }
+                        k += 1;
+                    }
+                    word
+                }
+                Repr::Bitset(words) => words[w],
+                Repr::Full => {
+                    if w + 1 == nwords && tail != 0 {
+                        (1u64 << tail) - 1
+                    } else {
+                        u64::MAX
+                    }
+                }
+            })
+        })
+    }
+
+    /// Re-establishes the representation invariants after a mutation:
+    /// overflowing tiers promote, and a set covering its universe
+    /// collapses to the O(1) `Full` marker.
+    fn normalize(&mut self) {
+        if self.count == self.universe {
+            self.repr = Repr::Full;
+            return;
+        }
+        match &self.repr {
+            Repr::Sparse(ids) if ids.len() > SPARSE_MAX => {
+                self.promote_to_runs();
+                if let Repr::Runs(runs) = &self.repr {
+                    if runs.len() > RUNS_MAX {
+                        self.promote_to_bitset();
+                    }
+                }
+            }
+            Repr::Runs(runs) if runs.len() > RUNS_MAX => self.promote_to_bitset(),
+            _ => {}
+        }
+    }
+
+    fn promote_to_runs(&mut self) {
+        if let Repr::Sparse(ids) = &self.repr {
+            self.repr = Repr::Runs(runs_from_sorted(ids));
+        }
+    }
+
+    fn promote_to_bitset(&mut self) {
+        match &self.repr {
+            Repr::Sparse(_) | Repr::Runs(_) => {
+                let words: Vec<u64> = self.words().collect();
+                self.repr = Repr::Bitset(words);
+            }
+            Repr::Bitset(_) | Repr::Full => {}
+        }
+    }
+}
+
+/// Merges two strictly increasing id lists into one (set union).
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Unions two run lists (disjoint, sorted, non-adjacent runs in, same
+/// invariant out), coalescing overlapping and adjacent runs; returns
+/// the merged runs and their total cardinality.
+fn merge_runs(a: &[(u32, u32)], b: &[(u32, u32)]) -> (Vec<(u32, u32)>, usize) {
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(a.len() + b.len());
+    let mut count = 0usize;
+    let (mut i, mut j) = (0, 0);
+    let mut push = |out: &mut Vec<(u32, u32)>, r: (u32, u32)| match out.last_mut() {
+        Some(last) if r.0 <= last.1 => {
+            if r.1 > last.1 {
+                count += wide(r.1 - last.1);
+                last.1 = r.1;
+            }
+        }
+        _ => {
+            count += wide(r.1 - r.0);
+            out.push(r);
+        }
+    };
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            push(&mut out, a[i]);
+            i += 1;
+        } else {
+            push(&mut out, b[j]);
+            j += 1;
+        }
+    }
+    for &r in &a[i..] {
+        push(&mut out, r);
+    }
+    for &r in &b[j..] {
+        push(&mut out, r);
+    }
+    (out, count)
+}
+
+impl fmt::Debug for CompactRumorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tier = match &self.repr {
+            Repr::Sparse(_) => "sparse",
+            Repr::Runs(_) => "runs",
+            Repr::Bitset(_) => "bitset",
+            Repr::Full => "full",
+        };
+        write!(
+            f,
+            "CompactRumorSet[{tier}]({}/{})",
+            self.count, self.universe
+        )
+    }
+}
+
+impl From<&RumorSet> for CompactRumorSet {
+    fn from(set: &RumorSet) -> CompactRumorSet {
+        CompactRumorSet::from_set(set)
+    }
+}
+
 impl AsRef<RumorSet> for RumorSet {
     fn as_ref(&self) -> &RumorSet {
         self
@@ -597,5 +1202,166 @@ mod tests {
         let d = format!("{f:?}");
         assert!(d.contains("20/20"));
         assert!(d.contains('…'));
+    }
+
+    // --- CompactRumorSet ---
+
+    fn tier(c: &CompactRumorSet) -> &'static str {
+        match format!("{c:?}") {
+            s if s.contains("[sparse]") => "sparse",
+            s if s.contains("[runs]") => "runs",
+            s if s.contains("[bitset]") => "bitset",
+            _ => "full",
+        }
+    }
+
+    #[test]
+    fn compact_matches_bitset_on_inserts() {
+        let n = 500;
+        let mut c = CompactRumorSet::new(n);
+        let mut s = RumorSet::new(n);
+        for i in [3usize, 64, 65, 66, 67, 499, 3, 128] {
+            assert_eq!(c.insert(NodeId::new(i)), s.insert(NodeId::new(i)), "id {i}");
+            assert_eq!(c.len(), s.len());
+            assert_eq!(c.fingerprint(), s.fingerprint());
+        }
+        assert!(c.contains(NodeId::new(66)));
+        assert!(!c.contains(NodeId::new(4)));
+        assert_eq!(c.to_set(), s);
+        let ids: Vec<usize> = c.iter().map(NodeId::index).collect();
+        let want: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn compact_promotes_sparse_runs_bitset_full() {
+        let n = 10_000;
+        let mut c = CompactRumorSet::new(n);
+        assert_eq!(tier(&c), "sparse");
+        // A contiguous block stays one run once sparse overflows.
+        for i in 0..=SPARSE_MAX {
+            c.insert(NodeId::new(i));
+        }
+        assert_eq!(tier(&c), "runs");
+        assert_eq!(c.repr_words(), 1, "one run = one word");
+        // Scattered ids overflow the run budget into a bitset.
+        for i in 0..=RUNS_MAX {
+            c.insert(NodeId::new(100 + 2 * i));
+        }
+        assert_eq!(tier(&c), "bitset");
+        // Covering the universe collapses to the O(1) full marker.
+        let mut tiny = CompactRumorSet::new(70);
+        for i in 0..70 {
+            tiny.insert(NodeId::new(i));
+        }
+        assert_eq!(tier(&tiny), "full");
+        assert_eq!(tiny.repr_words(), 0);
+        assert!(tiny.is_full());
+        assert_eq!(tiny.fingerprint(), RumorSet::full(70).fingerprint());
+    }
+
+    #[test]
+    fn compact_full_is_constant_size() {
+        let c = CompactRumorSet::full(1_000_000);
+        assert_eq!(c.repr_words(), 0);
+        assert_eq!(c.len(), 1_000_000);
+        assert!(c.contains(NodeId::new(999_999)));
+        assert_eq!(c.fingerprint(), RumorSet::full(1_000_000).fingerprint());
+    }
+
+    #[test]
+    fn compact_union_all_tier_pairs() {
+        // Build one operand per tier over the same universe and union
+        // every ordered pair; results must match plain bitset unions.
+        let n = 4096;
+        let make = |ids: &[usize]| {
+            let mut c = CompactRumorSet::new(n);
+            let mut s = RumorSet::new(n);
+            for &i in ids {
+                c.insert(NodeId::new(i));
+                s.insert(NodeId::new(i));
+            }
+            (c, s)
+        };
+        let sparse: Vec<usize> = (0..8).map(|i| i * 17).collect();
+        let runs: Vec<usize> = (0..80).collect();
+        let scattered: Vec<usize> = (0..200).map(|i| i * 3).collect();
+        let everything: Vec<usize> = (0..n).collect();
+        let operands = [
+            make(&sparse),
+            make(&runs),
+            make(&scattered),
+            make(&everything),
+        ];
+        assert_eq!(tier(&operands[0].0), "sparse");
+        assert_eq!(tier(&operands[1].0), "runs");
+        assert_eq!(tier(&operands[2].0), "bitset");
+        assert_eq!(tier(&operands[3].0), "full");
+        for (ca, sa) in &operands {
+            for (cb, sb) in &operands {
+                let mut c = ca.clone();
+                let mut s = sa.clone();
+                assert_eq!(c.union_with(cb), s.union_with(sb));
+                assert_eq!(c.len(), s.len());
+                assert_eq!(c.fingerprint(), s.fingerprint(), "{ca:?} ∪ {cb:?}");
+                assert!(c.is_superset(cb));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_run_coalescing_and_bridging() {
+        let n = 1000;
+        let mut c = CompactRumorSet::new(n);
+        let mut s = RumorSet::new(n);
+        // Force runs tier, then bridge two runs with a single insert.
+        for i in (0..40).chain(50..90) {
+            c.insert(NodeId::new(i));
+            s.insert(NodeId::new(i));
+        }
+        assert_eq!(tier(&c), "runs");
+        for i in 40..50 {
+            c.insert(NodeId::new(i));
+            s.insert(NodeId::new(i));
+        }
+        assert_eq!(c.repr_words(), 1, "bridged into one run");
+        assert_eq!(c.fingerprint(), s.fingerprint());
+        assert_eq!(c.len(), 90);
+    }
+
+    #[test]
+    fn compact_from_set_round_trips() {
+        let n = 300;
+        for ids in [
+            Vec::new(),
+            vec![5usize],
+            (0..100).collect::<Vec<_>>(),
+            (0..n).step_by(2).collect::<Vec<_>>(),
+            (0..n).collect::<Vec<_>>(),
+        ] {
+            let mut s = RumorSet::new(n);
+            for &i in &ids {
+                s.insert(NodeId::new(i));
+            }
+            let c = CompactRumorSet::from_set(&s);
+            assert_eq!(c.len(), s.len());
+            assert_eq!(c.fingerprint(), s.fingerprint());
+            assert_eq!(c.to_set(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universes must match")]
+    fn compact_union_mismatched_universe_panics() {
+        let mut a = CompactRumorSet::new(10);
+        let b = CompactRumorSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn compact_contains_out_of_universe_panics() {
+        let s = CompactRumorSet::new(10);
+        let _ = s.contains(NodeId::new(10));
     }
 }

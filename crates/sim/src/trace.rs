@@ -155,6 +155,8 @@ impl<P> Traced<P> {
 }
 
 impl<P: Protocol> Protocol for Traced<P> {
+    const SCHEDULING: crate::engine::Scheduling = P::SCHEDULING;
+
     type Payload = P::Payload;
 
     fn payload(&self) -> P::Payload {

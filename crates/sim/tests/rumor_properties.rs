@@ -1,0 +1,195 @@
+//! Property tests: [`CompactRumorSet`] — through every representation
+//! tier (sparse list, interval runs, bitset, constant full-set) and
+//! every promotion between them — is observationally equivalent to the
+//! plain [`RumorSet`] bitset.
+//!
+//! Each case interleaves point inserts, interval inserts, and
+//! set-to-set unions on a compact/plain pair (plus a second pair to
+//! union *between* independently-promoted representations), then checks
+//! `contains`/`len`/`is_full`/`fingerprint`/iteration agree exactly.
+
+use gossip_sim::{CompactRumorSet, RumorSet};
+use latency_graph::NodeId;
+use proptest::prelude::*;
+
+/// One step of the interleaved workload, decoded from a raw
+/// `(kind, payload)` pair. Point inserts keep a set in the sparse
+/// tier, runs drive the interval tier, scattered inserts force the
+/// bitset tier, and covering runs reach the full-set tier — so random
+/// sequences cross every promotion edge.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Insert one id into A (resp. B).
+    Insert { into_b: bool, v: usize },
+    /// Insert the run `start..start+len` (clamped to the universe).
+    Run {
+        into_b: bool,
+        start: usize,
+        len: usize,
+    },
+    /// Insert a pseudorandom scatter of `count` ids derived from `salt`.
+    Scatter {
+        into_b: bool,
+        salt: u64,
+        count: usize,
+    },
+    /// `A.union_with(B)`.
+    Merge,
+    /// Swap the roles of A and B.
+    Swap,
+}
+
+impl Op {
+    fn decode(kind: u8, payload: u64) -> Op {
+        let into_b = payload & 1 == 1;
+        let x = usize::try_from((payload >> 1) & 0xFFFF).expect("fits usize");
+        let y = usize::try_from((payload >> 17) & 0xFF).expect("fits usize");
+        match kind % 5 {
+            0 => Op::Insert { into_b, v: x },
+            1 => Op::Run {
+                into_b,
+                start: x,
+                len: y.max(1),
+            },
+            2 => Op::Scatter {
+                into_b,
+                salt: splitmix(payload),
+                count: y % 48 + 1,
+            },
+            3 => Op::Merge,
+            _ => Op::Swap,
+        }
+    }
+}
+
+/// A compact set and its plain-bitset mirror, kept in lockstep.
+struct Pair {
+    compact: CompactRumorSet,
+    plain: RumorSet,
+}
+
+impl Pair {
+    fn new(universe: usize) -> Pair {
+        Pair {
+            compact: CompactRumorSet::new(universe),
+            plain: RumorSet::new(universe),
+        }
+    }
+
+    fn insert(&mut self, v: usize) {
+        let id = NodeId::new(v);
+        let a = self.compact.insert(id);
+        let b = self.plain.insert(id);
+        assert_eq!(a, b, "insert({v}) changed-flag mismatch");
+    }
+
+    fn check(&self, universe: usize) {
+        assert_eq!(self.compact.len(), self.plain.len());
+        assert_eq!(self.compact.is_empty(), self.plain.is_empty());
+        assert_eq!(self.compact.is_full(), self.plain.is_full());
+        assert_eq!(
+            self.compact.fingerprint(),
+            self.plain.fingerprint(),
+            "fingerprint diverged (repr holds {} words)",
+            self.compact.repr_words()
+        );
+        for v in 0..universe {
+            let id = NodeId::new(v);
+            assert_eq!(
+                self.compact.contains(id),
+                self.plain.contains(id),
+                "contains({v}) diverged"
+            );
+        }
+        let a: Vec<NodeId> = self.compact.iter().collect();
+        let b: Vec<NodeId> = self.plain.iter().collect();
+        assert_eq!(a, b, "iteration order diverged");
+        assert_eq!(self.compact.to_set(), self.plain);
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Interleaved inserts/runs/scatters/unions keep the compact set
+    /// equivalent to the plain bitset at every step.
+    #[test]
+    fn compact_equals_plain_bitset(
+        universe in 1usize..192,
+        raw_ops in prop::collection::vec((0u8..5, 0u64..u64::MAX), 0..40),
+    ) {
+        let mut a = Pair::new(universe);
+        let mut b = Pair::new(universe);
+        for (kind, payload) in raw_ops {
+            match Op::decode(kind, payload) {
+                Op::Insert { into_b, v } => {
+                    let t = if into_b { &mut b } else { &mut a };
+                    t.insert(v % universe);
+                }
+                Op::Run { into_b, start, len } => {
+                    let t = if into_b { &mut b } else { &mut a };
+                    let start = start % universe;
+                    for v in start..(start + len).min(universe) {
+                        t.insert(v);
+                    }
+                }
+                Op::Scatter { into_b, salt, count } => {
+                    let t = if into_b { &mut b } else { &mut a };
+                    for i in 0..count as u64 {
+                        let v = usize::try_from(splitmix(salt ^ i) % universe as u64)
+                            .expect("fits usize");
+                        t.insert(v);
+                    }
+                }
+                Op::Merge => {
+                    let changed_c = a.compact.union_with(&b.compact);
+                    let changed_p = a.plain.union_with(&b.plain);
+                    prop_assert_eq!(changed_c, changed_p, "union changed-flag mismatch");
+                }
+                Op::Swap => {
+                    std::mem::swap(&mut a, &mut b);
+                }
+            }
+            a.check(universe);
+            b.check(universe);
+        }
+        // A full covering run promotes to the constant tier and stays
+        // equivalent.
+        for v in 0..universe {
+            a.insert(v);
+        }
+        a.check(universe);
+        prop_assert!(a.compact.is_full());
+        prop_assert!(a.compact.repr_words() <= 1, "full set must be O(1) words");
+    }
+
+    /// `union_with` is idempotent and commutative in effect, across
+    /// whatever representation tiers the operands happen to occupy.
+    #[test]
+    fn union_order_irrelevant(
+        universe in 1usize..160,
+        xs in prop::collection::vec(0usize..160, 0..30),
+        ys in prop::collection::vec(0usize..160, 0..30),
+    ) {
+        let mut x = CompactRumorSet::new(universe);
+        let mut y = CompactRumorSet::new(universe);
+        for &v in &xs { x.insert(NodeId::new(v % universe)); }
+        for &v in &ys { y.insert(NodeId::new(v % universe)); }
+        let mut xy = x.clone();
+        xy.union_with(&y);
+        let mut yx = y.clone();
+        yx.union_with(&x);
+        prop_assert_eq!(xy.fingerprint(), yx.fingerprint());
+        prop_assert_eq!(xy.len(), yx.len());
+        let again = xy.union_with(&y);
+        prop_assert!(!again, "re-union must report no change");
+        prop_assert!(xy.is_superset(&x) && xy.is_superset(&y));
+    }
+}

@@ -33,7 +33,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// All rule families, in family order (1–9).
+/// All rule families, in family order (1–10).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism-zone",
@@ -70,6 +70,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "net-confinement",
         summary: "std::net socket APIs (TcpStream/TcpListener/UdpSocket) only inside crates/net",
+    },
+    RuleInfo {
+        name: "frontier-confinement",
+        summary: "frontier bookkeeping (wake/calendar queues, engine-counter writes) only in sim::engine",
     },
 ];
 
@@ -318,6 +322,7 @@ pub fn check_rust_file(path: &str, src: &str) -> Vec<Violation> {
     import_hygiene_source(path, src, &lexed, &mut out);
     concurrency_confinement(path, src, &lexed, &spans, &mut out);
     net_confinement(path, src, &lexed, &spans, &mut out);
+    frontier_confinement(path, src, &lexed, &spans, &mut out);
     out
 }
 
@@ -527,6 +532,88 @@ fn net_confinement(
             );
         }
     }
+}
+
+/// Family 10 — frontier confinement.
+///
+/// The frontier engine's determinism contract (byte-identical traces
+/// across engine modes and thread counts — DESIGN.md §12) rests on
+/// one invariant: frontier membership and round-skipping state are
+/// mutated in exactly one place, `sim::engine`'s event loop. Protocols
+/// influence scheduling only through the `Context::wake_at`/`wake_in`
+/// API. So, inside the determinism zone but outside
+/// `crates/sim/src/engine.rs`, naming the scheduling queues
+/// (`WakeQueue`, `CalendarQueue`) or *writing* an `EngineStats`
+/// counter field is a confinement breach: a second writer could
+/// disagree with the dense reference path in ways no single golden run
+/// catches. Reading the counters (they ship on `Outcome.stats`) is
+/// fine anywhere.
+fn frontier_confinement(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    /// The one zone module allowed to own frontier bookkeeping.
+    const ENGINE_MODULE: &str = "crates/sim/src/engine.rs";
+    const QUEUES: &[&str] = &["WakeQueue", "CalendarQueue"];
+    const COUNTERS: &[&str] = &[
+        "stepped",
+        "woken",
+        "event_rounds",
+        "skipped_rounds",
+        "peak_frontier",
+    ];
+    if !in_zone(DETERMINISM_ZONE, path) || is_test_tree(path) || path == ENGINE_MODULE {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(spans, i) {
+            continue;
+        }
+        if QUEUES.contains(&t.text.as_str()) {
+            push(
+                out,
+                lexed,
+                src,
+                "frontier-confinement",
+                path,
+                t.line,
+                format!(
+                    "`{}` outside `sim::engine`: the scheduling queues are frontier \
+                     bookkeeping; request wakeups through `Context::wake_at`/`wake_in`",
+                    t.text
+                ),
+            );
+        }
+        if COUNTERS.contains(&t.text.as_str()) && is_written(lexed, i) {
+            push(
+                out,
+                lexed,
+                src,
+                "frontier-confinement",
+                path,
+                t.line,
+                format!(
+                    "write to engine counter `{}` outside `sim::engine`: `EngineStats` \
+                     has exactly one writer, the engine event loop",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the identifier at token index `i` is the target of an
+/// assignment: `x = …` (not `==`), `x += …`, or `x -= …`.
+fn is_written(lexed: &Lexed, i: usize) -> bool {
+    let next = lexed.toks.get(i + 1);
+    let after = lexed.toks.get(i + 2);
+    if is_punct(next, b'=') && !is_punct(after, b'=') {
+        return true;
+    }
+    (is_punct(next, b'+') || is_punct(next, b'-')) && is_punct(after, b'=')
 }
 
 /// Family 2 — SAFETY comments.

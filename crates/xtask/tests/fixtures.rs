@@ -245,6 +245,53 @@ fn net_confinement_net_crate_exempt() {
     assert!(v.is_empty(), "crates/net must be exempt: {v:?}");
 }
 
+#[test]
+fn frontier_confinement_bad_fires() {
+    let v = source_findings("frontier-confinement", "bad.rs");
+    assert!(
+        v.len() >= 4,
+        "expected WakeQueue/CalendarQueue/counter-write findings, got {v:?}"
+    );
+    let msgs: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in [
+        "WakeQueue",
+        "CalendarQueue",
+        "skipped_rounds",
+        "peak_frontier",
+    ] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+    // `let woken = 3;` initializes a local, which the write heuristic
+    // flags by design — one writer, one module, no look-alikes.
+    assert!(msgs.iter().any(|m| m.contains("`woken`")), "{msgs:?}");
+}
+
+#[test]
+fn frontier_confinement_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("frontier-confinement", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "counter reads and Context wake requests must pass all families: {all:?}"
+    );
+}
+
+/// The engine module itself is the sanctioned home for frontier
+/// bookkeeping: the same bad fixture is clean when checked at its path.
+#[test]
+fn frontier_confinement_engine_module_exempt() {
+    let v: Vec<_> = check_rust_file(
+        "crates/sim/src/engine.rs",
+        &fixture("frontier-confinement", "bad.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "frontier-confinement")
+    .collect();
+    assert!(v.is_empty(), "sim::engine must be exempt: {v:?}");
+}
+
 /// Every declared rule family is exercised by at least one fixture
 /// directory of the same name.
 #[test]

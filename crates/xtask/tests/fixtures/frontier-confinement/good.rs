@@ -1,0 +1,22 @@
+//! Clean under family 10 (and every other family): protocols request
+//! wakeups through the context API and *read* the engine counters,
+//! which ship on `Outcome.stats`; the queues stay inside `sim::engine`.
+
+/// Fraction of visited rounds the frontier engine skipped outright.
+pub fn skip_fraction(stats: &EngineStats) -> f64 {
+    if stats.event_rounds == 0 {
+        return 0.0;
+    }
+    stats.skipped_rounds as f64 / (stats.skipped_rounds + stats.event_rounds) as f64
+}
+
+/// Comparisons and destructuring reads are not writes.
+pub fn busiest(stats: &EngineStats) -> bool {
+    let EngineStats { peak_frontier, .. } = *stats;
+    stats.stepped == stats.woken && peak_frontier > 0
+}
+
+/// Wake requests go through the context, never a queue.
+pub fn nap(ctx: &mut Context<'_>) {
+    ctx.wake_in(3);
+}
