@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["exact", "estimate", "all-to-all", "latency-known"];
+const SWITCHES: &[&str] = &["exact", "estimate", "all-to-all", "latency-known", "corpus"];
 
 impl Args {
     /// Splits `argv` into positionals and flags.

@@ -34,6 +34,9 @@ byte-identical to the default single-threaded run.
   gossip serve <file|-> --node I --peers FILE [--listen ADDR]
                [--algorithm A] [--seed S] [--source V] [--all-to-all]
                [--round-ms MS] [--max-rounds R]
+  gossip check --family <cycle|star|clique|ring-of-cliques> --n K
+               [--faults B] [--prop all|NAME] [--format human|json]
+  gossip check --corpus [--faults B] [--prop all|NAME] [--format human|json]
   gossip dot <file|->
   gossip help
 
@@ -59,6 +62,12 @@ LATENCY SPECS (re-weight a generated topology)
 ALGORITHMS (for run)
   push-pull | push-only | flooding | dtg | superstep
   eid | general-eid | path-discovery | unified
+
+PROPERTIES (for check; n <= 5, exhaustively verified)
+  lemma18-no-early-stop | same-round-termination | latency-respected
+  spanner-out-degree | at-most-once-delivery | termination
+`check --corpus` sweeps the pinned regression corpus at budgets 0..=B
+and runs the mutation suite; `--format json` emits mc-report.json.
 
 Graphs are read and written as edge lists: `n <count>` then `u v latency`
 lines; `-` means stdin.

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod mc_commands;
 pub mod net_commands;
 
 pub use error::CliError;
@@ -43,6 +44,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "spectral" => commands::spectral(&mut args),
         "spanner" => commands::spanner(&mut args),
         "run" => commands::run_algorithm(&mut args),
+        "check" => mc_commands::check(&mut args),
         "run-net" => net_commands::run_net(&mut args),
         "serve" => net_commands::serve(&mut args),
         "curve" => commands::curve(&mut args),

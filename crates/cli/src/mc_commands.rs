@@ -1,0 +1,193 @@
+//! `gossip check` — the exhaustive model checker front-end.
+//!
+//! Two modes:
+//!
+//! * `gossip check --family cycle --n 4 [--faults B] [--prop P]` —
+//!   exhaustively explore one instance at one fault budget.
+//! * `gossip check --corpus [--faults B]` — sweep the pinned
+//!   regression corpus at every budget `0..=B` **and** run the
+//!   mutation suite; `--format json` emits the `mc-report.json`
+//!   document CI archives.
+//!
+//! The command's output always carries a `VERDICT:` line (human) or a
+//! `summary` object (JSON) so scripts can grep the result without
+//! parsing counts.
+
+use gossip_mc::{
+    corpus, instance, mutants, report, Family, Instance, PropSelect, RunReport, PROPERTY_NAMES,
+};
+
+use crate::args::Args;
+use crate::error::CliError;
+
+fn parse_select(args: &mut Args) -> Result<PropSelect, CliError> {
+    match args.flag_raw("prop") {
+        None => Ok(PropSelect::All),
+        Some(p) if p == "all" => Ok(PropSelect::All),
+        Some(p) if PROPERTY_NAMES.contains(&p.as_str()) => Ok(PropSelect::One(p)),
+        Some(p) => Err(CliError::BadArgument {
+            what: "prop",
+            value: p,
+        }),
+    }
+}
+
+fn render(
+    runs: &[RunReport],
+    mutant_runs: &[mutants::MutantRun],
+    json: bool,
+) -> Result<String, CliError> {
+    if json {
+        return Ok(report::to_json(runs, mutant_runs));
+    }
+    let mut out = String::new();
+    for r in runs {
+        out.push_str(&report::human(r));
+    }
+    for m in mutant_runs {
+        out.push_str(&format!(
+            "mutant {:<16} expected={:<22} {}\n",
+            m.name,
+            m.property,
+            if m.killed() { "killed" } else { "SURVIVED" }
+        ));
+    }
+    let clean =
+        runs.iter().all(RunReport::ok) && mutant_runs.iter().all(mutants::MutantRun::killed);
+    out.push_str(if clean {
+        "VERDICT: ok\n"
+    } else {
+        "VERDICT: FAIL\n"
+    });
+    Ok(out)
+}
+
+/// `gossip check`.
+///
+/// # Errors
+///
+/// Rejects unknown families, properties, formats, out-of-range sizes,
+/// and stray flags.
+pub fn check(args: &mut Args) -> Result<String, CliError> {
+    let corpus_mode = args.switch("corpus");
+    let faults = args.flag_or("faults", if corpus_mode { 2u32 } else { 0u32 })?;
+    let select = parse_select(args)?;
+    let format = args
+        .flag_raw("format")
+        .unwrap_or_else(|| "human".to_string());
+    let json = match format.as_str() {
+        "json" => true,
+        "human" => false,
+        _ => {
+            return Err(CliError::BadArgument {
+                what: "format",
+                value: format,
+            })
+        }
+    };
+
+    if corpus_mode {
+        args.finish()?;
+        let mut runs = Vec::new();
+        for inst in corpus() {
+            for budget in 0..=faults {
+                runs.push(report::run_instance(&inst, budget, &select));
+            }
+        }
+        let mutant_runs = mutants::run_all();
+        return render(&runs, &mutant_runs, json);
+    }
+
+    let family_raw: String = args
+        .flag_opt("family")?
+        .ok_or(CliError::MissingArgument("--family (or --corpus)"))?;
+    let family = Family::parse(&family_raw).ok_or(CliError::BadArgument {
+        what: "family",
+        value: family_raw,
+    })?;
+    let n: usize = args
+        .flag_opt("n")?
+        .ok_or(CliError::MissingArgument("--n"))?;
+    args.finish()?;
+    let inst: Instance = instance(family, n).map_err(CliError::Unsupported)?;
+    let runs = vec![report::run_instance(&inst, faults, &select)];
+    render(&runs, &[], json)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CliError;
+
+    fn call(parts: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = parts.iter().map(std::string::ToString::to_string).collect();
+        crate::run(&argv)
+    }
+
+    #[test]
+    fn check_small_instance_verifies() {
+        let out = call(&["check", "--family", "cycle", "--n", "3"]).unwrap();
+        assert!(out.contains("cycle3 (fault budget 0)"), "{out}");
+        assert!(out.contains("nd-broadcast"), "{out}");
+        assert!(out.contains("lemma18"), "{out}");
+        assert!(out.ends_with("VERDICT: ok\n"), "{out}");
+    }
+
+    #[test]
+    fn check_single_property_selection() {
+        let out = call(&[
+            "check",
+            "--family",
+            "star",
+            "--n",
+            "4",
+            "--prop",
+            "spanner-out-degree",
+        ])
+        .unwrap();
+        assert!(out.contains("spanner"), "{out}");
+        assert!(!out.contains("nd-broadcast"), "{out}");
+    }
+
+    #[test]
+    fn check_json_shape() {
+        let out = call(&[
+            "check", "--family", "cycle", "--n", "3", "--faults", "1", "--format", "json",
+        ])
+        .unwrap();
+        assert!(out.starts_with("{\n  \"version\": 1,"), "{out}");
+        assert!(out.contains("\"instance\": \"cycle3\""), "{out}");
+        assert!(out.contains("\"fault_budget\": 1"), "{out}");
+        assert!(out.contains("\"violations\": 0"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_bad_arguments() {
+        assert!(matches!(
+            call(&["check", "--family", "torus", "--n", "3"]),
+            Err(CliError::BadArgument { what: "family", .. })
+        ));
+        assert!(matches!(
+            call(&["check", "--family", "cycle", "--n", "3", "--prop", "nope"]),
+            Err(CliError::BadArgument { what: "prop", .. })
+        ));
+        assert!(matches!(
+            call(&["check", "--family", "cycle", "--n", "9"]),
+            Err(CliError::Unsupported(_))
+        ));
+        assert!(matches!(
+            call(&["check", "--n", "3"]),
+            Err(CliError::MissingArgument(_))
+        ));
+        assert!(matches!(
+            call(&["check", "--family", "cycle", "--n", "3", "--fautls", "1"]),
+            Err(CliError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn help_mentions_check() {
+        let h = call(&["help"]).unwrap();
+        assert!(h.contains("gossip check --corpus"));
+        assert!(h.contains("lemma18-no-early-stop"));
+    }
+}

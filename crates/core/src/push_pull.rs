@@ -17,7 +17,6 @@
 
 use gossip_sim::{Context, Exchange, Protocol, Scheduling, SharedRumorSet, SimConfig, Simulator};
 use latency_graph::{Graph, NodeId};
-use rand::Rng as _;
 
 use crate::common::{BroadcastOutcome, Goal};
 
@@ -86,7 +85,10 @@ impl Protocol for PushPullNode {
         if d == 0 {
             return;
         }
-        let i = ctx.rng().random_range(0..d);
+        // Routed through the engine's nondeterminism point: in a normal
+        // run this is byte-identical to `rng().random_range(0..d)`, and
+        // under `gossip check` the branch is enumerated instead.
+        let i = ctx.choose(d);
         ctx.initiate_nth(i);
     }
 

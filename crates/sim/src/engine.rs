@@ -5,7 +5,7 @@ use std::mem;
 
 use latency_graph::{Graph, Latency, NodeId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng as _, SeedableRng};
 
 use crate::faults::FaultPlan;
 use crate::pool::{self, Pool};
@@ -152,6 +152,11 @@ pub struct Context<'a> {
     /// within a round. Ignored by [`Scheduling::EveryRound`] engines
     /// (every node is stepped anyway).
     wake: &'a mut Option<Round>,
+    /// Choice tape installed by a model checker ([`Stepper`]'s
+    /// `set_choice_tape`): when present, [`Context::choose`] reads
+    /// scripted branches from it instead of the node RNG. `None` in
+    /// every normal run.
+    tape: Option<&'a mut ChoiceTape>,
 }
 
 impl<'a> Context<'a> {
@@ -183,7 +188,15 @@ impl<'a> Context<'a> {
             rng,
             pending,
             wake,
+            tape: None,
         }
+    }
+
+    /// Attaches a checker choice tape to the view; used only by
+    /// [`Stepper`]-driven runs.
+    pub(crate) fn with_tape(mut self, tape: Option<&'a mut ChoiceTape>) -> Context<'a> {
+        self.tape = tape;
+        self
     }
 
     /// This node's id.
@@ -288,6 +301,18 @@ impl<'a> Context<'a> {
     /// [`Scheduling::EveryRound`] this is a no-op — every node is
     /// stepped every round already.
     ///
+    /// # Boundary semantics (audited)
+    ///
+    /// A wakeup at or before the current round is a **panic**, not a
+    /// clamp-to-next-round: the frontier for the current round is
+    /// already being processed, so such a request could never fire,
+    /// and silently rounding it up would hide an off-by-one in the
+    /// protocol's own schedule arithmetic (the exact bug class this
+    /// assert exists to catch). Protocols that want "next round" say
+    /// so explicitly with `wake_in(1)`. Both boundary cases are pinned
+    /// by engine unit tests (`wake_at_current_round_panics`,
+    /// `wake_at_next_round_fires_exactly_once`).
+    ///
     /// # Panics
     ///
     /// Panics if `round` is not strictly in the future: a wakeup for
@@ -318,6 +343,90 @@ impl<'a> Context<'a> {
     /// the simulation seed and the node id).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// Resolves a `k`-way nondeterministic branch.
+    ///
+    /// In a normal run this draws a uniform index in `0..k` from the
+    /// node RNG — byte-identical to calling
+    /// `self.rng().random_range(0..k)` directly, so routing a
+    /// protocol's peer selection through `choose` changes no trace.
+    /// Under a model checker ([`Stepper`] with a [`ChoiceTape`]
+    /// installed) the branch is scripted instead: the tape records the
+    /// arity `k` and returns the scheduled alternative, which is how
+    /// `gossip check` enumerates *every* peer-selection interleaving
+    /// rather than sampling one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (there is no branch to take) or if a tape
+    /// scripts an out-of-range alternative.
+    pub fn choose(&mut self, k: usize) -> usize {
+        assert!(k > 0, "{} asked to choose among zero options", self.node);
+        match self.tape.as_deref_mut() {
+            Some(tape) => tape.next(k),
+            None => self.rng.random_range(0..k),
+        }
+    }
+}
+
+/// A script of nondeterministic-branch outcomes for one [`Stepper`]
+/// transition, consumed by [`Context::choose`].
+///
+/// The tape starts with a caller-supplied `script`; each `choose(k)`
+/// takes the scripted alternative at its position (or `0` past the
+/// script's end — the default branch), and records both the outcome
+/// and the arity `k`. A model checker replays a state with the empty
+/// script, inspects [`arities`](Self::arities), and enqueues sibling
+/// scripts that flip each position through its remaining
+/// alternatives — the standard incremental discovery of a choice
+/// tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChoiceTape {
+    script: Vec<u32>,
+    taken: Vec<u32>,
+    arities: Vec<u32>,
+}
+
+impl ChoiceTape {
+    /// A tape that will play back `script` and then default to branch 0.
+    pub fn new(script: Vec<u32>) -> ChoiceTape {
+        ChoiceTape {
+            script,
+            taken: Vec::new(),
+            arities: Vec::new(),
+        }
+    }
+
+    /// Resolves the next choice point of arity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scripted alternative is `≥ k`: a script recorded
+    /// against one state never fits a different one, and silently
+    /// clamping would explore a phantom branch.
+    pub fn next(&mut self, k: usize) -> usize {
+        let pos = self.taken.len();
+        let arity = u32::try_from(k).expect("choice arity fits u32");
+        let c = self.script.get(pos).copied().unwrap_or(0);
+        assert!(
+            c < arity,
+            "scripted choice {c} at position {pos} out of range 0..{arity}"
+        );
+        self.taken.push(c);
+        self.arities.push(arity);
+        usize::try_from(c).expect("choice index fits usize")
+    }
+
+    /// The alternatives actually taken, one per choice point hit.
+    pub fn taken(&self) -> &[u32] {
+        &self.taken
+    }
+
+    /// The arity of each choice point hit, parallel to
+    /// [`taken`](Self::taken).
+    pub fn arities(&self) -> &[u32] {
+        &self.arities
     }
 }
 
@@ -467,6 +576,7 @@ impl<P> Outcome<P> {
     }
 }
 
+#[derive(Clone)]
 struct InFlight<P> {
     a: NodeId,
     b: NodeId,
@@ -503,6 +613,7 @@ const INLINE_WORK_MAX: usize = 256;
 /// (which churned a node allocation plus a fresh batch `Vec` per
 /// round). Latencies `≥ MAX_RING_SLOTS` (rare; pathological
 /// constructions only) fall back to a `BTreeMap` overflow.
+#[derive(Clone)]
 struct CalendarQueue<P> {
     ring: Vec<Vec<InFlight<P>>>,
     overflow: BTreeMap<Round, Vec<InFlight<P>>>,
@@ -760,6 +871,7 @@ impl<'g> Simulator<'g> {
             rng,
             pending,
             wake,
+            tape: None,
         }
     }
 
@@ -811,232 +923,44 @@ impl<'g> Simulator<'g> {
     }
 
     /// The single-threaded round loop — the reference semantics every
-    /// other execution mode must reproduce exactly.
-    fn run_sequential<P, F, S>(&self, mut factory: F, mut stop: S) -> Outcome<P>
+    /// other execution mode must reproduce exactly. Implemented as a
+    /// thin driver over [`Stepper`], the same stepping machinery the
+    /// model checker snapshots and branches: checked code is shipped
+    /// code.
+    fn run_sequential<P, F, S>(&self, factory: F, mut stop: S) -> Outcome<P>
     where
         P: Protocol,
         F: FnMut(NodeId, usize) -> P,
         S: FnMut(&[P], Round) -> bool,
     {
-        let n = self.graph.node_count();
-        let size_hint = self.config.size_hint.unwrap_or(n);
-        let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
-        let n_u64 = u64::try_from(n).expect("node count fits u64");
-        let mut rngs: Vec<StdRng> = (0..n_u64)
-            .map(|i| StdRng::seed_from_u64(splitmix64(self.config.seed ^ splitmix64(i))))
-            .collect();
-        let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
-        // Wake-request slots: written by `Context::wake_at`, never read
-        // here — every-round scheduling steps each node regardless.
-        let mut wake: Vec<Option<Round>> = vec![None; n];
-        let l_max = self.graph.max_latency().map_or(0, Latency::rounds);
-        let mut queue: CalendarQueue<P::Payload> = CalendarQueue::new(l_max);
-        // Delivery batch, reused every round.
-        let mut due: Vec<InFlight<P::Payload>> = Vec::new();
-        // Blocking mode: outstanding own-initiated exchanges per node.
-        let mut outstanding = vec![0u32; if self.config.blocking { n } else { 0 }];
-        // Initiation admission order and per-node engagement counters,
-        // used (and re-filled) only under a connection cap.
-        let capped = self.config.connection_cap.is_some();
-        let mut order: Vec<usize> = if capped { (0..n).collect() } else { Vec::new() };
-        let mut engagements: Vec<usize> = vec![0; if capped { n } else { 0 }];
-        let mut metrics = SimMetrics::default();
-
-        // on_start for every live node, before round 0.
-        for i in 0..n {
-            if self.faults.is_crashed(NodeId::new(i), 0) {
-                continue;
-            }
-            let mut ctx = self.ctx(i, 0, size_hint, &mut rngs[i], &mut pending[i], &mut wake[i]);
-            nodes[i].on_start(&mut ctx);
-        }
-
-        let mut round: Round = 0;
+        let mut st = self.stepper(factory);
         loop {
-            // 1. Deliver exchanges completing now. Payload snapshots are
-            //    moved into the `Exchange`s handed to the endpoints —
-            //    the delivery path never clones a payload.
-            queue.collect_due(round, &mut due);
-            for x in due.drain(..) {
-                if self.config.blocking {
-                    // The initiator's slot frees at completion time,
-                    // whether or not the exchange is delivered.
-                    outstanding[x.a.index()] = outstanding[x.a.index()].saturating_sub(1);
-                }
-                let a_ok = !self.faults.is_crashed(x.a, round);
-                let b_ok = !self.faults.is_crashed(x.b, round);
-                let link_ok = !self.faults.is_link_down(x.a, x.b, round);
-                if !(a_ok && b_ok && link_ok) {
-                    metrics.lost += 1;
-                    continue;
-                }
-                metrics.delivered += 1;
-                metrics.payload_units +=
-                    P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
-                let InFlight {
-                    a,
-                    b,
-                    payload_a,
-                    payload_b,
-                    initiated_at,
-                } = x;
-                for (me, exchange) in [
-                    (
-                        a,
-                        Exchange {
-                            peer: b,
-                            payload: payload_b,
-                            initiated_at,
-                            completed_at: round,
-                            initiated_by_me: true,
-                        },
-                    ),
-                    (
-                        b,
-                        Exchange {
-                            peer: a,
-                            payload: payload_a,
-                            initiated_at,
-                            completed_at: round,
-                            initiated_by_me: false,
-                        },
-                    ),
-                ] {
-                    let i = me.index();
-                    let mut ctx = self.ctx(
-                        i,
-                        round,
-                        size_hint,
-                        &mut rngs[i],
-                        &mut pending[i],
-                        &mut wake[i],
-                    );
-                    nodes[i].on_exchange(&mut ctx, &exchange);
-                }
+            st.deliver();
+            if stop(st.nodes(), st.round()) {
+                return st.into_outcome(StopReason::Condition);
             }
-
-            // 2. Stop checks.
-            if stop(&nodes, round) {
-                return Outcome {
-                    reason: StopReason::Condition,
-                    rounds: round,
-                    metrics,
-                    stats: EngineStats::default(),
-                    nodes,
-                };
+            if st.all_done() {
+                return st.into_outcome(StopReason::AllDone);
             }
-            if nodes.iter().all(Protocol::is_done) {
-                return Outcome {
-                    reason: StopReason::AllDone,
-                    rounds: round,
-                    metrics,
-                    stats: EngineStats::default(),
-                    nodes,
-                };
+            if st.at_round_cap() {
+                return st.into_outcome(StopReason::MaxRounds);
             }
-            if round >= self.config.max_rounds {
-                return Outcome {
-                    reason: StopReason::MaxRounds,
-                    rounds: round,
-                    metrics,
-                    stats: EngineStats::default(),
-                    nodes,
-                };
-            }
-
-            // 3. Per-node round logic.
-            for i in 0..n {
-                if self.faults.is_crashed(NodeId::new(i), round) {
-                    pending[i] = None;
-                    continue;
-                }
-                let mut ctx = self.ctx(
-                    i,
-                    round,
-                    size_hint,
-                    &mut rngs[i],
-                    &mut pending[i],
-                    &mut wake[i],
-                );
-                nodes[i].on_round(&mut ctx);
-            }
-
-            // 4. Launch initiations (snapshot both endpoints now). Under
-            // a connection cap, initiations are admitted in a
-            // seeded-random order; an initiation counts one engagement
-            // at each endpoint and is rejected when either side is full.
-            if capped {
-                for (k, slot) in order.iter_mut().enumerate() {
-                    *slot = k;
-                }
-                order.sort_by_key(|&i| {
-                    let i = u64::try_from(i).expect("node index fits u64");
-                    splitmix64(self.config.seed ^ round.wrapping_mul(0x5851_F42D) ^ i)
-                });
-                engagements.fill(0);
-            }
-            #[allow(clippy::needless_range_loop)] // `order` is only admission order under a cap
-            for k in 0..n {
-                let i = if capped { order[k] } else { k };
-                let Some((v, vi)) = pending[i].take() else {
-                    continue;
-                };
-                let u = NodeId::new(i);
-                if self.config.blocking && outstanding[i] > 0 {
-                    metrics.rejected += 1;
-                    let mut ctx = self.ctx(
-                        i,
-                        round,
-                        size_hint,
-                        &mut rngs[i],
-                        &mut pending[i],
-                        &mut wake[i],
-                    );
-                    nodes[i].on_rejected(&mut ctx, v);
-                    pending[i] = None;
-                    continue;
-                }
-                if let Some(cap) = self.config.connection_cap {
-                    if engagements[i] >= cap || engagements[v.index()] >= cap {
-                        metrics.rejected += 1;
-                        let mut ctx = self.ctx(
-                            i,
-                            round,
-                            size_hint,
-                            &mut rngs[i],
-                            &mut pending[i],
-                            &mut wake[i],
-                        );
-                        nodes[i].on_rejected(&mut ctx, v);
-                        pending[i] = None; // a rejection cannot re-initiate this round
-                        continue;
-                    }
-                    engagements[i] += 1;
-                    engagements[v.index()] += 1;
-                }
-                metrics.initiated += 1;
-                if self.config.blocking {
-                    outstanding[i] += 1;
-                }
-                // `vi` was validated by `Context::initiate`; the edge
-                // latency comes straight from the graph's parallel
-                // latency array — no binary search on the hot path.
-                let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
-                queue.schedule(
-                    round,
-                    lat.rounds(),
-                    InFlight {
-                        a: u,
-                        b: v,
-                        payload_a: nodes[i].payload(),
-                        payload_b: nodes[v.index()].payload(),
-                        initiated_at: round,
-                    },
-                );
-            }
-
-            round += 1;
+            st.advance();
         }
+    }
+
+    /// Builds a [`Stepper`] over this simulator's graph, config, and
+    /// fault plan: the round loop as an inspectable value, for callers
+    /// (the `gossip-mc` model checker) that need to pause between
+    /// phases, snapshot/restore the full simulation state, or inject
+    /// faults and scripted choices mid-run. [`Simulator::run`] with one
+    /// thread drives exactly this machinery.
+    pub fn stepper<P, F>(&self, factory: F) -> Stepper<'g, P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, usize) -> P,
+    {
+        Stepper::new(self.graph, self.config, self.faults.clone(), factory)
     }
 
     /// Executes one shard job. Runs on pool workers *and* on the
@@ -2103,6 +2027,508 @@ impl<'g> Simulator<'g> {
     }
 }
 
+/// One exchange completion observed by [`Stepper::deliver_observed`]:
+/// who initiated (`a`), the partner (`b`), when it was initiated and
+/// completed, and whether a fault swallowed it (`lost`). The model
+/// checker's latency, at-most-once, and spanner-orientation properties
+/// are predicates over these records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The initiating endpoint.
+    pub a: NodeId,
+    /// The partner endpoint.
+    pub b: NodeId,
+    /// The round the exchange was initiated.
+    pub initiated_at: Round,
+    /// The round the exchange completed (the round it was observed).
+    pub completed_at: Round,
+    /// Whether a crash or link fault swallowed the delivery: `true`
+    /// means neither endpoint received an `on_exchange`.
+    pub lost: bool,
+}
+
+/// A read-only view of one exchange still queued in a [`Stepper`],
+/// with its completion round reconstructed from its calendar-ring
+/// position. Yielded by [`Stepper::in_flight`] in delivery order
+/// (completion round ascending; within a round, overflow batch before
+/// ring slot — exactly the order `deliver` will drain them), which
+/// gives the model checker a canonical encoding of the queue.
+#[derive(Clone, Copy, Debug)]
+pub struct InFlightView<'a, T> {
+    /// The initiating endpoint.
+    pub a: NodeId,
+    /// The partner endpoint.
+    pub b: NodeId,
+    /// The round the exchange was initiated.
+    pub initiated_at: Round,
+    /// The round the exchange will complete.
+    pub completes_at: Round,
+    /// The initiator's payload snapshot (taken at initiation).
+    pub payload_a: &'a T,
+    /// The partner's payload snapshot (taken at initiation).
+    pub payload_b: &'a T,
+}
+
+/// Builds a per-node callback view from a [`Stepper`]'s split field
+/// borrows. A free function (not a method on `Stepper`) so callers can
+/// hold `&mut nodes[i]` at the same time.
+#[allow(clippy::too_many_arguments)] // mirrors the engine's per-node state split
+fn node_ctx<'a>(
+    graph: &'a Graph,
+    config: &SimConfig,
+    size_hint: usize,
+    i: usize,
+    round: Round,
+    rng: &'a mut StdRng,
+    pending: &'a mut Option<(NodeId, u32)>,
+    wake: &'a mut Option<Round>,
+    tape: Option<&'a mut ChoiceTape>,
+) -> Context<'a> {
+    let v = NodeId::new(i);
+    Context::new(
+        v,
+        round,
+        graph.node_count(),
+        size_hint,
+        graph.neighbor_ids(v),
+        config.latency_known.then(|| graph.neighbor_latencies(v)),
+        rng,
+        pending,
+        wake,
+    )
+    .with_tape(tape)
+}
+
+/// The sequential round loop, reified as a steppable value.
+///
+/// [`Simulator::run`] with one thread is a thin driver over this type,
+/// so anything a verifier proves about `Stepper` transitions it proves
+/// about the shipping engine — checked code is shipped code. Beyond
+/// plain stepping, the `gossip-mc` model checker:
+///
+/// * clones it (`Clone` is a deep snapshot — every piece of mutable
+///   simulation state is plain owned data);
+/// * installs a [`ChoiceTape`] so [`Context::choose`] branches are
+///   enumerated instead of sampled;
+/// * injects crashes and link drops mid-run
+///   ([`inject_crash`](Self::inject_crash) /
+///   [`inject_link_drop`](Self::inject_link_drop));
+/// * observes deliveries ([`deliver_observed`](Self::deliver_observed))
+///   and the queued exchanges ([`in_flight`](Self::in_flight)) to
+///   evaluate properties.
+///
+/// One full round is `deliver()`, the caller's stop checks
+/// ([`all_done`](Self::all_done) / [`at_round_cap`](Self::at_round_cap)
+/// / a custom condition over [`nodes`](Self::nodes)), then
+/// [`advance`](Self::advance) — the exact phase order of the dense
+/// loop in [`Simulator::run`].
+#[derive(Clone)]
+pub struct Stepper<'g, P: Protocol> {
+    graph: &'g Graph,
+    config: SimConfig,
+    faults: FaultPlan,
+    size_hint: usize,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    pending: Vec<Option<(NodeId, u32)>>,
+    /// Wake-request slots: written by [`Context::wake_at`], never read
+    /// here — this every-round engine steps each node regardless.
+    wake: Vec<Option<Round>>,
+    queue: CalendarQueue<P::Payload>,
+    /// Delivery batch, reused every round.
+    due: Vec<InFlight<P::Payload>>,
+    /// Blocking mode: outstanding own-initiated exchanges per node.
+    outstanding: Vec<u32>,
+    /// Initiation admission order and per-node engagement counters,
+    /// used (and re-filled) only under a connection cap.
+    order: Vec<usize>,
+    engagements: Vec<usize>,
+    metrics: SimMetrics,
+    round: Round,
+    /// Checker-installed choice script threaded into every callback
+    /// [`Context`]; `None` in normal runs, making [`Context::choose`]
+    /// fall through to the node RNG.
+    tape: Option<ChoiceTape>,
+}
+
+impl<'g, P: Protocol> Stepper<'g, P> {
+    /// Builds the round-0 state: node instances, per-node RNGs, empty
+    /// queues, and the pre-round `on_start` sweep over live nodes.
+    /// `on_start` runs without a choice tape (none can be installed
+    /// yet); none of the shipped protocols branch there.
+    fn new<F>(
+        graph: &'g Graph,
+        config: SimConfig,
+        faults: FaultPlan,
+        mut factory: F,
+    ) -> Stepper<'g, P>
+    where
+        F: FnMut(NodeId, usize) -> P,
+    {
+        let n = graph.node_count();
+        let size_hint = config.size_hint.unwrap_or(n);
+        let mut nodes: Vec<P> = (0..n).map(|i| factory(NodeId::new(i), n)).collect();
+        let n_u64 = u64::try_from(n).expect("node count fits u64");
+        let mut rngs: Vec<StdRng> = (0..n_u64)
+            .map(|i| StdRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(i))))
+            .collect();
+        let mut pending: Vec<Option<(NodeId, u32)>> = vec![None; n];
+        let mut wake: Vec<Option<Round>> = vec![None; n];
+        let l_max = graph.max_latency().map_or(0, Latency::rounds);
+        let capped = config.connection_cap.is_some();
+
+        // on_start for every live node, before round 0.
+        for i in 0..n {
+            if faults.is_crashed(NodeId::new(i), 0) {
+                continue;
+            }
+            let mut ctx = node_ctx(
+                graph,
+                &config,
+                size_hint,
+                i,
+                0,
+                &mut rngs[i],
+                &mut pending[i],
+                &mut wake[i],
+                None,
+            );
+            nodes[i].on_start(&mut ctx);
+        }
+
+        Stepper {
+            graph,
+            config,
+            faults,
+            size_hint,
+            nodes,
+            rngs,
+            pending,
+            wake,
+            queue: CalendarQueue::new(l_max),
+            due: Vec::new(),
+            outstanding: vec![0u32; if config.blocking { n } else { 0 }],
+            order: if capped { (0..n).collect() } else { Vec::new() },
+            engagements: vec![0; if capped { n } else { 0 }],
+            metrics: SimMetrics::default(),
+            round: 0,
+            tape: None,
+        }
+    }
+
+    /// The current round — the one `deliver` and `advance` operate on.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The node protocol instances, in id order.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> SimMetrics {
+        self.metrics
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The fault plan currently in force, including injected faults.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether every node reports [`Protocol::is_done`].
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done)
+    }
+
+    /// Whether the round counter has reached [`SimConfig::max_rounds`].
+    pub fn at_round_cap(&self) -> bool {
+        self.round >= self.config.max_rounds
+    }
+
+    /// Installs a choice tape: until [taken
+    /// back](Self::take_choice_tape), every [`Context::choose`] inside
+    /// `deliver`/`advance` callbacks is scripted by it instead of drawn
+    /// from the node RNG.
+    pub fn set_choice_tape(&mut self, tape: ChoiceTape) {
+        self.tape = Some(tape);
+    }
+
+    /// Removes and returns the installed choice tape, carrying its
+    /// recorded `taken`/`arities` trail.
+    pub fn take_choice_tape(&mut self) -> Option<ChoiceTape> {
+        self.tape.take()
+    }
+
+    /// Crashes node `v` as of the current round: it is no longer
+    /// stepped, and every exchange touching it from now on is lost.
+    pub fn inject_crash(&mut self, v: NodeId) {
+        let plan = mem::replace(&mut self.faults, FaultPlan::none());
+        self.faults = plan.crash(v, self.round);
+    }
+
+    /// Permanently drops the link `{u, v}` as of the current round.
+    pub fn inject_link_drop(&mut self, u: NodeId, v: NodeId) {
+        let plan = mem::replace(&mut self.faults, FaultPlan::none());
+        self.faults = plan.drop_link(u, v, self.round);
+    }
+
+    /// Phase 1 of the round: delivers every exchange completing now
+    /// (fault-filtered), invoking `on_exchange` at both endpoints.
+    pub fn deliver(&mut self) {
+        self.deliver_inner(None);
+    }
+
+    /// [`deliver`](Self::deliver), additionally appending one
+    /// [`DeliveryRecord`] per completing exchange — lost ones included
+    /// — to `log`: the model checker's observation channel.
+    pub fn deliver_observed(&mut self, log: &mut Vec<DeliveryRecord>) {
+        self.deliver_inner(Some(log));
+    }
+
+    /// Delivers exchanges completing this round. Payload snapshots are
+    /// moved into the `Exchange`s handed to the endpoints — the
+    /// delivery path never clones a payload.
+    fn deliver_inner(&mut self, mut log: Option<&mut Vec<DeliveryRecord>>) {
+        let round = self.round;
+        let mut due = mem::take(&mut self.due);
+        self.queue.collect_due(round, &mut due);
+        for x in due.drain(..) {
+            if self.config.blocking {
+                // The initiator's slot frees at completion time,
+                // whether or not the exchange is delivered.
+                self.outstanding[x.a.index()] = self.outstanding[x.a.index()].saturating_sub(1);
+            }
+            let a_ok = !self.faults.is_crashed(x.a, round);
+            let b_ok = !self.faults.is_crashed(x.b, round);
+            let link_ok = !self.faults.is_link_down(x.a, x.b, round);
+            let lost = !(a_ok && b_ok && link_ok);
+            if let Some(log) = log.as_deref_mut() {
+                log.push(DeliveryRecord {
+                    a: x.a,
+                    b: x.b,
+                    initiated_at: x.initiated_at,
+                    completed_at: round,
+                    lost,
+                });
+            }
+            if lost {
+                self.metrics.lost += 1;
+                continue;
+            }
+            self.metrics.delivered += 1;
+            self.metrics.payload_units +=
+                P::payload_weight(&x.payload_a) + P::payload_weight(&x.payload_b);
+            let InFlight {
+                a,
+                b,
+                payload_a,
+                payload_b,
+                initiated_at,
+            } = x;
+            for (me, exchange) in [
+                (
+                    a,
+                    Exchange {
+                        peer: b,
+                        payload: payload_b,
+                        initiated_at,
+                        completed_at: round,
+                        initiated_by_me: true,
+                    },
+                ),
+                (
+                    b,
+                    Exchange {
+                        peer: a,
+                        payload: payload_a,
+                        initiated_at,
+                        completed_at: round,
+                        initiated_by_me: false,
+                    },
+                ),
+            ] {
+                let i = me.index();
+                let mut ctx = node_ctx(
+                    self.graph,
+                    &self.config,
+                    self.size_hint,
+                    i,
+                    round,
+                    &mut self.rngs[i],
+                    &mut self.pending[i],
+                    &mut self.wake[i],
+                    self.tape.as_mut(),
+                );
+                self.nodes[i].on_exchange(&mut ctx, &exchange);
+            }
+        }
+        self.due = due;
+    }
+
+    /// Phases 3–4 of the round — per-node `on_round` logic over live
+    /// nodes, then the launch of admitted initiations with payload
+    /// snapshots taken now — followed by the round increment.
+    pub fn advance(&mut self) {
+        let n = self.graph.node_count();
+        let round = self.round;
+        let capped = self.config.connection_cap.is_some();
+
+        // 3. Per-node round logic.
+        for i in 0..n {
+            if self.faults.is_crashed(NodeId::new(i), round) {
+                self.pending[i] = None;
+                continue;
+            }
+            let mut ctx = node_ctx(
+                self.graph,
+                &self.config,
+                self.size_hint,
+                i,
+                round,
+                &mut self.rngs[i],
+                &mut self.pending[i],
+                &mut self.wake[i],
+                self.tape.as_mut(),
+            );
+            self.nodes[i].on_round(&mut ctx);
+        }
+
+        // 4. Launch initiations (snapshot both endpoints now). Under
+        // a connection cap, initiations are admitted in a
+        // seeded-random order; an initiation counts one engagement
+        // at each endpoint and is rejected when either side is full.
+        if capped {
+            for (k, slot) in self.order.iter_mut().enumerate() {
+                *slot = k;
+            }
+            let seed = self.config.seed;
+            self.order.sort_by_key(|&i| {
+                let i = u64::try_from(i).expect("node index fits u64");
+                splitmix64(seed ^ round.wrapping_mul(0x5851_F42D) ^ i)
+            });
+            self.engagements.fill(0);
+        }
+        #[allow(clippy::needless_range_loop)] // `order` is only admission order under a cap
+        for k in 0..n {
+            let i = if capped { self.order[k] } else { k };
+            let Some((v, vi)) = self.pending[i].take() else {
+                continue;
+            };
+            let u = NodeId::new(i);
+            if self.config.blocking && self.outstanding[i] > 0 {
+                self.metrics.rejected += 1;
+                let mut ctx = node_ctx(
+                    self.graph,
+                    &self.config,
+                    self.size_hint,
+                    i,
+                    round,
+                    &mut self.rngs[i],
+                    &mut self.pending[i],
+                    &mut self.wake[i],
+                    self.tape.as_mut(),
+                );
+                self.nodes[i].on_rejected(&mut ctx, v);
+                self.pending[i] = None;
+                continue;
+            }
+            if let Some(cap) = self.config.connection_cap {
+                if self.engagements[i] >= cap || self.engagements[v.index()] >= cap {
+                    self.metrics.rejected += 1;
+                    let mut ctx = node_ctx(
+                        self.graph,
+                        &self.config,
+                        self.size_hint,
+                        i,
+                        round,
+                        &mut self.rngs[i],
+                        &mut self.pending[i],
+                        &mut self.wake[i],
+                        self.tape.as_mut(),
+                    );
+                    self.nodes[i].on_rejected(&mut ctx, v);
+                    self.pending[i] = None; // a rejection cannot re-initiate this round
+                    continue;
+                }
+                self.engagements[i] += 1;
+                self.engagements[v.index()] += 1;
+            }
+            self.metrics.initiated += 1;
+            if self.config.blocking {
+                self.outstanding[i] += 1;
+            }
+            // `vi` was validated by `Context::initiate`; the edge
+            // latency comes straight from the graph's parallel
+            // latency array — no binary search on the hot path.
+            let lat = self.graph.neighbor_latencies(u)[latency_to_index(vi)];
+            self.queue.schedule(
+                round,
+                lat.rounds(),
+                InFlight {
+                    a: u,
+                    b: v,
+                    payload_a: self.nodes[i].payload(),
+                    payload_b: self.nodes[v.index()].payload(),
+                    initiated_at: round,
+                },
+            );
+        }
+
+        self.round += 1;
+    }
+
+    /// Every exchange still queued, in delivery order (completion
+    /// round ascending; within a round, overflow batch before ring
+    /// slot), with completion rounds reconstructed from ring positions
+    /// via the slot invariant: each occupied slot holds exactly one
+    /// completion round, within `[round, round + slots)`.
+    pub fn in_flight(&self) -> Vec<InFlightView<'_, P::Payload>> {
+        let slots = self.queue.slots();
+        let mut entries: Vec<(Round, u8, &InFlight<P::Payload>)> = Vec::new();
+        for (&at, batch) in &self.queue.overflow {
+            entries.extend(batch.iter().map(|x| (at, 0, x)));
+        }
+        for (s, slot) in self.queue.ring.iter().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            let s = u64::try_from(s).expect("ring slot index fits u64");
+            let at = self.round + (s + slots - self.round % slots) % slots;
+            entries.extend(slot.iter().map(|x| (at, 1, x)));
+        }
+        // Stable sort: initiation order within a slot is preserved.
+        entries.sort_by_key(|&(at, tier, _)| (at, tier));
+        entries
+            .into_iter()
+            .map(|(at, _, x)| InFlightView {
+                a: x.a,
+                b: x.b,
+                initiated_at: x.initiated_at,
+                completes_at: at,
+                payload_a: &x.payload_a,
+                payload_b: &x.payload_b,
+            })
+            .collect()
+    }
+
+    /// Consumes the stepper into a terminal [`Outcome`].
+    pub fn into_outcome(self, reason: StopReason) -> Outcome<P> {
+        Outcome {
+            reason,
+            rounds: self.round,
+            metrics: self.metrics,
+            stats: EngineStats::default(),
+            nodes: self.nodes,
+        }
+    }
+}
+
 /// One contiguous slice of the simulation state, shipped to a pool
 /// worker by value: nodes `base..base + nodes.len()` together with
 /// their RNGs and pending-initiation slots.
@@ -2259,6 +2685,7 @@ mod tests {
     /// Flood: every round exchange with a round-robin neighbor. Uses the
     /// copy-on-write payload, so these tests double as engine-level
     /// coverage of `SharedRumorSet` snapshot semantics.
+    #[derive(Clone)]
     struct Flood {
         rumors: SharedRumorSet,
         cursor: usize,
@@ -3001,5 +3428,204 @@ mod tests {
                 "rumor {later} inserted after initiation leaked into the snapshot"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "not after the current round")]
+    fn wake_at_current_round_panics() {
+        // Boundary case pinned by the `Context::wake_at` docs: a wakeup
+        // at (or before) the current round is a programming error, not
+        // a clamp-to-next-round.
+        struct BadWaker;
+        impl Protocol for BadWaker {
+            const SCHEDULING: Scheduling = Scheduling::OnDemand;
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                let now = ctx.round();
+                ctx.wake_at(now);
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+        }
+        let g = generators::path(2);
+        let _ = Simulator::new(&g, SimConfig::default()).run(|_, _| BadWaker, |_, _| false);
+    }
+
+    #[test]
+    fn wake_at_next_round_fires_exactly_once() {
+        // The other boundary: `wake_at(round + 1)` is the earliest legal
+        // wakeup, and it steps the node exactly once, in both engine
+        // modes.
+        struct Waker {
+            steps: Vec<Round>,
+        }
+        impl Protocol for Waker {
+            const SCHEDULING: Scheduling = Scheduling::OnDemand;
+            type Payload = ();
+            fn payload(&self) {}
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                self.steps.push(ctx.round());
+                if ctx.round() == 0 {
+                    ctx.wake_at(1);
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, _: &Exchange<()>) {}
+        }
+        let g = generators::path(2);
+        for mode in [EngineMode::Dense, EngineMode::Frontier] {
+            let cfg = SimConfig {
+                max_rounds: 5,
+                mode,
+                ..SimConfig::default()
+            };
+            let out = Simulator::new(&g, cfg).run(|_, _| Waker { steps: vec![] }, |_, _| false);
+            assert_eq!(out.reason, StopReason::MaxRounds);
+            for node in &out.nodes {
+                assert_eq!(
+                    node.steps,
+                    vec![0, 1],
+                    "wakeup for round 1 must fire exactly once ({mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choice_tape_scripts_and_records() {
+        // With a tape installed, `Context::choose` plays back the script
+        // (defaulting to branch 0 past its end) and records every
+        // arity — the discovery loop the model checker runs.
+        struct Choosy {
+            rumors: RumorSet,
+            picks: Vec<usize>,
+        }
+        impl Protocol for Choosy {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                let i = ctx.choose(ctx.degree());
+                self.picks.push(i);
+                ctx.initiate_nth(i);
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let g = generators::clique(4);
+        let mk = |id: NodeId, n: usize| Choosy {
+            rumors: RumorSet::singleton(n, id),
+            picks: vec![],
+        };
+        let sim = Simulator::new(&g, SimConfig::default());
+        let mut st = sim.stepper(mk);
+        st.set_choice_tape(ChoiceTape::new(vec![2, 0, 1]));
+        st.deliver();
+        st.advance();
+        let tape = st.take_choice_tape().expect("tape still installed");
+        // One choice point per node, in id order; the script covers the
+        // first three, the fourth defaults to 0.
+        assert_eq!(tape.taken(), &[2, 0, 1, 0]);
+        assert_eq!(tape.arities(), &[3, 3, 3, 3]);
+        assert_eq!(st.nodes()[0].picks, vec![2]);
+        assert_eq!(st.nodes()[3].picks, vec![0]);
+    }
+
+    #[test]
+    fn stepper_in_flight_view_and_observed_delivery() {
+        struct OneShot {
+            rumors: RumorSet,
+            fired: bool,
+        }
+        impl Protocol for OneShot {
+            type Payload = RumorSet;
+            fn payload(&self) -> RumorSet {
+                self.rumors.clone()
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_>) {
+                if !self.fired {
+                    self.fired = true;
+                    ctx.initiate_nth(0);
+                }
+            }
+            fn on_exchange(&mut self, _: &mut Context<'_>, x: &Exchange<RumorSet>) {
+                self.rumors.union_with(&x.payload);
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1, 7)]).unwrap();
+        let sim = Simulator::new(&g, SimConfig::default());
+        let mut st = sim.stepper(|id, n| OneShot {
+            rumors: RumorSet::singleton(n, id),
+            fired: false,
+        });
+        st.deliver();
+        st.advance();
+        // Both endpoints initiated at round 0 over the latency-7 edge.
+        let queued = st.in_flight();
+        assert_eq!(queued.len(), 2);
+        for x in &queued {
+            assert_eq!(x.initiated_at, 0);
+            assert_eq!(x.completes_at, 7, "ring position maps back to round 7");
+        }
+        while st.round() < 7 {
+            st.deliver();
+            st.advance();
+        }
+        let mut log = Vec::new();
+        st.deliver_observed(&mut log);
+        assert_eq!(log.len(), 2);
+        for d in &log {
+            assert_eq!((d.initiated_at, d.completed_at, d.lost), (0, 7, false));
+        }
+        // The initiator field distinguishes the two directions.
+        assert_eq!(log[0].a, NodeId::new(0));
+        assert_eq!(log[1].a, NodeId::new(1));
+        assert!(st.in_flight().is_empty());
+        assert!(st.nodes().iter().all(|x| x.rumors.is_full()));
+    }
+
+    #[test]
+    fn stepper_injected_crash_loses_exchange() {
+        let g = Graph::from_edges(2, [(0, 1, 3)]).unwrap();
+        let sim = Simulator::new(&g, SimConfig::default());
+        let mut st = sim.stepper(flood_factory);
+        st.deliver();
+        st.advance();
+        // Crash node 1 while the round-0 exchanges are in flight: both
+        // are lost at completion time.
+        st.inject_crash(NodeId::new(1));
+        let mut log = Vec::new();
+        while st.round() < 3 {
+            st.deliver();
+            st.advance();
+        }
+        st.deliver_observed(&mut log);
+        let completions: Vec<_> = log.iter().filter(|d| d.initiated_at == 0).collect();
+        assert_eq!(completions.len(), 2);
+        assert!(completions.iter().all(|d| d.lost));
+        assert!(!st.nodes()[0].rumors.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn stepper_clone_branches_independently() {
+        // The checker's snapshot/restore: a cloned stepper explores a
+        // different future without perturbing the original.
+        let g = generators::cycle(5);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let mut a = sim.stepper(flood_factory);
+        a.deliver();
+        let mut b = a.clone();
+        b.inject_crash(NodeId::new(2));
+        for st in [&mut a, &mut b] {
+            for _ in 0..12 {
+                st.advance();
+                st.deliver();
+            }
+        }
+        assert!(a.nodes().iter().all(|x| x.rumors.is_full()));
+        assert!(!b.nodes().iter().all(|x| x.rumors.is_full()));
+        assert_eq!(a.metrics().lost, 0);
+        assert!(b.metrics().lost > 0);
     }
 }

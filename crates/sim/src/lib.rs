@@ -60,8 +60,8 @@ pub mod rumor;
 pub mod trace;
 
 pub use engine::{
-    Context, EngineMode, EngineStats, Exchange, Outcome, Protocol, Scheduling, SimConfig,
-    SimMetrics, Simulator, StopReason,
+    ChoiceTape, Context, DeliveryRecord, EngineMode, EngineStats, Exchange, InFlightView, Outcome,
+    Protocol, Scheduling, SimConfig, SimMetrics, Simulator, Stepper, StopReason,
 };
 pub use faults::FaultPlan;
 pub use rumor::{CompactRumorSet, RumorSet, SharedRumorSet};

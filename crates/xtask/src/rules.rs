@@ -33,7 +33,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// All rule families, in family order (1–10).
+/// All rule families, in family order (1–11).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism-zone",
@@ -75,12 +75,18 @@ pub const RULES: &[RuleInfo] = &[
         name: "frontier-confinement",
         summary: "frontier bookkeeping (wake/calendar queues, engine-counter writes) only in sim::engine",
     },
+    RuleInfo {
+        name: "exhaustive-match",
+        summary: "no wildcard `_ =>` arms in matches over protocol-critical enums (core, sim, net)",
+    },
 ];
 
 /// One allowlist entry: suppresses `rule` for every path with the given
 /// prefix. The determinism contract (ISSUE 2) requires this table to
-/// stay **empty for families 1–4**; entries for the other families must
-/// carry a reason and should be rare.
+/// stay **empty for families 1–4**, and the model-checking contract
+/// (ISSUE 7) pins it **empty for family 11** — a non-exhaustive
+/// critical match is never sound by exemption. Entries for the other
+/// families must carry a reason and should be rare.
 pub struct AllowEntry {
     /// Rule family name the entry suppresses.
     pub rule: &'static str,
@@ -149,6 +155,7 @@ const PANIC_ZONE: &[&str] = &[
     "crates/guessing/src/",
     "crates/cli/src/",
     "crates/net/src/",
+    "crates/mc/src/",
     "crates/xtask/src/",
     "src/",
 ];
@@ -323,6 +330,7 @@ pub fn check_rust_file(path: &str, src: &str) -> Vec<Violation> {
     concurrency_confinement(path, src, &lexed, &spans, &mut out);
     net_confinement(path, src, &lexed, &spans, &mut out);
     frontier_confinement(path, src, &lexed, &spans, &mut out);
+    exhaustive_match(path, src, &lexed, &spans, &mut out);
     out
 }
 
@@ -601,6 +609,129 @@ fn frontier_confinement(
                     t.text
                 ),
             );
+        }
+    }
+}
+
+/// Family 11 — exhaustive match.
+///
+/// The protocol state machines advance on a handful of enums whose
+/// variant lists *are* the protocol: `StopReason`, `EngineMode`,
+/// `Scheduling`, and the wire `Frame`. A wildcard `_ =>` arm in a
+/// match over one of these silently absorbs any variant added later —
+/// the compiler stays quiet, the golden traces stay green, and the new
+/// state is simply mishandled. Library code in the match zone must
+/// name every variant (a *named* catch-all like `other =>` is allowed:
+/// it is a visible, greppable decision, and it still binds the value
+/// for logging or error paths).
+///
+/// Detection is lexical: a match is "critical" when a critical enum
+/// name appears in its scrutinee or body (arms name variants through
+/// `Enum::Variant` paths, so the enum name is present whenever the
+/// match is really over one of these types). Wildcards nested inside
+/// tuple or struct patterns (`(_, x) =>`, `Foo { kind: _ } =>`) are
+/// fine — only a bare `_ =>` arm at the top level of the match body
+/// fires.
+fn exhaustive_match(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    /// Crates whose library matches over critical enums must be
+    /// exhaustive.
+    const MATCH_ZONE: &[&str] = &["crates/core/src/", "crates/sim/src/", "crates/net/src/"];
+    /// The enums whose variant lists are protocol surface.
+    const CRITICAL_ENUMS: &[&str] = &["StopReason", "EngineMode", "Scheduling", "Frame"];
+    if !in_zone(MATCH_ZONE, path) || is_test_tree(path) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "match" || in_spans(spans, i) {
+            continue;
+        }
+        // Scrutinee: tokens up to the body-opening `{` at bracket
+        // depth 0 (match scrutinees cannot contain bare struct
+        // literals, so the first such brace opens the arm list).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'(' | b'[') => depth += 1,
+                TokKind::Punct(b')' | b']') => depth -= 1,
+                TokKind::Punct(b'{') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let open = j;
+        // Body: through the matching `}`.
+        let mut brace = 0i32;
+        let mut close = open;
+        while close < toks.len() {
+            match toks[close].kind {
+                TokKind::Punct(b'{') => brace += 1,
+                TokKind::Punct(b'}') => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        let critical: Vec<&str> = CRITICAL_ENUMS
+            .iter()
+            .filter(|&&name| {
+                toks[i + 1..close]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == name)
+            })
+            .copied()
+            .collect();
+        if critical.is_empty() {
+            continue;
+        }
+        // Bare `_ =>` arms at depth 1 of this match's body. Wildcards
+        // inside tuple/struct sub-patterns sit at deeper bracket depth
+        // or are followed by `,`/`)` rather than `=>`; arms of a
+        // nested match sit at brace depth >= 2 and are judged when the
+        // iteration reaches that inner `match` token.
+        let mut brace = 1i32;
+        let mut k = open + 1;
+        while k < close {
+            match toks[k].kind {
+                TokKind::Punct(b'{') => brace += 1,
+                TokKind::Punct(b'}') => brace -= 1,
+                TokKind::Ident
+                    if brace == 1
+                        && toks[k].text == "_"
+                        && is_punct(toks.get(k + 1), b'=')
+                        && is_punct(toks.get(k + 2), b'>') =>
+                {
+                    push(
+                        out,
+                        lexed,
+                        src,
+                        "exhaustive-match",
+                        path,
+                        toks[k].line,
+                        format!(
+                            "wildcard `_ =>` arm in a match over protocol-critical enum \
+                             ({}): name every variant, or bind a named catch-all",
+                            critical.join(", ")
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            k += 1;
         }
     }
 }

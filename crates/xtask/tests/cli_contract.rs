@@ -1,0 +1,108 @@
+//! The `cargo xtask tidy` CLI contract, asserted end-to-end against
+//! the built binary: exit codes (0 clean, 1 violations, 2 usage/I-O
+//! error) and the exact `--format json` report schema. DESIGN.md §8
+//! documents this contract; these tests keep the document honest.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xtask(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("xtask binary runs")
+}
+
+/// A throwaway scan root containing exactly the given zone files.
+fn scan_root(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xtask-cli-contract-{name}"));
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("stale scan root removed");
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("zone files have parents"))
+            .expect("scan root dirs created");
+        fs::write(&path, content).expect("zone file written");
+    }
+    root
+}
+
+#[test]
+fn clean_tree_exits_zero_with_exact_json() {
+    let root = scan_root(
+        "clean",
+        &[("crates/sim/src/ok.rs", "//! A clean module.\n")],
+    );
+    let out = xtask(&["tidy", "--format", "json", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // The clean report is pinned byte-for-byte: CI tooling greps it.
+    let expected = "{\n  \"version\": 1,\n  \"violations\": [],\n  \
+                    \"summary\": {\"files_scanned\": 1, \"violations\": 0}\n}\n";
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+}
+
+#[test]
+fn violations_exit_one_with_schema_keys() {
+    let root = scan_root(
+        "dirty",
+        &[(
+            "crates/sim/src/bad.rs",
+            "//! Dirty module.\n\
+             fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn g(stop: StopReason) -> u32 {\n\
+                 match stop { StopReason::AllDone => 0, _ => 1 }\n\
+             }\n",
+        )],
+    );
+    let out = xtask(&["tidy", "--format", "json", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = String::from_utf8_lossy(&out.stdout);
+    // Every violation object carries the five schema keys.
+    for key in [
+        "\"rule\":",
+        "\"path\":",
+        "\"line\":",
+        "\"message\":",
+        "\"snippet\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // Both the panic-policy and the exhaustive-match families fire
+    // through the real binary, not just the unit-level checkers.
+    assert!(json.contains("\"panic-policy\""), "{json}");
+    assert!(json.contains("\"exhaustive-match\""), "{json}");
+    assert!(
+        json.contains("\"summary\": {\"files_scanned\": 1, \"violations\": 2}"),
+        "{json}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let unknown_task = xtask(&["frobnicate"]);
+    assert_eq!(unknown_task.status.code(), Some(2), "{unknown_task:?}");
+    let unknown_flag = xtask(&["tidy", "--no-such-flag"]);
+    assert_eq!(unknown_flag.status.code(), Some(2), "{unknown_flag:?}");
+    let bad_root = xtask(&["tidy", "--root", "/no/such/dir/anywhere"]);
+    assert_eq!(bad_root.status.code(), Some(2), "{bad_root:?}");
+}
+
+#[test]
+fn out_flag_writes_json_artifact_regardless_of_format() {
+    let root = scan_root("artifact", &[("crates/sim/src/ok.rs", "//! Clean.\n")]);
+    let artifact = root.join("tidy-report.json");
+    let out = xtask(&[
+        "tidy",
+        "--root",
+        root.to_str().unwrap(),
+        "--out",
+        artifact.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // Stdout stayed human; the artifact is the JSON document.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("tidy: clean"));
+    let written = fs::read_to_string(&artifact).expect("artifact written");
+    assert!(written.starts_with("{\n  \"version\": 1,"), "{written}");
+}

@@ -292,6 +292,37 @@ fn frontier_confinement_engine_module_exempt() {
     assert!(v.is_empty(), "sim::engine must be exempt: {v:?}");
 }
 
+#[test]
+fn exhaustive_match_bad_fires() {
+    let v = source_findings("exhaustive-match", "bad.rs");
+    assert_eq!(v.len(), 2, "StopReason and EngineMode wildcard arms: {v:?}");
+    assert_eq!(v[0].line, 6, "{v:?}");
+    assert!(v[0].message.contains("StopReason"), "{v:?}");
+    assert!(v[1].message.contains("EngineMode"), "{v:?}");
+}
+
+#[test]
+fn exhaustive_match_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("exhaustive-match", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "named catch-alls, sub-pattern wildcards and non-critical matches \
+         must pass all families: {all:?}"
+    );
+}
+
+/// Like families 1–4, family 11's allowlist is pinned empty: a
+/// non-exhaustive critical match is never sound by exemption.
+#[test]
+fn exhaustive_match_allowlist_is_empty() {
+    assert!(
+        xtask::rules::ALLOWLIST
+            .iter()
+            .all(|e| e.rule != "exhaustive-match"),
+        "exhaustive-match must not be allowlisted"
+    );
+}
+
 /// Every declared rule family is exercised by at least one fixture
 /// directory of the same name.
 #[test]

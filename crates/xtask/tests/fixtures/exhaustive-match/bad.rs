@@ -1,0 +1,15 @@
+//! Bad: wildcard `_ =>` arms in matches over protocol-critical enums.
+
+fn classify(stop: StopReason) -> u32 {
+    match stop {
+        StopReason::AllDone => 0,
+        _ => 1,
+    }
+}
+
+fn mode_name(mode: EngineMode) -> &'static str {
+    match mode {
+        EngineMode::Dense => "dense",
+        _ => "other",
+    }
+}

@@ -1,0 +1,37 @@
+//! Good: critical matches name every variant or bind a named
+//! catch-all; wildcards in sub-patterns and in matches over
+//! non-critical types stay allowed.
+
+fn classify(stop: StopReason) -> u32 {
+    match stop {
+        StopReason::Condition => 0,
+        StopReason::AllDone => 1,
+        StopReason::MaxRounds => 2,
+    }
+}
+
+fn frame_tag(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "hello",
+        other => tag_of(other),
+    }
+}
+
+fn tag_of(_f: &Frame) -> &'static str {
+    "frame"
+}
+
+fn pair_kind(pair: (Scheduling, u32)) -> bool {
+    match pair {
+        (Scheduling::EveryRound, _) => true,
+        (_, 0) => false,
+        (_, _) => false,
+    }
+}
+
+fn digit(n: u32) -> bool {
+    match n {
+        0 => true,
+        _ => false,
+    }
+}
