@@ -26,6 +26,10 @@ use std::time::Instant;
 /// uncompressed rumor payloads.
 const SMOKE_RSS_CEILING_KB: u64 = 3 * 1024 * 1024;
 
+/// The reactor hosts its whole cluster on the calling thread; beyond
+/// the test-harness baseline, a 1024-node run must not spawn workers.
+const NET_SMOKE_THREAD_CEILING: u64 = 8;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
@@ -53,7 +57,7 @@ fn main() {
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-large-smoke | bench-mode-compare | bench-analysis | bench-net>\n"
+            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-large-smoke | bench-mode-compare | bench-analysis | bench-net | net-smoke>\n"
         );
         eprintln!("experiments:");
         for (id, what, _) in &registry {
@@ -70,6 +74,9 @@ fn main() {
             "  bench-analysis  conductance pipeline baseline -> BENCH_analysis.json (--out <file>)"
         );
         eprintln!("  bench-net       network runtime baseline -> BENCH_net.json (--out <file>)");
+        eprintln!(
+            "  net-smoke       reactor smoke (n = 1024 single-process, thread ceiling asserted)"
+        );
         std::process::exit(2);
     }
 
@@ -167,7 +174,9 @@ fn main() {
         let path = out_path
             .clone()
             .unwrap_or_else(|| String::from("BENCH_net.json"));
-        eprintln!("running bench-net: push-pull all-to-all over loopback and localhost TCP …");
+        eprintln!(
+            "running bench-net: push-pull all-to-all over loopback, localhost TCP, and the reactor …"
+        );
         let start = Instant::now();
         let json = gossip_bench::net_bench::run(3, std::time::Duration::from_millis(10));
         if let Err(e) = std::fs::write(&path, &json) {
@@ -179,6 +188,29 @@ fn main() {
             "bench-net finished in {:.2?}; wrote {path}\n",
             start.elapsed()
         );
+    }
+
+    if selected.iter().any(|a| a == "net-smoke") {
+        ran += 1;
+        eprintln!(
+            "running net-smoke: reactor push-pull all-to-all, clique n = 1024, single process \
+             (thread ceiling {NET_SMOKE_THREAD_CEILING}) …"
+        );
+        let start = Instant::now();
+        let p = gossip_bench::net_bench::measure_reactor("clique", 1024);
+        println!(
+            "{{\"topology\": \"{}\", \"n\": {}, \"rounds\": {}, \"secs\": {:.6}, \
+             \"frames_sent\": {}, \"bytes_sent\": {}, \"peer_losses\": {}, \"peak_threads\": {}}}",
+            p.topology, p.n, p.rounds, p.secs, p.frames, p.bytes, p.losses, p.peak_threads
+        );
+        assert_eq!(p.losses, 0, "net-smoke: peer losses in a single process");
+        assert!(
+            p.peak_threads <= NET_SMOKE_THREAD_CEILING,
+            "net-smoke: reactor run used {} OS threads (ceiling {NET_SMOKE_THREAD_CEILING}) — \
+             the single-threaded runtime regressed to spawning workers",
+            p.peak_threads
+        );
+        eprintln!("net-smoke finished in {:.2?}\n", start.elapsed());
     }
 
     let run_all = selected.iter().any(|a| a == "all");
@@ -201,7 +233,7 @@ fn main() {
         eprintln!("{id} finished in {elapsed:.2?}\n");
     }
     if ran == 0 {
-        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, bench-large-smoke, bench-analysis, or bench-net");
+        eprintln!("no experiment matched {selected:?}; try `all`, e1…e23, bench-engine, bench-large-smoke, bench-analysis, bench-net, or net-smoke");
         std::process::exit(2);
     }
 }

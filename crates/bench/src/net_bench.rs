@@ -1,22 +1,33 @@
 //! The `bench-net` mode of the experiments binary: throughput of the
 //! `gossip-net` runtime, emitted as `BENCH_net.json`.
 //!
-//! Two sections mirror the two transports. The `loopback` section runs
-//! push-pull all-to-all through the full runner + wire-codec stack on
-//! the virtual clock, so it prices the network layer itself (framing,
-//! hold queues, pacing) with zero I/O. The `tcp` section runs the same
-//! workload over real localhost sockets, one OS thread per node, so it
-//! prices the wall-clock runtime: its round length is a configured
-//! floor, and the interesting numbers are frames and bytes per second
-//! of real time.
+//! Four sections mirror the runtime's layers. The `loopback` section
+//! runs push-pull all-to-all through the full runner + wire-codec stack
+//! on the virtual clock, so it prices the network layer itself
+//! (framing, hold queues, pacing) with zero I/O. The `tcp` section runs
+//! the same workload over real localhost sockets, one OS thread per
+//! node, so it prices the thread-per-peer wall-clock runtime. The
+//! `reactor` section runs it single-process on the epoll reactor —
+//! thousands of nodes, a handful of OS threads — which is where the
+//! large sizes live. The `codec` row prices the wire codec alone
+//! (scratch-buffer encode, incremental decode), the unit cost under
+//! everything else.
+//!
+//! Every row reports `peak_threads`, sampled from `/proc/self/status`
+//! inside the convergence check: the thread-per-peer rows grow with
+//! `n · degree`, the reactor rows must not grow at all.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gossip_core::push_pull::{Mode, PushPullNode};
-use gossip_net::{run_local_cluster, run_loopback_with_stats, NodeStopReason, TcpConfig};
+use gossip_net::{
+    run_local_cluster, run_loopback_with_stats, run_reactor_with_stats, Frame, NodeStopReason,
+    TcpConfig,
+};
 use gossip_sim::{SimConfig, StopReason};
-use latency_graph::{generators, Graph};
+use latency_graph::{generators, Graph, NodeId};
 
 /// One measured topology on one transport.
 #[derive(Clone, Debug)]
@@ -37,6 +48,9 @@ pub struct NetPoint {
     pub bytes: u64,
     /// Peers declared lost (must be 0 on a healthy localhost run).
     pub losses: u64,
+    /// Peak OS thread count observed during the runs (0 when the
+    /// platform offers no `/proc/self/status`).
+    pub peak_threads: u64,
 }
 
 impl NetPoint {
@@ -49,6 +63,48 @@ impl NetPoint {
     pub fn bytes_per_sec(&self) -> f64 {
         self.bytes as f64 / self.secs
     }
+}
+
+/// The wire codec priced alone: scratch-buffer encode and incremental
+/// (`FrameReader`-style) decode of trunk-enveloped reply frames.
+#[derive(Clone, Debug)]
+pub struct CodecPoint {
+    /// Frames per direction.
+    pub frames: u64,
+    /// Payload bytes per frame.
+    pub payload: usize,
+    /// Total encoded bytes.
+    pub bytes: u64,
+    /// Wall-clock seconds encoding all frames into one reused buffer.
+    pub encode_secs: f64,
+    /// Wall-clock seconds decoding them back out of it.
+    pub decode_secs: f64,
+}
+
+impl CodecPoint {
+    /// Frames encoded per wall-clock second.
+    pub fn encode_frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.encode_secs
+    }
+
+    /// Frames decoded per wall-clock second.
+    pub fn decode_frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.decode_secs
+    }
+}
+
+/// The current OS thread count of this process, from
+/// `/proc/self/status`; 0 where that file does not exist.
+pub fn current_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("Threads:")
+                    .and_then(|v| v.trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
 }
 
 fn topology(name: &'static str, n: usize) -> Graph {
@@ -67,7 +123,8 @@ fn topology(name: &'static str, n: usize) -> Graph {
 /// be a runtime bug, not a measurement.
 pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
     let g = topology(name, n);
-    let run = |seed: u64| {
+    let mut peak = 0_u64;
+    let run = |seed: u64, peak: &mut u64| {
         run_loopback_with_stats(
             &g,
             &SimConfig {
@@ -76,10 +133,13 @@ pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
                 ..SimConfig::default()
             },
             |id, n| PushPullNode::new(id, n, Mode::PushPull),
-            |nodes: &[&PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+            |nodes: &[&PushPullNode], _| {
+                *peak = (*peak).max(current_threads());
+                nodes.iter().all(|p| p.rumors.is_full())
+            },
         )
     };
-    let _ = run(0x5eed); // warm-up, not timed
+    let _ = run(0x5eed, &mut peak); // warm-up, not timed
     let mut point = NetPoint {
         topology: name,
         n,
@@ -89,69 +149,164 @@ pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
         frames: 0,
         bytes: 0,
         losses: 0,
+        peak_threads: 0,
     };
     let start = Instant::now();
     for t in 0..trials {
-        let (o, stats) = run(1 + t);
+        let (o, stats) = run(1 + t, &mut peak);
         assert_eq!(o.reason, StopReason::Condition, "loopback must converge");
         point.rounds += o.rounds;
         point.frames += stats.frames_sent;
         point.bytes += stats.bytes_sent;
     }
     point.secs = start.elapsed().as_secs_f64();
+    point.peak_threads = peak;
     point
 }
 
-/// Push-pull all-to-all over localhost TCP on `topology(name, n)`. One
-/// trial — socket setup dominates repeats, and the steady-state rate is
-/// what is being measured.
+/// Push-pull all-to-all over localhost TCP on `topology(name, n)`.
+/// Socket setup is inside the timed region on purpose: thread-per-peer
+/// start-up cost is part of what this transport charges.
 ///
 /// # Panics
 ///
 /// Panics if the cluster fails to start or any node misses the
 /// convergence barrier.
-pub fn measure_tcp(name: &'static str, n: usize, round: Duration) -> NetPoint {
+pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -> NetPoint {
     let g = topology(name, n);
     let tcp = TcpConfig {
         round,
         ..TcpConfig::default()
     };
-    let start = Instant::now();
-    let outcomes = run_local_cluster(
-        &g,
-        &SimConfig {
-            seed: 1,
-            max_rounds: 5_000,
-            ..SimConfig::default()
-        },
-        &tcp,
-        |id, n| PushPullNode::new(id, n, Mode::PushPull),
-        |p: &PushPullNode, _view| p.rumors.is_full(),
-    )
-    .expect("tcp cluster starts");
-    let secs = start.elapsed().as_secs_f64();
+    let peak = AtomicU64::new(0);
     let mut point = NetPoint {
         topology: name,
         n,
-        trials: 1,
+        trials,
         rounds: 0,
-        secs,
+        secs: 0.0,
         frames: 0,
         bytes: 0,
         losses: 0,
+        peak_threads: 0,
     };
-    for o in &outcomes {
-        assert_eq!(o.reason, NodeStopReason::Barrier, "tcp must converge");
-        point.rounds = point.rounds.max(o.rounds);
-        point.frames += o.stats.frames_sent;
-        point.bytes += o.stats.bytes_sent;
-        point.losses += o.losses.len() as u64;
+    let start = Instant::now();
+    for t in 0..trials {
+        let outcomes = run_local_cluster(
+            &g,
+            &SimConfig {
+                seed: 1 + t,
+                max_rounds: 5_000,
+                ..SimConfig::default()
+            },
+            &tcp,
+            |id, n| PushPullNode::new(id, n, Mode::PushPull),
+            |p: &PushPullNode, _view| {
+                peak.fetch_max(current_threads(), Ordering::Relaxed);
+                p.rumors.is_full()
+            },
+        )
+        .expect("tcp cluster starts");
+        for o in &outcomes {
+            assert_eq!(o.reason, NodeStopReason::Barrier, "tcp must converge");
+            point.rounds = point.rounds.max(o.rounds);
+            point.frames += o.stats.frames_sent;
+            point.bytes += o.stats.bytes_sent;
+            point.losses += o.losses.len() as u64;
+        }
     }
+    point.secs = start.elapsed().as_secs_f64();
+    point.peak_threads = peak.into_inner();
     point
 }
 
-/// Runs both sections at the committed sizes and renders
-/// `BENCH_net.json`. `round` is the TCP round length.
+/// Push-pull all-to-all single-process on the epoll reactor (drain
+/// pacing, so the virtual clock runs as fast as the sockets allow).
+/// One trial — this is the large-n section, and socket setup is part of
+/// the price.
+///
+/// # Panics
+///
+/// Panics if the reactor fails or the run misses convergence.
+pub fn measure_reactor(name: &'static str, n: usize) -> NetPoint {
+    let g = topology(name, n);
+    let mut peak = 0_u64;
+    let start = Instant::now();
+    let (o, stats) = run_reactor_with_stats(
+        &g,
+        &SimConfig {
+            seed: 1,
+            max_rounds: 100_000,
+            ..SimConfig::default()
+        },
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[&PushPullNode], _| {
+            peak = peak.max(current_threads());
+            nodes.iter().all(|p| p.rumors.is_full())
+        },
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(o.reason, StopReason::Condition, "reactor must converge");
+    NetPoint {
+        topology: name,
+        n,
+        trials: 1,
+        rounds: o.rounds,
+        secs,
+        frames: stats.frames_sent,
+        bytes: stats.bytes_sent,
+        losses: o.metrics.lost,
+        peak_threads: peak,
+    }
+}
+
+/// Round-trips `frames` trunk-enveloped replies of `payload` bytes
+/// through one reused encode buffer and an incremental decode, the
+/// steady-state path of the reactor's write queue and frame reader.
+///
+/// # Panics
+///
+/// Panics if a frame fails to round-trip — a codec bug, not a
+/// measurement.
+pub fn measure_codec(frames: u64, payload: usize) -> CodecPoint {
+    let inner = Frame::Reply {
+        seq: 7,
+        round: 12,
+        payload: vec![0xA5; payload],
+    };
+    let frame = Frame::Routed {
+        src: NodeId::new(3),
+        dst: NodeId::new(11),
+        release: 13,
+        inner: Box::new(inner),
+    };
+    let mut buf = Vec::new();
+    let encode_start = Instant::now();
+    for _ in 0..frames {
+        buf.clear();
+        frame.encode_into(&mut buf);
+    }
+    let encode_secs = encode_start.elapsed().as_secs_f64();
+    let bytes = buf.len() as u64 * frames;
+    let decode_start = Instant::now();
+    for _ in 0..frames {
+        let (back, used) = Frame::decode(&buf).expect("encoded frame decodes");
+        assert_eq!(used, buf.len());
+        assert!(matches!(back, Frame::Routed { .. }));
+    }
+    let decode_secs = decode_start.elapsed().as_secs_f64();
+    CodecPoint {
+        frames,
+        payload,
+        bytes,
+        encode_secs,
+        decode_secs,
+    }
+}
+
+/// Runs all sections at the committed sizes and renders
+/// `BENCH_net.json`. `round` is the TCP round length; `trials` scales
+/// the virtual-clock (loopback) section.
 pub fn run(trials: u64, round: Duration) -> String {
     let loopback = vec![
         measure_loopback("clique", 64, trials),
@@ -164,24 +319,49 @@ pub fn run(trials: u64, round: Duration) -> String {
     // single-core CI runner without nodes falling behind the round clock
     // and declaring each other lost.
     let tcp = vec![
-        measure_tcp("clique", 16, round),
-        measure_tcp("ring-of-cliques", 64, round),
+        measure_tcp("clique", 16, round, 3),
+        measure_tcp("ring-of-cliques", 64, round, 3),
     ];
-    to_json(&loopback, &tcp, round)
+    // The reactor carries the sizes thread-per-peer cannot reach in one
+    // process: 4096 nodes is ~8.4M edges of clique, all multiplexed
+    // over a handful of trunk sockets on one thread.
+    let reactor = vec![
+        measure_reactor("clique", 256),
+        measure_reactor("ring-of-cliques", 256),
+        measure_reactor("clique", 1024),
+        measure_reactor("clique", 4096),
+    ];
+    let codec = measure_codec(200_000, 512);
+    to_json(&loopback, &tcp, &reactor, &codec, round)
 }
 
-/// Renders the two sections as a small, dependency-free JSON document.
-pub fn to_json(loopback: &[NetPoint], tcp: &[NetPoint], round: Duration) -> String {
+/// Renders the sections as a small, dependency-free JSON document.
+pub fn to_json(
+    loopback: &[NetPoint],
+    tcp: &[NetPoint],
+    reactor: &[NetPoint],
+    codec: &CodecPoint,
+    round: Duration,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"net/runtime\",\n");
     s.push_str("  \"workload\": \"push-pull all-to-all over the gossip-net runtime\",\n");
     let _ = writeln!(s, "  \"tcp_round_ms\": {},", round.as_millis());
-    for (section, points) in [("loopback", loopback), ("tcp", tcp)] {
+    let _ = writeln!(
+        s,
+        "  \"codec\": {{\"frames\": {}, \"payload_bytes\": {}, \"bytes\": {}, \"encode_frames_per_sec\": {:.2}, \"decode_frames_per_sec\": {:.2}}},",
+        codec.frames,
+        codec.payload,
+        codec.bytes,
+        codec.encode_frames_per_sec(),
+        codec.decode_frames_per_sec(),
+    );
+    for (section, points) in [("loopback", loopback), ("tcp", tcp), ("reactor", reactor)] {
         let _ = writeln!(s, "  \"{section}\": [");
         for (i, p) in points.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "    {{\"topology\": \"{}\", \"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"frames_sent\": {}, \"bytes_sent\": {}, \"frames_per_sec\": {:.2}, \"bytes_per_sec\": {:.2}, \"peer_losses\": {}}}{}",
+                "    {{\"topology\": \"{}\", \"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"frames_sent\": {}, \"bytes_sent\": {}, \"frames_per_sec\": {:.2}, \"bytes_per_sec\": {:.2}, \"peer_losses\": {}, \"peak_threads\": {}}}{}",
                 p.topology,
                 p.n,
                 p.trials,
@@ -192,10 +372,11 @@ pub fn to_json(loopback: &[NetPoint], tcp: &[NetPoint], round: Duration) -> Stri
                 p.frames_per_sec(),
                 p.bytes_per_sec(),
                 p.losses,
+                p.peak_threads,
                 if i + 1 < points.len() { "," } else { "" }
             );
         }
-        let comma = if section == "loopback" { "," } else { "" };
+        let comma = if section == "reactor" { "" } else { "," };
         let _ = writeln!(s, "  ]{comma}");
     }
     s.push_str("}\n");
@@ -218,11 +399,34 @@ mod tests {
 
     #[test]
     fn tcp_measure_converges_cleanly() {
-        let p = measure_tcp("clique", 4, Duration::from_millis(5));
+        let p = measure_tcp("clique", 4, Duration::from_millis(5), 1);
         assert_eq!(p.n, 4);
         assert!(p.rounds > 0);
         assert!(p.frames > 0);
         assert_eq!(p.losses, 0);
+        assert!(p.peak_threads > 0, "thread sampling works on this target");
+    }
+
+    #[test]
+    fn reactor_measure_converges_on_one_thread() {
+        let p = measure_reactor("clique", 32);
+        assert_eq!(p.n, 32);
+        assert!(p.rounds > 0);
+        assert!(p.frames > 0 && p.bytes > p.frames);
+        assert_eq!(p.losses, 0);
+        // The whole cluster runs on the calling thread; the sampled
+        // count must stay at the harness baseline, far under the
+        // thread-per-peer section's hundreds.
+        assert!(p.peak_threads <= 8, "peak threads: {}", p.peak_threads);
+    }
+
+    #[test]
+    fn codec_measure_round_trips() {
+        let c = measure_codec(1_000, 128);
+        assert_eq!(c.frames, 1_000);
+        assert!(c.bytes > 128 * 1_000);
+        assert!(c.encode_frames_per_sec() > 0.0);
+        assert!(c.decode_frames_per_sec() > 0.0);
     }
 
     #[test]
@@ -236,18 +440,33 @@ mod tests {
             frames: 600,
             bytes: 60_000,
             losses: 0,
+            peak_threads: 5,
+        };
+        let codec = CodecPoint {
+            frames: 1_000,
+            payload: 512,
+            bytes: 541_000,
+            encode_secs: 0.25,
+            decode_secs: 0.5,
         };
         let j = to_json(
             std::slice::from_ref(&point),
             std::slice::from_ref(&point),
+            std::slice::from_ref(&point),
+            &codec,
             Duration::from_millis(5),
         );
         assert!(j.contains("\"bench\": \"net/runtime\""));
         assert!(j.contains("\"tcp_round_ms\": 5"));
         assert!(j.contains("\"loopback\": ["));
         assert!(j.contains("\"tcp\": ["));
+        assert!(j.contains("\"reactor\": ["));
+        assert!(j.contains("\"codec\": {\"frames\": 1000, \"payload_bytes\": 512"));
+        assert!(j.contains("\"encode_frames_per_sec\": 4000.00"));
+        assert!(j.contains("\"decode_frames_per_sec\": 2000.00"));
         assert!(j.contains("\"frames_per_sec\": 1200.00"));
         assert!(j.contains("\"bytes_per_sec\": 120000.00"));
+        assert!(j.contains("\"peak_threads\": 5"));
         assert!(!j.contains(",\n  ]"), "no trailing comma: {j}");
         assert!(!j.contains("],\n}"), "no trailing comma: {j}");
     }

@@ -29,11 +29,12 @@ USAGE
 byte-identical to the default single-threaded run.
   gossip game <m> <singleton | random:P> <adaptive | oblivious | systematic>
               [--seed S] [--trials T]
-  gossip run-net <algorithm> <file|-> [--transport tcp|loopback] [--seed S]
-                 [--source V] [--all-to-all] [--round-ms MS] [--max-rounds R]
-  gossip serve <file|-> --node I --peers FILE [--listen ADDR]
-               [--algorithm A] [--seed S] [--source V] [--all-to-all]
-               [--round-ms MS] [--max-rounds R]
+  gossip run-net <algorithm> <file|-> [--transport tcp|loopback|reactor]
+                 [--seed S] [--source V] [--all-to-all] [--round-ms MS]
+                 [--max-rounds R]
+  gossip serve <file|-> (--node I | --nodes A..B) [--peers FILE]
+               [--listen ADDR] [--algorithm A] [--seed S] [--source V]
+               [--all-to-all] [--round-ms MS] [--max-rounds R]
   gossip check --family <cycle|star|clique|ring-of-cliques> --n K
                [--faults B] [--prop all|NAME] [--format human|json]
   gossip check --corpus [--faults B] [--prop all|NAME] [--format human|json]
@@ -42,10 +43,14 @@ byte-identical to the default single-threaded run.
 
 `run-net` runs a whole cluster in one process: `loopback` replays the
 engine's schedule exactly on a virtual clock; `tcp` spawns one thread
-per node over localhost sockets. `serve` runs a single node over TCP so
-a cluster can span processes; the peers file maps node ids to
-addresses (`<id> <host:port>` per line). Net algorithms: push-pull |
-push-only | flooding.
+per node over localhost sockets; `reactor` multiplexes every node onto
+one thread of non-blocking sockets (same exact schedule as loopback,
+thousands of nodes per process). `serve` joins a TCP cluster spanning
+processes: `--node I` runs one thread-per-peer node, `--nodes A..B`
+runs a whole shard of nodes on one reactor. The peers file maps remote
+node ids to addresses (`<id> <host:port>` per line); reactor-hosted
+neighbors share their shard's one listen address. Net algorithms:
+push-pull | push-only | flooding.
 
 FAMILIES (for generate)
   clique N | star N | path N | cycle N | grid R C | torus R C

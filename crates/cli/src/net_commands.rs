@@ -1,7 +1,9 @@
 //! The network-runtime subcommands: `gossip run-net` drives a whole
-//! cluster in one process (deterministic loopback or localhost TCP),
-//! and `gossip serve` runs a single node over real sockets so a cluster
-//! can be assembled from independent processes (or terminals).
+//! cluster in one process (deterministic loopback, localhost TCP, or
+//! the single-threaded reactor), and `gossip serve` runs one node — or,
+//! with `--nodes A..B`, a reactor-hosted shard of nodes — over real
+//! sockets so a cluster can be assembled from independent processes (or
+//! terminals).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -11,8 +13,9 @@ use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_core::Goal;
 use gossip_net::{
-    run_local_cluster, run_loopback_with_stats, NetRunner, NodeOutcome, NodeStopReason, RunView,
-    TcpConfig, TcpTransport, TransportStats, WirePayload,
+    run_local_cluster, run_loopback_with_stats, run_reactor_cluster, run_reactor_with_stats,
+    NetRunner, NodeOutcome, NodeStopReason, ReactorConfig, RunView, TcpConfig, TcpTransport,
+    TransportStats, WirePayload,
 };
 use gossip_sim::{Protocol, SharedRumorSet, SimConfig, SimMetrics, StopReason};
 use latency_graph::{Graph, NodeId};
@@ -110,11 +113,16 @@ where
     let _ = writeln!(out, "transport = {transport}");
     let _ = writeln!(out, "goal = {:?}", net.goal);
     match transport {
-        "loopback" => {
+        "loopback" | "reactor" => {
             let goal = net.goal.clone();
-            let (o, stats) = run_loopback_with_stats(g, &net.sim, factory, |nodes: &[&P], _| {
-                goal.met_by_all(nodes.iter().map(|p| rumors(p)))
-            });
+            let stop = |nodes: &[&P], _| goal.met_by_all(nodes.iter().map(|p| rumors(p)));
+            // Both run the engine's schedule exactly; the reactor does it
+            // over real (self-connected) non-blocking sockets.
+            let (o, stats) = if transport == "reactor" {
+                run_reactor_with_stats(g, &net.sim, factory, stop)
+            } else {
+                run_loopback_with_stats(g, &net.sim, factory, stop)
+            };
             let _ = writeln!(out, "rounds = {}", o.rounds);
             let _ = writeln!(out, "complete = {}", o.reason != StopReason::MaxRounds);
             write_metrics(&mut out, &o.metrics, &stats);
@@ -222,6 +230,100 @@ fn parse_peers_file(text: &str, n: usize) -> Result<BTreeMap<NodeId, String>, Cl
     Ok(peers)
 }
 
+/// Parses a `--nodes A..B` shard range (half-open, non-empty, within
+/// the graph).
+fn parse_node_range(s: &str, n: usize) -> Result<Vec<NodeId>, CliError> {
+    let bad = || CliError::BadArgument {
+        what: "nodes",
+        value: s.to_string(),
+    };
+    let (a, b) = s.split_once("..").ok_or_else(bad)?;
+    let a: usize = a.parse().map_err(|_| bad())?;
+    let b: usize = b.parse().map_err(|_| bad())?;
+    if a >= b || b > n {
+        return Err(bad());
+    }
+    Ok((a..b).map(NodeId::new).collect())
+}
+
+/// Runs a reactor-hosted shard of `nodes` (the `serve --nodes A..B`
+/// path): one listener, one thread, every hosted runner stepped
+/// cooperatively.
+fn serve_shard_generic<P, F, R>(
+    g: &Graph,
+    nodes: &[NodeId],
+    net: &NetArgs,
+    cfg: ReactorConfig,
+    peers: BTreeMap<NodeId, String>,
+    factory: F,
+    rumors: R,
+) -> Result<String, CliError>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    R: Fn(&P) -> &SharedRumorSet,
+{
+    let n = g.node_count();
+    let goal = net.goal.clone();
+    let listen_addr = std::cell::RefCell::new(String::new());
+    let rumors = &rumors;
+    let outcomes = run_reactor_cluster(
+        g,
+        &net.sim,
+        &cfg,
+        nodes,
+        |local| {
+            *listen_addr.borrow_mut() = local.to_owned();
+            peers
+        },
+        factory,
+        move |p, view| locally_done(&goal, n, rumors(p), view),
+    )
+    .map_err(net_error)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm = {}", net.algorithm);
+    let _ = writeln!(
+        out,
+        "shard = {} nodes of {} (listened on {})",
+        nodes.len(),
+        n,
+        listen_addr.borrow()
+    );
+    let rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
+    let barrier = outcomes.iter().all(|o| o.reason == NodeStopReason::Barrier);
+    let goal_met = outcomes
+        .iter()
+        .all(|o| net.goal.locally_met(rumors(&o.protocol).as_ref()));
+    let _ = writeln!(out, "rounds = {rounds}");
+    let _ = writeln!(out, "barrier = {barrier}");
+    let _ = writeln!(out, "goal met = {goal_met}");
+    let mut metrics = SimMetrics::default();
+    let mut stats = TransportStats::default();
+    for o in &outcomes {
+        metrics.initiated += o.metrics.initiated;
+        metrics.delivered += o.metrics.delivered;
+        metrics.lost += o.metrics.lost;
+        metrics.rejected += o.metrics.rejected;
+        metrics.payload_units += o.metrics.payload_units;
+        stats.absorb(&o.stats);
+    }
+    write_metrics(&mut out, &metrics, &stats);
+    for (node, o) in nodes.iter().zip(&outcomes) {
+        for loss in &o.losses {
+            let _ = writeln!(
+                out,
+                "peer lost = {} (seen by {}) after {} attempts ({})",
+                loss.peer.index(),
+                node.index(),
+                loss.attempts,
+                loss.error
+            );
+        }
+    }
+    Ok(out)
+}
+
 fn serve_generic<P, R>(
     g: &Graph,
     node: NodeId,
@@ -272,36 +374,92 @@ where
     Ok(out)
 }
 
-/// `gossip serve`: run one node of a TCP cluster in this process.
+/// `gossip serve`: run one node (`--node I`, thread-per-peer TCP) or a
+/// reactor-hosted shard of nodes (`--nodes A..B`) of a cluster in this
+/// process.
 pub fn serve(args: &mut Args) -> Result<String, CliError> {
     let path: String = args.require("graph file")?;
-    let node_idx: usize = args
-        .flag_opt("node")?
-        .ok_or(CliError::MissingArgument("--node <id>"))?;
+    let node_idx: Option<usize> = args.flag_opt("node")?;
+    let nodes_range: Option<String> = args.flag_opt("nodes")?;
     let listen: String = args.flag_or("listen", "127.0.0.1:0".to_owned())?;
-    let peers_path: String = args
-        .flag_opt("peers")?
-        .ok_or(CliError::MissingArgument("--peers <file>"))?;
+    let peers_path: Option<String> = args.flag_opt("peers")?;
     let algorithm: String = args.flag_or("algorithm", "push-pull".to_owned())?;
     let g = load_graph(&path)?;
     let net = parse_net_args(args, algorithm, &g)?;
     args.finish()?;
-    if node_idx >= g.node_count() {
+    let n = g.node_count();
+    let peers = match &peers_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| CliError::Io(p.clone(), e.to_string()))?;
+            parse_peers_file(&text, n)?
+        }
+        // A shard hosting every neighbor needs no peers file; the
+        // single-node path below insists on one.
+        None => BTreeMap::new(),
+    };
+    if let Some(range) = nodes_range {
+        if node_idx.is_some() {
+            return Err(CliError::BadArgument {
+                what: "node",
+                value: "--node and --nodes are mutually exclusive".to_owned(),
+            });
+        }
+        let nodes = parse_node_range(&range, n)?;
+        let cfg = ReactorConfig {
+            listen,
+            round: net.round,
+            ..ReactorConfig::default()
+        };
+        return match net.algorithm.as_str() {
+            "push-pull" | "push-only" => {
+                let mode = if net.algorithm == "push-only" {
+                    Mode::PushOnly
+                } else {
+                    Mode::PushPull
+                };
+                serve_shard_generic(
+                    &g,
+                    &nodes,
+                    &net,
+                    cfg,
+                    peers,
+                    |id, n| PushPullNode::new(id, n, mode),
+                    |p: &PushPullNode| &p.rumors,
+                )
+            }
+            "flooding" => serve_shard_generic(
+                &g,
+                &nodes,
+                &net,
+                cfg,
+                peers,
+                FloodingNode::new,
+                |p: &FloodingNode| &p.rumors,
+            ),
+            other => Err(CliError::BadArgument {
+                what: "algorithm",
+                value: other.to_string(),
+            }),
+        };
+    }
+    let node_idx = node_idx.ok_or(CliError::MissingArgument("--node <id>"))?;
+    if peers_path.is_none() {
+        return Err(CliError::MissingArgument("--peers <file>"));
+    }
+    if node_idx >= n {
         return Err(CliError::BadArgument {
             what: "node",
             value: node_idx.to_string(),
         });
     }
     let node = NodeId::new(node_idx);
-    let peers_text = std::fs::read_to_string(&peers_path)
-        .map_err(|e| CliError::Io(peers_path.clone(), e.to_string()))?;
     let tcp = TcpConfig {
         listen,
-        peers: parse_peers_file(&peers_text, g.node_count())?,
+        peers,
         round: net.round,
         ..TcpConfig::default()
     };
-    let n = g.node_count();
     match net.algorithm.as_str() {
         "push-pull" | "push-only" => {
             let mode = if net.algorithm == "push-only" {
@@ -386,6 +544,34 @@ mod tests {
     }
 
     #[test]
+    fn run_net_reactor_matches_loopback() {
+        // The reactor replays the engine's schedule exactly, so its
+        // round count and exchange metrics equal loopback's.
+        let p = temp_graph("reactor10.txt", &["generate", "cycle", "10"]);
+        let lo = call(&["run-net", "push-pull", &p, "--seed", "4", "--all-to-all"]).unwrap();
+        let re = call(&[
+            "run-net",
+            "push-pull",
+            &p,
+            "--transport",
+            "reactor",
+            "--seed",
+            "4",
+            "--all-to-all",
+        ])
+        .unwrap();
+        assert!(re.contains("transport = reactor"), "{re}");
+        assert!(re.contains("complete = true"), "{re}");
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("rounds") || l.starts_with("exchanges"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&lo), tail(&re), "loopback:\n{lo}\nreactor:\n{re}");
+    }
+
+    #[test]
     fn run_net_rejects_bad_inputs() {
         let p = temp_graph("bad.txt", &["generate", "path", "4"]);
         assert!(matches!(
@@ -435,6 +621,103 @@ mod tests {
             call(&["serve", &p, "--node", "0", "--peers", &peers]),
             Err(CliError::Net(_))
         ));
+    }
+
+    #[test]
+    fn node_range_parses_and_rejects() {
+        assert_eq!(
+            parse_node_range("0..3", 8).unwrap(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        for bad in ["3..3", "5..2", "0..9", "x..2", "0-2", "2"] {
+            assert!(parse_node_range(bad, 8).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn serve_shard_hosts_whole_cluster_without_peers() {
+        // `--nodes 0..N` hosting everything needs no peers file.
+        let p = temp_graph("shard-all.txt", &["generate", "clique", "6"]);
+        let out = call(&[
+            "serve",
+            &p,
+            "--nodes",
+            "0..6",
+            "--all-to-all",
+            "--round-ms",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("shard = 6 nodes of 6"), "{out}");
+        assert!(out.contains("barrier = true"), "{out}");
+        assert!(out.contains("goal met = true"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_node_and_nodes_together() {
+        let p = temp_graph("shard-bad.txt", &["generate", "path", "4"]);
+        assert!(matches!(
+            call(&["serve", &p, "--node", "0", "--nodes", "0..2"]),
+            Err(CliError::BadArgument { what: "node", .. })
+        ));
+        assert!(matches!(
+            call(&["serve", &p, "--nodes", "2..2"]),
+            Err(CliError::BadArgument { what: "nodes", .. })
+        ));
+    }
+
+    #[test]
+    fn serve_two_shards_converge() {
+        // The README sharded quickstart, in-process: two `serve --nodes`
+        // invocations split a clique across two reactors and both
+        // shards reach the barrier with the goal met.
+        let p = temp_graph("shards.txt", &["generate", "clique", "8"]);
+        let reserve = || {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap().to_string();
+            drop(l);
+            addr
+        };
+        let (addr_a, addr_b) = (reserve(), reserve());
+        // Each shard's peers file points every remote node at the other
+        // shard's one listener.
+        let peers_a = temp_file(
+            "shard-a-peers.txt",
+            &(4..8)
+                .map(|i| format!("{i} {addr_b}\n"))
+                .collect::<String>(),
+        );
+        let peers_b = temp_file(
+            "shard-b-peers.txt",
+            &(0..4)
+                .map(|i| format!("{i} {addr_a}\n"))
+                .collect::<String>(),
+        );
+        let mut handles = Vec::new();
+        for (range, addr, peers) in [("0..4", addr_a, peers_a), ("4..8", addr_b, peers_b)] {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                call(&[
+                    "serve",
+                    &p,
+                    "--nodes",
+                    range,
+                    "--listen",
+                    &addr,
+                    "--peers",
+                    &peers,
+                    "--all-to-all",
+                    "--round-ms",
+                    "5",
+                ])
+            }));
+        }
+        for h in handles {
+            let out = h.join().expect("serve thread").expect("shard runs");
+            assert!(out.contains("shard = 4 nodes of 8"), "{out}");
+            assert!(out.contains("barrier = true"), "{out}");
+            assert!(out.contains("goal met = true"), "{out}");
+        }
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Connection state machinery shared by the thread-per-peer TCP
+//! transport and the reactor: handshake validation, capped exponential
+//! reconnect backoff, and incremental frame reassembly.
+//!
+//! Both transports speak the same wire protocol — a dialer sends
+//! [`Frame::Hello`] first, the acceptor answers with its own `Hello`
+//! *before* validating (so a mismatched dialer can read the answer,
+//! diagnose the topology difference on its side, and fail fast instead
+//! of retrying a hopeless connection), and both sides then refuse to
+//! exchange any other frame until the handshake checks out. Keeping the
+//! validation and the backoff schedule here is what makes the two
+//! runtimes wire-compatible: a reactor shard and a thread-per-peer node
+//! can join the same cluster.
+
+use std::io::Read;
+use std::time::Duration;
+
+use latency_graph::NodeId;
+
+use crate::error::CodecError;
+use crate::wire::Frame;
+
+/// Validates the topology half of a handshake: the peer's node count
+/// and topology hash must equal ours. Returns the sender's node id and
+/// the node it addressed (`Hello.to`); callers layer their own routing
+/// checks (is that me? a neighbor? a hosted node?) on top.
+///
+/// # Errors
+///
+/// A non-`Hello` first frame or a topology mismatch yields a
+/// human-readable description (the "topology mismatch" prefix is load-
+/// bearing: peer-loss reports surface it to operators and tests).
+pub fn validate_hello(
+    frame: &Frame,
+    n: u32,
+    topology_hash: u64,
+) -> Result<(NodeId, NodeId), String> {
+    let Frame::Hello {
+        node,
+        to,
+        n: peer_n,
+        topology_hash: peer_hash,
+    } = frame
+    else {
+        return Err("first frame was not a handshake".to_owned());
+    };
+    if *peer_n != n || *peer_hash != topology_hash {
+        return Err(format!(
+            "topology mismatch: peer has n={peer_n} hash={peer_hash:#x}, \
+             local n={n} hash={topology_hash:#x}"
+        ));
+    }
+    Ok((*node, *to))
+}
+
+/// Shaping offsets beyond this are clamped; far larger than any round
+/// cap a wall-clocked run can reach anyway.
+const MAX_OFFSET: Duration = Duration::from_secs(86_400);
+
+/// Wall-clock offset of round `rounds` from the epoch: `rounds ·
+/// round_len`, saturating and clamped to [`MAX_OFFSET`]. Both socket
+/// transports derive round pacing targets and reply release deadlines
+/// from this one function so their clocks agree.
+pub(crate) fn round_offset(round_len: Duration, rounds: u128) -> Duration {
+    let nanos = round_len.as_nanos().saturating_mul(rounds);
+    let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+    Duration::from_nanos(nanos).min(MAX_OFFSET)
+}
+
+/// Capped exponential reconnect backoff.
+///
+/// Attempt `k` (1-based; attempt 0 dials immediately) waits
+/// `base · 2^k`, clamped to `cap`. The schedule is a pure function so
+/// the two transports — one sleeping on a condition variable, one
+/// scheduling a deadline-wheel timer — stay in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and clamped to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff { base, cap }
+    }
+
+    /// The wait before dial attempt `attempt` (0 means dial now).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        self.base
+            .saturating_mul(1_u32 << attempt.min(16))
+            .min(self.cap)
+    }
+}
+
+/// Incremental frame reassembly over any byte stream.
+///
+/// Bytes are appended as they arrive (blocking reads or non-blocking
+/// readiness events alike); [`next_frame`](FrameReader::next_frame)
+/// yields complete frames without re-scanning or shifting the buffer
+/// per frame — consumed bytes are compacted only once a threshold is
+/// passed, so a burst of small frames costs amortized O(bytes).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// Compact the buffer once this many consumed bytes accumulate.
+const COMPACT_AT: usize = 64 * 1024;
+
+impl FrameReader {
+    /// An empty reassembly buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the buffer is at a frame boundary (no partial frame
+    /// pending) — the condition under which an EOF is clean.
+    pub fn at_boundary(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Throws away everything buffered (a connection that is only being
+    /// drained to close no longer cares about its bytes).
+    pub fn discard(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Decodes the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes". The `u64` is the frame's
+    /// encoded size (for traffic counters).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] other than `Truncated` is a permanent
+    /// rejection of the stream.
+    pub fn next_frame(&mut self) -> Result<Option<(Frame, u64)>, CodecError> {
+        match Frame::decode(&self.buf[self.pos..]) {
+            Ok((frame, used)) => {
+                self.pos += used;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                } else if self.pos >= COMPACT_AT {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                let used = u64::try_from(used).expect("frame size fits u64");
+                Ok(Some((frame, used)))
+            }
+            Err(CodecError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Reads one frame from a blocking stream, accumulating into `reader`
+/// (which may retain a partial next frame between calls). `Ok(None)` is
+/// a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O failures pass through; a decode failure or an EOF mid-frame maps
+/// to [`std::io::ErrorKind::InvalidData`] / `UnexpectedEof`.
+pub fn read_frame<R: Read>(
+    stream: &mut R,
+    reader: &mut FrameReader,
+) -> std::io::Result<Option<(Frame, u64)>> {
+    let mut chunk = [0_u8; 8192];
+    loop {
+        match reader.next_frame() {
+            Ok(Some(hit)) => return Ok(Some(hit)),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+        }
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return if reader.at_boundary() {
+                Ok(None)
+            } else {
+                Err(std::io::ErrorKind::UnexpectedEof.into())
+            };
+        }
+        reader.extend(&chunk[..got]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let b = Backoff::new(Duration::from_millis(25), Duration::from_millis(400));
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(1), Duration::from_millis(50));
+        assert_eq!(b.delay(2), Duration::from_millis(100));
+        assert_eq!(b.delay(4), Duration::from_millis(400));
+        assert_eq!(b.delay(31), Duration::from_millis(400), "shift stays sane");
+    }
+
+    #[test]
+    fn frame_reader_reassembles_byte_by_byte() {
+        let frames = vec![
+            Frame::Done { round: 3 },
+            Frame::Request {
+                seq: 1,
+                round: 0,
+                payload: vec![9; 100],
+            },
+            Frame::Bye,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        for byte in stream {
+            reader.extend(&[byte]);
+            while let Some((f, _)) = reader.next_frame().expect("stream is well-formed") {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen, frames);
+        assert!(reader.at_boundary());
+    }
+
+    #[test]
+    fn validate_hello_reports_mismatch() {
+        let hello = Frame::Hello {
+            node: NodeId::new(1),
+            to: NodeId::new(0),
+            n: 8,
+            topology_hash: 0xAAAA,
+        };
+        assert_eq!(
+            validate_hello(&hello, 8, 0xAAAA),
+            Ok((NodeId::new(1), NodeId::new(0)))
+        );
+        let err = validate_hello(&hello, 8, 0xBBBB).expect_err("hash differs");
+        assert!(err.contains("topology mismatch"), "{err}");
+        let err = validate_hello(&Frame::Bye, 8, 0xAAAA).expect_err("not a hello");
+        assert!(err.contains("handshake"), "{err}");
+    }
+}

@@ -1,4 +1,8 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's epoll shim
+// (`reactor::sys`) carries a scoped `#[allow(unsafe_code)]`; everything
+// else in the crate stays unsafe-free (and `cargo xtask tidy` confines
+// raw-fd APIs to `src/reactor/`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Network runtime for the gossip protocols: runs unmodified
@@ -17,10 +21,17 @@
 //!   exactly (round counts, metrics, final states) — see
 //!   [`runner::run_loopback`] and DESIGN.md §11 for the equivalence
 //!   argument.
+//! * [`conn`] — connection state machinery (handshake validation,
+//!   reconnect backoff schedule, incremental frame reassembly) shared by
+//!   both socket transports.
 //! * [`tcp`] — a `std::net` TCP runtime: thread-per-peer with bounded
 //!   outboxes, handshake carrying node id + topology hash, capped
 //!   exponential-backoff reconnect, and a wall-clock latency shaper that
 //!   honors each edge's `ℓ`.
+//! * [`reactor`] — a non-blocking TCP runtime: one epoll readiness loop
+//!   hosts every connection of many nodes in a single thread, with a
+//!   deadline wheel replacing every sleep (DESIGN.md §14). Thousands of
+//!   nodes per process instead of `2d + 1` threads per node.
 //! * [`runner`] — [`NetRunner`], the round-pacing driver that enforces
 //!   one-initiation-per-round and the start/stop barriers on top of any
 //!   [`Transport`].
@@ -31,8 +42,10 @@
 //! endpoints — at round `t + ℓ`, with payload snapshots taken at `t`.
 //! Transports merely move bytes no later than the runner needs them.
 
+pub mod conn;
 pub mod error;
 pub mod loopback;
+pub mod reactor;
 pub mod runner;
 pub mod tcp;
 pub mod transport;
@@ -40,6 +53,10 @@ pub mod wire;
 
 pub use error::{CodecError, NetError, PeerLoss};
 pub use loopback::{LoopbackHub, LoopbackTransport};
+pub use reactor::{
+    run_reactor, run_reactor_cluster, run_reactor_with_stats, Pacing, Reactor, ReactorConfig,
+    ReactorEndpoint,
+};
 pub use runner::{
     run_loopback, run_loopback_with_stats, NetRunner, NodeOutcome, NodeStopReason, RunView,
 };

@@ -1,0 +1,1581 @@
+//! Reactor runtime: thousands of nodes per process over non-blocking
+//! TCP (DESIGN.md §14).
+//!
+//! The thread-per-peer transport ([`crate::tcp`]) spends `2d + 1` OS
+//! threads per node; at n = 1024 on a clique that is millions of
+//! threads. The reactor inverts the layout: **one** thread runs a
+//! single `epoll` readiness loop ([`sys::Poller`]) hosting *every*
+//! connection of *many* nodes, with per-connection read/write buffer
+//! state machines ([`conn::Conn`]) instead of blocking reader/writer
+//! threads and a deadline wheel ([`wheel::Wheel`]) instead of every
+//! `thread::sleep` (reply release shaping, round pacing, reconnect
+//! backoff).
+//!
+//! # Trunk multiplexing
+//!
+//! The file-descriptor budget, not memory, is what bounds per-edge
+//! sockets: a 4096-node clique has ~8M directed edges. Traffic between
+//! two nodes hosted by the *same* reactor therefore rides a small fixed
+//! set of **trunks** — simplex TCP self-connections through the kernel
+//! loopback — with each frame wrapped in a [`Frame::Routed`] envelope
+//! carrying `(src, dst, release)`. A directed edge `u → v` always maps
+//! to the same trunk (a deterministic hash), so per-sender FIFO is
+//! preserved and the runner's sequence-number dedup keeps working.
+//! Cross-sender interleave is harmless: the runner's hold queues
+//! canonicalize application order by `(initiated_at, initiator)`.
+//!
+//! Edges to nodes hosted *elsewhere* (another reactor shard, or a
+//! thread-per-peer [`crate::TcpTransport`] node) use one directed
+//! connection per edge with the standard handshake — the two runtimes
+//! are wire-compatible and can join the same cluster.
+//!
+//! # Pacing
+//!
+//! * [`Pacing::Drain`] — virtual time for single-process runs: frames
+//!   are written immediately, receivers stage them by release round,
+//!   and `poll(round)` pumps until the reactor **quiesces** (all write
+//!   queues empty, every routed envelope decoded) instead of waiting on
+//!   the wall clock. With every node hosted, this reproduces the
+//!   loopback transport's executions exactly — and hence the
+//!   simulator's (DESIGN.md §11) — while exercising real sockets.
+//! * [`Pacing::Wall`] — wall-clock rounds against a shared in-process
+//!   epoch, with reply release deadlines (`epoch + release·Δ − Δ/2`)
+//!   enforced by the wheel on the send side, like the thread-per-peer
+//!   transport. This is the mode that interoperates across processes.
+
+pub(crate) mod conn;
+pub(crate) mod sys;
+pub(crate) mod wheel;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use gossip_sim::{EngineStats, Outcome, Protocol, Round, SimConfig, SimMetrics, StopReason};
+use latency_graph::{Graph, NodeId};
+
+use crate::conn::{round_offset, validate_hello, Backoff};
+use crate::error::{NetError, PeerLoss};
+use crate::runner::{NetRunner, NodeOutcome, RunView};
+use crate::transport::{NetEvent, Transport, TransportStats};
+use crate::wire::{Frame, WirePayload};
+
+use conn::{Conn, ConnKind};
+use sys::{Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use wheel::Wheel;
+
+/// How a reactor paces rounds; see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pacing {
+    /// Wall-clock rounds with send-side release shaping (interop mode).
+    Wall,
+    /// Virtual time: pump-to-quiescence rounds, receiver-side release
+    /// staging. Requires every node of the graph to be hosted by this
+    /// reactor.
+    Drain,
+}
+
+/// Tuning knobs for the reactor runtime.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Address to listen on; `127.0.0.1:0` picks an ephemeral port
+    /// (read it back with [`Reactor::local_addr`]).
+    pub listen: String,
+    /// Wall-clock duration of one round ([`Pacing::Wall`] only).
+    pub round: Duration,
+    /// Round pacing mode.
+    pub pacing: Pacing,
+    /// Per-attempt connect timeout for outbound edges and trunks.
+    pub connect_timeout: Duration,
+    /// Budget for the start barrier: every trunk and every remote edge
+    /// settled (connected both ways, or conclusively lost), or
+    /// [`NetError::StartTimeout`].
+    pub start_timeout: Duration,
+    /// First reconnect backoff; doubles per attempt.
+    pub retry_base: Duration,
+    /// Backoff cap.
+    pub retry_cap: Duration,
+    /// Connection attempts per outage before a peer is declared lost.
+    pub max_retries: u32,
+    /// Trunk self-connections multiplexing hosted↔hosted traffic.
+    pub trunks: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            round: Duration::from_millis(20),
+            pacing: Pacing::Wall,
+            connect_timeout: Duration::from_secs(1),
+            start_timeout: Duration::from_secs(20),
+            retry_base: Duration::from_millis(25),
+            retry_cap: Duration::from_millis(400),
+            max_retries: 5,
+            trunks: 4,
+        }
+    }
+}
+
+/// Sender id carried by trunk handshakes; outside the node id space.
+const TRUNK_NODE: u32 = u32::MAX;
+/// Epoll token of the listener (connections use their slab index).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Deadline-wheel granularity.
+const WHEEL_GRANULARITY: Duration = Duration::from_millis(1);
+/// A drain pump that makes no progress for this long is declared
+/// stalled (a bug escape hatch, not a tuning knob).
+const DRAIN_STALL: Duration = Duration::from_secs(10);
+
+/// Per-hosted-node endpoint state.
+struct Hosted {
+    neighbors: Vec<NodeId>,
+    /// Events the next `poll` returns.
+    ready: VecDeque<NetEvent>,
+    /// Drain pacing: frames staged by release round, delivered once the
+    /// node polls a round at or past it (the loopback hub's `pending`).
+    staged: BTreeMap<Round, Vec<NetEvent>>,
+    /// Peers conclusively lost (sends become silent no-ops).
+    lost: BTreeSet<NodeId>,
+    stats: TransportStats,
+    /// Cleared by endpoint shutdown; the reactor tears down when no
+    /// hosted node remains active.
+    active: bool,
+}
+
+/// A directed edge from a hosted node to a remote one (we dial, we
+/// write).
+#[derive(Default)]
+struct EdgeOut {
+    /// Connection slab index while dialing or established.
+    conn: Option<usize>,
+    /// Handshake completed (data may flow).
+    up: bool,
+    /// Completed at least once — the start barrier's outbound half.
+    established: bool,
+    /// Conclusively lost; `PeerLost` has been delivered.
+    lost: bool,
+    /// Dial attempts in the current outage.
+    attempts: u32,
+    /// Encoded frames awaiting a live connection.
+    pending: VecDeque<Vec<u8>>,
+}
+
+/// Wheel entries: everything the blocking transport used a sleep for.
+enum Timer {
+    /// Re-dial the edge `from → to`.
+    Redial { from: NodeId, to: NodeId },
+    /// Release pre-encoded bytes toward `dst` (wall-pacing reply
+    /// shaping).
+    Flush {
+        src: NodeId,
+        dst: NodeId,
+        bytes: Vec<u8>,
+    },
+}
+
+struct Core {
+    n: u32,
+    hash: u64,
+    cfg: ReactorConfig,
+    backoff: Backoff,
+    hosted: BTreeMap<NodeId, Hosted>,
+    peer_addrs: BTreeMap<NodeId, String>,
+    edges: BTreeMap<(NodeId, NodeId), EdgeOut>,
+    /// Inbound directed edges `(remote, hosted)` whose handshake has
+    /// completed — the start barrier's inbound half.
+    in_up: BTreeSet<(NodeId, NodeId)>,
+    poller: Poller,
+    wheel: Wheel<Timer>,
+    listener: Option<TcpListener>,
+    listen_addr: SocketAddr,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Connections with freshly queued bytes, flushed each pump step.
+    dirty: Vec<usize>,
+    /// Slab index of each trunk's write side.
+    trunk_out: Vec<usize>,
+    /// Trunk read sides accepted so far.
+    trunks_in: usize,
+    /// Routed envelopes queued on trunks / decoded off trunks. Both
+    /// live in this single-threaded core, so equality — together with
+    /// empty trunk write queues — is an *exact* quiescence test.
+    routed_enqueued: u64,
+    routed_decoded: u64,
+    epoch: Option<Instant>,
+    started: bool,
+    start_failed: bool,
+    /// Hosted endpoints not yet shut down.
+    active: usize,
+    down: bool,
+    events_scratch: Vec<(u64, u32)>,
+    timers_scratch: Vec<Timer>,
+}
+
+impl Core {
+    fn new(
+        graph: &Graph,
+        hosted_ids: BTreeSet<NodeId>,
+        cfg: ReactorConfig,
+    ) -> Result<Core, NetError> {
+        if hosted_ids.is_empty() {
+            return Err(NetError::ProtocolViolation(
+                "reactor hosts no nodes".to_owned(),
+            ));
+        }
+        let n = graph.node_count();
+        for &u in &hosted_ids {
+            if u.index() >= n {
+                return Err(NetError::UnknownPeer(u));
+            }
+        }
+        let mut hosted = BTreeMap::new();
+        let mut edges = BTreeMap::new();
+        for &u in &hosted_ids {
+            let neighbors = graph.neighbor_ids(u).to_vec();
+            for &v in &neighbors {
+                if !hosted_ids.contains(&v) {
+                    edges.insert((u, v), EdgeOut::default());
+                }
+            }
+            hosted.insert(
+                u,
+                Hosted {
+                    neighbors,
+                    ready: VecDeque::new(),
+                    staged: BTreeMap::new(),
+                    lost: BTreeSet::new(),
+                    stats: TransportStats::default(),
+                    active: true,
+                },
+            );
+        }
+        let listener = TcpListener::bind(&cfg.listen).map_err(NetError::Io)?;
+        listener.set_nonblocking(true).map_err(NetError::Io)?;
+        let listen_addr = listener.local_addr().map_err(NetError::Io)?;
+        let poller = Poller::new().map_err(NetError::Io)?;
+        {
+            use std::os::fd::AsRawFd;
+            poller
+                .add(listener.as_raw_fd(), LISTENER_TOKEN, EPOLLIN)
+                .map_err(NetError::Io)?;
+        }
+        let backoff = Backoff::new(cfg.retry_base, cfg.retry_cap);
+        let active = hosted.len();
+        Ok(Core {
+            n: u32::try_from(n).expect("node count fits u32"),
+            hash: graph.topology_hash(),
+            cfg,
+            backoff,
+            hosted,
+            peer_addrs: BTreeMap::new(),
+            edges,
+            in_up: BTreeSet::new(),
+            poller,
+            wheel: Wheel::new(Instant::now(), WHEEL_GRANULARITY),
+            listener: Some(listener),
+            listen_addr,
+            conns: Vec::new(),
+            free: Vec::new(),
+            dirty: Vec::new(),
+            trunk_out: Vec::new(),
+            trunks_in: 0,
+            routed_enqueued: 0,
+            routed_decoded: 0,
+            epoch: None,
+            started: false,
+            start_failed: false,
+            active,
+            down: false,
+            events_scratch: Vec::new(),
+            timers_scratch: Vec::new(),
+        })
+    }
+
+    /// The deterministic trunk for directed edge `src → dst` (fmix64 of
+    /// the packed pair) — per-sender FIFO depends on this being stable.
+    fn trunk_of(&self, src: NodeId, dst: NodeId) -> usize {
+        let mut x = (u64::from(u32::from(src)) << 32) | u64::from(u32::from(dst));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        usize::try_from(x % self.cfg.trunks.max(1) as u64).expect("trunk index fits usize")
+    }
+
+    fn register(&mut self, conn: Conn) -> Result<usize, NetError> {
+        use std::os::fd::AsRawFd;
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let token = u64::try_from(idx).expect("slab index fits u64");
+        self.poller
+            .add(conn.stream.as_raw_fd(), token, conn.interest)
+            .map_err(NetError::Io)?;
+        self.conns[idx] = Some(conn);
+        Ok(idx)
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        use std::os::fd::AsRawFd;
+        if let Some(conn) = self.conns[idx].take() {
+            // Best-effort: dropping the stream removes it from epoll
+            // anyway.
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.free.push(idx);
+        }
+    }
+
+    fn mark_dirty(&mut self, idx: usize) {
+        if !self.dirty.contains(&idx) {
+            self.dirty.push(idx);
+        }
+    }
+
+    // ---- start ------------------------------------------------------
+
+    fn start(&mut self) -> Result<(), NetError> {
+        if self.started {
+            return Ok(());
+        }
+        match self.start_inner() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.start_failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn start_inner(&mut self) -> Result<(), NetError> {
+        if self.start_failed || self.down {
+            return Err(NetError::ProtocolViolation(
+                "reactor already failed or shut down".to_owned(),
+            ));
+        }
+        if self.cfg.pacing == Pacing::Drain && !self.edges.is_empty() {
+            return Err(NetError::ProtocolViolation(
+                "drain pacing requires hosting every node in one reactor".to_owned(),
+            ));
+        }
+        self.dial_trunks()?;
+        let now = Instant::now();
+        let edge_keys: Vec<(NodeId, NodeId)> = self.edges.keys().copied().collect();
+        for (from, to) in edge_keys {
+            self.wheel.schedule(now, Timer::Redial { from, to });
+        }
+        let deadline = now + self.cfg.start_timeout;
+        loop {
+            self.fire_timers()?;
+            self.flush_dirty()?;
+            if self.barrier_holds() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::StartTimeout {
+                    waiting: self.barrier_waiting(),
+                });
+            }
+            let wake = match self.wheel.next_deadline() {
+                Some(t) => t.min(deadline),
+                None => deadline,
+            };
+            self.poll_wait(Some(wake.saturating_duration_since(now)))?;
+        }
+        self.epoch = Some(Instant::now());
+        self.started = true;
+        Ok(())
+    }
+
+    fn dial_trunks(&mut self) -> Result<(), NetError> {
+        for t in 0..self.cfg.trunks {
+            let stream = TcpStream::connect_timeout(&self.listen_addr, self.cfg.connect_timeout)
+                .map_err(NetError::Io)?;
+            stream.set_nodelay(true).map_err(NetError::Io)?;
+            // The trunk handshake is a 28-byte blocking write into an
+            // empty socket buffer; it cannot block meaningfully.
+            let hello = Frame::Hello {
+                node: NodeId::from(TRUNK_NODE),
+                to: NodeId::new(t),
+                n: self.n,
+                topology_hash: self.hash,
+            };
+            let mut stream = stream;
+            stream.write_all(&hello.encode()).map_err(NetError::Io)?;
+            stream.set_nonblocking(true).map_err(NetError::Io)?;
+            let idx = self.register(Conn::new(stream, ConnKind::TrunkOut(t), EPOLLIN))?;
+            self.trunk_out.push(idx);
+        }
+        Ok(())
+    }
+
+    fn edge_settled(&self, from: NodeId, to: NodeId) -> bool {
+        let Some(edge) = self.edges.get(&(from, to)) else {
+            return true;
+        };
+        if edge.lost {
+            // A conclusive loss settles both directions, as with the
+            // thread-per-peer transport's single lost set.
+            return true;
+        }
+        edge.established && self.in_up.contains(&(to, from))
+    }
+
+    fn barrier_holds(&self) -> bool {
+        self.trunks_in == self.cfg.trunks
+            && self
+                .edges
+                .keys()
+                .all(|&(from, to)| self.edge_settled(from, to))
+    }
+
+    fn barrier_waiting(&self) -> Vec<NodeId> {
+        let waiting: BTreeSet<NodeId> = self
+            .edges
+            .keys()
+            .filter(|&&(from, to)| !self.edge_settled(from, to))
+            .map(|&(_, to)| to)
+            .collect();
+        waiting.into_iter().collect()
+    }
+
+    // ---- pump -------------------------------------------------------
+
+    /// One readiness step: fire due timers, flush dirty write queues,
+    /// wait up to `timeout` for events, handle them.
+    fn poll_wait(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        let mut events = std::mem::take(&mut self.events_scratch);
+        events.clear();
+        self.poller
+            .wait(timeout, &mut events)
+            .map_err(NetError::Io)?;
+        let mut result = Ok(());
+        for &(token, ev) in &events {
+            if let Err(e) = self.handle_event(token, ev) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.events_scratch = events;
+        result
+    }
+
+    fn fire_timers(&mut self) -> Result<(), NetError> {
+        if self.wheel.len() == 0 {
+            return Ok(());
+        }
+        let mut timers = std::mem::take(&mut self.timers_scratch);
+        timers.clear();
+        self.wheel.pop_due(Instant::now(), &mut timers);
+        let mut result = Ok(());
+        for timer in timers.drain(..) {
+            let r = match timer {
+                Timer::Redial { from, to } => self.dial_edge(from, to),
+                Timer::Flush { src, dst, bytes } => {
+                    self.route_released(src, dst, bytes);
+                    Ok(())
+                }
+            };
+            if let Err(e) = r {
+                result = Err(e);
+                break;
+            }
+        }
+        self.timers_scratch = timers;
+        result
+    }
+
+    fn flush_dirty(&mut self) -> Result<(), NetError> {
+        let dirty = std::mem::take(&mut self.dirty);
+        for idx in dirty {
+            if self.conns[idx].is_some() {
+                self.flush_conn(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_event(&mut self, token: u64, ev: u32) -> Result<(), NetError> {
+        if token == LISTENER_TOKEN {
+            return self.accept_ready();
+        }
+        let Ok(idx) = usize::try_from(token) else {
+            return Ok(());
+        };
+        if idx >= self.conns.len() || self.conns[idx].is_none() {
+            return Ok(()); // stale event for a closed connection
+        }
+        if ev & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0 {
+            // Errors and hangups surface through read(): remaining
+            // bytes first, then the EOF / error itself.
+            self.read_conn(idx)?;
+        }
+        if ev & EPOLLOUT != 0 && self.conns[idx].is_some() {
+            self.flush_conn(idx)?;
+        }
+        Ok(())
+    }
+
+    fn accept_ready(&mut self) -> Result<(), NetError> {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return Ok(());
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                        continue; // peer already gone; drop it
+                    }
+                    self.register(Conn::new(stream, ConnKind::Pending, EPOLLIN))?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures (e.g. the
+                // peer aborted while queued) must not kill the reactor.
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn read_conn(&mut self, idx: usize) -> Result<(), NetError> {
+        let mut chunk = [0_u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return Ok(());
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return self.conn_eof(idx),
+                Ok(n) => {
+                    conn.reader.extend(&chunk[..n]);
+                    self.dispatch_frames(idx)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return self.conn_broken(idx, &e.to_string()),
+            }
+        }
+    }
+
+    fn dispatch_frames(&mut self, idx: usize) -> Result<(), NetError> {
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return Ok(());
+            };
+            let kind = conn.kind;
+            if kind == ConnKind::Closing {
+                // Only the handshake answer is in flight; inbound bytes
+                // are discarded until the peer reads it and goes away.
+                conn.reader.discard();
+                return Ok(());
+            }
+            match conn.reader.next_frame() {
+                Ok(Some((frame, used))) => self.handle_frame(idx, kind, frame, used)?,
+                Ok(None) => return Ok(()),
+                Err(e) => return self.conn_broken(idx, &format!("codec error: {e}")),
+            }
+        }
+    }
+
+    fn handle_frame(
+        &mut self,
+        idx: usize,
+        kind: ConnKind,
+        frame: Frame,
+        used: u64,
+    ) -> Result<(), NetError> {
+        match kind {
+            ConnKind::Pending => self.handle_handshake(idx, &frame),
+            ConnKind::TrunkIn(_) => match frame {
+                Frame::Routed {
+                    src,
+                    dst,
+                    release,
+                    inner,
+                } => {
+                    self.routed_decoded += 1;
+                    self.deliver(src, dst, release, *inner, used)
+                }
+                other => Err(NetError::ProtocolViolation(format!(
+                    "non-routed frame on a trunk: {other:?}"
+                ))),
+            },
+            ConnKind::PeerIn { from, to } => self.deliver(from, to, 0, frame, used),
+            ConnKind::DialPending { from, to } => self.handle_dial_answer(idx, from, to, &frame),
+            // Established outbound edges and trunk write sides carry no
+            // inbound data; stray bytes are ignored (EOF is what
+            // matters, and read_conn catches it).
+            ConnKind::TrunkOut(_) | ConnKind::PeerOut { .. } | ConnKind::Closing => Ok(()),
+        }
+    }
+
+    /// First frame on an accepted connection: a trunk's self-handshake
+    /// or a remote dialer's `Hello`.
+    fn handle_handshake(&mut self, idx: usize, frame: &Frame) -> Result<(), NetError> {
+        let Frame::Hello {
+            node,
+            to,
+            n: peer_n,
+            topology_hash: peer_hash,
+        } = *frame
+        else {
+            // Mirrors the blocking transport: garbage before a
+            // handshake is dropped without an answer.
+            self.close_conn(idx);
+            return Ok(());
+        };
+        if u32::from(node) == TRUNK_NODE {
+            if to.index() < self.cfg.trunks && peer_n == self.n && peer_hash == self.hash {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.kind = ConnKind::TrunkIn(to.index());
+                }
+                self.trunks_in += 1;
+            } else {
+                self.close_conn(idx); // stray dialer using our sentinel
+            }
+            return Ok(());
+        }
+        // Answer before validating, so a mismatched dialer can read the
+        // answer and fail fast on its side.
+        let answer = Frame::Hello {
+            node: to,
+            to: node,
+            n: self.n,
+            topology_hash: self.hash,
+        };
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.wq.push_frame(&answer);
+        }
+        self.mark_dirty(idx);
+        let valid = validate_hello(frame, self.n, self.hash).is_ok()
+            && self
+                .hosted
+                .get(&to)
+                .is_some_and(|h| h.neighbors.contains(&node));
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if valid {
+                conn.kind = ConnKind::PeerIn { from: node, to };
+                self.in_up.insert((node, to));
+            } else {
+                // Let the answer flush, then close.
+                conn.kind = ConnKind::Closing;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `Hello` answer on an edge we dialed.
+    fn handle_dial_answer(
+        &mut self,
+        idx: usize,
+        from: NodeId,
+        to: NodeId,
+        frame: &Frame,
+    ) -> Result<(), NetError> {
+        match validate_hello(frame, self.n, self.hash) {
+            Ok((node, addressed)) if node == to && addressed == from => {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.kind = ConnKind::PeerOut { from, to };
+                }
+                if let Some(edge) = self.edges.get_mut(&(from, to)) {
+                    edge.up = true;
+                    edge.established = true;
+                    edge.attempts = 0;
+                    let pending: Vec<Vec<u8>> = edge.pending.drain(..).collect();
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        for bytes in pending {
+                            conn.wq.push_bytes(bytes);
+                        }
+                    }
+                    self.mark_dirty(idx);
+                }
+                Ok(())
+            }
+            Ok((node, _)) => {
+                // Wrong peer behind the address: conclusive, like a
+                // topology mismatch.
+                self.close_conn(idx);
+                let attempts = self.edges.get(&(from, to)).map_or(0, |e| e.attempts) + 1;
+                self.edge_lost(
+                    from,
+                    to,
+                    attempts,
+                    format!(
+                        "dialed node {} but node {} answered",
+                        to.index(),
+                        node.index()
+                    ),
+                );
+                Ok(())
+            }
+            Err(why) => {
+                self.close_conn(idx);
+                let attempts = self.edges.get(&(from, to)).map_or(0, |e| e.attempts) + 1;
+                self.edge_lost(from, to, attempts, why);
+                Ok(())
+            }
+        }
+    }
+
+    /// Hands a decoded data frame to hosted node `dst`.
+    fn deliver(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        release: Round,
+        frame: Frame,
+        used: u64,
+    ) -> Result<(), NetError> {
+        let Some(hosted) = self.hosted.get_mut(&dst) else {
+            return Err(NetError::ProtocolViolation(format!(
+                "frame for node {}, which this reactor does not host",
+                dst.index()
+            )));
+        };
+        hosted.stats.frames_received += 1;
+        hosted.stats.bytes_received += used;
+        let event = NetEvent::Frame { from: src, frame };
+        if self.cfg.pacing == Pacing::Drain {
+            hosted.staged.entry(release).or_default().push(event);
+        } else {
+            hosted.ready.push_back(event);
+        }
+        Ok(())
+    }
+
+    fn conn_eof(&mut self, idx: usize) -> Result<(), NetError> {
+        self.conn_broken(idx, "connection closed by peer")
+    }
+
+    fn conn_broken(&mut self, idx: usize, why: &str) -> Result<(), NetError> {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return Ok(());
+        };
+        match conn.kind {
+            ConnKind::TrunkIn(_) | ConnKind::TrunkOut(_) => {
+                if self.down {
+                    self.close_conn(idx);
+                    Ok(())
+                } else {
+                    Err(NetError::ProtocolViolation(format!(
+                        "trunk connection failed: {why}"
+                    )))
+                }
+            }
+            ConnKind::Pending | ConnKind::Closing | ConnKind::PeerIn { .. } => {
+                // Inbound edges carry no retry obligation: the dialing
+                // side owns reconnection and loss accounting.
+                self.close_conn(idx);
+                Ok(())
+            }
+            ConnKind::DialPending { from, to } => {
+                self.close_conn(idx);
+                if let Some(edge) = self.edges.get_mut(&(from, to)) {
+                    edge.conn = None;
+                }
+                self.edge_dial_failed(from, to, format!("handshake failed: {why}"));
+                Ok(())
+            }
+            ConnKind::PeerOut { from, to } => {
+                // Preserve queued frames (the in-flight one restarts
+                // from byte 0; receivers dedup by sequence number) and
+                // begin a fresh outage.
+                let drained = self.conns[idx]
+                    .as_mut()
+                    .map(|c| c.wq.drain_encoded())
+                    .unwrap_or_default();
+                self.close_conn(idx);
+                if let Some(edge) = self.edges.get_mut(&(from, to)) {
+                    edge.conn = None;
+                    edge.up = false;
+                    edge.attempts = 0;
+                    for bytes in drained {
+                        edge.pending.push_back(bytes);
+                    }
+                }
+                self.wheel
+                    .schedule(Instant::now(), Timer::Redial { from, to });
+                Ok(())
+            }
+        }
+    }
+
+    fn flush_conn(&mut self, idx: usize) -> Result<(), NetError> {
+        use std::os::fd::AsRawFd;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return Ok(());
+        };
+        let kind = conn.kind;
+        let stream = &mut conn.stream;
+        match conn.wq.flush(stream) {
+            Ok(emptied) => {
+                if emptied && kind == ConnKind::Closing {
+                    self.close_conn(idx);
+                    return Ok(());
+                }
+                let desired = EPOLLIN | if emptied { 0 } else { EPOLLOUT };
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return Ok(());
+                };
+                if conn.interest != desired {
+                    let token = u64::try_from(idx).expect("slab index fits u64");
+                    self.poller
+                        .modify(conn.stream.as_raw_fd(), token, desired)
+                        .map_err(NetError::Io)?;
+                    conn.interest = desired;
+                }
+                Ok(())
+            }
+            Err(e) => self.conn_broken(idx, &e.to_string()),
+        }
+    }
+
+    // ---- edges ------------------------------------------------------
+
+    fn dial_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), NetError> {
+        if self.down {
+            return Ok(());
+        }
+        let Some(edge) = self.edges.get(&(from, to)) else {
+            return Ok(());
+        };
+        if edge.lost || edge.conn.is_some() {
+            return Ok(()); // stale timer
+        }
+        let Some(addr) = self.peer_addrs.get(&to) else {
+            self.edge_lost(from, to, 0, format!("no address for node {}", to.index()));
+            return Ok(());
+        };
+        let Some(sockaddr) = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+        else {
+            let addr = addr.clone();
+            self.edge_lost(from, to, 0, format!("bad address {addr}"));
+            return Ok(());
+        };
+        match TcpStream::connect_timeout(&sockaddr, self.cfg.connect_timeout) {
+            Ok(stream) => {
+                if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                    self.edge_dial_failed(from, to, "socket setup failed".to_owned());
+                    return Ok(());
+                }
+                let mut conn = Conn::new(
+                    stream,
+                    ConnKind::DialPending { from, to },
+                    EPOLLIN | EPOLLOUT,
+                );
+                conn.wq.push_frame(&Frame::Hello {
+                    node: from,
+                    to,
+                    n: self.n,
+                    topology_hash: self.hash,
+                });
+                let idx = self.register(conn)?;
+                self.mark_dirty(idx);
+                if let Some(edge) = self.edges.get_mut(&(from, to)) {
+                    edge.conn = Some(idx);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.edge_dial_failed(from, to, e.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    fn edge_dial_failed(&mut self, from: NodeId, to: NodeId, error: String) {
+        let Some(edge) = self.edges.get_mut(&(from, to)) else {
+            return;
+        };
+        edge.attempts += 1;
+        let attempts = edge.attempts;
+        if attempts >= self.cfg.max_retries.max(1) {
+            self.edge_lost(from, to, attempts, error);
+        } else {
+            let delay = self.backoff.delay(attempts);
+            self.wheel
+                .schedule(Instant::now() + delay, Timer::Redial { from, to });
+        }
+    }
+
+    fn edge_lost(&mut self, from: NodeId, to: NodeId, attempts: u32, error: String) {
+        if let Some(edge) = self.edges.get_mut(&(from, to)) {
+            if edge.lost {
+                return;
+            }
+            edge.lost = true;
+            edge.up = false;
+            edge.pending.clear();
+            if let Some(idx) = edge.conn.take() {
+                self.close_conn(idx);
+            }
+        }
+        if let Some(hosted) = self.hosted.get_mut(&from) {
+            if hosted.lost.insert(to) {
+                hosted.ready.push_back(NetEvent::PeerLost(PeerLoss {
+                    peer: to,
+                    attempts,
+                    error,
+                }));
+            }
+        }
+    }
+
+    /// Queues `frame` on the edge `from → to` (or its outage backlog).
+    fn send_edge(&mut self, from: NodeId, to: NodeId, frame: &Frame) -> u64 {
+        let Some(edge) = self.edges.get_mut(&(from, to)) else {
+            return 0;
+        };
+        if edge.lost {
+            return 0;
+        }
+        if edge.up {
+            if let Some(idx) = edge.conn {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    let size = conn.wq.push_frame(frame);
+                    self.mark_dirty(idx);
+                    return u64::try_from(size).expect("frame size fits u64");
+                }
+            }
+        }
+        let bytes = frame.encode();
+        let size = u64::try_from(bytes.len()).expect("frame size fits u64");
+        edge.pending.push_back(bytes);
+        size
+    }
+
+    /// Routes wheel-released (shaped) bytes to their destination.
+    fn route_released(&mut self, src: NodeId, dst: NodeId, bytes: Vec<u8>) {
+        if self.hosted.contains_key(&dst) {
+            let t = self.trunk_of(src, dst);
+            let idx = self.trunk_out[t];
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.wq.push_bytes(bytes);
+                self.routed_enqueued += 1;
+                self.mark_dirty(idx);
+            }
+            return;
+        }
+        let Some(edge) = self.edges.get_mut(&(src, dst)) else {
+            return;
+        };
+        if edge.lost {
+            return;
+        }
+        if edge.up {
+            if let Some(idx) = edge.conn {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.wq.push_bytes(bytes);
+                    self.mark_dirty(idx);
+                    return;
+                }
+            }
+        }
+        edge.pending.push_back(bytes);
+    }
+
+    // ---- transport entry points ------------------------------------
+
+    fn send_from(
+        &mut self,
+        src: NodeId,
+        release: Round,
+        to: NodeId,
+        frame: &Frame,
+    ) -> Result<(), NetError> {
+        if self.down {
+            return Ok(()); // teardown already reported whatever mattered
+        }
+        let Some(hosted) = self.hosted.get(&src) else {
+            return Err(NetError::ProtocolViolation(format!(
+                "send from node {}, which this reactor does not host",
+                src.index()
+            )));
+        };
+        if !hosted.neighbors.contains(&to) {
+            return Err(NetError::UnknownPeer(to));
+        }
+        if hosted.lost.contains(&to) {
+            return Ok(());
+        }
+        let shaped = self.cfg.pacing == Pacing::Wall && matches!(frame, Frame::Reply { .. });
+        let to_hosted = self.hosted.contains_key(&to);
+        let sent_bytes = if shaped {
+            let epoch = self
+                .epoch
+                .ok_or_else(|| NetError::ProtocolViolation("send before start".to_owned()))?;
+            // Half a round before the receiver needs it, like the
+            // thread-per-peer shaper: epoch + release·Δ − Δ/2.
+            let offset = round_offset(self.cfg.round, u128::from(release))
+                .saturating_sub(self.cfg.round / 2);
+            let bytes = if to_hosted {
+                let mut meta = Vec::new();
+                let payload = Frame::encode_routed_parts(src, to, release, frame, &mut meta);
+                meta.extend_from_slice(payload);
+                meta
+            } else {
+                frame.encode()
+            };
+            let size = u64::try_from(bytes.len()).expect("frame size fits u64");
+            self.wheel.schedule(
+                epoch + offset,
+                Timer::Flush {
+                    src,
+                    dst: to,
+                    bytes,
+                },
+            );
+            size
+        } else if to_hosted {
+            let t = self.trunk_of(src, to);
+            let idx = self.trunk_out[t];
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return Err(NetError::ProtocolViolation("trunk is down".to_owned()));
+            };
+            let size = conn.wq.push_routed(src, to, release, frame);
+            self.routed_enqueued += 1;
+            self.mark_dirty(idx);
+            u64::try_from(size).expect("frame size fits u64")
+        } else {
+            self.send_edge(src, to, frame)
+        };
+        if let Some(hosted) = self.hosted.get_mut(&src) {
+            if sent_bytes > 0 {
+                hosted.stats.frames_sent += 1;
+                hosted.stats.bytes_sent += sent_bytes;
+            }
+        }
+        Ok(())
+    }
+
+    fn poll_node(&mut self, node: NodeId, round: Round) -> Result<Vec<NetEvent>, NetError> {
+        if !self.started {
+            return Err(NetError::ProtocolViolation("poll before start".to_owned()));
+        }
+        match self.cfg.pacing {
+            Pacing::Drain => self.pump_drain()?,
+            Pacing::Wall => {
+                let epoch = self
+                    .epoch
+                    .ok_or_else(|| NetError::ProtocolViolation("poll before start".to_owned()))?;
+                let target = epoch + round_offset(self.cfg.round, u128::from(round));
+                self.pump_until(target)?;
+            }
+        }
+        let Some(hosted) = self.hosted.get_mut(&node) else {
+            return Err(NetError::ProtocolViolation(format!(
+                "poll for node {}, which this reactor does not host",
+                node.index()
+            )));
+        };
+        while let Some((&release, _)) = hosted.staged.first_key_value() {
+            if release > round {
+                break;
+            }
+            let batch = hosted
+                .staged
+                .pop_first()
+                .map(|(_, batch)| batch)
+                .unwrap_or_default();
+            hosted.ready.extend(batch);
+        }
+        Ok(hosted.ready.drain(..).collect())
+    }
+
+    /// Trunk write queues empty and every routed envelope decoded: with
+    /// all nodes hosted (drain's precondition) nothing is in flight.
+    fn drain_quiesced(&self) -> bool {
+        self.routed_enqueued == self.routed_decoded
+            && self
+                .trunk_out
+                .iter()
+                .all(|&idx| self.conns[idx].as_ref().is_none_or(|c| c.wq.is_empty()))
+    }
+
+    fn trunk_backlog(&self) -> usize {
+        self.trunk_out
+            .iter()
+            .filter_map(|&idx| self.conns[idx].as_ref())
+            .map(|c| c.wq.queued_bytes())
+            .sum()
+    }
+
+    fn pump_drain(&mut self) -> Result<(), NetError> {
+        let mut stall_deadline = Instant::now() + DRAIN_STALL;
+        loop {
+            self.fire_timers()?;
+            self.flush_dirty()?;
+            if self.drain_quiesced() {
+                return Ok(());
+            }
+            let before = (self.routed_decoded, self.trunk_backlog());
+            self.poll_wait(Some(Duration::from_millis(50)))?;
+            let now = Instant::now();
+            if (self.routed_decoded, self.trunk_backlog()) != before {
+                stall_deadline = now + DRAIN_STALL;
+            } else if now >= stall_deadline {
+                return Err(NetError::ProtocolViolation(
+                    "reactor drain stalled: frames in flight but no progress".to_owned(),
+                ));
+            }
+        }
+    }
+
+    fn pump_until(&mut self, target: Instant) -> Result<(), NetError> {
+        loop {
+            self.fire_timers()?;
+            self.flush_dirty()?;
+            let now = Instant::now();
+            if now >= target {
+                // Non-blocking sweep so a same-round re-poll drains
+                // whatever has already arrived.
+                self.poll_wait(Some(Duration::ZERO))?;
+                self.flush_dirty()?;
+                return Ok(());
+            }
+            let wake = match self.wheel.next_deadline() {
+                Some(t) => t.min(target),
+                None => target,
+            };
+            self.poll_wait(Some(wake.saturating_duration_since(now)))?;
+        }
+    }
+
+    fn endpoint_shutdown(&mut self, node: NodeId) {
+        let Some(hosted) = self.hosted.get_mut(&node) else {
+            return;
+        };
+        if !hosted.active {
+            return;
+        }
+        hosted.active = false;
+        self.active -= 1;
+        if self.active == 0 {
+            self.teardown();
+        }
+    }
+
+    fn teardown(&mut self) {
+        if self.down {
+            return;
+        }
+        // Flush whatever is already queued (goodbyes, final replies) on
+        // a best-effort basis before closing: one bounded pass, no
+        // retries — peers that already left would stall a full drain.
+        let _ = self.flush_dirty();
+        self.down = true;
+        for idx in 0..self.conns.len() {
+            self.close_conn(idx);
+        }
+        self.listener = None;
+        self.dirty.clear();
+    }
+}
+
+/// A single-threaded reactor hosting one or more nodes of a graph.
+///
+/// Construct with [`Reactor::new`], hand [`Reactor::endpoint`]s to
+/// [`NetRunner`]s, and drive the runners from one thread (the reactor
+/// is deliberately not `Send`: every connection, buffer, and timer
+/// lives in one `RefCell` core). The first endpoint's `start()` brings
+/// the whole reactor up.
+pub struct Reactor {
+    core: Rc<RefCell<Core>>,
+}
+
+impl Reactor {
+    /// Binds the listener and prepares to host `hosted` (node ids of
+    /// `graph`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `hosted` is empty or out of range, the listen address
+    /// is unusable, or the epoll instance cannot be created.
+    pub fn new(
+        graph: &Graph,
+        hosted: impl IntoIterator<Item = NodeId>,
+        config: ReactorConfig,
+    ) -> Result<Reactor, NetError> {
+        let hosted: BTreeSet<NodeId> = hosted.into_iter().collect();
+        Ok(Reactor {
+            core: Rc::new(RefCell::new(Core::new(graph, hosted, config)?)),
+        })
+    }
+
+    /// The bound listen address (`ip:port`), for exchanging with other
+    /// shards.
+    pub fn local_addr(&self) -> String {
+        self.core.borrow().listen_addr.to_string()
+    }
+
+    /// Supplies the address of a remote (non-hosted) node; required for
+    /// every remote neighbor before `start`.
+    pub fn set_peer(&mut self, node: NodeId, addr: String) {
+        self.core.borrow_mut().peer_addrs.insert(node, addr);
+    }
+
+    /// A [`Transport`] endpoint for hosted node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not hosted by this reactor.
+    pub fn endpoint(&self, node: NodeId) -> ReactorEndpoint {
+        assert!(
+            self.core.borrow().hosted.contains_key(&node),
+            "node {} is not hosted by this reactor",
+            node.index()
+        );
+        ReactorEndpoint {
+            core: Rc::clone(&self.core),
+            node,
+        }
+    }
+
+    /// Tears down every connection and the listener. Idempotent; also
+    /// triggered automatically once every endpoint has shut down, and
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.core.borrow_mut().teardown();
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.core.borrow_mut().teardown();
+    }
+}
+
+/// One hosted node's [`Transport`] endpoint on a shared [`Reactor`].
+pub struct ReactorEndpoint {
+    core: Rc<RefCell<Core>>,
+    node: NodeId,
+}
+
+impl Transport for ReactorEndpoint {
+    fn local(&self) -> NodeId {
+        self.node
+    }
+
+    fn start(&mut self) -> Result<(), NetError> {
+        self.core.borrow_mut().start()
+    }
+
+    fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError> {
+        self.core
+            .borrow_mut()
+            .send_from(self.node, release, to, frame)
+    }
+
+    fn poll(&mut self, round: Round) -> Result<Vec<NetEvent>, NetError> {
+        self.core.borrow_mut().poll_node(self.node, round)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.core
+            .borrow()
+            .hosted
+            .get(&self.node)
+            .map(|h| h.stats)
+            .unwrap_or_default()
+    }
+
+    fn shutdown(&mut self) {
+        self.core.borrow_mut().endpoint_shutdown(self.node);
+    }
+}
+
+/// Runs a whole cluster inside one reactor (drain pacing) and returns
+/// the simulator-shaped [`Outcome`]; the reactor analogue of
+/// [`crate::run_loopback`].
+///
+/// # Panics
+///
+/// Panics if the reactor fails (socket exhaustion, a stalled drain) —
+/// in a single-process run those are bugs or environment limits, not
+/// recoverable protocol conditions.
+pub fn run_reactor<P, F, S>(graph: &Graph, config: &SimConfig, factory: F, stop: S) -> Outcome<P>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    run_reactor_with_stats(graph, config, factory, stop).0
+}
+
+/// Like [`run_reactor`] but also returns cluster-wide transport totals
+/// (the reactor rows of `bench-net`).
+///
+/// The driver is phase-for-phase the loopback cluster driver — all
+/// `begin_round`s, the stop checks in Condition → AllDone → MaxRounds
+/// order, all `launch`es, all `settle`s — so with drain pacing the
+/// outcome equals `run_loopback` (and hence the simulator) for any
+/// deterministic-given-the-seed protocol; `tests/reactor_equivalence.rs`
+/// checks that case by case.
+///
+/// # Panics
+///
+/// See [`run_reactor`].
+pub fn run_reactor_with_stats<P, F, S>(
+    graph: &Graph,
+    config: &SimConfig,
+    mut factory: F,
+    mut stop: S,
+) -> (Outcome<P>, TransportStats)
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    let n = graph.node_count();
+    let cfg = ReactorConfig {
+        pacing: Pacing::Drain,
+        ..ReactorConfig::default()
+    };
+    let reactor = Reactor::new(graph, (0..n).map(NodeId::new), cfg)
+        .unwrap_or_else(|e| panic!("reactor setup failed: {e}"));
+    let mut runners: Vec<NetRunner<'_, P, _>> = (0..n)
+        .map(|i| {
+            let node = NodeId::new(i);
+            NetRunner::new(
+                graph,
+                node,
+                factory(node, n),
+                config,
+                reactor.endpoint(node),
+            )
+        })
+        .collect();
+    for r in &mut runners {
+        r.start()
+            .unwrap_or_else(|e| panic!("reactor start failed: {e}"));
+    }
+    let mut round: Round = 0;
+    let reason = loop {
+        for r in &mut runners {
+            r.begin_round(round)
+                .unwrap_or_else(|e| panic!("reactor transport failed: {e}"));
+        }
+        let protocols: Vec<&P> = runners.iter().map(NetRunner::protocol).collect();
+        if stop(&protocols, round) {
+            break StopReason::Condition;
+        }
+        if runners.iter().all(NetRunner::is_done) {
+            break StopReason::AllDone;
+        }
+        if round >= config.max_rounds {
+            break StopReason::MaxRounds;
+        }
+        for r in &mut runners {
+            r.launch(round)
+                .unwrap_or_else(|e| panic!("reactor transport failed: {e}"));
+        }
+        for r in &mut runners {
+            r.settle(round)
+                .unwrap_or_else(|e| panic!("reactor transport failed: {e}"));
+        }
+        round += 1;
+    };
+    let mut metrics = SimMetrics::default();
+    let mut totals = TransportStats::default();
+    let mut nodes = Vec::with_capacity(n);
+    for r in runners {
+        let (m, stats, p) = r.abort();
+        metrics.initiated += m.initiated;
+        metrics.delivered += m.delivered;
+        metrics.lost += m.lost;
+        metrics.rejected += m.rejected;
+        metrics.payload_units += m.payload_units;
+        totals.absorb(&stats);
+        nodes.push(p);
+    }
+    (
+        Outcome {
+            reason,
+            rounds: round,
+            metrics,
+            stats: EngineStats::default(),
+            nodes,
+        },
+        totals,
+    )
+}
+
+/// Runs the `hosted` shard of a (possibly multi-process) cluster on one
+/// reactor, cooperatively stepping every hosted runner round by round
+/// on the calling thread; the reactor analogue of
+/// [`crate::run_local_cluster`], usable alongside it in the same
+/// cluster (the runtimes are wire-compatible).
+///
+/// `exchange` receives the reactor's bound listen address and must
+/// return addresses for every *remote* neighbor of a hosted node —
+/// typically by announcing the local address to the other shards and
+/// collecting theirs.
+///
+/// Outcomes are returned in `hosted` order.
+///
+/// # Errors
+///
+/// Any runner error (start timeout, protocol violation, reactor I/O
+/// failure) aborts the whole shard.
+pub fn run_reactor_cluster<P, F, D, A>(
+    graph: &Graph,
+    config: &SimConfig,
+    reactor_cfg: &ReactorConfig,
+    hosted: &[NodeId],
+    exchange: A,
+    mut factory: F,
+    done: D,
+) -> Result<Vec<NodeOutcome<P>>, NetError>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    D: Fn(&P, &RunView<'_>) -> bool,
+    A: FnOnce(&str) -> BTreeMap<NodeId, String>,
+{
+    let n = graph.node_count();
+    let mut reactor = Reactor::new(graph, hosted.iter().copied(), reactor_cfg.clone())?;
+    for (node, addr) in exchange(&reactor.local_addr()) {
+        reactor.set_peer(node, addr);
+    }
+    let mut runners: Vec<Option<NetRunner<'_, P, _>>> = hosted
+        .iter()
+        .map(|&u| {
+            Some(NetRunner::new(
+                graph,
+                u,
+                factory(u, n),
+                config,
+                reactor.endpoint(u),
+            ))
+        })
+        .collect();
+    for r in runners.iter_mut().flatten() {
+        r.start()?;
+    }
+    let mut outcomes: Vec<Option<NodeOutcome<P>>> = (0..hosted.len()).map(|_| None).collect();
+    let mut live = runners.len();
+    let mut round: Round = 0;
+    while live > 0 {
+        for i in 0..runners.len() {
+            if let Some(mut r) = runners[i].take() {
+                match r.step_round(round, &done)? {
+                    None => runners[i] = Some(r),
+                    Some(reason) => {
+                        outcomes[i] = Some(r.into_outcome(round, reason));
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        round += 1;
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every live runner produced an outcome"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latency_graph::generators;
+
+    fn drain_cfg() -> ReactorConfig {
+        ReactorConfig {
+            pacing: Pacing::Drain,
+            trunks: 2,
+            ..ReactorConfig::default()
+        }
+    }
+
+    #[test]
+    fn trunk_hash_is_deterministic_and_directed() {
+        let g = generators::clique(8);
+        let core = Core::new(
+            &g,
+            (0..8).map(NodeId::new).collect(),
+            ReactorConfig {
+                trunks: 4,
+                ..drain_cfg()
+            },
+        )
+        .expect("core");
+        let a = core.trunk_of(NodeId::new(1), NodeId::new(5));
+        assert_eq!(a, core.trunk_of(NodeId::new(1), NodeId::new(5)));
+        assert!(a < 4);
+    }
+
+    #[test]
+    fn frames_flow_between_hosted_nodes_with_release_staging() {
+        let g = generators::path(2);
+        let reactor = Reactor::new(&g, (0..2).map(NodeId::new), drain_cfg()).expect("reactor");
+        let mut e0 = reactor.endpoint(NodeId::new(0));
+        let mut e1 = reactor.endpoint(NodeId::new(1));
+        e0.start().expect("start");
+        e1.start().expect("start");
+        let req = Frame::Request {
+            seq: 1,
+            round: 0,
+            payload: vec![1, 2, 3],
+        };
+        e0.send(2, NodeId::new(1), &req).expect("send");
+        assert!(
+            e1.poll(1).expect("poll").is_empty(),
+            "release 2 must not surface at round 1"
+        );
+        let events = e1.poll(2).expect("poll");
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            NetEvent::Frame { from, frame } => {
+                assert_eq!(*from, NodeId::new(0));
+                assert_eq!(*frame, req);
+            }
+            NetEvent::PeerLost(l) => panic!("unexpected loss: {l}"),
+        }
+        let s = e0.stats();
+        assert_eq!(s.frames_sent, 1);
+        assert!(s.bytes_sent > 0, "envelope bytes counted");
+        assert_eq!(e1.stats().frames_received, 1);
+    }
+
+    #[test]
+    fn drain_pacing_rejects_remote_edges() {
+        let g = generators::path(3);
+        let reactor =
+            Reactor::new(&g, [NodeId::new(0), NodeId::new(1)], drain_cfg()).expect("reactor");
+        let mut e0 = reactor.endpoint(NodeId::new(0));
+        let err = e0.start().expect_err("node 2 is not hosted");
+        assert!(
+            err.to_string().contains("drain pacing"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn sending_to_a_non_neighbor_is_rejected() {
+        let g = generators::path(3);
+        let reactor = Reactor::new(&g, (0..3).map(NodeId::new), drain_cfg()).expect("reactor");
+        let mut e0 = reactor.endpoint(NodeId::new(0));
+        let mut e2 = reactor.endpoint(NodeId::new(2));
+        e0.start().expect("start");
+        let err = e0
+            .send(0, NodeId::new(2), &Frame::Bye)
+            .expect_err("0 and 2 are not adjacent on a path");
+        assert!(matches!(err, NetError::UnknownPeer(v) if v == NodeId::new(2)));
+        e2.shutdown();
+    }
+}

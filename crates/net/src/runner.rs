@@ -332,6 +332,10 @@ where
                 "mid-stream handshake from node {}",
                 from.index()
             ))),
+            Frame::Routed { .. } => Err(NetError::ProtocolViolation(format!(
+                "unwrapped trunk envelope from node {} reached the runner",
+                from.index()
+            ))),
         }
     }
 
@@ -487,43 +491,65 @@ where
         self.start()?;
         let mut round: Round = 0;
         loop {
-            self.begin_round(round)?;
-            if self.done_round.is_none() {
-                let view = RunView {
-                    done_peers: &self.peers_done,
-                    gone_peers: &self.peers_gone,
-                    losses: &self.losses,
-                };
-                if self.pacer.is_done() || done(self.pacer.protocol(), &view) {
-                    self.done_round = Some(round);
-                    let live: Vec<NodeId> = self.live_neighbors().collect();
-                    for peer in live {
-                        self.transport.send(round, peer, &Frame::Done { round })?;
-                    }
-                }
+            if let Some(reason) = self.step_round(round, &done)? {
+                return Ok(self.into_outcome(round, reason));
             }
-            if self.done_round.is_some()
-                && self
-                    .graph
-                    .neighbor_ids(self.node())
-                    .iter()
-                    .all(|v| self.peers_done.contains(v) || self.peers_gone.contains(v))
-            {
-                return Ok(self.finish(round, NodeStopReason::Barrier));
-            }
-            if self.done_round.is_none() && self.live_neighbors().next().is_none() {
-                return Ok(self.finish(round, NodeStopReason::Isolated));
-            }
-            if round >= self.max_rounds {
-                return Ok(self.finish(round, NodeStopReason::MaxRounds));
-            }
-            self.launch(round)?;
-            self.settle(round)?;
             round += 1;
         }
     }
 
-    fn finish(mut self, rounds: Round, reason: NodeStopReason) -> NodeOutcome<P> {
+    /// One self-driven round: phase 1, the done announcement, the
+    /// barrier / isolation / round-cap checks, then (when the node is
+    /// not stopping) launch + settle. Returns the stop reason once the
+    /// node is finished — exactly the loop body of [`run`](Self::run),
+    /// exposed so a cooperative cluster driver (the reactor hosts many
+    /// runners on one thread) can interleave rounds across nodes.
+    pub fn step_round<D>(
+        &mut self,
+        round: Round,
+        done: &D,
+    ) -> Result<Option<NodeStopReason>, NetError>
+    where
+        D: Fn(&P, &RunView<'_>) -> bool,
+    {
+        self.begin_round(round)?;
+        if self.done_round.is_none() {
+            let view = RunView {
+                done_peers: &self.peers_done,
+                gone_peers: &self.peers_gone,
+                losses: &self.losses,
+            };
+            if self.pacer.is_done() || done(self.pacer.protocol(), &view) {
+                self.done_round = Some(round);
+                let live: Vec<NodeId> = self.live_neighbors().collect();
+                for peer in live {
+                    self.transport.send(round, peer, &Frame::Done { round })?;
+                }
+            }
+        }
+        if self.done_round.is_some()
+            && self
+                .graph
+                .neighbor_ids(self.node())
+                .iter()
+                .all(|v| self.peers_done.contains(v) || self.peers_gone.contains(v))
+        {
+            return Ok(Some(NodeStopReason::Barrier));
+        }
+        if self.done_round.is_none() && self.live_neighbors().next().is_none() {
+            return Ok(Some(NodeStopReason::Isolated));
+        }
+        if round >= self.max_rounds {
+            return Ok(Some(NodeStopReason::MaxRounds));
+        }
+        self.launch(round)?;
+        self.settle(round)?;
+        Ok(None)
+    }
+
+    /// Finishes the node: best-effort [`Frame::Bye`] to live neighbors,
+    /// transport teardown, and the final [`NodeOutcome`].
+    pub fn into_outcome(mut self, rounds: Round, reason: NodeStopReason) -> NodeOutcome<P> {
         let live: Vec<NodeId> = self.live_neighbors().collect();
         for peer in live {
             // Best-effort goodbye; a peer that cannot be reached is

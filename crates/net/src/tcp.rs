@@ -35,18 +35,19 @@
 //! the bytes arrived.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gossip_sim::{Protocol, Round, SimConfig};
 use latency_graph::{Graph, NodeId};
 
-use crate::error::{CodecError, NetError, PeerLoss};
+use crate::conn::{read_frame, round_offset, validate_hello, Backoff, FrameReader};
+use crate::error::{NetError, PeerLoss};
 use crate::runner::{NetRunner, NodeOutcome, RunView};
 use crate::transport::{NetEvent, Transport, TransportStats};
 use crate::wire::{Frame, WirePayload};
@@ -93,16 +94,6 @@ impl Default for TcpConfig {
     }
 }
 
-/// Shaping offsets beyond this are clamped; far larger than any round
-/// cap a wall-clocked run can reach anyway.
-const MAX_OFFSET: Duration = Duration::from_secs(86_400);
-
-fn round_offset(round_len: Duration, rounds: u128) -> Duration {
-    let nanos = round_len.as_nanos().saturating_mul(rounds);
-    let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
-    Duration::from_nanos(nanos).min(MAX_OFFSET)
-}
-
 #[derive(Default)]
 struct StatsAtomics {
     frames_sent: AtomicU64,
@@ -134,12 +125,19 @@ struct Shared {
     events: Sender<PeerEvent>,
     /// Inbound sockets, registered so `shutdown` can unblock readers.
     inbound: Mutex<Vec<TcpStream>>,
+    /// Interruptible-sleep pair for reconnect backoffs: `shutdown()`
+    /// flips the flag and notifies, so a writer waiting out a backoff
+    /// wakes immediately instead of delaying teardown by up to a full
+    /// backoff interval.
+    stop: Mutex<bool>,
+    stopped: Condvar,
 }
 
 impl Shared {
-    fn hello(&self) -> Frame {
+    fn hello(&self, to: NodeId) -> Frame {
         Frame::Hello {
             node: self.local,
+            to,
             n: self.n,
             topology_hash: self.topology_hash,
         }
@@ -147,62 +145,50 @@ impl Shared {
 
     /// Validates a peer's handshake; returns the peer id.
     fn check_hello(&self, frame: &Frame, expect: Option<NodeId>) -> Result<NodeId, String> {
-        let Frame::Hello {
-            node,
-            n,
-            topology_hash,
-        } = frame
-        else {
-            return Err("first frame was not a handshake".to_owned());
-        };
-        if *n != self.n || *topology_hash != self.topology_hash {
+        let (node, to) = validate_hello(frame, self.n, self.topology_hash)?;
+        if to != self.local {
             return Err(format!(
-                "topology mismatch: peer has n={n} hash={topology_hash:#x}, \
-                 local n={} hash={:#x}",
-                self.n, self.topology_hash
+                "peer {} addressed node {}, but this is node {}",
+                node.index(),
+                to.index(),
+                self.local.index()
             ));
         }
         if let Some(want) = expect {
-            if *node != want {
+            if node != want {
                 return Err(format!(
                     "connected to node {} but expected {}",
                     node.index(),
                     want.index()
                 ));
             }
-        } else if !self.neighbors.contains(node) {
+        } else if !self.neighbors.contains(&node) {
             return Err(format!("node {} is not a neighbor", node.index()));
         }
-        Ok(*node)
+        Ok(node)
     }
-}
 
-/// Reads one frame from a stream, accumulating into `buf` (which may
-/// retain a partial next frame between calls). `Ok(None)` is a clean EOF
-/// at a frame boundary.
-fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<Option<(Frame, u64)>> {
-    let mut chunk = [0_u8; 8192];
-    loop {
-        match Frame::decode(buf) {
-            Ok((frame, used)) => {
-                buf.drain(..used);
-                let used = u64::try_from(used).expect("frame size fits u64");
-                return Ok(Some((frame, used)));
+    /// Waits out `backoff` or returns early (`true`) on shutdown.
+    fn sleep_interruptibly(&self, backoff: Duration) -> bool {
+        let deadline = Instant::now() + backoff;
+        let Ok(mut stopping) = self.stop.lock() else {
+            return true;
+        };
+        loop {
+            if *stopping {
+                return true;
             }
-            Err(CodecError::Truncated { .. }) => {}
-            Err(e) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
-            }
-        }
-        let got = stream.read(&mut chunk)?;
-        if got == 0 {
-            return if buf.is_empty() {
-                Ok(None)
-            } else {
-                Err(std::io::ErrorKind::UnexpectedEof.into())
+            let Some(wait) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|w| !w.is_zero())
+            else {
+                return false;
             };
+            match self.stopped.wait_timeout(stopping, wait) {
+                Ok((guard, _)) => stopping = guard,
+                Err(_) => return true,
+            }
         }
-        buf.extend_from_slice(&chunk[..got]);
     }
 }
 
@@ -254,6 +240,8 @@ impl TcpTransport {
             stats: StatsAtomics::default(),
             events: events_tx,
             inbound: Mutex::new(Vec::new()),
+            stop: Mutex::new(false),
+            stopped: Condvar::new(),
         });
         Ok(TcpTransport {
             shared,
@@ -328,6 +316,11 @@ impl TcpTransport {
         }
         self.down = true;
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake writers waiting out a reconnect backoff.
+        if let Ok(mut stopping) = self.shared.stop.lock() {
+            *stopping = true;
+            self.shared.stopped.notify_all();
+        }
         // Dropping the outboxes lets writers flush their queues and exit.
         self.outboxes.clear();
         // Wake the acceptor with a throwaway connection.
@@ -475,9 +468,21 @@ impl Transport for TcpTransport {
             .epoch
             .ok_or_else(|| NetError::ProtocolViolation("poll before start".to_owned()))?;
         let target = epoch + round_offset(self.config.round, u128::from(round));
-        let now = Instant::now();
-        if let Some(wait) = target.checked_duration_since(now).filter(|w| !w.is_zero()) {
-            std::thread::sleep(wait);
+        // Wait out the round boundary on the event channel instead of a
+        // bare sleep: frames arriving during the wait are admitted
+        // immediately, keeping the channel shallow.
+        while let Some(wait) = target
+            .checked_duration_since(Instant::now())
+            .filter(|w| !w.is_zero())
+        {
+            match self.events.recv_timeout(wait) {
+                Ok(event) => {
+                    if let Some(e) = self.admit(event) {
+                        self.buffered.push_back(e);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
         }
         Ok(self.drain_events())
     }
@@ -515,19 +520,20 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// Handshakes an accepted connection, then pumps its frames as events.
 fn inbound_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let mut buf = Vec::new();
+    let mut buf = FrameReader::new();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let Ok(Some((first, _))) = read_frame(&mut stream, &mut buf) else {
         return;
     };
-    if !matches!(first, Frame::Hello { .. }) {
+    let Frame::Hello { node: dialer, .. } = &first else {
         return;
-    }
+    };
+    let dialer = *dialer;
     // Answer with our own Hello *before* validating, so a mismatched
     // dialer can read it, diagnose the topology difference on its side,
     // and fail fast instead of retrying a hopeless connection.
-    if stream.write_all(&shared.hello().encode()).is_err() {
+    if stream.write_all(&shared.hello(dialer).encode()).is_err() {
         return;
     }
     let Ok(peer) = shared.check_hello(&first, None) else {
@@ -563,15 +569,11 @@ fn establish(
     config: &TcpConfig,
 ) -> Result<TcpStream, PeerLoss> {
     let mut last_error = "no attempts made".to_owned();
+    let backoff = Backoff::new(config.retry_base, config.retry_cap);
     for attempt in 0..config.max_retries.max(1) {
-        if attempt > 0 {
-            let backoff = config
-                .retry_base
-                .saturating_mul(1_u32 << attempt.min(16))
-                .min(config.retry_cap);
-            std::thread::sleep(backoff);
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.sleep_interruptibly(backoff.delay(attempt))
+            || shared.shutdown.load(Ordering::SeqCst)
+        {
             return Err(PeerLoss {
                 peer,
                 attempts: attempt,
@@ -617,9 +619,9 @@ fn try_dial(
         .set_read_timeout(Some(config.connect_timeout))
         .map_err(DialError::Io)?;
     stream
-        .write_all(&shared.hello().encode())
+        .write_all(&shared.hello(peer).encode())
         .map_err(DialError::Io)?;
-    let mut buf = Vec::new();
+    let mut buf = FrameReader::new();
     let answer = read_frame(&mut stream, &mut buf).map_err(DialError::Io)?;
     let Some((frame, _)) = answer else {
         return Err(DialError::Mismatch(

@@ -26,8 +26,10 @@ use crate::error::CodecError;
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xA7;
-/// Wire protocol version.
-pub const VERSION: u8 = 1;
+/// Wire protocol version. Version 2 added the `to` field in
+/// [`Frame::Hello`] (so one listener can accept connections for many
+/// hosted nodes) and the [`Frame::Routed`] trunk envelope.
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Maximum body length the codec will emit or accept (1 MiB).
@@ -38,6 +40,11 @@ const KIND_REQUEST: u8 = 1;
 const KIND_REPLY: u8 = 2;
 const KIND_DONE: u8 = 3;
 const KIND_BYE: u8 = 4;
+const KIND_ROUTED: u8 = 5;
+
+/// Body bytes of a [`Frame::Routed`] envelope before the inner frame:
+/// `src` (u32) + `dst` (u32) + `release` (u64).
+const ROUTED_PREFIX: usize = 16;
 
 /// A protocol frame.
 ///
@@ -51,8 +58,14 @@ pub enum Frame {
     /// view before exchanging any other frame, so two processes started
     /// against different topologies refuse to pair up.
     Hello {
-        /// The sender's node id.
+        /// The sender's node id, or the trunk sentinel
+        /// (`NodeId::from(u32::MAX)`) for a reactor's self-connection.
         node: NodeId,
+        /// The node the sender wants to talk to. A listener that accepts
+        /// connections for many hosted nodes (the reactor) demultiplexes
+        /// on this; a single-node transport validates it against its own
+        /// id. For a trunk handshake it carries the trunk index instead.
+        to: NodeId,
         /// Number of nodes in the sender's topology.
         n: u32,
         /// [`latency_graph::Graph::topology_hash`] of the sender's graph.
@@ -89,6 +102,22 @@ pub enum Frame {
     /// The sender is exiting; no further frames will follow. Initiations
     /// toward a departed peer are counted lost, not sent.
     Bye,
+    /// A trunk envelope: one hop of a multiplexed connection carrying
+    /// traffic for many `(src, dst)` node pairs (the reactor's
+    /// self-connections). `release` echoes the release round the sender
+    /// passed to [`crate::Transport::send`], so a receiver that paces by
+    /// drain rather than wall clock can stage the inner frame until its
+    /// round. Envelopes never nest.
+    Routed {
+        /// Originating node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Round at which the receiver may observe the inner frame.
+        release: Round,
+        /// The wrapped frame (never itself `Routed`).
+        inner: Box<Frame>,
+    },
 }
 
 impl Frame {
@@ -99,6 +128,18 @@ impl Frame {
             Frame::Reply { .. } => KIND_REPLY,
             Frame::Done { .. } => KIND_DONE,
             Frame::Bye => KIND_BYE,
+            Frame::Routed { .. } => KIND_ROUTED,
+        }
+    }
+
+    /// Exact body length of the frame's encoding, in bytes.
+    fn body_len(&self) -> usize {
+        match self {
+            Frame::Hello { .. } => 20,
+            Frame::Request { payload, .. } | Frame::Reply { payload, .. } => 16 + payload.len(),
+            Frame::Done { .. } => 8,
+            Frame::Bye => 0,
+            Frame::Routed { inner, .. } => ROUTED_PREFIX + HEADER_LEN + inner.body_len(),
         }
     }
 
@@ -109,17 +150,82 @@ impl Frame {
     /// Panics if the body would exceed [`MAX_BODY`] — payloads that
     /// large indicate a protocol bug, not an I/O condition.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let header_at = out.len();
-        out.extend_from_slice(&[MAGIC, VERSION, self.kind(), 0, 0, 0, 0, 0]);
+        let payload = self.parts_into(out);
+        out.extend_from_slice(payload);
+    }
+
+    /// Serializes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Split encoding for vectored I/O: clears `meta`, writes the header
+    /// and every fixed field into it, and returns the payload slice that
+    /// must follow on the wire (`&[]` for payload-free kinds). Writing
+    /// `meta` then the returned slice yields exactly [`encode`]'s bytes,
+    /// but a sender that keeps `meta` as a per-connection scratch buffer
+    /// allocates nothing per frame and never copies the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body would exceed [`MAX_BODY`], like [`encode_into`].
+    ///
+    /// [`encode`]: Frame::encode
+    /// [`encode_into`]: Frame::encode_into
+    pub fn encode_parts<'f>(&'f self, meta: &mut Vec<u8>) -> &'f [u8] {
+        meta.clear();
+        self.parts_into(meta)
+    }
+
+    /// Split encoding of a [`Frame::Routed`] envelope that borrows the
+    /// inner frame instead of boxing it: clears `meta`, writes the outer
+    /// header, routing prefix, and the inner frame's header + fixed
+    /// fields into it, and returns the inner payload slice to write
+    /// after it. This is the reactor's send path: one scratch buffer,
+    /// zero allocation, zero payload copies per trunk frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is itself [`Frame::Routed`] (envelopes never
+    /// nest) or the body would exceed [`MAX_BODY`].
+    pub fn encode_routed_parts<'f>(
+        src: NodeId,
+        dst: NodeId,
+        release: Round,
+        inner: &'f Frame,
+        meta: &mut Vec<u8>,
+    ) -> &'f [u8] {
+        assert!(
+            !matches!(inner, Frame::Routed { .. }),
+            "routed envelopes never nest"
+        );
+        meta.clear();
+        let body_len = ROUTED_PREFIX + HEADER_LEN + inner.body_len();
+        push_header(meta, KIND_ROUTED, body_len);
+        meta.extend_from_slice(&u32::from(src).to_le_bytes());
+        meta.extend_from_slice(&u32::from(dst).to_le_bytes());
+        meta.extend_from_slice(&release.to_le_bytes());
+        inner.parts_into(meta)
+    }
+
+    /// Appends the header and fixed fields to `meta` (without clearing)
+    /// and returns the trailing payload slice.
+    fn parts_into<'f>(&'f self, meta: &mut Vec<u8>) -> &'f [u8] {
+        push_header(meta, self.kind(), self.body_len());
         match self {
             Frame::Hello {
                 node,
+                to,
                 n,
                 topology_hash,
             } => {
-                out.extend_from_slice(&u32::from(*node).to_le_bytes());
-                out.extend_from_slice(&n.to_le_bytes());
-                out.extend_from_slice(&topology_hash.to_le_bytes());
+                meta.extend_from_slice(&u32::from(*node).to_le_bytes());
+                meta.extend_from_slice(&u32::from(*to).to_le_bytes());
+                meta.extend_from_slice(&n.to_le_bytes());
+                meta.extend_from_slice(&topology_hash.to_le_bytes());
+                &[]
             }
             Frame::Request {
                 seq,
@@ -131,24 +237,31 @@ impl Frame {
                 round,
                 payload,
             } => {
-                out.extend_from_slice(&seq.to_le_bytes());
-                out.extend_from_slice(&round.to_le_bytes());
-                out.extend_from_slice(payload);
+                meta.extend_from_slice(&seq.to_le_bytes());
+                meta.extend_from_slice(&round.to_le_bytes());
+                payload
             }
-            Frame::Done { round } => out.extend_from_slice(&round.to_le_bytes()),
-            Frame::Bye => {}
+            Frame::Done { round } => {
+                meta.extend_from_slice(&round.to_le_bytes());
+                &[]
+            }
+            Frame::Bye => &[],
+            Frame::Routed {
+                src,
+                dst,
+                release,
+                inner,
+            } => {
+                assert!(
+                    !matches!(**inner, Frame::Routed { .. }),
+                    "routed envelopes never nest"
+                );
+                meta.extend_from_slice(&u32::from(*src).to_le_bytes());
+                meta.extend_from_slice(&u32::from(*dst).to_le_bytes());
+                meta.extend_from_slice(&release.to_le_bytes());
+                inner.parts_into(meta)
+            }
         }
-        let body_len = out.len() - header_at - HEADER_LEN;
-        let body_len = u32::try_from(body_len).expect("frame body fits u32");
-        assert!(body_len <= MAX_BODY, "frame body exceeds MAX_BODY");
-        out[header_at + 4..header_at + HEADER_LEN].copy_from_slice(&body_len.to_le_bytes());
-    }
-
-    /// Serializes the frame into a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.encode_into(&mut out);
-        out
     }
 
     /// Decodes one frame from the front of `buf`, returning the frame
@@ -159,6 +272,12 @@ impl Frame {
     /// stream readers accumulate until then and retry. Every other error
     /// is a permanent rejection of the stream.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+        Frame::decode_inner(buf, true)
+    }
+
+    /// [`Frame::decode`], with the `Routed` arm gated so envelopes
+    /// cannot nest.
+    fn decode_inner(buf: &[u8], allow_routed: bool) -> Result<(Frame, usize), CodecError> {
         if buf.len() < HEADER_LEN {
             return Err(CodecError::Truncated {
                 need: HEADER_LEN,
@@ -193,10 +312,12 @@ impl Frame {
         let frame = match kind {
             KIND_HELLO => {
                 let node = NodeId::from(body.u32()?);
+                let to = NodeId::from(body.u32()?);
                 let n = body.u32()?;
                 let topology_hash = body.u64()?;
                 Frame::Hello {
                     node,
+                    to,
                     n,
                     topology_hash,
                 }
@@ -221,11 +342,49 @@ impl Frame {
             }
             KIND_DONE => Frame::Done { round: body.u64()? },
             KIND_BYE => Frame::Bye,
+            KIND_ROUTED if allow_routed => {
+                let src = NodeId::from(body.u32()?);
+                let dst = NodeId::from(body.u32()?);
+                let release = body.u64()?;
+                let rest = body.rest();
+                let (inner, used) = match Frame::decode_inner(rest, false) {
+                    Ok(ok) => ok,
+                    // The outer body is complete, so a short inner frame
+                    // is corruption, not a partial read.
+                    Err(CodecError::Truncated { .. }) => {
+                        return Err(CodecError::BadBody("routed inner frame truncated"))
+                    }
+                    Err(e) => return Err(e),
+                };
+                if used != rest.len() {
+                    return Err(CodecError::BadBody("trailing bytes after routed inner"));
+                }
+                Frame::Routed {
+                    src,
+                    dst,
+                    release,
+                    inner: Box::new(inner),
+                }
+            }
+            KIND_ROUTED => return Err(CodecError::BadBody("nested routed envelope")),
             other => return Err(CodecError::UnknownKind(other)),
         };
         body.finish()?;
         Ok((frame, total))
     }
+}
+
+/// Appends an 8-byte frame header for `kind` with `body_len` body bytes.
+///
+/// # Panics
+///
+/// Panics if the body would exceed [`MAX_BODY`] — payloads that large
+/// indicate a protocol bug, not an I/O condition.
+fn push_header(out: &mut Vec<u8>, kind: u8, body_len: usize) {
+    let body_len = u32::try_from(body_len).expect("frame body fits u32");
+    assert!(body_len <= MAX_BODY, "frame body exceeds MAX_BODY");
+    out.extend_from_slice(&[MAGIC, VERSION, kind, 0]);
+    out.extend_from_slice(&body_len.to_le_bytes());
 }
 
 /// Cursor over a frame body; every read is bounds-checked.
@@ -339,6 +498,7 @@ mod tests {
         vec![
             Frame::Hello {
                 node: NodeId::new(3),
+                to: NodeId::new(9),
                 n: 64,
                 topology_hash: 0xDEAD_BEEF_CAFE_F00D,
             },
@@ -354,6 +514,16 @@ mod tests {
             },
             Frame::Done { round: 7 },
             Frame::Bye,
+            Frame::Routed {
+                src: NodeId::new(11),
+                dst: NodeId::new(4),
+                release: 42,
+                inner: Box::new(Frame::Request {
+                    seq: 5,
+                    round: 42,
+                    payload: vec![1, 2, 3],
+                }),
+            },
         ]
     }
 
@@ -432,6 +602,63 @@ mod tests {
         let mut long = vec![MAGIC, VERSION, 4, 0, 2, 0, 0, 0];
         long.extend_from_slice(&[0; 2]);
         assert!(matches!(Frame::decode(&long), Err(CodecError::BadBody(_))));
+    }
+
+    #[test]
+    fn encode_parts_matches_encode() {
+        let mut meta = Vec::new();
+        for frame in frames() {
+            let payload = frame.encode_parts(&mut meta);
+            let mut stitched = meta.clone();
+            stitched.extend_from_slice(payload);
+            assert_eq!(stitched, frame.encode(), "parts differ for {frame:?}");
+        }
+    }
+
+    #[test]
+    fn routed_parts_match_boxed_encode() {
+        let inner = Frame::Reply {
+            seq: 3,
+            round: 8,
+            payload: vec![7; 33],
+        };
+        let mut meta = Vec::new();
+        let payload =
+            Frame::encode_routed_parts(NodeId::new(1), NodeId::new(2), 9, &inner, &mut meta);
+        let mut stitched = meta.clone();
+        stitched.extend_from_slice(payload);
+        let boxed = Frame::Routed {
+            src: NodeId::new(1),
+            dst: NodeId::new(2),
+            release: 9,
+            inner: Box::new(inner),
+        };
+        assert_eq!(stitched, boxed.encode());
+        let (back, used) = Frame::decode(&stitched).expect("routed decodes");
+        assert_eq!(back, boxed);
+        assert_eq!(used, stitched.len());
+    }
+
+    #[test]
+    fn nested_routed_envelope_rejected() {
+        let once = Frame::Routed {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            release: 0,
+            inner: Box::new(Frame::Bye),
+        };
+        let mut bytes = once.encode();
+        // Hand-build a twice-wrapped envelope; the decoder must refuse.
+        let mut outer = Vec::new();
+        push_header(&mut outer, KIND_ROUTED, ROUTED_PREFIX + bytes.len());
+        outer.extend_from_slice(&0u32.to_le_bytes());
+        outer.extend_from_slice(&1u32.to_le_bytes());
+        outer.extend_from_slice(&0u64.to_le_bytes());
+        outer.append(&mut bytes);
+        assert_eq!(
+            Frame::decode(&outer),
+            Err(CodecError::BadBody("nested routed envelope"))
+        );
     }
 
     #[test]

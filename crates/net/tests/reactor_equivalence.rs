@@ -1,0 +1,314 @@
+//! The reactor equivalence suite: the same nine cases as
+//! `loopback_equivalence.rs`, run through [`gossip_net::run_reactor`] —
+//! a whole cluster hosted by one epoll reactor over real TCP
+//! self-connections (trunks), drain-paced so rounds are virtual. The
+//! outcome must equal the simulator's *exactly*: same stop reason,
+//! round count, metrics, and final per-node rumor sets. This is the
+//! strongest check that trunk multiplexing, the routed envelope, and
+//! receiver-side release staging preserve the paper's round semantics
+//! (DESIGN.md §14).
+
+use gossip_core::flooding::FloodingNode;
+use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::Goal;
+use gossip_net::run_reactor;
+use gossip_sim::{Outcome, Protocol, Round, SimConfig, Simulator, StopReason};
+use latency_graph::{generators, Graph, NodeId};
+
+fn config(seed: u64, max_rounds: u64, latency_known: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        max_rounds,
+        latency_known,
+        ..SimConfig::default()
+    }
+}
+
+/// Asserts outcome equality, comparing rumor sets by fingerprint.
+fn assert_equiv<P: Protocol>(
+    label: &str,
+    engine: &Outcome<P>,
+    net: &Outcome<P>,
+    fingerprint: impl Fn(&P) -> u64,
+) {
+    assert_eq!(engine.reason, net.reason, "{label}: stop reason");
+    assert_eq!(engine.rounds, net.rounds, "{label}: rounds");
+    assert_eq!(engine.metrics, net.metrics, "{label}: metrics");
+    assert_eq!(engine.nodes.len(), net.nodes.len(), "{label}: node count");
+    for (i, (a, b)) in engine.nodes.iter().zip(&net.nodes).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "{label}: node {i} final state"
+        );
+    }
+}
+
+fn check_push_pull(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u64) {
+    let cfg = config(seed, max_rounds, false);
+    let engine = Simulator::new(g, cfg).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
+    );
+    let net = run_reactor(
+        g,
+        &cfg,
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[&PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
+    );
+    assert_equiv(label, &engine, &net, |p: &PushPullNode| {
+        p.rumors.fingerprint()
+    });
+}
+
+fn check_flooding(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u64) {
+    let cfg = config(seed, max_rounds, false);
+    let engine = Simulator::new(g, cfg).run(FloodingNode::new, |nodes: &[FloodingNode], _| {
+        goal.met_by_all(nodes.iter().map(|p| &p.rumors))
+    });
+    let net = run_reactor(g, &cfg, FloodingNode::new, |nodes: &[&FloodingNode], _| {
+        goal.met_by_all(nodes.iter().map(|p| &p.rumors))
+    });
+    assert_equiv(label, &engine, &net, |p: &FloodingNode| {
+        p.rumors.fingerprint()
+    });
+}
+
+#[test]
+fn cycle_broadcast_matches_engine() {
+    let g = generators::cycle(16);
+    for seed in [0, 1, 0xDECAF] {
+        check_push_pull(
+            "cycle/push-pull",
+            &g,
+            &Goal::Broadcast(NodeId::new(0)),
+            seed,
+            10_000,
+        );
+    }
+    check_flooding(
+        "cycle/flooding",
+        &g,
+        &Goal::Broadcast(NodeId::new(3)),
+        7,
+        10_000,
+    );
+}
+
+#[test]
+fn star_broadcast_matches_engine() {
+    // complete_bipartite(1, k) is a star with hub 0.
+    let g = generators::complete_bipartite(1, 15);
+    for seed in [2, 0xFEED] {
+        check_push_pull(
+            "star/push-pull",
+            &g,
+            &Goal::Broadcast(NodeId::new(1)),
+            seed,
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn clique_all_to_all_matches_engine() {
+    let g = generators::clique(24);
+    for seed in [0, 5, 123_456] {
+        check_push_pull("clique/push-pull", &g, &Goal::AllToAll, seed, 10_000);
+    }
+    check_flooding("clique/flooding", &g, &Goal::AllToAll, 9, 10_000);
+}
+
+#[test]
+fn ring_of_cliques_matches_engine() {
+    // The ISSUE's golden topology case: 8 cliques of 8, slow bridges.
+    let g = generators::ring_of_cliques(8, 8, 6);
+    for seed in [0, 42] {
+        check_push_pull(
+            "ring-of-cliques/push-pull",
+            &g,
+            &Goal::AllToAll,
+            seed,
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_latencies_match_engine() {
+    // Bimodal edge latencies exercise nontrivial ℓ in the release
+    // staging (the envelope's release round is the reply's due round).
+    let g = generators::bimodal_latencies(
+        &generators::connected_erdos_renyi(20, 0.25, 3),
+        1,
+        9,
+        0.4,
+        11,
+    );
+    for seed in [1, 0xB0BA] {
+        check_push_pull("bimodal/push-pull", &g, &Goal::AllToAll, seed, 10_000);
+    }
+    check_flooding(
+        "bimodal/flooding",
+        &g,
+        &Goal::Broadcast(NodeId::new(7)),
+        4,
+        10_000,
+    );
+}
+
+#[test]
+fn max_rounds_cap_matches_engine() {
+    // Stop by MaxRounds: the cap fires identically (including the
+    // engine's quirk that `on_round` runs for rounds 0..cap).
+    let g = generators::path(30);
+    check_push_pull(
+        "path/capped",
+        &g,
+        &Goal::AllToAll,
+        3,
+        4, // far too few rounds to finish
+    );
+}
+
+#[test]
+fn all_done_stop_matches_engine() {
+    // A protocol with its own `is_done` so the AllDone stop path (not
+    // the Condition closure) terminates both executions.
+    #[derive(Clone)]
+    struct DoneWhenFull {
+        inner: PushPullNode,
+    }
+    impl Protocol for DoneWhenFull {
+        type Payload = <PushPullNode as Protocol>::Payload;
+        fn payload(&self) -> Self::Payload {
+            self.inner.payload()
+        }
+        fn payload_weight(payload: &Self::Payload) -> u64 {
+            <PushPullNode as Protocol>::payload_weight(payload)
+        }
+        fn on_round(&mut self, ctx: &mut gossip_sim::Context<'_>) {
+            self.inner.on_round(ctx);
+        }
+        fn on_exchange(
+            &mut self,
+            ctx: &mut gossip_sim::Context<'_>,
+            x: &gossip_sim::Exchange<Self::Payload>,
+        ) {
+            self.inner.on_exchange(ctx, x);
+        }
+        fn is_done(&self) -> bool {
+            self.inner.rumors.is_full()
+        }
+    }
+    let g = generators::clique(12);
+    let cfg = config(17, 10_000, false);
+    let factory = |id: NodeId, n: usize| DoneWhenFull {
+        inner: PushPullNode::new(id, n, Mode::PushPull),
+    };
+    let engine = Simulator::new(&g, cfg).run(factory, |_: &[DoneWhenFull], _| false);
+    let net = run_reactor(&g, &cfg, factory, |_: &[&DoneWhenFull], _| false);
+    assert_eq!(engine.reason, StopReason::AllDone);
+    assert_equiv("clique/all-done", &engine, &net, |p: &DoneWhenFull| {
+        p.inner.rumors.fingerprint()
+    });
+}
+
+#[test]
+fn latency_known_visibility_matches_engine() {
+    // `latency_known = true` exposes latencies through the Context on
+    // both sides; a latency-greedy protocol must behave identically.
+    #[derive(Clone)]
+    struct GreedyFastEdge {
+        rumors: gossip_sim::SharedRumorSet,
+    }
+    impl Protocol for GreedyFastEdge {
+        type Payload = gossip_sim::SharedRumorSet;
+        fn payload(&self) -> Self::Payload {
+            self.rumors.snapshot()
+        }
+        fn on_round(&mut self, ctx: &mut gossip_sim::Context<'_>) {
+            // Pick the fastest visible edge, breaking ties by round so
+            // the choice rotates; falls back to neighbor 0 when
+            // latencies are hidden.
+            let round = usize::try_from(ctx.round()).expect("round fits usize");
+            let d = ctx.degree();
+            if d == 0 {
+                return;
+            }
+            let mut best = round % d;
+            let mut best_l = u64::MAX;
+            for i in 0..d {
+                let v = ctx.neighbor_ids()[(round + i) % d];
+                if let Some(l) = ctx.latency_to(v) {
+                    if l.rounds() < best_l {
+                        best_l = l.rounds();
+                        best = (round + i) % d;
+                    }
+                }
+            }
+            ctx.initiate_nth(best);
+        }
+        fn on_exchange(
+            &mut self,
+            _ctx: &mut gossip_sim::Context<'_>,
+            x: &gossip_sim::Exchange<Self::Payload>,
+        ) {
+            self.rumors.union_with(&x.payload);
+        }
+    }
+    let g = generators::bimodal_latencies(&generators::clique(10), 1, 7, 0.3, 2);
+    let goal = Goal::AllToAll;
+    for known in [false, true] {
+        let cfg = SimConfig {
+            seed: 5,
+            max_rounds: 10_000,
+            latency_known: known,
+            ..SimConfig::default()
+        };
+        let factory = |id: NodeId, n: usize| GreedyFastEdge {
+            rumors: gossip_sim::SharedRumorSet::singleton(n, id),
+        };
+        let goal_e = goal.clone();
+        let engine = Simulator::new(&g, cfg).run(factory, |nodes: &[GreedyFastEdge], _| {
+            goal_e.met_by_all(nodes.iter().map(|p| &p.rumors))
+        });
+        let goal_n = goal.clone();
+        let net = run_reactor(&g, &cfg, factory, |nodes: &[&GreedyFastEdge], _| {
+            goal_n.met_by_all(nodes.iter().map(|p| &p.rumors))
+        });
+        assert_equiv(
+            &format!("greedy/latency_known={known}"),
+            &engine,
+            &net,
+            |p: &GreedyFastEdge| p.rumors.fingerprint(),
+        );
+    }
+}
+
+#[test]
+fn stop_closure_sees_rounds_in_engine_order() {
+    // The stop closure's round argument must match the engine's: record
+    // the rounds at which it fires.
+    let g = generators::cycle(6);
+    let cfg = config(1, 50, false);
+    let mut engine_rounds: Vec<Round> = Vec::new();
+    let _ = Simulator::new(&g, cfg).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |_: &[PushPullNode], r| {
+            engine_rounds.push(r);
+            false
+        },
+    );
+    let mut net_rounds: Vec<Round> = Vec::new();
+    let _ = run_reactor(
+        &g,
+        &cfg,
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |_: &[&PushPullNode], r| {
+            net_rounds.push(r);
+            false
+        },
+    );
+    assert_eq!(engine_rounds, net_rounds);
+}

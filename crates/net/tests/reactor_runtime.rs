@@ -1,0 +1,388 @@
+//! Reactor runtime tests: the same localhost convergence, fault, and
+//! handshake cases as `tcp_runtime.rs`, run against the single-threaded
+//! reactor — many nodes per reactor, non-blocking sockets, wall-clock
+//! round pacing — plus a mixed cluster where a reactor shard and
+//! thread-per-peer nodes interoperate on the wire. Every test is
+//! bounded by an explicit watchdog — a hang is a failure, not a timeout
+//! in CI.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_net::{
+    run_reactor_cluster, NetRunner, NodeStopReason, Reactor, ReactorConfig, RunView, TcpConfig,
+    TcpTransport, Transport,
+};
+use gossip_sim::{SimConfig, Simulator};
+use latency_graph::{generators, GraphBuilder, NodeId};
+
+fn fast_reactor() -> ReactorConfig {
+    ReactorConfig {
+        round: Duration::from_millis(10),
+        connect_timeout: Duration::from_millis(500),
+        start_timeout: Duration::from_secs(15),
+        retry_base: Duration::from_millis(10),
+        retry_cap: Duration::from_millis(50),
+        max_retries: 3,
+        ..ReactorConfig::default()
+    }
+}
+
+fn fast_tcp() -> TcpConfig {
+    TcpConfig {
+        round: Duration::from_millis(10),
+        connect_timeout: Duration::from_millis(500),
+        start_timeout: Duration::from_secs(15),
+        retry_base: Duration::from_millis(10),
+        retry_cap: Duration::from_millis(50),
+        max_retries: 3,
+        ..TcpConfig::default()
+    }
+}
+
+fn sim_config(seed: u64, max_rounds: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        max_rounds,
+        ..SimConfig::default()
+    }
+}
+
+/// Local done predicate: rumors of every node that is still reachable.
+fn component_done(n: usize) -> impl Fn(&PushPullNode, &RunView<'_>) -> bool + Sync {
+    move |p, view| {
+        (0..n).all(|i| {
+            let v = NodeId::new(i);
+            view.is_gone(v) || p.rumors.contains(v)
+        })
+    }
+}
+
+#[test]
+fn triangle_converges_to_engine_rumor_sets() {
+    let g = generators::clique(3);
+    let cfg = sim_config(7, 300);
+    let hosted: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+    let outcomes = run_reactor_cluster(
+        &g,
+        &cfg,
+        &fast_reactor(),
+        &hosted,
+        |_| BTreeMap::new(), // every node is hosted; nothing to exchange
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        component_done(3),
+    )
+    .expect("shard runs");
+    assert_eq!(outcomes.len(), 3);
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.reason, NodeStopReason::Barrier, "node {i}");
+        assert!(o.losses.is_empty(), "node {i} lost peers: {:?}", o.losses);
+        assert!(o.protocol.rumors.is_full(), "node {i} rumor set incomplete");
+        assert!(o.stats.frames_sent > 0 && o.stats.frames_received > 0);
+    }
+    // Same final rumor sets as any complete engine run (all full).
+    let engine = Simulator::new(&g, cfg).run(
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[PushPullNode], _| nodes.iter().all(|p| p.rumors.is_full()),
+    );
+    for (o, e) in outcomes.iter().zip(&engine.nodes) {
+        assert_eq!(o.protocol.rumors.fingerprint(), e.rumors.fingerprint());
+    }
+}
+
+#[test]
+fn ring_of_cliques_64_converges_full() {
+    // The acceptance-scale case on one reactor: 64 nodes, one thread,
+    // full all-to-all dissemination over real (self-connected) sockets.
+    let g = generators::ring_of_cliques(8, 8, 3);
+    let n = g.node_count();
+    assert_eq!(n, 64);
+    let hosted: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let outcomes = run_reactor_cluster(
+        &g,
+        &sim_config(11, 2_000),
+        &fast_reactor(),
+        &hosted,
+        |_| BTreeMap::new(),
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        component_done(n),
+    )
+    .expect("shard runs");
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(
+            o.reason,
+            NodeStopReason::Barrier,
+            "node {i}: {:?}",
+            o.reason
+        );
+        assert!(o.protocol.rumors.is_full(), "node {i} rumor set incomplete");
+    }
+}
+
+#[test]
+fn killed_peer_yields_typed_loss_and_survivors_converge() {
+    let g = generators::clique(3);
+    let cfg = sim_config(3, 400);
+
+    // Two shards: a reactor hosting the survivors {0, 1}, and a second
+    // reactor hosting the victim {2}, which dies without a goodbye.
+    let (victim_addr_tx, victim_addr_rx) = mpsc::channel::<String>();
+    let (survivor_addr_tx, survivor_addr_rx) = mpsc::channel::<String>();
+    let (out_tx, out_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        let g = &g;
+        s.spawn(move || {
+            let outcomes = run_reactor_cluster(
+                g,
+                &cfg,
+                &fast_reactor(),
+                &[NodeId::new(0), NodeId::new(1)],
+                |local| {
+                    survivor_addr_tx.send(local.to_owned()).expect("announce");
+                    let victim = victim_addr_rx.recv().expect("victim address");
+                    BTreeMap::from([(NodeId::new(2), victim)])
+                },
+                |id, n| PushPullNode::new(id, n, Mode::PushPull),
+                component_done(3),
+            );
+            out_tx.send(outcomes).expect("report");
+        });
+        s.spawn(move || {
+            // The victim: participates for three rounds, then aborts —
+            // its reactor tears down and the sockets vanish as if the
+            // process was killed.
+            let mut reactor =
+                Reactor::new(g, [NodeId::new(2)], fast_reactor()).expect("victim reactor");
+            victim_addr_tx
+                .send(reactor.local_addr())
+                .expect("announce victim");
+            let survivor = survivor_addr_rx.recv().expect("survivor address");
+            reactor.set_peer(NodeId::new(0), survivor.clone());
+            reactor.set_peer(NodeId::new(1), survivor);
+            let node = NodeId::new(2);
+            let mut runner = NetRunner::new(
+                g,
+                node,
+                PushPullNode::new(node, 3, Mode::PushPull),
+                &cfg,
+                reactor.endpoint(node),
+            );
+            runner.start().expect("victim start");
+            for r in 0..3 {
+                runner.begin_round(r).expect("victim round");
+                runner.launch(r).expect("victim launch");
+                runner.settle(r).expect("victim settle");
+            }
+            let _ = runner.abort();
+        });
+
+        // 30-second hard budget: the fault path must be bounded.
+        let outcomes = out_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("the survivor shard hung past the watchdog")
+            .expect("survivor shard failed");
+        assert_eq!(outcomes.len(), 2);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(
+                out.reason,
+                NodeStopReason::Barrier,
+                "survivor {i}: {:?}",
+                out.reason
+            );
+            // The typed fault outcome: exactly one loss, naming the
+            // victim, after the configured number of attempts.
+            assert_eq!(out.losses.len(), 1, "survivor {i}: {:?}", out.losses);
+            assert_eq!(out.losses[0].peer, NodeId::new(2));
+            assert!(out.losses[0].attempts >= 1);
+            // Survivors hold each other's rumors (the surviving
+            // component).
+            assert!(out.protocol.rumors.contains(NodeId::new(0)));
+            assert!(out.protocol.rumors.contains(NodeId::new(1)));
+            assert!(out.metrics.lost > 0 || out.metrics.delivered > 0);
+        }
+    });
+}
+
+#[test]
+fn topology_mismatch_refuses_to_pair() {
+    // Two reactors whose graphs disagree (same structure, different
+    // edge latency, hence different topology hashes) must not exchange
+    // any protocol frame; each dialer fails fast with a descriptive
+    // loss.
+    let g_fast = {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1).expect("edge");
+        b.build().expect("graph")
+    };
+    let g_slow = {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 2).expect("edge");
+        b.build().expect("graph")
+    };
+    assert_ne!(g_fast.topology_hash(), g_slow.topology_hash());
+
+    let mut a = Reactor::new(&g_fast, [NodeId::new(0)], fast_reactor()).expect("reactor a");
+    let (addr_tx, addr_rx) = mpsc::channel::<String>();
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let a_addr = a.local_addr();
+    std::thread::scope(|s| {
+        let g_slow = &g_slow;
+        s.spawn(move || {
+            let mut b = Reactor::new(g_slow, [NodeId::new(1)], fast_reactor()).expect("reactor b");
+            addr_tx.send(b.local_addr()).expect("announce");
+            b.set_peer(NodeId::new(0), a_addr);
+            let mut eb = b.endpoint(NodeId::new(1));
+            let _ = eb.start(); // fails or settles lost; either is fine
+                                // Keep pumping so a's handshake is answered even if b's own
+                                // barrier settled first; exit once a has seen its loss.
+            for round in 0.. {
+                if stop_rx.try_recv().is_ok() {
+                    break;
+                }
+                let _ = eb.poll(round);
+            }
+        });
+        a.set_peer(NodeId::new(1), addr_rx.recv().expect("b address"));
+        let mut ea = a.endpoint(NodeId::new(0));
+        ea.start()
+            .expect("start settles: the peer is conclusively lost");
+        let events = ea.poll(0).expect("poll");
+        let lost: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                gossip_net::NetEvent::PeerLost(loss) => Some(loss),
+                gossip_net::NetEvent::Frame { .. } => None,
+            })
+            .collect();
+        assert_eq!(lost.len(), 1, "events: {events:?}");
+        assert_eq!(lost[0].peer, NodeId::new(1));
+        assert!(
+            lost[0].error.contains("topology mismatch"),
+            "error: {}",
+            lost[0].error
+        );
+        stop_tx.send(()).expect("b still pumping");
+        ea.shutdown();
+    });
+}
+
+#[test]
+fn start_barrier_times_out_without_peers() {
+    // A reactor whose remote neighbor never appears must fail its start
+    // barrier within the budget, naming the missing peer.
+    let mut cfg = fast_reactor();
+    cfg.start_timeout = Duration::from_millis(600);
+    cfg.max_retries = 50; // retries alone must not satisfy the barrier
+    let dead = {
+        // An address that is bound, then immediately released: nothing
+        // listens there during the test.
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        l.local_addr().expect("probe addr").to_string()
+    };
+    let g = generators::path(2);
+    let mut r = Reactor::new(&g, [NodeId::new(0)], cfg).expect("reactor");
+    r.set_peer(NodeId::new(1), dead);
+    let mut e = r.endpoint(NodeId::new(0));
+    let err = e.start().expect_err("barrier cannot hold");
+    match err {
+        gossip_net::NetError::StartTimeout { waiting } => {
+            assert_eq!(waiting, vec![NodeId::new(1)]);
+        }
+        other => panic!("expected StartTimeout, got {other}"),
+    }
+}
+
+#[test]
+fn mixed_reactor_and_thread_per_peer_cluster_converges() {
+    // Wire compatibility across runtimes: one reactor hosts nodes
+    // 0..32 on a single thread while nodes 32..64 each run the
+    // thread-per-peer TCP transport; the whole 64-node ring of cliques
+    // must reach full all-to-all dissemination with zero losses.
+    let g = generators::ring_of_cliques(8, 8, 3);
+    let n = g.node_count();
+    assert_eq!(n, 64);
+    let half = n / 2;
+    let cfg = sim_config(21, 2_000);
+    let tcp = fast_tcp();
+
+    // Bind the thread-per-peer half first so its addresses are known
+    // before anything dials.
+    let mut transports = Vec::new();
+    for i in half..n {
+        transports.push(TcpTransport::for_graph(&g, NodeId::new(i), tcp.clone()).expect("bind"));
+    }
+    let tcp_addrs: Vec<String> = transports.iter().map(TcpTransport::local_addr).collect();
+    let (reactor_addr_tx, reactor_addr_rx) = mpsc::channel::<String>();
+    let (out_tx, out_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        let g = &g;
+        let tcp_addrs = &tcp_addrs;
+        let hosted: Vec<NodeId> = (0..half).map(NodeId::new).collect();
+        s.spawn(move || {
+            let outcomes = run_reactor_cluster(
+                g,
+                &cfg,
+                &fast_reactor(),
+                &hosted,
+                |local| {
+                    reactor_addr_tx.send(local.to_owned()).expect("announce");
+                    (half..n)
+                        .map(|i| (NodeId::new(i), tcp_addrs[i - half].clone()))
+                        .collect()
+                },
+                |id, n| PushPullNode::new(id, n, Mode::PushPull),
+                component_done(n),
+            );
+            out_tx.send(outcomes).expect("report shard");
+        });
+
+        let reactor_addr = reactor_addr_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reactor announces its address");
+        let mut handles = Vec::new();
+        for (k, mut t) in transports.into_iter().enumerate() {
+            let i = half + k;
+            for &v in g.neighbor_ids(NodeId::new(i)) {
+                let addr = if v.index() < half {
+                    // Every reactor-hosted neighbor lives behind the one
+                    // shared listener.
+                    reactor_addr.clone()
+                } else {
+                    tcp_addrs[v.index() - half].clone()
+                };
+                t.set_peer(v, addr);
+            }
+            handles.push(s.spawn(move || {
+                let node = NodeId::new(i);
+                NetRunner::new(g, node, PushPullNode::new(node, n, Mode::PushPull), &cfg, t)
+                    .run(component_done(n))
+            }));
+        }
+
+        let reactor_outcomes = out_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("the reactor shard hung past the watchdog")
+            .expect("reactor shard failed");
+        assert_eq!(reactor_outcomes.len(), half);
+        let mut full = 0;
+        for (i, o) in reactor_outcomes.iter().enumerate() {
+            assert_eq!(o.reason, NodeStopReason::Barrier, "reactor node {i}");
+            assert!(o.losses.is_empty(), "reactor node {i}: {:?}", o.losses);
+            full += usize::from(o.protocol.rumors.is_full());
+        }
+        for h in handles {
+            let o = h
+                .join()
+                .expect("tcp node panicked")
+                .expect("tcp node failed");
+            assert_eq!(o.reason, NodeStopReason::Barrier);
+            assert!(o.losses.is_empty(), "tcp node lost peers: {:?}", o.losses);
+            full += usize::from(o.protocol.rumors.is_full());
+        }
+        assert_eq!(full, n, "every node ends with the full rumor set");
+    });
+}

@@ -13,11 +13,12 @@ use rand::Rng;
 /// Frames with arbitrary contents; payload sizes range from empty up to
 /// several words past typical rumor-set sizes.
 fn arb_frame() -> impl Strategy<Value = Frame> {
-    (0u8..5, any::<u64>(), any::<u64>(), 0usize..600).prop_map(|(kind, a, b, len)| {
+    (0u8..6, any::<u64>(), any::<u64>(), 0usize..600).prop_map(|(kind, a, b, len)| {
         let payload: Vec<u8> = (0..len).map(|i| (a ^ i as u64) as u8).collect();
         match kind {
             0 => Frame::Hello {
                 node: NodeId::from((a % 10_000) as u32),
+                to: NodeId::from((b % 10_000) as u32),
                 n: (b % 100_000) as u32,
                 topology_hash: a.wrapping_mul(b),
             },
@@ -32,7 +33,18 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 payload,
             },
             3 => Frame::Done { round: a },
-            _ => Frame::Bye,
+            4 => Frame::Bye,
+            // Trunk envelopes nest exactly one plain frame.
+            _ => Frame::Routed {
+                src: NodeId::from((a % 10_000) as u32),
+                dst: NodeId::from((b % 10_000) as u32),
+                release: a ^ b,
+                inner: Box::new(Frame::Reply {
+                    seq: b,
+                    round: a,
+                    payload,
+                }),
+            },
         }
     })
 }

@@ -245,6 +245,53 @@ fn net_confinement_net_crate_exempt() {
     assert!(v.is_empty(), "crates/net must be exempt: {v:?}");
 }
 
+/// Raw-fd / epoll tokens are confined one level tighter than sockets:
+/// they fire both in the determinism zone *and* in the rest of the net
+/// crate, and are clean only inside `crates/net/src/reactor/`.
+#[test]
+fn net_confinement_ffi_confined_to_reactor() {
+    let zone = source_findings("net-confinement", "bad_ffi.rs");
+    assert!(
+        zone.len() >= 5,
+        "expected RawFd/AsRawFd/as_raw_fd/epoll_* findings, got {zone:?}"
+    );
+    let msgs: Vec<&str> = zone.iter().map(|v| v.message.as_str()).collect();
+    for needle in [
+        "RawFd",
+        "as_raw_fd",
+        "epoll_create1",
+        "epoll_ctl",
+        "epoll_wait",
+    ] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+    let net_crate: Vec<_> = check_rust_file(
+        "crates/net/src/tcp.rs",
+        &fixture("net-confinement", "bad_ffi.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "net-confinement")
+    .collect();
+    assert!(
+        !net_crate.is_empty(),
+        "raw-fd tokens must fire even inside crates/net (outside reactor/)"
+    );
+    let reactor: Vec<_> = check_rust_file(
+        "crates/net/src/reactor/sys.rs",
+        &fixture("net-confinement", "bad_ffi.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "net-confinement")
+    .collect();
+    assert!(
+        reactor.is_empty(),
+        "reactor module must be exempt: {reactor:?}"
+    );
+}
+
 #[test]
 fn frontier_confinement_bad_fires() {
     let v = source_findings("frontier-confinement", "bad.rs");

@@ -1,0 +1,31 @@
+//! Bad: raw-fd / epoll FFI surface outside `crates/net/src/reactor/`.
+//! The reactor's `Poller` wrapper is the only sanctioned home for the
+//! epoll syscalls and raw file descriptors — even elsewhere in the net
+//! crate these tokens must be flagged.
+
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Steals the listener's descriptor instead of registering it with the
+/// reactor's readiness API.
+pub fn steal_fd(listener: &impl AsRawFd) -> RawFd {
+    listener.as_raw_fd()
+}
+
+/// Hand-rolled epoll set, bypassing the shim's RAII wrapper.
+pub fn roll_own_epoll() -> i64 {
+    // These would be `unsafe` syscalls in real code; the names alone
+    // are what the rule keys on.
+    let ep = epoll_create1(0);
+    epoll_ctl(ep, 1, 0, core::ptr::null_mut());
+    epoll_wait(ep, core::ptr::null_mut(), 0, -1)
+}
+
+fn epoll_create1(_flags: i64) -> i64 {
+    0
+}
+fn epoll_ctl(_ep: i64, _op: i64, _fd: i64, _ev: *mut u8) -> i64 {
+    0
+}
+fn epoll_wait(_ep: i64, _evs: *mut u8, _max: i64, _timeout: i64) -> i64 {
+    0
+}
