@@ -1,0 +1,139 @@
+//! Criterion benches for the delta wire codec: `RumorSet::diff` /
+//! `apply_delta` (the set algebra under delta mode) and
+//! `encode_rumor_delta` / `decode_rumor_delta` (the wire bodies), at
+//! small and large universes and across overlap regimes.
+//!
+//! Overlap is the fraction of the snapshot already present in the
+//! basis; it decides the delta's representation tier and size. 1%
+//! overlap ≈ a fresh peer (delta is nearly the whole set), 50% ≈
+//! mid-convergence churn, 99% ≈ the anti-entropy steady state ("almost
+//! nothing new") where delta mode earns its compression ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_net::delta::{decode_rumor_delta, encode_rumor_delta};
+use gossip_sim::RumorSet;
+use latency_graph::NodeId;
+
+const SIZES: [usize; 2] = [1 << 10, 1 << 16];
+const OVERLAPS: [u32; 3] = [1, 50, 99];
+
+/// A deterministic snapshot/basis pair over `universe` bits where the
+/// basis holds roughly `overlap`% of the snapshot (a splitmix-style
+/// hash decides membership; no RNG state to carry).
+fn pair(universe: usize, overlap: u32) -> (RumorSet, RumorSet) {
+    let mut snapshot = RumorSet::full(universe);
+    let mut basis = RumorSet::new(universe);
+    for i in 0..universe {
+        let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(overlap);
+        h ^= h >> 31;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        if h % 100 < u64::from(overlap) {
+            basis.insert(NodeId::new(i));
+        }
+    }
+    // Keep the snapshot a superset of the basis, as on the exchange
+    // path: what a node knows only grows.
+    snapshot.union_with(&basis);
+    (snapshot, basis)
+}
+
+fn label(universe: usize, overlap: u32) -> String {
+    format!("n{universe}/overlap{overlap}")
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/delta_codec/diff");
+    for universe in SIZES {
+        for overlap in OVERLAPS {
+            let (snapshot, basis) = pair(universe, overlap);
+            g.throughput(Throughput::Elements(universe as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label(universe, overlap)),
+                &(),
+                |b, ()| b.iter(|| std::hint::black_box(snapshot.diff(&basis))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_apply_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/delta_codec/apply_delta");
+    for universe in SIZES {
+        for overlap in OVERLAPS {
+            let (snapshot, basis) = pair(universe, overlap);
+            let delta = snapshot.diff(&basis);
+            g.throughput(Throughput::Elements(universe as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label(universe, overlap)),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let mut out = basis.clone();
+                        out.apply_delta(&delta);
+                        std::hint::black_box(out)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/delta_codec/encode");
+    for universe in SIZES {
+        for overlap in OVERLAPS {
+            let (snapshot, basis) = pair(universe, overlap);
+            let delta = snapshot.diff(&basis);
+            let mut probe = Vec::new();
+            encode_rumor_delta(&delta, &mut probe);
+            g.throughput(Throughput::Bytes(probe.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label(universe, overlap)),
+                &(),
+                |b, ()| {
+                    let mut buf = Vec::with_capacity(probe.len());
+                    b.iter(|| {
+                        buf.clear();
+                        encode_rumor_delta(&delta, &mut buf);
+                        std::hint::black_box(buf.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/delta_codec/decode");
+    for universe in SIZES {
+        for overlap in OVERLAPS {
+            let (snapshot, basis) = pair(universe, overlap);
+            let mut buf = Vec::new();
+            encode_rumor_delta(&snapshot.diff(&basis), &mut buf);
+            g.throughput(Throughput::Bytes(buf.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label(universe, overlap)),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let out = decode_rumor_delta(&buf, Some(&basis))
+                            .expect("bench delta decodes");
+                        std::hint::black_box(out)
+                    })
+                },
+            );
+            // The contract the runner relies on, asserted once per
+            // configuration so a broken bench never reports a time.
+            let back = decode_rumor_delta(&buf, Some(&basis)).expect("delta decodes");
+            assert_eq!(back.fingerprint(), snapshot.fingerprint());
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_apply_delta, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -197,7 +197,11 @@ fn main() {
              (thread ceiling {NET_SMOKE_THREAD_CEILING}) …"
         );
         let start = Instant::now();
-        let p = gossip_bench::net_bench::measure_reactor("clique", 1024);
+        let p = gossip_bench::net_bench::measure_reactor(
+            "clique",
+            1024,
+            gossip_bench::net_bench::PayloadMode::Snapshot,
+        );
         println!(
             "{{\"topology\": \"{}\", \"n\": {}, \"rounds\": {}, \"secs\": {:.6}, \
              \"frames_sent\": {}, \"bytes_sent\": {}, \"peer_losses\": {}, \"peak_threads\": {}}}",
@@ -209,6 +213,30 @@ fn main() {
             "net-smoke: reactor run used {} OS threads (ceiling {NET_SMOKE_THREAD_CEILING}) — \
              the single-threaded runtime regressed to spawning workers",
             p.peak_threads
+        );
+        // The delta-exchange soak: the same clique held past
+        // convergence in both payload modes. Outcome equality (stop
+        // reason, rounds, metrics, per-node fingerprints) is asserted
+        // inside; here we additionally hold the byte reduction to a
+        // conservative floor so a regression in the knowledge cache or
+        // the delta codec fails CI loudly.
+        let c = gossip_bench::net_bench::measure_mode_comparison("clique", 1024, 128);
+        println!(
+            "{{\"mode_comparison\": \"{}\", \"n\": {}, \"rounds\": {}, \
+             \"delta_payload_bytes\": {}, \"snapshot_equivalent_bytes\": {}, \
+             \"compression_ratio\": {:.2}}}",
+            c.topology,
+            c.n,
+            c.rounds,
+            c.delta_payload_bytes,
+            c.snapshot_equivalent_bytes,
+            c.compression_ratio()
+        );
+        assert!(
+            c.compression_ratio() >= 5.0,
+            "net-smoke: delta soak compressed only {:.2}× vs snapshot-equivalent bytes \
+             (floor 5×) — the per-peer knowledge cache or delta codec regressed",
+            c.compression_ratio()
         );
         eprintln!("net-smoke finished in {:.2?}\n", start.elapsed());
     }

@@ -13,6 +13,15 @@
 //! (scratch-buffer encode, incremental decode), the unit cost under
 //! everything else.
 //!
+//! Every row carries payload byte accounting — `payload_bytes` actually
+//! sent versus the `snapshot_equivalent_bytes` an always-snapshot run
+//! would have cost, and their ratio — so a delta-mode row prices its
+//! compression in the same table. The `mode_comparison` section is the
+//! delta-exchange headline: the same fixed-horizon anti-entropy soak
+//! run twice, snapshot mode versus delta mode, with outcome equality
+//! asserted (same rounds, metrics, and per-node fingerprints) so the
+//! byte reduction is provably free.
+//!
 //! Every row reports `peak_threads`, sampled from `/proc/self/status`
 //! inside the convergence check: the thread-per-peer rows grow with
 //! `n · degree`, the reactor rows must not grow at all.
@@ -23,9 +32,10 @@ use std::time::{Duration, Instant};
 
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_net::{
-    run_local_cluster, run_loopback_with_stats, run_reactor_with_stats, Frame, NodeStopReason,
-    TcpConfig,
+    run_local_cluster_mode, run_loopback_mode_with_stats, run_reactor_mode_with_stats, Frame,
+    NodeStopReason, TcpConfig, WireAccounting,
 };
+pub use gossip_net::PayloadMode;
 use gossip_sim::{SimConfig, StopReason};
 use latency_graph::{generators, Graph, NodeId};
 
@@ -46,6 +56,9 @@ pub struct NetPoint {
     pub frames: u64,
     /// Bytes sent, cluster-wide, across all trials.
     pub bytes: u64,
+    /// Payload byte accounting across all trials (see
+    /// [`WireAccounting`]).
+    pub wire: WireAccounting,
     /// Peers declared lost (must be 0 on a healthy localhost run).
     pub losses: u64,
     /// Peak OS thread count observed during the runs (0 when the
@@ -62,6 +75,15 @@ impl NetPoint {
     /// Bytes sent per wall-clock second.
     pub fn bytes_per_sec(&self) -> f64 {
         self.bytes as f64 / self.secs
+    }
+
+    /// Bytes sent per (cumulative) round.
+    pub fn bytes_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.rounds as f64
+        }
     }
 }
 
@@ -93,6 +115,47 @@ impl CodecPoint {
     }
 }
 
+/// The delta-exchange headline: one fixed-horizon anti-entropy soak
+/// (every node keeps initiating for `rounds` rounds, far past
+/// convergence — the steady state where snapshots are pure waste), run
+/// in both payload modes with outcome equality asserted.
+#[derive(Clone, Debug)]
+pub struct ModeComparison {
+    /// Topology label.
+    pub topology: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// The fixed horizon both runs were held to.
+    pub rounds: u64,
+    /// Wall-clock seconds of the snapshot-mode run.
+    pub snapshot_secs: f64,
+    /// Wall-clock seconds of the delta-mode run.
+    pub delta_secs: f64,
+    /// Payload bytes the snapshot-mode run put on the wire.
+    pub snapshot_payload_bytes: u64,
+    /// Payload bytes the delta-mode run put on the wire.
+    pub delta_payload_bytes: u64,
+    /// What the delta run's frames would have cost as snapshots
+    /// (equals the snapshot run's actual bytes; asserted).
+    pub snapshot_equivalent_bytes: u64,
+    /// Delta-form frames in the delta run.
+    pub delta_frames: u64,
+    /// Snapshot-form frames in the delta run (the fallback ladder).
+    pub fallback_frames: u64,
+}
+
+impl ModeComparison {
+    /// Byte reduction of delta mode: `snapshot_equivalent_bytes /
+    /// delta_payload_bytes`.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.delta_payload_bytes == 0 {
+            1.0
+        } else {
+            self.snapshot_equivalent_bytes as f64 / self.delta_payload_bytes as f64
+        }
+    }
+}
+
 /// The current OS thread count of this process, from
 /// `/proc/self/status`; 0 where that file does not exist.
 pub fn current_threads() -> u64 {
@@ -121,17 +184,18 @@ fn topology(name: &'static str, n: usize) -> Graph {
 ///
 /// Panics if a run fails to converge within the round cap — that would
 /// be a runtime bug, not a measurement.
-pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
+pub fn measure_loopback(name: &'static str, n: usize, trials: u64, mode: PayloadMode) -> NetPoint {
     let g = topology(name, n);
     let mut peak = 0_u64;
     let run = |seed: u64, peak: &mut u64| {
-        run_loopback_with_stats(
+        run_loopback_mode_with_stats(
             &g,
             &SimConfig {
                 seed,
                 max_rounds: 100_000,
                 ..SimConfig::default()
             },
+            mode,
             |id, n| PushPullNode::new(id, n, Mode::PushPull),
             |nodes: &[&PushPullNode], _| {
                 *peak = (*peak).max(current_threads());
@@ -148,16 +212,18 @@ pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
         secs: 0.0,
         frames: 0,
         bytes: 0,
+        wire: WireAccounting::default(),
         losses: 0,
         peak_threads: 0,
     };
     let start = Instant::now();
     for t in 0..trials {
-        let (o, stats) = run(1 + t, &mut peak);
+        let (o, stats, wire) = run(1 + t, &mut peak);
         assert_eq!(o.reason, StopReason::Condition, "loopback must converge");
         point.rounds += o.rounds;
         point.frames += stats.frames_sent;
         point.bytes += stats.bytes_sent;
+        point.wire.absorb(&wire);
     }
     point.secs = start.elapsed().as_secs_f64();
     point.peak_threads = peak;
@@ -172,7 +238,13 @@ pub fn measure_loopback(name: &'static str, n: usize, trials: u64) -> NetPoint {
 ///
 /// Panics if the cluster fails to start or any node misses the
 /// convergence barrier.
-pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -> NetPoint {
+pub fn measure_tcp(
+    name: &'static str,
+    n: usize,
+    round: Duration,
+    trials: u64,
+    mode: PayloadMode,
+) -> NetPoint {
     let g = topology(name, n);
     let tcp = TcpConfig {
         round,
@@ -187,12 +259,13 @@ pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -
         secs: 0.0,
         frames: 0,
         bytes: 0,
+        wire: WireAccounting::default(),
         losses: 0,
         peak_threads: 0,
     };
     let start = Instant::now();
     for t in 0..trials {
-        let outcomes = run_local_cluster(
+        let outcomes = run_local_cluster_mode(
             &g,
             &SimConfig {
                 seed: 1 + t,
@@ -200,6 +273,7 @@ pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -
                 ..SimConfig::default()
             },
             &tcp,
+            mode,
             |id, n| PushPullNode::new(id, n, Mode::PushPull),
             |p: &PushPullNode, _view| {
                 peak.fetch_max(current_threads(), Ordering::Relaxed);
@@ -212,6 +286,7 @@ pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -
             point.rounds = point.rounds.max(o.rounds);
             point.frames += o.stats.frames_sent;
             point.bytes += o.stats.bytes_sent;
+            point.wire.absorb(&o.accounting);
             point.losses += o.losses.len() as u64;
         }
     }
@@ -228,17 +303,18 @@ pub fn measure_tcp(name: &'static str, n: usize, round: Duration, trials: u64) -
 /// # Panics
 ///
 /// Panics if the reactor fails or the run misses convergence.
-pub fn measure_reactor(name: &'static str, n: usize) -> NetPoint {
+pub fn measure_reactor(name: &'static str, n: usize, mode: PayloadMode) -> NetPoint {
     let g = topology(name, n);
     let mut peak = 0_u64;
     let start = Instant::now();
-    let (o, stats) = run_reactor_with_stats(
+    let (o, stats, wire) = run_reactor_mode_with_stats(
         &g,
         &SimConfig {
             seed: 1,
             max_rounds: 100_000,
             ..SimConfig::default()
         },
+        mode,
         |id, n| PushPullNode::new(id, n, Mode::PushPull),
         |nodes: &[&PushPullNode], _| {
             peak = peak.max(current_threads());
@@ -255,8 +331,68 @@ pub fn measure_reactor(name: &'static str, n: usize) -> NetPoint {
         secs,
         frames: stats.frames_sent,
         bytes: stats.bytes_sent,
+        wire,
         losses: o.metrics.lost,
         peak_threads: peak,
+    }
+}
+
+/// Runs the fixed-horizon anti-entropy soak on the reactor in both
+/// payload modes and proves the delta run changes nothing but bytes:
+/// same stop reason, rounds, metrics, and per-node fingerprints.
+///
+/// # Panics
+///
+/// Panics if the two runs diverge in any outcome field, or if the delta
+/// run's snapshot-equivalent byte count disagrees with the snapshot
+/// run's actual bytes (they price the same frames).
+pub fn measure_mode_comparison(name: &'static str, n: usize, horizon: u64) -> ModeComparison {
+    let g = topology(name, n);
+    let run = |mode: PayloadMode| {
+        let start = Instant::now();
+        let (o, _, wire) = run_reactor_mode_with_stats(
+            &g,
+            &SimConfig {
+                seed: 1,
+                max_rounds: horizon,
+                ..SimConfig::default()
+            },
+            mode,
+            |id, n| PushPullNode::new(id, n, Mode::PushPull),
+            |_: &[&PushPullNode], _| false, // soak: never stop early
+        );
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(o.reason, StopReason::MaxRounds, "soak runs to the horizon");
+        assert_eq!(o.rounds, horizon);
+        (o, wire, secs)
+    };
+    let (snap, snap_wire, snapshot_secs) = run(PayloadMode::Snapshot);
+    let (delta, delta_wire, delta_secs) = run(PayloadMode::Delta);
+    assert_eq!(snap.reason, delta.reason, "mode changed the stop reason");
+    assert_eq!(snap.rounds, delta.rounds, "mode changed the round count");
+    assert_eq!(snap.metrics, delta.metrics, "mode changed the metrics");
+    for (i, (s, d)) in snap.nodes.iter().zip(&delta.nodes).enumerate() {
+        assert_eq!(
+            s.rumors.fingerprint(),
+            d.rumors.fingerprint(),
+            "mode changed node {i}'s final rumor set"
+        );
+    }
+    assert_eq!(
+        delta_wire.snapshot_bytes, snap_wire.payload_bytes,
+        "the two modes priced different frame sequences"
+    );
+    ModeComparison {
+        topology: name,
+        n,
+        rounds: horizon,
+        snapshot_secs,
+        delta_secs,
+        snapshot_payload_bytes: snap_wire.payload_bytes,
+        delta_payload_bytes: delta_wire.payload_bytes,
+        snapshot_equivalent_bytes: delta_wire.snapshot_bytes,
+        delta_frames: delta_wire.delta_frames,
+        fallback_frames: delta_wire.snapshot_frames,
     }
 }
 
@@ -284,7 +420,7 @@ pub fn measure_codec(frames: u64, payload: usize) -> CodecPoint {
     let encode_start = Instant::now();
     for _ in 0..frames {
         buf.clear();
-        frame.encode_into(&mut buf);
+        frame.encode_into(&mut buf).expect("bench frame fits");
     }
     let encode_secs = encode_start.elapsed().as_secs_f64();
     let bytes = buf.len() as u64 * frames;
@@ -309,30 +445,31 @@ pub fn measure_codec(frames: u64, payload: usize) -> CodecPoint {
 /// the virtual-clock (loopback) section.
 pub fn run(trials: u64, round: Duration) -> String {
     let loopback = vec![
-        measure_loopback("clique", 64, trials),
-        measure_loopback("clique", 256, trials),
-        measure_loopback("ring-of-cliques", 64, trials),
-        measure_loopback("ring-of-cliques", 256, trials),
+        measure_loopback("clique", 64, trials, PayloadMode::Snapshot),
+        measure_loopback("clique", 256, trials, PayloadMode::Snapshot),
+        measure_loopback("ring-of-cliques", 64, trials, PayloadMode::Snapshot),
+        measure_loopback("ring-of-cliques", 256, trials, PayloadMode::Snapshot),
     ];
     // TCP sizes are modest on purpose: thread-per-peer means a clique of
     // n costs ~2n(n−1) OS threads, and the bench must converge even on a
     // single-core CI runner without nodes falling behind the round clock
     // and declaring each other lost.
     let tcp = vec![
-        measure_tcp("clique", 16, round, 3),
-        measure_tcp("ring-of-cliques", 64, round, 3),
+        measure_tcp("clique", 16, round, 3, PayloadMode::Snapshot),
+        measure_tcp("ring-of-cliques", 64, round, 3, PayloadMode::Snapshot),
     ];
     // The reactor carries the sizes thread-per-peer cannot reach in one
     // process: 4096 nodes is ~8.4M edges of clique, all multiplexed
     // over a handful of trunk sockets on one thread.
     let reactor = vec![
-        measure_reactor("clique", 256),
-        measure_reactor("ring-of-cliques", 256),
-        measure_reactor("clique", 1024),
-        measure_reactor("clique", 4096),
+        measure_reactor("clique", 256, PayloadMode::Snapshot),
+        measure_reactor("ring-of-cliques", 256, PayloadMode::Snapshot),
+        measure_reactor("clique", 1024, PayloadMode::Snapshot),
+        measure_reactor("clique", 4096, PayloadMode::Snapshot),
     ];
+    let comparison = measure_mode_comparison("clique", 1024, 128);
     let codec = measure_codec(200_000, 512);
-    to_json(&loopback, &tcp, &reactor, &codec, round)
+    to_json(&loopback, &tcp, &reactor, &comparison, &codec, round)
 }
 
 /// Renders the sections as a small, dependency-free JSON document.
@@ -340,6 +477,7 @@ pub fn to_json(
     loopback: &[NetPoint],
     tcp: &[NetPoint],
     reactor: &[NetPoint],
+    comparison: &ModeComparison,
     codec: &CodecPoint,
     round: Duration,
 ) -> String {
@@ -356,12 +494,27 @@ pub fn to_json(
         codec.encode_frames_per_sec(),
         codec.decode_frames_per_sec(),
     );
+    let _ = writeln!(
+        s,
+        "  \"mode_comparison\": {{\"topology\": \"{}\", \"n\": {}, \"rounds\": {}, \"snapshot_secs\": {:.6}, \"delta_secs\": {:.6}, \"snapshot_payload_bytes\": {}, \"delta_payload_bytes\": {}, \"snapshot_equivalent_bytes\": {}, \"delta_frames\": {}, \"fallback_frames\": {}, \"compression_ratio\": {:.2}}},",
+        comparison.topology,
+        comparison.n,
+        comparison.rounds,
+        comparison.snapshot_secs,
+        comparison.delta_secs,
+        comparison.snapshot_payload_bytes,
+        comparison.delta_payload_bytes,
+        comparison.snapshot_equivalent_bytes,
+        comparison.delta_frames,
+        comparison.fallback_frames,
+        comparison.compression_ratio(),
+    );
     for (section, points) in [("loopback", loopback), ("tcp", tcp), ("reactor", reactor)] {
         let _ = writeln!(s, "  \"{section}\": [");
         for (i, p) in points.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "    {{\"topology\": \"{}\", \"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"frames_sent\": {}, \"bytes_sent\": {}, \"frames_per_sec\": {:.2}, \"bytes_per_sec\": {:.2}, \"peer_losses\": {}, \"peak_threads\": {}}}{}",
+                "    {{\"topology\": \"{}\", \"n\": {}, \"trials\": {}, \"total_rounds\": {}, \"total_secs\": {:.6}, \"frames_sent\": {}, \"bytes_sent\": {}, \"bytes_per_round\": {:.2}, \"payload_bytes\": {}, \"snapshot_equivalent_bytes\": {}, \"compression_ratio\": {:.2}, \"frames_per_sec\": {:.2}, \"bytes_per_sec\": {:.2}, \"peer_losses\": {}, \"peak_threads\": {}}}{}",
                 p.topology,
                 p.n,
                 p.trials,
@@ -369,6 +522,10 @@ pub fn to_json(
                 p.secs,
                 p.frames,
                 p.bytes,
+                p.bytes_per_round(),
+                p.wire.payload_bytes,
+                p.wire.snapshot_bytes,
+                p.wire.ratio(),
                 p.frames_per_sec(),
                 p.bytes_per_sec(),
                 p.losses,
@@ -389,17 +546,37 @@ mod tests {
 
     #[test]
     fn loopback_measure_reports_throughput() {
-        let p = measure_loopback("clique", 16, 2);
+        let p = measure_loopback("clique", 16, 2, PayloadMode::Snapshot);
         assert_eq!(p.n, 16);
         assert!(p.rounds > 0);
         assert!(p.frames > 0 && p.bytes > p.frames);
         assert!(p.frames_per_sec() > 0.0);
         assert_eq!(p.losses, 0);
+        // Snapshot mode: every payload frame is snapshot-form, ratio 1.
+        assert_eq!(p.wire.delta_frames, 0);
+        assert_eq!(p.wire.payload_bytes, p.wire.snapshot_bytes);
+    }
+
+    #[test]
+    fn loopback_delta_measure_converges_with_fewer_bytes() {
+        let snap = measure_loopback("clique", 32, 2, PayloadMode::Snapshot);
+        let delta = measure_loopback("clique", 32, 2, PayloadMode::Delta);
+        assert_eq!(snap.rounds, delta.rounds, "mode changed convergence");
+        assert_eq!(snap.losses, 0);
+        assert_eq!(delta.losses, 0);
+        assert!(
+            delta.wire.payload_bytes < snap.wire.payload_bytes,
+            "delta mode must shrink payload bytes on a converging clique \
+             ({} >= {})",
+            delta.wire.payload_bytes,
+            snap.wire.payload_bytes,
+        );
+        assert_eq!(delta.wire.snapshot_bytes, snap.wire.payload_bytes);
     }
 
     #[test]
     fn tcp_measure_converges_cleanly() {
-        let p = measure_tcp("clique", 4, Duration::from_millis(5), 1);
+        let p = measure_tcp("clique", 4, Duration::from_millis(5), 1, PayloadMode::Snapshot);
         assert_eq!(p.n, 4);
         assert!(p.rounds > 0);
         assert!(p.frames > 0);
@@ -409,7 +586,7 @@ mod tests {
 
     #[test]
     fn reactor_measure_converges_on_one_thread() {
-        let p = measure_reactor("clique", 32);
+        let p = measure_reactor("clique", 32, PayloadMode::Snapshot);
         assert_eq!(p.n, 32);
         assert!(p.rounds > 0);
         assert!(p.frames > 0 && p.bytes > p.frames);
@@ -418,6 +595,24 @@ mod tests {
         // count must stay at the harness baseline, far under the
         // thread-per-peer section's hundreds.
         assert!(p.peak_threads <= 8, "peak threads: {}", p.peak_threads);
+    }
+
+    #[test]
+    fn mode_comparison_soak_is_outcome_identical_and_compresses() {
+        // A small soak (the committed size runs in bench-net): past
+        // convergence every exchange is redundant, so deltas approach
+        // empty and the ratio climbs well past 2. The universe must be
+        // big enough for snapshots to dominate the fixed per-frame
+        // overhead — at n = 64 a snapshot is only 12 bytes and the
+        // ratio saturates below 2.
+        let c = measure_mode_comparison("clique", 256, 48);
+        assert_eq!(c.rounds, 48);
+        assert!(c.delta_frames > 0, "the soak must ride delta frames");
+        assert!(
+            c.compression_ratio() > 2.0,
+            "soak compression ratio {:.2} too low",
+            c.compression_ratio()
+        );
     }
 
     #[test]
@@ -439,6 +634,12 @@ mod tests {
             secs: 0.5,
             frames: 600,
             bytes: 60_000,
+            wire: WireAccounting {
+                payload_bytes: 20_000,
+                snapshot_bytes: 40_000,
+                delta_frames: 500,
+                snapshot_frames: 100,
+            },
             losses: 0,
             peak_threads: 5,
         };
@@ -449,10 +650,23 @@ mod tests {
             encode_secs: 0.25,
             decode_secs: 0.5,
         };
+        let comparison = ModeComparison {
+            topology: "clique",
+            n: 1024,
+            rounds: 128,
+            snapshot_secs: 2.0,
+            delta_secs: 1.5,
+            snapshot_payload_bytes: 1_000_000,
+            delta_payload_bytes: 100_000,
+            snapshot_equivalent_bytes: 1_000_000,
+            delta_frames: 9_000,
+            fallback_frames: 1_000,
+        };
         let j = to_json(
             std::slice::from_ref(&point),
             std::slice::from_ref(&point),
             std::slice::from_ref(&point),
+            &comparison,
             &codec,
             Duration::from_millis(5),
         );
@@ -466,6 +680,11 @@ mod tests {
         assert!(j.contains("\"decode_frames_per_sec\": 2000.00"));
         assert!(j.contains("\"frames_per_sec\": 1200.00"));
         assert!(j.contains("\"bytes_per_sec\": 120000.00"));
+        assert!(j.contains("\"bytes_per_round\": 2000.00"));
+        assert!(j.contains("\"payload_bytes\": 20000, \"snapshot_equivalent_bytes\": 40000, \"compression_ratio\": 2.00"));
+        assert!(j.contains("\"mode_comparison\": {\"topology\": \"clique\", \"n\": 1024, \"rounds\": 128"));
+        assert!(j.contains("\"snapshot_payload_bytes\": 1000000, \"delta_payload_bytes\": 100000"));
+        assert!(j.contains("\"delta_frames\": 9000, \"fallback_frames\": 1000, \"compression_ratio\": 10.00"));
         assert!(j.contains("\"peak_threads\": 5"));
         assert!(!j.contains(",\n  ]"), "no trailing comma: {j}");
         assert!(!j.contains("],\n}"), "no trailing comma: {j}");

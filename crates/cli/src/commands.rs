@@ -31,10 +31,11 @@ byte-identical to the default single-threaded run.
               [--seed S] [--trials T]
   gossip run-net <algorithm> <file|-> [--transport tcp|loopback|reactor]
                  [--seed S] [--source V] [--all-to-all] [--round-ms MS]
-                 [--max-rounds R]
+                 [--max-rounds R] [--payload-mode snapshot|delta]
   gossip serve <file|-> (--node I | --nodes A..B) [--peers FILE]
                [--listen ADDR] [--algorithm A] [--seed S] [--source V]
                [--all-to-all] [--round-ms MS] [--max-rounds R]
+               [--payload-mode snapshot|delta]
   gossip check --family <cycle|star|clique|ring-of-cliques> --n K
                [--faults B] [--prop all|NAME] [--format human|json]
   gossip check --corpus [--faults B] [--prop all|NAME] [--format human|json]
@@ -50,7 +51,9 @@ processes: `--node I` runs one thread-per-peer node, `--nodes A..B`
 runs a whole shard of nodes on one reactor. The peers file maps remote
 node ids to addresses (`<id> <host:port>` per line); reactor-hosted
 neighbors share their shard's one listen address. Net algorithms:
-push-pull | push-only | flooding.
+push-pull | push-only | flooding. `--payload-mode delta` sends
+rumor-set deltas against per-peer cached knowledge instead of full
+snapshots — same outcome bit for bit, far fewer bytes.
 
 FAMILIES (for generate)
   clique N | star N | path N | cycle N | grid R C | torus R C

@@ -13,9 +13,10 @@ use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_core::Goal;
 use gossip_net::{
-    run_local_cluster, run_loopback_with_stats, run_reactor_cluster, run_reactor_with_stats,
-    NetRunner, NodeOutcome, NodeStopReason, ReactorConfig, RunView, TcpConfig, TcpTransport,
-    TransportStats, WirePayload,
+    run_local_cluster_mode, run_loopback_mode_with_stats, run_reactor_cluster_mode,
+    run_reactor_mode_with_stats, NetRunner, NodeOutcome, NodeStopReason, PayloadMode,
+    ReactorConfig, RunView, TcpConfig, TcpTransport, Transport, TransportStats, WireAccounting,
+    WirePayload, CAP_DELTA,
 };
 use gossip_sim::{Protocol, SharedRumorSet, SimConfig, SimMetrics, StopReason};
 use latency_graph::{Graph, NodeId};
@@ -24,12 +25,14 @@ use crate::args::Args;
 use crate::error::CliError;
 use crate::load_graph;
 
-/// Shared flag parsing for both subcommands: goal, seed, pacing.
+/// Shared flag parsing for both subcommands: goal, seed, pacing,
+/// payload mode.
 struct NetArgs {
     goal: Goal,
     algorithm: String,
     sim: SimConfig,
     round: Duration,
+    mode: PayloadMode,
 }
 
 fn parse_net_args(args: &mut Args, algorithm: String, g: &Graph) -> Result<NetArgs, CliError> {
@@ -37,7 +40,18 @@ fn parse_net_args(args: &mut Args, algorithm: String, g: &Graph) -> Result<NetAr
     let max_rounds: u64 = args.flag_or("max-rounds", 10_000)?;
     let round_ms: u64 = args.flag_or("round-ms", 20)?;
     let source_idx: usize = args.flag_or("source", 0)?;
+    let payload_mode: String = args.flag_or("payload-mode", "snapshot".to_owned())?;
     let all_to_all = args.switch("all-to-all");
+    let mode = match payload_mode.as_str() {
+        "snapshot" => PayloadMode::Snapshot,
+        "delta" => PayloadMode::Delta,
+        other => {
+            return Err(CliError::BadArgument {
+                what: "payload-mode",
+                value: other.to_string(),
+            })
+        }
+    };
     if source_idx >= g.node_count() {
         return Err(CliError::BadArgument {
             what: "source",
@@ -58,6 +72,7 @@ fn parse_net_args(args: &mut Args, algorithm: String, g: &Graph) -> Result<NetAr
             ..SimConfig::default()
         },
         round: Duration::from_millis(round_ms.max(1)),
+        mode,
     })
 }
 
@@ -95,6 +110,22 @@ fn write_metrics(out: &mut String, m: &SimMetrics, stats: &TransportStats) {
     );
 }
 
+/// Reports delta-mode byte accounting; snapshot runs skip the line
+/// since payload bytes already appear under `frames =`.
+fn write_accounting(out: &mut String, mode: PayloadMode, acct: &WireAccounting) {
+    if mode == PayloadMode::Delta {
+        let _ = writeln!(
+            out,
+            "payload bytes = {} sent, {} snapshot-equivalent ({:.2}x), {} delta frames, {} snapshot frames",
+            acct.payload_bytes,
+            acct.snapshot_bytes,
+            acct.ratio(),
+            acct.delta_frames,
+            acct.snapshot_frames
+        );
+    }
+}
+
 fn run_net_generic<P, F, R>(
     g: &Graph,
     net: &NetArgs,
@@ -118,14 +149,15 @@ where
             let stop = |nodes: &[&P], _| goal.met_by_all(nodes.iter().map(|p| rumors(p)));
             // Both run the engine's schedule exactly; the reactor does it
             // over real (self-connected) non-blocking sockets.
-            let (o, stats) = if transport == "reactor" {
-                run_reactor_with_stats(g, &net.sim, factory, stop)
+            let (o, stats, acct) = if transport == "reactor" {
+                run_reactor_mode_with_stats(g, &net.sim, net.mode, factory, stop)
             } else {
-                run_loopback_with_stats(g, &net.sim, factory, stop)
+                run_loopback_mode_with_stats(g, &net.sim, net.mode, factory, stop)
             };
             let _ = writeln!(out, "rounds = {}", o.rounds);
             let _ = writeln!(out, "complete = {}", o.reason != StopReason::MaxRounds);
             write_metrics(&mut out, &o.metrics, &stats);
+            write_accounting(&mut out, net.mode, &acct);
         }
         "tcp" => {
             let tcp = TcpConfig {
@@ -135,12 +167,13 @@ where
             let n = g.node_count();
             let goal = net.goal.clone();
             let done = move |p: &P, view: &RunView<'_>| locally_done(&goal, n, rumors(p), view);
-            let outcomes =
-                run_local_cluster(g, &net.sim, &tcp, factory, done).map_err(net_error)?;
+            let outcomes = run_local_cluster_mode(g, &net.sim, &tcp, net.mode, factory, done)
+                .map_err(net_error)?;
             let rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
             let complete = outcomes.iter().all(|o| o.reason == NodeStopReason::Barrier);
             let mut metrics = SimMetrics::default();
             let mut stats = TransportStats::default();
+            let mut acct = WireAccounting::default();
             let mut losses = 0usize;
             for o in &outcomes {
                 metrics.initiated += o.metrics.initiated;
@@ -149,12 +182,14 @@ where
                 metrics.rejected += o.metrics.rejected;
                 metrics.payload_units += o.metrics.payload_units;
                 stats.absorb(&o.stats);
+                acct.absorb(&o.accounting);
                 losses += o.losses.len();
             }
             let _ = writeln!(out, "nodes = {}", outcomes.len());
             let _ = writeln!(out, "rounds = {rounds}");
             let _ = writeln!(out, "complete = {complete}");
             write_metrics(&mut out, &metrics, &stats);
+            write_accounting(&mut out, net.mode, &acct);
             let _ = writeln!(out, "peer losses = {losses}");
         }
         other => {
@@ -268,11 +303,12 @@ where
     let goal = net.goal.clone();
     let listen_addr = std::cell::RefCell::new(String::new());
     let rumors = &rumors;
-    let outcomes = run_reactor_cluster(
+    let outcomes = run_reactor_cluster_mode(
         g,
         &net.sim,
         &cfg,
         nodes,
+        net.mode,
         |local| {
             *listen_addr.borrow_mut() = local.to_owned();
             peers
@@ -337,7 +373,12 @@ where
     P::Payload: WirePayload,
     R: Fn(&P) -> &SharedRumorSet,
 {
-    let transport = TcpTransport::for_graph(g, node, tcp).map_err(net_error)?;
+    let mut transport = TcpTransport::for_graph(g, node, tcp).map_err(net_error)?;
+    // Advertise the delta capability in this process's Hello; peers
+    // that stayed in snapshot mode simply never see a delta frame.
+    if net.mode == PayloadMode::Delta && P::Payload::supports_delta() {
+        transport.set_caps(CAP_DELTA);
+    }
     let mut out = String::new();
     let _ = writeln!(out, "algorithm = {}", net.algorithm);
     let _ = writeln!(
@@ -349,7 +390,8 @@ where
     );
     let n = g.node_count();
     let goal = net.goal.clone();
-    let runner = NetRunner::new(g, node, protocol, &net.sim, transport);
+    let runner =
+        NetRunner::new(g, node, protocol, &net.sim, transport).with_payload_mode(net.mode);
     let rumors = &rumors;
     let o: NodeOutcome<P> = runner
         .run(move |p, view| locally_done(&goal, n, rumors(p), view))
@@ -569,6 +611,82 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(tail(&lo), tail(&re), "loopback:\n{lo}\nreactor:\n{re}");
+    }
+
+    #[test]
+    fn run_net_delta_mode_matches_snapshot_outcome() {
+        // Delta mode must change the bytes, never the execution: every
+        // schedule-derived output line (rounds, exchanges, payload
+        // units) is identical across modes, on every transport.
+        let p = temp_graph("delta128.txt", &["generate", "clique", "128"]);
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| {
+                    l.starts_with("rounds")
+                        || l.starts_with("exchanges")
+                        || l.starts_with("payload units")
+                        || l.starts_with("complete")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for transport in ["loopback", "reactor"] {
+            let base = &[
+                "run-net",
+                "push-pull",
+                &p,
+                "--transport",
+                transport,
+                "--seed",
+                "9",
+                "--all-to-all",
+            ];
+            let snap = call(base).unwrap();
+            let mut argv = base.to_vec();
+            argv.extend(["--payload-mode", "delta"]);
+            let delta = call(&argv).unwrap();
+            assert_eq!(tail(&snap), tail(&delta), "{transport}:\n{snap}\n{delta}");
+            assert!(
+                delta.contains("payload bytes = "),
+                "{transport}: {delta}"
+            );
+            // A 128-clique re-sends enough redundant state that delta
+            // frames must actually be chosen.
+            assert!(!delta.contains("0 delta frames"), "{transport}: {delta}");
+        }
+    }
+
+    #[test]
+    fn run_net_tcp_delta_converges() {
+        let p = temp_graph("tcpdelta.txt", &["generate", "clique", "3"]);
+        let out = call(&[
+            "run-net",
+            "push-pull",
+            &p,
+            "--transport",
+            "tcp",
+            "--all-to-all",
+            "--round-ms",
+            "5",
+            "--payload-mode",
+            "delta",
+        ])
+        .unwrap();
+        assert!(out.contains("complete = true"), "{out}");
+        assert!(out.contains("peer losses = 0"), "{out}");
+        assert!(out.contains("payload bytes = "), "{out}");
+    }
+
+    #[test]
+    fn run_net_rejects_bad_payload_mode() {
+        let p = temp_graph("badmode.txt", &["generate", "path", "4"]);
+        assert!(matches!(
+            call(&["run-net", "push-pull", &p, "--payload-mode", "diff"]),
+            Err(CliError::BadArgument {
+                what: "payload-mode",
+                ..
+            })
+        ));
     }
 
     #[test]

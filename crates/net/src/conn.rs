@@ -21,9 +21,10 @@ use crate::error::CodecError;
 use crate::wire::Frame;
 
 /// Validates the topology half of a handshake: the peer's node count
-/// and topology hash must equal ours. Returns the sender's node id and
-/// the node it addressed (`Hello.to`); callers layer their own routing
-/// checks (is that me? a neighbor? a hosted node?) on top.
+/// and topology hash must equal ours. Returns the sender's node id,
+/// the node it addressed (`Hello.to`), and the capability bits it
+/// advertised; callers layer their own routing checks (is that me? a
+/// neighbor? a hosted node?) on top.
 ///
 /// # Errors
 ///
@@ -34,12 +35,13 @@ pub fn validate_hello(
     frame: &Frame,
     n: u32,
     topology_hash: u64,
-) -> Result<(NodeId, NodeId), String> {
+) -> Result<(NodeId, NodeId, u32), String> {
     let Frame::Hello {
         node,
         to,
         n: peer_n,
         topology_hash: peer_hash,
+        caps,
     } = frame
     else {
         return Err("first frame was not a handshake".to_owned());
@@ -50,7 +52,7 @@ pub fn validate_hello(
              local n={n} hash={topology_hash:#x}"
         ));
     }
-    Ok((*node, *to))
+    Ok((*node, *to, *caps))
 }
 
 /// Shaping offsets beyond this are clamped; far larger than any round
@@ -224,7 +226,7 @@ mod tests {
         ];
         let mut stream = Vec::new();
         for f in &frames {
-            f.encode_into(&mut stream);
+            f.encode_into(&mut stream).expect("frame encodes");
         }
         let mut reader = FrameReader::new();
         let mut seen = Vec::new();
@@ -245,10 +247,11 @@ mod tests {
             to: NodeId::new(0),
             n: 8,
             topology_hash: 0xAAAA,
+            caps: crate::wire::CAP_DELTA,
         };
         assert_eq!(
             validate_hello(&hello, 8, 0xAAAA),
-            Ok((NodeId::new(1), NodeId::new(0)))
+            Ok((NodeId::new(1), NodeId::new(0), crate::wire::CAP_DELTA))
         );
         let err = validate_hello(&hello, 8, 0xBBBB).expect_err("hash differs");
         assert!(err.contains("topology mismatch"), "{err}");

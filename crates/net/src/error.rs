@@ -33,6 +33,16 @@ pub enum CodecError {
     /// The body was present but malformed (wrong length for its kind,
     /// trailing bytes, or an inconsistent payload encoding).
     BadBody(&'static str),
+    /// An *encode* was refused because the frame body would exceed
+    /// [`crate::wire::MAX_BODY`]. The encode path returns this typed
+    /// error instead of panicking so senders can chunk or fall back
+    /// (e.g. a runner switching to a delta frame) rather than abort.
+    FrameTooLarge {
+        /// Body length the frame would have needed.
+        len: usize,
+        /// The codec's cap.
+        max: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -48,6 +58,9 @@ impl fmt::Display for CodecError {
                 write!(f, "frame body of {len} bytes exceeds cap {max}")
             }
             CodecError::BadBody(why) => write!(f, "malformed frame body: {why}"),
+            CodecError::FrameTooLarge { len, max } => {
+                write!(f, "refusing to encode a {len}-byte frame body (cap {max})")
+            }
         }
     }
 }

@@ -14,6 +14,10 @@
 //!
 //! * [`wire`] — a length-prefixed binary codec ([`Frame`]) plus the
 //!   [`WirePayload`] trait that serializes protocol payloads.
+//! * [`delta`] — the interval/run-length-coded rumor-delta bodies
+//!   carried by [`Frame::RequestDelta`]/[`Frame::ReplyDelta`]: exchange
+//!   cost proportional to *new information* instead of `⌈n/64⌉` words,
+//!   with exact snapshot reconstruction (DESIGN.md §15).
 //! * [`transport`] — the [`Transport`] abstraction: framed send/recv with
 //!   per-link latency enforcement and round pacing.
 //! * [`loopback`] — an in-process transport on the *virtual* clock. A
@@ -43,6 +47,7 @@
 //! Transports merely move bytes no later than the runner needs them.
 
 pub mod conn;
+pub mod delta;
 pub mod error;
 pub mod loopback;
 pub mod reactor;
@@ -54,12 +59,13 @@ pub mod wire;
 pub use error::{CodecError, NetError, PeerLoss};
 pub use loopback::{LoopbackHub, LoopbackTransport};
 pub use reactor::{
-    run_reactor, run_reactor_cluster, run_reactor_with_stats, Pacing, Reactor, ReactorConfig,
-    ReactorEndpoint,
+    run_reactor, run_reactor_cluster, run_reactor_cluster_mode, run_reactor_mode_with_stats,
+    run_reactor_with_stats, Pacing, Reactor, ReactorConfig, ReactorEndpoint,
 };
 pub use runner::{
-    run_loopback, run_loopback_with_stats, NetRunner, NodeOutcome, NodeStopReason, RunView,
+    run_loopback, run_loopback_mode_with_stats, run_loopback_with_stats, NetRunner, NodeOutcome,
+    NodeStopReason, PayloadMode, RunView, WireAccounting,
 };
-pub use tcp::{run_local_cluster, TcpConfig, TcpTransport};
+pub use tcp::{run_local_cluster, run_local_cluster_mode, TcpConfig, TcpTransport};
 pub use transport::{NetEvent, Transport, TransportStats};
-pub use wire::{Frame, WirePayload, MAX_BODY};
+pub use wire::{Frame, WirePayload, CAP_DELTA, MAX_BODY};

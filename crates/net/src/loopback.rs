@@ -37,6 +37,9 @@ struct HubState {
     ready: Vec<VecDeque<Envelope>>,
     /// Per-endpoint traffic counters.
     stats: Vec<TransportStats>,
+    /// Per-endpoint advertised capability bits. Loopback has no
+    /// handshake, so the hub itself is the capability registry.
+    caps: Vec<u32>,
 }
 
 impl HubState {
@@ -73,6 +76,7 @@ impl LoopbackHub {
                 pending: BTreeMap::new(),
                 ready: (0..n).map(|_| VecDeque::new()).collect(),
                 stats: vec![TransportStats::default(); n],
+                caps: vec![0; n],
             })),
             n,
         }
@@ -107,8 +111,21 @@ impl Transport for LoopbackTransport {
         Ok(())
     }
 
+    fn set_caps(&mut self, caps: u32) {
+        self.state.borrow_mut().caps[self.node.index()] = caps;
+    }
+
+    fn peer_caps(&self, peer: NodeId) -> u32 {
+        self.state
+            .borrow()
+            .caps
+            .get(peer.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
     fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError> {
-        let bytes = frame.encode();
+        let bytes = frame.encode()?;
         let mut state = self.state.borrow_mut();
         if to.index() >= state.ready.len() {
             return Err(NetError::UnknownPeer(to));

@@ -16,6 +16,7 @@ use gossip_sim::Round;
 use latency_graph::NodeId;
 
 use crate::conn::FrameReader;
+use crate::error::CodecError;
 use crate::wire::Frame;
 
 /// Cap on recycled scratch buffers kept per connection.
@@ -80,34 +81,62 @@ impl WriteQueue {
         self.bufs.push_back(buf);
     }
 
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(buf);
+        }
+    }
+
     /// Queues a plain frame (scratch-encoded; no allocation once the
     /// pool is warm). Returns its encoded size.
-    pub(crate) fn push_frame(&mut self, frame: &Frame) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameTooLarge`] if the frame's body exceeds the
+    /// wire cap; nothing is queued.
+    pub(crate) fn push_frame(&mut self, frame: &Frame) -> Result<usize, CodecError> {
         let mut meta = self.take_buf();
         let mut payload = self.take_buf();
-        payload.extend_from_slice(frame.encode_parts(&mut meta));
+        match frame.encode_parts(&mut meta) {
+            Ok(body) => payload.extend_from_slice(body),
+            Err(e) => {
+                self.recycle(meta);
+                self.recycle(payload);
+                return Err(e);
+            }
+        }
         let size = meta.len() + payload.len();
         self.push_buf(OutBuf { meta, payload });
-        size
+        Ok(size)
     }
 
     /// Queues `inner` wrapped in a `Frame::Routed` envelope without
     /// boxing it. Returns the envelope's encoded size.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameTooLarge`] if the envelope's body exceeds the
+    /// wire cap; nothing is queued.
     pub(crate) fn push_routed(
         &mut self,
         src: NodeId,
         dst: NodeId,
         release: Round,
         inner: &Frame,
-    ) -> usize {
+    ) -> Result<usize, CodecError> {
         let mut meta = self.take_buf();
         let mut payload = self.take_buf();
-        payload.extend_from_slice(Frame::encode_routed_parts(
-            src, dst, release, inner, &mut meta,
-        ));
+        match Frame::encode_routed_parts(src, dst, release, inner, &mut meta) {
+            Ok(body) => payload.extend_from_slice(body),
+            Err(e) => {
+                self.recycle(meta);
+                self.recycle(payload);
+                return Err(e);
+            }
+        }
         let size = meta.len() + payload.len();
         self.push_buf(OutBuf { meta, payload });
-        size
+        Ok(size)
     }
 
     /// Queues pre-encoded bytes (wheel-released replies, edge backlog
@@ -251,10 +280,13 @@ mod tests {
         ];
         let mut expected = Vec::new();
         for f in &frames {
-            f.encode_into(&mut expected);
+            f.encode_into(&mut expected).expect("frame encodes");
             match f {
                 Frame::Routed { .. } => unreachable!("plain frames only"),
-                _ => assert_eq!(wq.push_frame(f), f.encode().len()),
+                _ => assert_eq!(
+                    wq.push_frame(f).expect("frame fits"),
+                    f.encode().expect("frame fits").len()
+                ),
             }
         }
         assert_eq!(wq.queued_bytes(), expected.len());
@@ -276,14 +308,15 @@ mod tests {
             round: 2,
             payload: vec![1, 2, 3],
         };
-        wq.push_frame(&f);
-        wq.push_bytes(Frame::Bye.encode());
+        wq.push_frame(&f).expect("frame fits");
+        wq.push_bytes(Frame::Bye.encode().expect("frame fits"));
         // Simulate a partial write of the front frame.
         wq.front_off = 4;
         let drained = wq.drain_encoded();
         assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0], f.encode(), "front frame restarts from byte 0");
-        assert_eq!(drained[1], Frame::Bye.encode());
+        let encoded = f.encode().expect("frame fits");
+        assert_eq!(drained[0], encoded, "front frame restarts from byte 0");
+        assert_eq!(drained[1], Frame::Bye.encode().expect("frame fits"));
         assert!(wq.is_empty());
     }
 }

@@ -59,7 +59,7 @@ use latency_graph::{Graph, NodeId};
 
 use crate::conn::{round_offset, validate_hello, Backoff};
 use crate::error::{NetError, PeerLoss};
-use crate::runner::{NetRunner, NodeOutcome, RunView};
+use crate::runner::{NetRunner, NodeOutcome, PayloadMode, RunView, WireAccounting};
 use crate::transport::{NetEvent, Transport, TransportStats};
 use crate::wire::{Frame, WirePayload};
 
@@ -141,6 +141,9 @@ struct Hosted {
     /// Peers conclusively lost (sends become silent no-ops).
     lost: BTreeSet<NodeId>,
     stats: TransportStats,
+    /// Capability bits this node advertises in its handshakes
+    /// ([`crate::wire::CAP_DELTA`]).
+    caps: u32,
     /// Cleared by endpoint shutdown; the reactor tears down when no
     /// hosted node remains active.
     active: bool,
@@ -188,6 +191,9 @@ struct Core {
     /// Inbound directed edges `(remote, hosted)` whose handshake has
     /// completed — the start barrier's inbound half.
     in_up: BTreeSet<(NodeId, NodeId)>,
+    /// Capability bits remote nodes advertised in their handshakes
+    /// (either direction; a node's caps are the same on every edge).
+    remote_caps: BTreeMap<NodeId, u32>,
     poller: Poller,
     wheel: Wheel<Timer>,
     listener: Option<TcpListener>,
@@ -249,6 +255,7 @@ impl Core {
                     staged: BTreeMap::new(),
                     lost: BTreeSet::new(),
                     stats: TransportStats::default(),
+                    caps: 0,
                     active: true,
                 },
             );
@@ -274,6 +281,7 @@ impl Core {
             peer_addrs: BTreeMap::new(),
             edges,
             in_up: BTreeSet::new(),
+            remote_caps: BTreeMap::new(),
             poller,
             wheel: Wheel::new(Instant::now(), WHEEL_GRANULARITY),
             listener: Some(listener),
@@ -408,9 +416,11 @@ impl Core {
                 to: NodeId::new(t),
                 n: self.n,
                 topology_hash: self.hash,
+                caps: 0,
             };
+            let hello_bytes = hello.encode().expect("hello frame fits");
             let mut stream = stream;
-            stream.write_all(&hello.encode()).map_err(NetError::Io)?;
+            stream.write_all(&hello_bytes).map_err(NetError::Io)?;
             stream.set_nonblocking(true).map_err(NetError::Io)?;
             let idx = self.register(Conn::new(stream, ConnKind::TrunkOut(t), EPOLLIN))?;
             self.trunk_out.push(idx);
@@ -625,6 +635,7 @@ impl Core {
             to,
             n: peer_n,
             topology_hash: peer_hash,
+            caps,
         } = *frame
         else {
             // Mirrors the blocking transport: garbage before a
@@ -650,9 +661,10 @@ impl Core {
             to: node,
             n: self.n,
             topology_hash: self.hash,
+            caps: self.hosted.get(&to).map_or(0, |h| h.caps),
         };
         if let Some(conn) = self.conns[idx].as_mut() {
-            conn.wq.push_frame(&answer);
+            conn.wq.push_frame(&answer).expect("hello frame fits");
         }
         self.mark_dirty(idx);
         let valid = validate_hello(frame, self.n, self.hash).is_ok()
@@ -664,6 +676,7 @@ impl Core {
             if valid {
                 conn.kind = ConnKind::PeerIn { from: node, to };
                 self.in_up.insert((node, to));
+                self.remote_caps.insert(node, caps);
             } else {
                 // Let the answer flush, then close.
                 conn.kind = ConnKind::Closing;
@@ -681,7 +694,8 @@ impl Core {
         frame: &Frame,
     ) -> Result<(), NetError> {
         match validate_hello(frame, self.n, self.hash) {
-            Ok((node, addressed)) if node == to && addressed == from => {
+            Ok((node, addressed, caps)) if node == to && addressed == from => {
+                self.remote_caps.insert(node, caps);
                 if let Some(conn) = self.conns[idx].as_mut() {
                     conn.kind = ConnKind::PeerOut { from, to };
                 }
@@ -699,7 +713,7 @@ impl Core {
                 }
                 Ok(())
             }
-            Ok((node, _)) => {
+            Ok((node, _, _)) => {
                 // Wrong peer behind the address: conclusive, like a
                 // topology mismatch.
                 self.close_conn(idx);
@@ -874,12 +888,15 @@ impl Core {
                     ConnKind::DialPending { from, to },
                     EPOLLIN | EPOLLOUT,
                 );
-                conn.wq.push_frame(&Frame::Hello {
-                    node: from,
-                    to,
-                    n: self.n,
-                    topology_hash: self.hash,
-                });
+                conn.wq
+                    .push_frame(&Frame::Hello {
+                        node: from,
+                        to,
+                        n: self.n,
+                        topology_hash: self.hash,
+                        caps: self.hosted.get(&from).map_or(0, |h| h.caps),
+                    })
+                    .expect("hello frame fits");
                 let idx = self.register(conn)?;
                 self.mark_dirty(idx);
                 if let Some(edge) = self.edges.get_mut(&(from, to)) {
@@ -933,26 +950,31 @@ impl Core {
     }
 
     /// Queues `frame` on the edge `from → to` (or its outage backlog).
-    fn send_edge(&mut self, from: NodeId, to: NodeId, frame: &Frame) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::FrameTooLarge`](crate::CodecError::FrameTooLarge)
+    /// (as a [`NetError`]) if the frame exceeds the wire cap.
+    fn send_edge(&mut self, from: NodeId, to: NodeId, frame: &Frame) -> Result<u64, NetError> {
         let Some(edge) = self.edges.get_mut(&(from, to)) else {
-            return 0;
+            return Ok(0);
         };
         if edge.lost {
-            return 0;
+            return Ok(0);
         }
         if edge.up {
             if let Some(idx) = edge.conn {
                 if let Some(conn) = self.conns[idx].as_mut() {
-                    let size = conn.wq.push_frame(frame);
+                    let size = conn.wq.push_frame(frame)?;
                     self.mark_dirty(idx);
-                    return u64::try_from(size).expect("frame size fits u64");
+                    return Ok(u64::try_from(size).expect("frame size fits u64"));
                 }
             }
         }
-        let bytes = frame.encode();
+        let bytes = frame.encode()?;
         let size = u64::try_from(bytes.len()).expect("frame size fits u64");
         edge.pending.push_back(bytes);
-        size
+        Ok(size)
     }
 
     /// Routes wheel-released (shaped) bytes to their destination.
@@ -1009,7 +1031,7 @@ impl Core {
         if hosted.lost.contains(&to) {
             return Ok(());
         }
-        let shaped = self.cfg.pacing == Pacing::Wall && matches!(frame, Frame::Reply { .. });
+        let shaped = self.cfg.pacing == Pacing::Wall && frame.is_reply();
         let to_hosted = self.hosted.contains_key(&to);
         let sent_bytes = if shaped {
             let epoch = self
@@ -1021,11 +1043,11 @@ impl Core {
                 .saturating_sub(self.cfg.round / 2);
             let bytes = if to_hosted {
                 let mut meta = Vec::new();
-                let payload = Frame::encode_routed_parts(src, to, release, frame, &mut meta);
+                let payload = Frame::encode_routed_parts(src, to, release, frame, &mut meta)?;
                 meta.extend_from_slice(payload);
                 meta
             } else {
-                frame.encode()
+                frame.encode()?
             };
             let size = u64::try_from(bytes.len()).expect("frame size fits u64");
             self.wheel.schedule(
@@ -1043,12 +1065,12 @@ impl Core {
             let Some(conn) = self.conns[idx].as_mut() else {
                 return Err(NetError::ProtocolViolation("trunk is down".to_owned()));
             };
-            let size = conn.wq.push_routed(src, to, release, frame);
+            let size = conn.wq.push_routed(src, to, release, frame)?;
             self.routed_enqueued += 1;
             self.mark_dirty(idx);
             u64::try_from(size).expect("frame size fits u64")
         } else {
-            self.send_edge(src, to, frame)
+            self.send_edge(src, to, frame)?
         };
         if let Some(hosted) = self.hosted.get_mut(&src) {
             if sent_bytes > 0 {
@@ -1271,6 +1293,22 @@ impl Transport for ReactorEndpoint {
         self.core.borrow_mut().start()
     }
 
+    fn set_caps(&mut self, caps: u32) {
+        if let Some(hosted) = self.core.borrow_mut().hosted.get_mut(&self.node) {
+            hosted.caps = caps;
+        }
+    }
+
+    fn peer_caps(&self, peer: NodeId) -> u32 {
+        let core = self.core.borrow();
+        // A hosted peer never handshakes with us (trunk traffic skips
+        // the Hello exchange), so its caps are read off its own state.
+        match core.hosted.get(&peer) {
+            Some(hosted) => hosted.caps,
+            None => core.remote_caps.get(&peer).copied().unwrap_or(0),
+        }
+    }
+
     fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError> {
         self.core
             .borrow_mut()
@@ -1317,22 +1355,46 @@ where
 /// Like [`run_reactor`] but also returns cluster-wide transport totals
 /// (the reactor rows of `bench-net`).
 ///
-/// The driver is phase-for-phase the loopback cluster driver — all
-/// `begin_round`s, the stop checks in Condition → AllDone → MaxRounds
-/// order, all `launch`es, all `settle`s — so with drain pacing the
-/// outcome equals `run_loopback` (and hence the simulator) for any
-/// deterministic-given-the-seed protocol; `tests/reactor_equivalence.rs`
-/// checks that case by case.
-///
 /// # Panics
 ///
 /// See [`run_reactor`].
 pub fn run_reactor_with_stats<P, F, S>(
     graph: &Graph,
     config: &SimConfig,
+    factory: F,
+    stop: S,
+) -> (Outcome<P>, TransportStats)
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    let (outcome, totals, _) =
+        run_reactor_mode_with_stats(graph, config, PayloadMode::Snapshot, factory, stop);
+    (outcome, totals)
+}
+
+/// Like [`run_reactor_with_stats`], with an explicit [`PayloadMode`]
+/// and the cluster-wide payload [`WireAccounting`] alongside.
+///
+/// The driver is phase-for-phase the loopback cluster driver — all
+/// `begin_round`s, the stop checks in Condition → AllDone → MaxRounds
+/// order, all `launch`es, all `settle`s — so with drain pacing the
+/// outcome equals `run_loopback` (and hence the simulator) for any
+/// deterministic-given-the-seed protocol, in either payload mode;
+/// `tests/reactor_equivalence.rs` checks that case by case.
+///
+/// # Panics
+///
+/// See [`run_reactor`].
+pub fn run_reactor_mode_with_stats<P, F, S>(
+    graph: &Graph,
+    config: &SimConfig,
+    mode: PayloadMode,
     mut factory: F,
     mut stop: S,
-) -> (Outcome<P>, TransportStats)
+) -> (Outcome<P>, TransportStats, WireAccounting)
 where
     P: Protocol,
     P::Payload: WirePayload,
@@ -1346,6 +1408,8 @@ where
     };
     let reactor = Reactor::new(graph, (0..n).map(NodeId::new), cfg)
         .unwrap_or_else(|e| panic!("reactor setup failed: {e}"));
+    // Every runner is constructed (advertising its capabilities) before
+    // any starts, so no handshake can race a capability store.
     let mut runners: Vec<NetRunner<'_, P, _>> = (0..n)
         .map(|i| {
             let node = NodeId::new(i);
@@ -1356,6 +1420,7 @@ where
                 config,
                 reactor.endpoint(node),
             )
+            .with_payload_mode(mode)
         })
         .collect();
     for r in &mut runners {
@@ -1390,15 +1455,17 @@ where
     };
     let mut metrics = SimMetrics::default();
     let mut totals = TransportStats::default();
+    let mut wire = WireAccounting::default();
     let mut nodes = Vec::with_capacity(n);
     for r in runners {
-        let (m, stats, p) = r.abort();
+        let (m, stats, acct, p) = r.abort();
         metrics.initiated += m.initiated;
         metrics.delivered += m.delivered;
         metrics.lost += m.lost;
         metrics.rejected += m.rejected;
         metrics.payload_units += m.payload_units;
         totals.absorb(&stats);
+        wire.absorb(&acct);
         nodes.push(p);
     }
     (
@@ -1410,6 +1477,7 @@ where
             nodes,
         },
         totals,
+        wire,
     )
 }
 
@@ -1436,6 +1504,44 @@ pub fn run_reactor_cluster<P, F, D, A>(
     reactor_cfg: &ReactorConfig,
     hosted: &[NodeId],
     exchange: A,
+    factory: F,
+    done: D,
+) -> Result<Vec<NodeOutcome<P>>, NetError>
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    D: Fn(&P, &RunView<'_>) -> bool,
+    A: FnOnce(&str) -> BTreeMap<NodeId, String>,
+{
+    run_reactor_cluster_mode(
+        graph,
+        config,
+        reactor_cfg,
+        hosted,
+        PayloadMode::Snapshot,
+        exchange,
+        factory,
+        done,
+    )
+}
+
+/// Like [`run_reactor_cluster`], with an explicit [`PayloadMode`]. The
+/// shard advertises [`crate::wire::CAP_DELTA`] in its handshakes only
+/// in delta mode, so shards in different modes interoperate: delta
+/// senders fall back to snapshots toward snapshot-mode peers.
+///
+/// # Errors
+///
+/// See [`run_reactor_cluster`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_reactor_cluster_mode<P, F, D, A>(
+    graph: &Graph,
+    config: &SimConfig,
+    reactor_cfg: &ReactorConfig,
+    hosted: &[NodeId],
+    mode: PayloadMode,
+    exchange: A,
     mut factory: F,
     done: D,
 ) -> Result<Vec<NodeOutcome<P>>, NetError>
@@ -1451,16 +1557,15 @@ where
     for (node, addr) in exchange(&reactor.local_addr()) {
         reactor.set_peer(node, addr);
     }
+    // Construct every runner (which advertises its capabilities) before
+    // starting any, so the first handshake already carries them.
     let mut runners: Vec<Option<NetRunner<'_, P, _>>> = hosted
         .iter()
         .map(|&u| {
-            Some(NetRunner::new(
-                graph,
-                u,
-                factory(u, n),
-                config,
-                reactor.endpoint(u),
-            ))
+            Some(
+                NetRunner::new(graph, u, factory(u, n), config, reactor.endpoint(u))
+                    .with_payload_mode(mode),
+            )
         })
         .collect();
     for r in runners.iter_mut().flatten() {

@@ -42,7 +42,7 @@ use latency_graph::{Graph, NodeId};
 use crate::error::{NetError, PeerLoss};
 use crate::loopback::LoopbackHub;
 use crate::transport::{NetEvent, Transport, TransportStats};
-use crate::wire::{Frame, WirePayload};
+use crate::wire::{Frame, WirePayload, CAP_DELTA, MAX_BODY};
 
 /// Why a self-driven [`NetRunner::run`] stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +71,8 @@ pub struct NodeOutcome<P> {
     pub losses: Vec<PeerLoss>,
     /// Transport traffic counters.
     pub stats: TransportStats,
+    /// Payload byte accounting (delta-vs-snapshot compression).
+    pub accounting: WireAccounting,
     /// Final protocol state.
     pub protocol: P,
 }
@@ -95,10 +97,133 @@ impl RunView<'_> {
     }
 }
 
-struct PendingInit {
+/// How a runner encodes exchange payloads on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Every request and reply carries a full payload snapshot.
+    #[default]
+    Snapshot,
+    /// Requests and replies prefer delta frames against per-neighbor
+    /// exchange bases, falling back to full snapshots whenever the
+    /// delta would be larger or no basis is shared. Outcome-identical
+    /// to [`PayloadMode::Snapshot`] — only the bytes on the wire (and
+    /// [`WireAccounting`]) change.
+    Delta,
+}
+
+/// Payload-level byte accounting: what a runner actually put on the
+/// wire versus what an always-snapshot run would have, over the same
+/// payload-carrying frames (requests and replies; counted send-side, so
+/// cluster totals count each frame once). Frame headers are identical
+/// across modes and excluded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireAccounting {
+    /// Payload bytes actually sent (delta or snapshot encodings).
+    pub payload_bytes: u64,
+    /// Payload bytes the same frames would have cost as snapshots.
+    pub snapshot_bytes: u64,
+    /// Payload-carrying frames sent in delta form.
+    pub delta_frames: u64,
+    /// Payload-carrying frames sent in snapshot form.
+    pub snapshot_frames: u64,
+}
+
+impl WireAccounting {
+    /// Adds `other`'s counters into `self` (for cluster-wide totals).
+    pub fn absorb(&mut self, other: &WireAccounting) {
+        self.payload_bytes += other.payload_bytes;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.delta_frames += other.delta_frames;
+        self.snapshot_frames += other.snapshot_frames;
+    }
+
+    /// Compression ratio versus always-snapshot:
+    /// `snapshot_bytes / payload_bytes` (1.0 when nothing was sent).
+    pub fn ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            1.0
+        } else {
+            self.snapshot_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+struct PendingInit<Pl> {
     peer: NodeId,
     round: Round,
     weight: u64,
+    /// The payload snapshot this request carried — retained in delta
+    /// mode only, as the decode basis for a [`Frame::ReplyDelta`] and
+    /// one half of the confirmed basis once the reply lands.
+    sent: Option<Pl>,
+}
+
+/// Per-neighbor knowledge cache for delta mode: what this node and one
+/// peer provably both hold, per directed edge. Invalidated wholesale on
+/// peer loss — a stale or missing basis only costs bytes (the snapshot
+/// fallback), never rumors.
+struct EdgeCache<Pl> {
+    /// Basis of the newest *completed* exchange we initiated toward the
+    /// peer: `(our request seq, our payload ∪ theirs)`. Our next
+    /// [`Frame::RequestDelta`] references it by `basis_seq`.
+    confirmed: Option<(u64, Pl)>,
+    /// Bases of exchanges we *answered*, keyed by the peer's request
+    /// seq; the peer's next delta request references one. Pruned to
+    /// `≥ basis_seq` whenever a request references a basis — references
+    /// are monotone because `confirmed` keeps the max seq.
+    bases: BTreeMap<u64, Pl>,
+}
+
+impl<Pl> Default for EdgeCache<Pl> {
+    fn default() -> Self {
+        EdgeCache {
+            confirmed: None,
+            bases: BTreeMap::new(),
+        }
+    }
+}
+
+/// Fixed body bytes of a snapshot `Request`/`Reply` (`seq` + `round`);
+/// a delta frame carries 8 more (`basis_seq`).
+const SNAPSHOT_FIXED: usize = 16;
+
+/// Encodes `payload` for one wire frame: the delta form when the mode,
+/// the peer's advertised capabilities, and the byte math all favor it —
+/// or when the snapshot body would exceed [`MAX_BODY`] and a delta is
+/// the frame's only way onto the wire — otherwise the plain snapshot.
+/// Returns the encoded bytes and `Some(basis_seq)` when they are a
+/// delta. Every choice lands in `acct`.
+fn encode_for_wire<Pl: WirePayload>(
+    acct: &mut WireAccounting,
+    mode: PayloadMode,
+    peer_caps: u32,
+    payload: &Pl,
+    basis: Option<(u64, &Pl)>,
+) -> (Vec<u8>, Option<u64>) {
+    let snap_len = payload.snapshot_len();
+    if mode == PayloadMode::Delta && Pl::supports_delta() && peer_caps & CAP_DELTA != 0 {
+        let (basis_seq, basis) = match basis {
+            Some((seq, b)) => (seq, Some(b)),
+            None => (0, None),
+        };
+        let mut delta = Vec::new();
+        if payload.encode_delta(basis, &mut delta) {
+            let oversized =
+                SNAPSHOT_FIXED + snap_len > usize::try_from(MAX_BODY).expect("cap fits usize");
+            if delta.len() + 8 < snap_len || oversized {
+                acct.payload_bytes += u64::try_from(delta.len()).expect("length fits u64");
+                acct.snapshot_bytes += u64::try_from(snap_len).expect("length fits u64");
+                acct.delta_frames += 1;
+                return (delta, Some(basis_seq));
+            }
+        }
+    }
+    let mut bytes = Vec::new();
+    payload.encode_payload(&mut bytes);
+    acct.payload_bytes += u64::try_from(bytes.len()).expect("length fits u64");
+    acct.snapshot_bytes += u64::try_from(snap_len).expect("length fits u64");
+    acct.snapshot_frames += 1;
+    (bytes, None)
 }
 
 struct Held<Pl> {
@@ -116,18 +241,26 @@ pub struct NetRunner<'g, P: Protocol, T: Transport> {
     transport: T,
     max_rounds: Round,
     hold: BTreeMap<Round, Vec<Held<P::Payload>>>,
-    pending: BTreeMap<u64, PendingInit>,
+    pending: BTreeMap<u64, PendingInit<P::Payload>>,
     /// Requests that arrived *before* their initiation round on our
     /// clock (possible over TCP when a peer's epoch leads ours): held
-    /// until our `on_round` of that round has run, so the reply snapshot
-    /// is taken from the state the engine would have snapshotted.
-    deferred: BTreeMap<Round, Vec<(NodeId, u64, Vec<u8>)>>,
+    /// (already decoded — delta requests must resolve their basis in
+    /// arrival order) until our `on_round` of that round has run, so the
+    /// reply snapshot is taken from the state the engine would have
+    /// snapshotted.
+    deferred: BTreeMap<Round, Vec<(NodeId, u64, P::Payload)>>,
     /// Highest request seq answered per peer. A TCP writer that
     /// reconnects mid-write re-sends its current frame, and the original
     /// may have been received after all — per-peer seqs are strictly
     /// increasing, so anything at or below this mark is a duplicate.
     answered: BTreeMap<NodeId, u64>,
     next_seq: u64,
+    /// Payload encoding mode; [`PayloadMode::Snapshot`] unless
+    /// [`with_payload_mode`](Self::with_payload_mode) switched it.
+    mode: PayloadMode,
+    /// Per-neighbor knowledge caches; populated in delta mode only.
+    knowledge: BTreeMap<NodeId, EdgeCache<P::Payload>>,
+    accounting: WireAccounting,
     metrics: SimMetrics,
     peers_done: BTreeSet<NodeId>,
     peers_gone: BTreeSet<NodeId>,
@@ -169,6 +302,9 @@ where
             deferred: BTreeMap::new(),
             answered: BTreeMap::new(),
             next_seq: 0,
+            mode: PayloadMode::Snapshot,
+            knowledge: BTreeMap::new(),
+            accounting: WireAccounting::default(),
             metrics: SimMetrics::default(),
             peers_done: BTreeSet::new(),
             peers_gone: BTreeSet::new(),
@@ -195,6 +331,30 @@ where
     /// This node's share of the cluster metrics so far.
     pub fn metrics(&self) -> SimMetrics {
         self.metrics
+    }
+
+    /// Payload byte accounting so far (see [`WireAccounting`]).
+    pub fn accounting(&self) -> WireAccounting {
+        self.accounting
+    }
+
+    /// Selects the payload encoding mode. Must be called before
+    /// [`start`](Self::start): delta mode advertises [`CAP_DELTA`]
+    /// through the transport's handshakes, which is the only time peers
+    /// learn of it. A payload type with no delta form
+    /// ([`WirePayload::supports_delta`] is `false`) silently stays in
+    /// snapshot mode.
+    #[must_use]
+    pub fn with_payload_mode(mut self, mode: PayloadMode) -> Self {
+        self.mode = if P::Payload::supports_delta() {
+            mode
+        } else {
+            PayloadMode::Snapshot
+        };
+        if self.mode == PayloadMode::Delta {
+            self.transport.set_caps(CAP_DELTA);
+        }
+        self
     }
 
     /// Brings the transport up (blocking on its start barrier) and runs
@@ -229,27 +389,43 @@ where
         }
         let payload = self.pacer.payload();
         let weight = P::payload_weight(&payload);
-        let mut bytes = Vec::new();
-        payload.encode_payload(&mut bytes);
+        let basis = self
+            .knowledge
+            .get(&init.peer)
+            .and_then(|k| k.confirmed.as_ref())
+            .map(|&(seq, ref b)| (seq, b));
+        let (bytes, delta_basis) = encode_for_wire(
+            &mut self.accounting,
+            self.mode,
+            self.transport.peer_caps(init.peer),
+            &payload,
+            basis,
+        );
         self.next_seq += 1;
         let seq = self.next_seq;
+        let frame = match delta_basis {
+            Some(basis_seq) => Frame::RequestDelta {
+                seq,
+                round,
+                basis_seq,
+                payload: bytes,
+            },
+            None => Frame::Request {
+                seq,
+                round,
+                payload: bytes,
+            },
+        };
         self.pending.insert(
             seq,
             PendingInit {
                 peer: init.peer,
                 round,
                 weight,
+                sent: (self.mode == PayloadMode::Delta).then_some(payload),
             },
         );
-        self.transport.send(
-            round,
-            init.peer,
-            &Frame::Request {
-                seq,
-                round,
-                payload: bytes,
-            },
-        )
+        self.transport.send(round, init.peer, &frame)
     }
 
     /// Phase 4b: a second, non-blocking poll of the same round, so
@@ -266,7 +442,7 @@ where
             }
             let batch = self.deferred.remove(&t).expect("first key exists");
             for (from, seq, payload) in batch {
-                self.answer_request(from, seq, t, &payload)?;
+                self.answer_request(from, seq, t, payload)?;
             }
         }
         let events = self.transport.poll(round)?;
@@ -293,6 +469,12 @@ where
         Ok(())
     }
 
+    /// Whether a request seq is a duplicate of one already answered (a
+    /// TCP writer that reconnects mid-write re-sends its current frame).
+    fn already_answered(&self, from: NodeId, seq: u64) -> bool {
+        self.answered.get(&from).is_some_and(|&hi| seq <= hi)
+    }
+
     fn ingest_frame(&mut self, now: Round, from: NodeId, frame: Frame) -> Result<(), NetError> {
         match frame {
             Frame::Request {
@@ -300,21 +482,71 @@ where
                 round,
                 payload,
             } => {
-                if round > now {
-                    self.deferred
-                        .entry(round)
-                        .or_default()
-                        .push((from, seq, payload));
-                    Ok(())
-                } else {
-                    self.answer_request(from, seq, round, &payload)
+                if self.already_answered(from, seq) {
+                    return Ok(());
                 }
+                let theirs = P::Payload::decode_payload(&payload)?;
+                self.stage_request(now, from, seq, round, theirs)
+            }
+            Frame::RequestDelta {
+                seq,
+                round,
+                basis_seq,
+                payload,
+            } => {
+                if self.mode != PayloadMode::Delta {
+                    return Err(NetError::ProtocolViolation(format!(
+                        "delta request from node {}, but this node never advertised CAP_DELTA",
+                        from.index()
+                    )));
+                }
+                if self.already_answered(from, seq) {
+                    return Ok(());
+                }
+                let basis = if basis_seq == 0 {
+                    None
+                } else {
+                    let found = self
+                        .knowledge
+                        .get(&from)
+                        .and_then(|k| k.bases.get(&basis_seq));
+                    if found.is_none() {
+                        return Err(NetError::ProtocolViolation(format!(
+                            "request {seq} from node {} references unknown basis {basis_seq}",
+                            from.index()
+                        )));
+                    }
+                    found
+                };
+                let theirs = P::Payload::decode_delta(&payload, basis)?;
+                if basis_seq != 0 {
+                    if let Some(cache) = self.knowledge.get_mut(&from) {
+                        // References are monotone (see `EdgeCache`), so
+                        // older bases are dead weight.
+                        cache.bases = cache.bases.split_off(&basis_seq);
+                    }
+                }
+                self.stage_request(now, from, seq, round, theirs)
             }
             Frame::Reply {
                 seq,
                 round,
                 payload,
-            } => self.accept_reply(from, seq, round, &payload),
+            } => self.accept_reply(from, seq, round, &payload, None),
+            Frame::ReplyDelta {
+                seq,
+                round,
+                basis_seq,
+                payload,
+            } => {
+                if self.mode != PayloadMode::Delta {
+                    return Err(NetError::ProtocolViolation(format!(
+                        "delta reply from node {}, but this node never advertised CAP_DELTA",
+                        from.index()
+                    )));
+                }
+                self.accept_reply(from, seq, round, &payload, Some(basis_seq))
+            }
             Frame::Done { .. } => {
                 self.peers_done.insert(from);
                 Ok(())
@@ -339,6 +571,27 @@ where
         }
     }
 
+    /// Routes a decoded request to its reply point: answered now, or
+    /// deferred until our clock reaches its initiation round.
+    fn stage_request(
+        &mut self,
+        now: Round,
+        from: NodeId,
+        seq: u64,
+        round: Round,
+        theirs: P::Payload,
+    ) -> Result<(), NetError> {
+        if round > now {
+            self.deferred
+                .entry(round)
+                .or_default()
+                .push((from, seq, theirs));
+            Ok(())
+        } else {
+            self.answer_request(from, seq, round, theirs)
+        }
+    }
+
     /// A peer initiated toward us at round `t`: snapshot our payload
     /// *now* (our state equals what it was after `t`'s `on_round`, which
     /// is when the engine snapshots responders), reply, and hold the
@@ -348,7 +601,7 @@ where
         from: NodeId,
         seq: u64,
         t: Round,
-        payload: &[u8],
+        theirs: P::Payload,
     ) -> Result<(), NetError> {
         let hi = self.answered.entry(from).or_insert(0);
         if seq <= *hi {
@@ -356,18 +609,37 @@ where
         }
         *hi = seq;
         let due = t + self.latency_to(from)?;
-        let theirs = P::Payload::decode_payload(payload)?;
-        let mut mine = Vec::new();
-        self.pacer.payload().encode_payload(&mut mine);
-        self.transport.send(
-            due,
-            from,
-            &Frame::Reply {
+        let mine = self.pacer.payload();
+        let (bytes, delta_basis) = encode_for_wire(
+            &mut self.accounting,
+            self.mode,
+            self.transport.peer_caps(from),
+            &mine,
+            Some((seq, &theirs)),
+        );
+        let frame = match delta_basis {
+            Some(basis_seq) => Frame::ReplyDelta {
                 seq,
                 round: t,
-                payload: mine,
+                basis_seq,
+                payload: bytes,
             },
-        )?;
+            None => Frame::Reply {
+                seq,
+                round: t,
+                payload: bytes,
+            },
+        };
+        self.transport.send(due, from, &frame)?;
+        if self.mode == PayloadMode::Delta && self.transport.peer_caps(from) & CAP_DELTA != 0 {
+            if let Some(merged) = mine.merge_basis(&theirs) {
+                self.knowledge
+                    .entry(from)
+                    .or_default()
+                    .bases
+                    .insert(seq, merged);
+            }
+        }
         self.hold.entry(due).or_default().push(Held {
             initiated_at: t,
             initiator: from,
@@ -391,6 +663,7 @@ where
         seq: u64,
         t: Round,
         payload: &[u8],
+        basis_seq: Option<u64>,
     ) -> Result<(), NetError> {
         let Some(pend) = self.pending.remove(&seq) else {
             // Duplicate (the peer answered a re-sent request twice) or a
@@ -406,9 +679,36 @@ where
             )));
         }
         let due = t + self.latency_to(from)?;
-        let theirs = P::Payload::decode_payload(payload)?;
+        let theirs = match basis_seq {
+            None => P::Payload::decode_payload(payload)?,
+            Some(0) => P::Payload::decode_delta(payload, None)?,
+            Some(b) if b == seq => {
+                let Some(sent) = pend.sent.as_ref() else {
+                    return Err(NetError::ProtocolViolation(format!(
+                        "delta reply {seq} from node {}, but the request payload was not retained",
+                        from.index()
+                    )));
+                };
+                P::Payload::decode_delta(payload, Some(sent))?
+            }
+            Some(b) => {
+                return Err(NetError::ProtocolViolation(format!(
+                    "reply {seq} references unknown basis {b}"
+                )));
+            }
+        };
         self.metrics.delivered += 1;
         self.metrics.payload_units += pend.weight + P::payload_weight(&theirs);
+        if self.mode == PayloadMode::Delta && self.transport.peer_caps(from) & CAP_DELTA != 0 {
+            if let Some(sent) = pend.sent {
+                if let Some(merged) = sent.merge_basis(&theirs) {
+                    let cache = self.knowledge.entry(from).or_default();
+                    if cache.confirmed.as_ref().is_none_or(|&(s, _)| s < seq) {
+                        cache.confirmed = Some((seq, merged));
+                    }
+                }
+            }
+        }
         let me = self.node();
         self.hold.entry(due).or_default().push(Held {
             initiated_at: t,
@@ -445,6 +745,9 @@ where
 
     fn mark_gone(&mut self, peer: NodeId) {
         self.peers_gone.insert(peer);
+        // Any shared bases died with the connection: a peer that comes
+        // back (or a late frame) must renegotiate from full snapshots.
+        self.knowledge.remove(&peer);
         // Initiations in flight toward the departed peer will never be
         // answered: count them lost, as the engine does for crashes.
         let dead: Vec<u64> = self
@@ -564,19 +867,20 @@ where
             metrics: self.metrics,
             losses: self.losses,
             stats,
+            accounting: self.accounting,
             protocol: self.pacer.into_protocol(),
         }
     }
 
     /// Tears the runner down abruptly — no goodbye frames, no barrier —
-    /// returning `(metrics, transport stats, protocol)`. The loopback
-    /// cluster driver uses this once the global stop condition holds;
-    /// the TCP fault tests use it to simulate a crash (peers observe a
-    /// dead socket, not a [`Frame::Bye`]).
-    pub fn abort(mut self) -> (SimMetrics, TransportStats, P) {
+    /// returning `(metrics, transport stats, wire accounting, protocol)`.
+    /// The loopback cluster driver uses this once the global stop
+    /// condition holds; the TCP fault tests use it to simulate a crash
+    /// (peers observe a dead socket, not a [`Frame::Bye`]).
+    pub fn abort(mut self) -> (SimMetrics, TransportStats, WireAccounting, P) {
         self.transport.shutdown();
         let stats = self.transport.stats();
-        (self.metrics, stats, self.pacer.into_protocol())
+        (self.metrics, stats, self.accounting, self.pacer.into_protocol())
     }
 }
 
@@ -615,9 +919,33 @@ where
 pub fn run_loopback_with_stats<P, F, S>(
     graph: &Graph,
     config: &SimConfig,
+    factory: F,
+    stop: S,
+) -> (Outcome<P>, TransportStats)
+where
+    P: Protocol,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    S: FnMut(&[&P], Round) -> bool,
+{
+    let (outcome, totals, _) =
+        run_loopback_mode_with_stats(graph, config, PayloadMode::Snapshot, factory, stop);
+    (outcome, totals)
+}
+
+/// Like [`run_loopback_with_stats`], with an explicit [`PayloadMode`]
+/// and the cluster-wide payload [`WireAccounting`] alongside. Delta
+/// mode reproduces snapshot mode's outcome exactly — same stop reason,
+/// round count, metrics, and final states — only the wire bytes (and
+/// hence the accounting and transport stats) differ; the equivalence
+/// suites assert this case by case.
+pub fn run_loopback_mode_with_stats<P, F, S>(
+    graph: &Graph,
+    config: &SimConfig,
+    mode: PayloadMode,
     mut factory: F,
     mut stop: S,
-) -> (Outcome<P>, TransportStats)
+) -> (Outcome<P>, TransportStats, WireAccounting)
 where
     P: Protocol,
     P::Payload: WirePayload,
@@ -630,6 +958,7 @@ where
         .map(|i| {
             let node = NodeId::new(i);
             NetRunner::new(graph, node, factory(node, n), config, hub.endpoint(node))
+                .with_payload_mode(mode)
         })
         .collect();
     for r in &mut runners {
@@ -661,15 +990,17 @@ where
     };
     let mut metrics = SimMetrics::default();
     let mut totals = TransportStats::default();
+    let mut wire = WireAccounting::default();
     let mut nodes = Vec::with_capacity(n);
     for r in runners {
-        let (m, stats, p) = r.abort();
+        let (m, stats, acct, p) = r.abort();
         metrics.initiated += m.initiated;
         metrics.delivered += m.delivered;
         metrics.lost += m.lost;
         metrics.rejected += m.rejected;
         metrics.payload_units += m.payload_units;
         totals.absorb(&stats);
+        wire.absorb(&acct);
         nodes.push(p);
     }
     (
@@ -681,5 +1012,290 @@ where
             nodes,
         },
         totals,
+        wire,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::VecDeque;
+
+    use gossip_sim::RumorSet;
+    use latency_graph::generators;
+
+    use super::*;
+    use crate::error::PeerLoss;
+
+    /// A transport the test scripts directly: `poll` drains a hand-fed
+    /// inbox, `send` records frames, and peer capabilities are whatever
+    /// the test says they are.
+    struct Scripted {
+        node: NodeId,
+        caps: BTreeMap<NodeId, u32>,
+        inbox: VecDeque<NetEvent>,
+        sent: std::rc::Rc<std::cell::RefCell<Vec<(Round, NodeId, Frame)>>>,
+    }
+
+    impl Transport for Scripted {
+        fn local(&self) -> NodeId {
+            self.node
+        }
+        fn start(&mut self) -> Result<(), NetError> {
+            Ok(())
+        }
+        fn peer_caps(&self, peer: NodeId) -> u32 {
+            self.caps.get(&peer).copied().unwrap_or(0)
+        }
+        fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError> {
+            self.sent.borrow_mut().push((release, to, frame.clone()));
+            Ok(())
+        }
+        fn poll(&mut self, _round: Round) -> Result<Vec<NetEvent>, NetError> {
+            Ok(self.inbox.drain(..).collect())
+        }
+        fn stats(&self) -> TransportStats {
+            TransportStats::default()
+        }
+        fn shutdown(&mut self) {}
+    }
+
+    /// Initiates toward neighbor 0 every round; payload is its rumor set.
+    #[derive(Clone)]
+    struct FirstNeighbor {
+        rumors: RumorSet,
+    }
+
+    impl Protocol for FirstNeighbor {
+        type Payload = RumorSet;
+        fn payload(&self) -> RumorSet {
+            self.rumors.clone()
+        }
+        fn on_round(&mut self, ctx: &mut gossip_sim::Context<'_>) {
+            ctx.initiate_nth(0);
+        }
+        fn on_exchange(
+            &mut self,
+            _ctx: &mut gossip_sim::Context<'_>,
+            x: &gossip_sim::Exchange<RumorSet>,
+        ) {
+            self.rumors.union_with(&x.payload);
+        }
+    }
+
+    type SentLog = std::rc::Rc<std::cell::RefCell<Vec<(Round, NodeId, Frame)>>>;
+
+    fn delta_runner<'g>(
+        graph: &'g Graph,
+        caps: &[(u32, u32)],
+    ) -> (NetRunner<'g, FirstNeighbor, Scripted>, SentLog) {
+        let node = NodeId::new(0);
+        let sent: SentLog = std::rc::Rc::default();
+        let transport = Scripted {
+            node,
+            caps: caps
+                .iter()
+                .map(|&(peer, c)| (NodeId::new(peer as usize), c))
+                .collect(),
+            inbox: VecDeque::new(),
+            sent: std::rc::Rc::clone(&sent),
+        };
+        let protocol = FirstNeighbor {
+            rumors: RumorSet::singleton(graph.node_count(), node),
+        };
+        let cfg = SimConfig::default();
+        let runner =
+            NetRunner::new(graph, node, protocol, &cfg, transport).with_payload_mode(PayloadMode::Delta);
+        (runner, sent)
+    }
+
+    #[test]
+    fn knowledge_cache_drives_bases_and_loss_invalidates_it() {
+        // Large enough that a sparse delta beats the 20-byte snapshot
+        // (the +8 basis_seq overhead makes tiny universes snapshot-only).
+        let g = generators::clique(128);
+        let peer = NodeId::new(1);
+        let (mut runner, sent) = delta_runner(&g, &[(1, CAP_DELTA), (2, CAP_DELTA)]);
+        runner.start().expect("start");
+
+        // Round 0: first contact has no confirmed basis — the request is
+        // a delta against the *empty* basis, i.e. full snapshot content.
+        runner.begin_round(0).expect("round 0");
+        runner.launch(0).expect("launch 0");
+        let (_, to, first) = sent.borrow().last().expect("one frame sent").clone();
+        assert_eq!(to, peer);
+        let Frame::RequestDelta {
+            seq,
+            basis_seq,
+            payload,
+            ..
+        } = first
+        else {
+            panic!("expected a delta request, got {first:?}");
+        };
+        assert_eq!(basis_seq, 0, "no cache yet: empty basis");
+        let decoded = RumorSet::decode_delta(&payload, None).expect("request decodes");
+        assert_eq!(decoded, RumorSet::singleton(128, NodeId::new(0)));
+
+        // The peer answers with its snapshot {1}, delta-coded against the
+        // request's own payload. Completing the exchange must record the
+        // confirmed basis {0, 1} for this edge.
+        let mut theirs = RumorSet::new(128);
+        theirs.insert(peer);
+        let mut reply_delta = Vec::new();
+        assert!(theirs.encode_delta(Some(&decoded), &mut reply_delta));
+        runner.transport.inbox.push_back(NetEvent::Frame {
+            from: peer,
+            frame: Frame::ReplyDelta {
+                seq,
+                round: 0,
+                basis_seq: seq,
+                payload: reply_delta,
+            },
+        });
+        runner.settle(0).expect("settle 0");
+        let confirmed = runner.knowledge[&peer]
+            .confirmed
+            .as_ref()
+            .expect("completed exchange confirms a basis");
+        assert_eq!(confirmed.0, seq);
+        let mut both = RumorSet::singleton(128, NodeId::new(0));
+        both.insert(peer);
+        assert_eq!(confirmed.1, both);
+        let no_exchange_yet = RumorSet::singleton(128, NodeId::new(0));
+        assert_eq!(
+            runner.protocol().rumors,
+            no_exchange_yet,
+            "exchange applies at its due round, not on receipt"
+        );
+
+        // Round 1: the next request toward the same peer references the
+        // confirmed basis by seq.
+        runner.begin_round(1).expect("round 1");
+        runner.launch(1).expect("launch 1");
+        let (_, _, second) = sent.borrow().last().expect("second frame").clone();
+        let Frame::RequestDelta { basis_seq, .. } = second else {
+            panic!("expected a delta request, got {second:?}");
+        };
+        assert_eq!(basis_seq, seq, "cache hit: delta against the confirmed basis");
+
+        // The transport reports the peer lost: the whole edge cache dies
+        // with the connection, and the in-flight initiation is written
+        // off as lost.
+        runner.transport.inbox.push_back(NetEvent::PeerLost(PeerLoss {
+            peer,
+            attempts: 3,
+            error: "injected".to_owned(),
+        }));
+        runner.settle(1).expect("settle 1");
+        assert!(
+            !runner.knowledge.contains_key(&peer),
+            "loss invalidates the peer's knowledge cache"
+        );
+        assert!(runner.pending.is_empty(), "in-flight request written off");
+        assert_eq!(runner.metrics.lost, 1);
+
+        // If the peer comes back (the transport re-admits it after a
+        // reconnect), nothing of the old cache survives: the next
+        // request falls back to the empty basis — full snapshot content.
+        runner.peers_gone.remove(&peer);
+        runner.begin_round(2).expect("round 2");
+        runner.launch(2).expect("launch 2");
+        let (_, to, third) = sent.borrow().last().expect("third frame").clone();
+        assert_eq!(to, peer);
+        let Frame::RequestDelta { basis_seq, .. } = third else {
+            panic!("expected a delta request, got {third:?}");
+        };
+        assert_eq!(basis_seq, 0, "reconnect renegotiates from the full snapshot");
+    }
+
+    #[test]
+    fn snapshot_peers_never_get_deltas_and_grow_no_cache() {
+        // Peer 1 never advertised CAP_DELTA: even in delta mode every
+        // frame toward it is a plain snapshot and no basis is retained.
+        let g = generators::clique(3);
+        let (mut runner, sent) = delta_runner(&g, &[(2, CAP_DELTA)]);
+        runner.start().expect("start");
+        runner.begin_round(0).expect("round 0");
+        runner.launch(0).expect("launch 0");
+        let (_, to, frame) = sent.borrow().last().expect("one frame").clone();
+        assert_eq!(to, NodeId::new(1));
+        let Frame::Request { seq, payload, .. } = frame else {
+            panic!("expected a snapshot request, got {frame:?}");
+        };
+        let mut theirs = RumorSet::new(3);
+        theirs.insert(NodeId::new(1));
+        let mut bytes = Vec::new();
+        theirs.encode_payload(&mut bytes);
+        runner.transport.inbox.push_back(NetEvent::Frame {
+            from: NodeId::new(1),
+            frame: Frame::Reply {
+                seq,
+                round: 0,
+                payload: bytes,
+            },
+        });
+        runner.settle(0).expect("settle 0");
+        assert!(
+            !runner.knowledge.contains_key(&NodeId::new(1)),
+            "no basis is cached for a snapshot-only peer"
+        );
+        let _ = RumorSet::decode_payload(&payload).expect("snapshot request decodes");
+        assert_eq!(runner.accounting.delta_frames, 0);
+        assert_eq!(runner.accounting.snapshot_frames, 1);
+    }
+
+    #[test]
+    fn unknown_basis_and_mode_mismatch_are_protocol_violations() {
+        let g = generators::clique(3);
+        let peer = NodeId::new(1);
+
+        // A delta request referencing a basis we never recorded.
+        let (mut runner, _) = delta_runner(&g, &[(1, CAP_DELTA)]);
+        runner.start().expect("start");
+        let mut delta = Vec::new();
+        assert!(RumorSet::singleton(3, peer).encode_delta(None, &mut delta));
+        runner.transport.inbox.push_back(NetEvent::Frame {
+            from: peer,
+            frame: Frame::RequestDelta {
+                seq: 1,
+                round: 0,
+                basis_seq: 99,
+                payload: delta.clone(),
+            },
+        });
+        let err = runner.begin_round(0).expect_err("unknown basis is refused");
+        assert!(
+            err.to_string().contains("unknown basis"),
+            "unexpected error: {err}"
+        );
+
+        // A delta frame at a node that never advertised CAP_DELTA.
+        let node = NodeId::new(0);
+        let transport = Scripted {
+            node,
+            caps: BTreeMap::new(),
+            inbox: VecDeque::from([NetEvent::Frame {
+                from: peer,
+                frame: Frame::RequestDelta {
+                    seq: 1,
+                    round: 0,
+                    basis_seq: 0,
+                    payload: delta,
+                },
+            }]),
+            sent: std::rc::Rc::default(),
+        };
+        let protocol = FirstNeighbor {
+            rumors: RumorSet::singleton(3, node),
+        };
+        let cfg = SimConfig::default();
+        let mut snapshot_runner = NetRunner::new(&g, node, protocol, &cfg, transport);
+        let err = snapshot_runner
+            .begin_round(0)
+            .expect_err("delta frame at a snapshot-mode node is refused");
+        assert!(
+            err.to_string().contains("CAP_DELTA"),
+            "unexpected error: {err}"
+        );
+    }
 }

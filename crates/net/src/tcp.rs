@@ -37,7 +37,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -48,7 +48,7 @@ use latency_graph::{Graph, NodeId};
 
 use crate::conn::{read_frame, round_offset, validate_hello, Backoff, FrameReader};
 use crate::error::{NetError, PeerLoss};
-use crate::runner::{NetRunner, NodeOutcome, RunView};
+use crate::runner::{NetRunner, NodeOutcome, PayloadMode, RunView};
 use crate::transport::{NetEvent, Transport, TransportStats};
 use crate::wire::{Frame, WirePayload};
 
@@ -123,6 +123,11 @@ struct Shared {
     shutdown: AtomicBool,
     stats: StatsAtomics,
     events: Sender<PeerEvent>,
+    /// Capability bits this endpoint advertises in every `Hello`.
+    caps: AtomicU32,
+    /// Capability bits observed from each peer's `Hello` (dialer answer
+    /// or inbound handshake), whichever arrived last.
+    peer_caps: Mutex<BTreeMap<NodeId, u32>>,
     /// Inbound sockets, registered so `shutdown` can unblock readers.
     inbound: Mutex<Vec<TcpStream>>,
     /// Interruptible-sleep pair for reconnect backoffs: `shutdown()`
@@ -140,12 +145,14 @@ impl Shared {
             to,
             n: self.n,
             topology_hash: self.topology_hash,
+            caps: self.caps.load(Ordering::Relaxed),
         }
     }
 
-    /// Validates a peer's handshake; returns the peer id.
+    /// Validates a peer's handshake, recording the capability bits it
+    /// advertised; returns the peer id.
     fn check_hello(&self, frame: &Frame, expect: Option<NodeId>) -> Result<NodeId, String> {
-        let (node, to) = validate_hello(frame, self.n, self.topology_hash)?;
+        let (node, to, caps) = validate_hello(frame, self.n, self.topology_hash)?;
         if to != self.local {
             return Err(format!(
                 "peer {} addressed node {}, but this is node {}",
@@ -164,6 +171,9 @@ impl Shared {
             }
         } else if !self.neighbors.contains(&node) {
             return Err(format!("node {} is not a neighbor", node.index()));
+        }
+        if let Ok(mut observed) = self.peer_caps.lock() {
+            observed.insert(node, caps);
         }
         Ok(node)
     }
@@ -239,6 +249,8 @@ impl TcpTransport {
             shutdown: AtomicBool::new(false),
             stats: StatsAtomics::default(),
             events: events_tx,
+            caps: AtomicU32::new(0),
+            peer_caps: Mutex::new(BTreeMap::new()),
             inbound: Mutex::new(Vec::new()),
             stop: Mutex::new(false),
             stopped: Condvar::new(),
@@ -349,6 +361,18 @@ impl Transport for TcpTransport {
         self.shared.local
     }
 
+    fn set_caps(&mut self, caps: u32) {
+        self.shared.caps.store(caps, Ordering::Relaxed);
+    }
+
+    fn peer_caps(&self, peer: NodeId) -> u32 {
+        self.shared
+            .peer_caps
+            .lock()
+            .map(|observed| observed.get(&peer).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
     fn start(&mut self) -> Result<(), NetError> {
         let listener = self
             .listener
@@ -442,7 +466,7 @@ impl Transport for TcpTransport {
         if self.lost.contains(&to) {
             return Ok(());
         }
-        let deadline = if matches!(frame, Frame::Reply { .. }) {
+        let deadline = if frame.is_reply() {
             // Half a round before the receiver needs it (see module
             // docs); requests and control frames go out immediately.
             let epoch = self
@@ -454,7 +478,7 @@ impl Transport for TcpTransport {
         } else {
             None
         };
-        let bytes = frame.encode();
+        let bytes = frame.encode()?;
         if let Some(outbox) = self.outboxes.get(&to) {
             // A send error means the writer exited after reporting the
             // peer lost; the loss event is (or will be) in the queue.
@@ -533,7 +557,9 @@ fn inbound_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Answer with our own Hello *before* validating, so a mismatched
     // dialer can read it, diagnose the topology difference on its side,
     // and fail fast instead of retrying a hopeless connection.
-    if stream.write_all(&shared.hello(dialer).encode()).is_err() {
+    // A Hello body is 24 bytes; encoding cannot hit the size cap.
+    let answer = shared.hello(dialer).encode().expect("hello frame fits");
+    if stream.write_all(&answer).is_err() {
         return;
     }
     let Ok(peer) = shared.check_hello(&first, None) else {
@@ -618,9 +644,8 @@ fn try_dial(
     stream
         .set_read_timeout(Some(config.connect_timeout))
         .map_err(DialError::Io)?;
-    stream
-        .write_all(&shared.hello(peer).encode())
-        .map_err(DialError::Io)?;
+    let hello = shared.hello(peer).encode().expect("hello frame fits");
+    stream.write_all(&hello).map_err(DialError::Io)?;
     let mut buf = FrameReader::new();
     let answer = read_frame(&mut stream, &mut buf).map_err(DialError::Io)?;
     let Some((frame, _)) = answer else {
@@ -735,6 +760,34 @@ pub fn run_local_cluster<P, F, D>(
     graph: &Graph,
     config: &SimConfig,
     tcp: &TcpConfig,
+    factory: F,
+    done: D,
+) -> Result<Vec<NodeOutcome<P>>, NetError>
+where
+    P: Protocol + Send,
+    P::Payload: Send,
+    P::Payload: WirePayload,
+    F: FnMut(NodeId, usize) -> P,
+    D: Fn(&P, &RunView<'_>) -> bool + Sync,
+{
+    run_local_cluster_mode(graph, config, tcp, PayloadMode::Snapshot, factory, done)
+}
+
+/// Like [`run_local_cluster`], with an explicit [`PayloadMode`].
+///
+/// In delta mode every transport advertises
+/// [`CAP_DELTA`](crate::wire::CAP_DELTA) *before* any node thread is
+/// spawned, so no handshake — however early a peer dials — can miss the
+/// capability bits.
+///
+/// # Panics
+///
+/// See [`run_local_cluster`].
+pub fn run_local_cluster_mode<P, F, D>(
+    graph: &Graph,
+    config: &SimConfig,
+    tcp: &TcpConfig,
+    mode: PayloadMode,
     mut factory: F,
     done: D,
 ) -> Result<Vec<NodeOutcome<P>>, NetError>
@@ -752,6 +805,11 @@ where
         let mut cfg = tcp.clone();
         cfg.listen = "127.0.0.1:0".to_owned();
         transports.push(TcpTransport::for_graph(graph, node, cfg)?);
+    }
+    if mode == PayloadMode::Delta && P::Payload::supports_delta() {
+        for t in &mut transports {
+            t.set_caps(crate::wire::CAP_DELTA);
+        }
     }
     let addrs: Vec<String> = transports.iter().map(TcpTransport::local_addr).collect();
     for (i, t) in transports.iter_mut().enumerate() {
@@ -772,7 +830,9 @@ where
                 .name(format!("node-{i}"))
                 .stack_size(256 * 1024)
                 .spawn_scoped(s, move || {
-                    NetRunner::new(graph, node, protocol, config, transport).run(done)
+                    NetRunner::new(graph, node, protocol, config, transport)
+                        .with_payload_mode(mode)
+                        .run(done)
                 })
                 .expect("spawn node thread");
             handles.push(handle);

@@ -80,6 +80,23 @@ pub trait Transport {
     /// Brings the transport up; blocks until the start barrier holds.
     fn start(&mut self) -> Result<(), NetError>;
 
+    /// Advertises capability bits ([`CAP_DELTA`], …) to peers: they
+    /// travel in every subsequent handshake this endpoint sends. Must
+    /// be called before [`start`](Transport::start) so every peer sees
+    /// them. The default discards them — a transport that never
+    /// handshakes (loopback) overrides this with its own registry.
+    ///
+    /// [`CAP_DELTA`]: crate::wire::CAP_DELTA
+    fn set_caps(&mut self, _caps: u32) {}
+
+    /// The capability bits `peer` advertised to this endpoint, or 0
+    /// when unknown (handshake not yet observed). Capabilities only
+    /// ever gate frame *encodings*, never outcomes, so a stale 0 is
+    /// always safe — it merely forces the snapshot fallback.
+    fn peer_caps(&self, _peer: NodeId) -> u32 {
+        0
+    }
+
     /// Queues `frame` for `to`, observable in `to`'s poll of round
     /// `release` at the earliest.
     fn send(&mut self, release: Round, to: NodeId, frame: &Frame) -> Result<(), NetError>;

@@ -19,7 +19,7 @@
 //! for — which is what makes the stream-reassembly loop in the TCP
 //! reader a two-line match.
 
-use gossip_sim::{Round, RumorSet, SharedRumorSet};
+use gossip_sim::{CompactRumorSet, Round, RumorSet, SharedRumorSet};
 use latency_graph::NodeId;
 
 use crate::error::CodecError;
@@ -28,12 +28,22 @@ use crate::error::CodecError;
 pub const MAGIC: u8 = 0xA7;
 /// Wire protocol version. Version 2 added the `to` field in
 /// [`Frame::Hello`] (so one listener can accept connections for many
-/// hosted nodes) and the [`Frame::Routed`] trunk envelope.
-pub const VERSION: u8 = 2;
+/// hosted nodes) and the [`Frame::Routed`] trunk envelope. Version 3
+/// added the `caps` capability bits to [`Frame::Hello`] and the
+/// [`Frame::RequestDelta`]/[`Frame::ReplyDelta`] kinds.
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Maximum body length the codec will emit or accept (1 MiB).
 pub const MAX_BODY: u32 = 1 << 20;
+
+/// Capability bit in [`Frame::Hello::caps`]: the sender runs in delta
+/// payload mode — it maintains per-neighbor exchange bases, may send
+/// [`Frame::RequestDelta`]/[`Frame::ReplyDelta`], and can decode them.
+/// A sender must never emit a delta frame toward a peer that did not
+/// advertise this bit; unknown bits are ignored, so a stale or missing
+/// capability only costs bytes (snapshot fallback), never rumors.
+pub const CAP_DELTA: u32 = 1;
 
 const KIND_HELLO: u8 = 0;
 const KIND_REQUEST: u8 = 1;
@@ -41,6 +51,8 @@ const KIND_REPLY: u8 = 2;
 const KIND_DONE: u8 = 3;
 const KIND_BYE: u8 = 4;
 const KIND_ROUTED: u8 = 5;
+const KIND_REQUEST_DELTA: u8 = 6;
+const KIND_REPLY_DELTA: u8 = 7;
 
 /// Body bytes of a [`Frame::Routed`] envelope before the inner frame:
 /// `src` (u32) + `dst` (u32) + `release` (u64).
@@ -70,6 +82,9 @@ pub enum Frame {
         n: u32,
         /// [`latency_graph::Graph::topology_hash`] of the sender's graph.
         topology_hash: u64,
+        /// Capability bits ([`CAP_DELTA`], …). Unknown bits are ignored
+        /// by receivers, so new capabilities stay wire-compatible.
+        caps: u32,
     },
     /// An exchange initiation: "here is my payload snapshot, taken at
     /// `round`; send me yours". `seq` is unique per initiator and echoed
@@ -102,6 +117,38 @@ pub enum Frame {
     /// The sender is exiting; no further frames will follow. Initiations
     /// toward a departed peer are counted lost, not sent.
     Bye,
+    /// A delta-coded exchange initiation: like [`Frame::Request`], but
+    /// the payload bytes are a delta against a basis both sides can
+    /// reconstruct. `basis_seq` names the completed exchange whose
+    /// union is the basis (the sender's sequence number), or 0 for the
+    /// empty basis. Only valid toward a peer that advertised
+    /// [`CAP_DELTA`].
+    RequestDelta {
+        /// Initiator-local sequence number.
+        seq: u64,
+        /// The round the exchange was initiated.
+        round: Round,
+        /// Sequence number of the completed exchange whose merged
+        /// payload is the delta basis; 0 means the empty basis.
+        basis_seq: u64,
+        /// Delta-encoded payload snapshot.
+        payload: Vec<u8>,
+    },
+    /// The delta-coded responder half: like [`Frame::Reply`], but the
+    /// payload is a delta against the *request's own payload*
+    /// (`basis_seq` echoes the request `seq`) or the empty basis
+    /// (`basis_seq` 0) — both of which the initiator holds.
+    ReplyDelta {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Echo of the request's initiation round.
+        round: Round,
+        /// `seq` when the basis is the request's decoded payload, 0 for
+        /// the empty basis.
+        basis_seq: u64,
+        /// Delta-encoded payload snapshot.
+        payload: Vec<u8>,
+    },
     /// A trunk envelope: one hop of a multiplexed connection carrying
     /// traffic for many `(src, dst)` node pairs (the reactor's
     /// self-connections). `release` echoes the release round the sender
@@ -129,36 +176,54 @@ impl Frame {
             Frame::Done { .. } => KIND_DONE,
             Frame::Bye => KIND_BYE,
             Frame::Routed { .. } => KIND_ROUTED,
+            Frame::RequestDelta { .. } => KIND_REQUEST_DELTA,
+            Frame::ReplyDelta { .. } => KIND_REPLY_DELTA,
         }
     }
 
     /// Exact body length of the frame's encoding, in bytes.
     fn body_len(&self) -> usize {
         match self {
-            Frame::Hello { .. } => 20,
+            Frame::Hello { .. } => 24,
             Frame::Request { payload, .. } | Frame::Reply { payload, .. } => 16 + payload.len(),
+            Frame::RequestDelta { payload, .. } | Frame::ReplyDelta { payload, .. } => {
+                24 + payload.len()
+            }
             Frame::Done { .. } => 8,
             Frame::Bye => 0,
             Frame::Routed { inner, .. } => ROUTED_PREFIX + HEADER_LEN + inner.body_len(),
         }
     }
 
+    /// Whether this frame is a responder half of an exchange
+    /// ([`Frame::Reply`] or [`Frame::ReplyDelta`]) — the kinds the
+    /// wall-pacing transports shape by release round.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, Frame::Reply { .. } | Frame::ReplyDelta { .. })
+    }
+
     /// Serializes the frame, appending to `out`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the body would exceed [`MAX_BODY`] — payloads that
-    /// large indicate a protocol bug, not an I/O condition.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let payload = self.parts_into(out);
+    /// Returns [`CodecError::FrameTooLarge`] if the body would exceed
+    /// [`MAX_BODY`]; in that case nothing is appended to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        let payload = self.parts_into(out)?;
         out.extend_from_slice(payload);
+        Ok(())
     }
 
     /// Serializes the frame into a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameTooLarge`] if the body would exceed
+    /// [`MAX_BODY`].
+    pub fn encode(&self) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.encode_into(&mut out);
-        out
+        self.encode_into(&mut out)?;
+        Ok(out)
     }
 
     /// Split encoding for vectored I/O: clears `meta`, writes the header
@@ -168,13 +233,13 @@ impl Frame {
     /// but a sender that keeps `meta` as a per-connection scratch buffer
     /// allocates nothing per frame and never copies the payload.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the body would exceed [`MAX_BODY`], like [`encode_into`].
+    /// Returns [`CodecError::FrameTooLarge`] if the body would exceed
+    /// [`MAX_BODY`]; `meta` is left cleared in that case.
     ///
     /// [`encode`]: Frame::encode
-    /// [`encode_into`]: Frame::encode_into
-    pub fn encode_parts<'f>(&'f self, meta: &mut Vec<u8>) -> &'f [u8] {
+    pub fn encode_parts<'f>(&'f self, meta: &mut Vec<u8>) -> Result<&'f [u8], CodecError> {
         meta.clear();
         self.parts_into(meta)
     }
@@ -186,24 +251,29 @@ impl Frame {
     /// after it. This is the reactor's send path: one scratch buffer,
     /// zero allocation, zero payload copies per trunk frame.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameTooLarge`] if the enveloped body
+    /// would exceed [`MAX_BODY`]; `meta` is left cleared in that case.
+    ///
     /// # Panics
     ///
     /// Panics if `inner` is itself [`Frame::Routed`] (envelopes never
-    /// nest) or the body would exceed [`MAX_BODY`].
+    /// nest).
     pub fn encode_routed_parts<'f>(
         src: NodeId,
         dst: NodeId,
         release: Round,
         inner: &'f Frame,
         meta: &mut Vec<u8>,
-    ) -> &'f [u8] {
+    ) -> Result<&'f [u8], CodecError> {
         assert!(
             !matches!(inner, Frame::Routed { .. }),
             "routed envelopes never nest"
         );
         meta.clear();
         let body_len = ROUTED_PREFIX + HEADER_LEN + inner.body_len();
-        push_header(meta, KIND_ROUTED, body_len);
+        push_header(meta, KIND_ROUTED, body_len)?;
         meta.extend_from_slice(&u32::from(src).to_le_bytes());
         meta.extend_from_slice(&u32::from(dst).to_le_bytes());
         meta.extend_from_slice(&release.to_le_bytes());
@@ -211,20 +281,24 @@ impl Frame {
     }
 
     /// Appends the header and fixed fields to `meta` (without clearing)
-    /// and returns the trailing payload slice.
-    fn parts_into<'f>(&'f self, meta: &mut Vec<u8>) -> &'f [u8] {
-        push_header(meta, self.kind(), self.body_len());
-        match self {
+    /// and returns the trailing payload slice. Errors with
+    /// [`CodecError::FrameTooLarge`] before writing anything if the
+    /// body would exceed [`MAX_BODY`].
+    fn parts_into<'f>(&'f self, meta: &mut Vec<u8>) -> Result<&'f [u8], CodecError> {
+        push_header(meta, self.kind(), self.body_len())?;
+        Ok(match self {
             Frame::Hello {
                 node,
                 to,
                 n,
                 topology_hash,
+                caps,
             } => {
                 meta.extend_from_slice(&u32::from(*node).to_le_bytes());
                 meta.extend_from_slice(&u32::from(*to).to_le_bytes());
                 meta.extend_from_slice(&n.to_le_bytes());
                 meta.extend_from_slice(&topology_hash.to_le_bytes());
+                meta.extend_from_slice(&caps.to_le_bytes());
                 &[]
             }
             Frame::Request {
@@ -239,6 +313,23 @@ impl Frame {
             } => {
                 meta.extend_from_slice(&seq.to_le_bytes());
                 meta.extend_from_slice(&round.to_le_bytes());
+                payload
+            }
+            Frame::RequestDelta {
+                seq,
+                round,
+                basis_seq,
+                payload,
+            }
+            | Frame::ReplyDelta {
+                seq,
+                round,
+                basis_seq,
+                payload,
+            } => {
+                meta.extend_from_slice(&seq.to_le_bytes());
+                meta.extend_from_slice(&round.to_le_bytes());
+                meta.extend_from_slice(&basis_seq.to_le_bytes());
                 payload
             }
             Frame::Done { round } => {
@@ -259,9 +350,9 @@ impl Frame {
                 meta.extend_from_slice(&u32::from(*src).to_le_bytes());
                 meta.extend_from_slice(&u32::from(*dst).to_le_bytes());
                 meta.extend_from_slice(&release.to_le_bytes());
-                inner.parts_into(meta)
+                inner.parts_into(meta)?
             }
-        }
+        })
     }
 
     /// Decodes one frame from the front of `buf`, returning the frame
@@ -315,11 +406,34 @@ impl Frame {
                 let to = NodeId::from(body.u32()?);
                 let n = body.u32()?;
                 let topology_hash = body.u64()?;
+                let caps = body.u32()?;
                 Frame::Hello {
                     node,
                     to,
                     n,
                     topology_hash,
+                    caps,
+                }
+            }
+            KIND_REQUEST_DELTA | KIND_REPLY_DELTA => {
+                let seq = body.u64()?;
+                let round = body.u64()?;
+                let basis_seq = body.u64()?;
+                let payload = body.rest().to_vec();
+                if kind == KIND_REQUEST_DELTA {
+                    Frame::RequestDelta {
+                        seq,
+                        round,
+                        basis_seq,
+                        payload,
+                    }
+                } else {
+                    Frame::ReplyDelta {
+                        seq,
+                        round,
+                        basis_seq,
+                        payload,
+                    }
                 }
             }
             KIND_REQUEST | KIND_REPLY => {
@@ -374,17 +488,20 @@ impl Frame {
     }
 }
 
-/// Appends an 8-byte frame header for `kind` with `body_len` body bytes.
-///
-/// # Panics
-///
-/// Panics if the body would exceed [`MAX_BODY`] — payloads that large
-/// indicate a protocol bug, not an I/O condition.
-fn push_header(out: &mut Vec<u8>, kind: u8, body_len: usize) {
-    let body_len = u32::try_from(body_len).expect("frame body fits u32");
-    assert!(body_len <= MAX_BODY, "frame body exceeds MAX_BODY");
+/// Appends an 8-byte frame header for `kind` with `body_len` body
+/// bytes, refusing with [`CodecError::FrameTooLarge`] (writing nothing)
+/// if the body exceeds [`MAX_BODY`].
+fn push_header(out: &mut Vec<u8>, kind: u8, body_len: usize) -> Result<(), CodecError> {
+    let encoded = u32::try_from(body_len)
+        .ok()
+        .filter(|&len| len <= MAX_BODY)
+        .ok_or(CodecError::FrameTooLarge {
+            len: body_len,
+            max: MAX_BODY,
+        })?;
     out.extend_from_slice(&[MAGIC, VERSION, kind, 0]);
-    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(&encoded.to_le_bytes());
+    Ok(())
 }
 
 /// Cursor over a frame body; every read is bounds-checked.
@@ -453,6 +570,50 @@ pub trait WirePayload: Sized {
     /// [`encode_payload`](WirePayload::encode_payload). Malformed input
     /// yields a typed error, never a panic.
     fn decode_payload(bytes: &[u8]) -> Result<Self, CodecError>;
+
+    /// Whether this payload type has a delta encoding. A runner only
+    /// advertises [`CAP_DELTA`] (and only maintains per-neighbor bases)
+    /// when this is `true`. Defaults to `false`: payload types without
+    /// a delta form ride along unchanged.
+    fn supports_delta() -> bool {
+        false
+    }
+
+    /// Appends a delta encoding of `self` relative to `basis` (`None`
+    /// is the empty basis) to `out`, returning `true` if one was
+    /// written. Decoding the delta against the same basis must
+    /// reconstruct `self` *exactly* — delta frames carry full snapshot
+    /// semantics, just fewer bytes. The default writes nothing and
+    /// returns `false`.
+    fn encode_delta(&self, _basis: Option<&Self>, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Reconstructs the exact snapshot from a delta produced by
+    /// [`encode_delta`](WirePayload::encode_delta) against the same
+    /// basis. Malformed input yields a typed error, never a panic.
+    fn decode_delta(_bytes: &[u8], _basis: Option<&Self>) -> Result<Self, CodecError> {
+        Err(CodecError::BadBody("payload type has no delta form"))
+    }
+
+    /// Combines the two halves of a completed exchange into the basis
+    /// both sides agree on (for rumor sets: the union). `None` means
+    /// the type cannot form bases and the knowledge cache stays empty.
+    fn merge_basis(&self, _other: &Self) -> Option<Self> {
+        None
+    }
+
+    /// Exact byte length [`encode_payload`] would produce — the
+    /// "snapshot-equivalent" size delta accounting compares against.
+    /// The default encodes into a scratch buffer; implementors with a
+    /// closed-form size should override it.
+    ///
+    /// [`encode_payload`]: WirePayload::encode_payload
+    fn snapshot_len(&self) -> usize {
+        let mut scratch = Vec::new();
+        self.encode_payload(&mut scratch);
+        scratch.len()
+    }
 }
 
 impl WirePayload for RumorSet {
@@ -477,6 +638,33 @@ impl WirePayload for RumorSet {
             "rumor words inconsistent with universe",
         ))
     }
+
+    fn supports_delta() -> bool {
+        true
+    }
+
+    fn encode_delta(&self, basis: Option<&RumorSet>, out: &mut Vec<u8>) -> bool {
+        let delta = match basis {
+            Some(b) => self.diff(b),
+            None => CompactRumorSet::from_set(self),
+        };
+        crate::delta::encode_rumor_delta(&delta, out);
+        true
+    }
+
+    fn decode_delta(bytes: &[u8], basis: Option<&RumorSet>) -> Result<RumorSet, CodecError> {
+        crate::delta::decode_rumor_delta(bytes, basis)
+    }
+
+    fn merge_basis(&self, other: &RumorSet) -> Option<RumorSet> {
+        let mut merged = self.clone();
+        merged.union_with(other);
+        Some(merged)
+    }
+
+    fn snapshot_len(&self) -> usize {
+        4 + 8 * self.universe().div_ceil(64)
+    }
 }
 
 impl WirePayload for SharedRumorSet {
@@ -487,6 +675,29 @@ impl WirePayload for SharedRumorSet {
 
     fn decode_payload(bytes: &[u8]) -> Result<SharedRumorSet, CodecError> {
         RumorSet::decode_payload(bytes).map(SharedRumorSet::from)
+    }
+
+    fn supports_delta() -> bool {
+        true
+    }
+
+    fn encode_delta(&self, basis: Option<&SharedRumorSet>, out: &mut Vec<u8>) -> bool {
+        let set: &RumorSet = self;
+        set.encode_delta(basis.map(|b| &**b), out)
+    }
+
+    fn decode_delta(bytes: &[u8], basis: Option<&SharedRumorSet>) -> Result<Self, CodecError> {
+        RumorSet::decode_delta(bytes, basis.map(|b| &**b)).map(SharedRumorSet::from)
+    }
+
+    fn merge_basis(&self, other: &SharedRumorSet) -> Option<SharedRumorSet> {
+        let mut merged = self.clone();
+        merged.union_with(other);
+        Some(merged)
+    }
+
+    fn snapshot_len(&self) -> usize {
+        4 + 8 * self.universe().div_ceil(64)
     }
 }
 
@@ -501,6 +712,7 @@ mod tests {
                 to: NodeId::new(9),
                 n: 64,
                 topology_hash: 0xDEAD_BEEF_CAFE_F00D,
+                caps: CAP_DELTA,
             },
             Frame::Request {
                 seq: 1,
@@ -514,6 +726,18 @@ mod tests {
             },
             Frame::Done { round: 7 },
             Frame::Bye,
+            Frame::RequestDelta {
+                seq: 2,
+                round: 3,
+                basis_seq: 0,
+                payload: vec![9, 9],
+            },
+            Frame::ReplyDelta {
+                seq: 2,
+                round: 3,
+                basis_seq: 2,
+                payload: vec![],
+            },
             Frame::Routed {
                 src: NodeId::new(11),
                 dst: NodeId::new(4),
@@ -530,7 +754,7 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         for frame in frames() {
-            let bytes = frame.encode();
+            let bytes = frame.encode().expect("frame encodes");
             let (back, used) = Frame::decode(&bytes).expect("round trip decodes");
             assert_eq!(back, frame);
             assert_eq!(used, bytes.len());
@@ -541,7 +765,7 @@ mod tests {
     fn stream_of_frames_reassembles() {
         let mut stream = Vec::new();
         for frame in frames() {
-            frame.encode_into(&mut stream);
+            frame.encode_into(&mut stream).expect("frame encodes");
         }
         let mut at = 0;
         let mut seen = Vec::new();
@@ -555,7 +779,7 @@ mod tests {
 
     #[test]
     fn truncated_says_how_much_more() {
-        let bytes = Frame::Done { round: 9 }.encode();
+        let bytes = Frame::Done { round: 9 }.encode().expect("frame encodes");
         for cut in 0..bytes.len() {
             let err = Frame::decode(&bytes[..cut]).expect_err("partial frame rejected");
             let CodecError::Truncated { need, have } = err else {
@@ -569,13 +793,13 @@ mod tests {
     #[test]
     fn garbage_is_typed_not_panicking() {
         assert_eq!(Frame::decode(&[0x00; 16]), Err(CodecError::BadMagic(0x00)));
-        let mut bad_version = Frame::Bye.encode();
+        let mut bad_version = Frame::Bye.encode().expect("frame encodes");
         bad_version[1] = 9;
         assert_eq!(Frame::decode(&bad_version), Err(CodecError::BadVersion(9)));
-        let mut bad_kind = Frame::Bye.encode();
+        let mut bad_kind = Frame::Bye.encode().expect("frame encodes");
         bad_kind[2] = 77;
         assert_eq!(Frame::decode(&bad_kind), Err(CodecError::UnknownKind(77)));
-        let mut oversized = Frame::Bye.encode();
+        let mut oversized = Frame::Bye.encode().expect("frame encodes");
         oversized[4..8].copy_from_slice(&(MAX_BODY + 1).to_le_bytes());
         assert_eq!(
             Frame::decode(&oversized),
@@ -584,7 +808,7 @@ mod tests {
                 max: MAX_BODY
             })
         );
-        let mut flagged = Frame::Bye.encode();
+        let mut flagged = Frame::Bye.encode().expect("frame encodes");
         flagged[3] = 1;
         assert!(matches!(
             Frame::decode(&flagged),
@@ -608,10 +832,14 @@ mod tests {
     fn encode_parts_matches_encode() {
         let mut meta = Vec::new();
         for frame in frames() {
-            let payload = frame.encode_parts(&mut meta);
+            let payload = frame.encode_parts(&mut meta).expect("frame encodes");
             let mut stitched = meta.clone();
             stitched.extend_from_slice(payload);
-            assert_eq!(stitched, frame.encode(), "parts differ for {frame:?}");
+            assert_eq!(
+                stitched,
+                frame.encode().expect("frame encodes"),
+                "parts differ for {frame:?}"
+            );
         }
     }
 
@@ -624,7 +852,8 @@ mod tests {
         };
         let mut meta = Vec::new();
         let payload =
-            Frame::encode_routed_parts(NodeId::new(1), NodeId::new(2), 9, &inner, &mut meta);
+            Frame::encode_routed_parts(NodeId::new(1), NodeId::new(2), 9, &inner, &mut meta)
+                .expect("routed frame encodes");
         let mut stitched = meta.clone();
         stitched.extend_from_slice(payload);
         let boxed = Frame::Routed {
@@ -633,7 +862,7 @@ mod tests {
             release: 9,
             inner: Box::new(inner),
         };
-        assert_eq!(stitched, boxed.encode());
+        assert_eq!(stitched, boxed.encode().expect("frame encodes"));
         let (back, used) = Frame::decode(&stitched).expect("routed decodes");
         assert_eq!(back, boxed);
         assert_eq!(used, stitched.len());
@@ -647,10 +876,10 @@ mod tests {
             release: 0,
             inner: Box::new(Frame::Bye),
         };
-        let mut bytes = once.encode();
+        let mut bytes = once.encode().expect("frame encodes");
         // Hand-build a twice-wrapped envelope; the decoder must refuse.
         let mut outer = Vec::new();
-        push_header(&mut outer, KIND_ROUTED, ROUTED_PREFIX + bytes.len());
+        push_header(&mut outer, KIND_ROUTED, ROUTED_PREFIX + bytes.len()).expect("header fits");
         outer.extend_from_slice(&0u32.to_le_bytes());
         outer.extend_from_slice(&1u32.to_le_bytes());
         outer.extend_from_slice(&0u64.to_le_bytes());
@@ -659,6 +888,42 @@ mod tests {
             Frame::decode(&outer),
             Err(CodecError::BadBody("nested routed envelope"))
         );
+    }
+
+    #[test]
+    fn encode_refuses_oversized_bodies_with_typed_error() {
+        let cap = usize::try_from(MAX_BODY).expect("cap fits usize");
+        // Exactly at the cap: a Request body is 16 fixed bytes + payload.
+        let fits = Frame::Request {
+            seq: 1,
+            round: 0,
+            payload: vec![0; cap - 16],
+        };
+        let bytes = fits.encode().expect("cap-sized frame encodes");
+        assert_eq!(bytes.len(), HEADER_LEN + cap);
+        assert!(Frame::decode(&bytes).is_ok());
+        // One byte past the cap: typed error, nothing written.
+        let over = Frame::Request {
+            seq: 1,
+            round: 0,
+            payload: vec![0; cap - 15],
+        };
+        let mut out = vec![0xAB];
+        let err = over.encode_into(&mut out).expect_err("oversized refused");
+        assert_eq!(
+            err,
+            CodecError::FrameTooLarge {
+                len: cap + 1,
+                max: MAX_BODY
+            }
+        );
+        assert_eq!(out, [0xAB], "failed encode must leave the buffer untouched");
+        // The routed split path refuses the same way.
+        let mut meta = Vec::new();
+        assert!(matches!(
+            Frame::encode_routed_parts(NodeId::new(0), NodeId::new(1), 0, &over, &mut meta),
+            Err(CodecError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]

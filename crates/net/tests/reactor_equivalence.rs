@@ -11,7 +11,7 @@
 use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_core::Goal;
-use gossip_net::run_reactor;
+use gossip_net::{run_reactor, run_reactor_mode_with_stats, PayloadMode};
 use gossip_sim::{Outcome, Protocol, Round, SimConfig, Simulator, StopReason};
 use latency_graph::{generators, Graph, NodeId};
 
@@ -59,6 +59,24 @@ fn check_push_pull(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u
     assert_equiv(label, &engine, &net, |p: &PushPullNode| {
         p.rumors.fingerprint()
     });
+    // Delta mode changes only the bytes on the wire, never the outcome.
+    let (delta, _, acct) = run_reactor_mode_with_stats(
+        g,
+        &cfg,
+        PayloadMode::Delta,
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        |nodes: &[&PushPullNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
+    );
+    assert_equiv(&format!("{label}/delta"), &engine, &delta, |p| {
+        p.rumors.fingerprint()
+    });
+    assert!(
+        acct.payload_bytes <= acct.snapshot_bytes,
+        "{label}: delta mode never exceeds the snapshot-equivalent bytes \
+         ({} > {})",
+        acct.payload_bytes,
+        acct.snapshot_bytes,
+    );
 }
 
 fn check_flooding(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u64) {
@@ -70,6 +88,16 @@ fn check_flooding(label: &str, g: &Graph, goal: &Goal, seed: u64, max_rounds: u6
         goal.met_by_all(nodes.iter().map(|p| &p.rumors))
     });
     assert_equiv(label, &engine, &net, |p: &FloodingNode| {
+        p.rumors.fingerprint()
+    });
+    let (delta, _, _) = run_reactor_mode_with_stats(
+        g,
+        &cfg,
+        PayloadMode::Delta,
+        FloodingNode::new,
+        |nodes: &[&FloodingNode], _| goal.met_by_all(nodes.iter().map(|p| &p.rumors)),
+    );
+    assert_equiv(&format!("{label}/delta"), &engine, &delta, |p| {
         p.rumors.fingerprint()
     });
 }

@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_net::{
-    run_reactor_cluster, NetRunner, NodeStopReason, Reactor, ReactorConfig, RunView, TcpConfig,
-    TcpTransport, Transport,
+    run_reactor_cluster, run_reactor_cluster_mode, NetRunner, NodeStopReason, PayloadMode, Reactor,
+    ReactorConfig, RunView, TcpConfig, TcpTransport, Transport,
 };
 use gossip_sim::{SimConfig, Simulator};
 use latency_graph::{generators, GraphBuilder, NodeId};
@@ -202,6 +202,102 @@ fn killed_peer_yields_typed_loss_and_survivors_converge() {
             assert!(out.protocol.rumors.contains(NodeId::new(0)));
             assert!(out.protocol.rumors.contains(NodeId::new(1)));
             assert!(out.metrics.lost > 0 || out.metrics.delivered > 0);
+        }
+    });
+}
+
+#[test]
+fn killed_peer_in_delta_mode_falls_back_and_survivors_converge() {
+    // The delta-specific fault case: the whole cluster runs in delta
+    // mode; node 2 completes a few exchanges (so the survivors hold
+    // confirmed bases for it), then dies without a goodbye. The
+    // survivors must (a) surface the typed loss, (b) drop the dead
+    // edge's knowledge cache, and (c) keep exchanging with each other —
+    // where the very first post-start contact is snapshot-equivalent
+    // (empty basis) and later rounds ride deltas.
+    let g = generators::clique(3);
+    let cfg = sim_config(5, 400);
+
+    let (victim_addr_tx, victim_addr_rx) = mpsc::channel::<String>();
+    let (survivor_addr_tx, survivor_addr_rx) = mpsc::channel::<String>();
+    let (out_tx, out_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        let g = &g;
+        s.spawn(move || {
+            let outcomes = run_reactor_cluster_mode(
+                g,
+                &cfg,
+                &fast_reactor(),
+                &[NodeId::new(0), NodeId::new(1)],
+                PayloadMode::Delta,
+                |local| {
+                    survivor_addr_tx.send(local.to_owned()).expect("announce");
+                    let victim = victim_addr_rx.recv().expect("victim address");
+                    BTreeMap::from([(NodeId::new(2), victim)])
+                },
+                |id, n| PushPullNode::new(id, n, Mode::PushPull),
+                component_done(3),
+            );
+            out_tx.send(outcomes).expect("report");
+        });
+        s.spawn(move || {
+            // The victim participates in delta mode too, then aborts —
+            // sockets vanish as if the process was killed.
+            let mut reactor =
+                Reactor::new(g, [NodeId::new(2)], fast_reactor()).expect("victim reactor");
+            victim_addr_tx
+                .send(reactor.local_addr())
+                .expect("announce victim");
+            let survivor = survivor_addr_rx.recv().expect("survivor address");
+            reactor.set_peer(NodeId::new(0), survivor.clone());
+            reactor.set_peer(NodeId::new(1), survivor);
+            let node = NodeId::new(2);
+            let mut runner = NetRunner::new(
+                g,
+                node,
+                PushPullNode::new(node, 3, Mode::PushPull),
+                &cfg,
+                reactor.endpoint(node),
+            )
+            .with_payload_mode(PayloadMode::Delta);
+            runner.start().expect("victim start");
+            for r in 0..3 {
+                runner.begin_round(r).expect("victim round");
+                runner.launch(r).expect("victim launch");
+                runner.settle(r).expect("victim settle");
+            }
+            let _ = runner.abort();
+        });
+
+        let outcomes = out_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("the survivor shard hung past the watchdog")
+            .expect("survivor shard failed");
+        assert_eq!(outcomes.len(), 2);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(
+                out.reason,
+                NodeStopReason::Barrier,
+                "survivor {i}: {:?}",
+                out.reason
+            );
+            assert_eq!(out.losses.len(), 1, "survivor {i}: {:?}", out.losses);
+            assert_eq!(out.losses[0].peer, NodeId::new(2));
+            assert!(out.protocol.rumors.contains(NodeId::new(0)));
+            assert!(out.protocol.rumors.contains(NodeId::new(1)));
+            // Delta-mode accounting: every payload-carrying frame is
+            // classified, nothing costs more than its snapshot, and the
+            // loss never forced the runner out of delta mode wholesale.
+            let acct = out.accounting;
+            assert!(
+                acct.delta_frames + acct.snapshot_frames > 0,
+                "survivor {i} accounted no payload frames"
+            );
+            assert!(
+                acct.payload_bytes <= acct.snapshot_bytes,
+                "survivor {i}: delta bytes exceed snapshot-equivalent"
+            );
         }
     });
 }

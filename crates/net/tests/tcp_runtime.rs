@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use gossip_core::push_pull::{Mode, PushPullNode};
 use gossip_net::{
-    run_local_cluster, NetRunner, NodeStopReason, RunView, TcpConfig, TcpTransport, Transport,
+    run_local_cluster, run_local_cluster_mode, NetRunner, NodeStopReason, PayloadMode, RunView,
+    TcpConfig, TcpTransport, Transport,
 };
 use gossip_sim::{SimConfig, Simulator};
 use latency_graph::{generators, NodeId};
@@ -72,6 +73,41 @@ fn triangle_converges_to_engine_rumor_sets() {
     for (o, e) in outcomes.iter().zip(&engine.nodes) {
         assert_eq!(o.protocol.rumors.fingerprint(), e.rumors.fingerprint());
     }
+}
+
+#[test]
+fn delta_mode_cluster_converges_with_capability_handshake() {
+    // Delta frames over real TCP: capabilities travel in the Hello
+    // handshakes (set before any thread dials), and a 16-node clique
+    // must reach full dissemination with every payload frame accounted
+    // and no frame costing more than its snapshot form.
+    let g = generators::clique(16);
+    let cfg = sim_config(13, 600);
+    let outcomes = run_local_cluster_mode(
+        &g,
+        &cfg,
+        &fast_tcp(),
+        PayloadMode::Delta,
+        |id, n| PushPullNode::new(id, n, Mode::PushPull),
+        component_done(16),
+    )
+    .expect("cluster runs");
+    assert_eq!(outcomes.len(), 16);
+    let mut delta_frames = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.reason, NodeStopReason::Barrier, "node {i}");
+        assert!(o.losses.is_empty(), "node {i} lost peers: {:?}", o.losses);
+        assert!(o.protocol.rumors.is_full(), "node {i} rumor set incomplete");
+        assert!(
+            o.accounting.payload_bytes <= o.accounting.snapshot_bytes,
+            "node {i}: delta bytes exceed snapshot-equivalent"
+        );
+        delta_frames += o.accounting.delta_frames;
+    }
+    assert!(
+        delta_frames > 0,
+        "a converging delta-mode clique sends at least one delta frame"
+    );
 }
 
 #[test]

@@ -64,7 +64,7 @@ pub use engine::{
     Protocol, Scheduling, SimConfig, SimMetrics, Simulator, Stepper, StopReason,
 };
 pub use faults::FaultPlan;
-pub use rumor::{CompactRumorSet, RumorSet, SharedRumorSet};
+pub use rumor::{CompactParts, CompactRumorSet, RumorSet, SharedRumorSet};
 pub use trace::{TraceEvent, TraceLog, Traced};
 
 /// Simulation time, in synchronous rounds.

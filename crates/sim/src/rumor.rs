@@ -217,6 +217,54 @@ impl RumorSet {
                 .map(move |b| NodeId::new(w * 64 + b))
         })
     }
+
+    /// The symmetric difference `self ⊕ basis` as a compact set: one
+    /// fused XOR + popcount scan over the word arrays, classified into
+    /// the smallest representation tier without a second bit-scan.
+    ///
+    /// Together with [`apply_delta`](Self::apply_delta) this is an
+    /// exact reconstruction pair: for any two sets over one universe,
+    /// `basis.apply_delta(&set.diff(&basis))` yields `set` bit for bit
+    /// (and therefore fingerprint for fingerprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ, or if the universe exceeds
+    /// `u32` range (compact ids are 32-bit).
+    pub fn diff(&self, basis: &RumorSet) -> CompactRumorSet {
+        assert_eq!(self.universe, basis.universe, "rumor universes must match");
+        let mut words = Vec::with_capacity(self.words.len());
+        let mut count = 0usize;
+        for (&a, &b) in self.words.iter().zip(&basis.words) {
+            let x = a ^ b;
+            count += ones(x);
+            words.push(x);
+        }
+        CompactRumorSet::from_counted_words(self.universe, words, count)
+    }
+
+    /// XORs `delta` into `self` in one fused scan (symmetric
+    /// difference in place), recounting as it goes. Applying the delta
+    /// produced by [`diff`](Self::diff) against the same basis
+    /// reconstructs the original set exactly, preserving bit-identical
+    /// fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn apply_delta(&mut self, delta: &CompactRumorSet) {
+        assert_eq!(
+            self.universe,
+            delta.universe(),
+            "rumor universes must match"
+        );
+        let mut count = 0usize;
+        for (a, d) in self.words.iter_mut().zip(delta.words()) {
+            *a ^= d;
+            count += ones(*a);
+        }
+        self.count = count;
+    }
 }
 
 /// An [`Arc`]-backed copy-on-write [`RumorSet`].
@@ -375,6 +423,39 @@ impl SharedRumorSet {
     pub fn into_inner(self) -> RumorSet {
         std::sync::Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone())
     }
+
+    /// The symmetric difference `self ⊕ basis` as a compact set — see
+    /// [`RumorSet::diff`]. Two sets sharing one buffer short-circuit to
+    /// the empty delta without touching a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ, or if the universe exceeds
+    /// `u32` range.
+    pub fn diff(&self, basis: &SharedRumorSet) -> CompactRumorSet {
+        if std::sync::Arc::ptr_eq(&self.inner, &basis.inner) {
+            return CompactRumorSet::new(self.inner.universe());
+        }
+        self.inner.diff(&basis.inner)
+    }
+
+    /// XORs `delta` into `self` — see [`RumorSet::apply_delta`].
+    /// Copy-on-write: an empty delta is a no-op and never clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn apply_delta(&mut self, delta: &CompactRumorSet) {
+        if delta.is_empty() {
+            assert_eq!(
+                self.inner.universe(),
+                delta.universe(),
+                "rumor universes must match"
+            );
+            return;
+        }
+        std::sync::Arc::make_mut(&mut self.inner).apply_delta(delta);
+    }
 }
 
 impl std::ops::Deref for SharedRumorSet {
@@ -411,6 +492,26 @@ enum Repr {
     /// Plain bitset words, exactly as in [`RumorSet`].
     Bitset(Vec<u64>),
     /// Every id in the universe: O(1) memory regardless of `n`.
+    Full,
+}
+
+/// A borrowed view of a [`CompactRumorSet`]'s representation tier,
+/// exposed by [`CompactRumorSet::as_parts`] so wire codecs can encode
+/// each tier natively without re-deriving it from a bit scan.
+///
+/// The invariants of the private representation hold on every view:
+/// `Sparse` ids are strictly increasing, `Runs` are disjoint,
+/// non-adjacent, strictly increasing `[start, end)` intervals, and
+/// `Bitset` words carry no bits at or beyond the universe.
+#[derive(Clone, Copy, Debug)]
+pub enum CompactParts<'a> {
+    /// Strictly increasing ids.
+    Sparse(&'a [u32]),
+    /// Disjoint, non-adjacent, strictly increasing `[start, end)` runs.
+    Runs(&'a [(u32, u32)]),
+    /// Plain bitset words, exactly as in [`RumorSet::as_words`].
+    Bitset(&'a [u64]),
+    /// Every id in the universe.
     Full,
 }
 
@@ -469,6 +570,40 @@ fn span_mask(lo: u32, hi: u32) -> u64 {
     } else {
         ((1u64 << width) - 1) << lo
     }
+}
+
+/// Extracts maximal `[start, end)` runs from a bitset word array using
+/// word-at-a-time bit tricks (no per-bit loop), bailing out with `None`
+/// as soon as more than `max` runs exist — the caller then keeps the
+/// words as a bitset instead.
+fn runs_from_words(words: &[u64], max: usize) -> Option<Vec<(u32, u32)>> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        let base = u32::try_from(wi * 64).expect("bit offset fits u32");
+        while w != 0 {
+            let start = w.trailing_zeros();
+            // Length of the maximal 1-run beginning at `start`: count
+            // the trailing ones of the shifted word via its complement.
+            let len = (!(w >> start)).trailing_zeros();
+            let (lo, hi) = (base + start, base + start + len);
+            match runs.last_mut() {
+                Some(r) if r.1 == lo => r.1 = hi,
+                _ => {
+                    if runs.len() == max {
+                        return None;
+                    }
+                    runs.push((lo, hi));
+                }
+            }
+            if start + len == 64 {
+                w = 0;
+            } else {
+                w &= !span_mask(start, start + len);
+            }
+        }
+    }
+    Some(runs)
 }
 
 /// Compresses a strictly increasing id list into maximal `[start, end)`
@@ -563,6 +698,50 @@ impl CompactRumorSet {
         c
     }
 
+    /// Classifies pre-counted bitset words (the output of a fused XOR
+    /// or union scan) into the smallest representation tier. The dense
+    /// case extracts runs word-at-a-time and falls back to keeping the
+    /// words as a bitset once the run budget overflows — no second
+    /// per-bit scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` exceeds `u32` range.
+    fn from_counted_words(universe: usize, words: Vec<u64>, count: usize) -> CompactRumorSet {
+        assert!(
+            u32::try_from(universe).is_ok(),
+            "compact rumor universe must fit u32"
+        );
+        if count == universe {
+            return CompactRumorSet::full(universe);
+        }
+        if count <= SPARSE_MAX {
+            let mut ids = Vec::with_capacity(count);
+            for (wi, &word) in words.iter().enumerate() {
+                let mut w = word;
+                let base = u32::try_from(wi * 64).expect("bit offset fits u32");
+                while w != 0 {
+                    ids.push(base + w.trailing_zeros());
+                    w &= w - 1;
+                }
+            }
+            return CompactRumorSet {
+                repr: Repr::Sparse(ids),
+                universe,
+                count,
+            };
+        }
+        let repr = match runs_from_words(&words, RUNS_MAX) {
+            Some(runs) => Repr::Runs(runs),
+            None => Repr::Bitset(words),
+        };
+        CompactRumorSet {
+            repr,
+            universe,
+            count,
+        }
+    }
+
     /// The universe size `n` this set ranges over.
     pub fn universe(&self) -> usize {
         self.universe
@@ -581,6 +760,19 @@ impl CompactRumorSet {
     /// Whether every rumor in the universe is known.
     pub fn is_full(&self) -> bool {
         self.count == self.universe
+    }
+
+    /// A borrowed view of the current representation tier — see
+    /// [`CompactParts`]. Serializers use this to encode each tier
+    /// natively (id list, run intervals, or raw words) instead of
+    /// re-deriving the structure from a bit scan.
+    pub fn as_parts(&self) -> CompactParts<'_> {
+        match &self.repr {
+            Repr::Sparse(ids) => CompactParts::Sparse(ids),
+            Repr::Runs(runs) => CompactParts::Runs(runs),
+            Repr::Bitset(words) => CompactParts::Bitset(words),
+            Repr::Full => CompactParts::Full,
+        }
     }
 
     /// The number of `u64` words in the backing store of this set's
@@ -794,6 +986,52 @@ impl CompactRumorSet {
             h ^= h >> 29;
         }
         h
+    }
+
+    /// The symmetric difference `self ⊕ basis` as a compact set: one
+    /// fused XOR + popcount scan over the lazily-materialized word
+    /// streams, classified into the smallest tier. See
+    /// [`RumorSet::diff`] for the exact-reconstruction contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn diff(&self, basis: &CompactRumorSet) -> CompactRumorSet {
+        assert_eq!(self.universe, basis.universe, "rumor universes must match");
+        let mut words = Vec::with_capacity(self.universe.div_ceil(64));
+        let mut count = 0usize;
+        for (a, b) in self.words().zip(basis.words()) {
+            let x = a ^ b;
+            count += ones(x);
+            words.push(x);
+        }
+        CompactRumorSet::from_counted_words(self.universe, words, count)
+    }
+
+    /// XORs `delta` into `self` in one fused scan, re-classifying the
+    /// result into the smallest tier. Applying the delta produced by
+    /// [`diff`](Self::diff) against the same basis reconstructs the
+    /// original set exactly, preserving bit-identical fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn apply_delta(&mut self, delta: &CompactRumorSet) {
+        assert_eq!(
+            self.universe, delta.universe,
+            "rumor universes must match"
+        );
+        if delta.is_empty() {
+            return;
+        }
+        let mut words = Vec::with_capacity(self.universe.div_ceil(64));
+        let mut count = 0usize;
+        for (a, d) in self.words().zip(delta.words()) {
+            let x = a ^ d;
+            count += ones(x);
+            words.push(x);
+        }
+        *self = CompactRumorSet::from_counted_words(self.universe, words, count);
     }
 
     /// Materializes the equivalent plain bitset.
@@ -1356,6 +1594,127 @@ mod tests {
         let mut a = CompactRumorSet::new(10);
         let b = CompactRumorSet::new(11);
         a.union_with(&b);
+    }
+
+    /// Builds a `RumorSet` over `n` from explicit ids.
+    fn set_of(n: usize, ids: &[usize]) -> RumorSet {
+        let mut s = RumorSet::new(n);
+        for &i in ids {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    #[test]
+    fn diff_apply_round_trips_exactly() {
+        let n = 300;
+        let shapes: Vec<Vec<usize>> = vec![
+            Vec::new(),
+            vec![5],
+            (0..100).collect(),
+            (0..n).step_by(2).collect(),
+            (0..n).step_by(7).collect(),
+            (0..n).collect(),
+            (40..200).collect(),
+        ];
+        for a_ids in &shapes {
+            for b_ids in &shapes {
+                let a = set_of(n, a_ids);
+                let b = set_of(n, b_ids);
+                let delta = a.diff(&b);
+                // apply_delta(b, a ⊕ b) reconstructs a bit for bit.
+                let mut back = b.clone();
+                back.apply_delta(&delta);
+                assert_eq!(back, a);
+                assert_eq!(back.fingerprint(), a.fingerprint());
+                assert_eq!(back.len(), a.len());
+                // Symmetry: applying the same delta to a yields b.
+                let mut other = a.clone();
+                other.apply_delta(&delta);
+                assert_eq!(other, b);
+                // The compact-vs-compact diff agrees word for word.
+                let (ca, cb) = (CompactRumorSet::from_set(&a), CompactRumorSet::from_set(&b));
+                let cdelta = ca.diff(&cb);
+                assert_eq!(cdelta.fingerprint(), delta.fingerprint());
+                let mut cback = cb.clone();
+                cback.apply_delta(&cdelta);
+                assert_eq!(cback.fingerprint(), a.fingerprint());
+                assert_eq!(cback.len(), a.len());
+            }
+        }
+    }
+
+    #[test]
+    fn diff_picks_smallest_tier() {
+        let n = 4096;
+        // Identical sets: empty delta stays sparse with zero words.
+        let a = set_of(n, &(0..n).step_by(3).collect::<Vec<_>>());
+        assert_eq!(a.diff(&a).len(), 0);
+        assert_eq!(a.diff(&a).repr_words(), 0);
+        // One new rumor: a single-id sparse delta.
+        let mut b = a.clone();
+        b.insert(NodeId::new(1));
+        let d = b.diff(&a);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(NodeId::new(1)));
+        // Full vs empty: one run covering the universe, O(1) words.
+        let d = RumorSet::full(n).diff(&RumorSet::new(n));
+        assert_eq!(d.len(), n);
+        assert!(d.repr_words() <= 1);
+        // Dense scattered difference falls back to bitset words.
+        let odd = set_of(n, &(1..n).step_by(2).collect::<Vec<_>>());
+        let d = RumorSet::new(n).diff(&odd);
+        assert_eq!(d.len(), n / 2);
+        assert_eq!(d.repr_words(), n / 64);
+    }
+
+    #[test]
+    fn shared_diff_and_apply_preserve_cow() {
+        let n = 200;
+        let mut a = SharedRumorSet::singleton(n, NodeId::new(3));
+        let snap = a.snapshot();
+        // Shared-buffer diff short-circuits to the empty delta.
+        assert!(a.diff(&snap).is_empty());
+        let mut b = SharedRumorSet::new(n);
+        b.insert(NodeId::new(100));
+        let delta = a.diff(&b);
+        // Applying onto `b` while `a`'s snapshot is untouched.
+        b.apply_delta(&delta);
+        assert_eq!(b.fingerprint(), a.fingerprint());
+        // Empty delta never clones the shared buffer.
+        let empty = CompactRumorSet::new(n);
+        a.apply_delta(&empty);
+        assert!(a.ptr_eq(&snap));
+    }
+
+    #[test]
+    #[should_panic(expected = "universes must match")]
+    fn diff_mismatched_universe_panics() {
+        let a = RumorSet::new(10);
+        let b = RumorSet::new(11);
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    fn as_parts_exposes_the_tier() {
+        let n = 4096;
+        match CompactRumorSet::singleton(n, NodeId::new(7)).as_parts() {
+            CompactParts::Sparse(ids) => assert_eq!(ids, [7]),
+            other => panic!("expected sparse parts, got {other:?}"),
+        }
+        match CompactRumorSet::from_set(&set_of(n, &(10..100).collect::<Vec<_>>())).as_parts() {
+            CompactParts::Runs(runs) => assert_eq!(runs, [(10, 100)]),
+            other => panic!("expected run parts, got {other:?}"),
+        }
+        match CompactRumorSet::full(n).as_parts() {
+            CompactParts::Full => {}
+            other => panic!("expected full parts, got {other:?}"),
+        }
+        let odd = set_of(n, &(1..n).step_by(2).collect::<Vec<_>>());
+        match CompactRumorSet::from_set(&odd).as_parts() {
+            CompactParts::Bitset(words) => assert_eq!(words.len(), n / 64),
+            other => panic!("expected bitset parts, got {other:?}"),
+        }
     }
 
     #[test]
