@@ -73,7 +73,7 @@ fn bench_apply_delta(c: &mut Criterion) {
                         let mut out = basis.clone();
                         out.apply_delta(&delta);
                         std::hint::black_box(out)
-                    })
+                    });
                 },
             );
         }
@@ -99,7 +99,7 @@ fn bench_encode(c: &mut Criterion) {
                         buf.clear();
                         encode_rumor_delta(&delta, &mut buf);
                         std::hint::black_box(buf.len())
-                    })
+                    });
                 },
             );
         }
@@ -120,10 +120,10 @@ fn bench_decode(c: &mut Criterion) {
                 &(),
                 |b, ()| {
                     b.iter(|| {
-                        let out = decode_rumor_delta(&buf, Some(&basis))
-                            .expect("bench delta decodes");
+                        let out =
+                            decode_rumor_delta(&buf, Some(&basis)).expect("bench delta decodes");
                         std::hint::black_box(out)
-                    })
+                    });
                 },
             );
             // The contract the runner relies on, asserted once per
@@ -135,5 +135,11 @@ fn bench_decode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_diff, bench_apply_delta, bench_encode, bench_decode);
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_apply_delta,
+    bench_encode,
+    bench_decode
+);
 criterion_main!(benches);

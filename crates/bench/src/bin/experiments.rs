@@ -57,7 +57,7 @@ fn main() {
 
     if selected.is_empty() || selected.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-large-smoke | bench-mode-compare | bench-analysis | bench-net | net-smoke>\n"
+            "usage: experiments [--markdown | --csv] <all | e1 … e23 | bench-engine | bench-large-smoke | bench-mode-compare | bench-analysis | bench-net | bench-stream | net-smoke>\n"
         );
         eprintln!("experiments:");
         for (id, what, _) in &registry {
@@ -74,6 +74,9 @@ fn main() {
             "  bench-analysis  conductance pipeline baseline -> BENCH_analysis.json (--out <file>)"
         );
         eprintln!("  bench-net       network runtime baseline -> BENCH_net.json (--out <file>)");
+        eprintln!(
+            "  bench-stream    streaming completion curves, rr vs rlc -> BENCH_stream.json (--out <file>)"
+        );
         eprintln!(
             "  net-smoke       reactor smoke (n = 1024 single-process, thread ceiling asserted)"
         );
@@ -186,6 +189,30 @@ fn main() {
         print!("{json}");
         eprintln!(
             "bench-net finished in {:.2?}; wrote {path}\n",
+            start.elapsed()
+        );
+    }
+
+    if selected.iter().any(|a| a == "bench-stream") {
+        ran += 1;
+        let path = out_path
+            .clone()
+            .unwrap_or_else(|| String::from("BENCH_stream.json"));
+        eprintln!(
+            "running bench-stream: k ∈ {:?} × budget ∈ {:?} × {:?}, rr vs rlc …",
+            gossip_bench::stream_bench::RUMOR_COUNTS,
+            gossip_bench::stream_bench::BUDGETS,
+            gossip_bench::stream_bench::TOPOLOGIES
+        );
+        let start = Instant::now();
+        let json = gossip_bench::stream_bench::run();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{json}");
+        eprintln!(
+            "bench-stream finished in {:.2?}; wrote {path}\n",
             start.elapsed()
         );
     }

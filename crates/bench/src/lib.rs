@@ -22,6 +22,7 @@ pub mod experiments;
 pub mod net_bench;
 pub mod parallel;
 pub mod stats;
+pub mod stream_bench;
 pub mod table;
 
 pub use table::Table;

@@ -31,11 +31,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gossip_core::push_pull::{Mode, PushPullNode};
+pub use gossip_net::PayloadMode;
 use gossip_net::{
     run_local_cluster_mode, run_loopback_mode_with_stats, run_reactor_mode_with_stats, Frame,
     NodeStopReason, TcpConfig, WireAccounting,
 };
-pub use gossip_net::PayloadMode;
 use gossip_sim::{SimConfig, StopReason};
 use latency_graph::{generators, Graph, NodeId};
 
@@ -576,7 +576,13 @@ mod tests {
 
     #[test]
     fn tcp_measure_converges_cleanly() {
-        let p = measure_tcp("clique", 4, Duration::from_millis(5), 1, PayloadMode::Snapshot);
+        let p = measure_tcp(
+            "clique",
+            4,
+            Duration::from_millis(5),
+            1,
+            PayloadMode::Snapshot,
+        );
         assert_eq!(p.n, 4);
         assert!(p.rounds > 0);
         assert!(p.frames > 0);
@@ -639,6 +645,7 @@ mod tests {
                 snapshot_bytes: 40_000,
                 delta_frames: 500,
                 snapshot_frames: 100,
+                stream_units: 0,
             },
             losses: 0,
             peak_threads: 5,
@@ -682,9 +689,13 @@ mod tests {
         assert!(j.contains("\"bytes_per_sec\": 120000.00"));
         assert!(j.contains("\"bytes_per_round\": 2000.00"));
         assert!(j.contains("\"payload_bytes\": 20000, \"snapshot_equivalent_bytes\": 40000, \"compression_ratio\": 2.00"));
-        assert!(j.contains("\"mode_comparison\": {\"topology\": \"clique\", \"n\": 1024, \"rounds\": 128"));
+        assert!(j.contains(
+            "\"mode_comparison\": {\"topology\": \"clique\", \"n\": 1024, \"rounds\": 128"
+        ));
         assert!(j.contains("\"snapshot_payload_bytes\": 1000000, \"delta_payload_bytes\": 100000"));
-        assert!(j.contains("\"delta_frames\": 9000, \"fallback_frames\": 1000, \"compression_ratio\": 10.00"));
+        assert!(j.contains(
+            "\"delta_frames\": 9000, \"fallback_frames\": 1000, \"compression_ratio\": 10.00"
+        ));
         assert!(j.contains("\"peak_threads\": 5"));
         assert!(!j.contains(",\n  ]"), "no trailing comma: {j}");
         assert!(!j.contains("],\n}"), "no trailing comma: {j}");

@@ -23,6 +23,8 @@ USAGE
   gossip run <algorithm> <file|-> [--source V] [--seed S] [--all-to-all]
                                   [--ell L] [--diameter D] [--max-guess G]
                                   [--latency-known] [--threads T]
+  gossip run --workload stream <file|-> [--rumors K] [--budget B]
+             [--policy rr|rlc] [--seed S] [--threads T] [--max-rounds R]
   gossip curve <file|-> [--source V] [--seed S] [--threads T]
 
 `--threads T` runs the engine on T worker threads; results are
@@ -32,6 +34,9 @@ byte-identical to the default single-threaded run.
   gossip run-net <algorithm> <file|-> [--transport tcp|loopback|reactor]
                  [--seed S] [--source V] [--all-to-all] [--round-ms MS]
                  [--max-rounds R] [--payload-mode snapshot|delta]
+  gossip run-net --workload stream <file|-> [--transport tcp|loopback|reactor]
+                 [--rumors K] [--budget B] [--policy rr|rlc] [--seed S]
+                 [--round-ms MS] [--max-rounds R]
   gossip serve <file|-> (--node I | --nodes A..B) [--peers FILE]
                [--listen ADDR] [--algorithm A] [--seed S] [--source V]
                [--all-to-all] [--round-ms MS] [--max-rounds R]
@@ -71,9 +76,15 @@ ALGORITHMS (for run)
   push-pull | push-only | flooding | dtg | superstep
   eid | general-eid | path-discovery | unified
 
+`--workload stream` (for run and run-net) streams K rumors to every
+node, each exchange direction carrying at most B rumor-payload units;
+`--policy rr` round-robins over un-gossiped rumors, `--policy rlc`
+sends random GF(2) combinations decoded by Gaussian elimination.
+
 PROPERTIES (for check; n <= 5, exhaustively verified)
   lemma18-no-early-stop | same-round-termination | latency-respected
   spanner-out-degree | at-most-once-delivery | termination
+  no-phantom-rumor
 `check --corpus` sweeps the pinned regression corpus at budgets 0..=B
 and runs the mutation suite; `--format json` emits mc-report.json.
 
@@ -367,10 +378,82 @@ pub fn spanner(args: &mut Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `gossip run --workload stream`: the multi-rumor streaming workload.
+/// `--rumors K` rumors are injected at the spread schedule's origins,
+/// every exchange direction carries at most `--budget B` rumor-payload
+/// units, and `--policy` picks the selection policy: `rr` (round-robin
+/// over un-gossiped rumors) or `rlc` (random-linear-combination
+/// algebraic gossip over GF(2)).
+fn run_stream(args: &mut Args) -> Result<String, CliError> {
+    use gossip_core::stream::{self, StreamConfig};
+    use gossip_sim::{EngineMode, StreamSpec};
+
+    let path: String = args.require("graph file")?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let threads: usize = args.flag_or("threads", 0)?;
+    let rumors: usize = args.flag_or("rumors", 8)?;
+    let budget: usize = args.flag_or("budget", 1)?;
+    let policy: String = args.flag_or("policy", "rr".to_owned())?;
+    let max_rounds: u64 = args.flag_or("max-rounds", 1_000_000)?;
+    args.finish()?;
+    if rumors == 0 {
+        return Err(CliError::BadArgument {
+            what: "rumors",
+            value: rumors.to_string(),
+        });
+    }
+    if budget == 0 {
+        return Err(CliError::BadArgument {
+            what: "budget",
+            value: budget.to_string(),
+        });
+    }
+    let g = load_graph(&path)?;
+    let spec = StreamSpec::spread(rumors, budget, g.node_count());
+    let cfg = StreamConfig {
+        max_rounds,
+        threads,
+        mode: EngineMode::Frontier,
+    };
+    let o = match policy.as_str() {
+        "rr" => stream::rr_stream(&g, &spec, &cfg, seed),
+        "rlc" => stream::rlc_stream(&g, &spec, &cfg, seed),
+        other => {
+            return Err(CliError::BadArgument {
+                what: "policy",
+                value: other.to_string(),
+            })
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "workload = stream ({policy})");
+    let _ = writeln!(out, "rumors = {rumors}, budget = {budget}");
+    let _ = writeln!(out, "rounds = {}", o.rounds);
+    let _ = writeln!(out, "complete = {}", o.complete);
+    let _ = writeln!(out, "exchanges = {}", o.metrics.initiated);
+    let _ = writeln!(out, "payload units = {}", o.metrics.payload_units);
+    let completions: Vec<String> = o
+        .completions
+        .iter()
+        .map(|c| c.map_or_else(|| "-".to_string(), |r| r.to_string()))
+        .collect();
+    let _ = writeln!(out, "completions = [{}]", completions.join(","));
+    Ok(out)
+}
+
 /// `gossip run`.
 pub fn run_algorithm(args: &mut Args) -> Result<String, CliError> {
     use gossip_core::{dtg, eid, flooding, path_discovery, push_pull, superstep, unified};
 
+    if let Some(workload) = args.flag_raw("workload") {
+        if workload != "stream" {
+            return Err(CliError::BadArgument {
+                what: "workload",
+                value: workload,
+            });
+        }
+        return run_stream(args);
+    }
     let algorithm: String = args.require("algorithm")?;
     let path: String = args.require("graph file")?;
     let seed: u64 = args.flag_or("seed", 0)?;
@@ -866,6 +949,61 @@ mod tests {
         assert!(pd.contains("complete = true"), "{pd}");
         let un = call(&["run", "unified", &p, "--latency-known"]).unwrap();
         assert!(un.contains("winner"), "{un}");
+    }
+
+    #[test]
+    fn run_stream_workload_both_policies() {
+        let p = temp_graph("stream.txt", &["generate", "cycle", "12"]);
+        for policy in ["rr", "rlc"] {
+            let out = call(&[
+                "run",
+                "--workload",
+                "stream",
+                &p,
+                "--rumors",
+                "6",
+                "--budget",
+                "2",
+                "--policy",
+                policy,
+                "--seed",
+                "7",
+            ])
+            .unwrap();
+            assert!(
+                out.contains(&format!("workload = stream ({policy})")),
+                "{out}"
+            );
+            assert!(out.contains("rumors = 6, budget = 2"), "{out}");
+            assert!(out.contains("complete = true"), "{out}");
+            let completions = out.lines().find(|l| l.starts_with("completions")).unwrap();
+            assert_eq!(completions.matches(',').count(), 5, "{completions}");
+            assert!(!completions.contains('-'), "{completions}");
+        }
+    }
+
+    #[test]
+    fn run_stream_rejects_bad_inputs() {
+        let p = temp_graph("stream-bad.txt", &["generate", "cycle", "6"]);
+        assert!(matches!(
+            call(&["run", "--workload", "parade", &p]),
+            Err(CliError::BadArgument {
+                what: "workload",
+                ..
+            })
+        ));
+        assert!(matches!(
+            call(&["run", "--workload", "stream", &p, "--policy", "fountain"]),
+            Err(CliError::BadArgument { what: "policy", .. })
+        ));
+        assert!(matches!(
+            call(&["run", "--workload", "stream", &p, "--rumors", "0"]),
+            Err(CliError::BadArgument { what: "rumors", .. })
+        ));
+        assert!(matches!(
+            call(&["run", "--workload", "stream", &p, "--budget", "0"]),
+            Err(CliError::BadArgument { what: "budget", .. })
+        ));
     }
 
     #[test]

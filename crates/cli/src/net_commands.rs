@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::stream::{RlcStreamNode, RrStreamNode};
 use gossip_core::Goal;
 use gossip_net::{
     run_local_cluster_mode, run_loopback_mode_with_stats, run_reactor_cluster_mode,
@@ -18,7 +19,10 @@ use gossip_net::{
     ReactorConfig, RunView, TcpConfig, TcpTransport, Transport, TransportStats, WireAccounting,
     WirePayload, CAP_DELTA,
 };
-use gossip_sim::{Protocol, SharedRumorSet, SimConfig, SimMetrics, StopReason};
+use gossip_sim::{
+    completion_rounds, CompletionLog, Protocol, SharedRumorSet, SimConfig, SimMetrics, StopReason,
+    StreamSpec,
+};
 use latency_graph::{Graph, NodeId};
 
 use crate::args::Args;
@@ -202,8 +206,164 @@ where
     Ok(out)
 }
 
+/// Runs the streaming workload over one transport, generic over the
+/// selection policy. Mirrors [`run_net_generic`], with the stop/done
+/// barrier on per-node completion logs instead of rumor sets, and
+/// per-rumor completion rounds in the report.
+fn run_net_stream_generic<P, F, L>(
+    g: &Graph,
+    transport: &str,
+    policy: &str,
+    sim: &SimConfig,
+    round: Duration,
+    factory: F,
+    log: L,
+) -> Result<String, CliError>
+where
+    P: Protocol + Send,
+    P::Payload: WirePayload + Send,
+    F: FnMut(NodeId, usize) -> P,
+    L: Fn(&P) -> &CompletionLog + Sync,
+{
+    let fmt_completions = |completions: &[Option<u64>]| {
+        let cells: Vec<String> = completions
+            .iter()
+            .map(|c| c.map_or_else(|| "-".to_string(), |r| r.to_string()))
+            .collect();
+        format!("[{}]", cells.join(","))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "workload = stream ({policy})");
+    let _ = writeln!(out, "transport = {transport}");
+    match transport {
+        "loopback" | "reactor" => {
+            let stop = |nodes: &[&P], _| nodes.iter().all(|p| log(p).heard_all());
+            let (o, stats, acct) = if transport == "reactor" {
+                run_reactor_mode_with_stats(g, sim, PayloadMode::Snapshot, factory, stop)
+            } else {
+                run_loopback_mode_with_stats(g, sim, PayloadMode::Snapshot, factory, stop)
+            };
+            let _ = writeln!(out, "rounds = {}", o.rounds);
+            let _ = writeln!(out, "complete = {}", o.reason != StopReason::MaxRounds);
+            write_metrics(&mut out, &o.metrics, &stats);
+            let _ = writeln!(out, "stream units = {}", acct.stream_units);
+            let completions = completion_rounds(o.nodes.iter().map(&log));
+            let _ = writeln!(out, "completions = {}", fmt_completions(&completions));
+        }
+        "tcp" => {
+            let tcp = TcpConfig {
+                round,
+                ..TcpConfig::default()
+            };
+            let log = &log;
+            let done = move |p: &P, _: &RunView<'_>| log(p).heard_all();
+            let outcomes =
+                run_local_cluster_mode(g, sim, &tcp, PayloadMode::Snapshot, factory, done)
+                    .map_err(net_error)?;
+            let rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
+            let complete = outcomes.iter().all(|o| o.reason == NodeStopReason::Barrier);
+            let mut metrics = SimMetrics::default();
+            let mut stats = TransportStats::default();
+            let mut acct = WireAccounting::default();
+            let mut losses = 0usize;
+            for o in &outcomes {
+                metrics.initiated += o.metrics.initiated;
+                metrics.delivered += o.metrics.delivered;
+                metrics.lost += o.metrics.lost;
+                metrics.rejected += o.metrics.rejected;
+                metrics.payload_units += o.metrics.payload_units;
+                stats.absorb(&o.stats);
+                acct.absorb(&o.accounting);
+                losses += o.losses.len();
+            }
+            let _ = writeln!(out, "nodes = {}", outcomes.len());
+            let _ = writeln!(out, "rounds = {rounds}");
+            let _ = writeln!(out, "complete = {complete}");
+            write_metrics(&mut out, &metrics, &stats);
+            let _ = writeln!(out, "stream units = {}", acct.stream_units);
+            let completions = completion_rounds(outcomes.iter().map(|o| log(&o.protocol)));
+            let _ = writeln!(out, "completions = {}", fmt_completions(&completions));
+            let _ = writeln!(out, "peer losses = {losses}");
+        }
+        other => {
+            return Err(CliError::BadArgument {
+                what: "transport",
+                value: other.to_string(),
+            })
+        }
+    }
+    Ok(out)
+}
+
+/// `gossip run-net --workload stream`: the streaming workload over a
+/// real transport (loopback, tcp, or reactor).
+fn run_net_stream(args: &mut Args) -> Result<String, CliError> {
+    let path: String = args.require("graph file")?;
+    let transport: String = args.flag_or("transport", "loopback".to_owned())?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let max_rounds: u64 = args.flag_or("max-rounds", 10_000)?;
+    let round_ms: u64 = args.flag_or("round-ms", 20)?;
+    let rumors: usize = args.flag_or("rumors", 8)?;
+    let budget: usize = args.flag_or("budget", 1)?;
+    let policy: String = args.flag_or("policy", "rr".to_owned())?;
+    args.finish()?;
+    if rumors == 0 {
+        return Err(CliError::BadArgument {
+            what: "rumors",
+            value: rumors.to_string(),
+        });
+    }
+    if budget == 0 {
+        return Err(CliError::BadArgument {
+            what: "budget",
+            value: budget.to_string(),
+        });
+    }
+    let g = load_graph(&path)?;
+    let spec = StreamSpec::spread(rumors, budget, g.node_count());
+    let sim = SimConfig {
+        seed,
+        max_rounds,
+        ..SimConfig::default()
+    };
+    let round = Duration::from_millis(round_ms.max(1));
+    match policy.as_str() {
+        "rr" => run_net_stream_generic(
+            &g,
+            &transport,
+            "rr",
+            &sim,
+            round,
+            |id, _| RrStreamNode::new(id, &spec),
+            RrStreamNode::log,
+        ),
+        "rlc" => run_net_stream_generic(
+            &g,
+            &transport,
+            "rlc",
+            &sim,
+            round,
+            |id, _| RlcStreamNode::new(id, &spec),
+            RlcStreamNode::log,
+        ),
+        other => Err(CliError::BadArgument {
+            what: "policy",
+            value: other.to_string(),
+        }),
+    }
+}
+
 /// `gossip run-net`: run a protocol cluster over a chosen transport.
 pub fn run_net(args: &mut Args) -> Result<String, CliError> {
+    if let Some(workload) = args.flag_raw("workload") {
+        if workload != "stream" {
+            return Err(CliError::BadArgument {
+                what: "workload",
+                value: workload,
+            });
+        }
+        return run_net_stream(args);
+    }
     let algorithm: String = args.require("algorithm")?;
     let path: String = args.require("graph file")?;
     let transport: String = args.flag_or("transport", "loopback".to_owned())?;
@@ -390,8 +550,7 @@ where
     );
     let n = g.node_count();
     let goal = net.goal.clone();
-    let runner =
-        NetRunner::new(g, node, protocol, &net.sim, transport).with_payload_mode(net.mode);
+    let runner = NetRunner::new(g, node, protocol, &net.sim, transport).with_payload_mode(net.mode);
     let rumors = &rumors;
     let o: NodeOutcome<P> = runner
         .run(move |p, view| locally_done(&goal, n, rumors(p), view))
@@ -646,10 +805,7 @@ mod tests {
             argv.extend(["--payload-mode", "delta"]);
             let delta = call(&argv).unwrap();
             assert_eq!(tail(&snap), tail(&delta), "{transport}:\n{snap}\n{delta}");
-            assert!(
-                delta.contains("payload bytes = "),
-                "{transport}: {delta}"
-            );
+            assert!(delta.contains("payload bytes = "), "{transport}: {delta}");
             // A 128-clique re-sends enough redundant state that delta
             // frames must actually be chosen.
             assert!(!delta.contains("0 delta frames"), "{transport}: {delta}");
@@ -675,6 +831,58 @@ mod tests {
         assert!(out.contains("complete = true"), "{out}");
         assert!(out.contains("peer losses = 0"), "{out}");
         assert!(out.contains("payload bytes = "), "{out}");
+    }
+
+    #[test]
+    fn run_net_stream_all_transports() {
+        // The streaming workload must complete with identical rounds
+        // and per-rumor completion curves on the engine-schedule
+        // transports (loopback and reactor replay the same schedule);
+        // tcp paces real sockets, so only completion is asserted.
+        let p = temp_graph("stream-net.txt", &["generate", "cycle", "8"]);
+        for policy in ["rr", "rlc"] {
+            let base = |transport: &str| {
+                call(&[
+                    "run-net",
+                    "--workload",
+                    "stream",
+                    &p,
+                    "--transport",
+                    transport,
+                    "--rumors",
+                    "4",
+                    "--budget",
+                    "2",
+                    "--policy",
+                    policy,
+                    "--seed",
+                    "5",
+                    "--round-ms",
+                    "5",
+                ])
+                .unwrap()
+            };
+            let lo = base("loopback");
+            let re = base("reactor");
+            let schedule = |s: &str| {
+                s.lines()
+                    .filter(|l| {
+                        l.starts_with("rounds")
+                            || l.starts_with("exchanges")
+                            || l.starts_with("completions")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert!(lo.contains("complete = true"), "{policy}: {lo}");
+            assert!(lo.contains("stream units = "), "{policy}: {lo}");
+            assert_eq!(schedule(&lo), schedule(&re), "{policy}:\n{lo}\n{re}");
+            let tcp = base("tcp");
+            assert!(tcp.contains("complete = true"), "{policy}: {tcp}");
+            assert!(tcp.contains("peer losses = 0"), "{policy}: {tcp}");
+            let completions = tcp.lines().find(|l| l.starts_with("completions")).unwrap();
+            assert!(!completions.contains('-'), "uncompleted rumor: {tcp}");
+        }
     }
 
     #[test]

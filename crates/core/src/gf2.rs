@@ -1,0 +1,319 @@
+//! Incremental Gaussian elimination over GF(2) on bit-packed rows —
+//! the decoder behind random-linear-combination (algebraic) gossip.
+//!
+//! A node's knowledge is the row space of the coefficient vectors it
+//! has received (plus unit vectors for rumors it originated). The
+//! decoder maintains that space in **reduced row echelon form** over
+//! `⌈k/64⌉`-word rows, one XOR pass per inserted vector, so:
+//!
+//! * **rank** is the progress measure (each innovative row raises it
+//!   by one), and
+//! * a rumor `i` is **decoded** exactly when the unit vector `e_i`
+//!   lies in the row space — in RREF that is decidable locally: the
+//!   pivot row for column `i` *is* `e_i`. Decoded rumors are monotone:
+//!   back-substitution never disturbs a unit row (its only bit is its
+//!   pivot, and pivot columns are cleared from every other row).
+//!
+//! Full rank `k` therefore decodes the entire universe, which is the
+//! exact-reconstruction half of the proptest contract; the other half
+//! (incremental agrees with from-scratch) is checked against
+//! [`batch_rank`], an independent textbook elimination.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The outcome of one [`Gf2Decoder::insert`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the row was innovative (rank increased by one).
+    pub innovative: bool,
+    /// Rumors that became decodable by this insertion, ascending.
+    pub newly_decoded: Vec<usize>,
+}
+
+/// An incremental GF(2) eliminator over a `k`-rumor universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gf2Decoder {
+    k: usize,
+    words: usize,
+    /// RREF basis rows, in insertion order of their pivots.
+    rows: Vec<Vec<u64>>,
+    /// `pivot column → index into rows`, `k` entries.
+    row_of_pivot: Vec<Option<u32>>,
+    /// Decoded flags, one per rumor; monotone.
+    decoded: Vec<bool>,
+    decoded_count: usize,
+}
+
+/// The lowest set bit of a packed row, if any.
+fn leading_bit(row: &[u64]) -> Option<usize> {
+    row.iter()
+        .enumerate()
+        .find(|(_, w)| **w != 0)
+        .map(|(i, w)| i * 64 + usize::try_from(w.trailing_zeros()).expect("bit index fits usize"))
+}
+
+fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+fn is_unit(row: &[u64], pivot: usize) -> bool {
+    row.iter().enumerate().all(|(i, w)| {
+        if i == pivot / 64 {
+            *w == 1u64 << (pivot % 64)
+        } else {
+            *w == 0
+        }
+    })
+}
+
+impl Gf2Decoder {
+    /// An empty decoder over rumors `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Gf2Decoder {
+        assert!(k >= 1, "a zero-rumor universe has nothing to decode");
+        Gf2Decoder {
+            k,
+            words: k.div_ceil(64),
+            rows: Vec::new(),
+            row_of_pivot: vec![None; k],
+            decoded: vec![false; k],
+            decoded_count: 0,
+        }
+    }
+
+    /// The universe size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Words per packed row (`⌈k/64⌉`).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The current rank of the received row space.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether rumor `i` is decodable from the rows seen so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ k`.
+    pub fn is_decoded(&self, i: usize) -> bool {
+        self.decoded[i]
+    }
+
+    /// How many rumors are decodable.
+    pub fn decoded_count(&self) -> usize {
+        self.decoded_count
+    }
+
+    /// Whether the whole universe is decodable (rank `k`).
+    pub fn decoded_all(&self) -> bool {
+        self.decoded_count == self.k
+    }
+
+    /// The RREF basis rows (pivot order follows insertion).
+    pub fn basis(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Inserts one coefficient row, reducing it against the basis and
+    /// back-substituting if it is innovative. Returns whether rank
+    /// grew and which rumors became decodable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly [`words`](Self::words) long.
+    pub fn insert(&mut self, row: &[u64]) -> InsertOutcome {
+        assert_eq!(row.len(), self.words, "coefficient row width mismatch");
+        let mut r = row.to_vec();
+        // Fully reduce: clear every pivot column the basis owns, not
+        // just leading ones. Basis rows are themselves reduced (no
+        // foreign pivot bits), so one ascending pass suffices — each
+        // XOR clears an owned column and only toggles unowned ones.
+        for p in 0..self.k {
+            if r[p / 64] & (1u64 << (p % 64)) == 0 {
+                continue;
+            }
+            if let Some(idx) = self.row_of_pivot[p] {
+                let basis_row =
+                    self.rows[usize::try_from(idx).expect("row index fits usize")].clone();
+                xor_into(&mut r, &basis_row);
+            }
+        }
+        let Some(p) = leading_bit(&r) else {
+            return InsertOutcome::default(); // dependent: in the span already
+        };
+        // Back-substitute: clear column p from every existing row, so
+        // the basis stays *reduced* (unit-row detection is local).
+        let mut touched = Vec::new();
+        for (idx, existing) in self.rows.iter_mut().enumerate() {
+            if existing[p / 64] & (1u64 << (p % 64)) != 0 {
+                xor_into(existing, &r);
+                touched.push(idx);
+            }
+        }
+        let new_idx = u32::try_from(self.rows.len()).expect("basis size fits u32");
+        self.rows.push(r);
+        self.row_of_pivot[p] = Some(new_idx);
+        // Refresh decoded flags for the new row and every row the
+        // back-substitution rewrote; unit rows are never rewritten, so
+        // decodedness is monotone.
+        let mut outcome = InsertOutcome {
+            innovative: true,
+            newly_decoded: Vec::new(),
+        };
+        touched.push(usize::try_from(new_idx).expect("row index fits usize"));
+        for idx in touched {
+            let pivot = leading_bit(&self.rows[idx]).expect("basis rows are nonzero");
+            if !self.decoded[pivot] && is_unit(&self.rows[idx], pivot) {
+                self.decoded[pivot] = true;
+                self.decoded_count += 1;
+                outcome.newly_decoded.push(pivot);
+            }
+        }
+        outcome.newly_decoded.sort_unstable();
+        outcome
+    }
+
+    /// A uniformly random GF(2) combination of the basis rows, never
+    /// the zero vector (if every coin lands tails the first basis row
+    /// is included — a deterministic, tape-friendly fixup). `None`
+    /// when the decoder has rank 0 and there is nothing to combine.
+    pub fn random_combination(&self, rng: &mut StdRng) -> Option<Vec<u64>> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let mut out = vec![0u64; self.words];
+        let mut any = false;
+        for row in &self.rows {
+            if rng.random::<bool>() {
+                xor_into(&mut out, row);
+                any = true;
+            }
+        }
+        if !any || out.iter().all(|w| *w == 0) {
+            // A sum of distinct RREF rows is never zero, but a sum of
+            // *no* rows is; patch with the first row so every sent
+            // combination carries information.
+            out.clone_from(&self.rows[0]);
+        }
+        Some(out)
+    }
+}
+
+/// Independent from-scratch elimination for the proptest contract:
+/// ranks `rows` and reports which unit vectors lie in their span,
+/// using plain forward elimination + back-substitution over a matrix
+/// copy (no incremental bookkeeping shared with [`Gf2Decoder`]).
+pub fn batch_rank(k: usize, rows: &[Vec<u64>]) -> (usize, Vec<bool>) {
+    let words = k.div_ceil(64);
+    let mut m: Vec<Vec<u64>> = rows
+        .iter()
+        .inspect(|r| assert_eq!(r.len(), words, "coefficient row width mismatch"))
+        .cloned()
+        .collect();
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (column, row index)
+    for col in 0..k {
+        let Some(pr) = m.iter().enumerate().position(|(i, row)| {
+            pivots.iter().all(|&(_, p)| p != i) && row[col / 64] & (1u64 << (col % 64)) != 0
+        }) else {
+            continue;
+        };
+        let pivot_row = m[pr].clone();
+        for (i, row) in m.iter_mut().enumerate() {
+            if i != pr && row[col / 64] & (1u64 << (col % 64)) != 0 {
+                xor_into(row, &pivot_row);
+            }
+        }
+        pivots.push((col, pr));
+    }
+    let mut decoded = vec![false; k];
+    for &(col, pr) in &pivots {
+        decoded[col] = is_unit(&m[pr], col);
+    }
+    (pivots.len(), decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn unit(k: usize, i: usize) -> Vec<u64> {
+        let mut r = vec![0u64; k.div_ceil(64)];
+        r[i / 64] |= 1u64 << (i % 64);
+        r
+    }
+
+    #[test]
+    fn units_decode_immediately() {
+        let mut d = Gf2Decoder::new(70);
+        let out = d.insert(&unit(70, 69));
+        assert!(out.innovative);
+        assert_eq!(out.newly_decoded, vec![69]);
+        assert!(d.is_decoded(69));
+        assert_eq!(d.rank(), 1);
+    }
+
+    #[test]
+    fn dependent_rows_are_ignored() {
+        let mut d = Gf2Decoder::new(4);
+        assert!(d.insert(&[0b0011]).innovative);
+        assert!(d.insert(&[0b0101]).innovative);
+        let dup = d.insert(&[0b0110]); // xor of the first two
+        assert!(!dup.innovative);
+        assert_eq!(d.rank(), 2);
+        assert_eq!(d.decoded_count(), 0, "no unit vector in the span yet");
+    }
+
+    #[test]
+    fn completing_rank_decodes_everything() {
+        let mut d = Gf2Decoder::new(3);
+        assert!(d.insert(&[0b011]).innovative);
+        assert!(d.insert(&[0b110]).innovative);
+        assert_eq!(d.decoded_count(), 0);
+        let out = d.insert(&[0b100]);
+        assert!(out.innovative);
+        assert_eq!(out.newly_decoded, vec![0, 1, 2]);
+        assert!(d.decoded_all());
+    }
+
+    #[test]
+    fn batch_agrees_on_a_small_case() {
+        let rows = vec![vec![0b011u64], vec![0b110], vec![0b101], vec![0b100]];
+        let mut d = Gf2Decoder::new(3);
+        for r in &rows {
+            let _ = d.insert(r);
+        }
+        let (rank, decoded) = batch_rank(3, &rows);
+        assert_eq!(rank, d.rank());
+        let inc: Vec<bool> = (0..3).map(|i| d.is_decoded(i)).collect();
+        assert_eq!(decoded, inc);
+    }
+
+    #[test]
+    fn random_combination_is_nonzero_and_in_span() {
+        let mut d = Gf2Decoder::new(8);
+        let _ = d.insert(&[0b0000_0011]);
+        let _ = d.insert(&[0b0000_1100]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let c = d.random_combination(&mut rng).expect("rank is positive");
+            assert!(c.iter().any(|w| *w != 0));
+            // In the span: inserting it must not be innovative.
+            let mut probe = d.clone();
+            assert!(!probe.insert(&c).innovative);
+        }
+        assert!(Gf2Decoder::new(4).random_combination(&mut rng).is_none());
+    }
+}

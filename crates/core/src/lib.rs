@@ -19,6 +19,8 @@
 //! | [`discovery`] | Section 4.2 | adjacent-latency discovery in `Õ(D + Δ)` |
 //! | [`sparse`] | Section 1 model at scale | on-demand flooding/push, `O(|E|)` total stepping |
 //! | [`unified`] | Theorem 20 | `min` of the push-pull and spanner pipelines |
+//! | [`stream`] | Section 1 model, `k` rumors | budgeted multi-rumor selection policies |
+//! | [`gf2`] | algebraic gossip decoder | incremental GF(2) elimination, rank = progress |
 //!
 //! All algorithms are exercised end to end inside the round simulator —
 //! the round counts they report are genuine executions of the model, not
@@ -41,10 +43,12 @@ pub mod discovery;
 pub mod dtg;
 pub mod eid;
 pub mod flooding;
+pub mod gf2;
 pub mod path_discovery;
 pub mod push_pull;
 pub mod rr_broadcast;
 pub mod sparse;
+pub mod stream;
 pub mod superstep;
 pub mod termination;
 pub mod unified;

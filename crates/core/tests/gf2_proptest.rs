@@ -1,0 +1,147 @@
+//! Property tests for the GF(2) decoder behind algebraic gossip: the
+//! three-clause contract from DESIGN.md §16 — decoded rumors never
+//! exceed what was injected, full rank reconstructs the injected set
+//! exactly, and the incremental eliminator agrees with an independent
+//! from-scratch elimination.
+
+use gossip_core::gf2::{batch_rank, Gf2Decoder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn unit(k: usize, i: usize) -> Vec<u64> {
+    let mut r = vec![0u64; k.div_ceil(64)];
+    r[i / 64] |= 1u64 << (i % 64);
+    r
+}
+
+fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// A nonzero random GF(2) combination of the given unit vectors —
+/// exactly the shape of a coefficient row a node could legally emit
+/// after hearing some subset of `injected`.
+fn combo(k: usize, injected: &[usize], rng: &mut StdRng) -> Vec<u64> {
+    let mut row = vec![0u64; k.div_ceil(64)];
+    let mut any = false;
+    for &i in injected {
+        if rng.random::<bool>() {
+            xor_into(&mut row, &unit(k, i));
+            any = true;
+        }
+    }
+    if !any {
+        xor_into(&mut row, &unit(k, injected[0]));
+    }
+    row
+}
+
+/// `(k, injected_rumors)`: a universe plus a nonempty subset of it
+/// playing the role of the rumors actually injected somewhere.
+fn universe() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1usize..=130, 0u64..1000).prop_map(|(k, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut injected: Vec<usize> = (0..k).filter(|_| rng.random::<bool>()).collect();
+        if injected.is_empty() {
+            injected.push(rng.random_range(0..k));
+        }
+        (k, injected)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Safety: feeding only combinations of injected rumors can never
+    /// decode a rumor outside the injected set, no matter how many
+    /// rows arrive — and rank is capped by the injected count.
+    #[test]
+    fn decoded_is_a_subset_of_injected(
+        (k, injected) in universe(),
+        seed in 0u64..1000,
+        extra in 0usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Gf2Decoder::new(k);
+        for _ in 0..extra {
+            let _ = d.insert(&combo(k, &injected, &mut rng));
+        }
+        prop_assert!(d.rank() <= injected.len());
+        for i in 0..k {
+            if d.is_decoded(i) {
+                prop_assert!(injected.contains(&i), "phantom rumor {i} decoded");
+            }
+        }
+    }
+
+    /// Liveness: once the received rows span the injected units —
+    /// guaranteed here by mixing the units themselves into the feed —
+    /// the decoded set equals the injected set exactly.
+    #[test]
+    fn full_rank_reconstructs_exactly(
+        (k, injected) in universe(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Gf2Decoder::new(k);
+        // Interleave opaque combinations with the units that make the
+        // span whole; order is randomized, full rank is certain.
+        let mut feed: Vec<Vec<u64>> = injected.iter().map(|&i| unit(k, i)).collect();
+        for _ in 0..injected.len() {
+            feed.push(combo(k, &injected, &mut rng));
+        }
+        for i in (1..feed.len()).rev() {
+            feed.swap(i, rng.random_range(0..=i));
+        }
+        for row in &feed {
+            let _ = d.insert(row);
+        }
+        prop_assert_eq!(d.rank(), injected.len());
+        prop_assert_eq!(d.decoded_count(), injected.len());
+        for i in 0..k {
+            prop_assert_eq!(d.is_decoded(i), injected.contains(&i));
+        }
+    }
+
+    /// The incremental decoder agrees with an independent from-scratch
+    /// elimination after every prefix of an arbitrary row sequence,
+    /// and its decoded flags (plus `newly_decoded` deltas) are
+    /// monotone along the way.
+    #[test]
+    fn incremental_matches_from_scratch(
+        k in 1usize..=96,
+        seed in 0u64..1000,
+        count in 1usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = k.div_ceil(64);
+        let mask = if k % 64 == 0 { u64::MAX } else { (1u64 << (k % 64)) - 1 };
+        let rows: Vec<Vec<u64>> = (0..count)
+            .map(|_| {
+                let mut r: Vec<u64> = (0..words).map(|_| rng.random::<u64>()).collect();
+                r[words - 1] &= mask;
+                r
+            })
+            .collect();
+        let mut d = Gf2Decoder::new(k);
+        let mut flags = vec![false; k];
+        for (i, row) in rows.iter().enumerate() {
+            let before = d.rank();
+            let out = d.insert(row);
+            prop_assert_eq!(d.rank(), before + usize::from(out.innovative));
+            for &r in &out.newly_decoded {
+                prop_assert!(!flags[r], "rumor {r} reported newly decoded twice");
+                flags[r] = true;
+            }
+            let (rank, decoded) = batch_rank(k, &rows[..=i]);
+            prop_assert_eq!(rank, d.rank());
+            for (r, &want) in decoded.iter().enumerate() {
+                prop_assert_eq!(d.is_decoded(r), want, "rumor {} after row {}", r, i);
+                prop_assert_eq!(flags[r], want, "flag drift on rumor {}", r);
+            }
+        }
+    }
+}

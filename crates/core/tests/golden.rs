@@ -24,7 +24,8 @@
 use gossip_core::flooding::{self, FloodingConfig};
 use gossip_core::push_pull::{self, Mode, PushPullConfig, PushPullNode};
 use gossip_core::sparse::{self, SparseConfig, SparseOutcome};
-use gossip_sim::{EngineMode, FaultPlan, Outcome, RumorSet, SimConfig, Simulator};
+use gossip_core::stream::{StreamConfig, StreamOutcome};
+use gossip_sim::{EngineMode, FaultPlan, Outcome, RumorSet, SimConfig, Simulator, StreamSpec};
 use latency_graph::generators::layered_ring::{LayeredRing, LayeredRingSpec};
 use latency_graph::generators::{self, extra};
 use latency_graph::{Graph, NodeId};
@@ -90,6 +91,49 @@ fn sparse_flood_both_modes(g: &Graph, source: NodeId, threads: usize, seed: u64)
     let frontier = sparse::flood_broadcast(g, source, &mk(EngineMode::Frontier), seed);
     let dense = sparse::flood_broadcast(g, source, &mk(EngineMode::Dense), seed);
     let (f, d) = (fmt_sparse(&frontier), fmt_sparse(&dense));
+    assert_eq!(f, d, "dense and frontier engine modes diverged");
+    f
+}
+
+/// Formats a [`StreamOutcome`]: the shared counter line (fingerprint
+/// folds the per-node acquisition logs) plus the per-rumor global
+/// completion-round curve, pinned literally.
+fn fmt_stream(o: &StreamOutcome) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for l in &o.logs {
+        h ^= l.fingerprint();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let curve: Vec<String> = o
+        .completions
+        .iter()
+        .map(|c| c.map_or_else(|| "-".to_string(), |r| r.to_string()))
+        .collect();
+    format!(
+        "{} completions=[{}]",
+        fmt(o.rounds, &o.metrics, h),
+        curve.join(",")
+    )
+}
+
+/// Runs a streaming policy under BOTH engine modes, asserts frontier
+/// reproduces dense byte for byte (per-rumor completion curve
+/// included), and returns the shared trace.
+fn stream_both_modes(
+    g: &Graph,
+    spec: &StreamSpec,
+    threads: usize,
+    seed: u64,
+    run: fn(&Graph, &StreamSpec, &StreamConfig, u64) -> StreamOutcome,
+) -> String {
+    let mk = |mode| StreamConfig {
+        max_rounds: 1_000_000,
+        threads,
+        mode,
+    };
+    let frontier = run(g, spec, &mk(EngineMode::Frontier), seed);
+    let dense = run(g, spec, &mk(EngineMode::Dense), seed);
+    let (f, d) = (fmt_stream(&frontier), fmt_stream(&dense));
     assert_eq!(f, d, "dense and frontier engine modes diverged");
     f
 }
@@ -389,6 +433,51 @@ fn cases() -> Vec<Case> {
                     seed: 3,
                 });
                 sparse_flood_both_modes(&ring.graph, NodeId::new(0), t, 3)
+            },
+        },
+        // --- streaming workloads: k = 8 rumors, budget = 2 payload
+        //     units per exchange direction, staggered injections
+        //     (DESIGN.md §16). Pinned under BOTH engine modes via
+        //     `stream_both_modes`; the completion curve is the
+        //     per-rumor global completion round, literally ---
+        Case {
+            name: "cycle64/rr_stream/k8b2/seed7",
+            expected:
+                "rounds=73 initiated=4672 delivered=4672 lost=0 rejected=0 payload_units=1045 fingerprint=c87931fd34e1647c completions=[61,64,67,68,62,68,67,73]",
+            run: |t| {
+                let g = generators::cycle(64);
+                let spec = StreamSpec::spread(8, 2, 64);
+                stream_both_modes(&g, &spec, t, 7, gossip_core::stream::rr_stream)
+            },
+        },
+        Case {
+            name: "cycle64/rlc_stream/k8b2/seed7",
+            expected:
+                "rounds=68 initiated=4352 delivered=4352 lost=0 rejected=0 payload_units=16248 fingerprint=275f482803f2c51d completions=[56,54,68,56,57,53,57,54]",
+            run: |t| {
+                let g = generators::cycle(64);
+                let spec = StreamSpec::spread(8, 2, 64);
+                stream_both_modes(&g, &spec, t, 7, gossip_core::stream::rlc_stream)
+            },
+        },
+        Case {
+            name: "ring_of_cliques_6x8_l4/rr_stream/k8b2/seed13",
+            expected:
+                "rounds=44 initiated=2112 delivered=2108 lost=0 rejected=0 payload_units=2765 fingerprint=0e5e11ebb2b66029 completions=[27,44,37,38,31,30,34,43]",
+            run: |t| {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let spec = StreamSpec::spread(8, 2, 48);
+                stream_both_modes(&g, &spec, t, 13, gossip_core::stream::rr_stream)
+            },
+        },
+        Case {
+            name: "ring_of_cliques_6x8_l4/rlc_stream/k8b2/seed13",
+            expected:
+                "rounds=47 initiated=2256 delivered=2255 lost=0 rejected=0 payload_units=8440 fingerprint=9db5275b0a19894f completions=[31,37,29,41,25,37,46,47]",
+            run: |t| {
+                let g = extra::ring_of_cliques(6, 8, 4);
+                let spec = StreamSpec::spread(8, 2, 48);
+                stream_both_modes(&g, &spec, t, 13, gossip_core::stream::rlc_stream)
             },
         },
         Case {

@@ -29,10 +29,12 @@
 //!   counterexamples, and replay.
 //! * [`props`] — the pluggable properties (`Lemma18NoEarlyStop`,
 //!   `SameRoundTermination`, `LatencyRespected`, `SpannerOutDegree`,
-//!   `AtMostOnceDelivery`, plus liveness-via-`Termination`).
+//!   `AtMostOnceDelivery`, `NoPhantomRumor`, plus
+//!   liveness-via-`Termination`).
 //! * [`models`] — the checked models: nondeterministic push-pull
 //!   broadcast, deterministic round-robin flooding, the Lemma 18
-//!   distributed termination check, and the spanner orientation.
+//!   distributed termination check, the spanner orientation, and the
+//!   multi-rumor round-robin stream.
 //! * [`mutants`] — deliberately broken protocol variants the checker
 //!   must reject (the mutation suite proving the harness has teeth).
 //! * [`report`] — per-instance run reports and the `mc-report.json`
@@ -200,6 +202,7 @@ pub const PROPERTY_NAMES: &[&str] = &[
     "spanner-out-degree",
     "at-most-once-delivery",
     "termination",
+    "no-phantom-rumor",
 ];
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The checked models: shipped protocol nodes wrapped into the
 //! [`Model`] interface.
 //!
-//! Four model families cover the crate's property matrix:
+//! Five model families cover the crate's property matrix:
 //!
 //! * [`nd_broadcast`] — push-pull broadcast with **adversarial** peer
 //!   selection: every [`Context::choose`] branch is explored. Safety
@@ -19,6 +19,11 @@
 //!   deterministic model compared against the centralized oracle.
 //! * [`spanner_model`] — [`CheckNode`] traffic constrained to the
 //!   Baswana–Sen spanner orientation, checking `spanner-out-degree`.
+//! * [`rr_stream_model`] — the shipped round-robin streaming node
+//!   ([`RrStreamNode`]) under adversarial peer selection, wrapped in
+//!   a causal-knowledge [`StreamWitness`] and checked against
+//!   `no-phantom-rumor`. Safety only, like `nd-broadcast`: the choice
+//!   adversary can starve rumor completion.
 //!
 //! Both model structs use **plain `fn` pointers** as node factories so
 //! that [`BroadcastModel::with_node`] / [`CheckModel::with_node`] can
@@ -32,9 +37,13 @@ use std::collections::BTreeSet;
 
 use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::stream::RrStreamNode;
 use gossip_core::termination::{CheckNode, CheckPayload};
 use gossip_core::{eid, rr_broadcast};
-use gossip_sim::{Context, Exchange, Protocol, Round, RumorSet, Scheduling, SharedRumorSet};
+use gossip_sim::{
+    Context, Exchange, Protocol, Round, RumorSet, Scheduling, SharedRumorSet, StreamPayload,
+    StreamSpec,
+};
 use latency_graph::{metrics, DiGraph, Graph, NodeId};
 
 use crate::checker::{Model, Property};
@@ -580,5 +589,256 @@ pub fn spanner_model(g: &Graph, select: &PropSelect) -> CheckModel<CheckNode> {
         select: select.clone(),
         kind: CheckKind::Spanner,
         spanner: Some((arcs, cap, max_out)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-rumor streaming model
+// ---------------------------------------------------------------------
+
+/// Canonical bytes of a [`StreamPayload`] snapshot (shared by node and
+/// in-flight encodings).
+fn encode_stream_payload(payload: &StreamPayload, out: &mut Vec<u8>) {
+    match payload {
+        StreamPayload::Ids(ids) => {
+            out.push(0);
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        StreamPayload::Rows { k, rows } => {
+            out.push(1);
+            out.extend_from_slice(&k.to_le_bytes());
+            for row in rows {
+                for w in row {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// What the `no-phantom-rumor` property observes: the rumors a node
+/// *holds* versus the rumors it can *causally explain* (its own
+/// injections plus the support of every payload it received).
+pub trait StreamObserver {
+    /// Bit-packed held set (`⌈k/64⌉` words).
+    fn heard_words(&self) -> Vec<u64>;
+    /// Bit-packed causal set (`⌈k/64⌉` words).
+    fn causal_words(&self) -> &[u64];
+    /// Whether every rumor is held.
+    fn all_heard(&self) -> bool;
+    /// Appends the canonical forward-relevant state bytes.
+    fn encode_state(&self, out: &mut Vec<u8>);
+}
+
+/// A transparent [`Protocol`] wrapper that shadows a streaming node
+/// with its **causal knowledge set**: the rumors injected at this node
+/// so far, unioned with the support of every payload applied to it.
+/// The `no-phantom-rumor` property demands `held ⊆ causal` at every
+/// observation — a policy that conjures, mislabels, or leaks rumor
+/// identities breaks it immediately. The wrapper never touches the
+/// inner node's behavior, mirroring [`Counted`].
+#[derive(Clone, Debug)]
+pub struct StreamWitness<P> {
+    /// The wrapped policy node.
+    pub inner: P,
+    /// Bit-packed causal set.
+    causal: Vec<u64>,
+    /// This node's injection schedule, `(rumor, round)`.
+    own: Vec<(usize, Round)>,
+    k: usize,
+}
+
+impl<P> StreamWitness<P> {
+    /// Wraps `inner`, which hosts `id`'s share of `spec`'s injections.
+    pub fn new(inner: P, id: NodeId, spec: &StreamSpec) -> StreamWitness<P> {
+        StreamWitness {
+            inner,
+            causal: vec![0u64; spec.k.div_ceil(64)],
+            own: spec.injections_at(id),
+            k: spec.k,
+        }
+    }
+}
+
+impl<P: Protocol<Payload = StreamPayload>> Protocol for StreamWitness<P> {
+    const SCHEDULING: Scheduling = P::SCHEDULING;
+    type Payload = StreamPayload;
+
+    fn payload(&self) -> StreamPayload {
+        self.inner.payload()
+    }
+
+    fn payload_weight(payload: &StreamPayload) -> u64 {
+        P::payload_weight(payload)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_>) {
+        for &(rumor, due) in &self.own {
+            if due <= ctx.round() {
+                self.causal[rumor / 64] |= 1u64 << (rumor % 64);
+            }
+        }
+        self.inner.on_round(ctx);
+    }
+
+    fn on_exchange(&mut self, ctx: &mut Context<'_>, exchange: &Exchange<StreamPayload>) {
+        for (w, s) in self
+            .causal
+            .iter_mut()
+            .zip(exchange.payload.support_words(self.k))
+        {
+            *w |= s;
+        }
+        self.inner.on_exchange(ctx, exchange);
+    }
+
+    fn on_rejected(&mut self, ctx: &mut Context<'_>, peer: NodeId) {
+        self.inner.on_rejected(ctx, peer);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+}
+
+impl StreamObserver for StreamWitness<RrStreamNode> {
+    fn heard_words(&self) -> Vec<u64> {
+        self.inner.log().heard_words()
+    }
+
+    fn causal_words(&self) -> &[u64] {
+        &self.causal
+    }
+
+    fn all_heard(&self) -> bool {
+        self.inner.heard_all()
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.inner.encode_state(out);
+        // The causal set is observational for the *shipped* node but
+        // part of the property's verdict, so it stays in the encoding:
+        // merging states with different causal sets could hide a
+        // deeper violation behind an innocent twin.
+        for w in &self.causal {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        encode_stream_payload(&self.inner.payload(), out);
+    }
+}
+
+/// A budgeted multi-rumor streaming model: `k` rumors injected at
+/// [`StreamSpec`]-configured points, adversarial peer selection, goal
+/// = every node holds every rumor.
+pub struct StreamModel<N> {
+    name: String,
+    graph: Graph,
+    spec: StreamSpec,
+    factory: fn(NodeId, &StreamSpec) -> N,
+    bound: Round,
+    select: PropSelect,
+}
+
+impl<N> StreamModel<N> {
+    /// The same harness (graph, spec, bound, properties) over a
+    /// different node type — the mutation-suite hook.
+    pub fn with_node<M>(
+        &self,
+        name: &str,
+        factory: fn(NodeId, &StreamSpec) -> M,
+    ) -> StreamModel<M> {
+        StreamModel {
+            name: format!("{}[{name}]", self.name),
+            graph: self.graph.clone(),
+            spec: self.spec.clone(),
+            factory,
+            bound: self.bound,
+            select: self.select.clone(),
+        }
+    }
+}
+
+impl<N> Model for StreamModel<N>
+where
+    N: Protocol<Payload = StreamPayload> + Clone + StreamObserver,
+{
+    type Node = N;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn make_node(&self, id: NodeId, _n: usize) -> N {
+        (self.factory)(id, &self.spec)
+    }
+
+    fn encode_node(&self, node: &N, out: &mut Vec<u8>) {
+        node.encode_state(out);
+    }
+
+    fn encode_payload(&self, payload: &StreamPayload, out: &mut Vec<u8>) {
+        encode_stream_payload(payload, out);
+    }
+
+    fn goal_met(&self, nodes: &[N]) -> bool {
+        nodes.iter().all(StreamObserver::all_heard)
+    }
+
+    fn round_bound(&self) -> Round {
+        self.bound
+    }
+
+    fn properties(&self) -> Vec<Property<N>> {
+        let mut props = Vec::new();
+        if self.select.wants("no-phantom-rumor") {
+            props.push(props::no_phantom_rumor());
+        }
+        props
+    }
+
+    fn fault_budget_cap(&self) -> u32 {
+        // Pinned to zero, like Lemma 18: the fault adversary can only
+        // *remove* exchanges, and the streaming policies have no
+        // loss-handling code path, so budget 0 already reaches every
+        // payload-application path a phantom could slip through —
+        // while keeping the dense n = 4 instances exhaustively
+        // checkable inside the corpus sweep.
+        0
+    }
+}
+
+/// The shipped round-robin streaming policy under adversarial peer
+/// selection: two rumors, per-direction budget 1 — the smallest
+/// universe where an exchange must *choose* what to carry, which is
+/// exactly the code path a phantom could slip through. The universe is
+/// deliberately minimal: per-peer knowledge masks multiply the state
+/// space by `2^(k·Σdeg)`, so k = 2 is what keeps the n = 4 instances
+/// exhaustively checkable. Safety only — the choice adversary can
+/// starve completion, so the model carries `no-phantom-rumor` and no
+/// liveness claim.
+pub fn rr_stream_model(g: &Graph, select: PropSelect) -> StreamModel<StreamWitness<RrStreamNode>> {
+    let n = g.node_count();
+    let spec = StreamSpec::spread(2, 1, n);
+    // Horizon: every injection is in flight by `last_injection_round`;
+    // 2·D_w + 1 more rounds give any live schedule room to finish (and
+    // bound the adversarial ones).
+    let bound = spec.last_injection_round() + 2 * metrics::weighted_diameter(g).max(1) + 1;
+    StreamModel {
+        name: "rr-stream".to_string(),
+        graph: g.clone(),
+        spec,
+        factory: |id, spec| StreamWitness::new(RrStreamNode::new(id, spec), id, spec),
+        bound,
+        select,
     }
 }

@@ -18,14 +18,20 @@
 //! | `fat-orientation` | initiates over all graph neighbors, not its out-arcs | `spanner-out-degree` |
 //! | `stall`           | never initiates | `termination` |
 //! | `double-apply`    | applies every exchange twice | `at-most-once-delivery` |
+//! | `phantom-rumor`   | holds a rumor injected elsewhere it never received | `no-phantom-rumor` |
 
 use gossip_core::flooding::FloodingNode;
 use gossip_core::termination::CheckPayload;
-use gossip_sim::{Context, Exchange, Protocol, RumorSet, SharedRumorSet};
+use gossip_sim::{
+    CompletionLog, Context, Exchange, Protocol, RumorSet, SharedRumorSet, StreamPayload, StreamSpec,
+};
 use latency_graph::NodeId;
 
 use crate::checker::{check, replay, CheckConfig, CheckOutcome, Model};
-use crate::models::{custom_spanner_model, lemma18_models, rr_flood, Counted, Decider, RumorNode};
+use crate::models::{
+    custom_spanner_model, lemma18_models, rr_flood, rr_stream_model, Counted, Decider, RumorNode,
+    StreamObserver,
+};
 use crate::{instance, Family, PropSelect};
 
 /// The verdict on one mutant.
@@ -385,6 +391,88 @@ pub fn fat_orientation() -> MutantRun {
     conclude(&m, "fat-orientation", "spanner-out-degree", out)
 }
 
+// ---------------------------------------------------------------------
+// Streaming mutants
+// ---------------------------------------------------------------------
+
+/// Holds a rumor it can't causally explain: the constructor records a
+/// rumor that is injected at *another* node, with no received payload
+/// to support it — the held set escapes the causal set at the very
+/// first observation.
+#[derive(Clone, Debug)]
+pub struct PhantomStreamNode {
+    log: CompletionLog,
+    causal: Vec<u64>,
+    k: usize,
+}
+
+impl PhantomStreamNode {
+    fn new(id: NodeId, spec: &StreamSpec) -> PhantomStreamNode {
+        let mut log = CompletionLog::new(spec.k);
+        // Claim the first rumor that originates elsewhere (spread
+        // schedules guarantee one exists for n >= 2).
+        if let Some(rumor) = (0..spec.k).find(|&r| spec.origin(r).node != id) {
+            let _ = log.record(rumor, 0);
+        }
+        PhantomStreamNode {
+            log,
+            causal: vec![0u64; spec.k.div_ceil(64)],
+            k: spec.k,
+        }
+    }
+}
+
+impl Protocol for PhantomStreamNode {
+    type Payload = StreamPayload;
+
+    fn payload(&self) -> StreamPayload {
+        StreamPayload::empty_ids()
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_>) {}
+
+    fn on_exchange(&mut self, _ctx: &mut Context<'_>, x: &Exchange<StreamPayload>) {
+        for (w, s) in self.causal.iter_mut().zip(x.payload.support_words(self.k)) {
+            *w |= s;
+        }
+    }
+}
+
+impl StreamObserver for PhantomStreamNode {
+    fn heard_words(&self) -> Vec<u64> {
+        self.log.heard_words()
+    }
+
+    fn causal_words(&self) -> &[u64] {
+        &self.causal
+    }
+
+    fn all_heard(&self) -> bool {
+        self.log.heard_all()
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        for w in self.log.heard_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for w in &self.causal {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+}
+
+/// The phantom-rumor mutant: must be caught by `no-phantom-rumor` on
+/// the streaming model.
+pub fn phantom_rumor() -> MutantRun {
+    let g = instance(Family::Cycle, 4)
+        .expect("cycle4 is a valid instance")
+        .graph;
+    let base = rr_stream_model(&g, PropSelect::One("no-phantom-rumor".to_string()));
+    let m = base.with_node("phantom-rumor", PhantomStreamNode::new);
+    let out = check(&m, &CheckConfig::default());
+    conclude(&m, "phantom-rumor", "no-phantom-rumor", out)
+}
+
 /// Runs the whole suite. Every entry must report
 /// [`killed`](MutantRun::killed); CI fails otherwise.
 pub fn run_all() -> Vec<MutantRun> {
@@ -395,5 +483,6 @@ pub fn run_all() -> Vec<MutantRun> {
         fat_orientation(),
         stall(),
         double_apply(),
+        phantom_rumor(),
     ]
 }

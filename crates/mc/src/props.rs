@@ -14,6 +14,7 @@
 //! | `lemma18-no-early-stop` | a node decides *terminate* iff the centralized termination oracle agrees |
 //! | `same-round-termination`| all nodes decide identically at a terminal observation |
 //! | `spanner-out-degree`    | all traffic stays on the spanner orientation and respects its out-degree cap |
+//! | `no-phantom-rumor`      | every rumor a node holds is causally explained: injected here, or carried by the support of a received payload |
 
 use std::collections::BTreeSet;
 
@@ -21,7 +22,7 @@ use gossip_sim::{Protocol, Round, RumorSet};
 use latency_graph::{metrics, Graph, NodeId};
 
 use crate::checker::{Obs, Property, Terminal};
-use crate::models::{Decider, RumorNode};
+use crate::models::{Decider, RumorNode, StreamObserver};
 
 /// Every exchange's duration equals the latency of a real edge, and no
 /// rumor is held closer to its origin than the weighted distance
@@ -203,6 +204,39 @@ pub fn spanner_out_degree<N: Protocol>(
                         "exchange {}→{} is not an oriented spanner arc",
                         d.a, d.b
                     ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The streaming safety invariant: a node's held set stays inside its
+/// causal set (own injections ∪ support of received payloads) at every
+/// observation. A selection policy that conjures a rumor id, mislabels
+/// a payload, or decodes outside the received row space violates this
+/// at the first bad observation — the multi-rumor analogue of the
+/// provenance half of `latency-respected`.
+pub fn no_phantom_rumor<N>() -> Property<N>
+where
+    N: Protocol + StreamObserver,
+{
+    Property {
+        name: "no-phantom-rumor",
+        check: Box::new(|obs: &Obs<'_, N>| {
+            for (v, node) in obs.nodes.iter().enumerate() {
+                let heard = node.heard_words();
+                let causal = node.causal_words();
+                for (word, (h, c)) in heard.iter().zip(causal).enumerate() {
+                    let phantom = h & !c;
+                    if phantom != 0 {
+                        let bit = usize::try_from(phantom.trailing_zeros())
+                            .expect("bit index fits usize");
+                        return Err(format!(
+                            "v{v} holds rumor {} it neither injected nor received",
+                            word * 64 + bit
+                        ));
+                    }
                 }
             }
             Ok(())

@@ -16,7 +16,7 @@ use crate::{Instance, PropSelect};
 #[derive(Clone, Debug)]
 pub struct ModelReport {
     /// Model display name (`nd-broadcast`, `rr-flood`, `lemma18`,
-    /// `spanner`).
+    /// `spanner`, `rr-stream`).
     pub model: String,
     /// Distinct states explored (summed across aggregated configs).
     pub explored: u64,
@@ -152,6 +152,10 @@ pub fn run_instance_models(
     if wanted("spanner") && select.wants("spanner-out-degree") {
         let m = models::spanner_model(g, select);
         reports.push(model_report("spanner", vec![check(&m, &cfg)]));
+    }
+    if wanted("rr-stream") && select.wants("no-phantom-rumor") {
+        let m = models::rr_stream_model(g, select.clone());
+        reports.push(model_report("rr-stream", vec![check(&m, &cfg)]));
     }
 
     RunReport {

@@ -89,10 +89,20 @@ const PINNED: &[Entry] = &[
     ("ring-of-cliques4", 2, "rr-flood", 121, 356, 144),
     ("ring-of-cliques4", 2, "lemma18", 182, 182, 14),
     ("ring-of-cliques4", 2, "spanner", 312, 809, 146),
+    // rr-stream clamps its fault budget to 0 (see
+    // `StreamModel::fault_budget_cap`), so its counts are
+    // budget-invariant — pinned once per instance at budget 0, with
+    // the invariance itself covered by
+    // `stream_budget_is_clamped_to_zero`.
+    ("cycle3", 0, "rr-stream", 349, 1007, 255),
+    ("clique3", 0, "rr-stream", 349, 1007, 255),
+    ("star4", 0, "rr-stream", 25, 45, 15),
+    ("cycle4", 0, "rr-stream", 8113, 51913, 5193),
 ];
 
-/// The ND push-pull rows too big for the debug profile, pinned all the
-/// same and exercised in release by the CI `mc` job.
+/// The ND push-pull and dense-instance rr-stream rows too big for the
+/// debug profile, pinned all the same and exercised in release by the
+/// CI `mc` job.
 const PINNED_HEAVY: &[Entry] = &[
     ("cycle4", 1, "nd-broadcast", 11809, 116_762, 11210),
     ("cycle4", 2, "nd-broadcast", 43153, 749_080, 61256),
@@ -116,6 +126,8 @@ const PINNED_HEAVY: &[Entry] = &[
         22_094_127,
         1_332_487,
     ),
+    ("clique4", 0, "rr-stream", 443_692, 2_282_172, 420_711),
+    ("ring-of-cliques4", 0, "rr-stream", 142_189, 923_494, 90_102),
 ];
 
 fn assert_entries(report: &RunReport, entries: &[&Entry]) {
@@ -178,6 +190,20 @@ fn corpus_counts_are_pinned() {
 #[ignore = "release-profile cost; run by the CI mc job via --include-ignored"]
 fn corpus_counts_are_pinned_heavy() {
     run_table(PINNED_HEAVY);
+}
+
+#[test]
+fn stream_budget_is_clamped_to_zero() {
+    // The rr-stream model pins its fault budget at 0 (faults only
+    // remove exchanges and cannot mint phantom rumors), so its counts
+    // must not move with the requested budget.
+    let instances = corpus();
+    let inst = instances.iter().find(|i| i.name == "cycle3").unwrap();
+    let select = PropSelect::One("no-phantom-rumor".to_string());
+    let a = run_instance(inst, 0, &select);
+    let b = run_instance(inst, 2, &select);
+    assert_eq!(a.models[0].explored, b.models[0].explored);
+    assert_eq!(a.models[0].transitions, b.models[0].transitions);
 }
 
 #[test]

@@ -85,6 +85,11 @@ fn double_apply_mutant_is_killed() {
 }
 
 #[test]
+fn phantom_rumor_mutant_is_killed() {
+    assert_killed(&mutants::phantom_rumor());
+}
+
+#[test]
 fn suite_runs_every_mutant() {
     let runs = mutants::run_all();
     let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
@@ -96,7 +101,8 @@ fn suite_runs_every_mutant() {
             "eager-rumor",
             "fat-orientation",
             "stall",
-            "double-apply"
+            "double-apply",
+            "phantom-rumor"
         ]
     );
     assert!(runs.iter().all(MutantRun::killed));

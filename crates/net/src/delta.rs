@@ -40,7 +40,7 @@ pub const TAG_RUNS: u8 = 1;
 pub const TAG_WORDS: u8 = 2;
 
 /// Appends a LEB128 varint.
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = u8::try_from(v & 0x7F).expect("low 7 bits fit u8");
         v >>= 7;
@@ -52,15 +52,21 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-/// Bounds-checked cursor over a delta body.
-struct Cursor<'a> {
+/// Bounds-checked cursor over a delta body (also used by the stream
+/// payload codec in `wire.rs`, which shares the varint format).
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u8(&mut self) -> Result<u8, CodecError> {
@@ -72,7 +78,7 @@ impl<'a> Cursor<'a> {
         Ok(b)
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         let end = self.pos + 8;
         let bytes = self
             .buf
@@ -84,7 +90,7 @@ impl<'a> Cursor<'a> {
         ))
     }
 
-    fn varint(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, CodecError> {
         let mut value = 0u64;
         let mut shift = 0u32;
         loop {
@@ -103,7 +109,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn finish(self) -> Result<(), CodecError> {
+    pub(crate) fn finish(self) -> Result<(), CodecError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -190,10 +196,7 @@ fn encode_runs(runs: impl Iterator<Item = (u32, u32)>, count: usize, out: &mut V
 /// against the universe. Every malformed input — universe mismatch,
 /// id or run out of bounds, non-monotone gaps, stray tail bits,
 /// trailing bytes — maps to a typed [`CodecError`], never a panic.
-pub fn decode_rumor_delta(
-    bytes: &[u8],
-    basis: Option<&RumorSet>,
-) -> Result<RumorSet, CodecError> {
+pub fn decode_rumor_delta(bytes: &[u8], basis: Option<&RumorSet>) -> Result<RumorSet, CodecError> {
     let mut cur = Cursor::new(bytes);
     let wide = cur.varint()?;
     if u32::try_from(wide).is_err() {
@@ -261,9 +264,8 @@ pub fn decode_rumor_delta(
             *w ^= bw;
         }
     }
-    RumorSet::from_words(universe, words).ok_or(CodecError::BadBody(
-        "delta bits inconsistent with universe",
-    ))
+    RumorSet::from_words(universe, words)
+        .ok_or(CodecError::BadBody("delta bits inconsistent with universe"))
 }
 
 #[cfg(test)]
@@ -283,12 +285,12 @@ mod tests {
     fn every_tier_round_trips_exactly() {
         let n = 4096;
         let shapes: Vec<Vec<usize>> = vec![
-            Vec::new(),                          // empty delta
-            vec![17],                            // sparse, one id
-            (100..130).collect(),                // runs
-            (0..n).step_by(2).collect(),         // dense scattered → words
-            (0..n).collect(),                    // full → one run
-            (0..n).step_by(64).collect(),        // sparse spanning many words
+            Vec::new(),                   // empty delta
+            vec![17],                     // sparse, one id
+            (100..130).collect(),         // runs
+            (0..n).step_by(2).collect(),  // dense scattered → words
+            (0..n).collect(),             // full → one run
+            (0..n).step_by(64).collect(), // sparse spanning many words
         ];
         for snap_ids in &shapes {
             for basis_ids in &shapes {

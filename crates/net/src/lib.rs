@@ -68,4 +68,4 @@ pub use runner::{
 };
 pub use tcp::{run_local_cluster, run_local_cluster_mode, TcpConfig, TcpTransport};
 pub use transport::{NetEvent, Transport, TransportStats};
-pub use wire::{Frame, WirePayload, CAP_DELTA, MAX_BODY};
+pub use wire::{Frame, WirePayload, CAP_DELTA, CAP_STREAM, MAX_BODY};

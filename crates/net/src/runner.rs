@@ -126,6 +126,11 @@ pub struct WireAccounting {
     pub delta_frames: u64,
     /// Payload-carrying frames sent in snapshot form.
     pub snapshot_frames: u64,
+    /// Rumor-payload units carried by the sent frames under a streaming
+    /// workload ([`WirePayload::stream_units`] summed send-side): the
+    /// per-rumor traffic ledger `bench-net` reports next to the byte
+    /// counters. 0 for non-streaming payload types.
+    pub stream_units: u64,
 }
 
 impl WireAccounting {
@@ -135,6 +140,7 @@ impl WireAccounting {
         self.snapshot_bytes += other.snapshot_bytes;
         self.delta_frames += other.delta_frames;
         self.snapshot_frames += other.snapshot_frames;
+        self.stream_units += other.stream_units;
     }
 
     /// Compression ratio versus always-snapshot:
@@ -201,6 +207,7 @@ fn encode_for_wire<Pl: WirePayload>(
     basis: Option<(u64, &Pl)>,
 ) -> (Vec<u8>, Option<u64>) {
     let snap_len = payload.snapshot_len();
+    acct.stream_units += payload.stream_units();
     if mode == PayloadMode::Delta && Pl::supports_delta() && peer_caps & CAP_DELTA != 0 {
         let (basis_seq, basis) = match basis {
             Some((seq, b)) => (seq, Some(b)),
@@ -289,9 +296,13 @@ where
         node: NodeId,
         protocol: P,
         config: &SimConfig,
-        transport: T,
+        mut transport: T,
     ) -> Self {
         assert_eq!(transport.local(), node, "transport bound to the wrong node");
+        // Payload-type capabilities (CAP_STREAM for streaming payloads)
+        // ride every handshake from the start; with_payload_mode ORs in
+        // the mode bits on top.
+        transport.set_caps(P::Payload::caps());
         NetRunner {
             graph,
             pacer: NodePacer::new(graph, node, protocol, config),
@@ -352,7 +363,7 @@ where
             PayloadMode::Snapshot
         };
         if self.mode == PayloadMode::Delta {
-            self.transport.set_caps(CAP_DELTA);
+            self.transport.set_caps(CAP_DELTA | P::Payload::caps());
         }
         self
     }
@@ -880,7 +891,12 @@ where
     pub fn abort(mut self) -> (SimMetrics, TransportStats, WireAccounting, P) {
         self.transport.shutdown();
         let stats = self.transport.stats();
-        (self.metrics, stats, self.accounting, self.pacer.into_protocol())
+        (
+            self.metrics,
+            stats,
+            self.accounting,
+            self.pacer.into_protocol(),
+        )
     }
 }
 
@@ -1103,8 +1119,8 @@ mod tests {
             rumors: RumorSet::singleton(graph.node_count(), node),
         };
         let cfg = SimConfig::default();
-        let runner =
-            NetRunner::new(graph, node, protocol, &cfg, transport).with_payload_mode(PayloadMode::Delta);
+        let runner = NetRunner::new(graph, node, protocol, &cfg, transport)
+            .with_payload_mode(PayloadMode::Delta);
         (runner, sent)
     }
 
@@ -1176,16 +1192,22 @@ mod tests {
         let Frame::RequestDelta { basis_seq, .. } = second else {
             panic!("expected a delta request, got {second:?}");
         };
-        assert_eq!(basis_seq, seq, "cache hit: delta against the confirmed basis");
+        assert_eq!(
+            basis_seq, seq,
+            "cache hit: delta against the confirmed basis"
+        );
 
         // The transport reports the peer lost: the whole edge cache dies
         // with the connection, and the in-flight initiation is written
         // off as lost.
-        runner.transport.inbox.push_back(NetEvent::PeerLost(PeerLoss {
-            peer,
-            attempts: 3,
-            error: "injected".to_owned(),
-        }));
+        runner
+            .transport
+            .inbox
+            .push_back(NetEvent::PeerLost(PeerLoss {
+                peer,
+                attempts: 3,
+                error: "injected".to_owned(),
+            }));
         runner.settle(1).expect("settle 1");
         assert!(
             !runner.knowledge.contains_key(&peer),
@@ -1205,7 +1227,10 @@ mod tests {
         let Frame::RequestDelta { basis_seq, .. } = third else {
             panic!("expected a delta request, got {third:?}");
         };
-        assert_eq!(basis_seq, 0, "reconnect renegotiates from the full snapshot");
+        assert_eq!(
+            basis_seq, 0,
+            "reconnect renegotiates from the full snapshot"
+        );
     }
 
     #[test]

@@ -369,8 +369,7 @@ impl Transport for TcpTransport {
         self.shared
             .peer_caps
             .lock()
-            .map(|observed| observed.get(&peer).copied().unwrap_or(0))
-            .unwrap_or(0)
+            .map_or(0, |observed| observed.get(&peer).copied().unwrap_or(0))
     }
 
     fn start(&mut self) -> Result<(), NetError> {

@@ -19,7 +19,7 @@
 //! for — which is what makes the stream-reassembly loop in the TCP
 //! reader a two-line match.
 
-use gossip_sim::{CompactRumorSet, Round, RumorSet, SharedRumorSet};
+use gossip_sim::{CompactRumorSet, Round, RumorSet, SharedRumorSet, StreamPayload};
 use latency_graph::NodeId;
 
 use crate::error::CodecError;
@@ -44,6 +44,16 @@ pub const MAX_BODY: u32 = 1 << 20;
 /// advertise this bit; unknown bits are ignored, so a stale or missing
 /// capability only costs bytes (snapshot fallback), never rumors.
 pub const CAP_DELTA: u32 = 1;
+
+/// Capability bit in [`Frame::Hello::caps`]: the sender runs a
+/// streaming (multi-rumor, budgeted) workload — its `Request`/`Reply`
+/// payload bodies are [`StreamPayload`] encodings (rumor-id batches or
+/// GF(2) coefficient rows), not rumor-set snapshots. Advertised
+/// automatically whenever the runner's payload type is
+/// [`StreamPayload`] (see [`WirePayload::caps`]); like every capability
+/// bit it only describes the bytes, never changes outcomes, and
+/// receivers ignore bits they do not know.
+pub const CAP_STREAM: u32 = 2;
 
 const KIND_HELLO: u8 = 0;
 const KIND_REQUEST: u8 = 1;
@@ -614,6 +624,22 @@ pub trait WirePayload: Sized {
         self.encode_payload(&mut scratch);
         scratch.len()
     }
+
+    /// Capability bits every handshake should advertise when this
+    /// payload type is in use ([`CAP_STREAM`], …) — in addition to
+    /// whatever bits the runner's mode adds ([`CAP_DELTA`]). Defaults
+    /// to none.
+    fn caps() -> u32 {
+        0
+    }
+
+    /// Rumor-payload units this snapshot carries under a streaming
+    /// workload — what the per-rumor wire accounting
+    /// ([`crate::WireAccounting::stream_units`]) sums. Non-streaming
+    /// payload types report 0.
+    fn stream_units(&self) -> u64 {
+        0
+    }
 }
 
 impl WirePayload for RumorSet {
@@ -698,6 +724,114 @@ impl WirePayload for SharedRumorSet {
 
     fn snapshot_len(&self) -> usize {
         4 + 8 * self.universe().div_ceil(64)
+    }
+}
+
+/// Body tag for the rumor-id flavor of a [`StreamPayload`] encoding.
+const STREAM_TAG_IDS: u8 = 0;
+/// Body tag for the coefficient-row flavor.
+const STREAM_TAG_ROWS: u8 = 1;
+
+/// The multi-rumor payload body, riding the delta codec's varint
+/// machinery:
+///
+/// ```text
+/// stream := 0 varint(count) { varint(id) }*          rumor-id batch
+///         | 1 varint(k) varint(count) { row }*       coefficient rows
+/// row    := ⌈k/64⌉ × u64 LE
+/// ```
+///
+/// Ids stay in the sender's packing order (round-robin order is
+/// protocol state), so encoding is exactly lossless: decode ∘ encode is
+/// the identity on the payload value, not merely on its set semantics.
+/// Decoding validates everything — id width, row width, and the tail
+/// bits of each row beyond `k`, which is what keeps phantom rumors
+/// unrepresentable on the wire.
+impl WirePayload for StreamPayload {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            StreamPayload::Ids(ids) => {
+                out.push(STREAM_TAG_IDS);
+                crate::delta::push_varint(out, u64::try_from(ids.len()).expect("count fits u64"));
+                for &id in ids {
+                    crate::delta::push_varint(out, u64::from(id));
+                }
+            }
+            StreamPayload::Rows { k, rows } => {
+                out.push(STREAM_TAG_ROWS);
+                crate::delta::push_varint(out, u64::from(*k));
+                crate::delta::push_varint(out, u64::try_from(rows.len()).expect("count fits u64"));
+                for row in rows {
+                    for w in row {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Result<StreamPayload, CodecError> {
+        let mut cur = crate::delta::Cursor::new(bytes);
+        let payload = match cur.varint()? {
+            tag if tag == u64::from(STREAM_TAG_IDS) => {
+                let count = usize::try_from(cur.varint()?)
+                    .ok()
+                    .filter(|&c| c <= cur.remaining())
+                    .ok_or(CodecError::BadBody("stream id count exceeds body"))?;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = u32::try_from(cur.varint()?)
+                        .map_err(|_| CodecError::BadBody("stream rumor id exceeds u32"))?;
+                    ids.push(id);
+                }
+                StreamPayload::Ids(ids)
+            }
+            tag if tag == u64::from(STREAM_TAG_ROWS) => {
+                let k = u32::try_from(cur.varint()?)
+                    .map_err(|_| CodecError::BadBody("stream universe exceeds u32"))?;
+                let kk = usize::try_from(k).expect("u32 fits usize");
+                let words = kk.div_ceil(64);
+                let count = usize::try_from(cur.varint()?)
+                    .ok()
+                    .filter(|&c| {
+                        // A zero-rumor universe has zero-byte rows; only
+                        // the empty row list is representable for it.
+                        (words > 0 || c == 0)
+                            && c.checked_mul(words * 8)
+                                .is_some_and(|total| total <= cur.remaining())
+                    })
+                    .ok_or(CodecError::BadBody("stream row count exceeds body"))?;
+                let tail_bits = kk % 64;
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut row = Vec::with_capacity(words);
+                    for _ in 0..words {
+                        row.push(cur.u64()?);
+                    }
+                    if tail_bits != 0 {
+                        let last = row.last().copied().unwrap_or(0);
+                        if last >> tail_bits != 0 {
+                            return Err(CodecError::BadBody(
+                                "stream row has coefficient bits beyond the universe",
+                            ));
+                        }
+                    }
+                    rows.push(row);
+                }
+                StreamPayload::Rows { k, rows }
+            }
+            _ => return Err(CodecError::BadBody("unknown stream payload tag")),
+        };
+        cur.finish()?;
+        Ok(payload)
+    }
+
+    fn caps() -> u32 {
+        CAP_STREAM
+    }
+
+    fn stream_units(&self) -> u64 {
+        self.units()
     }
 }
 
@@ -936,6 +1070,77 @@ mod tests {
         set.encode_payload(&mut bytes);
         let back = RumorSet::decode_payload(&bytes).expect("payload decodes");
         assert_eq!(back, set);
+    }
+
+    #[test]
+    fn stream_payload_round_trips_both_flavors() {
+        let cases = vec![
+            StreamPayload::empty_ids(),
+            StreamPayload::Ids(vec![7, 3, 300, 0]), // packing order preserved
+            StreamPayload::empty_rows(130),
+            StreamPayload::Rows {
+                k: 130,
+                rows: vec![vec![0b101, 0, 1], vec![u64::MAX, u64::MAX, 0b11]],
+            },
+            StreamPayload::Rows {
+                k: 64,
+                rows: vec![vec![u64::MAX]],
+            },
+        ];
+        for p in cases {
+            let mut bytes = Vec::new();
+            p.encode_payload(&mut bytes);
+            let back = StreamPayload::decode_payload(&bytes).expect("payload decodes");
+            assert_eq!(back, p, "stream payload must round-trip exactly");
+            assert_eq!(back.units(), p.units());
+        }
+    }
+
+    #[test]
+    fn stream_payload_rejects_malformed_bodies() {
+        // Unknown tag.
+        assert!(StreamPayload::decode_payload(&[9]).is_err());
+        // Id count larger than the body could hold.
+        assert!(StreamPayload::decode_payload(&[0, 200, 1]).is_err());
+        // Row with coefficient bits beyond the declared universe.
+        let mut tail = Vec::new();
+        StreamPayload::Rows {
+            k: 3,
+            rows: vec![vec![0b111]],
+        }
+        .encode_payload(&mut tail);
+        let last = tail.len() - 1;
+        assert!(StreamPayload::decode_payload(&tail).is_ok());
+        tail[last] = 0xFF; // bits 4..8 are outside k = 3
+        assert!(StreamPayload::decode_payload(&tail).is_err());
+        // Row count inconsistent with the body length.
+        let mut short = Vec::new();
+        StreamPayload::Rows {
+            k: 64,
+            rows: vec![vec![5]],
+        }
+        .encode_payload(&mut short);
+        short.truncate(short.len() - 1);
+        assert!(StreamPayload::decode_payload(&short).is_err());
+        // Truncation anywhere is a typed error, never a panic.
+        let mut full = Vec::new();
+        StreamPayload::Ids(vec![1, 2, 700]).encode_payload(&mut full);
+        for cut in 0..full.len() {
+            assert!(StreamPayload::decode_payload(&full[..cut]).is_err());
+        }
+        // Trailing garbage.
+        full.push(0);
+        assert!(StreamPayload::decode_payload(&full).is_err());
+    }
+
+    #[test]
+    fn stream_payload_advertises_caps_and_units() {
+        assert_eq!(<StreamPayload as WirePayload>::caps(), CAP_STREAM);
+        assert_eq!(<RumorSet as WirePayload>::caps(), 0);
+        let p = StreamPayload::Ids(vec![4, 9]);
+        assert_eq!(p.stream_units(), 2);
+        assert_eq!(RumorSet::new(8).stream_units(), 0);
+        assert!(!<StreamPayload as WirePayload>::supports_delta());
     }
 
     #[test]

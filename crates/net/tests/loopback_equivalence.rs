@@ -8,9 +8,12 @@
 
 use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::stream::{RlcStreamNode, RrStreamNode};
 use gossip_core::Goal;
 use gossip_net::{run_loopback, run_loopback_mode_with_stats, PayloadMode};
-use gossip_sim::{Outcome, Protocol, Round, SimConfig, Simulator, StopReason};
+use gossip_sim::{
+    completion_rounds, Outcome, Protocol, Round, SimConfig, Simulator, StopReason, StreamSpec,
+};
 use latency_graph::{generators, Graph, NodeId};
 
 fn config(seed: u64, max_rounds: u64, latency_known: bool) -> SimConfig {
@@ -310,6 +313,90 @@ fn latency_known_visibility_matches_engine() {
             |p: &GreedyFastEdge| p.rumors.fingerprint(),
         );
     }
+}
+
+/// The streaming half of the obligation: both budgeted selection
+/// policies must reproduce engine runs over the wire — stop reason,
+/// rounds, metrics, per-node acquisition fingerprints, and the folded
+/// per-rumor completion curve — and the stream-unit wire accounting
+/// must cover every delivered payload unit.
+fn check_stream<P: Protocol + Send>(
+    label: &str,
+    g: &Graph,
+    cfg: &SimConfig,
+    factory: impl Fn(NodeId, usize) -> P + Copy,
+    log: impl Fn(&P) -> &gossip_sim::CompletionLog,
+) where
+    P::Payload: gossip_net::WirePayload + Send,
+{
+    let engine = Simulator::new(g, *cfg).run(factory, |_: &[P], _| false);
+    let (net, _, acct) =
+        run_loopback_mode_with_stats(g, cfg, PayloadMode::Snapshot, factory, |_: &[&P], _| false);
+    assert_eq!(
+        engine.reason,
+        StopReason::AllDone,
+        "{label}: engine finished"
+    );
+    assert_equiv(label, &engine, &net, |p: &P| log(p).fingerprint());
+    let curve_e = completion_rounds(engine.nodes.iter().map(&log));
+    let curve_n = completion_rounds(net.nodes.iter().map(&log));
+    assert_eq!(curve_e, curve_n, "{label}: per-rumor completion curve");
+    assert!(
+        curve_e.iter().all(Option::is_some),
+        "{label}: every rumor completed"
+    );
+    assert!(
+        acct.stream_units >= net.metrics.payload_units,
+        "{label}: sent stream units ({}) cover delivered payload units ({})",
+        acct.stream_units,
+        net.metrics.payload_units,
+    );
+}
+
+#[test]
+fn rr_stream_matches_engine() {
+    let spec = StreamSpec::spread(8, 2, 16);
+    let cfg = config(21, 100_000, false);
+    let g = generators::cycle(16);
+    check_stream(
+        "cycle/rr-stream",
+        &g,
+        &cfg,
+        |id, _| RrStreamNode::new(id, &spec),
+        RrStreamNode::log,
+    );
+    let rc = generators::ring_of_cliques(4, 4, 3);
+    let spec_rc = StreamSpec::spread(8, 2, 16);
+    check_stream(
+        "ring-of-cliques/rr-stream",
+        &rc,
+        &cfg,
+        |id, _| RrStreamNode::new(id, &spec_rc),
+        RrStreamNode::log,
+    );
+}
+
+#[test]
+fn rlc_stream_matches_engine() {
+    let spec = StreamSpec::spread(8, 2, 16);
+    let cfg = config(33, 100_000, false);
+    let g = generators::cycle(16);
+    check_stream(
+        "cycle/rlc-stream",
+        &g,
+        &cfg,
+        |id, _| RlcStreamNode::new(id, &spec),
+        RlcStreamNode::log,
+    );
+    let rc = generators::ring_of_cliques(4, 4, 3);
+    let spec_rc = StreamSpec::spread(8, 2, 16);
+    check_stream(
+        "ring-of-cliques/rlc-stream",
+        &rc,
+        &cfg,
+        |id, _| RlcStreamNode::new(id, &spec_rc),
+        RlcStreamNode::log,
+    );
 }
 
 #[test]

@@ -10,9 +10,12 @@
 
 use gossip_core::flooding::FloodingNode;
 use gossip_core::push_pull::{Mode, PushPullNode};
+use gossip_core::stream::{RlcStreamNode, RrStreamNode};
 use gossip_core::Goal;
 use gossip_net::{run_reactor, run_reactor_mode_with_stats, PayloadMode};
-use gossip_sim::{Outcome, Protocol, Round, SimConfig, Simulator, StopReason};
+use gossip_sim::{
+    completion_rounds, Outcome, Protocol, Round, SimConfig, Simulator, StopReason, StreamSpec,
+};
 use latency_graph::{generators, Graph, NodeId};
 
 fn config(seed: u64, max_rounds: u64, latency_known: bool) -> SimConfig {
@@ -312,6 +315,49 @@ fn latency_known_visibility_matches_engine() {
             |p: &GreedyFastEdge| p.rumors.fingerprint(),
         );
     }
+}
+
+#[test]
+fn stream_policies_match_engine_over_trunks() {
+    // Both budgeted streaming policies, over real TCP trunks: outcome,
+    // per-node acquisition fingerprints, and the per-rumor completion
+    // curve must all equal the engine's.
+    fn check<P: Protocol + Send>(
+        label: &str,
+        g: &Graph,
+        cfg: &SimConfig,
+        factory: impl Fn(NodeId, usize) -> P + Copy,
+        log: impl Fn(&P) -> &gossip_sim::CompletionLog,
+    ) where
+        P::Payload: gossip_net::WirePayload + Send,
+    {
+        let engine = Simulator::new(g, *cfg).run(factory, |_: &[P], _| false);
+        let net = run_reactor(g, cfg, factory, |_: &[&P], _| false);
+        assert_eq!(engine.reason, StopReason::AllDone, "{label}: finished");
+        assert_equiv(label, &engine, &net, |p: &P| log(p).fingerprint());
+        assert_eq!(
+            completion_rounds(engine.nodes.iter().map(&log)),
+            completion_rounds(net.nodes.iter().map(&log)),
+            "{label}: per-rumor completion curve"
+        );
+    }
+    let g = generators::ring_of_cliques(3, 4, 2);
+    let cfg = config(11, 100_000, false);
+    let spec = StreamSpec::spread(6, 2, 12);
+    check(
+        "trunks/rr-stream",
+        &g,
+        &cfg,
+        |id, _| RrStreamNode::new(id, &spec),
+        RrStreamNode::log,
+    );
+    check(
+        "trunks/rlc-stream",
+        &g,
+        &cfg,
+        |id, _| RlcStreamNode::new(id, &spec),
+        RlcStreamNode::log,
+    );
 }
 
 #[test]

@@ -57,6 +57,7 @@ pub mod faults;
 pub mod pacing;
 pub mod pool;
 pub mod rumor;
+pub mod stream;
 pub mod trace;
 
 pub use engine::{
@@ -65,6 +66,10 @@ pub use engine::{
 };
 pub use faults::FaultPlan;
 pub use rumor::{CompactParts, CompactRumorSet, RumorSet, SharedRumorSet};
+pub use stream::{
+    all_delivered_round, completion_rounds, BudgetLedger, CompletionLog, Injection, StreamPayload,
+    StreamSpec,
+};
 pub use trace::{TraceEvent, TraceLog, Traced};
 
 /// Simulation time, in synchronous rounds.

@@ -1017,10 +1017,7 @@ impl CompactRumorSet {
     ///
     /// Panics if the universes differ.
     pub fn apply_delta(&mut self, delta: &CompactRumorSet) {
-        assert_eq!(
-            self.universe, delta.universe,
-            "rumor universes must match"
-        );
+        assert_eq!(self.universe, delta.universe, "rumor universes must match");
         if delta.is_empty() {
             return;
         }

@@ -5,7 +5,7 @@
 //!
 //! The only task today is `tidy`, a self-contained determinism & safety
 //! linter (no dependencies beyond `std`): a lightweight Rust tokenizer
-//! feeds eleven rule families that enforce the engine's determinism
+//! feeds twelve rule families that enforce the engine's determinism
 //! contract — the property the golden-trace suite *observes*, this tool
 //! *protects*. Run it as `cargo xtask tidy`; see DESIGN.md §8
 //! "Determinism contract & tidy rules" for the contract itself.

@@ -33,7 +33,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// All rule families, in family order (1–11).
+/// All rule families, in family order (1–12).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism-zone",
@@ -80,14 +80,21 @@ pub const RULES: &[RuleInfo] = &[
         name: "exhaustive-match",
         summary: "no wildcard `_ =>` arms in matches over protocol-critical enums (core, sim, net)",
     },
+    RuleInfo {
+        name: "budget-confinement",
+        summary: "budget debit/credit and per-rumor completion counters written only in sim::stream",
+    },
 ];
 
 /// One allowlist entry: suppresses `rule` for every path with the given
 /// prefix. The determinism contract (ISSUE 2) requires this table to
-/// stay **empty for families 1–4**, and the model-checking contract
+/// stay **empty for families 1–4**, the model-checking contract
 /// (ISSUE 7) pins it **empty for family 11** — a non-exhaustive
-/// critical match is never sound by exemption. Entries for the other
-/// families must carry a reason and should be rare.
+/// critical match is never sound by exemption — and the streaming
+/// contract (ISSUE 10) pins it **empty for family 12**: a second
+/// writer to the budget ledger or the completion counters would
+/// invalidate every per-rumor curve the bench suite reports. Entries
+/// for the other families must carry a reason and should be rare.
 pub struct AllowEntry {
     /// Rule family name the entry suppresses.
     pub rule: &'static str,
@@ -342,6 +349,7 @@ pub fn check_rust_file(path: &str, src: &str) -> Vec<Violation> {
     net_confinement(path, src, &lexed, &spans, &mut out);
     frontier_confinement(path, src, &lexed, &spans, &mut out);
     exhaustive_match(path, src, &lexed, &spans, &mut out);
+    budget_confinement(path, src, &lexed, &spans, &mut out);
     out
 }
 
@@ -658,6 +666,74 @@ fn frontier_confinement(
     }
 }
 
+/// Family 12 — budget confinement.
+///
+/// The streaming workloads' accounting (DESIGN.md §16) is meaningful
+/// only while it has exactly one writer: `sim::stream` owns the
+/// [`BudgetLedger`] debit/credit pair and the [`CompletionLog`]'s
+/// per-rumor completion counters, and every protocol goes through
+/// `grant`/`spend`/`record`. A write to any of those fields elsewhere
+/// in the determinism zone could mint payload units out of thin air or
+/// double-count a completion — the completion-time curves would still
+/// *look* plausible, so no golden run catches it. Reading the counters
+/// (`credits()`, `debits()`, `first_heard()`, `heard()`) is fine
+/// anywhere.
+fn budget_confinement(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    spans: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    /// The one zone module allowed to mutate stream accounting.
+    const STREAM_MODULE: &str = "crates/sim/src/stream.rs";
+    /// The ledger's debit/credit pair.
+    const LEDGER: &[&str] = &["credited", "debited"];
+    /// The per-rumor completion counters.
+    const COMPLETION: &[&str] = &["first_heard", "heard_count"];
+    if !in_zone(DETERMINISM_ZONE, path) || is_test_tree(path) || path == STREAM_MODULE {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(spans, i) {
+            continue;
+        }
+        if LEDGER.contains(&t.text.as_str()) && (is_written(lexed, i) || is_indexed_write(lexed, i))
+        {
+            push(
+                out,
+                lexed,
+                src,
+                "budget-confinement",
+                path,
+                t.line,
+                format!(
+                    "write to budget-ledger field `{}` outside `sim::stream`: payload units \
+                     are debited and credited only through `BudgetLedger::grant`/`spend`",
+                    t.text
+                ),
+            );
+        }
+        if COMPLETION.contains(&t.text.as_str())
+            && (is_written(lexed, i) || is_indexed_write(lexed, i))
+        {
+            push(
+                out,
+                lexed,
+                src,
+                "budget-confinement",
+                path,
+                t.line,
+                format!(
+                    "write to completion counter `{}` outside `sim::stream`: per-rumor \
+                     completions are recorded only through `CompletionLog::record`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 /// Family 11 — exhaustive match.
 ///
 /// The protocol state machines advance on a handful of enums whose
@@ -779,6 +855,31 @@ fn exhaustive_match(
             k += 1;
         }
     }
+}
+
+/// Whether the identifier at token index `i` is the base of an indexed
+/// assignment: `x[…] = …` (not `==`), `x[…] += …`, or `x[…] -= …`.
+/// Reads through an index (`x[…]` in an expression) don't qualify.
+fn is_indexed_write(lexed: &Lexed, i: usize) -> bool {
+    if !is_punct(lexed.toks.get(i + 1), b'[') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while let Some(t) = lexed.toks.get(j) {
+        match t.kind {
+            TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return is_written(lexed, j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
 }
 
 /// Whether the identifier at token index `i` is the target of an

@@ -370,6 +370,58 @@ fn exhaustive_match_allowlist_is_empty() {
     );
 }
 
+#[test]
+fn budget_confinement_bad_fires() {
+    let v = source_findings("budget-confinement", "bad.rs");
+    assert_eq!(
+        v.len(),
+        4,
+        "credited/debited/first_heard[…]/heard_count writes: {v:?}"
+    );
+    let msgs: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in ["credited", "debited", "first_heard", "heard_count"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "no finding mentions {needle}: {msgs:?}"
+        );
+    }
+}
+
+#[test]
+fn budget_confinement_good_passes() {
+    let all = check_rust_file(ZONE_PATH, &fixture("budget-confinement", "good.rs"));
+    assert!(
+        all.is_empty(),
+        "getter reads and grant/spend/record calls must pass all families: {all:?}"
+    );
+}
+
+/// The stream scheduler module itself is the sanctioned home for the
+/// accounting: the same bad fixture is clean when checked at its path.
+#[test]
+fn budget_confinement_stream_module_exempt() {
+    let v: Vec<_> = check_rust_file(
+        "crates/sim/src/stream.rs",
+        &fixture("budget-confinement", "bad.rs"),
+    )
+    .into_iter()
+    .filter(|v| v.rule == "budget-confinement")
+    .collect();
+    assert!(v.is_empty(), "sim::stream must be exempt: {v:?}");
+}
+
+/// Like families 1–4 and 11, family 12's allowlist is pinned empty: a
+/// second writer to the stream accounting is never sound by exemption.
+#[test]
+fn budget_confinement_allowlist_is_empty() {
+    assert!(
+        xtask::rules::ALLOWLIST
+            .iter()
+            .all(|e| e.rule != "budget-confinement"),
+        "budget-confinement must not be allowlisted"
+    );
+}
+
 /// Every declared rule family is exercised by at least one fixture
 /// directory of the same name.
 #[test]

@@ -1,0 +1,14 @@
+//! Deliberately violates family 12: stream accounting mutated outside
+//! `sim::stream` — the ledger's debit/credit pair written directly,
+//! a completion slot stored through an index, and the heard counter
+//! bumped by hand.
+
+fn mint_units(ledger: &mut BudgetLedger) {
+    ledger.credited += 10;
+    ledger.debited = 0;
+}
+
+fn forge_completion(log: &mut CompletionLog, round: Round) {
+    log.first_heard[3] = Some(round);
+    log.heard_count += 1;
+}

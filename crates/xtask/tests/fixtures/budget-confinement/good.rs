@@ -1,0 +1,25 @@
+//! Clean under family 12 (and every other family): protocols stage
+//! payload through `grant`/`spend`, record completions through
+//! `record`, and only *read* the accounting back.
+
+/// Payload units still spendable against the open credit.
+pub fn headroom(ledger: &BudgetLedger) -> u64 {
+    ledger.granted() - ledger.spent()
+}
+
+/// Whether the node can prove it heard rumor `r`, and when.
+pub fn receipt(log: &CompletionLog, r: usize) -> Option<Round> {
+    if log.heard(r) {
+        log.first_heard(r)
+    } else {
+        None
+    }
+}
+
+/// Mutation goes through the scheduler's API, never the fields.
+pub fn deliver(ledger: &mut BudgetLedger, log: &mut CompletionLog, r: usize, now: Round) {
+    let allowance = ledger.grant();
+    if allowance > 0 && ledger.spend(1) {
+        log.record(r, now);
+    }
+}
